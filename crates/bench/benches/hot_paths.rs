@@ -1,0 +1,142 @@
+//! Criterion micro-benchmarks of the hot paths the paper argues must
+//! be cheap: the NMI logging paths (VMA walk, registered-range check,
+//! ring-buffer push), the agent's GC move flag, the code-map write,
+//! and the post-processor's epoch-chained resolution.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use oprofile::{RingBuffer, SampleBucket, SampleOrigin};
+use sim_cpu::{Cache, CacheConfig, Counter, CounterSpec, FracAcc, HwEvent, Pid};
+use sim_os::{AddressSpace, Image, Symbol, Vma};
+use viprof::codemap::{CodeMapEntry, CodeMapSet, EpochMap};
+use viprof::registry::JitRegistry;
+
+fn bench_vma_lookup(c: &mut Criterion) {
+    // A realistic process map: binary + 30 libraries + heap.
+    let mut space = AddressSpace::new();
+    space.map(Vma::anon(0x6000_0000, 0x6800_0000)).unwrap();
+    for i in 0..30u64 {
+        space
+            .map(Vma::image(
+                0x4000_0000 + i * 0x10_0000,
+                0x4000_0000 + i * 0x10_0000 + 0x8_0000,
+                sim_os::ImageId(i as u32),
+                0,
+            ))
+            .unwrap();
+    }
+    c.bench_function("vma_lookup_hit", |b| {
+        b.iter(|| space.lookup(black_box(0x4000_5123 + 7 * 0x10_0000)))
+    });
+    c.bench_function("vma_lookup_anon", |b| {
+        b.iter(|| space.lookup(black_box(0x6400_0000)))
+    });
+}
+
+fn bench_registry_classify(c: &mut Criterion) {
+    let mut reg = JitRegistry::new();
+    reg.register(Pid(4), (0x6000_0000, 0x6800_0000));
+    reg.register(Pid(9), (0x7000_0000, 0x7800_0000));
+    c.bench_function("registry_classify_hit", |b| {
+        b.iter(|| reg.classify(black_box(Pid(4)), black_box(0x6400_0000)))
+    });
+    c.bench_function("registry_classify_miss", |b| {
+        b.iter(|| reg.classify(black_box(Pid(4)), black_box(0x9000_0000)))
+    });
+}
+
+fn bench_ring_buffer(c: &mut Criterion) {
+    let sample = SampleBucket {
+        origin: SampleOrigin::JitApp { pid: Pid(4) },
+        event: HwEvent::Cycles,
+        addr: 0x6400_0040,
+        epoch: 3,
+    };
+    c.bench_function("ring_push_drain_4096", |b| {
+        b.iter_batched(
+            || RingBuffer::new(8192),
+            |mut ring| {
+                for _ in 0..4096 {
+                    ring.push(black_box(sample));
+                }
+                black_box(ring.drain().len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_counter_overflow(c: &mut Criterion) {
+    c.bench_function("counter_add_batch", |b| {
+        let mut counter = Counter::new(CounterSpec::new(HwEvent::Cycles, 90_000));
+        b.iter(|| black_box(counter.add(black_box(123_456))))
+    });
+}
+
+fn bench_symbol_resolution(c: &mut Criterion) {
+    let mut img = Image::new("libbig.so", 0x40_0000);
+    for i in 0..2_000u64 {
+        img.add_symbol(Symbol::new(format!("fn_{i}"), i * 0x200, 0x180));
+    }
+    c.bench_function("symbol_resolve_2000", |b| {
+        b.iter(|| img.resolve(black_box(1_234 * 0x200 + 0x40)))
+    });
+}
+
+fn bench_epoch_resolution(c: &mut Criterion) {
+    // 50 epochs × 200 entries each; resolve from the newest epoch with
+    // a hit 10 epochs back (a mature method).
+    let maps: Vec<EpochMap> = (0..50u64)
+        .map(|e| {
+            let entries: Vec<CodeMapEntry> = (0..200u64)
+                .map(|i| CodeMapEntry {
+                    addr: 0x6000_0000 + e * 0x10_0000 + i * 0x400,
+                    size: 0x300,
+                    level: "O1".to_string(),
+                    signature: format!("app.M{e}_{i}.run"),
+                })
+                .collect();
+            EpochMap::new(e, entries)
+        })
+        .collect();
+    let set = CodeMapSet::new(maps);
+    c.bench_function("epoch_resolve_recent", |b| {
+        b.iter(|| set.resolve(black_box(0x6000_0000 + 49 * 0x10_0000 + 0x400 * 7), 49))
+    });
+    c.bench_function("epoch_resolve_backward_10", |b| {
+        b.iter(|| set.resolve(black_box(0x6000_0000 + 39 * 0x10_0000 + 0x400 * 7), 49))
+    });
+    c.bench_function("epoch_resolve_miss", |b| {
+        b.iter(|| set.resolve(black_box(0x9000_0000), 49))
+    });
+}
+
+fn bench_cache_access(c: &mut Criterion) {
+    let mut cache = Cache::new(CacheConfig::new(16 * 1024, 64, 8));
+    let mut addr = 0u64;
+    c.bench_function("l1_cache_access_stream", |b| {
+        b.iter(|| {
+            addr = addr.wrapping_add(64) & 0xF_FFFF;
+            black_box(cache.access(black_box(addr)))
+        })
+    });
+}
+
+fn bench_fracacc(c: &mut Criterion) {
+    let mut acc = FracAcc::new();
+    c.bench_function("fracacc_take", |b| {
+        b.iter(|| black_box(acc.take(black_box(0.0137), black_box(90_000))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_vma_lookup,
+    bench_registry_classify,
+    bench_ring_buffer,
+    bench_counter_overflow,
+    bench_symbol_resolution,
+    bench_epoch_resolution,
+    bench_cache_access,
+    bench_fracacc
+);
+criterion_main!(benches);

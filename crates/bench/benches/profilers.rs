@@ -1,0 +1,71 @@
+//! Criterion end-to-end benchmarks: one scaled-down benchmark run
+//! under each profiler, plus post-processing. These measure the *host*
+//! cost of the simulation itself (how fast the reproduction runs), not
+//! simulated overhead — see the fig2 binary for the latter.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use oprofile::{opreport, ReportOptions};
+use viprof::Viprof;
+use viprof_bench::HarnessOpts;
+use viprof_workloads::{calibrate, find_benchmark, programs, run_benchmark, ProfilerKind};
+use viprof_workloads::{BuiltWorkload, WorkPlan};
+
+fn small_workload() -> (BuiltWorkload, WorkPlan) {
+    let mut params = find_benchmark("fop").expect("fop in catalog");
+    params.support_methods = 120;
+    let built = programs::build(&params);
+    let plan = calibrate(&built, 0.02);
+    (built, plan)
+}
+
+fn bench_run_modes(c: &mut Criterion) {
+    let (built, plan) = small_workload();
+    let _ = HarnessOpts::from_env();
+    let mut group = c.benchmark_group("run_fop_2pct");
+    group.sample_size(20);
+    group.bench_function("base", |b| {
+        b.iter(|| {
+            black_box(run_benchmark(&built, &plan, ProfilerKind::None, 1, false).cycles)
+        })
+    });
+    group.bench_function("oprofile_90k", |b| {
+        b.iter(|| {
+            black_box(
+                run_benchmark(&built, &plan, ProfilerKind::oprofile_at(90_000), 1, false).cycles,
+            )
+        })
+    });
+    group.bench_function("viprof_90k", |b| {
+        b.iter(|| {
+            black_box(
+                run_benchmark(&built, &plan, ProfilerKind::viprof_at(90_000), 1, false).cycles,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_postprocess(c: &mut Criterion) {
+    let (built, plan) = small_workload();
+    let out = run_benchmark(&built, &plan, ProfilerKind::viprof_at(20_000), 1, false);
+    let db = out.db.expect("profiled run");
+    let kernel = &out.machine.kernel;
+    let mut group = c.benchmark_group("postprocess");
+    group.bench_function("opreport", |b| {
+        b.iter(|| black_box(opreport(&db, kernel, &ReportOptions::default()).rows.len()))
+    });
+    group.bench_function("viprof_report", |b| {
+        b.iter(|| {
+            black_box(
+                Viprof::report(&db, kernel, &ReportOptions::default())
+                    .expect("report")
+                    .rows
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_run_modes, bench_postprocess);
+criterion_main!(benches);

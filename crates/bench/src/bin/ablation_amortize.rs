@@ -1,0 +1,83 @@
+//! **E5 — run-length amortization (paper §4.3).**
+//!
+//! "Longer running benchmarks generally experienced the smaller
+//! slowdowns, due to the amortization of the cost of writing out the
+//! code maps."
+//!
+//! pseudoJBB is a *fixed-transaction* workload ("configured to have a
+//! fixed number of transactions", §4.1), so its allocation volume —
+//! and hence its GC/epoch/map-write count — is a property of the
+//! workload, not of how long it runs. This experiment scales the
+//! computation per transaction ×{0.25 … 4} while keeping transaction
+//! (and therefore collection) counts fixed: total map-write cost stays
+//! constant while run time stretches, so the VIProf slowdown must fall
+//! monotonically with run length. Noise is off: the series is exact.
+//!
+//! ```text
+//! cargo run --release -p viprof-bench --bin ablation_amortize
+//! ```
+
+use serde::Serialize;
+use viprof_bench::{write_json, HarnessOpts};
+use viprof_workloads::{calibrate, find_benchmark, programs, run_benchmark, ProfilerKind};
+
+#[derive(Serialize)]
+struct AmortizePoint {
+    length_factor: f64,
+    sim_seconds: f64,
+    gcs: u64,
+    slowdown_viprof_90k: f64,
+}
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    let base_params = find_benchmark("pseudojbb").expect("pseudojbb in catalog");
+
+    println!("E5: VIProf 90K slowdown vs run length (pseudoJBB, fixed transactions)");
+    println!("{:>8}{:>12}{:>8}{:>12}", "length", "sim s", "gcs", "slowdown");
+    let mut out = Vec::new();
+    for factor in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        // More computation per transaction, same number of transactions:
+        // scale the inner loop AND the target time together, so the
+        // calibrated invocation (≈ transaction) count stays put.
+        let mut params = base_params.clone();
+        params.inner_iters = ((base_params.inner_iters as f64) * factor).max(20.0) as u32;
+        params.base_seconds = base_params.base_seconds * factor;
+        let built = programs::build(&params);
+        let plan = calibrate(&built, (0.25 * opts.scale).clamp(0.01, 4.0));
+
+        let base = run_benchmark(&built, &plan, ProfilerKind::None, opts.seed, false);
+        let prof = run_benchmark(
+            &built,
+            &plan,
+            ProfilerKind::viprof_at(90_000),
+            opts.seed,
+            false,
+        );
+        let slowdown = prof.seconds / base.seconds;
+        println!(
+            "{:>8.2}{:>12.2}{:>8}{:>12.4}",
+            factor, base.seconds, prof.vm.gcs, slowdown
+        );
+        out.push(AmortizePoint {
+            length_factor: factor,
+            sim_seconds: base.seconds,
+            gcs: prof.vm.gcs,
+            slowdown_viprof_90k: slowdown,
+        });
+    }
+    for w in out.windows(2) {
+        assert!(
+            w[1].slowdown_viprof_90k <= w[0].slowdown_viprof_90k + 0.002,
+            "slowdown must fall (or hold) as runs lengthen: {:?} vs {:?}",
+            w[0].slowdown_viprof_90k,
+            w[1].slowdown_viprof_90k
+        );
+    }
+    assert!(
+        out.first().unwrap().slowdown_viprof_90k
+            > out.last().unwrap().slowdown_viprof_90k + 0.005,
+        "amortization must be visible end to end"
+    );
+    write_json("ablation_amortize.json", &out);
+}

@@ -1,0 +1,71 @@
+//! Regenerate **Figure 2**: execution-time overhead of profiling with
+//! VIProf compared to OProfile, normalized to unprofiled base time.
+//!
+//! Configurations (as in the paper): base, OProfile at the median
+//! 90K-cycle sampling period, and VIProf at 45K / 90K / 450K.
+//!
+//! ```text
+//! cargo run --release -p viprof-bench --bin fig2
+//! ```
+
+use viprof_bench::{figure2_rows, measure_catalog, write_json, Fig2Config, HarnessOpts};
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    eprintln!(
+        "fig2: overhead sweep, scale {} trials {} seed {}",
+        opts.scale, opts.trials, opts.seed
+    );
+    let measurements = measure_catalog(&Fig2Config::ALL, opts);
+    let rows = figure2_rows(&measurements);
+
+    println!("Figure 2: Overhead of profiling with VIProf compared to Oprofile.");
+    println!("(slowdown normalized to base execution time; higher = slower)\n");
+    print!("{:<12}", "benchmark");
+    let configs = [
+        Fig2Config::Oprofile90k,
+        Fig2Config::Viprof45k,
+        Fig2Config::Viprof90k,
+        Fig2Config::Viprof450k,
+    ];
+    for c in configs {
+        print!("{:>13}", c.label());
+    }
+    println!();
+    for row in &rows {
+        print!("{:<12}", row.name);
+        for c in configs {
+            print!("{:>13.4}", row.slowdown[c.label()]);
+        }
+        println!();
+    }
+
+    // Paper headline checks, printed for EXPERIMENTS.md.
+    let avg = rows.iter().find(|r| r.name == "Average").unwrap();
+    let antlr = rows.iter().find(|r| r.name == "antlr").unwrap();
+    println!("\nHeadlines vs. paper:");
+    println!(
+        "  OProfile 90K average slowdown: {:.3} (paper: ~1.05)",
+        avg.slowdown["Oprof 90K"]
+    );
+    println!(
+        "  VIProf   90K average slowdown: {:.3} (paper: similar to OProfile, ~1.05)",
+        avg.slowdown["VIProf 90K"]
+    );
+    println!(
+        "  antlr VIProf 90K: {:.3} (paper: the one benchmark above 1.10)",
+        antlr.slowdown["VIProf 90K"]
+    );
+    let below_ten = rows
+        .iter()
+        .filter(|r| !matches!(r.name.as_str(), "Average"))
+        .filter(|r| r.slowdown["VIProf 90K"] < 1.10)
+        .count();
+    println!(
+        "  benchmarks below 1.10 at VIProf 90K: {}/{} (paper: all but antlr)",
+        below_ten,
+        rows.len() - 1
+    );
+
+    write_json("fig2.json", &rows);
+}

@@ -1,0 +1,70 @@
+//! Regenerate **Figure 3**: base execution time in seconds for the
+//! benchmarks (no profiling).
+//!
+//! ```text
+//! cargo run --release -p viprof-bench --bin fig3
+//! ```
+
+use serde::Serialize;
+use viprof_bench::{figure2_rows, measure_catalog, write_json, Fig2Config, HarnessOpts};
+
+#[derive(Serialize)]
+struct Fig3Row {
+    benchmark: String,
+    measured_seconds: f64,
+    paper_seconds: Option<f64>,
+}
+
+/// Paper's Figure-3 values (reconstructed — see DESIGN.md for the
+/// garbled-table note; `ps` has no paper value).
+fn paper_value(name: &str) -> Option<f64> {
+    match name {
+        "pseudojbb" => Some(31.0),
+        "JVM98" => Some(5.74),
+        "antlr" => Some(8.7),
+        "bloat" => Some(28.5),
+        "fop" => Some(3.2),
+        "hsqldb" => Some(43.0),
+        "pmd" => Some(16.3),
+        "xalan" => Some(22.2),
+        _ => None,
+    }
+}
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    eprintln!(
+        "fig3: base times, scale {} trials {} seed {}",
+        opts.scale, opts.trials, opts.seed
+    );
+    let measurements = measure_catalog(&[Fig2Config::Base], opts);
+    let rows = figure2_rows(&measurements);
+
+    println!("Figure 3: Base execution time in seconds for the benchmarks.");
+    println!("(simulated; scale factor {})\n", opts.scale);
+    println!("{:<14}{:>12}{:>12}", "Benchmark", "Measured", "Paper");
+    let mut out = Vec::new();
+    for row in &rows {
+        if row.name == "Average" {
+            continue;
+        }
+        let measured = row.seconds["base"] / opts.scale;
+        let paper = paper_value(&row.name);
+        println!(
+            "{:<14}{:>12.2}{:>12}",
+            row.name,
+            measured,
+            paper.map(|p| format!("{p:.2}")).unwrap_or_else(|| "—".into())
+        );
+        out.push(Fig3Row {
+            benchmark: row.name.clone(),
+            measured_seconds: measured,
+            paper_seconds: paper,
+        });
+    }
+    // The paper's "Average" row (over the displayed bars).
+    let avg: f64 = out.iter().map(|r| r.measured_seconds).sum::<f64>() / out.len() as f64;
+    println!("{:<14}{:>12.2}{:>12}", "Average", avg, "—");
+
+    write_json("fig3.json", &out);
+}

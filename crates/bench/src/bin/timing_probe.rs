@@ -1,0 +1,47 @@
+//! Quick wall-clock probe: how expensive is one full-scale profiled
+//! run? Used to choose the harness's default scale.
+
+use std::time::Instant;
+use viprof_workloads::{calibrate, find_benchmark, programs, run_benchmark, ProfilerKind};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "pseudojbb".into());
+    let scale: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let built = programs::build(&find_benchmark(&name).unwrap());
+
+    let t = Instant::now();
+    let plan = calibrate(&built, scale);
+    println!("calibrate: {:?} (total inv {})", t.elapsed(), plan.total_invocations());
+
+    let t = Instant::now();
+    let base = run_benchmark(&built, &plan, ProfilerKind::None, 1, true);
+    println!(
+        "base: sim {:.2}s wall {:?} (gcs {}, compiles {})",
+        base.seconds,
+        t.elapsed(),
+        base.vm.gcs,
+        base.vm.compiles
+    );
+
+    let t = Instant::now();
+    let v = run_benchmark(&built, &plan, ProfilerKind::viprof_at(90_000), 1, true);
+    println!(
+        "viprof90k: sim {:.4}s wall {:?} samples {} slowdown {:.4}",
+        v.seconds,
+        t.elapsed(),
+        v.db.as_ref().unwrap().total_samples(),
+        v.seconds / base.seconds
+    );
+
+    let t = Instant::now();
+    let o = run_benchmark(&built, &plan, ProfilerKind::oprofile_at(90_000), 1, true);
+    println!(
+        "oprof90k: sim {:.4}s wall {:?} slowdown {:.4}",
+        o.seconds,
+        t.elapsed(),
+        o.seconds / base.seconds
+    );
+}

@@ -1,0 +1,26 @@
+//! Tuning probe: GC count and period per benchmark at full scale
+//! (used when recalibrating workload parameters; see EXPERIMENTS.md).
+
+use viprof_workloads::{calibrate, catalog, programs, run_benchmark, ProfilerKind};
+
+fn main() {
+    println!(
+        "{:<12}{:>8}{:>8}{:>10}{:>10}{:>12}",
+        "bench", "sim_s", "gcs", "gc_per_s", "period_s", "compiles"
+    );
+    for params in catalog() {
+        let built = programs::build(&params);
+        let plan = calibrate(&built, 1.0);
+        let out = run_benchmark(&built, &plan, ProfilerKind::None, 1, false);
+        let per_s = out.vm.gcs as f64 / out.seconds;
+        println!(
+            "{:<12}{:>8.2}{:>8}{:>10.2}{:>10.3}{:>12}",
+            params.name,
+            out.seconds,
+            out.vm.gcs,
+            per_s,
+            1.0 / per_s.max(1e-9),
+            out.vm.compiles + out.vm.recompiles,
+        );
+    }
+}

@@ -1,0 +1,359 @@
+//! The VM Agent: VIProf's library hooked into the VM (paper §3).
+//!
+//! * compile/recompile hooks log "the beginning address, size and
+//!   signature of the method that was just compiled into a buffer";
+//! * the GC move hook only *flags* a method as moved ("we simply flag
+//!   it instead of actually logging it in order to avoid undue
+//!   overhead" — GC bodies are highly tuned);
+//! * just before each collection the agent writes the ending epoch's
+//!   *partial* code map: methods compiled/recompiled since the previous
+//!   write plus methods moved by the previous collection (§3.1);
+//! * at VM exit the final partial map is flushed.
+//!
+//! Every hook returns its cycle cost (from [`sim_cpu::CostModel`]) so
+//! agent work lands in simulated time — the VIProf-minus-OProfile delta
+//! of Figure 2.
+
+use crate::callgraph::CallGraph;
+use crate::codemap::{map_path, render_map, CodeMapEntry};
+use crate::registry::SharedRegistry;
+use parking_lot::Mutex;
+use sim_cpu::{Addr, CostModel, Pid};
+use sim_jvm::{CompiledBodyInfo, MethodId, VmProfilerHooks};
+use sim_os::Vfs;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Agent-side counters (tests, ablations, EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AgentStats {
+    pub compiles_logged: u64,
+    pub moves_flagged: u64,
+    pub maps_written: u64,
+    pub entries_written: u64,
+    pub call_edges_recorded: u64,
+}
+
+/// Cycles the agent spends recording one sampled call edge.
+const CALL_EDGE_CYCLES: u64 = 30;
+
+/// The agent. One per VM; all agents share the [`SharedRegistry`].
+pub struct VmAgent {
+    registry: SharedRegistry,
+    cost: CostModel,
+    pid: Option<Pid>,
+    /// Current location of every known compiled method ("a list of
+    /// known compiled methods", §3).
+    current: BTreeMap<MethodId, CodeMapEntry>,
+    /// Every compile/recompile event since the last map write — a
+    /// method recompiled twice in one epoch contributes *two* entries,
+    /// so samples on the superseded body still resolve (§3: the hooks
+    /// "log the beginning address, size and signature of the method
+    /// that was just compiled into a buffer").
+    pending_compiles: Vec<CodeMapEntry>,
+    /// Methods moved by the previous collection (flag only).
+    moved_flags: BTreeSet<MethodId>,
+    /// Precise-move mode: snapshot (addr, size) at move time instead of
+    /// reading the method's *current* location at map-write time. The
+    /// paper's flag-only protocol (§3) loses samples when a body is
+    /// moved by one collection and its method recompiled before the
+    /// next map write — the current address then points at the new
+    /// body and the moved location is never recorded. The paper
+    /// acknowledges the possibility of unresolvable samples (§3.1);
+    /// this switch quantifies it (experiment E4).
+    precise_moves: bool,
+    pending_moves: Vec<CodeMapEntry>,
+    /// Optional cross-layer call-graph collector.
+    callgraph: Option<Arc<Mutex<CallGraph>>>,
+    /// Record every Nth call edge (sampling keeps the inline hook cheap).
+    call_sample_interval: u64,
+    call_counter: u64,
+    pub stats: Arc<Mutex<AgentStats>>,
+}
+
+impl VmAgent {
+    pub fn new(registry: SharedRegistry, cost: CostModel) -> VmAgent {
+        VmAgent {
+            registry,
+            cost,
+            pid: None,
+            current: BTreeMap::new(),
+            pending_compiles: Vec::new(),
+            moved_flags: BTreeSet::new(),
+            precise_moves: false,
+            pending_moves: Vec::new(),
+            callgraph: None,
+            call_sample_interval: 16,
+            call_counter: 0,
+            stats: Arc::new(Mutex::new(AgentStats::default())),
+        }
+    }
+
+    /// Attach a call-graph collector (records every `interval`-th edge).
+    pub fn with_callgraph(mut self, cg: Arc<Mutex<CallGraph>>, interval: u64) -> VmAgent {
+        assert!(interval >= 1);
+        self.callgraph = Some(cg);
+        self.call_sample_interval = interval;
+        self
+    }
+
+    /// Log moves precisely instead of flag-only (see the field docs).
+    pub fn with_precise_moves(mut self, on: bool) -> VmAgent {
+        self.precise_moves = on;
+        self
+    }
+
+    /// Shared stats handle (readable after the agent is boxed into the
+    /// VM).
+    pub fn stats_handle(&self) -> Arc<Mutex<AgentStats>> {
+        self.stats.clone()
+    }
+
+    fn write_map(&mut self, epoch: u64, vfs: &mut Vfs) -> u64 {
+        let pid = self.pid.expect("agent used before on_vm_start");
+        // Entries: every compile event of the ending epoch, plus the
+        // current locations of bodies moved by the previous collection.
+        // Keyed by address: a method compiled after being moved shares
+        // its current address with its pending entry — one record wins.
+        let mut by_addr: BTreeMap<sim_cpu::Addr, CodeMapEntry> = BTreeMap::new();
+        for e in self.pending_compiles.drain(..) {
+            by_addr.insert(e.addr, e);
+        }
+        for e in self.pending_moves.drain(..) {
+            by_addr.entry(e.addr).or_insert(e);
+        }
+        for m in &self.moved_flags {
+            if let Some(e) = self.current.get(m) {
+                by_addr.entry(e.addr).or_insert_with(|| e.clone());
+            }
+        }
+        let entries: Vec<CodeMapEntry> = by_addr.into_values().collect();
+        vfs.write(map_path(pid, epoch), render_map(&entries).into_bytes());
+        self.moved_flags.clear();
+        let mut st = self.stats.lock();
+        st.maps_written += 1;
+        st.entries_written += entries.len() as u64;
+        self.cost.map_write(entries.len() as u64)
+    }
+}
+
+impl VmProfilerHooks for VmAgent {
+    fn on_vm_start(&mut self, pid: Pid, heap_range: (Addr, Addr)) -> u64 {
+        self.pid = Some(pid);
+        self.registry.write().register(pid, heap_range);
+        self.cost.vm_probe_cycles
+    }
+
+    fn on_compile(&mut self, info: &CompiledBodyInfo) -> u64 {
+        let entry = CodeMapEntry {
+            addr: info.addr,
+            size: info.size,
+            level: info.opt_level.as_str().to_string(),
+            signature: info.signature.clone(),
+        };
+        self.current.insert(info.method, entry.clone());
+        self.pending_compiles.push(entry);
+        self.stats.lock().compiles_logged += 1;
+        self.cost.agent_compile_log_cycles
+    }
+
+    fn on_code_moved(&mut self, method: MethodId, _old: Addr, new: Addr, size: u64) -> u64 {
+        // Paper behaviour: flag only; the location is read from the
+        // known-compiled-methods list at write time.
+        if let Some(e) = self.current.get_mut(&method) {
+            e.addr = new;
+            e.size = size;
+        }
+        self.moved_flags.insert(method);
+        if self.precise_moves {
+            // Fix mode: snapshot the moved location now, so a later
+            // recompile cannot shadow it.
+            if let Some(e) = self.current.get(&method) {
+                self.pending_moves.push(e.clone());
+            }
+        }
+        self.stats.lock().moves_flagged += 1;
+        self.cost.agent_move_flag_cycles
+    }
+
+    fn on_gc_begin(&mut self, ending_epoch: u64, vfs: &mut Vfs) -> u64 {
+        self.write_map(ending_epoch, vfs)
+    }
+
+    fn on_gc_end(&mut self, new_epoch: u64) -> u64 {
+        if let Some(pid) = self.pid {
+            self.registry.read().set_epoch(pid, new_epoch);
+        }
+        0
+    }
+
+    fn on_vm_exit(&mut self, final_epoch: u64, vfs: &mut Vfs) -> u64 {
+        self.write_map(final_epoch, vfs)
+    }
+
+    fn on_call(&mut self, caller: Option<&str>, callee: &str) -> u64 {
+        let Some(cg) = &self.callgraph else {
+            return 0;
+        };
+        self.call_counter += 1;
+        if self.call_counter % self.call_sample_interval != 0 {
+            return 0;
+        }
+        cg.lock().add_edge(caller.unwrap_or("(root)"), callee);
+        self.stats.lock().call_edges_recorded += 1;
+        CALL_EDGE_CYCLES
+    }
+
+    fn on_call_batch(&mut self, caller: Option<&str>, callee: &str, count: u64) -> u64 {
+        let Some(cg) = &self.callgraph else {
+            return 0;
+        };
+        // Same sampling rate as the inline path, applied in bulk: the
+        // accumulated counter carries remainders across batches.
+        self.call_counter += count;
+        let recorded = self.call_counter / self.call_sample_interval;
+        self.call_counter %= self.call_sample_interval;
+        if recorded == 0 {
+            return 0;
+        }
+        cg.lock()
+            .add_edge_n(caller.unwrap_or("(root)"), callee, recorded);
+        self.stats.lock().call_edges_recorded += recorded;
+        recorded * CALL_EDGE_CYCLES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codemap::CodeMapSet;
+    use crate::registry::JitRegistry;
+    use sim_jvm::OptLevel;
+
+    fn agent() -> (VmAgent, SharedRegistry) {
+        let reg = JitRegistry::shared();
+        (VmAgent::new(reg.clone(), CostModel::default()), reg)
+    }
+
+    fn compile_info(m: u32, addr: Addr, epoch: u64) -> CompiledBodyInfo {
+        CompiledBodyInfo {
+            method: MethodId(m),
+            signature: format!("app.M{m}.run"),
+            addr,
+            size: 0x40,
+            opt_level: OptLevel::Baseline,
+            is_recompile: false,
+            epoch,
+        }
+    }
+
+    #[test]
+    fn vm_start_registers_heap() {
+        let (mut a, reg) = agent();
+        a.on_vm_start(Pid(7), (0x6000_0000, 0x6400_0000));
+        assert!(reg.read().is_registered(Pid(7)));
+        assert_eq!(reg.read().classify(Pid(7), 0x6100_0000), Some(0));
+    }
+
+    #[test]
+    fn gc_end_bumps_epoch_in_registry() {
+        let (mut a, reg) = agent();
+        a.on_vm_start(Pid(7), (0x1000, 0x2000));
+        a.on_gc_end(3);
+        assert_eq!(reg.read().classify(Pid(7), 0x1800), Some(3));
+    }
+
+    #[test]
+    fn partial_maps_contain_only_new_and_moved() {
+        let (mut a, _) = agent();
+        let mut vfs = Vfs::new();
+        a.on_vm_start(Pid(7), (0x1000, 0x2000));
+        // Epoch 0: compile A and B.
+        a.on_compile(&compile_info(0, 0x1000, 0));
+        a.on_compile(&compile_info(1, 0x1100, 0));
+        a.on_gc_begin(0, &mut vfs); // map.0: A, B
+        // GC 0 moves only A.
+        a.on_code_moved(MethodId(0), 0x1000, 0x1800, 0x40);
+        a.on_gc_end(1);
+        // Epoch 1: compile C.
+        a.on_compile(&compile_info(2, 0x1200, 1));
+        a.on_gc_begin(1, &mut vfs); // map.1: A (moved), C — NOT B
+        let set = CodeMapSet::load(&vfs, Pid(7)).unwrap();
+        let map1 = &set.maps()[1];
+        assert_eq!(map1.epoch, 1);
+        let sigs: Vec<&str> = map1.entries().iter().map(|e| e.signature.as_str()).collect();
+        assert_eq!(sigs.len(), 2);
+        assert!(sigs.contains(&"app.M0.run"), "moved method present");
+        assert!(sigs.contains(&"app.M2.run"), "new compile present");
+        assert!(!sigs.contains(&"app.M1.run"), "unmoved, uncompiled B absent");
+        // The moved method's entry carries its NEW address.
+        let a_entry = map1
+            .entries()
+            .iter()
+            .find(|e| e.signature == "app.M0.run")
+            .unwrap();
+        assert_eq!(a_entry.addr, 0x1800);
+    }
+
+    #[test]
+    fn backward_search_needed_for_stable_methods() {
+        // B compiled in epoch 0, never moved after: absent from map 1+,
+        // so a sample in epoch 1 must chain backwards to map 0.
+        let (mut a, _) = agent();
+        let mut vfs = Vfs::new();
+        a.on_vm_start(Pid(7), (0x1000, 0x2000));
+        a.on_compile(&compile_info(1, 0x1100, 0));
+        a.on_gc_begin(0, &mut vfs);
+        a.on_gc_end(1);
+        a.on_vm_exit(1, &mut vfs); // empty map.1
+        let set = CodeMapSet::load(&vfs, Pid(7)).unwrap();
+        assert_eq!(set.maps()[1].entries().len(), 0);
+        let hit = set.resolve(0x1110, 1).expect("backward chain must find B");
+        assert_eq!(hit.signature, "app.M1.run");
+    }
+
+    #[test]
+    fn hook_costs_match_cost_model() {
+        let (mut a, _) = agent();
+        let cost = CostModel::default();
+        let mut vfs = Vfs::new();
+        assert_eq!(a.on_vm_start(Pid(1), (0, 0x1000)), cost.vm_probe_cycles);
+        assert_eq!(
+            a.on_compile(&compile_info(0, 0x10, 0)),
+            cost.agent_compile_log_cycles
+        );
+        assert_eq!(
+            a.on_code_moved(MethodId(0), 0x10, 0x20, 0x40),
+            cost.agent_move_flag_cycles
+        );
+        // Two entries: the compile event (old address) and the moved
+        // body's current address — both addresses were occupied by this
+        // method during the epoch.
+        assert_eq!(a.on_gc_begin(0, &mut vfs), cost.map_write(2));
+        // Empty map still pays the base write cost.
+        assert_eq!(a.on_vm_exit(0, &mut vfs), cost.map_write(0));
+    }
+
+    #[test]
+    fn call_edges_sampled_at_interval() {
+        let cg = Arc::new(Mutex::new(CallGraph::new()));
+        let reg = JitRegistry::shared();
+        let mut a = VmAgent::new(reg, CostModel::default()).with_callgraph(cg.clone(), 4);
+        let mut charged = 0;
+        for _ in 0..16 {
+            charged += a.on_call(Some("caller"), "callee");
+        }
+        assert_eq!(cg.lock().total_edges(), 4, "every 4th edge recorded");
+        assert_eq!(charged, 4 * CALL_EDGE_CYCLES);
+        assert_eq!(a.stats.lock().call_edges_recorded, 4);
+    }
+
+    #[test]
+    fn stats_handle_survives_boxing() {
+        let (a, _) = agent();
+        let stats = a.stats_handle();
+        let mut boxed: Box<dyn VmProfilerHooks> = Box::new(a);
+        boxed.on_compile(&compile_info(0, 0x10, 0));
+        assert_eq!(stats.lock().compiles_logged, 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! `viprof-report` — offline post-processing CLI.
+//!
+//! Operates on a session directory exported by
+//! `Viprof::export_session` (sample database, epoch code maps,
+//! `RVM.map`, image/process metadata), the way `opreport` operates on
+//! `/var/lib/oprofile` after `opcontrol --stop`.
+//!
+//! ```text
+//! viprof-report <session-dir> [--classic] [--min <percent>] [--rows <n>] [--csv | --json]
+//!
+//!   --classic   render what stock opreport would show (anon ranges,
+//!               symbol-less boot image) instead of the merged view
+//!   --min  P    hide rows below P percent of the primary event (0.05)
+//!   --rows N    keep at most N rows
+//!   --csv       emit CSV instead of the aligned text table
+//!   --json      emit JSON
+//! ```
+
+use oprofile::{opreport, ReportOptions, SampleDb};
+use viprof::Viprof;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: viprof-report <session-dir> [--classic] [--min <percent>] [--rows <n>] [--csv | --json]"
+    );
+    std::process::exit(2);
+}
+
+enum Format {
+    Text,
+    Csv,
+    Json,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(dir) = args.next() else { usage() };
+    let mut classic = false;
+    let mut options = ReportOptions {
+        min_primary_percent: 0.05,
+        ..ReportOptions::default()
+    };
+    let mut format = Format::Text;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--classic" => classic = true,
+            "--csv" => format = Format::Csv,
+            "--json" => format = Format::Json,
+            "--min" => {
+                options.min_primary_percent = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--rows" => {
+                options.max_rows = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            _ => usage(),
+        }
+    }
+
+    let dir = std::path::PathBuf::from(dir);
+    let kernel = match Viprof::import_session(&dir) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("viprof-report: {e}");
+            std::process::exit(1);
+        }
+    };
+    let Some(raw) = kernel.vfs.read(oprofile::session::SAMPLES_PATH) else {
+        eprintln!(
+            "viprof-report: no sample database at {} — did the session stop cleanly?",
+            oprofile::session::SAMPLES_PATH
+        );
+        std::process::exit(1);
+    };
+    let db = match SampleDb::from_bytes(raw) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("viprof-report: corrupt sample database: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let report = if classic {
+        opreport(&db, &kernel, &options)
+    } else {
+        match Viprof::report(&db, &kernel, &options) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("viprof-report: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    match format {
+        Format::Text => {
+            println!(
+                "session {} — {} samples, {} dropped",
+                dir.display(),
+                db.total_samples(),
+                db.dropped
+            );
+            print!("{}", report.render_text());
+        }
+        Format::Csv => print!("{}", report.render_csv()),
+        Format::Json => {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&report).expect("report serializes")
+            );
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Cross-layer call-sequence profiles.
+//!
+//! Paper §4.2: "VIProf also extends the call graph functionality of
+//! Oprofile to include call sequence profiles across layers." The VM
+//! Agent samples call edges (Java→Java, Java→native) and records them
+//! here; the report shows the hottest edges regardless of which layer
+//! the endpoints live in.
+
+use std::collections::HashMap;
+
+/// Sampled caller→callee edge counts.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    edges: HashMap<(String, String), u64>,
+}
+
+impl CallGraph {
+    pub fn new() -> Self {
+        CallGraph::default()
+    }
+
+    pub fn add_edge(&mut self, caller: &str, callee: &str) {
+        self.add_edge_n(caller, callee, 1);
+    }
+
+    pub fn add_edge_n(&mut self, caller: &str, callee: &str, n: u64) {
+        *self
+            .edges
+            .entry((caller.to_string(), callee.to_string()))
+            .or_insert(0) += n;
+    }
+
+    /// Total recorded edge samples.
+    pub fn total_edges(&self) -> u64 {
+        self.edges.values().sum()
+    }
+
+    pub fn distinct_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Hottest `n` edges, count-descending (name-ascending tiebreak for
+    /// determinism).
+    pub fn top_edges(&self, n: usize) -> Vec<(&str, &str, u64)> {
+        let mut v: Vec<(&str, &str, u64)> = self
+            .edges
+            .iter()
+            .map(|((a, b), c)| (a.as_str(), b.as_str(), *c))
+            .collect();
+        v.sort_by(|x, y| y.2.cmp(&x.2).then_with(|| (x.0, x.1).cmp(&(y.0, y.1))));
+        v.truncate(n);
+        v
+    }
+
+    /// Fan-out of one caller: callees with counts.
+    pub fn callees_of(&self, caller: &str) -> Vec<(&str, u64)> {
+        let mut v: Vec<(&str, u64)> = self
+            .edges
+            .iter()
+            .filter(|((a, _), _)| a == caller)
+            .map(|((_, b), c)| (b.as_str(), *c))
+            .collect();
+        v.sort_by(|x, y| y.1.cmp(&x.1).then_with(|| x.0.cmp(y.0)));
+        v
+    }
+
+    /// Graphviz DOT rendering of the top `n` edges (cross-layer call
+    /// graph, ready for `dot -Tsvg`). Edge width scales with weight.
+    pub fn render_dot(&self, n: usize) -> String {
+        fn quote(s: &str) -> String {
+            format!("\"{}\"", s.replace('"', "\\\""))
+        }
+        let top = self.top_edges(n);
+        let max = top.first().map(|(_, _, c)| *c).unwrap_or(1).max(1);
+        let mut out = String::from("digraph callgraph {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
+        for (a, b, c) in &top {
+            let w = 1.0 + 4.0 * *c as f64 / max as f64;
+            out.push_str(&format!(
+                "  {} -> {} [label={c}, penwidth={w:.2}];\n",
+                quote(a),
+                quote(b)
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Text rendering of the top edges.
+    pub fn render_text(&self, n: usize) -> String {
+        let total = self.total_edges().max(1);
+        let mut s = String::from("samples  %        caller -> callee\n");
+        for (a, b, c) in self.top_edges(n) {
+            s.push_str(&format!(
+                "{:<9}{:<9.4}{} -> {}\n",
+                c,
+                100.0 * c as f64 / total as f64,
+                a,
+                b
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_accumulate() {
+        let mut g = CallGraph::new();
+        g.add_edge("a", "b");
+        g.add_edge("a", "b");
+        g.add_edge("a", "c");
+        assert_eq!(g.total_edges(), 3);
+        assert_eq!(g.distinct_edges(), 2);
+    }
+
+    #[test]
+    fn top_edges_ordered_and_truncated() {
+        let mut g = CallGraph::new();
+        for _ in 0..5 {
+            g.add_edge("hot", "callee");
+        }
+        g.add_edge("cold", "callee");
+        let top = g.top_edges(1);
+        assert_eq!(top, vec![("hot", "callee", 5)]);
+    }
+
+    #[test]
+    fn callees_of_filters_by_caller() {
+        let mut g = CallGraph::new();
+        g.add_edge("m", "x");
+        g.add_edge("m", "x");
+        g.add_edge("m", "memset");
+        g.add_edge("other", "x");
+        assert_eq!(g.callees_of("m"), vec![("x", 2), ("memset", 1)]);
+        assert!(g.callees_of("nobody").is_empty());
+    }
+
+    #[test]
+    fn render_contains_cross_layer_edge() {
+        let mut g = CallGraph::new();
+        g.add_edge("dacapo.ps.Scanner.parseLine", "memset");
+        let text = g.render_text(10);
+        assert!(text.contains("dacapo.ps.Scanner.parseLine -> memset"));
+    }
+
+    #[test]
+    fn dot_rendering_is_well_formed() {
+        let mut g = CallGraph::new();
+        g.add_edge_n("a", "b", 10);
+        g.add_edge_n("a", "c\"quoted", 5);
+        let dot = g.render_dot(10);
+        assert!(dot.starts_with("digraph callgraph {"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("\"a\" -> \"b\" [label=10, penwidth=5.00];"));
+        assert!(dot.contains("c\\\"quoted"), "quotes escaped: {dot}");
+    }
+}

@@ -1,0 +1,260 @@
+//! Epoch code maps: the files the VM Agent writes and the
+//! epoch-chained lookup the post-processor runs.
+//!
+//! One map file per execution epoch, each a *partial* map: only
+//! methods compiled/recompiled during that epoch plus methods moved by
+//! the previous collection (§3.1). Resolution of a sample `(pc, e)`
+//! searches map `e`, then `e-1`, `e-2`, … — "the method which the
+//! sample will be associated with is the most recently compiled — or
+//! moved — method to occupy that address space" (§3.2).
+
+use sim_cpu::{Addr, Pid};
+use sim_os::Vfs;
+
+/// VFS directory the agent writes maps under.
+pub const JIT_MAP_DIR: &str = "/var/lib/oprofile/jit";
+
+/// One code-body record in a map file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeMapEntry {
+    pub addr: Addr,
+    pub size: u64,
+    /// Tier label, e.g. `base`, `O1`, `O2`.
+    pub level: String,
+    /// Fully-qualified method signature.
+    pub signature: String,
+}
+
+impl CodeMapEntry {
+    pub fn contains(&self, pc: Addr) -> bool {
+        pc >= self.addr && pc < self.addr + self.size
+    }
+}
+
+/// Map-file path for (pid, epoch). Zero-padded so the VFS's
+/// lexicographic listing is also numeric epoch order.
+pub fn map_path(pid: Pid, epoch: u64) -> String {
+    format!("{JIT_MAP_DIR}/{}/map.{epoch:010}", pid.0)
+}
+
+/// Render entries in the on-disk text format:
+/// `addr(hex) size(hex) level signature`.
+pub fn render_map(entries: &[CodeMapEntry]) -> String {
+    let mut s = String::with_capacity(entries.len() * 80);
+    for e in entries {
+        s.push_str(&format!(
+            "{:016x} {:08x} {} {}\n",
+            e.addr, e.size, e.level, e.signature
+        ));
+    }
+    s
+}
+
+/// Parse a map file.
+pub fn parse_map(text: &str) -> Result<Vec<CodeMapEntry>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(4, ' ');
+        let (Some(addr), Some(size), Some(level), Some(signature)) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!("map line {}: malformed", lineno + 1));
+        };
+        out.push(CodeMapEntry {
+            addr: u64::from_str_radix(addr, 16)
+                .map_err(|e| format!("map line {}: bad addr: {e}", lineno + 1))?,
+            size: u64::from_str_radix(size, 16)
+                .map_err(|e| format!("map line {}: bad size: {e}", lineno + 1))?,
+            level: level.to_string(),
+            signature: signature.to_string(),
+        });
+    }
+    Ok(out)
+}
+
+/// One epoch's map, indexed for address lookup.
+#[derive(Debug, Clone)]
+pub struct EpochMap {
+    pub epoch: u64,
+    /// Sorted by `addr`. Entries within one map never overlap (each is
+    /// a distinct heap object), so binary search suffices.
+    entries: Vec<CodeMapEntry>,
+}
+
+impl EpochMap {
+    pub fn new(epoch: u64, mut entries: Vec<CodeMapEntry>) -> Self {
+        entries.sort_by_key(|e| e.addr);
+        EpochMap { epoch, entries }
+    }
+
+    pub fn entries(&self) -> &[CodeMapEntry] {
+        &self.entries
+    }
+
+    pub fn resolve(&self, pc: Addr) -> Option<&CodeMapEntry> {
+        let pos = self.entries.partition_point(|e| e.addr <= pc);
+        if pos == 0 {
+            return None;
+        }
+        let cand = &self.entries[pos - 1];
+        cand.contains(pc).then_some(cand)
+    }
+}
+
+/// All epoch maps of one VM, ready for chained resolution.
+#[derive(Debug, Clone, Default)]
+pub struct CodeMapSet {
+    /// Sorted ascending by epoch.
+    maps: Vec<EpochMap>,
+}
+
+impl CodeMapSet {
+    pub fn new(mut maps: Vec<EpochMap>) -> Self {
+        maps.sort_by_key(|m| m.epoch);
+        CodeMapSet { maps }
+    }
+
+    /// Load every map file for `pid` from the VFS.
+    pub fn load(vfs: &Vfs, pid: Pid) -> Result<CodeMapSet, String> {
+        let prefix = format!("{JIT_MAP_DIR}/{}/map.", pid.0);
+        let mut maps = Vec::new();
+        for path in vfs.list(&prefix) {
+            let epoch: u64 = path[prefix.len()..]
+                .parse()
+                .map_err(|e| format!("bad map filename {path}: {e}"))?;
+            let text = std::str::from_utf8(vfs.read(path).expect("listed file must exist"))
+                .map_err(|e| format!("{path}: not UTF-8: {e}"))?;
+            maps.push(EpochMap::new(epoch, parse_map(text)?));
+        }
+        Ok(CodeMapSet::new(maps))
+    }
+
+    pub fn maps(&self) -> &[EpochMap] {
+        &self.maps
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.maps.is_empty()
+    }
+
+    /// The paper's resolution algorithm: search the sample's epoch map,
+    /// then walk backwards until the first map containing the address.
+    pub fn resolve(&self, pc: Addr, epoch: u64) -> Option<&CodeMapEntry> {
+        let start = self.maps.partition_point(|m| m.epoch <= epoch);
+        self.maps[..start]
+            .iter()
+            .rev()
+            .find_map(|m| m.resolve(pc))
+    }
+
+    /// Total entries across all maps (agent overhead accounting).
+    pub fn total_entries(&self) -> usize {
+        self.maps.iter().map(|m| m.entries.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(addr: Addr, size: u64, sig: &str) -> CodeMapEntry {
+        CodeMapEntry {
+            addr,
+            size,
+            level: "base".to_string(),
+            signature: sig.to_string(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let entries = vec![
+            e(0x6400_0040, 0x80, "app.Main.run"),
+            e(0x6400_0100, 0x40, "app.Util.helper"),
+        ];
+        let parsed = parse_map(&render_map(&entries)).unwrap();
+        assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse_map("xyz 10 base sig").is_err());
+        assert!(parse_map("10 zz base sig").is_err());
+        assert!(parse_map("10 20 base").is_err());
+        assert_eq!(parse_map("# comment\n\n").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn signatures_with_spaces_survive() {
+        // splitn(4) keeps everything after the level as the signature.
+        let entries = vec![e(0x10, 0x10, "app.Main.run (I)V")];
+        let parsed = parse_map(&render_map(&entries)).unwrap();
+        assert_eq!(parsed[0].signature, "app.Main.run (I)V");
+    }
+
+    #[test]
+    fn epoch_map_binary_search() {
+        let m = EpochMap::new(0, vec![e(0x200, 0x40, "b"), e(0x100, 0x40, "a")]);
+        assert_eq!(m.resolve(0x100).unwrap().signature, "a");
+        assert_eq!(m.resolve(0x13f).unwrap().signature, "a");
+        assert!(m.resolve(0x140).is_none(), "gap");
+        assert_eq!(m.resolve(0x23f).unwrap().signature, "b");
+        assert!(m.resolve(0x240).is_none());
+        assert!(m.resolve(0x0).is_none());
+    }
+
+    #[test]
+    fn backward_search_finds_most_recent_occupant() {
+        // Epoch 0: method A at 0x100. Epoch 1: method B compiled over
+        // the same address (A died). Epoch 2: nothing at 0x100.
+        let set = CodeMapSet::new(vec![
+            EpochMap::new(0, vec![e(0x100, 0x40, "A")]),
+            EpochMap::new(1, vec![e(0x100, 0x40, "B")]),
+            EpochMap::new(2, vec![e(0x900, 0x40, "C")]),
+        ]);
+        // Sample in epoch 0 → A (epoch-0 map hit directly).
+        assert_eq!(set.resolve(0x110, 0).unwrap().signature, "A");
+        // Sample in epoch 1 → B.
+        assert_eq!(set.resolve(0x110, 1).unwrap().signature, "B");
+        // Sample in epoch 2 → backward search lands on B, the most
+        // recent occupant (paper §3.2).
+        assert_eq!(set.resolve(0x110, 2).unwrap().signature, "B");
+        // Unknown address in any epoch → None.
+        assert!(set.resolve(0x500, 2).is_none());
+    }
+
+    #[test]
+    fn resolution_never_looks_forward() {
+        // Method compiled in epoch 3 must not resolve samples from
+        // epoch 1 (the address belonged to nobody back then).
+        let set = CodeMapSet::new(vec![EpochMap::new(3, vec![e(0x100, 0x40, "X")])]);
+        assert!(set.resolve(0x110, 1).is_none());
+        assert_eq!(set.resolve(0x110, 3).unwrap().signature, "X");
+        assert_eq!(
+            set.resolve(0x110, 9).unwrap().signature,
+            "X",
+            "later epochs fall back to the last write"
+        );
+    }
+
+    #[test]
+    fn vfs_load_orders_epochs_numerically() {
+        let mut vfs = Vfs::new();
+        let pid = Pid(12);
+        // Write out of order, with >9 epochs to catch lexicographic bugs.
+        for epoch in [10u64, 2, 0, 7] {
+            let entries = vec![e(0x100 * (epoch + 1), 0x40, &format!("m{epoch}"))];
+            vfs.write(map_path(pid, epoch), render_map(&entries).into_bytes());
+        }
+        let set = CodeMapSet::load(&vfs, pid).unwrap();
+        let epochs: Vec<u64> = set.maps().iter().map(|m| m.epoch).collect();
+        assert_eq!(epochs, vec![0, 2, 7, 10]);
+        assert_eq!(set.resolve(0x300, 5).unwrap().signature, "m2");
+        // Other pids' maps are invisible.
+        assert!(CodeMapSet::load(&vfs, Pid(99)).unwrap().is_empty());
+    }
+}

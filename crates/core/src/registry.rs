@@ -1,0 +1,150 @@
+//! The VM registration table shared between the VM Agent (writer) and
+//! the extended NMI logging path (reader).
+//!
+//! Paper §3: "we extend this daemon by a mechanism that allows a VM to
+//! register the fact that it is executing dynamically generated code.
+//! The virtual machine also registers the boundaries of its memory
+//! heap." The epoch counter lives here too, updated by the agent at
+//! each GC and read at NMI time to tag `JIT.App` samples.
+
+use parking_lot::RwLock;
+use sim_cpu::{Addr, Pid};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One registered VM.
+#[derive(Debug)]
+pub struct VmRegistration {
+    pub pid: Pid,
+    pub heap_range: (Addr, Addr),
+    epoch: AtomicU64,
+}
+
+impl VmRegistration {
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+}
+
+/// Registration table. Registrations are few (one per VM), so lookups
+/// are a linear scan — cheap enough for the NMI path, which is the
+/// point of the design.
+#[derive(Debug, Default)]
+pub struct JitRegistry {
+    vms: Vec<VmRegistration>,
+}
+
+/// The shared handle both sides hold.
+pub type SharedRegistry = Arc<RwLock<JitRegistry>>;
+
+impl JitRegistry {
+    pub fn new() -> Self {
+        JitRegistry::default()
+    }
+
+    pub fn shared() -> SharedRegistry {
+        Arc::new(RwLock::new(JitRegistry::new()))
+    }
+
+    /// Register a VM's heap. Re-registering a PID replaces the range
+    /// (a VM may grow its heap).
+    pub fn register(&mut self, pid: Pid, heap_range: (Addr, Addr)) {
+        assert!(heap_range.0 < heap_range.1, "empty heap range");
+        if let Some(r) = self.vms.iter_mut().find(|r| r.pid == pid) {
+            r.heap_range = heap_range;
+            return;
+        }
+        self.vms.push(VmRegistration {
+            pid,
+            heap_range,
+            epoch: AtomicU64::new(0),
+        });
+    }
+
+    pub fn unregister(&mut self, pid: Pid) -> bool {
+        let before = self.vms.len();
+        self.vms.retain(|r| r.pid != pid);
+        self.vms.len() != before
+    }
+
+    /// Bump the epoch for `pid` (called by the agent at GC end).
+    pub fn set_epoch(&self, pid: Pid, epoch: u64) {
+        if let Some(r) = self.vms.iter().find(|r| r.pid == pid) {
+            r.epoch.store(epoch, Ordering::Relaxed);
+        }
+    }
+
+    /// NMI-path check: is `pc` inside `pid`'s registered heap? Returns
+    /// the current epoch if so.
+    pub fn classify(&self, pid: Pid, pc: Addr) -> Option<u64> {
+        self.vms
+            .iter()
+            .find(|r| r.pid == pid && pc >= r.heap_range.0 && pc < r.heap_range.1)
+            .map(|r| r.epoch())
+    }
+
+    pub fn is_registered(&self, pid: Pid) -> bool {
+        self.vms.iter().any(|r| r.pid == pid)
+    }
+
+    pub fn len(&self) -> usize {
+        self.vms.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.vms.is_empty()
+    }
+
+    pub fn registrations(&self) -> &[VmRegistration] {
+        &self.vms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_classify() {
+        let mut r = JitRegistry::new();
+        r.register(Pid(5), (0x6000_0000, 0x6400_0000));
+        assert_eq!(r.classify(Pid(5), 0x6200_0000), Some(0));
+        assert_eq!(r.classify(Pid(5), 0x5fff_ffff), None, "below range");
+        assert_eq!(r.classify(Pid(5), 0x6400_0000), None, "end exclusive");
+        assert_eq!(r.classify(Pid(6), 0x6200_0000), None, "other pid");
+    }
+
+    #[test]
+    fn epochs_update_and_tag() {
+        let mut r = JitRegistry::new();
+        r.register(Pid(5), (0x1000, 0x2000));
+        r.set_epoch(Pid(5), 7);
+        assert_eq!(r.classify(Pid(5), 0x1800), Some(7));
+        // Unknown pid is a no-op.
+        r.set_epoch(Pid(9), 3);
+    }
+
+    #[test]
+    fn reregistration_replaces_range() {
+        let mut r = JitRegistry::new();
+        r.register(Pid(5), (0x1000, 0x2000));
+        r.set_epoch(Pid(5), 4);
+        r.register(Pid(5), (0x1000, 0x4000));
+        assert_eq!(r.len(), 1);
+        // Epoch survives the re-registration.
+        assert_eq!(r.classify(Pid(5), 0x3000), Some(4));
+    }
+
+    #[test]
+    fn multiple_vms_coexist() {
+        let mut r = JitRegistry::new();
+        r.register(Pid(1), (0x1000, 0x2000));
+        r.register(Pid(2), (0x1000, 0x2000));
+        r.set_epoch(Pid(2), 9);
+        assert_eq!(r.classify(Pid(1), 0x1500), Some(0));
+        assert_eq!(r.classify(Pid(2), 0x1500), Some(9));
+        assert!(r.unregister(Pid(1)));
+        assert!(!r.unregister(Pid(1)));
+        assert_eq!(r.len(), 1);
+    }
+}

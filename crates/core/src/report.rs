@@ -1,0 +1,90 @@
+//! The vertically integrated report — the paper's Figure 1 (upper
+//! half): VM-internal methods (`RVM.map`), JIT'd application methods
+//! (`JIT.App`), native libraries and kernel symbols, side by side with
+//! per-event percentage columns.
+
+use crate::resolve::ViprofResolver;
+use oprofile::report::{aggregate, Report, ReportOptions};
+use oprofile::SampleDb;
+use sim_os::Kernel;
+
+/// Produce the merged VIProf report from a sample database.
+pub fn viprof_report(
+    db: &SampleDb,
+    kernel: &Kernel,
+    resolver: &ViprofResolver,
+    options: &ReportOptions,
+) -> Report {
+    aggregate(db, options, |bucket| resolver.label(bucket, kernel))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codemap::{map_path, render_map, CodeMapEntry};
+    use oprofile::{SampleBucket, SampleOrigin};
+    use sim_cpu::HwEvent;
+    use sim_jvm::bootimage::{well_known, BOOT_IMAGE_NAME};
+    use sim_jvm::BootImage;
+
+    #[test]
+    fn figure1_shape_rvm_jit_and_libc_rows_coexist() {
+        let mut k = Kernel::new();
+        let pid = k.spawn("jikesrvm");
+        let mut boot = BootImage::jikes_standard();
+        boot.install(&mut k, pid, 0x0900_0000);
+        let libc = k.images.insert(
+            sim_os::Image::new("libc-2.3.2.so", 0x4000)
+                .with_symbols([sim_os::Symbol::new("memset", 0x1000, 0x400)]),
+        );
+        k.vfs.write(
+            map_path(pid, 0),
+            render_map(&[CodeMapEntry {
+                addr: 0x6400_0040,
+                size: 0x100,
+                level: "O2".into(),
+                signature: "dacapo.ps.Scanner.parseLine".into(),
+            }])
+            .into_bytes(),
+        );
+
+        let boot_id = k.images.find_by_name(BOOT_IMAGE_NAME).unwrap();
+        let mut db = SampleDb::new();
+        let mut add = |origin, addr, event, n| {
+            db.add(
+                SampleBucket {
+                    origin,
+                    event,
+                    addr,
+                    epoch: 0,
+                },
+                n,
+            )
+        };
+        // VM-internal time (interpreter method at offset 0).
+        add(SampleOrigin::Image(boot_id), 0x10, HwEvent::Cycles, 30);
+        // JIT'd app method.
+        add(SampleOrigin::JitApp { pid }, 0x6400_0080, HwEvent::Cycles, 50);
+        add(SampleOrigin::JitApp { pid }, 0x6400_0080, HwEvent::L2Miss, 5);
+        // Native memset with heavy misses (the paper's top Dmiss row).
+        add(SampleOrigin::Image(libc), 0x1100, HwEvent::Cycles, 20);
+        add(SampleOrigin::Image(libc), 0x1100, HwEvent::L2Miss, 15);
+
+        let resolver = ViprofResolver::load(&k).unwrap();
+        let r = viprof_report(&db, &k, &resolver, &ReportOptions::default());
+
+        let jit = r.find("JIT.App", "dacapo.ps.Scanner.parseLine").unwrap();
+        assert_eq!(jit.counts, vec![50, 5]);
+        let vm = r.find("RVM.map", well_known::INTERPRET).unwrap();
+        assert_eq!(vm.counts, vec![30, 0]);
+        let memset = r.find("libc-2.3.2.so", "memset").unwrap();
+        assert!((memset.percents[1] - 75.0).abs() < 1e-9, "Dmiss-dominant");
+        // Figure-1 text shape.
+        let text = r.render_text();
+        assert!(text.contains("Time %"));
+        assert!(text.contains("Dmiss %"));
+        assert!(text.contains("RVM.map"));
+        assert!(text.contains("JIT.App"));
+        assert!(text.contains("memset"));
+    }
+}

@@ -1,0 +1,190 @@
+//! The vertically integrated sample resolver.
+//!
+//! Combines three sources to label every sample bucket:
+//!
+//! 1. epoch code maps (JIT.App samples → Java methods, §3.1–3.2);
+//! 2. the boot-image map (`RVM.map` → VM-internal methods, §3.2);
+//! 3. stock OProfile resolution for everything else (kernel, native
+//!    libraries, binaries, residual anon).
+
+use crate::bootmap::BootMap;
+use crate::codemap::{CodeMapSet, JIT_MAP_DIR};
+use oprofile::report::bucket_label;
+use oprofile::{SampleBucket, SampleOrigin};
+use sim_cpu::Pid;
+use sim_jvm::bootimage::{BOOT_IMAGE_NAME, RVM_MAP_IMAGE_LABEL};
+use sim_os::{ImageId, Kernel};
+use std::collections::HashMap;
+
+/// Loaded post-processing state.
+#[derive(Debug, Default)]
+pub struct ViprofResolver {
+    bootmap: BootMap,
+    codemaps: HashMap<Pid, CodeMapSet>,
+    boot_image: Option<ImageId>,
+}
+
+impl ViprofResolver {
+    /// Load every map artifact from the machine's VFS.
+    pub fn load(kernel: &Kernel) -> Result<ViprofResolver, String> {
+        let bootmap = BootMap::load(&kernel.vfs)?;
+        let boot_image = kernel.images.find_by_name(BOOT_IMAGE_NAME);
+        // Discover per-pid map directories: paths look like
+        // `/var/lib/oprofile/jit/<pid>/map.<epoch>`.
+        let prefix = format!("{JIT_MAP_DIR}/");
+        let mut pids: Vec<Pid> = kernel
+            .vfs
+            .list(&prefix)
+            .iter()
+            .filter_map(|p| {
+                p[prefix.len()..]
+                    .split('/')
+                    .next()
+                    .and_then(|s| s.parse::<u32>().ok())
+                    .map(Pid)
+            })
+            .collect();
+        pids.sort_unstable();
+        pids.dedup();
+        let mut codemaps = HashMap::new();
+        for pid in pids {
+            codemaps.insert(pid, CodeMapSet::load(&kernel.vfs, pid)?);
+        }
+        Ok(ViprofResolver {
+            bootmap,
+            codemaps,
+            boot_image,
+        })
+    }
+
+    pub fn codemaps(&self, pid: Pid) -> Option<&CodeMapSet> {
+        self.codemaps.get(&pid)
+    }
+
+    pub fn bootmap(&self) -> &BootMap {
+        &self.bootmap
+    }
+
+    /// Label one bucket: (image column, symbol column).
+    pub fn label(&self, bucket: &SampleBucket, kernel: &Kernel) -> (String, String) {
+        match bucket.origin {
+            // VM boot image: resolve through RVM.map; the paper prints
+            // these rows under image name `RVM.map`.
+            SampleOrigin::Image(id) if Some(id) == self.boot_image => {
+                match self.bootmap.resolve(bucket.addr) {
+                    Some(m) => (RVM_MAP_IMAGE_LABEL.to_string(), m.name.clone()),
+                    None => (BOOT_IMAGE_NAME.to_string(), "(no symbols)".to_string()),
+                }
+            }
+            // Registered-heap samples: epoch-chained code-map search.
+            SampleOrigin::JitApp { pid } => {
+                let resolved = self
+                    .codemaps
+                    .get(&pid)
+                    .and_then(|set| set.resolve(bucket.addr, bucket.epoch));
+                match resolved {
+                    Some(e) => ("JIT.App".to_string(), e.signature.clone()),
+                    None => ("JIT.App".to_string(), "(unresolved jit)".to_string()),
+                }
+            }
+            _ => bucket_label(bucket, kernel),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codemap::{map_path, render_map, CodeMapEntry};
+    use sim_cpu::HwEvent;
+    use sim_jvm::BootImage;
+
+    fn bucket(origin: SampleOrigin, addr: u64, epoch: u64) -> SampleBucket {
+        SampleBucket {
+            origin,
+            event: HwEvent::Cycles,
+            addr,
+            epoch,
+        }
+    }
+
+    fn setup() -> (Kernel, Pid) {
+        let mut k = Kernel::new();
+        let pid = k.spawn("jikesrvm");
+        let mut boot = BootImage::jikes_standard();
+        boot.install(&mut k, pid, 0x0900_0000);
+        k.vfs.write(
+            map_path(pid, 0),
+            render_map(&[CodeMapEntry {
+                addr: 0x6400_0040,
+                size: 0x80,
+                level: "O1".into(),
+                signature: "app.Scanner.parseLine".into(),
+            }])
+            .into_bytes(),
+        );
+        (k, pid)
+    }
+
+    #[test]
+    fn boot_image_samples_resolve_to_rvm_map_rows() {
+        let (k, _) = setup();
+        let r = ViprofResolver::load(&k).unwrap();
+        let boot_id = k.images.find_by_name(BOOT_IMAGE_NAME).unwrap();
+        let (img, sym) = r.label(&bucket(SampleOrigin::Image(boot_id), 0x10, 0), &k);
+        assert_eq!(img, "RVM.map");
+        assert_eq!(sym, sim_jvm::bootimage::well_known::INTERPRET);
+        // Offset past the image → degrades, not panics.
+        let (img, sym) = r.label(&bucket(SampleOrigin::Image(boot_id), 0xffff_ff00, 0), &k);
+        assert_eq!((img.as_str(), sym.as_str()), ("RVM.code.image", "(no symbols)"));
+    }
+
+    #[test]
+    fn jit_samples_resolve_through_code_maps() {
+        let (k, pid) = setup();
+        let r = ViprofResolver::load(&k).unwrap();
+        let (img, sym) = r.label(&bucket(SampleOrigin::JitApp { pid }, 0x6400_0080, 0), &k);
+        assert_eq!(img, "JIT.App");
+        assert_eq!(sym, "app.Scanner.parseLine");
+        // Later epochs chain backwards to the same entry.
+        let (_, sym) = r.label(&bucket(SampleOrigin::JitApp { pid }, 0x6400_0080, 5), &k);
+        assert_eq!(sym, "app.Scanner.parseLine");
+        // Unknown address stays visibly unresolved.
+        let (_, sym) = r.label(&bucket(SampleOrigin::JitApp { pid }, 0x7000_0000, 0), &k);
+        assert_eq!(sym, "(unresolved jit)");
+    }
+
+    #[test]
+    fn other_buckets_fall_back_to_oprofile_labels() {
+        let (k, pid) = setup();
+        let r = ViprofResolver::load(&k).unwrap();
+        let (img, sym) = r.label(
+            &bucket(SampleOrigin::Image(k.kernel_image), 0x3000, 0),
+            &k,
+        );
+        assert_eq!((img.as_str(), sym.as_str()), ("vmlinux", "schedule"));
+        let (img, _) = r.label(
+            &bucket(
+                SampleOrigin::Anon {
+                    pid,
+                    start: 0x1000,
+                    end: 0x2000,
+                },
+                0x1800,
+                0,
+            ),
+            &k,
+        );
+        assert!(img.starts_with("anon (range:0x1000-0x2000)"));
+    }
+
+    #[test]
+    fn missing_artifacts_degrade_gracefully() {
+        // Fresh kernel, no RVM.map, no code maps.
+        let k = Kernel::new();
+        let r = ViprofResolver::load(&k).unwrap();
+        assert!(r.bootmap().is_empty());
+        let (img, sym) = r.label(&bucket(SampleOrigin::JitApp { pid: Pid(1) }, 0x10, 0), &k);
+        assert_eq!((img.as_str(), sym.as_str()), ("JIT.App", "(unresolved jit)"));
+    }
+}

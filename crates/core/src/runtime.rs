@@ -1,0 +1,80 @@
+//! The Runtime Profiler extension: VIProf's change to OProfile's NMI
+//! logging path.
+//!
+//! Paper §3: "the logging code will consult this information before
+//! deciding to log a sample as being anonymous. Instead, if it is found
+//! to fall within the boundaries of the VM's heap, the sample will be
+//! logged as a JIT.App sample" — tagged with the current execution
+//! epoch (§3.1). The consult itself is the cheap
+//! `CostModel::nmi_jit_check_cycles` path; its dearness relative to the
+//! replaced anon logging is what Figure 2's OProfile-vs-VIProf deltas
+//! hinge on.
+
+use crate::registry::SharedRegistry;
+use oprofile::{AnonExtension, JitClaim};
+use sim_cpu::{Addr, Pid};
+use sim_os::Vma;
+
+/// The anon-path extension installed into the OProfile driver.
+pub struct ViprofExtension {
+    registry: SharedRegistry,
+    /// Daemon-side per-wakeup probing cost while any VM is registered
+    /// ("a few other limited VM probing routines", §3).
+    probe_cycles: u64,
+}
+
+impl ViprofExtension {
+    pub fn new(registry: SharedRegistry, probe_cycles: u64) -> Self {
+        ViprofExtension {
+            registry,
+            probe_cycles,
+        }
+    }
+}
+
+impl AnonExtension for ViprofExtension {
+    fn classify(&mut self, pid: Pid, pc: Addr, _vma: &Vma) -> Option<JitClaim> {
+        self.registry
+            .read()
+            .classify(pid, pc)
+            .map(|epoch| JitClaim { epoch })
+    }
+
+    fn daemon_probe_cost(&self) -> u64 {
+        if self.registry.read().is_empty() {
+            0
+        } else {
+            self.probe_cycles
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::JitRegistry;
+
+    #[test]
+    fn claims_only_registered_ranges() {
+        let reg = JitRegistry::shared();
+        reg.write().register(Pid(3), (0x6000_0000, 0x6100_0000));
+        reg.read().set_epoch(Pid(3), 2);
+        let mut ext = ViprofExtension::new(reg, 1_000);
+        let vma = Vma::anon(0x5000_0000, 0x7000_0000);
+        assert_eq!(
+            ext.classify(Pid(3), 0x6050_0000, &vma),
+            Some(JitClaim { epoch: 2 })
+        );
+        assert_eq!(ext.classify(Pid(3), 0x6150_0000, &vma), None);
+        assert_eq!(ext.classify(Pid(4), 0x6050_0000, &vma), None);
+    }
+
+    #[test]
+    fn probe_cost_only_when_registered() {
+        let reg = JitRegistry::shared();
+        let ext = ViprofExtension::new(reg.clone(), 1_000);
+        assert_eq!(ext.daemon_probe_cost(), 0);
+        reg.write().register(Pid(1), (0, 0x1000));
+        assert_eq!(ext.daemon_probe_cost(), 1_000);
+    }
+}

@@ -1,0 +1,371 @@
+//! VIProf session orchestration: one-stop start → attach VM → run →
+//! stop → report.
+
+use crate::agent::VmAgent;
+use crate::callgraph::CallGraph;
+use crate::registry::{JitRegistry, SharedRegistry};
+use crate::report::viprof_report;
+use crate::resolve::ViprofResolver;
+use crate::runtime::ViprofExtension;
+use oprofile::report::{Report, ReportOptions};
+use oprofile::{DriverStats, OpConfig, Oprofile, SampleDb};
+use parking_lot::Mutex;
+use sim_cpu::CostModel;
+use sim_os::{Kernel, Machine};
+use std::sync::Arc;
+
+/// A running VIProf session: OProfile with the runtime-profiler
+/// extension installed, plus the shared state VM agents attach to.
+pub struct Viprof {
+    op: Oprofile,
+    pub registry: SharedRegistry,
+    pub callgraph: Arc<Mutex<CallGraph>>,
+    cost: CostModel,
+}
+
+impl Viprof {
+    /// Start profiling (counters + extended driver + daemon).
+    pub fn start(machine: &mut Machine, config: OpConfig) -> Viprof {
+        let registry = JitRegistry::shared();
+        let cost = config.cost;
+        let ext = Box::new(ViprofExtension::new(registry.clone(), cost.vm_probe_cycles));
+        let op = Oprofile::start_with_extension(machine, config, ext);
+        Viprof {
+            op,
+            registry,
+            callgraph: Arc::new(Mutex::new(CallGraph::new())),
+            cost,
+        }
+    }
+
+    /// Build a VM Agent wired to this session. Pass the result to
+    /// `sim_jvm::Vm::boot` as its hooks. One agent per VM; all agents
+    /// share the registry (and call graph) of this session.
+    pub fn make_agent(&self) -> VmAgent {
+        self.make_agent_with(false)
+    }
+
+    /// Agent with the precise-move extension toggled (E4 ablation; see
+    /// `VmAgent::with_precise_moves`).
+    pub fn make_agent_with(&self, precise_moves: bool) -> VmAgent {
+        VmAgent::new(self.registry.clone(), self.cost)
+            .with_callgraph(self.callgraph.clone(), 16)
+            .with_precise_moves(precise_moves)
+    }
+
+    pub fn driver_stats(&self) -> DriverStats {
+        self.op.driver_stats()
+    }
+
+    pub fn db_snapshot(&self) -> SampleDb {
+        self.op.db_snapshot()
+    }
+
+    /// Stop profiling; returns the final sample database.
+    pub fn stop(&self, machine: &mut Machine) -> SampleDb {
+        self.op.stop(machine)
+    }
+
+    /// Post-process: load maps from the VFS and produce the merged
+    /// report (Figure-1 upper half).
+    pub fn report(
+        db: &SampleDb,
+        kernel: &Kernel,
+        options: &ReportOptions,
+    ) -> Result<Report, String> {
+        let resolver = ViprofResolver::load(kernel)?;
+        Ok(viprof_report(db, kernel, &resolver, options))
+    }
+
+    /// Export a complete, self-contained session to a real directory:
+    /// the machine's VFS (sample db, epoch code maps, `RVM.map`) plus
+    /// image/process metadata, so `viprof-report` (or any external
+    /// tool) can post-process offline — the `opreport`-after-
+    /// `opcontrol --stop` workflow.
+    pub fn export_session(
+        machine: &mut Machine,
+        dir: &std::path::Path,
+    ) -> std::io::Result<usize> {
+        let images = serde_json::to_vec_pretty(&machine.kernel.images)
+            .expect("image table serializes");
+        machine.kernel.vfs.write(SESSION_META_IMAGES, images);
+        let procs: Vec<&sim_os::Process> = machine.kernel.processes().collect();
+        let procs = serde_json::to_vec_pretty(&procs).expect("process table serializes");
+        machine.kernel.vfs.write(SESSION_META_PROCESSES, procs);
+        std::fs::create_dir_all(dir)?;
+        machine.kernel.vfs.export_to_dir(dir)
+    }
+
+    /// Rebuild a kernel view from an exported session directory.
+    /// The returned kernel carries the session's images, processes and
+    /// VFS — everything `Viprof::report` needs.
+    pub fn import_session(dir: &std::path::Path) -> Result<Kernel, String> {
+        let vfs =
+            sim_os::Vfs::import_from_dir(dir).map_err(|e| format!("import {dir:?}: {e}"))?;
+        let mut kernel = Kernel::new();
+        let images = vfs
+            .read(SESSION_META_IMAGES)
+            .ok_or_else(|| format!("{SESSION_META_IMAGES} missing from session"))?;
+        kernel.images = serde_json::from_slice(images)
+            .map_err(|e| format!("bad image metadata: {e}"))?;
+        let procs = vfs
+            .read(SESSION_META_PROCESSES)
+            .ok_or_else(|| format!("{SESSION_META_PROCESSES} missing from session"))?;
+        let procs: Vec<sim_os::Process> =
+            serde_json::from_slice(procs).map_err(|e| format!("bad process metadata: {e}"))?;
+        for p in procs {
+            kernel.insert_process(p);
+        }
+        kernel.vfs = vfs;
+        Ok(kernel)
+    }
+}
+
+/// Session-metadata paths written by [`Viprof::export_session`].
+pub const SESSION_META_IMAGES: &str = "/meta/images.json";
+pub const SESSION_META_PROCESSES: &str = "/meta/processes.json";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_cpu::HwEvent;
+    use sim_jvm::{
+        AosPolicy, ClassId, MethodAsm, NativeFn, NativeRegistry, Op, ProgramBuilder, ProgramDef,
+        Tiering, Vm, VmConfig,
+    };
+    use sim_os::{Machine, MachineConfig};
+
+    /// A small benchmark: hot arithmetic loop + allocation churn +
+    /// a memset call, so samples land in JIT code, the VM, the GC and
+    /// libc.
+    fn bench_program(natives: &mut NativeRegistry) -> ProgramDef {
+        let memset = natives.register(NativeFn::memset());
+        let mut b = ProgramBuilder::new();
+        let c = b.add_class("bench.Worker", 6);
+        // Hot loop: pure compute.
+        let mut hot = MethodAsm::new();
+        hot.op(Op::Const(0)).op(Op::Store(0));
+        hot.counted_loop(1, 50_000, |l| {
+            l.op(Op::Load(0)).op(Op::Const(3)).op(Op::Add).op(Op::Store(0));
+        });
+        hot.op(Op::Load(0)).op(Op::Ret);
+        let hot_m = b.add_method(c, "bench.Worker.hotLoop", 0, 2, hot.assemble().unwrap());
+        // Churn: allocate objects.
+        let mut churn = MethodAsm::new();
+        churn.counted_loop(0, 300, |l| {
+            l.op(Op::New(ClassId(0))).op(Op::Pop);
+        });
+        churn.op(Op::Const(0)).op(Op::Ret);
+        let churn_m = b.add_method(c, "bench.Worker.churn", 0, 1, churn.assemble().unwrap());
+        // Main: loop { hot(); churn(); memset(64k) }
+        let mut main = MethodAsm::new();
+        main.counted_loop(0, 8, |l| {
+            l.op(Op::Call(hot_m))
+                .op(Op::Pop)
+                .op(Op::Call(churn_m))
+                .op(Op::Pop)
+                .op(Op::Const(65_536))
+                .op(Op::NativeCall(memset))
+                .op(Op::Pop);
+        });
+        main.op(Op::Const(0)).op(Op::Ret);
+        let main_m = b.add_method(c, "bench.Worker.main", 0, 1, main.assemble().unwrap());
+        b.set_entry(main_m);
+        b.build_with_natives(natives).unwrap()
+    }
+
+    fn vm_config(heap_bytes: u64) -> VmConfig {
+        VmConfig {
+            heap_bytes,
+            aos: AosPolicy {
+                opt1_threshold: 4,
+                opt2_threshold: 1_000_000,
+            },
+            tiering: Tiering::CompileOnFirstUse,
+            ..VmConfig::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_vertical_profile() {
+        let mut machine = Machine::new(MachineConfig::default());
+        let viprof = Viprof::start(&mut machine, OpConfig::figure1(20_000, 400));
+        let mut natives = NativeRegistry::new();
+        let program = bench_program(&mut natives);
+        let agent = viprof.make_agent();
+        let agent_stats = agent.stats_handle();
+        let mut vm = Vm::boot(
+            &mut machine,
+            program,
+            natives,
+            vm_config(96 * 1024),
+            Box::new(agent),
+        );
+        vm.run(&mut machine);
+        vm.shutdown(&mut machine);
+        let db = viprof.stop(&mut machine);
+
+        // The profile saw JIT samples (registered heap, not anon).
+        let stats = viprof.driver_stats();
+        assert!(stats.jit > 0, "JIT.App samples: {stats:?}");
+        assert!(stats.image > 0, "boot-image/native samples: {stats:?}");
+        assert_eq!(
+            stats.anon, 0,
+            "VM heap is registered — nothing should fall into anon"
+        );
+
+        // Agent produced maps (≥1 GC + final flush).
+        let ast = agent_stats.lock();
+        assert!(ast.compiles_logged >= 3);
+        assert!(ast.maps_written >= 2);
+        assert!(ast.moves_flagged > 0, "GC must move code at least once");
+        drop(ast);
+
+        // The merged report resolves JIT methods by name.
+        let report =
+            Viprof::report(&db, &machine.kernel, &ReportOptions::default()).unwrap();
+        let jit_rows: Vec<_> = report
+            .rows
+            .iter()
+            .filter(|r| r.image == "JIT.App")
+            .collect();
+        assert!(!jit_rows.is_empty());
+        assert!(
+            jit_rows.iter().any(|r| r.symbol == "bench.Worker.hotLoop"),
+            "hot loop must dominate JIT rows: {:?}",
+            jit_rows.iter().map(|r| &r.symbol).collect::<Vec<_>>()
+        );
+        assert!(
+            jit_rows.iter().all(|r| r.symbol != "(unresolved jit)"),
+            "every JIT sample resolves through the epoch maps"
+        );
+        // VM internals resolved through RVM.map.
+        assert!(report.rows.iter().any(|r| r.image == "RVM.map"));
+        // Native library present.
+        assert!(report
+            .rows
+            .iter()
+            .any(|r| r.image == "libc-2.3.2.so" && r.symbol == "memset"));
+        // Two event columns (Figure 1).
+        assert_eq!(report.events, vec![HwEvent::Cycles, HwEvent::L2Miss]);
+
+        // Cross-layer call graph captured the Java→libc edge.
+        let cg = viprof.callgraph.lock();
+        assert!(cg.total_edges() > 0);
+        let top = cg.top_edges(20);
+        assert!(
+            top.iter()
+                .any(|(a, b, _)| a.contains("bench.Worker.main") && *b == "memset"),
+            "expected main->memset edge in {top:?}"
+        );
+    }
+
+    #[test]
+    fn oprofile_vs_viprof_same_workload_figure1_contrast() {
+        // Run the identical benchmark under stock OProfile: JIT samples
+        // must land in anon, and the boot image must stay symbol-less —
+        // the paper's Figure-1 lower half.
+        let mut machine = Machine::new(MachineConfig::default());
+        let op = Oprofile::start(&mut machine, OpConfig::figure1(20_000, 400));
+        let mut natives = NativeRegistry::new();
+        let program = bench_program(&mut natives);
+        let mut vm = Vm::boot(
+            &mut machine,
+            program,
+            natives,
+            vm_config(96 * 1024),
+            Box::new(sim_jvm::NullHooks),
+        );
+        vm.run(&mut machine);
+        vm.shutdown(&mut machine);
+        let db = op.stop(&mut machine);
+        let stats = op.driver_stats();
+        assert!(stats.anon > 0, "JIT code is anon to stock OProfile");
+        assert_eq!(stats.jit, 0);
+
+        let report = oprofile::opreport(&db, &machine.kernel, &ReportOptions::default());
+        assert!(report.rows.iter().any(|r| r.image.starts_with("anon (range:")));
+        assert!(report
+            .rows
+            .iter()
+            .any(|r| r.image == "RVM.code.image" && r.symbol == "(no symbols)"));
+        assert!(!report.rows.iter().any(|r| r.image == "RVM.map"));
+    }
+
+    #[test]
+    fn viprof_overhead_close_to_oprofile() {
+        // §4.3: "On average, VIProf adds negligible overhead to what
+        // Oprofile already introduces." Same workload, three runs. A
+        // realistic heap keeps GC (and thus map-write) frequency sane;
+        // the micro-benchmark is still short, so we assert the *regime*
+        // here and leave the calibrated Figure-2 bands to the harness.
+        fn run(profiler: u8) -> u64 {
+            let mut machine = Machine::new(MachineConfig::default());
+            let mut natives = NativeRegistry::new();
+            let program = bench_program(&mut natives);
+            let session: Option<Box<dyn FnOnce(&mut Machine)>> = match profiler {
+                0 => None,
+                1 => {
+                    let op = Oprofile::start(&mut machine, OpConfig::time_at(90_000));
+                    Some(Box::new(move |m: &mut Machine| {
+                        op.stop(m);
+                    }))
+                }
+                _ => {
+                    // Scale the map-write cost down to micro-benchmark
+                    // proportions: this test asserts the *driver/agent
+                    // inline* regime; the disk-write amortization story
+                    // is the harness's job (Figure 2 / E5).
+                    let cost = sim_cpu::CostModel {
+                        mapwrite_base_cycles: 200_000,
+                        mapwrite_per_entry_cycles: 420,
+                        ..sim_cpu::CostModel::default()
+                    };
+                    let vp =
+                        Viprof::start(&mut machine, OpConfig::time_at(90_000).with_cost(cost));
+                    let hooks = Box::new(vp.make_agent());
+                    let mut vm = Vm::boot(
+                        &mut machine,
+                        program.clone(),
+                        natives.clone(),
+                        vm_config(2 * 1024 * 1024),
+                        hooks,
+                    );
+                    vm.run(&mut machine);
+                    vm.shutdown(&mut machine);
+                    vp.stop(&mut machine);
+                    return machine.cpu.clock.cycles();
+                }
+            };
+            let mut vm = Vm::boot(
+                &mut machine,
+                program,
+                natives,
+                vm_config(2 * 1024 * 1024),
+                Box::new(sim_jvm::NullHooks),
+            );
+            vm.run(&mut machine);
+            vm.shutdown(&mut machine);
+            if let Some(stop) = session {
+                stop(&mut machine);
+            }
+            machine.cpu.clock.cycles()
+        }
+        let base = run(0);
+        let oprof = run(1);
+        let viprof = run(2);
+        assert!(oprof > base);
+        assert!(viprof > base);
+        let o = (oprof - base) as f64 / base as f64;
+        let v = (viprof - base) as f64 / base as f64;
+        // Driver-side sampling keeps both in single-digit percent; the
+        // agent's map writes add a bounded extra on this *short* run
+        // (long runs amortize it — paper §4.3, checked in the harness).
+        assert!(o > 0.005 && o < 0.15, "oprof overhead {o:.4}");
+        assert!(v > 0.005 && v < 0.30, "viprof overhead {v:.4}");
+        assert!(
+            v - o < 0.20,
+            "VIProf must stay near OProfile: o={o:.4} v={v:.4}"
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! `opannotate`-style per-address annotation.
+//!
+//! Where `opreport` aggregates to symbols, `opannotate` breaks one
+//! symbol down by address — which loop inside `memset`, which basic
+//! block of a kernel routine. Samples are bucketed at the database's
+//! 16-byte quantum, so an annotation line corresponds to roughly one
+//! x86 basic block.
+
+use crate::samples::{SampleDb, SampleOrigin, ADDR_QUANTUM};
+use sim_cpu::HwEvent;
+use sim_os::{Kernel, Symbol};
+use std::collections::BTreeMap;
+
+/// One annotated address bucket.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct AnnotateRow {
+    /// Offset within the image.
+    pub offset: u64,
+    pub counts: Vec<u64>,
+    /// Percent of the *symbol's* samples, per event.
+    pub percents: Vec<f64>,
+}
+
+/// An annotated symbol.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Annotation {
+    pub image: String,
+    pub symbol: String,
+    pub events: Vec<HwEvent>,
+    /// Symbol-wide totals per event.
+    pub totals: Vec<u64>,
+    /// Rows in ascending offset order (only buckets with samples).
+    pub rows: Vec<AnnotateRow>,
+}
+
+impl Annotation {
+    /// Text rendering: `vma  samples %  ...` like opannotate -a.
+    pub fn render_text(&self) -> String {
+        let mut out = format!("{}:{}\n", self.image, self.symbol);
+        for e in &self.events {
+            out.push_str(&format!("{:<22}", e.unit_name()));
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!(" {:#010x}: ", r.offset));
+            for (c, p) in r.counts.iter().zip(&r.percents) {
+                out.push_str(&format!("{c:>8} {p:>7.3}%  "));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The hottest bucket (by primary event).
+    pub fn hottest(&self) -> Option<&AnnotateRow> {
+        self.rows.iter().max_by_key(|r| r.counts[0])
+    }
+}
+
+/// Annotate `symbol` within `image_name`. Returns `None` when the
+/// image or symbol is unknown.
+pub fn opannotate(
+    db: &SampleDb,
+    kernel: &Kernel,
+    image_name: &str,
+    symbol_name: &str,
+) -> Option<Annotation> {
+    let image_id = kernel.images.find_by_name(image_name)?;
+    let image = kernel.images.get(image_id);
+    let symbol: &Symbol = image.symbols().iter().find(|s| s.name == symbol_name)?;
+
+    let events: Vec<HwEvent> = {
+        let mut evs: Vec<HwEvent> = HwEvent::ALL
+            .iter()
+            .copied()
+            .filter(|e| db.total(*e) > 0)
+            .collect();
+        evs.sort_by_key(|e| *e != HwEvent::Cycles);
+        evs
+    };
+
+    let mut buckets: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    let mut totals = vec![0u64; events.len()];
+    for (bucket, count) in db.iter() {
+        if bucket.origin != SampleOrigin::Image(image_id) || !symbol.contains(bucket.addr) {
+            continue;
+        }
+        let Some(col) = events.iter().position(|e| *e == bucket.event) else {
+            continue;
+        };
+        let offset = bucket.addr - bucket.addr % ADDR_QUANTUM;
+        buckets.entry(offset).or_insert_with(|| vec![0; events.len()])[col] += count;
+        totals[col] += count;
+    }
+
+    let rows = buckets
+        .into_iter()
+        .map(|(offset, counts)| {
+            let percents = counts
+                .iter()
+                .zip(&totals)
+                .map(|(c, t)| {
+                    if *t == 0 {
+                        0.0
+                    } else {
+                        100.0 * *c as f64 / *t as f64
+                    }
+                })
+                .collect();
+            AnnotateRow {
+                offset,
+                counts,
+                percents,
+            }
+        })
+        .collect();
+    Some(Annotation {
+        image: image.name.clone(),
+        symbol: symbol.name.clone(),
+        events,
+        totals,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples::SampleBucket;
+    use sim_os::Image;
+
+    fn setup() -> (Kernel, sim_os::ImageId) {
+        let mut k = Kernel::new();
+        let img = k.images.insert(
+            Image::new("libc-2.3.2.so", 0x4000)
+                .with_symbols([Symbol::new("memset", 0x1000, 0x400)]),
+        );
+        (k, img)
+    }
+
+    fn db(img: sim_os::ImageId, points: &[(u64, u64)]) -> SampleDb {
+        let mut db = SampleDb::new();
+        for (addr, count) in points {
+            db.add(
+                SampleBucket {
+                    origin: SampleOrigin::Image(img),
+                    event: HwEvent::Cycles,
+                    addr: *addr,
+                    epoch: 0,
+                },
+                *count,
+            );
+        }
+        db
+    }
+
+    #[test]
+    fn buckets_within_symbol_only() {
+        let (k, img) = setup();
+        let db = db(
+            img,
+            &[
+                (0x1000, 10), // memset start
+                (0x1008, 5),  // same 16-byte bucket
+                (0x1200, 85), // hot inner loop
+                (0x0800, 99), // outside memset — excluded
+            ],
+        );
+        let a = opannotate(&db, &k, "libc-2.3.2.so", "memset").unwrap();
+        assert_eq!(a.totals, vec![100]);
+        assert_eq!(a.rows.len(), 2);
+        assert_eq!(a.rows[0].offset, 0x1000);
+        assert_eq!(a.rows[0].counts, vec![15]);
+        assert_eq!(a.rows[1].offset, 0x1200);
+        assert!((a.rows[1].percents[0] - 85.0).abs() < 1e-9);
+        assert_eq!(a.hottest().unwrap().offset, 0x1200);
+    }
+
+    #[test]
+    fn unknown_image_or_symbol_is_none() {
+        let (k, img) = setup();
+        let db = db(img, &[(0x1000, 1)]);
+        assert!(opannotate(&db, &k, "nope.so", "memset").is_none());
+        assert!(opannotate(&db, &k, "libc-2.3.2.so", "nope").is_none());
+    }
+
+    #[test]
+    fn render_contains_offsets_and_percents() {
+        let (k, img) = setup();
+        let db = db(img, &[(0x1200, 4)]);
+        let a = opannotate(&db, &k, "libc-2.3.2.so", "memset").unwrap();
+        let text = a.render_text();
+        assert!(text.contains("libc-2.3.2.so:memset"));
+        assert!(text.contains("0x00001200"));
+        assert!(text.contains("100.000%"));
+    }
+}

@@ -1,0 +1,146 @@
+//! The per-CPU sample ring buffer.
+//!
+//! The NMI handler pushes compact samples here; the userspace daemon
+//! drains it on its timer. A full buffer drops samples (counted), just
+//! like OProfile's `buffer_size` overflow behaviour — one of the
+//! classic tuning knobs when sampling fast.
+
+use crate::samples::SampleBucket;
+
+/// Fixed-capacity FIFO ring.
+#[derive(Debug, Clone)]
+pub struct RingBuffer {
+    slots: Vec<SampleBucket>,
+    head: usize,
+    len: usize,
+    capacity: usize,
+    /// Samples rejected because the buffer was full.
+    pub dropped: u64,
+    /// Total samples ever accepted.
+    pub pushed: u64,
+}
+
+impl RingBuffer {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer needs capacity");
+        RingBuffer {
+            slots: Vec::with_capacity(capacity),
+            head: 0,
+            len: 0,
+            capacity,
+            dropped: 0,
+            pushed: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.len == self.capacity
+    }
+
+    /// Push a sample; returns `false` (and counts a drop) when full.
+    pub fn push(&mut self, s: SampleBucket) -> bool {
+        if self.is_full() {
+            self.dropped += 1;
+            return false;
+        }
+        let tail = (self.head + self.len) % self.capacity;
+        if tail == self.slots.len() {
+            self.slots.push(s);
+        } else {
+            self.slots[tail] = s;
+        }
+        self.len += 1;
+        self.pushed += 1;
+        true
+    }
+
+    /// Drain every buffered sample in FIFO order.
+    pub fn drain(&mut self) -> Vec<SampleBucket> {
+        let mut out = Vec::with_capacity(self.len);
+        while self.len > 0 {
+            out.push(self.slots[self.head]);
+            self.head = (self.head + 1) % self.capacity;
+            self.len -= 1;
+        }
+        self.head = 0;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples::SampleOrigin;
+    use sim_cpu::HwEvent;
+
+    fn s(addr: u64) -> SampleBucket {
+        SampleBucket {
+            origin: SampleOrigin::Unknown,
+            event: HwEvent::Cycles,
+            addr,
+            epoch: 0,
+        }
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut r = RingBuffer::new(4);
+        for i in 0..3 {
+            assert!(r.push(s(i)));
+        }
+        let drained = r.drain();
+        let addrs: Vec<u64> = drained.iter().map(|b| b.addr).collect();
+        assert_eq!(addrs, vec![0, 1, 2]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let mut r = RingBuffer::new(2);
+        assert!(r.push(s(0)));
+        assert!(r.push(s(1)));
+        assert!(!r.push(s(2)));
+        assert_eq!(r.dropped, 1);
+        assert_eq!(r.pushed, 2);
+        assert_eq!(r.drain().len(), 2);
+    }
+
+    #[test]
+    fn reusable_after_drain_with_wraparound() {
+        let mut r = RingBuffer::new(3);
+        r.push(s(0));
+        r.push(s(1));
+        r.drain();
+        for i in 10..13 {
+            assert!(r.push(s(i)));
+        }
+        assert!(r.is_full());
+        let addrs: Vec<u64> = r.drain().iter().map(|b| b.addr).collect();
+        assert_eq!(addrs, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn interleaved_push_drain() {
+        let mut r = RingBuffer::new(2);
+        let mut seen = Vec::new();
+        for round in 0..10u64 {
+            r.push(s(round * 2));
+            r.push(s(round * 2 + 1));
+            seen.extend(r.drain().iter().map(|b| b.addr));
+        }
+        assert_eq!(seen, (0..20).collect::<Vec<u64>>());
+        assert_eq!(r.dropped, 0);
+    }
+}

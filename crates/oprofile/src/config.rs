@@ -1,0 +1,93 @@
+//! Profiler configuration.
+
+use sim_cpu::{CostModel, CounterSpec, HwEvent};
+
+/// Everything `opcontrol --setup` would take.
+#[derive(Debug, Clone)]
+pub struct OpConfig {
+    /// Counters to program (event + overflow period).
+    pub events: Vec<CounterSpec>,
+    /// Ring-buffer capacity in samples (OProfile's `--buffer-size`).
+    pub buffer_capacity: usize,
+    /// Daemon wakeup period in cycles (~50 ms at 3.4 GHz by default).
+    pub daemon_period_cycles: u64,
+    /// Cycle costs of the profiling machinery.
+    pub cost: CostModel,
+}
+
+impl Default for OpConfig {
+    fn default() -> Self {
+        OpConfig {
+            events: vec![CounterSpec::new(HwEvent::Cycles, 90_000)],
+            buffer_capacity: 65_536,
+            daemon_period_cycles: 170_000_000,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+impl OpConfig {
+    /// Cycle sampling at the given period — the Figure-2 configurations
+    /// use periods 45_000 / 90_000 / 450_000.
+    pub fn time_at(period: u64) -> Self {
+        OpConfig {
+            events: vec![CounterSpec::new(HwEvent::Cycles, period)],
+            ..OpConfig::default()
+        }
+    }
+
+    /// The Figure-1 configuration: time (GLOBAL_POWER_EVENTS) plus L2
+    /// data misses (BSQ_CACHE_REFERENCE), each with its own period.
+    pub fn figure1(time_period: u64, l2_period: u64) -> Self {
+        OpConfig {
+            events: vec![
+                CounterSpec::new(HwEvent::Cycles, time_period),
+                CounterSpec::new(HwEvent::L2Miss, l2_period),
+            ],
+            ..OpConfig::default()
+        }
+    }
+
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Period of the primary (first) event.
+    pub fn primary_period(&self) -> u64 {
+        self.events.first().map(|e| e.period).unwrap_or(0)
+    }
+
+    pub fn primary_event(&self) -> HwEvent {
+        self.events
+            .first()
+            .map(|e| e.event)
+            .unwrap_or(HwEvent::Cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_papers_median_rate() {
+        let c = OpConfig::default();
+        assert_eq!(c.primary_period(), 90_000);
+        assert_eq!(c.primary_event(), HwEvent::Cycles);
+    }
+
+    #[test]
+    fn figure1_programs_two_counters() {
+        let c = OpConfig::figure1(90_000, 5_000);
+        assert_eq!(c.events.len(), 2);
+        assert_eq!(c.events[1].event, HwEvent::L2Miss);
+        assert_eq!(c.events[1].period, 5_000);
+    }
+
+    #[test]
+    fn with_cost_overrides() {
+        let c = OpConfig::default().with_cost(CostModel::free());
+        assert_eq!(c.cost, CostModel::free());
+    }
+}

@@ -1,0 +1,237 @@
+//! The userspace daemon (`oprofiled`).
+//!
+//! "The runtime profiler is the OProfile daemon that runs whenever we
+//! wish to log the samples. It is the main source of profiling
+//! overhead" (paper §3). Modelled as a [`MachineService`]: on its timer
+//! it drains the driver's ring buffer into the sample database and
+//! executes a block of its own cycles — in its own process, at its own
+//! symbols, so the daemon itself shows up in profiles exactly like the
+//! real `oprofiled` does.
+
+use crate::driver::Driver;
+use crate::samples::SampleDb;
+use parking_lot::Mutex;
+use sim_cpu::{Addr, BlockExec, CostModel, CpuMode, MemActivity, Pid};
+use sim_os::loader::BIN_HINT;
+use sim_os::{Image, Kernel, Loader, MachineCtx, MachineService, Symbol};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// OS image name of the daemon binary.
+pub const DAEMON_IMAGE: &str = "oprofiled";
+
+/// The daemon service.
+pub struct Daemon {
+    driver: Arc<Mutex<Driver>>,
+    db: Arc<Mutex<SampleDb>>,
+    active: Arc<AtomicBool>,
+    cost: CostModel,
+    period_cycles: u64,
+    next_wakeup: u64,
+    pid: Pid,
+    pc_range: (Addr, Addr),
+    /// Wakeups performed (tests/ablation).
+    pub wakeups: u64,
+}
+
+impl Daemon {
+    /// Spawn the `oprofiled` process and build the service.
+    pub fn spawn(
+        kernel: &mut Kernel,
+        driver: Arc<Mutex<Driver>>,
+        db: Arc<Mutex<SampleDb>>,
+        active: Arc<AtomicBool>,
+        cost: CostModel,
+        period_cycles: u64,
+    ) -> Daemon {
+        let image = match kernel.images.find_by_name(DAEMON_IMAGE) {
+            Some(id) => id,
+            None => kernel.images.insert(
+                Image::new(DAEMON_IMAGE, 0x4000).with_symbols([
+                    Symbol::new("opd_process_samples", 0x0000, 0x2000),
+                    Symbol::new("sfile_log_sample", 0x2000, 0x1000),
+                    Symbol::new("opd_open_files", 0x3000, 0x1000),
+                ]),
+            ),
+        };
+        let pid = kernel.spawn(DAEMON_IMAGE);
+        let base = Loader::load_image(kernel, pid, image, BIN_HINT);
+        Daemon {
+            driver,
+            db,
+            active,
+            cost,
+            period_cycles,
+            next_wakeup: period_cycles,
+            pid,
+            pc_range: (base, base + 0x2000), // opd_process_samples
+            wakeups: 0,
+        }
+    }
+
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// One drain: move buffered samples into the DB, return the cycles
+    /// the daemon consumed doing so. Shared by the timer path and the
+    /// final synchronous flush at `stop`.
+    pub fn drain_once(
+        driver: &Mutex<Driver>,
+        db: &Mutex<SampleDb>,
+        cost: &CostModel,
+    ) -> (u64, u64) {
+        let (samples, dropped, probe) = {
+            let mut d = driver.lock();
+            let (s, dr) = d.drain();
+            (s, dr, d.daemon_probe_cost())
+        };
+        let n = samples.len() as u64;
+        {
+            let mut db = db.lock();
+            for s in samples {
+                db.add(s, 1);
+            }
+            db.dropped += dropped;
+        }
+        (n, cost.daemon_drain(n) + probe)
+    }
+}
+
+impl MachineService for Daemon {
+    fn poll(&mut self, ctx: &mut MachineCtx<'_>) {
+        if !self.active.load(Ordering::Relaxed) {
+            return;
+        }
+        let now = ctx.cpu.clock.cycles();
+        if now < self.next_wakeup {
+            return;
+        }
+        // Catch up (a long block may skip several periods — one drain
+        // covers them, like a coalesced timer).
+        while self.next_wakeup <= now {
+            self.next_wakeup += self.period_cycles;
+        }
+        self.wakeups += 1;
+        let (_, cycles) = Daemon::drain_once(&self.driver, &self.db, &self.cost);
+        if cycles > 0 {
+            ctx.exec(&BlockExec {
+                pid: self.pid,
+                mode: CpuMode::User,
+                pc_range: self.pc_range,
+                cycles,
+                instructions: cycles,
+                branches: cycles / 32,
+                mem: MemActivity::None,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples::{SampleBucket, SampleOrigin};
+    use sim_cpu::HwEvent;
+    use sim_os::{Machine, MachineConfig};
+
+    fn bucket(addr: u64) -> SampleBucket {
+        SampleBucket {
+            origin: SampleOrigin::Unknown,
+            event: HwEvent::Cycles,
+            addr,
+            epoch: 0,
+        }
+    }
+
+    fn setup_with_cost(
+        period: u64,
+        cost: CostModel,
+    ) -> (Machine, Arc<Mutex<Driver>>, Arc<Mutex<SampleDb>>, Arc<AtomicBool>) {
+        let mut m = Machine::new(MachineConfig::default());
+        let driver = Arc::new(Mutex::new(Driver::new(cost, 1024)));
+        let db = Arc::new(Mutex::new(SampleDb::new()));
+        let active = Arc::new(AtomicBool::new(true));
+        let d = Daemon::spawn(
+            &mut m.kernel,
+            driver.clone(),
+            db.clone(),
+            active.clone(),
+            cost,
+            period,
+        );
+        m.add_service(Box::new(d));
+        (m, driver, db, active)
+    }
+
+    fn setup(period: u64) -> (Machine, Arc<Mutex<Driver>>, Arc<Mutex<SampleDb>>, Arc<AtomicBool>) {
+        setup_with_cost(period, CostModel::default())
+    }
+
+    #[test]
+    fn daemon_drains_on_timer_and_burns_cycles() {
+        let (mut m, driver, db, _) = setup(1_000);
+        driver.lock().buffer.push(bucket(0x10));
+        driver.lock().buffer.push(bucket(0x20));
+        // Not yet due.
+        m.exec(&BlockExec::compute(Pid(1), CpuMode::User, (0, 0x100), 500));
+        assert_eq!(db.lock().total_samples(), 0);
+        // Crossing the period triggers the drain.
+        let before = m.cpu.clock.cycles();
+        m.exec(&BlockExec::compute(Pid(1), CpuMode::User, (0, 0x100), 600));
+        assert_eq!(db.lock().total_samples(), 2);
+        let elapsed = m.cpu.clock.cycles() - before;
+        assert!(
+            elapsed > 600,
+            "daemon work must consume cycles beyond the app block"
+        );
+        assert!(driver.lock().buffer.is_empty());
+    }
+
+    #[test]
+    fn inactive_daemon_does_nothing() {
+        let (mut m, driver, db, active) = setup(100);
+        active.store(false, Ordering::Relaxed);
+        driver.lock().buffer.push(bucket(0x10));
+        m.exec(&BlockExec::compute(Pid(1), CpuMode::User, (0, 0x100), 10_000));
+        assert_eq!(db.lock().total_samples(), 0);
+        assert_eq!(m.cpu.clock.cycles(), 10_000, "no daemon cycles charged");
+    }
+
+    #[test]
+    fn long_block_coalesces_wakeups() {
+        // Free cost model so daemon work doesn't itself cross periods.
+        let (mut m, driver, db, _) = setup_with_cost(1_000, CostModel::free());
+        driver.lock().buffer.push(bucket(0x10));
+        // One block spanning 10 periods → exactly one catch-up drain.
+        m.exec(&BlockExec::compute(Pid(1), CpuMode::User, (0, 0x100), 10_500));
+        assert_eq!(db.lock().total_samples(), 1);
+        // Next wakeup is aligned after `now`.
+        driver.lock().buffer.push(bucket(0x20));
+        m.exec(&BlockExec::compute(Pid(1), CpuMode::User, (0, 0x100), 400));
+        assert_eq!(db.lock().total_samples(), 1, "not due again yet");
+    }
+
+    #[test]
+    fn dropped_samples_propagate_to_db() {
+        let mut m = Machine::new(MachineConfig::default());
+        let driver = Arc::new(Mutex::new(Driver::new(CostModel::default(), 2)));
+        let db = Arc::new(Mutex::new(SampleDb::new()));
+        let active = Arc::new(AtomicBool::new(true));
+        let d = Daemon::spawn(
+            &mut m.kernel,
+            driver.clone(),
+            db.clone(),
+            active,
+            CostModel::default(),
+            100,
+        );
+        m.add_service(Box::new(d));
+        for i in 0..5 {
+            driver.lock().buffer.push(bucket(i * 16));
+        }
+        m.exec(&BlockExec::compute(Pid(1), CpuMode::User, (0, 0x100), 200));
+        assert_eq!(db.lock().total_samples(), 2);
+        assert_eq!(db.lock().dropped, 3);
+    }
+}

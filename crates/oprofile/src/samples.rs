@@ -1,0 +1,339 @@
+//! Samples and the sample database.
+//!
+//! The driver classifies each overflow at NMI time into a
+//! [`SampleBucket`]; the daemon accumulates bucket counts into a
+//! [`SampleDb`], which post-processing reads. Addresses are quantized to
+//! 16-byte lines before bucketing — heap objects (and hence JIT code
+//! bodies) are 16-byte aligned, so quantization can never smear a sample
+//! across two code bodies, while keeping the database size proportional
+//! to code bytes rather than sample count.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sim_cpu::{Addr, HwEvent, Pid};
+use sim_os::ImageId;
+use std::collections::HashMap;
+
+/// Quantization granularity for sampled addresses.
+pub const ADDR_QUANTUM: u64 = 16;
+
+/// Where a sample landed, as far as the driver could tell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SampleOrigin {
+    /// File-backed (or kernel) text: resolvable offline via the image's
+    /// symbol table. `addr` in the bucket is the image offset.
+    Image(ImageId),
+    /// Anonymous mapping — OProfile's dead end. `addr` is the absolute
+    /// PC.
+    Anon { pid: Pid, start: Addr, end: Addr },
+    /// VIProf extension: inside a registered VM heap. `addr` is the
+    /// absolute PC; the bucket's `epoch` holds the GC epoch the sample
+    /// was taken in (paper §3.1).
+    JitApp { pid: Pid },
+    /// Unmapped PC (stale process, race) — real OProfile drops these
+    /// into a catch-all too.
+    Unknown,
+}
+
+/// Aggregation key for one counter event at one location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SampleBucket {
+    pub origin: SampleOrigin,
+    pub event: HwEvent,
+    /// Image offset (Image) or absolute PC (Anon/JitApp), quantized.
+    pub addr: u64,
+    /// GC epoch for `JitApp`, 0 otherwise.
+    pub epoch: u64,
+}
+
+impl SampleBucket {
+    pub fn quantize(mut self) -> Self {
+        self.addr -= self.addr % ADDR_QUANTUM;
+        self
+    }
+}
+
+/// Accumulated profile: bucket → sample count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SampleDb {
+    counts: HashMap<SampleBucket, u64>,
+    totals: HashMap<HwEvent, u64>,
+    /// Samples lost to ring-buffer overflow (reported by the daemon).
+    pub dropped: u64,
+}
+
+impl SampleDb {
+    pub fn new() -> Self {
+        SampleDb::default()
+    }
+
+    pub fn add(&mut self, bucket: SampleBucket, n: u64) {
+        let bucket = bucket.quantize();
+        *self.counts.entry(bucket).or_insert(0) += n;
+        *self.totals.entry(bucket.event).or_insert(0) += n;
+    }
+
+    pub fn total(&self, event: HwEvent) -> u64 {
+        self.totals.get(&event).copied().unwrap_or(0)
+    }
+
+    pub fn total_samples(&self) -> u64 {
+        self.totals.values().sum()
+    }
+
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&SampleBucket, &u64)> {
+        self.counts.iter()
+    }
+
+    /// Buckets in deterministic order (for reports and serialization).
+    pub fn sorted(&self) -> Vec<(SampleBucket, u64)> {
+        let mut v: Vec<(SampleBucket, u64)> =
+            self.counts.iter().map(|(b, c)| (*b, *c)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    pub fn merge(&mut self, other: &SampleDb) {
+        for (b, c) in other.iter() {
+            self.add(*b, *c);
+        }
+        self.dropped += other.dropped;
+    }
+
+    // --- binary serialization (the "sample files" on the VFS) ---
+
+    fn event_code(e: HwEvent) -> u8 {
+        HwEvent::ALL.iter().position(|x| *x == e).unwrap() as u8
+    }
+
+    fn event_from(code: u8) -> Result<HwEvent, String> {
+        HwEvent::ALL
+            .get(code as usize)
+            .copied()
+            .ok_or_else(|| format!("bad event code {code}"))
+    }
+
+    /// Serialize into the compact binary sample-file format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(32 + self.counts.len() * 40);
+        buf.put_slice(b"OPDB");
+        buf.put_u32_le(1); // version
+        buf.put_u64_le(self.dropped);
+        buf.put_u64_le(self.counts.len() as u64);
+        for (b, c) in self.sorted() {
+            match b.origin {
+                SampleOrigin::Image(id) => {
+                    buf.put_u8(0);
+                    buf.put_u32_le(id.0);
+                    buf.put_u32_le(0);
+                    buf.put_u64_le(0);
+                    buf.put_u64_le(0);
+                }
+                SampleOrigin::Anon { pid, start, end } => {
+                    buf.put_u8(1);
+                    buf.put_u32_le(pid.0);
+                    buf.put_u32_le(0);
+                    buf.put_u64_le(start);
+                    buf.put_u64_le(end);
+                }
+                SampleOrigin::JitApp { pid } => {
+                    buf.put_u8(2);
+                    buf.put_u32_le(pid.0);
+                    buf.put_u32_le(0);
+                    buf.put_u64_le(0);
+                    buf.put_u64_le(0);
+                }
+                SampleOrigin::Unknown => {
+                    buf.put_u8(3);
+                    buf.put_u32_le(0);
+                    buf.put_u32_le(0);
+                    buf.put_u64_le(0);
+                    buf.put_u64_le(0);
+                }
+            }
+            buf.put_u8(Self::event_code(b.event));
+            buf.put_u64_le(b.addr);
+            buf.put_u64_le(b.epoch);
+            buf.put_u64_le(c);
+        }
+        buf.freeze()
+    }
+
+    /// Parse a serialized sample file.
+    pub fn from_bytes(mut data: &[u8]) -> Result<SampleDb, String> {
+        if data.remaining() < 24 || &data[..4] != b"OPDB" {
+            return Err("bad magic".into());
+        }
+        data.advance(4);
+        let version = data.get_u32_le();
+        if version != 1 {
+            return Err(format!("unsupported version {version}"));
+        }
+        let dropped = data.get_u64_le();
+        let n = data.get_u64_le();
+        let mut db = SampleDb {
+            dropped,
+            ..SampleDb::default()
+        };
+        for _ in 0..n {
+            if data.remaining() < 25 + 25 {
+                return Err("truncated sample record".into());
+            }
+            let tag = data.get_u8();
+            let a = data.get_u32_le();
+            let _pad = data.get_u32_le();
+            let x = data.get_u64_le();
+            let y = data.get_u64_le();
+            let origin = match tag {
+                0 => SampleOrigin::Image(ImageId(a)),
+                1 => SampleOrigin::Anon {
+                    pid: Pid(a),
+                    start: x,
+                    end: y,
+                },
+                2 => SampleOrigin::JitApp { pid: Pid(a) },
+                3 => SampleOrigin::Unknown,
+                t => return Err(format!("bad origin tag {t}")),
+            };
+            let event = Self::event_from(data.get_u8())?;
+            let addr = data.get_u64_le();
+            let epoch = data.get_u64_le();
+            let count = data.get_u64_le();
+            db.add(
+                SampleBucket {
+                    origin,
+                    event,
+                    addr,
+                    epoch,
+                },
+                count,
+            );
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img_bucket(off: u64, event: HwEvent) -> SampleBucket {
+        SampleBucket {
+            origin: SampleOrigin::Image(ImageId(3)),
+            event,
+            addr: off,
+            epoch: 0,
+        }
+    }
+
+    #[test]
+    fn add_quantizes_and_accumulates() {
+        let mut db = SampleDb::new();
+        db.add(img_bucket(0x101, HwEvent::Cycles), 1);
+        db.add(img_bucket(0x10f, HwEvent::Cycles), 2);
+        db.add(img_bucket(0x110, HwEvent::Cycles), 4);
+        assert_eq!(db.len(), 2, "0x101 and 0x10f share a 16-byte line");
+        assert_eq!(db.total(HwEvent::Cycles), 7);
+        let sorted = db.sorted();
+        assert_eq!(sorted[0].0.addr, 0x100);
+        assert_eq!(sorted[0].1, 3);
+    }
+
+    #[test]
+    fn totals_track_per_event() {
+        let mut db = SampleDb::new();
+        db.add(img_bucket(0, HwEvent::Cycles), 5);
+        db.add(img_bucket(0, HwEvent::L2Miss), 2);
+        assert_eq!(db.total(HwEvent::Cycles), 5);
+        assert_eq!(db.total(HwEvent::L2Miss), 2);
+        assert_eq!(db.total(HwEvent::Branches), 0);
+        assert_eq!(db.total_samples(), 7);
+    }
+
+    #[test]
+    fn jit_buckets_keep_epochs_distinct() {
+        let mut db = SampleDb::new();
+        let mk = |epoch| SampleBucket {
+            origin: SampleOrigin::JitApp { pid: Pid(9) },
+            event: HwEvent::Cycles,
+            addr: 0x64000040,
+            epoch,
+        };
+        db.add(mk(1), 1);
+        db.add(mk(2), 1);
+        assert_eq!(db.len(), 2, "same PC, different epoch = different bucket");
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let mut db = SampleDb::new();
+        db.add(img_bucket(0x40, HwEvent::Cycles), 10);
+        db.add(
+            SampleBucket {
+                origin: SampleOrigin::Anon {
+                    pid: Pid(4),
+                    start: 0x6000_0000,
+                    end: 0x6400_0000,
+                },
+                event: HwEvent::L2Miss,
+                addr: 0x6100_0040,
+                epoch: 0,
+            },
+            3,
+        );
+        db.add(
+            SampleBucket {
+                origin: SampleOrigin::JitApp { pid: Pid(4) },
+                event: HwEvent::Cycles,
+                addr: 0x6200_0000,
+                epoch: 7,
+            },
+            5,
+        );
+        db.add(
+            SampleBucket {
+                origin: SampleOrigin::Unknown,
+                event: HwEvent::Cycles,
+                addr: 0,
+                epoch: 0,
+            },
+            1,
+        );
+        db.dropped = 12;
+        let bytes = db.to_bytes();
+        let back = SampleDb::from_bytes(&bytes).unwrap();
+        assert_eq!(back, db);
+    }
+
+    #[test]
+    fn deserialization_rejects_garbage() {
+        assert!(SampleDb::from_bytes(b"NOPE").is_err());
+        assert!(SampleDb::from_bytes(b"OPDB").is_err());
+        let mut db = SampleDb::new();
+        db.add(img_bucket(0, HwEvent::Cycles), 1);
+        let bytes = db.to_bytes();
+        assert!(SampleDb::from_bytes(&bytes[..bytes.len() - 4]).is_err());
+    }
+
+    #[test]
+    fn merge_combines_counts_and_drops() {
+        let mut a = SampleDb::new();
+        a.add(img_bucket(0, HwEvent::Cycles), 1);
+        a.dropped = 2;
+        let mut b = SampleDb::new();
+        b.add(img_bucket(0, HwEvent::Cycles), 3);
+        b.add(img_bucket(0x20, HwEvent::Cycles), 1);
+        b.dropped = 1;
+        a.merge(&b);
+        assert_eq!(a.total(HwEvent::Cycles), 5);
+        assert_eq!(a.dropped, 3);
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,211 @@
+//! Profiler lifecycle: `opcontrol --start` / `--stop`.
+
+use crate::anon::AnonExtension;
+use crate::config::OpConfig;
+use crate::daemon::Daemon;
+use crate::driver::{Driver, DriverStats};
+use crate::samples::SampleDb;
+use parking_lot::Mutex;
+use sim_cpu::Pid;
+use sim_os::Machine;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// VFS path where `stop` persists the final sample database.
+pub const SAMPLES_PATH: &str = "/var/lib/oprofile/samples/current.db";
+
+/// A running profiling session.
+pub struct Oprofile {
+    pub driver: Arc<Mutex<Driver>>,
+    pub db: Arc<Mutex<SampleDb>>,
+    active: Arc<AtomicBool>,
+    config: OpConfig,
+    daemon_pid: Pid,
+}
+
+impl Oprofile {
+    /// Start stock OProfile.
+    pub fn start(machine: &mut Machine, config: OpConfig) -> Oprofile {
+        let driver = Arc::new(Mutex::new(Driver::new(config.cost, config.buffer_capacity)));
+        Self::install(machine, config, driver)
+    }
+
+    /// Start with an anon extension (how VIProf builds on this crate).
+    pub fn start_with_extension(
+        machine: &mut Machine,
+        config: OpConfig,
+        ext: Box<dyn AnonExtension>,
+    ) -> Oprofile {
+        let driver = Arc::new(Mutex::new(Driver::with_extension(
+            config.cost,
+            config.buffer_capacity,
+            ext,
+        )));
+        Self::install(machine, config, driver)
+    }
+
+    fn install(machine: &mut Machine, config: OpConfig, driver: Arc<Mutex<Driver>>) -> Oprofile {
+        assert!(
+            machine.cpu.bank.is_empty(),
+            "another profiling session is already running"
+        );
+        for spec in &config.events {
+            machine.cpu.program_counter(*spec);
+        }
+        machine.set_handler(driver.clone());
+
+        let db = Arc::new(Mutex::new(SampleDb::new()));
+        let active = Arc::new(AtomicBool::new(true));
+        let daemon = Daemon::spawn(
+            &mut machine.kernel,
+            driver.clone(),
+            db.clone(),
+            active.clone(),
+            config.cost,
+            config.daemon_period_cycles,
+        );
+        let daemon_pid = daemon.pid();
+        machine.add_service(Box::new(daemon));
+        Oprofile {
+            driver,
+            db,
+            active,
+            config,
+            daemon_pid,
+        }
+    }
+
+    pub fn config(&self) -> &OpConfig {
+        &self.config
+    }
+
+    pub fn daemon_pid(&self) -> Pid {
+        self.daemon_pid
+    }
+
+    pub fn driver_stats(&self) -> DriverStats {
+        self.driver.lock().stats
+    }
+
+    /// Snapshot of the sample DB as accumulated so far (not including
+    /// still-buffered samples).
+    pub fn db_snapshot(&self) -> SampleDb {
+        self.db.lock().clone()
+    }
+
+    /// Stop profiling: final buffer flush (charged to simulated time),
+    /// deprogram counters, uninstall the handler, persist the sample
+    /// database to the VFS, and return it.
+    pub fn stop(&self, machine: &mut Machine) -> SampleDb {
+        // Final synchronous drain, charged like a daemon wakeup.
+        let (_, cycles) = Daemon::drain_once(&self.driver, &self.db, &self.config.cost);
+        self.active.store(false, Ordering::Relaxed);
+        machine.cpu.clear_counters();
+        machine.clear_handler();
+        if cycles > 0 {
+            // The flush runs in the daemon process; attribute to kernel
+            // sys_write for the file part (coarse but stable).
+            let range = machine.kernel.kernel_symbol_range("sys_write");
+            machine.exec(&sim_cpu::BlockExec::compute(
+                self.daemon_pid,
+                sim_cpu::CpuMode::Kernel,
+                range,
+                cycles,
+            ));
+        }
+        let db = self.db.lock().clone();
+        machine.kernel.vfs.write(SAMPLES_PATH, db.to_bytes().to_vec());
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_cpu::{BlockExec, CpuMode, HwEvent};
+    use sim_os::{MachineConfig, Vma};
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::default())
+    }
+
+    #[test]
+    fn start_programs_counters_and_stop_clears_them() {
+        let mut m = machine();
+        let op = Oprofile::start(&mut m, OpConfig::time_at(90_000));
+        assert_eq!(m.cpu.bank.len(), 1);
+        op.stop(&mut m);
+        assert!(m.cpu.bank.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already running")]
+    fn double_start_rejected() {
+        let mut m = machine();
+        let _a = Oprofile::start(&mut m, OpConfig::default());
+        let _b = Oprofile::start(&mut m, OpConfig::default());
+    }
+
+    #[test]
+    fn end_to_end_samples_flow_to_db() {
+        let mut m = machine();
+        let pid = m.kernel.spawn("app");
+        m.kernel
+            .process_mut(pid)
+            .unwrap()
+            .space
+            .map(Vma::anon(0x6000_0000, 0x6100_0000))
+            .unwrap();
+        let op = Oprofile::start(&mut m, OpConfig::time_at(10_000));
+        // 1M cycles in anon code → 100 samples.
+        m.exec(&BlockExec::compute(
+            pid,
+            CpuMode::User,
+            (0x6000_0000, 0x6100_0000),
+            1_000_000,
+        ));
+        let db = op.stop(&mut m);
+        assert_eq!(db.total(HwEvent::Cycles), 100);
+        assert_eq!(op.driver_stats().anon, 100);
+        // Persisted to the VFS and parseable.
+        let raw = m.kernel.vfs.read(SAMPLES_PATH).unwrap();
+        let parsed = SampleDb::from_bytes(raw).unwrap();
+        assert_eq!(parsed.total(HwEvent::Cycles), 100);
+    }
+
+    #[test]
+    fn profiling_overhead_is_visible_in_clock() {
+        // Identical work with and without profiling: the profiled run
+        // must take longer — that delta is Figure 2's subject.
+        let work = 50_000_000u64;
+        let mut base = machine();
+        let pid_b = base.kernel.spawn("app");
+        base.exec(&BlockExec::compute(pid_b, CpuMode::User, (0x1000, 0x2000), work));
+        let base_cycles = base.cpu.clock.cycles();
+
+        let mut prof = machine();
+        let pid_p = prof.kernel.spawn("app");
+        let op = Oprofile::start(&mut prof, OpConfig::time_at(90_000));
+        prof.exec(&BlockExec::compute(pid_p, CpuMode::User, (0x1000, 0x2000), work));
+        op.stop(&mut prof);
+        let prof_cycles = prof.cpu.clock.cycles();
+
+        assert!(prof_cycles > base_cycles);
+        let overhead = (prof_cycles - base_cycles) as f64 / base_cycles as f64;
+        assert!(
+            overhead > 0.005 && overhead < 0.15,
+            "overhead {overhead} outside plausible band"
+        );
+    }
+
+    #[test]
+    fn stop_returns_clean_machine_for_next_session() {
+        let mut m = machine();
+        let op1 = Oprofile::start(&mut m, OpConfig::time_at(50_000));
+        op1.stop(&mut m);
+        // A second session can start cleanly.
+        let op2 = Oprofile::start(&mut m, OpConfig::time_at(90_000));
+        assert_eq!(m.cpu.bank.len(), 1);
+        op2.stop(&mut m);
+    }
+}

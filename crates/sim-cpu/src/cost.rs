@@ -1,0 +1,186 @@
+//! The profiling cost model.
+//!
+//! Every cycle the profiling machinery steals from the workload flows
+//! through this table. Figure 2's slowdown bars are *emergent* from
+//! these constants plus the sampling frequency and workload activity —
+//! they are never hard-coded downstream. The defaults are calibrated
+//! (see EXPERIMENTS.md) so that OProfile at the paper's median 90K-cycle
+//! period costs ≈5 % on the benchmark mix, the paper's headline number;
+//! the relative structure (anon logging dearer than VIProf's range
+//! check, map writes amortized by run length) encodes the paper's §3–§4
+//! claims and is what the ablation experiments vary.
+
+use serde::{Deserialize, Serialize};
+
+/// Cycle costs of the individual profiling mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    // ---- NMI handler (kernel driver) ----
+    /// Fixed cost of taking the NMI: save state, read PC/PID, restore.
+    pub nmi_base_cycles: u64,
+    /// Walking the interrupted process's VMA list to classify the PC.
+    pub nmi_vma_lookup_cycles: u64,
+    /// OProfile's anonymous-region logging path (cookie lookup, range
+    /// bookkeeping). VIProf *replaces* this path for registered VMs —
+    /// the paper credits its occasional wins over OProfile to exactly
+    /// this (§4.3).
+    pub nmi_anon_log_cycles: u64,
+    /// VIProf's registered-heap-range check + epoch tag read.
+    pub nmi_jit_check_cycles: u64,
+    /// Pushing one compact sample into the per-CPU ring buffer.
+    pub buffer_push_cycles: u64,
+
+    // ---- userspace daemon ----
+    /// Fixed cost of one daemon wakeup (context switch, syscall).
+    pub daemon_wakeup_cycles: u64,
+    /// Processing one buffered sample (hash, accumulate, spill).
+    pub daemon_per_sample_cycles: u64,
+
+    // ---- VM agent ----
+    /// Logging one compile/recompile event into the agent buffer.
+    pub agent_compile_log_cycles: u64,
+    /// Flagging one moved code body during GC (flag only — the paper is
+    /// explicit that the GC hot path must not call out, §3).
+    pub agent_move_flag_cycles: u64,
+    /// Fixed cost of writing one partial code map (file create, flush,
+    /// daemon notification).
+    pub mapwrite_base_cycles: u64,
+    /// Per-entry cost of a code map write (format one method record).
+    pub mapwrite_per_entry_cycles: u64,
+    /// The "few other limited VM probing routines" (§3): charged once
+    /// per daemon wakeup when a VM is registered.
+    pub vm_probe_cycles: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            nmi_base_cycles: 1_450,
+            nmi_vma_lookup_cycles: 600,
+            nmi_anon_log_cycles: 1_400,
+            nmi_jit_check_cycles: 180,
+            buffer_push_cycles: 90,
+            daemon_wakeup_cycles: 55_000,
+            daemon_per_sample_cycles: 900,
+            agent_compile_log_cycles: 1_100,
+            agent_move_flag_cycles: 45,
+            // A partial-map write is a synchronous small-file write plus
+            // a daemon notification — single-digit milliseconds on the
+            // paper's 2007 disk-backed system (12M cycles ≈ 3.5 ms at
+            // 3.4 GHz). This constant is the lever behind the paper's
+            // two Figure-2 observations: short, GC-frequent benchmarks
+            // (antlr) exceed 10 % slowdown, while long runs amortize the
+            // writes (§4.3).
+            mapwrite_base_cycles: 12_000_000,
+            mapwrite_per_entry_cycles: 2_000,
+            vm_probe_cycles: 2_200,
+        }
+    }
+}
+
+impl CostModel {
+    /// A zero-cost model: profiling mechanisms run but steal no cycles.
+    /// Used by tests that check *functional* behaviour in isolation from
+    /// overhead, and by the "free profiling" ablation.
+    pub fn free() -> Self {
+        CostModel {
+            nmi_base_cycles: 0,
+            nmi_vma_lookup_cycles: 0,
+            nmi_anon_log_cycles: 0,
+            nmi_jit_check_cycles: 0,
+            buffer_push_cycles: 0,
+            daemon_wakeup_cycles: 0,
+            daemon_per_sample_cycles: 0,
+            agent_compile_log_cycles: 0,
+            agent_move_flag_cycles: 0,
+            mapwrite_base_cycles: 0,
+            mapwrite_per_entry_cycles: 0,
+            vm_probe_cycles: 0,
+        }
+    }
+
+    /// Cost of one OProfile NMI for a PC that resolves to a mapped image.
+    pub fn nmi_mapped(&self) -> u64 {
+        self.nmi_base_cycles + self.nmi_vma_lookup_cycles + self.buffer_push_cycles
+    }
+
+    /// Cost of one OProfile NMI for a PC in an anonymous region.
+    pub fn nmi_anon(&self) -> u64 {
+        self.nmi_base_cycles
+            + self.nmi_vma_lookup_cycles
+            + self.nmi_anon_log_cycles
+            + self.buffer_push_cycles
+    }
+
+    /// Cost of one VIProf NMI for a PC inside a registered VM heap: the
+    /// VMA walk still happens, but the anon-logging step is replaced by
+    /// the cheap registered-range check + epoch read (paper §3).
+    pub fn nmi_jit(&self) -> u64 {
+        self.nmi_base_cycles
+            + self.nmi_vma_lookup_cycles
+            + self.nmi_jit_check_cycles
+            + self.buffer_push_cycles
+    }
+
+    /// Cost of one daemon wakeup that drains `n` samples.
+    pub fn daemon_drain(&self, n: u64) -> u64 {
+        self.daemon_wakeup_cycles + n * self.daemon_per_sample_cycles
+    }
+
+    /// Cost of writing a partial code map with `entries` records.
+    pub fn map_write(&self, entries: u64) -> u64 {
+        self.mapwrite_base_cycles + entries * self.mapwrite_per_entry_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_structure_matches_paper_claims() {
+        let m = CostModel::default();
+        // §4.3: the anon path VIProf replaces is dearer than its check.
+        assert!(m.nmi_anon() > m.nmi_jit());
+        // The JIT path = mapped path + the cheap range check.
+        assert_eq!(m.nmi_jit(), m.nmi_mapped() + m.nmi_jit_check_cycles);
+        assert!(m.nmi_mapped() < m.nmi_anon());
+    }
+
+    #[test]
+    fn default_overhead_near_headline_five_percent() {
+        // Paper §4.3: OProfile at one sample per 90K cycles slows the
+        // system ~5 % on average. Sanity-check the raw driver-side cost
+        // sits in the right regime (daemon + VM activity add the rest).
+        let m = CostModel::default();
+        let per_sample = m.nmi_mapped() + m.daemon_per_sample_cycles;
+        let frac = per_sample as f64 / 90_000.0;
+        assert!(
+            frac > 0.025 && frac < 0.06,
+            "per-sample cost fraction {frac} out of calibration range"
+        );
+    }
+
+    #[test]
+    fn free_model_is_actually_free() {
+        let m = CostModel::free();
+        assert_eq!(m.nmi_anon(), 0);
+        assert_eq!(m.nmi_jit(), 0);
+        assert_eq!(m.daemon_drain(1_000), 0);
+        assert_eq!(m.map_write(1_000), 0);
+    }
+
+    #[test]
+    fn map_write_scales_with_entries() {
+        let m = CostModel::default();
+        assert_eq!(
+            m.map_write(10) - m.map_write(0),
+            10 * m.mapwrite_per_entry_cycles
+        );
+    }
+
+    #[test]
+    fn free_is_distinct_from_default() {
+        assert_ne!(CostModel::free(), CostModel::default());
+    }
+}

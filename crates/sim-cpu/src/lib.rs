@@ -1,0 +1,38 @@
+//! # sim-cpu — simulated CPU substrate
+//!
+//! This crate models the hardware layer the VIProf paper depends on:
+//! a 3.4 GHz single-core CPU with a bank of hardware performance counters
+//! (HPCs), non-maskable-interrupt (NMI) delivery on counter overflow, and
+//! a set-associative cache hierarchy that generates L2-miss events
+//! (the paper's `BSQ_CACHE_REFERENCE`).
+//!
+//! Execution is fed to the CPU as *blocks*: contiguous stretches of
+//! simulated execution with a PC range, cycle/instruction counts and
+//! memory activity. Counter overflow positions are computed analytically
+//! inside each block, so simulating a 10^11-cycle benchmark costs
+//! O(#samples + #blocks), not O(#cycles). This is what makes reproducing
+//! the paper's 31-second pseudoJBB runs tractable on a laptop while
+//! preserving the exact quantities the paper measures: *which PC* each
+//! sample lands on, and *how many cycles* the profiling machinery steals.
+//!
+//! The [`cost::CostModel`] is the single source of truth for those stolen
+//! cycles; Figure 2's overhead numbers are emergent from it plus the
+//! sampling frequency and workload activity, never hard-coded.
+
+pub mod cache;
+pub mod clock;
+pub mod cost;
+pub mod counters;
+pub mod events;
+pub mod exec;
+pub mod nmi;
+pub mod types;
+
+pub use cache::{AccessKind, Cache, CacheConfig, CacheHierarchy, HierarchyConfig, MemAccess};
+pub use clock::Clock;
+pub use cost::CostModel;
+pub use counters::{Counter, CounterBank, CounterSpec, Overflows};
+pub use events::{BlockEvents, FracAcc, MemActivity};
+pub use exec::{BlockExec, Cpu, CpuConfig};
+pub use nmi::{CountingHandler, NmiHandler, NullHandler, SampleContext};
+pub use types::{Addr, CpuMode, HwEvent, Pid};

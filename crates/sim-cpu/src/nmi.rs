@@ -1,0 +1,117 @@
+//! NMI delivery: the hardware→profiler seam.
+//!
+//! When a counter overflows, the simulated CPU calls the registered
+//! [`NmiHandler`] with a [`SampleContext`] describing the interrupted
+//! instruction. The handler (OProfile's kernel driver, or VIProf's
+//! extended one) does whatever logging it wants and *returns the number
+//! of cycles it consumed*. The CPU charges those cycles to the clock —
+//! this is precisely the mechanism by which profiling overhead becomes
+//! measurable in the reproduction, as it is on real hardware.
+
+use crate::types::{Addr, CpuMode, HwEvent, Pid};
+
+/// Everything the hardware knows at the moment a counter overflows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleContext {
+    /// Program counter of the interrupted instruction.
+    pub pc: Addr,
+    /// Active process.
+    pub pid: Pid,
+    /// Privilege mode at interrupt time.
+    pub mode: CpuMode,
+    /// Which event's counter overflowed.
+    pub event: HwEvent,
+    /// Index of the overflowing counter in the bank.
+    pub counter: usize,
+    /// Cycle timestamp of the overflow.
+    pub cycle: u64,
+}
+
+/// A profiler's interrupt handler.
+pub trait NmiHandler {
+    /// Handle one overflow sample. Returns the cycles the handler spent,
+    /// which the CPU will charge to simulated time (and which count as
+    /// kernel-mode execution for any cycle counter).
+    fn handle_overflow(&mut self, ctx: &SampleContext) -> u64;
+}
+
+/// Handler that drops every sample at zero cost. Used when profiling is
+/// off (the "base" bars of Figure 2).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullHandler;
+
+impl NmiHandler for NullHandler {
+    fn handle_overflow(&mut self, _ctx: &SampleContext) -> u64 {
+        0
+    }
+}
+
+/// Test helper: records every sample it sees and charges a fixed cost.
+#[derive(Debug, Default)]
+pub struct CountingHandler {
+    pub samples: Vec<SampleContext>,
+    pub cost_per_sample: u64,
+}
+
+impl CountingHandler {
+    pub fn new(cost_per_sample: u64) -> Self {
+        CountingHandler {
+            samples: Vec::new(),
+            cost_per_sample,
+        }
+    }
+}
+
+impl NmiHandler for CountingHandler {
+    fn handle_overflow(&mut self, ctx: &SampleContext) -> u64 {
+        self.samples.push(*ctx);
+        self.cost_per_sample
+    }
+}
+
+/// Adapter so `&mut H` is itself a handler (lets callers lend a handler
+/// without giving up ownership).
+impl<H: NmiHandler + ?Sized> NmiHandler for &mut H {
+    fn handle_overflow(&mut self, ctx: &SampleContext) -> u64 {
+        (**self).handle_overflow(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(pc: Addr) -> SampleContext {
+        SampleContext {
+            pc,
+            pid: Pid(1),
+            mode: CpuMode::User,
+            event: HwEvent::Cycles,
+            counter: 0,
+            cycle: 123,
+        }
+    }
+
+    #[test]
+    fn null_handler_is_free() {
+        let mut h = NullHandler;
+        assert_eq!(h.handle_overflow(&ctx(0x1000)), 0);
+    }
+
+    #[test]
+    fn counting_handler_records_and_charges() {
+        let mut h = CountingHandler::new(250);
+        assert_eq!(h.handle_overflow(&ctx(0x1000)), 250);
+        assert_eq!(h.handle_overflow(&ctx(0x2000)), 250);
+        assert_eq!(h.samples.len(), 2);
+        assert_eq!(h.samples[1].pc, 0x2000);
+    }
+
+    #[test]
+    fn mut_ref_adapter_forwards() {
+        let mut h = CountingHandler::new(7);
+        let r: &mut dyn NmiHandler = &mut h;
+        assert_eq!(r.handle_overflow(&ctx(0x42)), 7);
+        assert_eq!(h.samples.len(), 1);
+    }
+}

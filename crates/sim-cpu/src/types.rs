@@ -1,0 +1,127 @@
+//! Basic hardware-level types shared by the whole simulated stack.
+
+use serde::{Deserialize, Serialize};
+
+/// A simulated virtual address. The stack uses a flat 64-bit space.
+pub type Addr = u64;
+
+/// Process identifier. Defined here (rather than in `sim-os`) because
+/// samples captured at NMI time carry the active PID, mirroring how real
+/// HPC drivers read the current task from the interrupted context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Pid(pub u32);
+
+impl Pid {
+    /// PID of the idle/kernel context.
+    pub const KERNEL: Pid = Pid(0);
+}
+
+impl std::fmt::Display for Pid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Privilege mode the CPU was in when an event fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CpuMode {
+    User,
+    Kernel,
+}
+
+impl CpuMode {
+    pub fn is_kernel(self) -> bool {
+        matches!(self, CpuMode::Kernel)
+    }
+}
+
+/// Hardware events the counter bank can be programmed to count.
+///
+/// `Cycles` stands in for the Pentium 4's `GLOBAL_POWER_EVENTS` (the
+/// "time" event of the paper's Figure 1) and `L2Miss` for
+/// `BSQ_CACHE_REFERENCE` with the read-miss unit mask (the "Dmiss"
+/// column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum HwEvent {
+    /// Unhalted core cycles (`GLOBAL_POWER_EVENTS`).
+    Cycles,
+    /// Retired instructions (`INSTR_RETIRED`).
+    Instructions,
+    /// L1 data-cache misses.
+    L1DMiss,
+    /// L2 cache misses (`BSQ_CACHE_REFERENCE`, read-miss mask).
+    L2Miss,
+    /// Retired branches.
+    Branches,
+}
+
+impl HwEvent {
+    /// All programmable events, in a stable order.
+    pub const ALL: [HwEvent; 5] = [
+        HwEvent::Cycles,
+        HwEvent::Instructions,
+        HwEvent::L1DMiss,
+        HwEvent::L2Miss,
+        HwEvent::Branches,
+    ];
+
+    /// The OProfile-style event name printed in reports.
+    pub fn unit_name(self) -> &'static str {
+        match self {
+            HwEvent::Cycles => "GLOBAL_POWER_EVENTS",
+            HwEvent::Instructions => "INSTR_RETIRED",
+            HwEvent::L1DMiss => "L1D_CACHE_MISS",
+            HwEvent::L2Miss => "BSQ_CACHE_REFERENCE",
+            HwEvent::Branches => "RETIRED_BRANCH_TYPE",
+        }
+    }
+
+    /// Short column label used by the merged VIProf report.
+    pub fn column_label(self) -> &'static str {
+        match self {
+            HwEvent::Cycles => "Time %",
+            HwEvent::Instructions => "Instr %",
+            HwEvent::L1DMiss => "L1miss %",
+            HwEvent::L2Miss => "Dmiss %",
+            HwEvent::Branches => "Branch %",
+        }
+    }
+}
+
+impl std::fmt::Display for HwEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.unit_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_display_and_kernel_constant() {
+        assert_eq!(Pid::KERNEL.0, 0);
+        assert_eq!(format!("{}", Pid(42)), "42");
+    }
+
+    #[test]
+    fn mode_kernel_predicate() {
+        assert!(CpuMode::Kernel.is_kernel());
+        assert!(!CpuMode::User.is_kernel());
+    }
+
+    #[test]
+    fn event_names_are_distinct() {
+        let mut names: Vec<&str> = HwEvent::ALL.iter().map(|e| e.unit_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), HwEvent::ALL.len());
+    }
+
+    #[test]
+    fn figure1_column_labels() {
+        // Figure 1 of the paper headers the two columns "Time %" and "Dmiss %".
+        assert_eq!(HwEvent::Cycles.column_label(), "Time %");
+        assert_eq!(HwEvent::L2Miss.column_label(), "Dmiss %");
+    }
+}

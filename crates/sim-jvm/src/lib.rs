@@ -1,0 +1,40 @@
+//! # sim-jvm — simulated Java virtual machine substrate
+//!
+//! A Jikes-RVM-shaped virtual machine: programs are classes of methods
+//! in a mini bytecode, compiled on first use by a baseline JIT and
+//! recompiled at higher optimization levels by an adaptive optimization
+//! system; code bodies live *inside the garbage-collected heap* and are
+//! moved by the semispace copying collector — the exact property that
+//! makes profiling JIT code hard and motivates VIProf's epoch-chained
+//! code maps (paper §3.1).
+//!
+//! The VM's own internals (class loader, compilers, GC) execute out of a
+//! *boot image* that the OS sees as a symbol-less `RVM.code.image`
+//! mapping, with a separate `RVM.map` method map written to the VFS —
+//! mirroring how Jikes RVM (written in Java) is invisible to stock
+//! OProfile but resolvable by VIProf's post-processor.
+//!
+//! Profilers attach through the [`hooks::VmProfilerHooks`] seam: compile
+//! and recompile events, GC-induced code moves, and epoch boundaries —
+//! the paper's VM Agent is an implementation of this trait.
+
+pub mod aos;
+pub mod asm;
+pub mod bootimage;
+pub mod bytecode;
+pub mod classes;
+pub mod heap;
+pub mod hooks;
+pub mod interp;
+pub mod natives;
+pub mod vm;
+
+pub use aos::{AosPolicy, OptLevel};
+pub use asm::MethodAsm;
+pub use bootimage::{BootImage, BootMethod, RVM_MAP_PATH};
+pub use bytecode::{ClassId, MethodId, NativeFnId, Op, VerifyError};
+pub use classes::{ClassDecl, MethodDecl, ProgramBuilder, ProgramDef};
+pub use heap::{GcMode, GcStats, Heap, MatureConfig, ObjKind, ObjRef, Value};
+pub use hooks::{CompiledBodyInfo, NullHooks, VmProfilerHooks};
+pub use natives::{NativeFn, NativeRegistry};
+pub use vm::{ExecCosts, Tiering, Vm, VmConfig, VmStats};

@@ -1,0 +1,196 @@
+//! Native functions: libc calls and syscalls the Java code can invoke.
+//!
+//! The paper's Figure 1 shows `libc-2.3.2.so memset` as a top row of
+//! both profilers — native-library time is part of the vertical profile.
+//! A [`NativeFn`] models one such function: user-mode cycles attributed
+//! to a symbol in a native image, optionally followed by kernel-mode
+//! cycles attributed to a kernel symbol (the syscall portion).
+
+use crate::bytecode::NativeFnId;
+use crate::classes::MemSpec;
+use serde::{Deserialize, Serialize};
+
+/// What the native call returns to the bytecode stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NativeResult {
+    Zero,
+    /// Echo the first argument (e.g. `memset` returning its pointer).
+    Arg0,
+}
+
+/// One native function.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NativeFn {
+    /// Reported name, e.g. `memset`.
+    pub symbol: String,
+    /// OS image that hosts it, e.g. `libc-2.3.2.so`.
+    pub image: String,
+    /// Arguments popped from the operand stack.
+    pub arity: u16,
+    /// Fixed user-mode cycles per call.
+    pub cycles_base: u64,
+    /// Extra user-mode cycles per unit of the first argument (e.g.
+    /// bytes for `memset`). Ignored when arity is 0.
+    pub cycles_per_unit: f64,
+    /// Memory accesses per unit of the first argument (drives the
+    /// statistical miss model; `memset` touches 1/8 access per byte).
+    pub accesses_per_unit: f64,
+    /// Cache behaviour of those accesses.
+    pub mem: MemSpec,
+    /// Kernel portion: symbol in `vmlinux` plus fixed cycles (0 = pure
+    /// user-mode call).
+    pub kernel_symbol: Option<String>,
+    pub kernel_cycles: u64,
+    pub result: NativeResult,
+}
+
+impl NativeFn {
+    /// A `memset`-like bulk memory routine: heavy streaming writes,
+    /// poor cache behaviour per byte (the paper's top Dmiss row).
+    pub fn memset() -> Self {
+        NativeFn {
+            symbol: "memset".into(),
+            image: "libc-2.3.2.so".into(),
+            arity: 1,
+            cycles_base: 60,
+            cycles_per_unit: 0.25,
+            accesses_per_unit: 0.125, // one 8-byte store per 8 bytes
+            mem: MemSpec::new(0.12, 0.06),
+            kernel_symbol: None,
+            kernel_cycles: 0,
+            result: NativeResult::Arg0,
+        }
+    }
+
+    /// A `write(2)`-like syscall: small user stub, kernel-side copy.
+    pub fn sys_write() -> Self {
+        NativeFn {
+            symbol: "write".into(),
+            image: "libc-2.3.2.so".into(),
+            arity: 1,
+            cycles_base: 150,
+            cycles_per_unit: 0.05,
+            accesses_per_unit: 0.02,
+            mem: MemSpec::default(),
+            kernel_symbol: Some("sys_write".into()),
+            kernel_cycles: 2_800,
+            result: NativeResult::Zero,
+        }
+    }
+
+    /// A `gettimeofday`-like cheap syscall.
+    pub fn gettimeofday() -> Self {
+        NativeFn {
+            symbol: "gettimeofday".into(),
+            image: "libc-2.3.2.so".into(),
+            arity: 0,
+            cycles_base: 90,
+            cycles_per_unit: 0.0,
+            accesses_per_unit: 0.0,
+            mem: MemSpec::default(),
+            kernel_symbol: Some("do_gettimeofday".into()),
+            kernel_cycles: 700,
+            result: NativeResult::Zero,
+        }
+    }
+
+    /// User+kernel cycle cost of one call with first argument `arg0`.
+    pub fn cost(&self, arg0: i64) -> (u64, u64) {
+        let units = arg0.max(0) as f64;
+        let user = self.cycles_base + (self.cycles_per_unit * units) as u64;
+        (user, self.kernel_cycles)
+    }
+
+    /// Memory accesses of one call with first argument `arg0`.
+    pub fn accesses(&self, arg0: i64) -> u64 {
+        (self.accesses_per_unit * arg0.max(0) as f64) as u64
+    }
+}
+
+/// Registry of all natives a program uses.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NativeRegistry {
+    fns: Vec<NativeFn>,
+}
+
+impl NativeRegistry {
+    pub fn new() -> Self {
+        NativeRegistry::default()
+    }
+
+    pub fn register(&mut self, f: NativeFn) -> NativeFnId {
+        self.fns.push(f);
+        NativeFnId(self.fns.len() as u32 - 1)
+    }
+
+    pub fn get(&self, id: NativeFnId) -> &NativeFn {
+        &self.fns[id.0 as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.fns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fns.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (NativeFnId, &NativeFn)> {
+        self.fns
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (NativeFnId(i as u32), f))
+    }
+
+    /// Distinct native image names used (for the loader).
+    pub fn image_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.fns.iter().map(|f| f.image.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memset_cost_scales_with_size() {
+        let m = NativeFn::memset();
+        let (u0, k0) = m.cost(0);
+        let (u1, k1) = m.cost(100_000);
+        assert_eq!(u0, 60);
+        assert_eq!(u1, 60 + 25_000);
+        assert_eq!((k0, k1), (0, 0), "memset has no kernel part");
+        assert_eq!(m.accesses(80), 10);
+    }
+
+    #[test]
+    fn negative_arg_treated_as_zero() {
+        let m = NativeFn::memset();
+        assert_eq!(m.cost(-5), m.cost(0));
+        assert_eq!(m.accesses(-5), 0);
+    }
+
+    #[test]
+    fn syscall_has_kernel_part() {
+        let w = NativeFn::sys_write();
+        let (_, k) = w.cost(10);
+        assert!(k > 0);
+        assert_eq!(w.kernel_symbol.as_deref(), Some("sys_write"));
+    }
+
+    #[test]
+    fn registry_interning_and_images() {
+        let mut r = NativeRegistry::new();
+        let a = r.register(NativeFn::memset());
+        let b = r.register(NativeFn::sys_write());
+        let c = r.register(NativeFn::gettimeofday());
+        assert_eq!(r.get(a).symbol, "memset");
+        assert_eq!(r.get(b).symbol, "write");
+        assert_eq!(r.get(c).arity, 0);
+        assert_eq!(r.image_names(), vec!["libc-2.3.2.so"]);
+        assert_eq!(r.len(), 3);
+    }
+}

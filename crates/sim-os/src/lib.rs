@@ -1,0 +1,33 @@
+//! # sim-os — simulated operating-system substrate
+//!
+//! Models the Linux layer the VIProf paper runs on: processes with
+//! address spaces made of VMAs, loadable images carrying symbol tables,
+//! a kernel that dispatches NMIs and resolves PCs the way OProfile's
+//! kernel module does, a timer queue that drives the userspace profiling
+//! daemon, and an in-memory VFS that stands in for the filesystem where
+//! OProfile keeps its sample files and VIProf its epoch code maps.
+//!
+//! The [`machine::Machine`] type bundles a [`sim_cpu::Cpu`] with the
+//! kernel and is the object everything above (JVM, workloads, profilers)
+//! executes against.
+
+pub mod image;
+pub mod kernel;
+pub mod loader;
+pub mod machine;
+pub mod process;
+pub mod rng;
+pub mod vfs;
+pub mod vma;
+
+pub use image::{Image, ImageId, ImageTable, Symbol};
+pub use kernel::{Kernel, Resolution};
+pub use loader::Loader;
+pub use machine::{
+    share_handler, Machine, MachineConfig, MachineCtx, MachineService, OsNmiHandler,
+    OsNullHandler, SharedHandler,
+};
+pub use process::Process;
+pub use rng::SplitMix64;
+pub use vfs::Vfs;
+pub use vma::{AddressSpace, Vma, VmaBacking};

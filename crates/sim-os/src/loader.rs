@@ -1,0 +1,106 @@
+//! Program loader: maps images and anonymous regions into a process's
+//! address space with page-aligned bump allocation.
+
+use crate::image::ImageId;
+use crate::kernel::Kernel;
+use crate::vma::Vma;
+use sim_cpu::{Addr, Pid};
+
+/// Page size used for alignment of all mappings.
+pub const PAGE: u64 = 0x1000;
+
+/// Default placement hints, mimicking a 32-bit Linux layout: binaries
+/// low, libraries in the middle, anonymous heaps high (the paper's
+/// Figure 1 shows Jikes RVM heap ranges like `0x64000000-0x65000000`).
+pub const BIN_HINT: Addr = 0x0804_8000;
+pub const LIB_HINT: Addr = 0x4000_0000;
+pub const ANON_HINT: Addr = 0x6000_0000;
+
+fn page_align_up(x: u64) -> u64 {
+    x.div_ceil(PAGE) * PAGE
+}
+
+/// Stateless loader operating on the kernel's process table.
+pub struct Loader;
+
+impl Loader {
+    /// Map the whole text of `image` into `pid`'s space at or above
+    /// `hint`. Returns the chosen base address.
+    pub fn load_image(kernel: &mut Kernel, pid: Pid, image: ImageId, hint: Addr) -> Addr {
+        let size = page_align_up(kernel.images.get(image).text_size.max(1));
+        let proc_ = kernel
+            .process_mut(pid)
+            .unwrap_or_else(|| panic!("no such process {pid}"));
+        let base = proc_.space.find_free(page_align_up(hint), size);
+        proc_
+            .space
+            .map(Vma::image(base, base + size, image, 0))
+            .expect("find_free returned an overlapping range");
+        base
+    }
+
+    /// Map `size` bytes of anonymous memory at or above `hint`.
+    /// Returns the mapped range.
+    pub fn map_anon(kernel: &mut Kernel, pid: Pid, size: u64, hint: Addr) -> (Addr, Addr) {
+        let size = page_align_up(size.max(1));
+        let proc_ = kernel
+            .process_mut(pid)
+            .unwrap_or_else(|| panic!("no such process {pid}"));
+        let base = proc_.space.find_free(page_align_up(hint), size);
+        proc_
+            .space
+            .map(Vma::anon(base, base + size))
+            .expect("find_free returned an overlapping range");
+        (base, base + size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Image;
+    use sim_cpu::CpuMode;
+
+    #[test]
+    fn load_places_at_hint_and_is_resolvable() {
+        let mut k = Kernel::new();
+        let img = k.images.insert(Image::new("app", 0x1800));
+        let pid = k.spawn("app");
+        let base = Loader::load_image(&mut k, pid, img, BIN_HINT);
+        assert_eq!(base, BIN_HINT);
+        let r = k.resolve_pc(pid, base + 0x10, CpuMode::User);
+        assert_eq!(r.image, Some((img, 0x10)));
+        assert_eq!(k.process(pid).unwrap().space.image_base(img), Some(base));
+    }
+
+    #[test]
+    fn successive_loads_do_not_overlap() {
+        let mut k = Kernel::new();
+        let a = k.images.insert(Image::new("a.so", 0x2000));
+        let b = k.images.insert(Image::new("b.so", 0x2000));
+        let pid = k.spawn("app");
+        let ba = Loader::load_image(&mut k, pid, a, LIB_HINT);
+        let bb = Loader::load_image(&mut k, pid, b, LIB_HINT);
+        assert!(bb >= ba + 0x2000);
+    }
+
+    #[test]
+    fn anon_mapping_is_page_aligned_and_classified_anon() {
+        let mut k = Kernel::new();
+        let pid = k.spawn("jvm");
+        let (start, end) = Loader::map_anon(&mut k, pid, 10, ANON_HINT);
+        assert_eq!(start % PAGE, 0);
+        assert_eq!(end - start, PAGE);
+        assert!(k.resolve_pc(pid, start, CpuMode::User).is_anon());
+    }
+
+    #[test]
+    fn text_size_is_rounded_up_to_pages() {
+        let mut k = Kernel::new();
+        let img = k.images.insert(Image::new("tiny", 1));
+        let pid = k.spawn("p");
+        let base = Loader::load_image(&mut k, pid, img, 0x10000);
+        let vma = *k.process(pid).unwrap().space.lookup(base).unwrap();
+        assert_eq!(vma.len(), PAGE);
+    }
+}

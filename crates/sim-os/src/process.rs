@@ -1,0 +1,36 @@
+//! Processes: a PID, a name, and an address space.
+
+use crate::vma::AddressSpace;
+use serde::{Deserialize, Serialize};
+use sim_cpu::Pid;
+
+/// A simulated process.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Process {
+    pub pid: Pid,
+    pub name: String,
+    pub space: AddressSpace,
+}
+
+impl Process {
+    pub fn new(pid: Pid, name: impl Into<String>) -> Self {
+        Process {
+            pid,
+            name: name.into(),
+            space: AddressSpace::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_process_has_empty_space() {
+        let p = Process::new(Pid(12), "jikesrvm");
+        assert_eq!(p.pid, Pid(12));
+        assert_eq!(p.name, "jikesrvm");
+        assert!(p.space.is_empty());
+    }
+}

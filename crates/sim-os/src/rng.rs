@@ -1,0 +1,124 @@
+//! Deterministic PRNG shared by the simulated stack.
+//!
+//! SplitMix64: tiny, fast, and — unlike pulling `rand`'s thread RNG —
+//! exactly reproducible from the seed every experiment prints. The
+//! Figure-2 "system noise" model and workload jitter both draw from it.
+
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 generator (public-domain algorithm by Sebastiano Vigna).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Approximately standard-normal deviate (sum of 12 uniforms − 6:
+    /// Irwin–Hall; adequate for the ±2 % noise model and fully
+    /// deterministic).
+    pub fn next_normal(&mut self) -> f64 {
+        let mut s = 0.0;
+        for _ in 0..12 {
+            s += self.next_f64();
+        }
+        s - 6.0
+    }
+
+    /// Derive an independent stream (for parallel benchmark runs).
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..10_000 {
+            let x = r.range_u64(10, 20);
+            assert!((10..20).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut r = SplitMix64::new(1234);
+        let n = 100_000;
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = r.next_normal();
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn fork_streams_are_independent_but_deterministic() {
+        let mut a = SplitMix64::new(5);
+        let fork1: Vec<u64> = {
+            let mut f = a.fork();
+            (0..5).map(|_| f.next_u64()).collect()
+        };
+        let mut b = SplitMix64::new(5);
+        let fork2: Vec<u64> = {
+            let mut f = b.fork();
+            (0..5).map(|_| f.next_u64()).collect()
+        };
+        assert_eq!(fork1, fork2);
+    }
+}

@@ -1,0 +1,199 @@
+//! In-memory virtual filesystem.
+//!
+//! Stands in for `/var/lib/oprofile/samples/…` and the directory where
+//! VIProf's VM agent writes its epoch code maps. A `BTreeMap` keeps
+//! listings sorted, which the epoch-chained post-processor relies on to
+//! enumerate `jit-map.<pid>.<epoch>` files in epoch order.
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// Flat, ordered, in-memory file store.
+#[derive(Debug, Clone, Default)]
+pub struct Vfs {
+    files: BTreeMap<String, Vec<u8>>,
+}
+
+impl Vfs {
+    pub fn new() -> Self {
+        Vfs::default()
+    }
+
+    /// Create or truncate a file with the given content.
+    pub fn write(&mut self, path: impl Into<String>, data: impl Into<Vec<u8>>) {
+        self.files.insert(path.into(), data.into());
+    }
+
+    /// Append to a file, creating it if absent.
+    pub fn append(&mut self, path: &str, data: &[u8]) {
+        self.files
+            .entry(path.to_string())
+            .or_default()
+            .extend_from_slice(data);
+    }
+
+    pub fn read(&self, path: &str) -> Option<&[u8]> {
+        self.files.get(path).map(|v| v.as_slice())
+    }
+
+    /// Zero-copy handle to a file's content.
+    pub fn read_bytes(&self, path: &str) -> Option<Bytes> {
+        self.files.get(path).map(|v| Bytes::copy_from_slice(v))
+    }
+
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    pub fn remove(&mut self, path: &str) -> Option<Vec<u8>> {
+        self.files.remove(path)
+    }
+
+    /// All paths with the given prefix, in lexicographic order.
+    pub fn list(&self, prefix: &str) -> Vec<&str> {
+        self.files
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.as_str())
+            .collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Total bytes stored (for overhead accounting / tests).
+    pub fn total_bytes(&self) -> usize {
+        self.files.values().map(|v| v.len()).sum()
+    }
+
+    /// Export every file to a real directory (simulated path separators
+    /// become host separators). Lets post-processing tools run outside
+    /// the simulation, like `opreport` runs after `opcontrol --stop`.
+    pub fn export_to_dir(&self, dir: &std::path::Path) -> std::io::Result<usize> {
+        for (path, data) in &self.files {
+            let rel = path.trim_start_matches('/');
+            let host = dir.join(rel);
+            if let Some(parent) = host.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(host, data)?;
+        }
+        Ok(self.files.len())
+    }
+
+    /// Import a directory tree exported by [`Vfs::export_to_dir`].
+    pub fn import_from_dir(dir: &std::path::Path) -> std::io::Result<Vfs> {
+        fn walk(base: &std::path::Path, dir: &std::path::Path, vfs: &mut Vfs) -> std::io::Result<()> {
+            for entry in std::fs::read_dir(dir)? {
+                let entry = entry?;
+                let path = entry.path();
+                if path.is_dir() {
+                    walk(base, &path, vfs)?;
+                } else {
+                    let rel = path
+                        .strip_prefix(base)
+                        .expect("walk stays under base")
+                        .to_string_lossy()
+                        .replace('\\', "/");
+                    vfs.write(format!("/{rel}"), std::fs::read(&path)?);
+                }
+            }
+            Ok(())
+        }
+        let mut vfs = Vfs::new();
+        walk(dir, dir, &mut vfs)?;
+        Ok(vfs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut v = Vfs::new();
+        v.write("/samples/a", b"hello".to_vec());
+        assert_eq!(v.read("/samples/a"), Some(&b"hello"[..]));
+        assert!(v.read("/samples/b").is_none());
+    }
+
+    #[test]
+    fn write_truncates() {
+        let mut v = Vfs::new();
+        v.write("/f", b"long content".to_vec());
+        v.write("/f", b"x".to_vec());
+        assert_eq!(v.read("/f"), Some(&b"x"[..]));
+    }
+
+    #[test]
+    fn append_creates_and_extends() {
+        let mut v = Vfs::new();
+        v.append("/log", b"ab");
+        v.append("/log", b"cd");
+        assert_eq!(v.read("/log"), Some(&b"abcd"[..]));
+    }
+
+    #[test]
+    fn list_is_prefix_filtered_and_sorted() {
+        let mut v = Vfs::new();
+        v.write("/maps/jit-map.12.2", vec![]);
+        v.write("/maps/jit-map.12.0", vec![]);
+        v.write("/maps/jit-map.12.1", vec![]);
+        v.write("/samples/x", vec![]);
+        assert_eq!(
+            v.list("/maps/"),
+            vec![
+                "/maps/jit-map.12.0",
+                "/maps/jit-map.12.1",
+                "/maps/jit-map.12.2"
+            ]
+        );
+        assert_eq!(v.list("/nope/"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn remove_and_accounting() {
+        let mut v = Vfs::new();
+        v.write("/a", b"12345".to_vec());
+        v.write("/b", b"678".to_vec());
+        assert_eq!(v.total_bytes(), 8);
+        assert_eq!(v.remove("/a"), Some(b"12345".to_vec()));
+        assert_eq!(v.len(), 1);
+        assert!(!v.exists("/a"));
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let mut v = Vfs::new();
+        v.write("/var/lib/oprofile/samples/current.db", b"binary\x00data".to_vec());
+        v.write("/jikes/RVM.map", b"00000000 00004000 m\n".to_vec());
+        v.write("/var/lib/oprofile/jit/4/map.0000000000", b"entry\n".to_vec());
+        let dir = std::env::temp_dir().join(format!("viprof-vfs-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(v.export_to_dir(&dir).unwrap(), 3);
+        let back = Vfs::import_from_dir(&dir).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(
+            back.read("/var/lib/oprofile/samples/current.db"),
+            v.read("/var/lib/oprofile/samples/current.db")
+        );
+        assert_eq!(back.read("/jikes/RVM.map"), v.read("/jikes/RVM.map"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_bytes_is_independent_copy() {
+        let mut v = Vfs::new();
+        v.write("/a", b"data".to_vec());
+        let b = v.read_bytes("/a").unwrap();
+        v.write("/a", b"other".to_vec());
+        assert_eq!(&b[..], b"data");
+    }
+}

@@ -1,0 +1,238 @@
+//! Background system load: the desktop the paper's testbed was not
+//! quite able to keep quiet.
+//!
+//! Two deterministic (seeded) components:
+//!
+//! * **desktop bursts** — small, frequent slices of X server / browser
+//!   work in `libfb.so` / `libxul.so.0d`. These produce the stray
+//!   Figure-1 rows (`fbCopyAreammx`, `fbCompositeSolidMask…`,
+//!   `libxul.so.0d (no symbols)`) in every system-wide profile;
+//! * **system events** — rare, heavy kernel-side bursts (page-cache
+//!   writeback, cron). Their Poisson-like arrival is what makes
+//!   repeated runs differ by ±1 % — the paper's "system noise and the
+//!   uncertainty involved in full system measurements" that shows up as
+//!   sub-1.0 bars in Figure 2.
+
+use sim_cpu::{Addr, BlockExec, CpuMode, MemActivity, Pid};
+use sim_os::loader::LIB_HINT;
+use sim_os::{Image, Kernel, Loader, MachineCtx, MachineService, Symbol};
+
+/// Load-model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BackgroundConfig {
+    /// Mean gap between desktop bursts (cycles).
+    pub desktop_gap: u64,
+    /// Desktop burst size range (cycles).
+    pub desktop_burst: (u64, u64),
+    /// Mean gap between heavy system events (cycles).
+    pub system_gap: u64,
+    /// Heavy event size range (cycles).
+    pub system_burst: (u64, u64),
+}
+
+impl Default for BackgroundConfig {
+    fn default() -> Self {
+        BackgroundConfig {
+            desktop_gap: 3_000_000,
+            desktop_burst: (5_000, 40_000),
+            // Rare, heavy system events (writeback storms, cron): their
+            // Poisson-like arrival gives repeated runs a ~1–2 % spread —
+            // enough that a lightly-profiled run occasionally measures
+            // *faster* than base, the paper's hsqldb/bloat observation.
+            system_gap: 7_000_000_000,
+            system_burst: (100_000_000, 600_000_000),
+        }
+    }
+}
+
+/// One target the load can execute in.
+#[derive(Debug, Clone, Copy)]
+struct Target {
+    pid: Pid,
+    mode: CpuMode,
+    pc_range: (Addr, Addr),
+    /// L2 misses per 1000 cycles (blitting is memory-bound).
+    l2_per_kcycle: u64,
+}
+
+/// The background-load machine service.
+pub struct BackgroundLoad {
+    config: BackgroundConfig,
+    desktop: Vec<Target>,
+    system: Vec<Target>,
+    next_desktop: u64,
+    next_system: u64,
+    pub desktop_bursts: u64,
+    pub system_events: u64,
+}
+
+impl BackgroundLoad {
+    /// Spawn the desktop processes (Xorg, firefox-bin) and build the
+    /// service.
+    pub fn install(kernel: &mut Kernel, config: BackgroundConfig) -> BackgroundLoad {
+        // Xorg with the fb blitters from Figure 1.
+        let libfb = match kernel.images.find_by_name("libfb.so") {
+            Some(id) => id,
+            None => kernel.images.insert(Image::new("libfb.so", 0x3000).with_symbols([
+                Symbol::new("fbCopyAreammx", 0x0000, 0x1000),
+                Symbol::new("fbCompositeSolidMask_nx8x8888mmx", 0x1000, 0x1000),
+                Symbol::new("fbSolidFillmmx", 0x2000, 0x1000),
+            ])),
+        };
+        // Firefox: big, stripped library (shows as "(no symbols)").
+        let libxul = match kernel.images.find_by_name("libxul.so.0d") {
+            Some(id) => id,
+            None => kernel.images.insert(Image::new("libxul.so.0d", 0x200000)),
+        };
+        let xorg = kernel.spawn("Xorg");
+        let fb_base = Loader::load_image(kernel, xorg, libfb, LIB_HINT);
+        let firefox = kernel.spawn("firefox-bin");
+        let xul_base = Loader::load_image(kernel, firefox, libxul, LIB_HINT);
+
+        let desktop = vec![
+            Target {
+                pid: xorg,
+                mode: CpuMode::User,
+                pc_range: (fb_base, fb_base + 0x1000), // fbCopyAreammx
+                l2_per_kcycle: 3,
+            },
+            Target {
+                pid: xorg,
+                mode: CpuMode::User,
+                pc_range: (fb_base + 0x1000, fb_base + 0x2000),
+                l2_per_kcycle: 4,
+            },
+            Target {
+                pid: firefox,
+                mode: CpuMode::User,
+                pc_range: (xul_base, xul_base + 0x200000),
+                l2_per_kcycle: 1,
+            },
+        ];
+        let system = vec![
+            Target {
+                pid: Pid::KERNEL,
+                mode: CpuMode::Kernel,
+                pc_range: kernel.kernel_symbol_range("clear_page"),
+                l2_per_kcycle: 6,
+            },
+            Target {
+                pid: Pid::KERNEL,
+                mode: CpuMode::Kernel,
+                pc_range: kernel.kernel_symbol_range("sys_write"),
+                l2_per_kcycle: 2,
+            },
+        ];
+        BackgroundLoad {
+            config,
+            desktop,
+            system,
+            next_desktop: config.desktop_gap,
+            next_system: config.system_gap / 2,
+            desktop_bursts: 0,
+            system_events: 0,
+        }
+    }
+
+    fn burst(ctx: &mut MachineCtx<'_>, t: &Target, cycles: u64) {
+        let l2 = cycles / 1_000 * t.l2_per_kcycle;
+        ctx.exec(&BlockExec {
+            pid: t.pid,
+            mode: t.mode,
+            pc_range: t.pc_range,
+            cycles,
+            instructions: cycles,
+            branches: cycles / 24,
+            mem: MemActivity::Stats {
+                l1d_misses: l2 * 3,
+                l2_misses: l2,
+            },
+        });
+    }
+}
+
+impl MachineService for BackgroundLoad {
+    fn poll(&mut self, ctx: &mut MachineCtx<'_>) {
+        let now = ctx.cpu.clock.cycles();
+        if now >= self.next_desktop {
+            let (lo, hi) = self.config.desktop_burst;
+            let cycles = ctx.rng.range_u64(lo, hi);
+            let t = self.desktop[ctx.rng.range_u64(0, self.desktop.len() as u64) as usize];
+            Self::burst(ctx, &t, cycles);
+            self.desktop_bursts += 1;
+            // Re-arm past *now* so long blocks don't cause burst storms.
+            let gap = ctx.rng.range_u64(self.config.desktop_gap / 2, self.config.desktop_gap * 2);
+            self.next_desktop = now + gap;
+        }
+        if now >= self.next_system {
+            let (lo, hi) = self.config.system_burst;
+            let cycles = ctx.rng.range_u64(lo, hi);
+            let t = self.system[ctx.rng.range_u64(0, self.system.len() as u64) as usize];
+            Self::burst(ctx, &t, cycles);
+            self.system_events += 1;
+            let gap = ctx.rng.range_u64(self.config.system_gap / 2, self.config.system_gap * 2);
+            self.next_system = now + gap;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_os::{Machine, MachineConfig};
+
+    fn run_with_seed(seed: u64) -> u64 {
+        let mut m = Machine::new(MachineConfig {
+            seed,
+            ..MachineConfig::default()
+        });
+        let bg = BackgroundLoad::install(&mut m.kernel, BackgroundConfig::default());
+        m.add_service(Box::new(bg));
+        // 2 simulated seconds of foreground work in 10ms chunks.
+        let app = m.kernel.spawn("app");
+        for _ in 0..200 {
+            m.exec(&BlockExec::compute(
+                app,
+                CpuMode::User,
+                (0x1000, 0x2000),
+                34_000_000,
+            ));
+        }
+        m.cpu.clock.cycles()
+    }
+
+    #[test]
+    fn background_adds_small_load() {
+        let total = run_with_seed(1);
+        let work = 200u64 * 34_000_000;
+        let extra = (total - work) as f64 / work as f64;
+        assert!(extra > 0.002 && extra < 0.10, "background load {extra}");
+    }
+
+    #[test]
+    fn different_seeds_give_different_elapsed() {
+        let a = run_with_seed(1);
+        let b = run_with_seed(2);
+        assert_ne!(a, b);
+        // Same seed → exactly reproducible.
+        assert_eq!(a, run_with_seed(1));
+    }
+
+    #[test]
+    fn desktop_images_installed_for_figure1() {
+        let mut m = Machine::new(MachineConfig::default());
+        BackgroundLoad::install(&mut m.kernel, BackgroundConfig::default());
+        assert!(m.kernel.images.find_by_name("libfb.so").is_some());
+        let xul = m.kernel.images.find_by_name("libxul.so.0d").unwrap();
+        assert!(!m.kernel.images.get(xul).has_symbols());
+    }
+
+    #[test]
+    fn double_install_reuses_images() {
+        let mut m = Machine::new(MachineConfig::default());
+        BackgroundLoad::install(&mut m.kernel, BackgroundConfig::default());
+        let before = m.kernel.images.len();
+        BackgroundLoad::install(&mut m.kernel, BackgroundConfig::default());
+        assert_eq!(m.kernel.images.len(), before);
+    }
+}

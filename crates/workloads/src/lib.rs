@@ -1,0 +1,26 @@
+//! # viprof-workloads — the paper's benchmark suite, synthesized
+//!
+//! SPEC JVM98, DaCapo and pseudoJBB cannot be run on a simulated JVM,
+//! so this crate builds *synthetic equivalents*: mini-bytecode programs
+//! whose knobs (hot-method count, method-table size, allocation rate,
+//! native-call share, cache behaviour, run length) are set per benchmark
+//! to reproduce the *activity profile* that drives every quantity the
+//! paper measures — sample distribution across layers (Figure 1),
+//! profiling overhead vs. run length and GC/compile frequency
+//! (Figure 2), and base execution times (Figure 3).
+//!
+//! The [`background`] module supplies the desktop/system noise the
+//! paper's full-system measurements ride on (`libxul.so`/`libfb.so`
+//! rows in Figure 1; the sub-1.0 "speedup" bars of Figure 2).
+
+pub mod background;
+pub mod plan;
+pub mod programs;
+pub mod runner;
+pub mod spec;
+
+pub use background::BackgroundLoad;
+pub use plan::{calibrate, WorkPlan};
+pub use programs::BuiltWorkload;
+pub use runner::{run_benchmark, ProfilerKind, RunOutcome};
+pub use spec::{catalog, find_benchmark, BenchParams, Suite};

@@ -1,0 +1,228 @@
+//! Bytecode generation: turn a [`BenchParams`] into a runnable program.
+//!
+//! Each benchmark becomes:
+//!
+//! * `workers` hot methods — inner loop of arithmetic + array reads and
+//!   writes, allocation churn, optional `memset`/`write(2)` calls;
+//! * `support_methods` cold methods — each compiled exactly once when
+//!   the startup method calls it (compile pressure and code-map bulk);
+//! * one startup method that touches every support method.
+//!
+//! The driver ([`crate::runner`]) invokes the workers via the VM's
+//! batched path according to a calibrated [`crate::plan::WorkPlan`].
+
+use crate::spec::BenchParams;
+use sim_jvm::{
+    ClassId, MethodAsm, MethodId, NativeFn, NativeRegistry, Op, ProgramBuilder, ProgramDef,
+};
+
+/// A program plus the handles the runner needs.
+#[derive(Debug, Clone)]
+pub struct BuiltWorkload {
+    pub params: BenchParams,
+    pub program: ProgramDef,
+    pub natives: NativeRegistry,
+    pub startup: MethodId,
+    pub workers: Vec<MethodId>,
+}
+
+/// Generate the worker body described by `params`.
+fn worker_body(
+    params: &BenchParams,
+    salt: i64,
+    memset: Option<sim_jvm::NativeFnId>,
+    write: Option<sim_jvm::NativeFnId>,
+) -> Vec<Op> {
+    // locals: 0 = loop counter, 1 = acc, 2 = array, 3 = churn counter,
+    //         4 = syscall counter
+    let len = params.array_len.max(1) as i64;
+    let mut a = MethodAsm::new();
+    // Fresh scratch array each invocation.
+    a.op(Op::Const(len)).op(Op::NewArray).op(Op::Store(2));
+    a.op(Op::Const(0)).op(Op::Store(1));
+    a.counted_loop(0, params.inner_iters.max(1) as i64, |l| {
+        // acc = (acc + salt) % 9973  — stays non-negative.
+        l.op(Op::Load(1))
+            .op(Op::Const(3 + salt))
+            .op(Op::Add)
+            .op(Op::Const(9_973))
+            .op(Op::Rem)
+            .op(Op::Store(1));
+        // read a[acc % len]
+        l.op(Op::Load(2))
+            .op(Op::Load(1))
+            .op(Op::Const(len))
+            .op(Op::Rem)
+            .op(Op::ALoad)
+            .op(Op::Pop);
+        // a[(acc*7) % len] = acc
+        l.op(Op::Load(2))
+            .op(Op::Load(1))
+            .op(Op::Const(7))
+            .op(Op::Mul)
+            .op(Op::Const(len))
+            .op(Op::Rem)
+            .op(Op::Load(1))
+            .op(Op::AStore);
+    });
+    // Allocation churn.
+    if params.alloc_objs_per_inv > 0 {
+        a.counted_loop(3, params.alloc_objs_per_inv as i64, |l| {
+            l.op(Op::New(ClassId(0))).op(Op::Pop);
+        });
+    }
+    // Native share.
+    if let Some(ms) = memset {
+        a.op(Op::Const(params.memset_bytes as i64))
+            .op(Op::NativeCall(ms))
+            .op(Op::Pop);
+    }
+    if let Some(wr) = write {
+        a.counted_loop(4, params.syscalls_per_inv as i64, |l| {
+            l.op(Op::Const(128)).op(Op::NativeCall(wr)).op(Op::Pop);
+        });
+    }
+    a.op(Op::Load(1)).op(Op::Ret);
+    a.assemble().expect("generated worker must assemble")
+}
+
+/// Build the whole program.
+pub fn build(params: &BenchParams) -> BuiltWorkload {
+    let mut natives = NativeRegistry::new();
+    let memset = (params.memset_bytes > 0).then(|| natives.register(NativeFn::memset()));
+    let write = (params.syscalls_per_inv > 0).then(|| natives.register(NativeFn::sys_write()));
+
+    let mut b = ProgramBuilder::new();
+    let data_class = b.add_class(format!("{}.Record", params.package), 6);
+    assert_eq!(data_class, ClassId(0), "worker bodies allocate ClassId(0)");
+    let main_class = b.add_class(format!("{}.Main", params.package), 0);
+
+    // Workers.
+    let mut workers = Vec::with_capacity(params.workers as usize);
+    for i in 0..params.workers {
+        let name = params
+            .worker_names
+            .get(i as usize)
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| format!("{}.Worker{i}.run", params.package));
+        let body = worker_body(params, i as i64, memset, write);
+        workers.push(b.add_method(main_class, name, 0, 5, body));
+    }
+    for w in &workers {
+        b.set_mem(*w, params.mem);
+    }
+
+    // Support methods: tiny distinct bodies (sizes vary so code-map
+    // entries aren't uniform).
+    let mut support = Vec::with_capacity(params.support_methods as usize);
+    for i in 0..params.support_methods {
+        let pad = (i % 7) as usize;
+        let mut code = vec![Op::Const(i as i64)];
+        code.extend(std::iter::repeat_n(Op::Dup, pad));
+        code.extend(std::iter::repeat_n(Op::Pop, pad));
+        code.push(Op::Ret);
+        support.push(b.add_method(
+            main_class,
+            format!("{}.Support{i}.init", params.package),
+            0,
+            0,
+            code,
+        ));
+    }
+
+    // Startup: call every support method once (first-use compilation).
+    let mut startup_code = Vec::with_capacity(support.len() * 2 + 2);
+    for s in &support {
+        startup_code.push(Op::Call(*s));
+        startup_code.push(Op::Pop);
+    }
+    startup_code.push(Op::Const(0));
+    startup_code.push(Op::Ret);
+    let startup = b.add_method(main_class, format!("{}.Main.startup", params.package), 0, 0, startup_code);
+
+    b.set_entry(startup);
+    let program = b
+        .build_with_natives(&natives)
+        .expect("generated program must validate");
+    BuiltWorkload {
+        params: params.clone(),
+        program,
+        natives,
+        startup,
+        workers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::find_benchmark;
+    use sim_jvm::{NullHooks, Value, Vm, VmConfig};
+    use sim_os::{Machine, MachineConfig};
+
+    #[test]
+    fn every_catalog_benchmark_builds_and_validates() {
+        for params in crate::spec::catalog() {
+            let w = build(&params);
+            assert_eq!(w.workers.len(), params.workers as usize, "{}", params.name);
+            assert!(
+                w.program.methods.len() as u32 >= params.workers + params.support_methods + 1
+            );
+        }
+    }
+
+    #[test]
+    fn ps_worker_names_come_from_figure1() {
+        let w = build(&find_benchmark("ps").unwrap());
+        let names: Vec<&str> = w
+            .workers
+            .iter()
+            .map(|m| w.program.method(*m).name.as_str())
+            .collect();
+        assert!(names.contains(
+            &"edu.unm.cs.oal.dacapo.javapostscript.red.scanner.Scanner.parseLine"
+        ));
+    }
+
+    #[test]
+    fn worker_executes_and_terminates() {
+        let mut p = find_benchmark("fop").unwrap();
+        p.inner_iters = 50;
+        p.alloc_objs_per_inv = 5;
+        let w = build(&p);
+        let mut m = Machine::new(MachineConfig::default());
+        let mut vm = Vm::boot(
+            &mut m,
+            w.program,
+            w.natives,
+            VmConfig {
+                heap_bytes: 4 * 1024 * 1024,
+                ..VmConfig::default()
+            },
+            Box::new(NullHooks),
+        );
+        let r = vm.call(&mut m, w.workers[0], &[]);
+        assert!(matches!(r, Value::I64(v) if (0..9_973).contains(&v)));
+    }
+
+    #[test]
+    fn startup_compiles_every_support_method() {
+        let mut p = find_benchmark("fop").unwrap();
+        p.support_methods = 40;
+        let w = build(&p);
+        let mut m = Machine::new(MachineConfig::default());
+        let mut vm = Vm::boot(
+            &mut m,
+            w.program,
+            w.natives,
+            VmConfig {
+                heap_bytes: 8 * 1024 * 1024,
+                ..VmConfig::default()
+            },
+            Box::new(NullHooks),
+        );
+        vm.call(&mut m, w.startup, &[]);
+        // startup + 40 supports compiled.
+        assert_eq!(vm.stats.compiles, 41);
+    }
+}

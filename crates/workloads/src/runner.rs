@@ -1,0 +1,222 @@
+//! Run orchestration: one benchmark run under a chosen profiler.
+
+use crate::background::{BackgroundConfig, BackgroundLoad};
+use crate::plan::WorkPlan;
+use crate::programs::BuiltWorkload;
+use crate::spec::BenchParams;
+use oprofile::{DriverStats, OpConfig, Oprofile, SampleDb};
+use parking_lot::Mutex;
+use sim_jvm::{NullHooks, Vm, VmConfig, VmProfilerHooks, VmStats};
+use sim_os::{Machine, MachineConfig};
+use std::sync::Arc;
+use viprof::agent::AgentStats;
+use viprof::Viprof;
+
+/// Which profiler (if any) observes the run.
+#[derive(Debug, Clone)]
+pub enum ProfilerKind {
+    /// Unprofiled base run (Figure 2's 1.0 line, Figure 3's table).
+    None,
+    /// Stock OProfile.
+    Oprofile(OpConfig),
+    /// VIProf (extended driver + VM agent).
+    Viprof(OpConfig),
+    /// VIProf with the precise-move agent extension (E4 ablation).
+    ViprofPreciseMoves(OpConfig),
+}
+
+impl ProfilerKind {
+    /// Cycle sampling at `period` (the Figure-2 configurations).
+    pub fn oprofile_at(period: u64) -> ProfilerKind {
+        ProfilerKind::Oprofile(OpConfig::time_at(period))
+    }
+
+    pub fn viprof_at(period: u64) -> ProfilerKind {
+        ProfilerKind::Viprof(OpConfig::time_at(period))
+    }
+}
+
+/// Everything a harness wants from one run.
+pub struct RunOutcome {
+    /// Simulated wall-clock of the whole run (the paper's measured
+    /// quantity).
+    pub seconds: f64,
+    pub cycles: u64,
+    pub vm: VmStats,
+    /// Final sample database (profiled runs).
+    pub db: Option<SampleDb>,
+    pub driver: Option<DriverStats>,
+    pub agent: Option<Arc<Mutex<AgentStats>>>,
+    /// The machine, for post-processing (reports read images + VFS).
+    pub machine: Machine,
+}
+
+/// VM configuration for a benchmark.
+pub fn vm_config(params: &BenchParams) -> VmConfig {
+    VmConfig {
+        heap_bytes: params.heap_mb * 1024 * 1024,
+        ..VmConfig::default()
+    }
+}
+
+/// Execute a calibrated plan on an existing machine. Returns the VM's
+/// final stats.
+pub fn execute_plan(
+    machine: &mut Machine,
+    built: &BuiltWorkload,
+    plan: &WorkPlan,
+    hooks: Box<dyn VmProfilerHooks>,
+) -> VmStats {
+    execute_plan_with_config(machine, built, plan, hooks, vm_config(&built.params))
+}
+
+/// [`execute_plan`] with an explicit VM configuration (GC-mode and
+/// AOS ablations).
+pub fn execute_plan_with_config(
+    machine: &mut Machine,
+    built: &BuiltWorkload,
+    plan: &WorkPlan,
+    hooks: Box<dyn VmProfilerHooks>,
+    config: VmConfig,
+) -> VmStats {
+    let mut vm = Vm::boot(
+        machine,
+        built.program.clone(),
+        built.natives.clone(),
+        config,
+        hooks,
+    );
+    // Long-lived data first (tables/caches), then class loading work.
+    vm.alloc_retained(machine, built.params.retained_kb as u64 * 1024);
+    vm.call(machine, built.startup, &[]);
+    for slice in 0..plan.slices {
+        for (i, w) in built.workers.iter().enumerate() {
+            let n = plan.slice_share(i, slice);
+            if n > 0 {
+                vm.run_batched(machine, *w, &[], n);
+            }
+        }
+    }
+    vm.shutdown(machine);
+    vm.stats
+}
+
+/// Run `built` once with `plan` under `profiler`. `seed` drives the
+/// background-noise model (pass a different seed per trial, as the
+/// paper's ten repeated measurements implicitly did).
+pub fn run_benchmark(
+    built: &BuiltWorkload,
+    plan: &WorkPlan,
+    profiler: ProfilerKind,
+    seed: u64,
+    background: bool,
+) -> RunOutcome {
+    let mut machine = Machine::new(MachineConfig {
+        seed,
+        ..MachineConfig::default()
+    });
+    if background {
+        let bg = BackgroundLoad::install(&mut machine.kernel, BackgroundConfig::default());
+        machine.add_service(Box::new(bg));
+    }
+
+    let precise = matches!(&profiler, ProfilerKind::ViprofPreciseMoves(_));
+    let (vm_stats, db, driver, agent) = match profiler {
+        ProfilerKind::None => {
+            let stats = execute_plan(&mut machine, built, plan, Box::new(NullHooks));
+            (stats, None, None, None)
+        }
+        ProfilerKind::Oprofile(config) => {
+            let op = Oprofile::start(&mut machine, config);
+            let stats = execute_plan(&mut machine, built, plan, Box::new(NullHooks));
+            let db = op.stop(&mut machine);
+            (stats, Some(db), Some(op.driver_stats()), None)
+        }
+        ProfilerKind::Viprof(config) | ProfilerKind::ViprofPreciseMoves(config) => {
+            let vp = Viprof::start(&mut machine, config);
+            let agent = vp.make_agent_with(precise);
+            let agent_stats = agent.stats_handle();
+            let stats = execute_plan(&mut machine, built, plan, Box::new(agent));
+            let db = vp.stop(&mut machine);
+            (stats, Some(db), Some(vp.driver_stats()), Some(agent_stats))
+        }
+    };
+
+    RunOutcome {
+        seconds: machine.seconds(),
+        cycles: machine.cpu.clock.cycles(),
+        vm: vm_stats,
+        db,
+        driver,
+        agent,
+        machine,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::calibrate;
+    use crate::programs::build;
+    use crate::spec::find_benchmark;
+
+    fn small_built() -> (BuiltWorkload, WorkPlan) {
+        let mut p = find_benchmark("fop").unwrap();
+        p.support_methods = 60;
+        // Small heap so GCs (and VIProf map writes) happen even at 1 %
+        // scale.
+        p.heap_mb = 2;
+        let built = build(&p);
+        let plan = calibrate(&built, 0.01);
+        (built, plan)
+    }
+
+    #[test]
+    fn base_run_produces_no_profile() {
+        let (built, plan) = small_built();
+        let out = run_benchmark(&built, &plan, ProfilerKind::None, 1, false);
+        assert!(out.db.is_none());
+        assert!(out.seconds > 0.0);
+        assert!(out.vm.compiles > 60);
+    }
+
+    #[test]
+    fn profiled_runs_are_slower_and_produce_samples() {
+        let (built, plan) = small_built();
+        let base = run_benchmark(&built, &plan, ProfilerKind::None, 1, false);
+        let oprof = run_benchmark(&built, &plan, ProfilerKind::oprofile_at(90_000), 1, false);
+        let viprof = run_benchmark(&built, &plan, ProfilerKind::viprof_at(90_000), 1, false);
+        assert!(oprof.seconds > base.seconds);
+        assert!(viprof.seconds > base.seconds);
+        assert!(oprof.db.unwrap().total_samples() > 0);
+        assert!(viprof.db.unwrap().total_samples() > 0);
+        // Classification differs: OProfile sees anon, VIProf sees JIT.
+        assert!(oprof.driver.unwrap().anon > 0);
+        let vd = viprof.driver.unwrap();
+        assert_eq!(vd.anon, 0);
+        assert!(vd.jit > 0);
+        // The agent wrote maps.
+        assert!(viprof.agent.unwrap().lock().maps_written >= 1);
+    }
+
+    #[test]
+    fn same_seed_same_cycles() {
+        let (built, plan) = small_built();
+        let a = run_benchmark(&built, &plan, ProfilerKind::None, 7, true);
+        let b = run_benchmark(&built, &plan, ProfilerKind::None, 7, true);
+        assert_eq!(a.cycles, b.cycles);
+        let c = run_benchmark(&built, &plan, ProfilerKind::None, 8, true);
+        assert_ne!(a.cycles, c.cycles, "different noise seed");
+    }
+
+    #[test]
+    fn faster_sampling_costs_more() {
+        let (built, plan) = small_built();
+        let slow = run_benchmark(&built, &plan, ProfilerKind::viprof_at(450_000), 1, false);
+        let fast = run_benchmark(&built, &plan, ProfilerKind::viprof_at(45_000), 1, false);
+        assert!(
+            fast.cycles > slow.cycles,
+            "45K sampling must cost more than 450K"
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Mini Figure 2: measure profiling overhead on one benchmark across
+//! sampling periods, for both profilers.
+//!
+//! ```text
+//! cargo run --release --example overhead_sweep [benchmark] [scale]
+//! ```
+
+use viprof_repro::workloads::{calibrate, find_benchmark, programs, run_benchmark, ProfilerKind};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "antlr".into());
+    let scale: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let params = find_benchmark(&name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}; see `catalog()`"));
+    let built = programs::build(&params);
+    let plan = calibrate(&built, scale);
+
+    let base = run_benchmark(&built, &plan, ProfilerKind::None, 1, false);
+    println!(
+        "{name}: base {:.2}s simulated ({} GCs, {} compiles, {} recompiles)\n",
+        base.seconds, base.vm.gcs, base.vm.compiles, base.vm.recompiles
+    );
+    println!(
+        "{:<12}{:>10}{:>12}{:>12}{:>14}",
+        "profiler", "period", "sim s", "slowdown", "samples"
+    );
+    for period in [45_000u64, 90_000, 450_000] {
+        for (label, kind) in [
+            ("OProfile", ProfilerKind::oprofile_at(period)),
+            ("VIProf", ProfilerKind::viprof_at(period)),
+        ] {
+            let out = run_benchmark(&built, &plan, kind, 1, false);
+            println!(
+                "{:<12}{:>10}{:>12.3}{:>12.4}{:>14}",
+                label,
+                period,
+                out.seconds,
+                out.seconds / base.seconds,
+                out.db.map(|d| d.total_samples()).unwrap_or(0)
+            );
+        }
+    }
+}

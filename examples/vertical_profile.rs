@@ -1,0 +1,59 @@
+//! The paper's Figure-1 case study as an example: profile DaCapo `ps`
+//! with stock OProfile and with VIProf, and contrast what each can see.
+//! Also prints the cross-layer call-sequence profile (§4.2).
+//!
+//! ```text
+//! cargo run --release --example vertical_profile
+//! ```
+
+use viprof_repro::oprofile::{opreport, OpConfig, ReportOptions};
+use viprof_repro::sim_os::{Machine, MachineConfig};
+use viprof_repro::viprof::Viprof;
+use viprof_repro::workloads::{
+    calibrate, find_benchmark, programs, run_benchmark, runner, ProfilerKind,
+};
+
+fn main() {
+    let params = find_benchmark("ps").expect("ps in catalog");
+    let built = programs::build(&params);
+    // A quarter of the paper's 12-second run keeps this example snappy.
+    let plan = calibrate(&built, 0.25);
+    let config = OpConfig::figure1(90_000, 9_000);
+    let opts = ReportOptions {
+        min_primary_percent: 0.05,
+        max_rows: Some(14),
+        ..ReportOptions::default()
+    };
+
+    // --- stock OProfile: JIT code is an anonymous range, the VM is a
+    //     symbol-less boot image ---
+    let run = run_benchmark(
+        &built,
+        &plan,
+        ProfilerKind::Oprofile(config.clone()),
+        7,
+        true,
+    );
+    let report = opreport(run.db.as_ref().unwrap(), &run.machine.kernel, &opts);
+    println!("=== What OProfile sees ===\n");
+    print!("{}", report.render_text());
+
+    // --- VIProf: same workload, every layer resolved ---
+    let run = run_benchmark(&built, &plan, ProfilerKind::Viprof(config.clone()), 7, true);
+    let report = Viprof::report(run.db.as_ref().unwrap(), &run.machine.kernel, &opts)
+        .expect("post-processing");
+    println!("\n=== What VIProf sees (same run) ===\n");
+    print!("{}", report.render_text());
+
+    // --- cross-layer call graph: drive a session by hand to keep the
+    //     collector ---
+    let mut machine = Machine::new(MachineConfig {
+        seed: 7,
+        ..MachineConfig::default()
+    });
+    let vp = Viprof::start(&mut machine, config);
+    runner::execute_plan(&mut machine, &built, &plan, Box::new(vp.make_agent()));
+    vp.stop(&mut machine);
+    println!("\n=== Call-sequence profile across layers ===\n");
+    print!("{}", vp.callgraph.lock().render_text(8));
+}

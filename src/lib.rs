@@ -1,0 +1,21 @@
+//! # viprof-repro — umbrella crate
+//!
+//! Re-exports the whole VIProf reproduction stack so examples and
+//! integration tests can reach every layer through one dependency:
+//!
+//! * [`sim_cpu`] — simulated CPU, performance counters, NMIs, caches;
+//! * [`sim_os`] — kernel, processes, address spaces, images, VFS;
+//! * [`sim_jvm`] — the Jikes-RVM-shaped virtual machine;
+//! * [`oprofile`] — the baseline system-wide profiler;
+//! * [`viprof`] — the paper's contribution (start here);
+//! * [`workloads`] — the synthetic SPEC JVM98 / DaCapo / pseudoJBB
+//!   suite and the run harness.
+//!
+//! See `examples/quickstart.rs` for the five-minute tour.
+
+pub use oprofile;
+pub use sim_cpu;
+pub use sim_jvm;
+pub use sim_os;
+pub use viprof;
+pub use viprof_workloads as workloads;

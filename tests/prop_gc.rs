@@ -1,0 +1,170 @@
+//! Property tests of the garbage collector: data integrity across
+//! collections, address-space discipline, and copying/non-moving
+//! equivalence.
+
+use proptest::prelude::*;
+use viprof_repro::sim_jvm::{ClassId, GcMode, Heap, MatureConfig, ObjRef, Value};
+
+/// Build a random object forest: each object may point at up to two
+/// earlier objects and carries a distinctive integer payload.
+#[derive(Debug, Clone)]
+struct Spec {
+    payload: i64,
+    link_a: Option<usize>,
+    link_b: Option<usize>,
+    rooted: bool,
+}
+
+fn arb_specs() -> impl Strategy<Value = Vec<Spec>> {
+    prop::collection::vec(
+        (any::<i64>(), any::<bool>(), 0usize..64, 0usize..64, any::<bool>(), any::<bool>()),
+        1..64,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (payload, rooted, a, b, la, lb))| Spec {
+                payload,
+                link_a: (la && i > 0).then(|| a % i),
+                link_b: (lb && i > 0).then(|| b % i),
+                rooted,
+            })
+            .collect()
+    })
+}
+
+fn build_heap(specs: &[Spec], mode: GcMode) -> (Heap, Vec<ObjRef>, Vec<ObjRef>) {
+    let region = (0x6000_0000u64, 0x6000_0000 + 512 * 1024);
+    let mut heap = match mode {
+        GcMode::Copying => Heap::with_mature(
+            region,
+            MatureConfig {
+                promote_after: 2,
+                fraction: 0.25,
+            },
+        ),
+        GcMode::NonMoving => Heap::non_moving(region),
+    };
+    let mut objs = Vec::with_capacity(specs.len());
+    let mut roots = Vec::new();
+    for s in specs {
+        let r = heap.alloc_data(ClassId(0), 3).expect("fits");
+        heap.get_mut(r).slots[0] = Value::I64(s.payload);
+        if let Some(a) = s.link_a {
+            let target: ObjRef = objs[a];
+            heap.get_mut(r).slots[1] = Value::Ref(Some(target));
+        }
+        if let Some(b) = s.link_b {
+            let target: ObjRef = objs[b];
+            heap.get_mut(r).slots[2] = Value::Ref(Some(target));
+        }
+        if s.rooted {
+            roots.push(r);
+        }
+        objs.push(r);
+    }
+    (heap, objs, roots)
+}
+
+/// Oracle reachability over the spec graph.
+fn reachable(specs: &[Spec]) -> Vec<bool> {
+    let mut live = vec![false; specs.len()];
+    let mut work: Vec<usize> = specs
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.rooted)
+        .map(|(i, _)| i)
+        .collect();
+    while let Some(i) = work.pop() {
+        if live[i] {
+            continue;
+        }
+        live[i] = true;
+        for l in [specs[i].link_a, specs[i].link_b].into_iter().flatten() {
+            work.push(l);
+        }
+    }
+    live
+}
+
+fn check_after_gcs(specs: &[Spec], mode: GcMode, gcs: usize) {
+    let (mut heap, objs, roots) = build_heap(specs, mode);
+    for _ in 0..gcs {
+        heap.collect(&roots, &[], |_| {});
+    }
+    let live = reachable(specs);
+    for (i, s) in specs.iter().enumerate() {
+        assert_eq!(
+            heap.is_live(objs[i]),
+            live[i],
+            "object {i} liveness (mode {mode:?})"
+        );
+        if live[i] {
+            let obj = heap.get(objs[i]);
+            assert_eq!(obj.slots[0], Value::I64(s.payload), "payload of {i}");
+            // Links still point at the intended (live) targets.
+            if let Some(a) = s.link_a {
+                assert_eq!(obj.slots[1], Value::Ref(Some(objs[a])));
+            }
+            if let Some(b) = s.link_b {
+                assert_eq!(obj.slots[2], Value::Ref(Some(objs[b])));
+            }
+        }
+    }
+    // Live objects never overlap in the address space.
+    let mut extents: Vec<(u64, u64)> = (0..specs.len())
+        .filter(|i| live[*i])
+        .map(|i| heap.range_of(objs[i]))
+        .collect();
+    extents.sort_unstable();
+    for w in extents.windows(2) {
+        assert!(w[0].1 <= w[1].0, "live objects overlap: {w:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn copying_gc_preserves_graphs_and_never_overlaps(specs in arb_specs(), gcs in 1usize..6) {
+        check_after_gcs(&specs, GcMode::Copying, gcs);
+    }
+
+    #[test]
+    fn non_moving_gc_preserves_graphs_and_never_overlaps(specs in arb_specs(), gcs in 1usize..6) {
+        check_after_gcs(&specs, GcMode::NonMoving, gcs);
+    }
+
+    #[test]
+    fn non_moving_addresses_are_stable(specs in arb_specs()) {
+        let (mut heap, objs, roots) = build_heap(&specs, GcMode::NonMoving);
+        let before: Vec<Option<u64>> = objs
+            .iter()
+            .map(|r| heap.is_live(*r).then(|| heap.addr_of(*r)))
+            .collect();
+        heap.collect(&roots, &[], |_| {});
+        heap.collect(&roots, &[], |_| {});
+        for (i, r) in objs.iter().enumerate() {
+            if heap.is_live(*r) {
+                prop_assert_eq!(Some(heap.addr_of(*r)), before[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn both_collectors_agree_on_liveness(specs in arb_specs(), gcs in 1usize..4) {
+        let (mut copy_heap, copy_objs, copy_roots) = build_heap(&specs, GcMode::Copying);
+        let (mut ms_heap, ms_objs, ms_roots) = build_heap(&specs, GcMode::NonMoving);
+        for _ in 0..gcs {
+            copy_heap.collect(&copy_roots, &[], |_| {});
+            ms_heap.collect(&ms_roots, &[], |_| {});
+        }
+        for i in 0..specs.len() {
+            prop_assert_eq!(
+                copy_heap.is_live(copy_objs[i]),
+                ms_heap.is_live(ms_objs[i]),
+                "object {} liveness diverges between collectors", i
+            );
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Property-based tests of the core data-structure invariants, checked
+//! against straightforward oracles.
+
+use proptest::prelude::*;
+use viprof_repro::oprofile::{RingBuffer, SampleBucket, SampleOrigin};
+use viprof_repro::sim_cpu::{
+    Cache, CacheConfig, Counter, CounterSpec, FracAcc, HwEvent, Pid,
+};
+use viprof_repro::sim_os::{AddressSpace, Image, ImageId, Symbol, Vma};
+
+// ---------- VMA map vs. linear-scan oracle ----------
+
+fn arb_ranges() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    // Candidate [start, end) pairs within a small window so overlaps
+    // actually happen.
+    prop::collection::vec((0u64..2_000, 1u64..200), 0..40)
+        .prop_map(|v| v.into_iter().map(|(s, l)| (s, s + l)).collect())
+}
+
+proptest! {
+    #[test]
+    fn vma_map_matches_linear_oracle(ranges in arb_ranges(), probes in prop::collection::vec(0u64..2_500, 50)) {
+        let mut space = AddressSpace::new();
+        let mut accepted: Vec<(u64, u64)> = Vec::new();
+        for (s, e) in ranges {
+            let overlaps = accepted.iter().any(|(as_, ae)| s < *ae && *as_ < e);
+            let result = space.map(Vma::anon(s, e));
+            prop_assert_eq!(result.is_ok(), !overlaps, "map({:#x},{:#x})", s, e);
+            if result.is_ok() {
+                accepted.push((s, e));
+            }
+        }
+        for p in probes {
+            let oracle = accepted.iter().find(|(s, e)| p >= *s && p < *e);
+            let got = space.lookup(p).map(|v| (v.start, v.end));
+            prop_assert_eq!(got, oracle.copied(), "probe {:#x}", p);
+        }
+    }
+
+    // ---------- counter overflow arithmetic ----------
+
+    #[test]
+    fn counter_overflow_count_is_partition_invariant(
+        period in 1u64..200_000,
+        chunks in prop::collection::vec(0u64..500_000, 1..40)
+    ) {
+        let total: u64 = chunks.iter().sum();
+        let mut c = Counter::new(CounterSpec::new(HwEvent::Cycles, period));
+        let mut overflows = 0;
+        for n in &chunks {
+            overflows += c.add(*n).count;
+        }
+        prop_assert_eq!(overflows, total / period);
+        prop_assert_eq!(c.total_events(), total);
+        // Remaining distance is consistent with the total.
+        prop_assert_eq!(c.until_overflow(), period - total % period);
+    }
+
+    #[test]
+    fn counter_overflow_positions_are_strictly_spaced(
+        period in 1u64..10_000,
+        n in 1u64..100_000
+    ) {
+        let mut c = Counter::new(CounterSpec::new(HwEvent::Cycles, period));
+        let o = c.add(n);
+        let positions: Vec<u64> = o.iter().collect();
+        for w in positions.windows(2) {
+            prop_assert_eq!(w[1] - w[0], period);
+        }
+        if let Some(first) = positions.first() {
+            // Fresh counter: the first overflow is exactly at `period`.
+            prop_assert_eq!(*first, period);
+        }
+        for p in &positions {
+            prop_assert!(*p >= 1 && *p <= n);
+        }
+    }
+
+    // ---------- FracAcc ----------
+
+    #[test]
+    fn fracacc_partition_invariance(
+        rate in 0.0f64..8.0,
+        chunks in prop::collection::vec(0u64..100_000, 1..30)
+    ) {
+        let total: u64 = chunks.iter().sum();
+        let mut one = FracAcc::new();
+        let expected = one.take(rate, total);
+        let mut split = FracAcc::new();
+        let mut got = 0u64;
+        for c in &chunks {
+            got += split.take(rate, *c);
+        }
+        prop_assert_eq!(got, expected);
+        // And the total is within 1 of the ideal.
+        let ideal = rate * total as f64;
+        prop_assert!((got as f64 - ideal).abs() <= 1.0 + ideal * 1e-9,
+            "got {} ideal {}", got, ideal);
+    }
+
+    // ---------- ring buffer vs. VecDeque oracle ----------
+
+    #[test]
+    fn ring_buffer_matches_deque_oracle(
+        capacity in 1usize..64,
+        ops in prop::collection::vec(prop::option::of(0u64..1_000), 1..300)
+    ) {
+        let mut ring = RingBuffer::new(capacity);
+        let mut oracle: std::collections::VecDeque<u64> = Default::default();
+        let mut oracle_dropped = 0u64;
+        let sample = |addr: u64| SampleBucket {
+            origin: SampleOrigin::Unknown,
+            event: HwEvent::Cycles,
+            addr,
+            epoch: 0,
+        };
+        for op in ops {
+            match op {
+                Some(addr) => {
+                    if oracle.len() == capacity {
+                        oracle_dropped += 1;
+                    } else {
+                        oracle.push_back(addr);
+                    }
+                    ring.push(sample(addr));
+                }
+                None => {
+                    let drained: Vec<u64> = ring.drain().iter().map(|b| b.addr).collect();
+                    let expect: Vec<u64> = oracle.drain(..).collect();
+                    prop_assert_eq!(drained, expect);
+                }
+            }
+        }
+        prop_assert_eq!(ring.dropped, oracle_dropped);
+        let drained: Vec<u64> = ring.drain().iter().map(|b| b.addr).collect();
+        let expect: Vec<u64> = oracle.drain(..).collect();
+        prop_assert_eq!(drained, expect);
+    }
+
+    // ---------- symbol table vs. linear oracle ----------
+
+    #[test]
+    fn symbol_resolution_matches_linear_oracle(
+        sizes in prop::collection::vec((1u64..100, 0u64..50), 1..60),
+        probes in prop::collection::vec(0u64..8_000, 40)
+    ) {
+        // Build non-overlapping symbols with random gaps.
+        let mut img = Image::new("test.so", 1 << 20);
+        let mut offset = 0u64;
+        let mut table: Vec<(u64, u64, String)> = Vec::new();
+        for (i, (size, gap)) in sizes.iter().enumerate() {
+            offset += gap;
+            let name = format!("sym{i}");
+            img.add_symbol(Symbol::new(name.clone(), offset, *size));
+            table.push((offset, offset + size, name));
+            offset += size;
+        }
+        for p in probes {
+            let oracle = table.iter().find(|(s, e, _)| p >= *s && p < *e).map(|(_, _, n)| n.clone());
+            let got = img.resolve(p).map(|s| s.name.clone());
+            prop_assert_eq!(got, oracle);
+        }
+    }
+
+    // ---------- cache: bounded capacity + LRU sanity ----------
+
+    #[test]
+    fn cache_hits_iff_within_associativity_window(
+        accesses in prop::collection::vec(0u64..16u64, 1..200)
+    ) {
+        // Single-set cache (1 set × 4 ways): LRU over line indices —
+        // compare against a brute-force LRU list.
+        let mut cache = Cache::new(CacheConfig::new(4 * 64, 64, 4));
+        let mut lru: Vec<u64> = Vec::new();
+        for line in accesses {
+            let addr = line * 64 * 1; // all map to set 0 only if sets==1
+            let hit = cache.access(addr);
+            let oracle_hit = lru.contains(&line);
+            prop_assert_eq!(hit, oracle_hit, "line {}", line);
+            lru.retain(|l| *l != line);
+            lru.push(line);
+            if lru.len() > 4 {
+                lru.remove(0);
+            }
+        }
+    }
+
+    // ---------- registration table ----------
+
+    #[test]
+    fn registry_classification_matches_ranges(
+        vms in prop::collection::vec((1u32..20, 0u64..1_000, 1u64..500), 0..8),
+        probes in prop::collection::vec((1u32..20, 0u64..2_000), 30)
+    ) {
+        use viprof_repro::viprof::registry::JitRegistry;
+        let mut reg = JitRegistry::new();
+        let mut oracle: Vec<(u32, u64, u64)> = Vec::new();
+        for (pid, start, len) in vms {
+            reg.register(Pid(pid), (start, start + len));
+            oracle.retain(|(p, _, _)| *p != pid);
+            oracle.push((pid, start, start + len));
+        }
+        for (pid, pc) in probes {
+            let expect = oracle
+                .iter()
+                .any(|(p, s, e)| *p == pid && pc >= *s && pc < *e);
+            prop_assert_eq!(reg.classify(Pid(pid), pc).is_some(), expect);
+        }
+    }
+}
+
+// ---------- sample DB serialization fuzz ----------
+
+proptest! {
+    #[test]
+    fn sample_db_serialization_round_trips(
+        entries in prop::collection::vec(
+            (0u8..4, 0u32..9, 0u64..1u64<<40, 0u64..64, 1u64..1_000),
+            0..150
+        ),
+        dropped in 0u64..1_000
+    ) {
+        use viprof_repro::oprofile::SampleDb;
+        let mut db = SampleDb::new();
+        for (tag, id, addr, epoch, count) in entries {
+            let origin = match tag {
+                0 => SampleOrigin::Image(ImageId(id)),
+                1 => SampleOrigin::Anon { pid: Pid(id), start: addr & !0xfff, end: (addr & !0xfff) + 0x1000 },
+                2 => SampleOrigin::JitApp { pid: Pid(id) },
+                _ => SampleOrigin::Unknown,
+            };
+            db.add(SampleBucket { origin, event: HwEvent::Cycles, addr, epoch }, count);
+        }
+        db.dropped = dropped;
+        let back = SampleDb::from_bytes(&db.to_bytes()).unwrap();
+        prop_assert_eq!(back, db);
+    }
+
+    #[test]
+    fn sample_db_rejects_arbitrary_bytes(garbage in prop::collection::vec(any::<u8>(), 0..200)) {
+        use viprof_repro::oprofile::SampleDb;
+        // Must never panic: either Ok (legit header by chance — only if
+        // it starts with the magic) or Err.
+        let _ = SampleDb::from_bytes(&garbage);
+    }
+}
