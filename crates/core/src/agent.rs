@@ -20,9 +20,114 @@ use crate::registry::SharedRegistry;
 use parking_lot::Mutex;
 use sim_cpu::{Addr, CostModel, Pid};
 use sim_jvm::{CompiledBodyInfo, MethodId, VmProfilerHooks};
-use sim_os::Vfs;
+use sim_os::{SplitMix64, Vfs};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+
+/// Counters for injected map-write faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MapFaultStats {
+    /// Epoch maps whose write was swallowed entirely.
+    pub lost_maps: u64,
+    /// Epoch maps truncated mid-write.
+    pub torn_maps: u64,
+    /// Individual lines garbled within surviving maps.
+    pub garbled_lines: u64,
+}
+
+/// Map-write fault injector: the agent-layer leg of a
+/// [`crate::faults::FaultPlan`]. Models a VM dying between map writes
+/// (lost map), a write cut short by a full disk or kill signal (torn
+/// map), and on-disk line damage (garbled lines).
+///
+/// Stats sit behind a shared handle, like [`AgentStats`]: the injector
+/// is boxed into the VM with the agent, and the session keeps a clone.
+#[derive(Debug, Clone)]
+pub struct MapFaults {
+    rng: SplitMix64,
+    /// Probability a whole map write is lost.
+    pub lose_rate: f64,
+    /// Probability a map write is torn (truncated).
+    pub tear_rate: f64,
+    /// Per-line garble probability in surviving maps.
+    pub garble_rate: f64,
+    stats: Arc<Mutex<MapFaultStats>>,
+}
+
+impl MapFaults {
+    pub fn new(seed: u64) -> MapFaults {
+        MapFaults {
+            rng: SplitMix64::new(seed),
+            lose_rate: 0.0,
+            tear_rate: 0.0,
+            garble_rate: 0.0,
+            stats: Default::default(),
+        }
+    }
+
+    /// Snapshot of the injected-fault counters.
+    pub fn stats(&self) -> MapFaultStats {
+        *self.stats.lock()
+    }
+
+    pub fn with_lost(mut self, rate: f64) -> MapFaults {
+        self.lose_rate = rate;
+        self
+    }
+
+    pub fn with_torn(mut self, rate: f64) -> MapFaults {
+        self.tear_rate = rate;
+        self
+    }
+
+    pub fn with_garbled(mut self, rate: f64) -> MapFaults {
+        self.garble_rate = rate;
+        self
+    }
+
+    /// Pass one rendered map through the fault schedule: `None` means
+    /// the write is lost entirely; otherwise the (possibly torn or
+    /// line-garbled) bytes to write.
+    pub fn corrupt_write(&mut self, rendered: &str) -> Option<Vec<u8>> {
+        if self.lose_rate > 0.0 && self.rng.next_f64() < self.lose_rate {
+            self.stats.lock().lost_maps += 1;
+            return None;
+        }
+        if self.tear_rate > 0.0 && self.rng.next_f64() < self.tear_rate {
+            // A torn write keeps some prefix — cut in the second half so
+            // the damage usually lands mid-line.
+            self.stats.lock().torn_maps += 1;
+            let len = rendered.len() as u64;
+            let cut = if len < 2 {
+                0
+            } else {
+                self.rng.range_u64(len / 2, len)
+            };
+            let mut bytes = rendered.as_bytes().to_vec();
+            bytes.truncate(cut as usize);
+            return Some(bytes);
+        }
+        if self.garble_rate > 0.0 {
+            let mut garbled = 0u64;
+            let mut out = String::with_capacity(rendered.len() + 8);
+            for line in rendered.lines() {
+                if !line.is_empty() && self.rng.next_f64() < self.garble_rate {
+                    // Invalid leading field: the post-processor must
+                    // quarantine exactly this line.
+                    out.push_str("!! ");
+                    garbled += 1;
+                }
+                out.push_str(line);
+                out.push('\n');
+            }
+            if garbled > 0 {
+                self.stats.lock().garbled_lines += garbled;
+                return Some(out.into_bytes());
+            }
+        }
+        Some(rendered.as_bytes().to_vec())
+    }
+}
 
 /// Agent-side counters (tests, ablations, EXPERIMENTS.md).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -63,6 +168,8 @@ pub struct VmAgent {
     /// this switch quantifies it (experiment E4).
     precise_moves: bool,
     pending_moves: Vec<CodeMapEntry>,
+    /// Optional map-write fault injector (robustness testing).
+    map_faults: Option<MapFaults>,
     /// Optional cross-layer call-graph collector.
     callgraph: Option<Arc<Mutex<CallGraph>>>,
     /// Record every Nth call edge (sampling keeps the inline hook cheap).
@@ -82,6 +189,7 @@ impl VmAgent {
             moved_flags: BTreeSet::new(),
             precise_moves: false,
             pending_moves: Vec::new(),
+            map_faults: None,
             callgraph: None,
             call_sample_interval: 16,
             call_counter: 0,
@@ -101,6 +209,17 @@ impl VmAgent {
     pub fn with_precise_moves(mut self, on: bool) -> VmAgent {
         self.precise_moves = on;
         self
+    }
+
+    /// Attach a map-write fault injector (robustness testing).
+    pub fn with_map_faults(mut self, faults: MapFaults) -> VmAgent {
+        self.map_faults = Some(faults);
+        self
+    }
+
+    /// Injected map-fault counters, if an injector is installed.
+    pub fn map_fault_stats(&self) -> Option<MapFaultStats> {
+        self.map_faults.as_ref().map(|f| f.stats())
     }
 
     /// Shared stats handle (readable after the agent is boxed into the
@@ -128,7 +247,17 @@ impl VmAgent {
             }
         }
         let entries: Vec<CodeMapEntry> = by_addr.into_values().collect();
-        vfs.write(map_path(pid, epoch), render_map(&entries).into_bytes());
+        let rendered = render_map(&entries);
+        // The fault seam sits between rendering and the VFS: the agent
+        // always does (and is charged for) the work; what reaches disk
+        // may be lost, torn, or garbled.
+        let payload = match &mut self.map_faults {
+            Some(f) => f.corrupt_write(&rendered),
+            None => Some(rendered.into_bytes()),
+        };
+        if let Some(bytes) = payload {
+            vfs.write(map_path(pid, epoch), bytes);
+        }
         self.moved_flags.clear();
         let mut st = self.stats.lock();
         st.maps_written += 1;
@@ -355,5 +484,82 @@ mod tests {
         let mut boxed: Box<dyn VmProfilerHooks> = Box::new(a);
         boxed.on_compile(&compile_info(0, 0x10, 0));
         assert_eq!(stats.lock().compiles_logged, 1);
+    }
+
+    #[test]
+    fn lost_map_writes_leave_epoch_gaps() {
+        let (mut a, _) = agent();
+        a = a.with_map_faults(MapFaults::new(3).with_lost(1.0));
+        let faults = a.map_faults.clone().unwrap();
+        let mut vfs = Vfs::new();
+        a.on_vm_start(Pid(7), (0x1000, 0x2000));
+        a.on_compile(&compile_info(0, 0x1000, 0));
+        a.on_gc_begin(0, &mut vfs);
+        a.on_vm_exit(1, &mut vfs);
+        assert!(vfs.is_empty(), "every write swallowed");
+        assert_eq!(faults.stats().lost_maps, 2);
+        // The agent still believes it wrote (cost charged, stats kept).
+        assert_eq!(a.stats.lock().maps_written, 2);
+    }
+
+    #[test]
+    fn garbled_lines_are_quarantined_not_fatal() {
+        let (mut a, _) = agent();
+        a = a.with_map_faults(MapFaults::new(5).with_garbled(1.0));
+        let faults = a.map_faults.clone().unwrap();
+        let mut vfs = Vfs::new();
+        a.on_vm_start(Pid(7), (0x1000, 0x2000));
+        a.on_compile(&compile_info(0, 0x1000, 0));
+        a.on_compile(&compile_info(1, 0x1100, 0));
+        a.on_gc_begin(0, &mut vfs);
+        assert_eq!(faults.stats().garbled_lines, 2);
+        let set = CodeMapSet::load(&vfs, Pid(7)).unwrap();
+        assert_eq!(set.quarantined_lines, 2);
+        assert_eq!(set.total_entries(), 0);
+    }
+
+    #[test]
+    fn torn_write_keeps_a_parseable_prefix() {
+        let mut f = MapFaults::new(11).with_torn(1.0);
+        let rendered = render_map(&[
+            CodeMapEntry {
+                addr: 0x100,
+                size: 0x40,
+                level: "base".into(),
+                signature: "app.A.run".into(),
+            },
+            CodeMapEntry {
+                addr: 0x200,
+                size: 0x40,
+                level: "base".into(),
+                signature: "app.B.run".into(),
+            },
+        ]);
+        let bytes = f.corrupt_write(&rendered).expect("torn, not lost");
+        assert!(bytes.len() < rendered.len(), "something was cut");
+        assert!(bytes.len() >= rendered.len() / 2, "cut lands in 2nd half");
+        assert_eq!(f.stats().torn_maps, 1);
+        // Whatever survived must never panic the lossy parser.
+        let parsed = crate::codemap::parse_map(std::str::from_utf8(&bytes).unwrap_or(""));
+        assert!(parsed.entries.len() <= 2);
+    }
+
+    #[test]
+    fn map_faults_replay_from_the_seed() {
+        let run = |seed| {
+            let mut f = MapFaults::new(seed)
+                .with_lost(0.3)
+                .with_torn(0.3)
+                .with_garbled(0.3);
+            let rendered = render_map(&[CodeMapEntry {
+                addr: 0x100,
+                size: 0x40,
+                level: "base".into(),
+                signature: "app.A.run".into(),
+            }]);
+            (0..32).map(|_| f.corrupt_write(&rendered)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9), "same seed, same damage");
+        assert_ne!(run(9), run(10), "different seed, different damage");
     }
 }

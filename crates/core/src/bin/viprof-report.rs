@@ -86,11 +86,11 @@ fn main() {
         }
     };
 
-    let report = if classic {
-        opreport(&db, &kernel, &options)
+    let (report, quality) = if classic {
+        (opreport(&db, &kernel, &options), None)
     } else {
-        match Viprof::report(&db, &kernel, &options) {
-            Ok(r) => r,
+        match Viprof::report_with_quality(&db, &kernel, &options) {
+            Ok((r, q)) => (r, Some(q)),
             Err(e) => {
                 eprintln!("viprof-report: {e}");
                 std::process::exit(1);
@@ -106,6 +106,24 @@ fn main() {
                 db.dropped
             );
             print!("{}", report.render_text());
+            if let Some(q) = quality {
+                if q.stale_epoch > 0 || q.unresolved > 0 || q.quarantined_lines > 0 {
+                    println!(
+                        "NOTE: resolution quality — {} resolved, {} via stale-epoch fallback, \
+                         {} unresolved; {} map lines quarantined, {} map files skipped",
+                        q.resolved,
+                        q.stale_epoch,
+                        q.unresolved,
+                        q.quarantined_lines,
+                        q.skipped_map_files
+                    );
+                }
+            }
+            if db.dropped > 0 {
+                let emitted = db.total_samples() + db.dropped;
+                let pct = 100.0 * db.dropped as f64 / emitted as f64;
+                println!("WARNING: {} samples dropped ({pct:.1}%)", db.dropped);
+            }
         }
         Format::Csv => print!("{}", report.render_csv()),
         Format::Json => {

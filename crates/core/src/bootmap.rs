@@ -7,6 +7,7 @@
 //! in the Jikes RVM internal map and use it to process samples
 //! associated with the VM component of the execution."
 
+use crate::error::ViprofError;
 use sim_jvm::bootimage::{parse_map, BootMethod, RVM_MAP_PATH};
 use sim_os::Vfs;
 
@@ -25,13 +26,19 @@ impl BootMap {
 
     /// Load `RVM.map` from the VFS (absent file → empty map; the
     /// post-processor then degrades to OProfile behaviour).
-    pub fn load(vfs: &Vfs) -> Result<BootMap, String> {
+    pub fn load(vfs: &Vfs) -> Result<BootMap, ViprofError> {
         match vfs.read(RVM_MAP_PATH) {
             None => Ok(BootMap::default()),
             Some(raw) => {
-                let text =
-                    std::str::from_utf8(raw).map_err(|e| format!("RVM.map not UTF-8: {e}"))?;
-                Ok(BootMap::new(parse_map(text)?))
+                let text = std::str::from_utf8(raw).map_err(|e| ViprofError::Corrupt {
+                    path: RVM_MAP_PATH.to_string(),
+                    detail: format!("not UTF-8: {e}"),
+                })?;
+                let methods = parse_map(text).map_err(|detail| ViprofError::Corrupt {
+                    path: RVM_MAP_PATH.to_string(),
+                    detail,
+                })?;
+                Ok(BootMap::new(methods))
             }
         }
     }

@@ -8,6 +8,7 @@
 //! sample will be associated with is the most recently compiled — or
 //! moved — method to occupy that address space" (§3.2).
 
+use crate::error::ViprofError;
 use sim_cpu::{Addr, Pid};
 use sim_os::Vfs;
 
@@ -50,30 +51,47 @@ pub fn render_map(entries: &[CodeMapEntry]) -> String {
     s
 }
 
-/// Parse a map file.
-pub fn parse_map(text: &str) -> Result<Vec<CodeMapEntry>, String> {
-    let mut out = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
+/// Outcome of a (lossy) map parse: the entries that decoded cleanly
+/// plus a count of lines that did not.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedMap {
+    pub entries: Vec<CodeMapEntry>,
+    /// Lines rejected (malformed field layout, bad hex).
+    pub quarantined: u64,
+}
+
+fn parse_line(line: &str) -> Option<CodeMapEntry> {
+    let mut parts = line.splitn(4, ' ');
+    let (addr, size, level, signature) =
+        (parts.next()?, parts.next()?, parts.next()?, parts.next()?);
+    Some(CodeMapEntry {
+        addr: u64::from_str_radix(addr, 16).ok()?,
+        size: u64::from_str_radix(size, 16).ok()?,
+        level: level.to_string(),
+        signature: signature.to_string(),
+    })
+}
+
+/// Parse a map file, quarantining bad lines instead of failing.
+///
+/// A map written by a crashing agent (or damaged on disk) is still
+/// mostly good: every cleanly-decoded line is kept, every damaged one
+/// is counted. One flipped bit must not cost a whole epoch's worth of
+/// resolution — the count surfaces in
+/// [`crate::resolve::ResolutionQuality::quarantined_lines`].
+pub fn parse_map(text: &str) -> ParsedMap {
+    let mut out = ParsedMap::default();
+    for line in text.lines() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let mut parts = line.splitn(4, ' ');
-        let (Some(addr), Some(size), Some(level), Some(signature)) =
-            (parts.next(), parts.next(), parts.next(), parts.next())
-        else {
-            return Err(format!("map line {}: malformed", lineno + 1));
-        };
-        out.push(CodeMapEntry {
-            addr: u64::from_str_radix(addr, 16)
-                .map_err(|e| format!("map line {}: bad addr: {e}", lineno + 1))?,
-            size: u64::from_str_radix(size, 16)
-                .map_err(|e| format!("map line {}: bad size: {e}", lineno + 1))?,
-            level: level.to_string(),
-            signature: signature.to_string(),
-        });
+        match parse_line(line) {
+            Some(e) => out.entries.push(e),
+            None => out.quarantined += 1,
+        }
     }
-    Ok(out)
+    out
 }
 
 /// One epoch's map, indexed for address lookup.
@@ -110,27 +128,57 @@ impl EpochMap {
 pub struct CodeMapSet {
     /// Sorted ascending by epoch.
     maps: Vec<EpochMap>,
+    /// Map lines rejected during load (see [`parse_map`]).
+    pub quarantined_lines: u64,
+    /// Whole map files skipped as unusable (unparseable filename or
+    /// non-UTF-8 content).
+    pub skipped_files: u64,
 }
 
 impl CodeMapSet {
     pub fn new(mut maps: Vec<EpochMap>) -> Self {
         maps.sort_by_key(|m| m.epoch);
-        CodeMapSet { maps }
+        CodeMapSet {
+            maps,
+            quarantined_lines: 0,
+            skipped_files: 0,
+        }
     }
 
     /// Load every map file for `pid` from the VFS.
-    pub fn load(vfs: &Vfs, pid: Pid) -> Result<CodeMapSet, String> {
+    ///
+    /// Degrades per file: an unusable file (garbage filename, binary
+    /// content) is skipped and counted; bad lines inside a usable file
+    /// are quarantined and counted. `Err` only when map files exist for
+    /// the pid but *none* could be used at all.
+    pub fn load(vfs: &Vfs, pid: Pid) -> Result<CodeMapSet, ViprofError> {
         let prefix = format!("{JIT_MAP_DIR}/{}/map.", pid.0);
         let mut maps = Vec::new();
-        for path in vfs.list(&prefix) {
-            let epoch: u64 = path[prefix.len()..]
-                .parse()
-                .map_err(|e| format!("bad map filename {path}: {e}"))?;
-            let text = std::str::from_utf8(vfs.read(path).expect("listed file must exist"))
-                .map_err(|e| format!("{path}: not UTF-8: {e}"))?;
-            maps.push(EpochMap::new(epoch, parse_map(text)?));
+        let mut quarantined = 0;
+        let mut skipped = 0;
+        let paths = vfs.list(&prefix);
+        let total_files = paths.len();
+        for path in paths {
+            let Ok(epoch) = path[prefix.len()..].parse::<u64>() else {
+                skipped += 1;
+                continue;
+            };
+            let Ok(text) = std::str::from_utf8(vfs.read(path).expect("listed file must exist"))
+            else {
+                skipped += 1;
+                continue;
+            };
+            let parsed = parse_map(text);
+            quarantined += parsed.quarantined;
+            maps.push(EpochMap::new(epoch, parsed.entries));
         }
-        Ok(CodeMapSet::new(maps))
+        if total_files > 0 && maps.is_empty() {
+            return Err(ViprofError::NoUsableMaps { pid });
+        }
+        let mut set = CodeMapSet::new(maps);
+        set.quarantined_lines = quarantined;
+        set.skipped_files = skipped;
+        Ok(set)
     }
 
     pub fn maps(&self) -> &[EpochMap] {
@@ -149,6 +197,35 @@ impl CodeMapSet {
             .iter()
             .rev()
             .find_map(|m| m.resolve(pc))
+    }
+
+    /// Salvage resolution for damaged chains: the paper's backward walk
+    /// first; on a miss, search *forward* through later epochs. A
+    /// forward hit is second-class — the body provably occupied the
+    /// address at some *later* time, so the attribution may be stale —
+    /// but it recovers samples whose own epoch's map was lost, or whose
+    /// epoch tag was skewed backwards by a lagging driver-side counter.
+    /// Returns the entry and whether it came from the stale (forward)
+    /// path.
+    pub fn resolve_salvage(&self, pc: Addr, epoch: u64) -> Option<(&CodeMapEntry, bool)> {
+        if let Some(e) = self.resolve(pc, epoch) {
+            return Some((e, false));
+        }
+        let start = self.maps.partition_point(|m| m.epoch <= epoch);
+        self.maps[start..]
+            .iter()
+            .find_map(|m| m.resolve(pc))
+            .map(|e| (e, true))
+    }
+
+    /// Epochs absent from the chain. The agent writes one map per epoch
+    /// from 0 up to the final flush, so any gap (or missing head) means
+    /// a lost write.
+    pub fn missing_epochs(&self) -> u64 {
+        match self.maps.last() {
+            Some(last) => (last.epoch + 1).saturating_sub(self.maps.len() as u64),
+            None => 0,
+        }
     }
 
     /// Total entries across all maps (agent overhead accounting).
@@ -176,24 +253,38 @@ mod tests {
             e(0x6400_0040, 0x80, "app.Main.run"),
             e(0x6400_0100, 0x40, "app.Util.helper"),
         ];
-        let parsed = parse_map(&render_map(&entries)).unwrap();
-        assert_eq!(parsed, entries);
+        let parsed = parse_map(&render_map(&entries));
+        assert_eq!(parsed.entries, entries);
+        assert_eq!(parsed.quarantined, 0);
     }
 
     #[test]
-    fn parse_rejects_malformed() {
-        assert!(parse_map("xyz 10 base sig").is_err());
-        assert!(parse_map("10 zz base sig").is_err());
-        assert!(parse_map("10 20 base").is_err());
-        assert_eq!(parse_map("# comment\n\n").unwrap().len(), 0);
+    fn parse_quarantines_malformed_lines() {
+        // Bad lines are counted, good lines around them survive.
+        let text = "xyz 10 base sig\n\
+                    100 40 base app.Good.one\n\
+                    10 zz base sig\n\
+                    10 20 base\n\
+                    # comment\n\
+                    \n\
+                    200 40 base app.Good.two\n";
+        let parsed = parse_map(text);
+        assert_eq!(parsed.quarantined, 3);
+        let sigs: Vec<&str> = parsed
+            .entries
+            .iter()
+            .map(|e| e.signature.as_str())
+            .collect();
+        assert_eq!(sigs, vec!["app.Good.one", "app.Good.two"]);
+        assert_eq!(parse_map("# comment\n\n"), ParsedMap::default());
     }
 
     #[test]
     fn signatures_with_spaces_survive() {
         // splitn(4) keeps everything after the level as the signature.
         let entries = vec![e(0x10, 0x10, "app.Main.run (I)V")];
-        let parsed = parse_map(&render_map(&entries)).unwrap();
-        assert_eq!(parsed[0].signature, "app.Main.run (I)V");
+        let parsed = parse_map(&render_map(&entries));
+        assert_eq!(parsed.entries[0].signature, "app.Main.run (I)V");
     }
 
     #[test]
@@ -256,5 +347,71 @@ mod tests {
         assert_eq!(set.resolve(0x300, 5).unwrap().signature, "m2");
         // Other pids' maps are invisible.
         assert!(CodeMapSet::load(&vfs, Pid(99)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn load_degrades_around_damaged_files() {
+        let mut vfs = Vfs::new();
+        let pid = Pid(5);
+        vfs.write(map_path(pid, 0), render_map(&[e(0x100, 0x40, "good")]).into_bytes());
+        // Epoch 1: one good line, one garbled.
+        vfs.write(
+            map_path(pid, 1),
+            b"!! torn garbage\n0000000000000200 00000040 base alive\n".to_vec(),
+        );
+        // Non-UTF-8 file: skipped wholesale.
+        vfs.write(map_path(pid, 2), vec![0xff, 0xfe, 0x00, 0x80]);
+        // Garbage filename under the same prefix: skipped.
+        vfs.write(format!("{JIT_MAP_DIR}/{}/map.zzz", pid.0), b"x".to_vec());
+        let set = CodeMapSet::load(&vfs, pid).unwrap();
+        assert_eq!(set.maps().len(), 2);
+        assert_eq!(set.quarantined_lines, 1);
+        assert_eq!(set.skipped_files, 2);
+        assert_eq!(set.resolve(0x210, 1).unwrap().signature, "alive");
+    }
+
+    #[test]
+    fn load_errors_only_when_nothing_is_usable() {
+        let mut vfs = Vfs::new();
+        let pid = Pid(6);
+        vfs.write(map_path(pid, 0), vec![0xff, 0xfe]);
+        let err = CodeMapSet::load(&vfs, pid).unwrap_err();
+        assert_eq!(err, ViprofError::NoUsableMaps { pid });
+    }
+
+    #[test]
+    fn salvage_searches_forward_after_backward_misses() {
+        // Epoch 1's map was lost; method X only appears in epoch 3's
+        // map. A sample tagged epoch 1 misses backwards but salvages
+        // forwards — flagged stale.
+        let set = CodeMapSet::new(vec![
+            EpochMap::new(0, vec![e(0x900, 0x40, "old")]),
+            EpochMap::new(3, vec![e(0x100, 0x40, "X")]),
+        ]);
+        assert!(set.resolve(0x110, 1).is_none());
+        let (hit, stale) = set.resolve_salvage(0x110, 1).unwrap();
+        assert_eq!((hit.signature.as_str(), stale), ("X", true));
+        // A backward hit is never marked stale.
+        let (hit, stale) = set.resolve_salvage(0x910, 2).unwrap();
+        assert_eq!((hit.signature.as_str(), stale), ("old", false));
+        // Nothing anywhere: still a miss.
+        assert!(set.resolve_salvage(0x500, 1).is_none());
+    }
+
+    #[test]
+    fn missing_epochs_counts_chain_gaps() {
+        let gap = CodeMapSet::new(vec![
+            EpochMap::new(0, vec![]),
+            EpochMap::new(3, vec![]),
+        ]);
+        assert_eq!(gap.missing_epochs(), 2, "epochs 1 and 2 lost");
+        let headless = CodeMapSet::new(vec![EpochMap::new(2, vec![])]);
+        assert_eq!(headless.missing_epochs(), 2, "epochs 0 and 1 lost");
+        let full = CodeMapSet::new(vec![
+            EpochMap::new(0, vec![]),
+            EpochMap::new(1, vec![]),
+        ]);
+        assert_eq!(full.missing_epochs(), 0);
+        assert_eq!(CodeMapSet::default().missing_epochs(), 0);
     }
 }

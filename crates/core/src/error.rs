@@ -1,0 +1,68 @@
+//! Typed errors for VIProf post-processing.
+//!
+//! The post-processor reads artifacts written by three independent
+//! actors (driver, daemon, VM agent) plus whatever a session export put
+//! on disk — plenty of ways for an artifact to be absent or damaged.
+//! Each failure that *cannot* be degraded around surfaces as one of
+//! these variants; everything that can be degraded around (a bad map
+//! line, a lost epoch, one pid's unreadable maps) is instead counted in
+//! [`crate::resolve::ResolutionQuality`] and resolution continues.
+
+use sim_cpu::Pid;
+
+/// A post-processing failure the resolver could not degrade around.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViprofError {
+    /// Host I/O failed while importing/exporting a session directory.
+    Io { path: String, detail: String },
+    /// A required session artifact is absent from the VFS.
+    MissingArtifact { path: String },
+    /// An artifact exists but cannot be decoded at all (bad metadata,
+    /// non-UTF-8 boot map, corrupt sample database).
+    Corrupt { path: String, detail: String },
+    /// Map files exist for this pid but not one of them was usable.
+    NoUsableMaps { pid: Pid },
+}
+
+impl std::fmt::Display for ViprofError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViprofError::Io { path, detail } => write!(f, "{path}: {detail}"),
+            ViprofError::MissingArtifact { path } => {
+                write!(f, "{path} missing from session")
+            }
+            ViprofError::Corrupt { path, detail } => {
+                write!(f, "{path} is corrupt: {detail}")
+            }
+            ViprofError::NoUsableMaps { pid } => {
+                write!(f, "pid {}: map files exist but none is usable", pid.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ViprofError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_artifact() {
+        let e = ViprofError::MissingArtifact {
+            path: "/meta/images.json".into(),
+        };
+        assert_eq!(e.to_string(), "/meta/images.json missing from session");
+        let e = ViprofError::NoUsableMaps { pid: Pid(12) };
+        assert!(e.to_string().contains("pid 12"));
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ViprofError::Corrupt {
+            path: "/x".into(),
+            detail: "bad".into(),
+        });
+    }
+}

@@ -1,0 +1,204 @@
+//! The full-pipeline fault plan: one seed, faults at every layer.
+//!
+//! [`FaultPlan`] is the façade a test (or chaos harness) configures:
+//! it derives independent, deterministic sub-injectors for each layer
+//! of the sampling pipeline —
+//!
+//! * **driver** (NMI path): overflow bursts, sample corruption,
+//!   epoch-counter skew — [`oprofile::DriverFaults`];
+//! * **daemon**: stalls and crash-and-restart with missed drain windows
+//!   — [`oprofile::DaemonFaults`];
+//! * **agent** (map writes): lost, torn, or garbled epoch code maps —
+//!   [`MapFaults`] in this module.
+//!
+//! Each sub-injector gets its own seed mixed from the master seed, so
+//! layers draw from independent streams yet the whole schedule replays
+//! bit-for-bit from one number. The real-world analogues are the
+//! documented OProfile/Jikes failure modes: a daemon too slow for its
+//! buffer, `oprofiled` killed mid-run, a VM dying between map writes,
+//! a map file truncated by a full disk.
+
+use crate::agent::{MapFaultStats, MapFaults};
+use oprofile::{DaemonFaults, DriverFaults, OpConfig};
+use sim_os::SplitMix64;
+
+/// A seeded, whole-pipeline fault schedule. All knobs default to off;
+/// a default plan injects nothing and perturbs nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    pub seed: u64,
+    /// (probability, burst length) of NMI overflow bursts.
+    pub overflow_burst: Option<(f64, u64)>,
+    /// Probability a sample's PC is garbled in the handler.
+    pub corrupt_rate: f64,
+    /// Epochs the driver's counter view lags the agent's.
+    pub epoch_skew: u64,
+    /// Probability any daemon wakeup stalls (drains nothing).
+    pub daemon_stall_rate: f64,
+    /// (crash at wakeup N, wakeups down) for one crash-and-restart.
+    pub daemon_crash: Option<(u64, u64)>,
+    /// Probability a whole epoch map write is lost.
+    pub map_lose_rate: f64,
+    /// Probability a map write is torn (truncated mid-file).
+    pub map_tear_rate: f64,
+    /// Per-line probability of garbling within surviving maps.
+    pub map_garble_rate: f64,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            overflow_burst: None,
+            corrupt_rate: 0.0,
+            epoch_skew: 0,
+            daemon_stall_rate: 0.0,
+            daemon_crash: None,
+            map_lose_rate: 0.0,
+            map_tear_rate: 0.0,
+            map_garble_rate: 0.0,
+        }
+    }
+
+    pub fn with_overflow_bursts(mut self, rate: f64, len: u64) -> FaultPlan {
+        self.overflow_burst = Some((rate, len));
+        self
+    }
+
+    pub fn with_sample_corruption(mut self, rate: f64) -> FaultPlan {
+        self.corrupt_rate = rate;
+        self
+    }
+
+    pub fn with_epoch_skew(mut self, skew: u64) -> FaultPlan {
+        self.epoch_skew = skew;
+        self
+    }
+
+    pub fn with_daemon_stalls(mut self, rate: f64) -> FaultPlan {
+        self.daemon_stall_rate = rate;
+        self
+    }
+
+    pub fn with_daemon_crash(mut self, at_wakeup: u64, down_wakeups: u64) -> FaultPlan {
+        self.daemon_crash = Some((at_wakeup, down_wakeups));
+        self
+    }
+
+    pub fn with_lost_maps(mut self, rate: f64) -> FaultPlan {
+        self.map_lose_rate = rate;
+        self
+    }
+
+    pub fn with_torn_maps(mut self, rate: f64) -> FaultPlan {
+        self.map_tear_rate = rate;
+        self
+    }
+
+    pub fn with_garbled_lines(mut self, rate: f64) -> FaultPlan {
+        self.map_garble_rate = rate;
+        self
+    }
+
+    /// Independent per-layer seed derived from the master seed.
+    fn sub_seed(&self, salt: u64) -> u64 {
+        SplitMix64::new(self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64()
+    }
+
+    /// The driver-layer injector, if any driver knob is set.
+    pub fn driver_faults(&self) -> Option<DriverFaults> {
+        if self.overflow_burst.is_none() && self.corrupt_rate == 0.0 && self.epoch_skew == 0 {
+            return None;
+        }
+        let mut f = DriverFaults::new(self.sub_seed(1))
+            .with_corruption(self.corrupt_rate)
+            .with_epoch_skew(self.epoch_skew);
+        if let Some((rate, len)) = self.overflow_burst {
+            f = f.with_bursts(rate, len);
+        }
+        Some(f)
+    }
+
+    /// The daemon-layer injector, if any daemon knob is set.
+    pub fn daemon_faults(&self) -> Option<DaemonFaults> {
+        if self.daemon_stall_rate == 0.0 && self.daemon_crash.is_none() {
+            return None;
+        }
+        let mut f = DaemonFaults::new(self.sub_seed(2)).with_stalls(self.daemon_stall_rate);
+        if let Some((at, down)) = self.daemon_crash {
+            f = f.with_crash(at, down);
+        }
+        Some(f)
+    }
+
+    /// The agent-layer (map write) injector, if any map knob is set.
+    pub fn agent_faults(&self) -> Option<MapFaults> {
+        if self.map_lose_rate == 0.0 && self.map_tear_rate == 0.0 && self.map_garble_rate == 0.0
+        {
+            return None;
+        }
+        Some(
+            MapFaults::new(self.sub_seed(3))
+                .with_lost(self.map_lose_rate)
+                .with_torn(self.map_tear_rate)
+                .with_garbled(self.map_garble_rate),
+        )
+    }
+
+    /// Wire the kernel-side injectors into a profiler configuration.
+    pub fn apply_to(&self, config: OpConfig) -> OpConfig {
+        config.with_faults(self.driver_faults(), self.daemon_faults())
+    }
+}
+
+/// Aggregate fault counters across a plan's layers (what was actually
+/// injected, for assertions and EXPERIMENTS tables).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    pub driver: oprofile::DriverFaultStats,
+    pub daemon: oprofile::DaemonFaultStats,
+    pub maps: MapFaultStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_builds_no_injectors() {
+        let p = FaultPlan::new(42);
+        assert!(p.driver_faults().is_none());
+        assert!(p.daemon_faults().is_none());
+        assert!(p.agent_faults().is_none());
+        let config = p.apply_to(OpConfig::default());
+        assert!(config.driver_faults.is_none());
+        assert!(config.daemon_faults.is_none());
+    }
+
+    #[test]
+    fn knobs_reach_the_right_layer() {
+        let p = FaultPlan::new(1)
+            .with_overflow_bursts(0.25, 4)
+            .with_daemon_crash(3, 2)
+            .with_torn_maps(0.5);
+        let d = p.driver_faults().unwrap();
+        assert_eq!((d.burst_rate, d.burst_len), (0.25, 4));
+        let dm = p.daemon_faults().unwrap();
+        assert_eq!(dm.crash_at_wakeup, Some(3));
+        assert_eq!(dm.down_wakeups, 2);
+        let a = p.agent_faults().unwrap();
+        assert_eq!(a.tear_rate, 0.5);
+        assert_eq!(a.lose_rate, 0.0);
+    }
+
+    #[test]
+    fn sub_seeds_differ_between_layers_but_replay() {
+        let p = FaultPlan::new(7);
+        assert_ne!(p.sub_seed(1), p.sub_seed(2));
+        assert_ne!(p.sub_seed(2), p.sub_seed(3));
+        let q = FaultPlan::new(7);
+        assert_eq!(p.sub_seed(1), q.sub_seed(1));
+        let r = FaultPlan::new(8);
+        assert_ne!(p.sub_seed(1), r.sub_seed(1));
+    }
+}

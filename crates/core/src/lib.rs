@@ -32,6 +32,8 @@ pub mod agent;
 pub mod bootmap;
 pub mod callgraph;
 pub mod codemap;
+pub mod error;
+pub mod faults;
 pub mod registry;
 pub mod report;
 pub mod resolve;
@@ -39,13 +41,15 @@ pub mod runtime;
 pub mod session;
 pub mod xen;
 
-pub use agent::{AgentStats, VmAgent};
+pub use agent::{AgentStats, MapFaultStats, MapFaults, VmAgent};
 pub use bootmap::BootMap;
 pub use callgraph::CallGraph;
-pub use codemap::{CodeMapEntry, CodeMapSet, EpochMap, JIT_MAP_DIR};
+pub use codemap::{CodeMapEntry, CodeMapSet, EpochMap, ParsedMap, JIT_MAP_DIR};
+pub use error::ViprofError;
+pub use faults::{FaultPlan, FaultReport};
 pub use registry::{JitRegistry, SharedRegistry};
 pub use report::viprof_report;
-pub use resolve::ViprofResolver;
+pub use resolve::{ResolutionQuality, ViprofResolver};
 pub use runtime::ViprofExtension;
 pub use session::Viprof;
 pub use xen::{DomainId, DomainTable, Hypervisor, XenScheduler};

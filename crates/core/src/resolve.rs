@@ -6,15 +6,57 @@
 //! 2. the boot-image map (`RVM.map` → VM-internal methods, §3.2);
 //! 3. stock OProfile resolution for everything else (kernel, native
 //!    libraries, binaries, residual anon).
+//!
+//! Resolution is *lossy by design* under damage: a pid whose maps are
+//! unusable is skipped, bad map lines are quarantined, lost epochs are
+//! salvaged from later maps — and every degradation is counted in a
+//! [`ResolutionQuality`] report so the profile's trustworthiness is
+//! itself measurable.
 
 use crate::bootmap::BootMap;
 use crate::codemap::{CodeMapSet, JIT_MAP_DIR};
+use crate::error::ViprofError;
 use oprofile::report::bucket_label;
-use oprofile::{SampleBucket, SampleOrigin};
+use oprofile::{SampleBucket, SampleDb, SampleOrigin};
 use sim_cpu::Pid;
 use sim_jvm::bootimage::{BOOT_IMAGE_NAME, RVM_MAP_IMAGE_LABEL};
 use sim_os::{ImageId, Kernel};
 use std::collections::HashMap;
+
+/// Per-run accounting of how well resolution went. Every sample in the
+/// database lands in exactly one of `resolved` / `stale_epoch` /
+/// `unresolved`, so `accounted()` always equals the database's sample
+/// total — degraded runs lose *precision*, never samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolutionQuality {
+    /// Samples attributed through the normal path (backward epoch chain,
+    /// boot map, or stock image symbols).
+    pub resolved: u64,
+    /// JIT samples recovered by the forward-salvage path: attributed,
+    /// but possibly to a stale occupant of the address.
+    pub stale_epoch: u64,
+    /// Samples with no attribution beyond their raw origin (unresolved
+    /// JIT, anon ranges, unknown PCs).
+    pub unresolved: u64,
+    /// Samples that never reached the database (ring-buffer overflow).
+    pub dropped: u64,
+    /// Map lines quarantined during load.
+    pub quarantined_lines: u64,
+    /// Whole map files skipped as unusable.
+    pub skipped_map_files: u64,
+    /// Pids whose code maps could not be loaded at all.
+    pub failed_pids: u64,
+    /// Epochs missing from otherwise-present map chains.
+    pub missing_epochs: u64,
+}
+
+impl ResolutionQuality {
+    /// Emitted samples this report accounts for — by construction equal
+    /// to `db.total_samples()`.
+    pub fn accounted(&self) -> u64 {
+        self.resolved + self.stale_epoch + self.unresolved
+    }
+}
 
 /// Loaded post-processing state.
 #[derive(Debug, Default)]
@@ -22,11 +64,17 @@ pub struct ViprofResolver {
     bootmap: BootMap,
     codemaps: HashMap<Pid, CodeMapSet>,
     boot_image: Option<ImageId>,
+    /// Pids whose map sets failed to load (skipped, not fatal).
+    failed_pids: Vec<Pid>,
 }
 
 impl ViprofResolver {
     /// Load every map artifact from the machine's VFS.
-    pub fn load(kernel: &Kernel) -> Result<ViprofResolver, String> {
+    ///
+    /// One pid's unloadable maps must not abort post-processing for
+    /// every other pid: such pids are recorded (their samples degrade to
+    /// "(unresolved jit)") and loading continues.
+    pub fn load(kernel: &Kernel) -> Result<ViprofResolver, ViprofError> {
         let bootmap = BootMap::load(&kernel.vfs)?;
         let boot_image = kernel.images.find_by_name(BOOT_IMAGE_NAME);
         // Discover per-pid map directories: paths look like
@@ -47,13 +95,20 @@ impl ViprofResolver {
         pids.sort_unstable();
         pids.dedup();
         let mut codemaps = HashMap::new();
+        let mut failed_pids = Vec::new();
         for pid in pids {
-            codemaps.insert(pid, CodeMapSet::load(&kernel.vfs, pid)?);
+            match CodeMapSet::load(&kernel.vfs, pid) {
+                Ok(set) => {
+                    codemaps.insert(pid, set);
+                }
+                Err(_) => failed_pids.push(pid),
+            }
         }
         Ok(ViprofResolver {
             bootmap,
             codemaps,
             boot_image,
+            failed_pids,
         })
     }
 
@@ -63,6 +118,11 @@ impl ViprofResolver {
 
     pub fn bootmap(&self) -> &BootMap {
         &self.bootmap
+    }
+
+    /// Pids whose maps were present but unloadable.
+    pub fn failed_pids(&self) -> &[Pid] {
+        &self.failed_pids
     }
 
     /// Label one bucket: (image column, symbol column).
@@ -76,19 +136,58 @@ impl ViprofResolver {
                     None => (BOOT_IMAGE_NAME.to_string(), "(no symbols)".to_string()),
                 }
             }
-            // Registered-heap samples: epoch-chained code-map search.
+            // Registered-heap samples: epoch-chained code-map search,
+            // with the forward-salvage fallback for damaged chains.
             SampleOrigin::JitApp { pid } => {
                 let resolved = self
                     .codemaps
                     .get(&pid)
-                    .and_then(|set| set.resolve(bucket.addr, bucket.epoch));
+                    .and_then(|set| set.resolve_salvage(bucket.addr, bucket.epoch));
                 match resolved {
-                    Some(e) => ("JIT.App".to_string(), e.signature.clone()),
+                    Some((e, _)) => ("JIT.App".to_string(), e.signature.clone()),
                     None => ("JIT.App".to_string(), "(unresolved jit)".to_string()),
                 }
             }
             _ => bucket_label(bucket, kernel),
         }
+    }
+
+    /// Classify every sample in `db` into the quality report. The same
+    /// lookups `label` performs, aggregated: resolved / stale-epoch
+    /// fallback / unresolved, plus the load-time damage counters.
+    pub fn quality(&self, db: &SampleDb) -> ResolutionQuality {
+        let mut q = ResolutionQuality {
+            dropped: db.dropped,
+            failed_pids: self.failed_pids.len() as u64,
+            ..ResolutionQuality::default()
+        };
+        for set in self.codemaps.values() {
+            q.quarantined_lines += set.quarantined_lines;
+            q.skipped_map_files += set.skipped_files;
+            q.missing_epochs += set.missing_epochs();
+        }
+        for (bucket, count) in db.iter() {
+            match bucket.origin {
+                SampleOrigin::JitApp { pid } => {
+                    let hit = self
+                        .codemaps
+                        .get(&pid)
+                        .and_then(|set| set.resolve_salvage(bucket.addr, bucket.epoch));
+                    match hit {
+                        Some((_, false)) => q.resolved += count,
+                        Some((_, true)) => q.stale_epoch += count,
+                        None => q.unresolved += count,
+                    }
+                }
+                // Image-backed samples always attribute to at least the
+                // image, boot-image ones through RVM.map.
+                SampleOrigin::Image(_) => q.resolved += count,
+                // Anon ranges and unknown PCs carry no symbol
+                // information by definition.
+                SampleOrigin::Anon { .. } | SampleOrigin::Unknown => q.unresolved += count,
+            }
+        }
+        q
     }
 }
 
@@ -186,5 +285,87 @@ mod tests {
         assert!(r.bootmap().is_empty());
         let (img, sym) = r.label(&bucket(SampleOrigin::JitApp { pid: Pid(1) }, 0x10, 0), &k);
         assert_eq!((img.as_str(), sym.as_str()), ("JIT.App", "(unresolved jit)"));
+    }
+
+    #[test]
+    fn one_bad_pid_does_not_abort_the_others() {
+        let (mut k, good) = setup();
+        // A second VM whose only map file is binary garbage.
+        let bad = k.spawn("jikesrvm2");
+        k.vfs.write(map_path(bad, 0), vec![0xff, 0xfe, 0x80]);
+        let r = ViprofResolver::load(&k).unwrap();
+        assert_eq!(r.failed_pids(), &[bad]);
+        assert!(r.codemaps(good).is_some(), "good pid still loaded");
+        // The bad pid's samples degrade instead of erroring out.
+        let (_, sym) = r.label(&bucket(SampleOrigin::JitApp { pid: bad }, 0x10, 0), &k);
+        assert_eq!(sym, "(unresolved jit)");
+    }
+
+    #[test]
+    fn salvage_recovers_samples_from_lost_epochs() {
+        let (mut k, pid) = setup();
+        // A method that only exists in epoch 4's map (earlier maps for
+        // its address range were never written).
+        k.vfs.write(
+            map_path(pid, 4),
+            render_map(&[CodeMapEntry {
+                addr: 0x6500_0000,
+                size: 0x40,
+                level: "base".into(),
+                signature: "app.Late.comer".into(),
+            }])
+            .into_bytes(),
+        );
+        let r = ViprofResolver::load(&k).unwrap();
+        // A sample tagged epoch 1 on that address: backward chain
+        // misses, forward salvage attributes it (stale).
+        let (_, sym) = r.label(&bucket(SampleOrigin::JitApp { pid }, 0x6500_0010, 1), &k);
+        assert_eq!(sym, "app.Late.comer");
+    }
+
+    #[test]
+    fn quality_accounts_for_every_sample() {
+        let (k, pid) = setup();
+        let boot_id = k.images.find_by_name(BOOT_IMAGE_NAME).unwrap();
+        let mut db = SampleDb::new();
+        db.add(bucket(SampleOrigin::JitApp { pid }, 0x6400_0080, 0), 10);
+        db.add(bucket(SampleOrigin::JitApp { pid }, 0x7000_0000, 0), 3);
+        db.add(bucket(SampleOrigin::Image(boot_id), 0x10, 0), 5);
+        db.add(bucket(SampleOrigin::Unknown, 0x0, 0), 2);
+        db.dropped = 7;
+        let r = ViprofResolver::load(&k).unwrap();
+        let q = r.quality(&db);
+        assert_eq!(q.resolved, 15);
+        assert_eq!(q.unresolved, 5);
+        assert_eq!(q.stale_epoch, 0);
+        assert_eq!(q.dropped, 7);
+        assert_eq!(q.accounted(), db.total_samples());
+    }
+
+    #[test]
+    fn quality_separates_stale_from_resolved() {
+        let (mut k, pid) = setup();
+        k.vfs.write(
+            map_path(pid, 4),
+            render_map(&[CodeMapEntry {
+                addr: 0x6500_0000,
+                size: 0x40,
+                level: "base".into(),
+                signature: "app.Late.comer".into(),
+            }])
+            .into_bytes(),
+        );
+        let mut db = SampleDb::new();
+        // Backward hit.
+        db.add(bucket(SampleOrigin::JitApp { pid }, 0x6400_0080, 2), 4);
+        // Forward salvage.
+        db.add(bucket(SampleOrigin::JitApp { pid }, 0x6500_0010, 1), 6);
+        let r = ViprofResolver::load(&k).unwrap();
+        let q = r.quality(&db);
+        assert_eq!(q.resolved, 4);
+        assert_eq!(q.stale_epoch, 6);
+        assert_eq!(q.accounted(), db.total_samples());
+        // Epochs 1-3 are absent between map.0 and map.4.
+        assert_eq!(q.missing_epochs, 3);
     }
 }

@@ -1,14 +1,16 @@
 //! VIProf session orchestration: one-stop start → attach VM → run →
 //! stop → report.
 
-use crate::agent::VmAgent;
+use crate::agent::{MapFaultStats, MapFaults, VmAgent};
 use crate::callgraph::CallGraph;
+use crate::error::ViprofError;
+use crate::faults::FaultPlan;
 use crate::registry::{JitRegistry, SharedRegistry};
 use crate::report::viprof_report;
-use crate::resolve::ViprofResolver;
+use crate::resolve::{ResolutionQuality, ViprofResolver};
 use crate::runtime::ViprofExtension;
 use oprofile::report::{Report, ReportOptions};
-use oprofile::{DriverStats, OpConfig, Oprofile, SampleDb};
+use oprofile::{DaemonFaultStats, DriverFaultStats, DriverStats, OpConfig, Oprofile, SampleDb};
 use parking_lot::Mutex;
 use sim_cpu::CostModel;
 use sim_os::{Kernel, Machine};
@@ -21,11 +23,31 @@ pub struct Viprof {
     pub registry: SharedRegistry,
     pub callgraph: Arc<Mutex<CallGraph>>,
     cost: CostModel,
+    /// Map-fault template cloned into every agent this session builds
+    /// (clones share the stats handle).
+    agent_faults: Option<MapFaults>,
 }
 
 impl Viprof {
     /// Start profiling (counters + extended driver + daemon).
     pub fn start(machine: &mut Machine, config: OpConfig) -> Viprof {
+        Self::start_inner(machine, config, None)
+    }
+
+    /// Start profiling under a fault schedule: the plan's driver and
+    /// daemon injectors are wired into the kernel-side pipeline, and
+    /// its map-write injector into every agent built via
+    /// [`Viprof::make_agent`].
+    pub fn start_with_faults(machine: &mut Machine, config: OpConfig, plan: &FaultPlan) -> Viprof {
+        let config = plan.apply_to(config);
+        Self::start_inner(machine, config, plan.agent_faults())
+    }
+
+    fn start_inner(
+        machine: &mut Machine,
+        config: OpConfig,
+        agent_faults: Option<MapFaults>,
+    ) -> Viprof {
         let registry = JitRegistry::shared();
         let cost = config.cost;
         let ext = Box::new(ViprofExtension::new(registry.clone(), cost.vm_probe_cycles));
@@ -35,6 +57,7 @@ impl Viprof {
             registry,
             callgraph: Arc::new(Mutex::new(CallGraph::new())),
             cost,
+            agent_faults,
         }
     }
 
@@ -48,13 +71,32 @@ impl Viprof {
     /// Agent with the precise-move extension toggled (E4 ablation; see
     /// `VmAgent::with_precise_moves`).
     pub fn make_agent_with(&self, precise_moves: bool) -> VmAgent {
-        VmAgent::new(self.registry.clone(), self.cost)
+        let mut agent = VmAgent::new(self.registry.clone(), self.cost)
             .with_callgraph(self.callgraph.clone(), 16)
-            .with_precise_moves(precise_moves)
+            .with_precise_moves(precise_moves);
+        if let Some(faults) = &self.agent_faults {
+            agent = agent.with_map_faults(faults.clone());
+        }
+        agent
     }
 
     pub fn driver_stats(&self) -> DriverStats {
         self.op.driver_stats()
+    }
+
+    /// Injected driver-fault counters (fault-plan sessions only).
+    pub fn driver_fault_stats(&self) -> Option<DriverFaultStats> {
+        self.op.driver_fault_stats()
+    }
+
+    /// Injected daemon-fault counters (fault-plan sessions only).
+    pub fn daemon_fault_stats(&self) -> Option<DaemonFaultStats> {
+        self.op.daemon_fault_stats()
+    }
+
+    /// Injected map-write fault counters (fault-plan sessions only).
+    pub fn map_fault_stats(&self) -> Option<MapFaultStats> {
+        self.agent_faults.as_ref().map(|f| f.stats())
     }
 
     pub fn db_snapshot(&self) -> SampleDb {
@@ -72,9 +114,21 @@ impl Viprof {
         db: &SampleDb,
         kernel: &Kernel,
         options: &ReportOptions,
-    ) -> Result<Report, String> {
+    ) -> Result<Report, ViprofError> {
         let resolver = ViprofResolver::load(kernel)?;
         Ok(viprof_report(db, kernel, &resolver, options))
+    }
+
+    /// [`Viprof::report`] plus the per-run [`ResolutionQuality`]
+    /// accounting (resolved / stale-epoch / unresolved / dropped).
+    pub fn report_with_quality(
+        db: &SampleDb,
+        kernel: &Kernel,
+        options: &ReportOptions,
+    ) -> Result<(Report, ResolutionQuality), ViprofError> {
+        let resolver = ViprofResolver::load(kernel)?;
+        let quality = resolver.quality(db);
+        Ok((viprof_report(db, kernel, &resolver, options), quality))
     }
 
     /// Export a complete, self-contained session to a real directory:
@@ -99,20 +153,31 @@ impl Viprof {
     /// Rebuild a kernel view from an exported session directory.
     /// The returned kernel carries the session's images, processes and
     /// VFS — everything `Viprof::report` needs.
-    pub fn import_session(dir: &std::path::Path) -> Result<Kernel, String> {
-        let vfs =
-            sim_os::Vfs::import_from_dir(dir).map_err(|e| format!("import {dir:?}: {e}"))?;
+    pub fn import_session(dir: &std::path::Path) -> Result<Kernel, ViprofError> {
+        let vfs = sim_os::Vfs::import_from_dir(dir).map_err(|e| ViprofError::Io {
+            path: format!("{}", dir.display()),
+            detail: e.to_string(),
+        })?;
         let mut kernel = Kernel::new();
         let images = vfs
             .read(SESSION_META_IMAGES)
-            .ok_or_else(|| format!("{SESSION_META_IMAGES} missing from session"))?;
-        kernel.images = serde_json::from_slice(images)
-            .map_err(|e| format!("bad image metadata: {e}"))?;
+            .ok_or_else(|| ViprofError::MissingArtifact {
+                path: SESSION_META_IMAGES.to_string(),
+            })?;
+        kernel.images = serde_json::from_slice(images).map_err(|e| ViprofError::Corrupt {
+            path: SESSION_META_IMAGES.to_string(),
+            detail: e.to_string(),
+        })?;
         let procs = vfs
             .read(SESSION_META_PROCESSES)
-            .ok_or_else(|| format!("{SESSION_META_PROCESSES} missing from session"))?;
+            .ok_or_else(|| ViprofError::MissingArtifact {
+                path: SESSION_META_PROCESSES.to_string(),
+            })?;
         let procs: Vec<sim_os::Process> =
-            serde_json::from_slice(procs).map_err(|e| format!("bad process metadata: {e}"))?;
+            serde_json::from_slice(procs).map_err(|e| ViprofError::Corrupt {
+                path: SESSION_META_PROCESSES.to_string(),
+                detail: e.to_string(),
+            })?;
         for p in procs {
             kernel.insert_process(p);
         }
@@ -258,6 +323,44 @@ mod tests {
                 .any(|(a, b, _)| a.contains("bench.Worker.main") && *b == "memset"),
             "expected main->memset edge in {top:?}"
         );
+    }
+
+    #[test]
+    fn faulted_session_degrades_but_accounts_for_everything() {
+        // Moderate faults at all three layers: the run must complete,
+        // and the quality report must cover every emitted sample.
+        let mut machine = Machine::new(MachineConfig::default());
+        let plan = FaultPlan::new(77)
+            .with_overflow_bursts(0.25, 2)
+            .with_lost_maps(0.5)
+            .with_garbled_lines(0.25);
+        let viprof =
+            Viprof::start_with_faults(&mut machine, OpConfig::time_at(20_000), &plan);
+        let mut natives = NativeRegistry::new();
+        let program = bench_program(&mut natives);
+        let mut vm = Vm::boot(
+            &mut machine,
+            program,
+            natives,
+            vm_config(96 * 1024),
+            Box::new(viprof.make_agent()),
+        );
+        vm.run(&mut machine);
+        vm.shutdown(&mut machine);
+        let db = viprof.stop(&mut machine);
+
+        let drv = viprof.driver_fault_stats().expect("injector installed");
+        assert!(drv.forced_drops > 0, "bursts at 25% must fire: {drv:?}");
+        assert!(viprof.map_fault_stats().is_some());
+        // Forced drops are counted, never silent.
+        assert!(db.dropped >= drv.forced_drops, "db.dropped {}", db.dropped);
+
+        let (report, q) =
+            Viprof::report_with_quality(&db, &machine.kernel, &ReportOptions::default())
+                .unwrap();
+        assert_eq!(q.accounted(), db.total_samples());
+        assert_eq!(q.dropped, db.dropped);
+        assert!(!report.rows.is_empty());
     }
 
     #[test]

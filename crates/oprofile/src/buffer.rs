@@ -21,8 +21,11 @@ pub struct RingBuffer {
 }
 
 impl RingBuffer {
+    /// A zero capacity (a misconfigured `--buffer-size`) is clamped to
+    /// one slot: the session degrades to near-total sample loss — every
+    /// loss counted in `dropped` — instead of aborting.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "ring buffer needs capacity");
+        let capacity = capacity.max(1);
         RingBuffer {
             slots: Vec::with_capacity(capacity),
             head: 0,
@@ -92,6 +95,16 @@ mod tests {
             addr,
             epoch: 0,
         }
+    }
+
+    #[test]
+    fn zero_capacity_degrades_instead_of_panicking() {
+        let mut r = RingBuffer::new(0);
+        assert_eq!(r.capacity(), 1);
+        assert!(r.push(s(1)));
+        assert!(!r.push(s(2)), "second push overflows the single slot");
+        assert_eq!(r.dropped, 1);
+        assert_eq!(r.drain().len(), 1);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Profiler configuration.
 
+use crate::faults::{DaemonFaults, DriverFaults};
 use sim_cpu::{CostModel, CounterSpec, HwEvent};
 
 /// Everything `opcontrol --setup` would take.
@@ -13,6 +14,10 @@ pub struct OpConfig {
     pub daemon_period_cycles: u64,
     /// Cycle costs of the profiling machinery.
     pub cost: CostModel,
+    /// NMI-path fault injector (robustness testing; `None` normally).
+    pub driver_faults: Option<DriverFaults>,
+    /// Daemon fault schedule (robustness testing; `None` normally).
+    pub daemon_faults: Option<DaemonFaults>,
 }
 
 impl Default for OpConfig {
@@ -22,6 +27,8 @@ impl Default for OpConfig {
             buffer_capacity: 65_536,
             daemon_period_cycles: 170_000_000,
             cost: CostModel::default(),
+            driver_faults: None,
+            daemon_faults: None,
         }
     }
 }
@@ -50,6 +57,17 @@ impl OpConfig {
 
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Install fault injectors for the driver and/or daemon layers.
+    pub fn with_faults(
+        mut self,
+        driver: Option<DriverFaults>,
+        daemon: Option<DaemonFaults>,
+    ) -> Self {
+        self.driver_faults = driver;
+        self.daemon_faults = daemon;
         self
     }
 

@@ -9,6 +9,7 @@
 //! real `oprofiled` does.
 
 use crate::driver::Driver;
+use crate::faults::{DaemonFaultStats, DaemonFaults};
 use crate::samples::SampleDb;
 use parking_lot::Mutex;
 use sim_cpu::{Addr, BlockExec, CostModel, CpuMode, MemActivity, Pid};
@@ -32,6 +33,8 @@ pub struct Daemon {
     pc_range: (Addr, Addr),
     /// Wakeups performed (tests/ablation).
     pub wakeups: u64,
+    /// Optional fault schedule (stalls, crash-and-restart).
+    faults: Option<DaemonFaults>,
 }
 
 impl Daemon {
@@ -66,7 +69,19 @@ impl Daemon {
             pid,
             pc_range: (base, base + 0x2000), // opd_process_samples
             wakeups: 0,
+            faults: None,
         }
+    }
+
+    /// Attach a fault schedule (chaos/robustness testing).
+    pub fn with_faults(mut self, faults: DaemonFaults) -> Daemon {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Injected-fault counters, if a schedule is installed.
+    pub fn fault_stats(&self) -> Option<DaemonFaultStats> {
+        self.faults.as_ref().map(|f| f.stats())
     }
 
     pub fn pid(&self) -> Pid {
@@ -113,6 +128,14 @@ impl MachineService for Daemon {
             self.next_wakeup += self.period_cycles;
         }
         self.wakeups += 1;
+        if let Some(faults) = &mut self.faults {
+            if !faults.wakeup_allowed(self.wakeups) {
+                // Stalled or crashed: the drain window is missed and the
+                // ring buffer keeps filling. No daemon cycles are burned
+                // either — a dead process costs nothing.
+                return;
+            }
+        }
         let (_, cycles) = Daemon::drain_once(&self.driver, &self.db, &self.cost);
         if cycles > 0 {
             ctx.exec(&BlockExec {
@@ -210,6 +233,39 @@ mod tests {
         driver.lock().buffer.push(bucket(0x20));
         m.exec(&BlockExec::compute(Pid(1), CpuMode::User, (0, 0x100), 400));
         assert_eq!(db.lock().total_samples(), 1, "not due again yet");
+    }
+
+    #[test]
+    fn crashed_daemon_misses_windows_and_buffer_overflows() {
+        // Capacity-2 buffer, daemon crashed from its first wakeup for 3
+        // windows: pushes during the outage overflow, and the loss is
+        // counted — never silent.
+        let mut m = Machine::new(MachineConfig::default());
+        let driver = Arc::new(Mutex::new(Driver::new(CostModel::free(), 2)));
+        let db = Arc::new(Mutex::new(SampleDb::new()));
+        let active = Arc::new(AtomicBool::new(true));
+        let d = Daemon::spawn(
+            &mut m.kernel,
+            driver.clone(),
+            db.clone(),
+            active,
+            CostModel::free(),
+            100,
+        )
+        .with_faults(DaemonFaults::new(1).with_crash(1, 2));
+        m.add_service(Box::new(d));
+        for round in 0..4u64 {
+            driver.lock().buffer.push(bucket(round * 16));
+            driver.lock().buffer.push(bucket(round * 16 + 8));
+            m.exec(&BlockExec::compute(Pid(1), CpuMode::User, (0, 0x100), 110));
+        }
+        // Wakeups 1-3 missed (crash + 2 down); wakeup 4 drains what the
+        // 2-slot buffer still holds and propagates the overflow count.
+        assert_eq!(db.lock().total_samples(), 2, "only the restart drain landed");
+        assert_eq!(db.lock().dropped, 6, "pushes during the outage overflowed");
+        let (rest, dropped) = driver.lock().drain();
+        assert!(rest.is_empty());
+        assert_eq!(dropped, 0, "drop counter was handed to the db");
     }
 
     #[test]

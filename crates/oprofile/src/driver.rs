@@ -11,6 +11,7 @@
 
 use crate::anon::{AnonExtension, AnonTable, NoExtension};
 use crate::buffer::RingBuffer;
+use crate::faults::{DriverFaults, FaultVerdict};
 use crate::samples::{SampleBucket, SampleOrigin};
 use sim_cpu::{CostModel, SampleContext};
 use sim_os::{Kernel, OsNmiHandler};
@@ -33,6 +34,9 @@ pub struct Driver {
     pub anon_table: AnonTable,
     ext: Box<dyn AnonExtension>,
     pub stats: DriverStats,
+    /// Optional fault injector (tests/chaos harnesses); `None` in
+    /// production paths.
+    pub faults: Option<DriverFaults>,
 }
 
 impl Driver {
@@ -51,7 +55,18 @@ impl Driver {
             anon_table: AnonTable::new(),
             ext,
             stats: DriverStats::default(),
+            faults: None,
         }
+    }
+
+    /// Install an NMI-path fault injector.
+    pub fn set_faults(&mut self, faults: DriverFaults) {
+        self.faults = Some(faults);
+    }
+
+    /// Injected-fault counters, if an injector is installed.
+    pub fn fault_stats(&self) -> Option<crate::faults::DriverFaultStats> {
+        self.faults.as_ref().map(|f| f.stats)
     }
 
     pub fn cost(&self) -> &CostModel {
@@ -75,7 +90,7 @@ impl OsNmiHandler for Driver {
     fn handle_overflow(&mut self, kernel: &Kernel, ctx: &SampleContext) -> u64 {
         self.stats.total += 1;
         let res = kernel.resolve_pc(ctx.pid, ctx.pc, ctx.mode);
-        let (bucket, cost) = match (res.image, res.vma) {
+        let (mut bucket, cost) = match (res.image, res.vma) {
             // Kernel text or mapped image: offset-based sample.
             (Some((image, offset)), _) => {
                 if ctx.mode.is_kernel() {
@@ -140,6 +155,14 @@ impl OsNmiHandler for Driver {
                 )
             }
         };
+        if let Some(faults) = &mut self.faults {
+            if faults.on_sample(&mut bucket) == FaultVerdict::Drop {
+                // Injected overflow: the sample is lost exactly like a
+                // full buffer would lose it — visibly, via `dropped`.
+                self.buffer.dropped += 1;
+                return cost;
+            }
+        }
         self.buffer.push(bucket);
         cost
     }
@@ -261,6 +284,38 @@ mod tests {
         assert_eq!(d.stats.unknown, 1);
         let (samples, _) = d.drain();
         assert_eq!(samples[0].origin, SampleOrigin::Unknown);
+    }
+
+    #[test]
+    fn injected_bursts_surface_as_counted_drops() {
+        let (k, pid) = setup();
+        let mut d = Driver::new(CostModel::default(), 64);
+        d.set_faults(DriverFaults::new(3).with_bursts(1.0, 4));
+        for _ in 0..10 {
+            d.handle_overflow(&k, &ctx(0x0804_8000, pid, CpuMode::User));
+        }
+        assert_eq!(d.stats.total, 10, "NMIs still counted");
+        let (samples, dropped) = d.drain();
+        assert_eq!(samples.len(), 0, "burst rate 1.0 drops everything");
+        assert_eq!(dropped, 10);
+        assert_eq!(d.fault_stats().unwrap().forced_drops, 10);
+    }
+
+    #[test]
+    fn injected_skew_rewinds_jit_epochs() {
+        let (k, pid) = setup();
+        let mut d = Driver::with_extension(
+            CostModel::default(),
+            16,
+            Box::new(RangeExt {
+                range: (0x6000_0000, 0x6400_0000),
+                epoch: 5,
+            }),
+        );
+        d.set_faults(DriverFaults::new(1).with_epoch_skew(2));
+        d.handle_overflow(&k, &ctx(0x6100_0000, pid, CpuMode::User));
+        let (samples, _) = d.drain();
+        assert_eq!(samples[0].epoch, 3, "driver lags the agent by 2 epochs");
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! Deterministic fault injection for the kernel-side half of the
+//! sampling pipeline.
+//!
+//! Real OProfile deployments lose data in ways the happy path never
+//! shows: the NMI handler races a buffer the daemon is slow to drain
+//! (overflow bursts), an interrupted context yields a garbage PC
+//! (sample corruption), and `oprofiled` itself stalls on a slow disk or
+//! is killed and restarted mid-run (missed drain windows). These types
+//! let a test — or a chaos harness — schedule exactly those events from
+//! a seed, so every run is reproducible bit for bit.
+//!
+//! The seams are consulted by [`crate::driver::Driver::handle_overflow`]
+//! and [`crate::daemon::Daemon::poll`]; both are `None` by default and
+//! cost nothing when absent. The `viprof` crate's `faults::FaultPlan`
+//! builds these from one master seed and pairs them with agent-side
+//! (code-map) faults.
+
+use crate::samples::{SampleBucket, SampleOrigin};
+use sim_os::SplitMix64;
+
+/// What the injector decided about one NMI sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultVerdict {
+    /// Push the (possibly mutated) bucket as usual.
+    Deliver,
+    /// Treat the buffer as full: count a drop, push nothing.
+    Drop,
+}
+
+/// Counters for driver-side injected faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriverFaultStats {
+    /// Samples whose address was garbled before logging.
+    pub corrupted: u64,
+    /// Samples dropped by an injected overflow burst.
+    pub forced_drops: u64,
+    /// JIT samples whose epoch tag was skewed.
+    pub skewed: u64,
+}
+
+/// NMI-path fault injector: overflow bursts, sample corruption and
+/// agent/driver epoch-counter skew.
+#[derive(Debug, Clone)]
+pub struct DriverFaults {
+    rng: SplitMix64,
+    /// Probability that a given NMI starts an overflow burst.
+    pub burst_rate: f64,
+    /// Samples dropped per burst (the triggering sample included).
+    pub burst_len: u64,
+    /// Probability that a sample's address is garbled (a stale or
+    /// corrupt PC read in the handler).
+    pub corrupt_rate: f64,
+    /// Epochs subtracted from every JIT sample's tag: the driver's view
+    /// of the epoch counter lagging the agent's.
+    pub epoch_skew: u64,
+    burst_remaining: u64,
+    pub stats: DriverFaultStats,
+}
+
+impl DriverFaults {
+    pub fn new(seed: u64) -> DriverFaults {
+        DriverFaults {
+            rng: SplitMix64::new(seed),
+            burst_rate: 0.0,
+            burst_len: 0,
+            corrupt_rate: 0.0,
+            epoch_skew: 0,
+            burst_remaining: 0,
+            stats: DriverFaultStats::default(),
+        }
+    }
+
+    pub fn with_bursts(mut self, rate: f64, len: u64) -> DriverFaults {
+        self.burst_rate = rate;
+        self.burst_len = len;
+        self
+    }
+
+    pub fn with_corruption(mut self, rate: f64) -> DriverFaults {
+        self.corrupt_rate = rate;
+        self
+    }
+
+    pub fn with_epoch_skew(mut self, skew: u64) -> DriverFaults {
+        self.epoch_skew = skew;
+        self
+    }
+
+    /// Decide the fate of one classified sample. Mutates the bucket in
+    /// place for corruption/skew; `Drop` means the caller must count an
+    /// overflow drop instead of pushing.
+    pub fn on_sample(&mut self, bucket: &mut SampleBucket) -> FaultVerdict {
+        if self.burst_remaining > 0 {
+            self.burst_remaining -= 1;
+            self.stats.forced_drops += 1;
+            return FaultVerdict::Drop;
+        }
+        if self.burst_rate > 0.0 && self.rng.next_f64() < self.burst_rate {
+            self.burst_remaining = self.burst_len.saturating_sub(1);
+            self.stats.forced_drops += 1;
+            return FaultVerdict::Drop;
+        }
+        if self.corrupt_rate > 0.0 && self.rng.next_f64() < self.corrupt_rate {
+            // Flip address bits above the 16-byte quantum so the sample
+            // lands in the wrong bucket (or off every map) but stays in
+            // a plausible range.
+            bucket.addr ^= (self.rng.next_u64() | 0x10) & 0xffff_fff0;
+            self.stats.corrupted += 1;
+        }
+        if self.epoch_skew > 0 {
+            if let SampleOrigin::JitApp { .. } = bucket.origin {
+                bucket.epoch = bucket.epoch.saturating_sub(self.epoch_skew);
+                self.stats.skewed += 1;
+            }
+        }
+        FaultVerdict::Deliver
+    }
+}
+
+/// Counters for daemon-side injected faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DaemonFaultStats {
+    /// Wakeups that drained nothing because of an injected stall.
+    pub stalled: u64,
+    /// Crash events taken.
+    pub crashes: u64,
+    /// Total drain windows missed (stalls + downtime).
+    pub missed_drains: u64,
+}
+
+/// Daemon fault injector: random stalls plus one crash-and-restart
+/// window. While the daemon is down the ring buffer keeps filling, so
+/// overflow drops emerge organically — exactly the real failure mode.
+///
+/// The stats live behind a shared handle: the injector is moved into
+/// the boxed daemon service at install time, and the session keeps a
+/// clone to read the counters afterwards.
+#[derive(Debug, Clone)]
+pub struct DaemonFaults {
+    rng: SplitMix64,
+    /// Probability that any given wakeup is stalled (drains nothing).
+    pub stall_rate: f64,
+    /// Crash on this (1-based) wakeup, if set.
+    pub crash_at_wakeup: Option<u64>,
+    /// Wakeups missed after the crash before the restart.
+    pub down_wakeups: u64,
+    down_remaining: u64,
+    stats: std::sync::Arc<parking_lot::Mutex<DaemonFaultStats>>,
+}
+
+impl DaemonFaults {
+    pub fn new(seed: u64) -> DaemonFaults {
+        DaemonFaults {
+            rng: SplitMix64::new(seed),
+            stall_rate: 0.0,
+            crash_at_wakeup: None,
+            down_wakeups: 0,
+            down_remaining: 0,
+            stats: Default::default(),
+        }
+    }
+
+    /// Snapshot of the injected-fault counters.
+    pub fn stats(&self) -> DaemonFaultStats {
+        *self.stats.lock()
+    }
+
+    pub fn with_stalls(mut self, rate: f64) -> DaemonFaults {
+        self.stall_rate = rate;
+        self
+    }
+
+    pub fn with_crash(mut self, at_wakeup: u64, down_wakeups: u64) -> DaemonFaults {
+        self.crash_at_wakeup = Some(at_wakeup);
+        self.down_wakeups = down_wakeups;
+        self
+    }
+
+    /// May the daemon drain on this (1-based) wakeup?
+    pub fn wakeup_allowed(&mut self, wakeup: u64) -> bool {
+        let mut stats = self.stats.lock();
+        if self.down_remaining > 0 {
+            self.down_remaining -= 1;
+            stats.missed_drains += 1;
+            return false;
+        }
+        if self.crash_at_wakeup == Some(wakeup) {
+            stats.crashes += 1;
+            stats.missed_drains += 1;
+            self.down_remaining = self.down_wakeups;
+            return false;
+        }
+        if self.stall_rate > 0.0 && self.rng.next_f64() < self.stall_rate {
+            stats.stalled += 1;
+            stats.missed_drains += 1;
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_cpu::HwEvent;
+    use sim_cpu::Pid;
+
+    fn jit_bucket(addr: u64, epoch: u64) -> SampleBucket {
+        SampleBucket {
+            origin: SampleOrigin::JitApp { pid: Pid(1) },
+            event: HwEvent::Cycles,
+            addr,
+            epoch,
+        }
+    }
+
+    #[test]
+    fn no_knobs_means_no_faults() {
+        let mut f = DriverFaults::new(1);
+        let mut b = jit_bucket(0x1000, 3);
+        for _ in 0..1000 {
+            assert_eq!(f.on_sample(&mut b), FaultVerdict::Deliver);
+        }
+        assert_eq!((b.addr, b.epoch), (0x1000, 3));
+        assert_eq!(f.stats, DriverFaultStats::default());
+    }
+
+    #[test]
+    fn bursts_drop_exactly_burst_len() {
+        let mut f = DriverFaults::new(7).with_bursts(1.0, 3);
+        let mut drops = 0;
+        let mut b = jit_bucket(0, 0);
+        for _ in 0..9 {
+            if f.on_sample(&mut b) == FaultVerdict::Drop {
+                drops += 1;
+            }
+        }
+        // rate 1.0: every non-burst sample starts a new burst.
+        assert_eq!(drops, 9);
+        assert_eq!(f.stats.forced_drops, 9);
+    }
+
+    #[test]
+    fn epoch_skew_only_touches_jit() {
+        let mut f = DriverFaults::new(2).with_epoch_skew(2);
+        let mut j = jit_bucket(0x10, 5);
+        assert_eq!(f.on_sample(&mut j), FaultVerdict::Deliver);
+        assert_eq!(j.epoch, 3);
+        let mut u = SampleBucket {
+            origin: SampleOrigin::Unknown,
+            event: HwEvent::Cycles,
+            addr: 0,
+            epoch: 4,
+        };
+        f.on_sample(&mut u);
+        assert_eq!(u.epoch, 4, "non-JIT epochs untouched");
+        assert_eq!(f.stats.skewed, 1);
+        // Skew saturates at zero.
+        let mut early = jit_bucket(0x10, 1);
+        f.on_sample(&mut early);
+        assert_eq!(early.epoch, 0);
+    }
+
+    #[test]
+    fn corruption_garbles_addr_deterministically() {
+        let run = |seed| {
+            let mut f = DriverFaults::new(seed).with_corruption(1.0);
+            let mut b = jit_bucket(0x6400_0040, 0);
+            f.on_sample(&mut b);
+            (b.addr, f.stats.corrupted)
+        };
+        let (a1, c1) = run(9);
+        let (a2, c2) = run(9);
+        assert_eq!((a1, c1), (a2, c2), "same seed, same garbling");
+        assert_ne!(a1, 0x6400_0040);
+        assert_eq!(c1, 1);
+    }
+
+    #[test]
+    fn daemon_crash_misses_a_window_then_restarts() {
+        let mut f = DaemonFaults::new(1).with_crash(2, 2);
+        let allowed: Vec<bool> = (1..=6).map(|w| f.wakeup_allowed(w)).collect();
+        assert_eq!(allowed, vec![true, false, false, false, true, true]);
+        assert_eq!(f.stats().crashes, 1);
+        assert_eq!(f.stats().missed_drains, 3);
+    }
+
+    #[test]
+    fn stalls_are_seed_deterministic() {
+        let pattern = |seed| {
+            let mut f = DaemonFaults::new(seed).with_stalls(0.5);
+            (1..=32).map(|w| f.wakeup_allowed(w)).collect::<Vec<_>>()
+        };
+        assert_eq!(pattern(11), pattern(11));
+        let p = pattern(11);
+        assert!(p.iter().any(|x| *x) && p.iter().any(|x| !*x));
+    }
+}

@@ -25,6 +25,7 @@ pub mod buffer;
 pub mod config;
 pub mod daemon;
 pub mod driver;
+pub mod faults;
 pub mod report;
 pub mod samples;
 pub mod session;
@@ -35,6 +36,7 @@ pub use buffer::RingBuffer;
 pub use config::OpConfig;
 pub use daemon::Daemon;
 pub use driver::{Driver, DriverStats};
+pub use faults::{DaemonFaultStats, DaemonFaults, DriverFaultStats, DriverFaults, FaultVerdict};
 pub use report::{opreport, Report, ReportOptions, ReportRow};
 pub use samples::{SampleBucket, SampleDb, SampleOrigin};
 pub use session::Oprofile;

@@ -4,6 +4,7 @@ use crate::anon::AnonExtension;
 use crate::config::OpConfig;
 use crate::daemon::Daemon;
 use crate::driver::{Driver, DriverStats};
+use crate::faults::{DaemonFaultStats, DaemonFaults, DriverFaultStats};
 use crate::samples::SampleDb;
 use parking_lot::Mutex;
 use sim_cpu::Pid;
@@ -21,6 +22,8 @@ pub struct Oprofile {
     active: Arc<AtomicBool>,
     config: OpConfig,
     daemon_pid: Pid,
+    /// Shared-stats handle to the daemon's fault schedule, if any.
+    daemon_faults: Option<DaemonFaults>,
 }
 
 impl Oprofile {
@@ -49,6 +52,9 @@ impl Oprofile {
             machine.cpu.bank.is_empty(),
             "another profiling session is already running"
         );
+        if let Some(faults) = config.driver_faults.clone() {
+            driver.lock().set_faults(faults);
+        }
         for spec in &config.events {
             machine.cpu.program_counter(*spec);
         }
@@ -56,7 +62,7 @@ impl Oprofile {
 
         let db = Arc::new(Mutex::new(SampleDb::new()));
         let active = Arc::new(AtomicBool::new(true));
-        let daemon = Daemon::spawn(
+        let mut daemon = Daemon::spawn(
             &mut machine.kernel,
             driver.clone(),
             db.clone(),
@@ -64,6 +70,12 @@ impl Oprofile {
             config.cost,
             config.daemon_period_cycles,
         );
+        // Clones share the stats handle: the daemon mutates, the
+        // session reads.
+        let daemon_faults = config.daemon_faults.clone();
+        if let Some(faults) = daemon_faults.clone() {
+            daemon = daemon.with_faults(faults);
+        }
         let daemon_pid = daemon.pid();
         machine.add_service(Box::new(daemon));
         Oprofile {
@@ -72,6 +84,7 @@ impl Oprofile {
             active,
             config,
             daemon_pid,
+            daemon_faults,
         }
     }
 
@@ -85,6 +98,16 @@ impl Oprofile {
 
     pub fn driver_stats(&self) -> DriverStats {
         self.driver.lock().stats
+    }
+
+    /// Injected driver-fault counters (sessions started with faults).
+    pub fn driver_fault_stats(&self) -> Option<DriverFaultStats> {
+        self.driver.lock().fault_stats()
+    }
+
+    /// Injected daemon-fault counters (sessions started with faults).
+    pub fn daemon_fault_stats(&self) -> Option<DaemonFaultStats> {
+        self.daemon_faults.as_ref().map(|f| f.stats())
     }
 
     /// Snapshot of the sample DB as accumulated so far (not including

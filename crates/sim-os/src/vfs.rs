@@ -49,6 +49,34 @@ impl Vfs {
         self.files.remove(path)
     }
 
+    /// Truncate a file to `len` bytes (no-op if shorter or absent).
+    /// Returns `true` when the file existed. This is the "torn write"
+    /// fault seam: a writer that died mid-`write(2)` leaves exactly
+    /// such a prefix on disk.
+    pub fn truncate(&mut self, path: &str, len: usize) -> bool {
+        match self.files.get_mut(path) {
+            Some(data) => {
+                data.truncate(len);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Overwrite bytes at `offset` in an existing file (clipped to the
+    /// file's current length; nothing is extended). Returns how many
+    /// bytes were patched. The "bit rot / corrupt block" fault seam.
+    pub fn patch(&mut self, path: &str, offset: usize, bytes: &[u8]) -> usize {
+        match self.files.get_mut(path) {
+            Some(data) if offset < data.len() => {
+                let n = bytes.len().min(data.len() - offset);
+                data[offset..offset + n].copy_from_slice(&bytes[..n]);
+                n
+            }
+            _ => 0,
+        }
+    }
+
     /// All paths with the given prefix, in lexicographic order.
     pub fn list(&self, prefix: &str) -> Vec<&str> {
         self.files
@@ -155,6 +183,31 @@ mod tests {
             ]
         );
         assert_eq!(v.list("/nope/"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn truncate_models_a_torn_write() {
+        let mut v = Vfs::new();
+        v.write("/maps/m", b"line one\nline two\n".to_vec());
+        assert!(v.truncate("/maps/m", 12));
+        assert_eq!(v.read("/maps/m"), Some(&b"line one\nlin"[..]));
+        // Longer than the file / missing file: harmless.
+        assert!(v.truncate("/maps/m", 1000));
+        assert_eq!(v.read("/maps/m").unwrap().len(), 12);
+        assert!(!v.truncate("/nope", 0));
+    }
+
+    #[test]
+    fn patch_corrupts_in_place_without_extending() {
+        let mut v = Vfs::new();
+        v.write("/f", b"0123456789".to_vec());
+        assert_eq!(v.patch("/f", 4, b"zz"), 2);
+        assert_eq!(v.read("/f"), Some(&b"0123zz6789"[..]));
+        // Clipped at the end; never grows the file.
+        assert_eq!(v.patch("/f", 8, b"abcdef"), 2);
+        assert_eq!(v.read("/f"), Some(&b"0123zz67ab"[..]));
+        assert_eq!(v.patch("/f", 10, b"x"), 0);
+        assert_eq!(v.patch("/nope", 0, b"x"), 0);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use sim_jvm::{NullHooks, Vm, VmConfig, VmProfilerHooks, VmStats};
 use sim_os::{Machine, MachineConfig};
 use std::sync::Arc;
 use viprof::agent::AgentStats;
-use viprof::Viprof;
+use viprof::{FaultPlan, FaultReport, Viprof};
 
 /// Which profiler (if any) observes the run.
 #[derive(Debug, Clone)]
@@ -23,6 +23,8 @@ pub enum ProfilerKind {
     Viprof(OpConfig),
     /// VIProf with the precise-move agent extension (E4 ablation).
     ViprofPreciseMoves(OpConfig),
+    /// VIProf under a seeded fault schedule (robustness matrix).
+    ViprofFaulty(OpConfig, FaultPlan),
 }
 
 impl ProfilerKind {
@@ -33,6 +35,11 @@ impl ProfilerKind {
 
     pub fn viprof_at(period: u64) -> ProfilerKind {
         ProfilerKind::Viprof(OpConfig::time_at(period))
+    }
+
+    /// VIProf at `period` with faults injected per `plan`.
+    pub fn viprof_faulty_at(period: u64, plan: FaultPlan) -> ProfilerKind {
+        ProfilerKind::ViprofFaulty(OpConfig::time_at(period), plan)
     }
 }
 
@@ -47,6 +54,8 @@ pub struct RunOutcome {
     pub db: Option<SampleDb>,
     pub driver: Option<DriverStats>,
     pub agent: Option<Arc<Mutex<AgentStats>>>,
+    /// Injected-fault counters (fault-plan runs only).
+    pub faults: Option<FaultReport>,
     /// The machine, for post-processing (reports read images + VFS).
     pub machine: Machine,
 }
@@ -121,16 +130,16 @@ pub fn run_benchmark(
     }
 
     let precise = matches!(&profiler, ProfilerKind::ViprofPreciseMoves(_));
-    let (vm_stats, db, driver, agent) = match profiler {
+    let (vm_stats, db, driver, agent, faults) = match profiler {
         ProfilerKind::None => {
             let stats = execute_plan(&mut machine, built, plan, Box::new(NullHooks));
-            (stats, None, None, None)
+            (stats, None, None, None, None)
         }
         ProfilerKind::Oprofile(config) => {
             let op = Oprofile::start(&mut machine, config);
             let stats = execute_plan(&mut machine, built, plan, Box::new(NullHooks));
             let db = op.stop(&mut machine);
-            (stats, Some(db), Some(op.driver_stats()), None)
+            (stats, Some(db), Some(op.driver_stats()), None, None)
         }
         ProfilerKind::Viprof(config) | ProfilerKind::ViprofPreciseMoves(config) => {
             let vp = Viprof::start(&mut machine, config);
@@ -138,7 +147,32 @@ pub fn run_benchmark(
             let agent_stats = agent.stats_handle();
             let stats = execute_plan(&mut machine, built, plan, Box::new(agent));
             let db = vp.stop(&mut machine);
-            (stats, Some(db), Some(vp.driver_stats()), Some(agent_stats))
+            (
+                stats,
+                Some(db),
+                Some(vp.driver_stats()),
+                Some(agent_stats),
+                None,
+            )
+        }
+        ProfilerKind::ViprofFaulty(config, fault_plan) => {
+            let vp = Viprof::start_with_faults(&mut machine, config, &fault_plan);
+            let agent = vp.make_agent_with(false);
+            let agent_stats = agent.stats_handle();
+            let stats = execute_plan(&mut machine, built, plan, Box::new(agent));
+            let db = vp.stop(&mut machine);
+            let report = FaultReport {
+                driver: vp.driver_fault_stats().unwrap_or_default(),
+                daemon: vp.daemon_fault_stats().unwrap_or_default(),
+                maps: vp.map_fault_stats().unwrap_or_default(),
+            };
+            (
+                stats,
+                Some(db),
+                Some(vp.driver_stats()),
+                Some(agent_stats),
+                Some(report),
+            )
         }
     };
 
@@ -149,6 +183,7 @@ pub fn run_benchmark(
         db,
         driver,
         agent,
+        faults,
         machine,
     }
 }

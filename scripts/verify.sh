@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: what every PR must keep green.
+#
+#   scripts/verify.sh            # build + tests + clippy
+#   scripts/verify.sh --fast     # skip clippy
+#
+# Run from anywhere; operates on the workspace containing this script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+if [[ "${1:-}" != "--fast" ]]; then
+    echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+echo "==> verify OK"

@@ -1,0 +1,248 @@
+//! Fault-injection matrix: the whole pipeline driven end to end under
+//! a seeded fault schedule at every layer, checking the degradation
+//! contract the per-crate unit tests can't see:
+//!
+//! * a faulted run **never panics** — it completes and still reports;
+//! * the [`ResolutionQuality`] buckets account for **100 %** of the
+//!   samples the driver emitted, and drops are never silent;
+//! * the same seed replays the same faults **bit for bit** — identical
+//!   sample databases, fault counters and quality reports.
+
+use viprof_repro::oprofile::{OpConfig, ReportOptions, SampleOrigin};
+use viprof_repro::viprof::{FaultPlan, ResolutionQuality, Viprof};
+use viprof_repro::workloads::{
+    calibrate, find_benchmark, programs, run_benchmark, BuiltWorkload, ProfilerKind, RunOutcome,
+    WorkPlan,
+};
+
+const PERIOD: u64 = 60_000;
+
+fn small_workload() -> (BuiltWorkload, WorkPlan) {
+    let mut params = find_benchmark("fop").expect("benchmark exists");
+    params.support_methods = params.support_methods.min(120);
+    params.heap_mb = 2;
+    let built = programs::build(&params);
+    let plan = calibrate(&built, 0.02);
+    (built, plan)
+}
+
+/// Post-process a finished run and enforce the accounting contract
+/// every faulted run must satisfy: quality buckets sum to exactly the
+/// emitted sample count, and the drop counter matches the database's.
+fn quality_of(out: &RunOutcome) -> ResolutionQuality {
+    let db = out.db.as_ref().expect("profiled run");
+    let (report, q) =
+        Viprof::report_with_quality(db, &out.machine.kernel, &ReportOptions::default())
+            .expect("degraded sessions still report");
+    assert_eq!(q.accounted(), db.total_samples(), "unaccounted samples: {q:?}");
+    assert_eq!(q.dropped, db.dropped, "silent drops: {q:?}");
+    // Rendering must not panic either, however damaged the session.
+    let _ = report.render_text();
+    q
+}
+
+fn jit_samples(out: &RunOutcome) -> u64 {
+    out.db
+        .as_ref()
+        .unwrap()
+        .iter()
+        .filter(|(b, _)| matches!(b.origin, SampleOrigin::JitApp { .. }))
+        .map(|(_, c)| c)
+        .sum()
+}
+
+#[test]
+fn empty_fault_plan_changes_nothing() {
+    let (built, plan) = small_workload();
+    let base = run_benchmark(&built, &plan, ProfilerKind::viprof_at(PERIOD), 42, false);
+    let faulty = run_benchmark(
+        &built,
+        &plan,
+        ProfilerKind::viprof_faulty_at(PERIOD, FaultPlan::new(42)),
+        42,
+        false,
+    );
+    assert_eq!(faulty.cycles, base.cycles, "no-op plan must cost nothing");
+    assert_eq!(faulty.db, base.db);
+    let q = quality_of(&faulty);
+    assert_eq!(q.quarantined_lines, 0);
+    assert_eq!(q.failed_pids, 0);
+}
+
+#[test]
+fn total_overflow_drops_every_sample_visibly() {
+    let (built, plan) = small_workload();
+    let plan_all_drop = FaultPlan::new(7).with_overflow_bursts(1.0, 4);
+    let out = run_benchmark(
+        &built,
+        &plan,
+        ProfilerKind::viprof_faulty_at(PERIOD, plan_all_drop),
+        1,
+        false,
+    );
+    let db = out.db.as_ref().unwrap();
+    let fr = out.faults.unwrap();
+    assert_eq!(db.total_samples(), 0, "burst rate 1.0 drops every sample");
+    assert!(fr.driver.forced_drops > 0);
+    assert_eq!(db.dropped, fr.driver.forced_drops, "every drop is counted");
+    let q = quality_of(&out);
+    assert_eq!(q.accounted(), 0);
+    assert_eq!(q.dropped, db.dropped);
+}
+
+#[test]
+fn daemon_crash_overflows_the_buffer_visibly() {
+    let (built, plan) = small_workload();
+    // A tiny ring buffer so the crash's missed drain windows must
+    // overflow it — the organic failure mode, not an injected drop —
+    // and a fast daemon timer so the crash schedule actually plays out
+    // within a small workload.
+    let config = OpConfig {
+        buffer_capacity: 8,
+        daemon_period_cycles: 300_000,
+        ..OpConfig::time_at(PERIOD)
+    };
+    let chaos = FaultPlan::new(5).with_daemon_crash(2, 8);
+    let out = run_benchmark(
+        &built,
+        &plan,
+        ProfilerKind::ViprofFaulty(config, chaos),
+        1,
+        false,
+    );
+    let fr = out.faults.unwrap();
+    assert_eq!(fr.daemon.crashes, 1);
+    assert_eq!(fr.daemon.missed_drains, 9, "crash wakeup + 8 down windows");
+    assert_eq!(fr.driver.forced_drops, 0, "no injected drops in this plan");
+    let db = out.db.as_ref().unwrap();
+    assert!(db.dropped > 0, "8-slot buffer must overflow while down");
+    assert!(db.total_samples() > 0, "the restarted daemon drains again");
+    quality_of(&out);
+}
+
+#[test]
+fn lost_maps_leave_jit_samples_unresolved_not_lost() {
+    let (built, plan) = small_workload();
+    let chaos = FaultPlan::new(3).with_lost_maps(1.0);
+    let out = run_benchmark(
+        &built,
+        &plan,
+        ProfilerKind::viprof_faulty_at(PERIOD, chaos),
+        1,
+        false,
+    );
+    let fr = out.faults.unwrap();
+    assert!(fr.maps.lost_maps > 0, "every map write was swallowed");
+    let jit = jit_samples(&out);
+    assert!(jit > 0, "the driver still classifies JIT samples");
+    let q = quality_of(&out);
+    assert!(
+        q.unresolved >= jit,
+        "with no maps on disk every JIT sample is unresolved: {q:?}"
+    );
+    assert_eq!(q.resolved + q.stale_epoch + q.unresolved, q.accounted());
+}
+
+#[test]
+fn torn_maps_degrade_resolution_not_timing() {
+    let (built, plan) = small_workload();
+    let base = run_benchmark(&built, &plan, ProfilerKind::viprof_at(PERIOD), 2, false);
+    let chaos = FaultPlan::new(9).with_torn_maps(1.0);
+    let torn = run_benchmark(
+        &built,
+        &plan,
+        ProfilerKind::viprof_faulty_at(PERIOD, chaos),
+        2,
+        false,
+    );
+    // Map damage is post-mortem damage: sampling is untouched.
+    assert_eq!(torn.cycles, base.cycles);
+    assert_eq!(torn.db, base.db);
+    assert!(torn.faults.unwrap().maps.torn_maps > 0);
+    let bq = quality_of(&base);
+    let tq = quality_of(&torn);
+    // Each torn file keeps a parseable prefix, so resolution degrades
+    // at worst — it never improves.
+    assert!(tq.resolved <= bq.resolved, "torn {tq:?} vs base {bq:?}");
+}
+
+#[test]
+fn garbled_maps_quarantine_lines_and_still_report() {
+    let (built, plan) = small_workload();
+    let chaos = FaultPlan::new(13).with_garbled_lines(1.0);
+    let out = run_benchmark(
+        &built,
+        &plan,
+        ProfilerKind::viprof_faulty_at(PERIOD, chaos),
+        1,
+        false,
+    );
+    let fr = out.faults.unwrap();
+    assert!(fr.maps.garbled_lines > 0);
+    let jit = jit_samples(&out);
+    assert!(jit > 0);
+    let q = quality_of(&out);
+    assert!(q.quarantined_lines > 0, "damage is counted, not hidden");
+    assert!(
+        q.unresolved >= jit,
+        "every map line was garbled, so no JIT sample resolves: {q:?}"
+    );
+}
+
+#[test]
+fn epoch_skew_falls_back_to_forward_salvage() {
+    let (built, plan) = small_workload();
+    let chaos = FaultPlan::new(21).with_epoch_skew(3);
+    let out = run_benchmark(
+        &built,
+        &plan,
+        ProfilerKind::viprof_faulty_at(PERIOD, chaos),
+        1,
+        false,
+    );
+    let fr = out.faults.unwrap();
+    assert!(fr.driver.skewed > 0, "every JIT sample's epoch was rewound");
+    let q = quality_of(&out);
+    // Code compiled in later epochs is absent from the (rewound) epoch's
+    // backward chain; the forward-salvage pass recovers it as stale.
+    assert!(q.stale_epoch > 0, "salvage never fired: {q:?}");
+    assert!(
+        q.resolved + q.stale_epoch > 0,
+        "skew must not zero out resolution: {q:?}"
+    );
+}
+
+#[test]
+fn chaos_plan_replays_bit_for_bit() {
+    let (built, plan) = small_workload();
+    let chaos = || {
+        FaultPlan::new(42)
+            .with_overflow_bursts(0.1, 3)
+            .with_sample_corruption(0.05)
+            .with_epoch_skew(1)
+            .with_daemon_stalls(0.2)
+            .with_daemon_crash(3, 2)
+            .with_lost_maps(0.2)
+            .with_torn_maps(0.2)
+            .with_garbled_lines(0.1)
+    };
+    let run = |fault_seed: u64| {
+        let mut p = chaos();
+        p.seed = fault_seed;
+        // Fast daemon timer so the stall/crash schedule gets exercised.
+        let config = OpConfig {
+            daemon_period_cycles: 300_000,
+            ..OpConfig::time_at(PERIOD)
+        };
+        run_benchmark(&built, &plan, ProfilerKind::ViprofFaulty(config, p), 11, false)
+    };
+    let a = run(42);
+    let b = run(42);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.db, b.db);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(quality_of(&a), quality_of(&b));
+    // A different fault seed draws a different schedule.
+    let c = run(43);
+    assert_ne!(a.db, c.db, "fault schedule must depend on the seed");
+}

@@ -18,7 +18,7 @@ use viprof_repro::sim_cpu::{CostModel, Pid};
 use viprof_repro::sim_jvm::{Heap, MatureConfig, MethodId, ObjKind, OptLevel};
 use viprof_repro::sim_jvm::{CompiledBodyInfo, VmProfilerHooks};
 use viprof_repro::sim_os::Vfs;
-use viprof_repro::viprof::codemap::CodeMapSet;
+use viprof_repro::viprof::codemap::{parse_map, render_map, CodeMapEntry, CodeMapSet};
 use viprof_repro::viprof::registry::JitRegistry;
 use viprof_repro::viprof::VmAgent;
 
@@ -183,6 +183,60 @@ proptest! {
             let hit = maps_p.resolve(t.addr, t.epoch);
             prop_assert!(hit.is_some());
             prop_assert_eq!(&hit.unwrap().signature, &format!("test.M{}.run", t.method.0));
+        }
+    }
+}
+
+// ---------- lossy parse: corruption quarantines, never destroys ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn parse_map_keeps_clean_lines_and_counts_corrupt_ones(
+        bodies in prop::collection::vec((0u64..1u64 << 40, 1u64..0x1000), 0..40),
+        corrupt in prop::collection::vec((0usize..40, 0usize..4), 0..12)
+    ) {
+        // Round trip with injected damage: render a map, overwrite a
+        // random subset of lines with definitively-invalid records, and
+        // check the lossy parser keeps exactly the clean entries (in
+        // order) while counting exactly the damaged lines.
+        let entries: Vec<CodeMapEntry> = bodies
+            .iter()
+            .enumerate()
+            .map(|(i, (addr, size))| CodeMapEntry {
+                addr: *addr,
+                size: *size,
+                level: "opt0".to_string(),
+                signature: format!("test.C.m{i}"),
+            })
+            .collect();
+        let rendered = render_map(&entries);
+        let mut lines: Vec<String> = rendered.lines().map(str::to_string).collect();
+        const GARBAGE: [&str; 4] = [
+            "zz 10 opt0 test.C.bad", // unparseable hex address
+            "10 zz opt0 test.C.bad", // unparseable hex size
+            "10 20 opt0",            // missing field
+            "!!",                    // not a record at all
+        ];
+        let mut damaged_lines = std::collections::BTreeSet::new();
+        for (line, g) in corrupt {
+            if line < lines.len() {
+                lines[line] = GARBAGE[g].to_string();
+                damaged_lines.insert(line);
+            }
+        }
+        let parsed = parse_map(&lines.join("\n"));
+        prop_assert_eq!(parsed.quarantined, damaged_lines.len() as u64);
+        let survivors: Vec<&CodeMapEntry> = entries
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !damaged_lines.contains(i))
+            .map(|(_, e)| e)
+            .collect();
+        prop_assert_eq!(parsed.entries.len(), survivors.len());
+        for (got, want) in parsed.entries.iter().zip(survivors) {
+            prop_assert_eq!(got, want);
         }
     }
 }

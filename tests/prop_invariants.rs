@@ -137,6 +137,40 @@ proptest! {
         prop_assert_eq!(drained, expect);
     }
 
+    // ---------- ring buffer: total sample accounting ----------
+
+    #[test]
+    fn ring_buffer_accounts_for_every_push(
+        capacity in 0usize..32,
+        ops in prop::collection::vec(prop::option::of(0u64..1_000), 1..300)
+    ) {
+        // Capacity 0 (a misconfigured --buffer-size) clamps to one slot
+        // instead of panicking, and across arbitrary push/drain
+        // interleavings every sample ever offered is accounted for:
+        // attempts == accepted + dropped, accepted == drained + buffered.
+        let mut ring = RingBuffer::new(capacity);
+        prop_assert_eq!(ring.capacity(), capacity.max(1));
+        let sample = |addr: u64| SampleBucket {
+            origin: SampleOrigin::Unknown,
+            event: HwEvent::Cycles,
+            addr,
+            epoch: 0,
+        };
+        let mut attempts = 0u64;
+        let mut drained_total = 0u64;
+        for op in ops {
+            match op {
+                Some(addr) => {
+                    attempts += 1;
+                    ring.push(sample(addr));
+                }
+                None => drained_total += ring.drain().len() as u64,
+            }
+            prop_assert_eq!(attempts, ring.pushed + ring.dropped);
+            prop_assert_eq!(ring.pushed, drained_total + ring.len() as u64);
+        }
+    }
+
     // ---------- symbol table vs. linear oracle ----------
 
     #[test]
