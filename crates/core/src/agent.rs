@@ -15,11 +15,12 @@
 //! of Figure 2.
 
 use crate::callgraph::CallGraph;
-use crate::codemap::{map_path, render_map, CodeMapEntry};
+use crate::codemap::{journal_path, map_path, render_map, CodeMapEntry};
 use crate::registry::SharedRegistry;
 use parking_lot::Mutex;
 use sim_cpu::{Addr, CostModel, Pid};
 use sim_jvm::{CompiledBodyInfo, MethodId, VmProfilerHooks};
+use sim_os::journal::{JournalWriter, KIND_CODE_MAP};
 use sim_os::{SplitMix64, Vfs};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -137,6 +138,11 @@ pub struct AgentStats {
     pub maps_written: u64,
     pub entries_written: u64,
     pub call_edges_recorded: u64,
+    /// Code-map records committed to the write-ahead journal.
+    pub journal_appends: u64,
+    /// Torn journal appends caught by read-back verification and
+    /// rewritten whole.
+    pub journal_repairs: u64,
 }
 
 /// Cycles the agent spends recording one sampled call edge.
@@ -170,6 +176,12 @@ pub struct VmAgent {
     pending_moves: Vec<CodeMapEntry>,
     /// Optional map-write fault injector (robustness testing).
     map_faults: Option<MapFaults>,
+    /// Journal epoch maps to a per-pid write-ahead log alongside the
+    /// plain map files.
+    journal_enabled: bool,
+    /// Lazily created on the first map write (the pid is only known
+    /// after `on_vm_start`).
+    journal: Option<JournalWriter>,
     /// Optional cross-layer call-graph collector.
     callgraph: Option<Arc<Mutex<CallGraph>>>,
     /// Record every Nth call edge (sampling keeps the inline hook cheap).
@@ -190,6 +202,8 @@ impl VmAgent {
             precise_moves: false,
             pending_moves: Vec::new(),
             map_faults: None,
+            journal_enabled: false,
+            journal: None,
             callgraph: None,
             call_sample_interval: 16,
             call_counter: 0,
@@ -217,6 +231,12 @@ impl VmAgent {
         self
     }
 
+    /// Journal every epoch map write (crash-consistent persistence).
+    pub fn with_journal(mut self, on: bool) -> VmAgent {
+        self.journal_enabled = on;
+        self
+    }
+
     /// Injected map-fault counters, if an injector is installed.
     pub fn map_fault_stats(&self) -> Option<MapFaultStats> {
         self.map_faults.as_ref().map(|f| f.stats())
@@ -229,7 +249,9 @@ impl VmAgent {
     }
 
     fn write_map(&mut self, epoch: u64, vfs: &mut Vfs) -> u64 {
-        let pid = self.pid.expect("agent used before on_vm_start");
+        // An agent used before `on_vm_start` has nothing to attribute a
+        // map to; skip gracefully rather than panicking inside a hook.
+        let Some(pid) = self.pid else { return 0 };
         // Entries: every compile event of the ending epoch, plus the
         // current locations of bodies moved by the previous collection.
         // Keyed by address: a method compiled after being moved shares
@@ -253,16 +275,67 @@ impl VmAgent {
         // may be lost, torn, or garbled.
         let payload = match &mut self.map_faults {
             Some(f) => f.corrupt_write(&rendered),
-            None => Some(rendered.into_bytes()),
+            None => Some(rendered.as_bytes().to_vec()),
         };
-        if let Some(bytes) = payload {
-            vfs.write(map_path(pid, epoch), bytes);
+        if let Some(bytes) = &payload {
+            vfs.write(map_path(pid, epoch), bytes.clone());
+        }
+        if self.journal_enabled {
+            self.journal_map(pid, epoch, &rendered, payload.as_deref(), vfs);
         }
         self.moved_flags.clear();
         let mut st = self.stats.lock();
         st.maps_written += 1;
         st.entries_written += entries.len() as u64;
+        // Journal appends ride the map write's existing I/O budget, so
+        // the charged cost is the same with or without journaling.
         self.cost.map_write(entries.len() as u64)
+    }
+
+    /// Mirror one map write into the journal, under the *same* fault
+    /// outcome the map file suffered (`damaged` is what actually
+    /// reached disk; `None` = the write was lost). No RNG is consumed
+    /// here — the one `corrupt_write` draw drives both files, keeping
+    /// faulted runs replayable bit for bit.
+    ///
+    /// * **Lost**: the VM died before either write — no record lands.
+    /// * **Torn** (shorter than rendered): the journal record tears at
+    ///   the same point, but the commit protocol's read-back check sees
+    ///   the missing commit byte and rewrites the record whole. This is
+    ///   the case a bare map file cannot recover.
+    /// * **Garbled** (same length or longer, different bytes): bit rot
+    ///   after commit — write-time verification cannot see it; recovery
+    ///   detects the CRC mismatch and truncates the journal there.
+    fn journal_map(
+        &mut self,
+        pid: Pid,
+        epoch: u64,
+        rendered: &str,
+        damaged: Option<&[u8]>,
+        vfs: &mut Vfs,
+    ) {
+        let Some(damaged) = damaged else { return };
+        if self.journal.is_none() {
+            self.journal = Some(JournalWriter::create(vfs, journal_path(pid)));
+        }
+        let journal = self.journal.as_mut().expect("just created");
+        // Payload: epoch tag + the pristine rendered map.
+        let mut payload = Vec::with_capacity(8 + rendered.len());
+        payload.extend_from_slice(&epoch.to_le_bytes());
+        payload.extend_from_slice(rendered.as_bytes());
+        let mut st = self.stats.lock();
+        if damaged.len() < rendered.len() {
+            journal.append_torn_then_repair(vfs, KIND_CODE_MAP, &payload, 8 + damaged.len());
+            st.journal_repairs += 1;
+        } else if damaged != rendered.as_bytes() {
+            let mut rot = Vec::with_capacity(payload.len());
+            rot.extend_from_slice(&epoch.to_le_bytes());
+            rot.extend_from_slice(damaged);
+            journal.append_rotted(vfs, KIND_CODE_MAP, &payload, &rot);
+        } else {
+            journal.append(vfs, KIND_CODE_MAP, &payload);
+        }
+        st.journal_appends += 1;
     }
 }
 
@@ -542,6 +615,105 @@ mod tests {
         // Whatever survived must never panic the lossy parser.
         let parsed = crate::codemap::parse_map(std::str::from_utf8(&bytes).unwrap_or(""));
         assert!(parsed.entries.len() <= 2);
+    }
+
+    #[test]
+    fn journal_records_carry_pristine_maps() {
+        let (mut a, _) = agent();
+        a = a.with_journal(true);
+        let mut vfs = Vfs::new();
+        a.on_vm_start(Pid(7), (0x1000, 0x2000));
+        a.on_compile(&compile_info(0, 0x1000, 0));
+        a.on_gc_begin(0, &mut vfs);
+        a.on_gc_end(1);
+        a.on_compile(&compile_info(1, 0x1100, 1));
+        a.on_vm_exit(1, &mut vfs);
+        let scan = sim_os::journal::scan(&vfs, journal_path(Pid(7))).unwrap();
+        assert_eq!(scan.damaged_bytes, 0);
+        assert_eq!(scan.records.len(), 2);
+        for (rec, epoch) in scan.records.iter().zip([0u64, 1]) {
+            assert_eq!(rec.kind, KIND_CODE_MAP);
+            assert_eq!(u64::from_le_bytes(rec.payload[..8].try_into().unwrap()), epoch);
+            // Journal payload matches the map file byte for byte.
+            assert_eq!(
+                &rec.payload[8..],
+                vfs.read(&map_path(Pid(7), epoch)).unwrap()
+            );
+        }
+        assert_eq!(a.stats.lock().journal_appends, 2);
+        assert_eq!(a.stats.lock().journal_repairs, 0);
+    }
+
+    #[test]
+    fn torn_map_write_is_repaired_in_the_journal() {
+        // Tear every map write: the map files on disk are truncated,
+        // but the journal's commit protocol catches each torn append
+        // and rewrites it — the journal ends up pristine.
+        let (mut a, _) = agent();
+        a = a
+            .with_map_faults(MapFaults::new(11).with_torn(1.0))
+            .with_journal(true);
+        let faults = a.map_faults.clone().unwrap();
+        let mut vfs = Vfs::new();
+        a.on_vm_start(Pid(7), (0x1000, 0x2000));
+        a.on_compile(&compile_info(0, 0x1000, 0));
+        a.on_compile(&compile_info(1, 0x1100, 0));
+        a.on_gc_begin(0, &mut vfs);
+        assert!(faults.stats().torn_maps >= 1);
+        let expected = render_map(&[
+            CodeMapEntry {
+                addr: 0x1000,
+                size: 0x40,
+                level: "base".into(),
+                signature: "app.M0.run".into(),
+            },
+            CodeMapEntry {
+                addr: 0x1100,
+                size: 0x40,
+                level: "base".into(),
+                signature: "app.M1.run".into(),
+            },
+        ]);
+        // The map file is damaged…
+        assert!(vfs.read(&map_path(Pid(7), 0)).unwrap().len() < expected.len());
+        // …the journal is not.
+        let scan = sim_os::journal::scan(&vfs, journal_path(Pid(7))).unwrap();
+        assert_eq!(scan.damaged_bytes, 0);
+        assert_eq!(&scan.records[0].payload[8..], expected.as_bytes());
+        assert_eq!(a.stats.lock().journal_repairs, 1);
+    }
+
+    #[test]
+    fn garbled_map_rots_the_journal_record_past_repair() {
+        // Bit rot lands after the commit: the writer cannot see it, so
+        // the scanner must — CRC mismatch, journal truncated there.
+        let (mut a, _) = agent();
+        a = a
+            .with_map_faults(MapFaults::new(5).with_garbled(1.0))
+            .with_journal(true);
+        let mut vfs = Vfs::new();
+        a.on_vm_start(Pid(7), (0x1000, 0x2000));
+        a.on_compile(&compile_info(0, 0x1000, 0));
+        a.on_gc_begin(0, &mut vfs);
+        let scan = sim_os::journal::scan(&vfs, journal_path(Pid(7))).unwrap();
+        assert!(scan.records.is_empty(), "rotted record must not replay");
+        assert!(scan.damaged_bytes > 0);
+    }
+
+    #[test]
+    fn lost_map_write_journals_nothing() {
+        let (mut a, _) = agent();
+        a = a
+            .with_map_faults(MapFaults::new(3).with_lost(1.0))
+            .with_journal(true);
+        let mut vfs = Vfs::new();
+        a.on_vm_start(Pid(7), (0x1000, 0x2000));
+        a.on_compile(&compile_info(0, 0x1000, 0));
+        a.on_gc_begin(0, &mut vfs);
+        // The VM died before either write — even the journal is absent
+        // (it is created lazily by the first surviving write).
+        assert!(sim_os::journal::scan(&vfs, journal_path(Pid(7))).is_none());
+        assert_eq!(a.stats.lock().journal_appends, 0);
     }
 
     #[test]

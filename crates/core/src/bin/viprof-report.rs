@@ -6,10 +6,13 @@
 //! `/var/lib/oprofile` after `opcontrol --stop`.
 //!
 //! ```text
-//! viprof-report <session-dir> [--classic] [--min <percent>] [--rows <n>] [--csv | --json]
+//! viprof-report <session-dir> [--classic] [--recover] [--min <percent>] [--rows <n>] [--csv | --json]
 //!
 //!   --classic   render what stock opreport would show (anon ranges,
 //!               symbol-less boot image) instead of the merged view
+//!   --recover   tolerate integrity violations and replay the crash
+//!               journals: rebuild code maps (and, if the sample db is
+//!               missing or corrupt, the db itself) from journal records
 //!   --min  P    hide rows below P percent of the primary event (0.05)
 //!   --rows N    keep at most N rows
 //!   --csv       emit CSV instead of the aligned text table
@@ -17,11 +20,11 @@
 //! ```
 
 use oprofile::{opreport, ReportOptions, SampleDb};
-use viprof::Viprof;
+use viprof::{RecoveredDb, RecoveryReport, Viprof};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: viprof-report <session-dir> [--classic] [--min <percent>] [--rows <n>] [--csv | --json]"
+        "usage: viprof-report <session-dir> [--classic] [--recover] [--min <percent>] [--rows <n>] [--csv | --json]"
     );
     std::process::exit(2);
 }
@@ -36,6 +39,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let Some(dir) = args.next() else { usage() };
     let mut classic = false;
+    let mut recover = false;
     let mut options = ReportOptions {
         min_primary_percent: 0.05,
         ..ReportOptions::default()
@@ -44,6 +48,7 @@ fn main() {
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--classic" => classic = true,
+            "--recover" => recover = true,
             "--csv" => format = Format::Csv,
             "--json" => format = Format::Json,
             "--min" => {
@@ -64,33 +69,88 @@ fn main() {
     }
 
     let dir = std::path::PathBuf::from(dir);
-    let kernel = match Viprof::import_session(&dir) {
-        Ok(k) => k,
-        Err(e) => {
-            eprintln!("viprof-report: {e}");
-            std::process::exit(1);
+    let kernel = if recover {
+        // Lenient: load what's there, warn per manifest violation, and
+        // let the journal-replay pass repair what it can.
+        match Viprof::import_session_lenient(&dir) {
+            Ok((k, mismatches)) => {
+                for m in &mismatches {
+                    eprintln!("viprof-report: WARNING: {m}");
+                }
+                k
+            }
+            Err(e) => {
+                eprintln!("viprof-report: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match Viprof::import_session(&dir) {
+            Ok(k) => k,
+            Err(e) => {
+                eprintln!("viprof-report: {e} (try --recover)");
+                std::process::exit(1);
+            }
         }
     };
-    let Some(raw) = kernel.vfs.read(oprofile::session::SAMPLES_PATH) else {
-        eprintln!(
-            "viprof-report: no sample database at {} — did the session stop cleanly?",
+    let loaded = match kernel.vfs.read(oprofile::session::SAMPLES_PATH) {
+        None => Err(format!(
+            "no sample database at {}",
             oprofile::session::SAMPLES_PATH
-        );
-        std::process::exit(1);
+        )),
+        Some(raw) => {
+            SampleDb::from_bytes(raw).map_err(|e| format!("corrupt sample database: {e}"))
+        }
     };
-    let db = match SampleDb::from_bytes(raw) {
+    let mut rebuilt: Option<RecoveredDb> = None;
+    let db = match loaded {
         Ok(db) => db,
-        Err(e) => {
-            eprintln!("viprof-report: corrupt sample database: {e}");
+        Err(why) if recover => {
+            eprintln!("viprof-report: WARNING: {why}; replaying the batch journal");
+            match viprof::recover_sample_db(&kernel.vfs) {
+                Some(r) => {
+                    let db = r.db.clone();
+                    rebuilt = Some(r);
+                    db
+                }
+                None => {
+                    eprintln!("viprof-report: no sample journal either — nothing to rebuild");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Err(why) => {
+            eprintln!(
+                "viprof-report: {why} — did the session stop cleanly? (try --recover)"
+            );
             std::process::exit(1);
         }
     };
 
-    let (report, quality) = if classic {
-        (opreport(&db, &kernel, &options), None)
+    let (report, quality, recovery) = if classic {
+        (opreport(&db, &kernel, &options), None, None)
+    } else if recover {
+        match Viprof::report_with_recovery(&db, &kernel, &options) {
+            Ok((r, q, mut rec)) => {
+                if let Some(rb) = &rebuilt {
+                    rec.db_rebuilt = true;
+                    rec.sample_batches_replayed = rb.batches;
+                    rec.bad_sample_batches = rb.bad_batches;
+                    if rb.truncated_bytes > 0 {
+                        rec.truncated_journals += 1;
+                        rec.truncated_bytes += rb.truncated_bytes;
+                    }
+                }
+                (r, Some(q), Some(rec))
+            }
+            Err(e) => {
+                eprintln!("viprof-report: {e}");
+                std::process::exit(1);
+            }
+        }
     } else {
         match Viprof::report_with_quality(&db, &kernel, &options) {
-            Ok((r, q)) => (r, Some(q)),
+            Ok((r, q)) => (r, Some(q), None),
             Err(e) => {
                 eprintln!("viprof-report: {e}");
                 std::process::exit(1);
@@ -119,6 +179,9 @@ fn main() {
                     );
                 }
             }
+            if let Some(rec) = &recovery {
+                print_recovery(rec);
+            }
             if db.dropped > 0 {
                 let emitted = db.total_samples() + db.dropped;
                 let pct = 100.0 * db.dropped as f64 / emitted as f64;
@@ -126,11 +189,32 @@ fn main() {
             }
         }
         Format::Csv => print!("{}", report.render_csv()),
-        Format::Json => {
-            println!(
-                "{}",
-                serde_json::to_string_pretty(&report).expect("report serializes")
-            );
-        }
+        Format::Json => match serde_json::to_string_pretty(&report) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("viprof-report: cannot serialize report: {e}");
+                std::process::exit(1);
+            }
+        },
+    }
+}
+
+fn print_recovery(rec: &RecoveryReport) {
+    println!(
+        "RECOVERY: {} map journal(s) scanned, {} record(s) replayed, \
+         {} epoch(s) rebuilt, {} sample(s) salvaged",
+        rec.journals_scanned, rec.records_replayed, rec.epochs_recovered, rec.samples_salvaged
+    );
+    if rec.truncated_journals > 0 {
+        println!(
+            "RECOVERY: {} journal(s) truncated at the last valid record ({} damaged bytes discarded)",
+            rec.truncated_journals, rec.truncated_bytes
+        );
+    }
+    if rec.db_rebuilt {
+        println!(
+            "RECOVERY: sample database rebuilt from {} batch record(s) ({} undecodable)",
+            rec.sample_batches_replayed, rec.bad_sample_batches
+        );
     }
 }

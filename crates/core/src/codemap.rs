@@ -38,6 +38,13 @@ pub fn map_path(pid: Pid, epoch: u64) -> String {
     format!("{JIT_MAP_DIR}/{}/map.{epoch:010}", pid.0)
 }
 
+/// Path of the agent's code-map write-ahead journal for `pid`. Lives
+/// beside the map files (same per-pid directory) but outside the
+/// `map.` prefix, so map listings never pick it up.
+pub fn journal_path(pid: Pid) -> String {
+    format!("{JIT_MAP_DIR}/{}/journal", pid.0)
+}
+
 /// Render entries in the on-disk text format:
 /// `addr(hex) size(hex) level signature`.
 pub fn render_map(entries: &[CodeMapEntry]) -> String {
@@ -163,8 +170,13 @@ impl CodeMapSet {
                 skipped += 1;
                 continue;
             };
-            let Ok(text) = std::str::from_utf8(vfs.read(path).expect("listed file must exist"))
-            else {
+            // A listed path should always read back; treat a miss like
+            // any other unusable file rather than panicking mid-report.
+            let Some(raw) = vfs.read(path) else {
+                skipped += 1;
+                continue;
+            };
+            let Ok(text) = std::str::from_utf8(raw) else {
                 skipped += 1;
                 continue;
             };

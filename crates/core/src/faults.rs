@@ -19,7 +19,7 @@
 //! a map file truncated by a full disk.
 
 use crate::agent::{MapFaultStats, MapFaults};
-use oprofile::{DaemonFaults, DriverFaults, OpConfig};
+use oprofile::{DaemonFaults, DriverFaults, OpConfig, SupervisorConfig};
 use sim_os::SplitMix64;
 
 /// A seeded, whole-pipeline fault schedule. All knobs default to off;
@@ -149,6 +149,15 @@ impl FaultPlan {
     pub fn apply_to(&self, config: OpConfig) -> OpConfig {
         config.with_faults(self.driver_faults(), self.daemon_faults())
     }
+
+    /// Supervisor configuration seeded from this plan (salt 4), so a
+    /// supervised replay of the same plan jitters identically.
+    pub fn supervisor_config(&self) -> SupervisorConfig {
+        SupervisorConfig {
+            seed: self.sub_seed(4),
+            ..SupervisorConfig::default()
+        }
+    }
 }
 
 /// Aggregate fault counters across a plan's layers (what was actually
@@ -189,6 +198,17 @@ mod tests {
         let a = p.agent_faults().unwrap();
         assert_eq!(a.tear_rate, 0.5);
         assert_eq!(a.lose_rate, 0.0);
+    }
+
+    #[test]
+    fn supervisor_config_replays_per_seed() {
+        let a = FaultPlan::new(9).supervisor_config();
+        assert_eq!(a, FaultPlan::new(9).supervisor_config());
+        assert_ne!(a.seed, FaultPlan::new(10).supervisor_config().seed);
+        // Independent of the other layers' seed streams.
+        let p = FaultPlan::new(9);
+        assert_ne!(a.seed, p.sub_seed(2));
+        assert_ne!(a.seed, p.sub_seed(3));
     }
 
     #[test]

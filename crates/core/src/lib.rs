@@ -34,6 +34,7 @@ pub mod callgraph;
 pub mod codemap;
 pub mod error;
 pub mod faults;
+pub mod recover;
 pub mod registry;
 pub mod report;
 pub mod resolve;
@@ -47,9 +48,12 @@ pub use callgraph::CallGraph;
 pub use codemap::{CodeMapEntry, CodeMapSet, EpochMap, ParsedMap, JIT_MAP_DIR};
 pub use error::ViprofError;
 pub use faults::{FaultPlan, FaultReport};
+pub use recover::{recover_codemaps, recover_sample_db, PidRecovery, RecoveredDb, RecoveryReport};
 pub use registry::{JitRegistry, SharedRegistry};
 pub use report::viprof_report;
 pub use resolve::{ResolutionQuality, ViprofResolver};
 pub use runtime::ViprofExtension;
-pub use session::Viprof;
+pub use session::{
+    FileDigest, Viprof, SESSION_MANIFEST, SESSION_META_IMAGES, SESSION_META_PROCESSES,
+};
 pub use xen::{DomainId, DomainTable, Hypervisor, XenScheduler};

@@ -16,6 +16,7 @@
 use crate::bootmap::BootMap;
 use crate::codemap::{CodeMapSet, JIT_MAP_DIR};
 use crate::error::ViprofError;
+use crate::recover::{recover_codemaps, RecoveryReport};
 use oprofile::report::bucket_label;
 use oprofile::{SampleBucket, SampleDb, SampleOrigin};
 use sim_cpu::Pid;
@@ -58,6 +59,27 @@ impl ResolutionQuality {
     }
 }
 
+/// Discover pids with per-pid map directories: paths look like
+/// `/var/lib/oprofile/jit/<pid>/map.<epoch>` (or `…/<pid>/journal`).
+fn discover_pids(kernel: &Kernel) -> Vec<Pid> {
+    let prefix = format!("{JIT_MAP_DIR}/");
+    let mut pids: Vec<Pid> = kernel
+        .vfs
+        .list(&prefix)
+        .iter()
+        .filter_map(|p| {
+            p[prefix.len()..]
+                .split('/')
+                .next()
+                .and_then(|s| s.parse::<u32>().ok())
+                .map(Pid)
+        })
+        .collect();
+    pids.sort_unstable();
+    pids.dedup();
+    pids
+}
+
 /// Loaded post-processing state.
 #[derive(Debug, Default)]
 pub struct ViprofResolver {
@@ -77,26 +99,9 @@ impl ViprofResolver {
     pub fn load(kernel: &Kernel) -> Result<ViprofResolver, ViprofError> {
         let bootmap = BootMap::load(&kernel.vfs)?;
         let boot_image = kernel.images.find_by_name(BOOT_IMAGE_NAME);
-        // Discover per-pid map directories: paths look like
-        // `/var/lib/oprofile/jit/<pid>/map.<epoch>`.
-        let prefix = format!("{JIT_MAP_DIR}/");
-        let mut pids: Vec<Pid> = kernel
-            .vfs
-            .list(&prefix)
-            .iter()
-            .filter_map(|p| {
-                p[prefix.len()..]
-                    .split('/')
-                    .next()
-                    .and_then(|s| s.parse::<u32>().ok())
-                    .map(Pid)
-            })
-            .collect();
-        pids.sort_unstable();
-        pids.dedup();
         let mut codemaps = HashMap::new();
         let mut failed_pids = Vec::new();
-        for pid in pids {
+        for pid in discover_pids(kernel) {
             match CodeMapSet::load(&kernel.vfs, pid) {
                 Ok(set) => {
                     codemaps.insert(pid, set);
@@ -110,6 +115,44 @@ impl ViprofResolver {
             boot_image,
             failed_pids,
         })
+    }
+
+    /// [`ViprofResolver::load`] with the journal-replay recovery pass:
+    /// each pid's maps come from [`recover_codemaps`] when a map
+    /// journal exists (pristine journal records overlaid on the damaged
+    /// disk state), and from the plain degraded loader otherwise. Also
+    /// returns the aggregate [`RecoveryReport`].
+    pub fn load_recovered(
+        kernel: &Kernel,
+    ) -> Result<(ViprofResolver, RecoveryReport), ViprofError> {
+        let bootmap = BootMap::load(&kernel.vfs)?;
+        let boot_image = kernel.images.find_by_name(BOOT_IMAGE_NAME);
+        let mut codemaps = HashMap::new();
+        let mut failed_pids = Vec::new();
+        let mut report = RecoveryReport::default();
+        for pid in discover_pids(kernel) {
+            match recover_codemaps(&kernel.vfs, pid) {
+                Some((set, pid_rec)) => {
+                    report.absorb(&pid_rec);
+                    codemaps.insert(pid, set);
+                }
+                None => match CodeMapSet::load(&kernel.vfs, pid) {
+                    Ok(set) => {
+                        codemaps.insert(pid, set);
+                    }
+                    Err(_) => failed_pids.push(pid),
+                },
+            }
+        }
+        Ok((
+            ViprofResolver {
+                bootmap,
+                codemaps,
+                boot_image,
+                failed_pids,
+            },
+            report,
+        ))
     }
 
     pub fn codemaps(&self, pid: Pid) -> Option<&CodeMapSet> {
@@ -340,6 +383,36 @@ mod tests {
         assert_eq!(q.stale_epoch, 0);
         assert_eq!(q.dropped, 7);
         assert_eq!(q.accounted(), db.total_samples());
+    }
+
+    #[test]
+    fn load_recovered_replays_journals_and_matches_plain_load_without_them() {
+        use crate::codemap::journal_path;
+        use sim_os::journal::KIND_CODE_MAP;
+        use sim_os::JournalWriter;
+        // Without any journal, recovery degenerates to the plain loader.
+        let (k, pid) = setup();
+        let (r, report) = ViprofResolver::load_recovered(&k).unwrap();
+        assert_eq!(report, crate::recover::RecoveryReport::default());
+        assert!(r.codemaps(pid).is_some());
+        // Tear epoch 0's map on disk but journal the pristine render:
+        // recovery resolves what plain load cannot.
+        let (mut k, pid) = setup();
+        let pristine = k.vfs.read(&map_path(pid, 0)).unwrap().to_vec();
+        k.vfs.write(map_path(pid, 0), pristine[..10].to_vec());
+        let mut payload = 0u64.to_le_bytes().to_vec();
+        payload.extend_from_slice(&pristine);
+        let mut w = JournalWriter::create(&mut k.vfs, journal_path(pid));
+        w.append(&mut k.vfs, KIND_CODE_MAP, &payload);
+        let degraded = ViprofResolver::load(&k).unwrap();
+        let (_, sym) = degraded.label(&bucket(SampleOrigin::JitApp { pid }, 0x6400_0080, 0), &k);
+        assert_eq!(sym, "(unresolved jit)");
+        let (recovered, report) = ViprofResolver::load_recovered(&k).unwrap();
+        assert_eq!(report.journals_scanned, 1);
+        assert_eq!(report.records_replayed, 1);
+        assert_eq!(report.epochs_recovered, 1);
+        let (_, sym) = recovered.label(&bucket(SampleOrigin::JitApp { pid }, 0x6400_0080, 0), &k);
+        assert_eq!(sym, "app.Scanner.parseLine");
     }
 
     #[test]

@@ -5,15 +5,21 @@ use crate::agent::{MapFaultStats, MapFaults, VmAgent};
 use crate::callgraph::CallGraph;
 use crate::error::ViprofError;
 use crate::faults::FaultPlan;
+use crate::recover::RecoveryReport;
 use crate::registry::{JitRegistry, SharedRegistry};
 use crate::report::viprof_report;
 use crate::resolve::{ResolutionQuality, ViprofResolver};
 use crate::runtime::ViprofExtension;
 use oprofile::report::{Report, ReportOptions};
-use oprofile::{DaemonFaultStats, DriverFaultStats, DriverStats, OpConfig, Oprofile, SampleDb};
+use oprofile::{
+    DaemonFaultStats, DriverFaultStats, DriverStats, OpConfig, Oprofile, SampleDb,
+    SupervisorStats,
+};
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use sim_cpu::CostModel;
-use sim_os::{Kernel, Machine};
+use sim_os::{crc32, Kernel, Machine, Vfs};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A running VIProf session: OProfile with the runtime-profiler
@@ -26,6 +32,9 @@ pub struct Viprof {
     /// Map-fault template cloned into every agent this session builds
     /// (clones share the stats handle).
     agent_faults: Option<MapFaults>,
+    /// Whether agents built by this session journal their map writes
+    /// (mirrors `OpConfig::journal`, which covers the daemon side).
+    journal: bool,
 }
 
 impl Viprof {
@@ -50,6 +59,7 @@ impl Viprof {
     ) -> Viprof {
         let registry = JitRegistry::shared();
         let cost = config.cost;
+        let journal = config.journal;
         let ext = Box::new(ViprofExtension::new(registry.clone(), cost.vm_probe_cycles));
         let op = Oprofile::start_with_extension(machine, config, ext);
         Viprof {
@@ -58,6 +68,7 @@ impl Viprof {
             callgraph: Arc::new(Mutex::new(CallGraph::new())),
             cost,
             agent_faults,
+            journal,
         }
     }
 
@@ -73,7 +84,8 @@ impl Viprof {
     pub fn make_agent_with(&self, precise_moves: bool) -> VmAgent {
         let mut agent = VmAgent::new(self.registry.clone(), self.cost)
             .with_callgraph(self.callgraph.clone(), 16)
-            .with_precise_moves(precise_moves);
+            .with_precise_moves(precise_moves)
+            .with_journal(self.journal);
         if let Some(faults) = &self.agent_faults {
             agent = agent.with_map_faults(faults.clone());
         }
@@ -97,6 +109,11 @@ impl Viprof {
     /// Injected map-write fault counters (fault-plan sessions only).
     pub fn map_fault_stats(&self) -> Option<MapFaultStats> {
         self.agent_faults.as_ref().map(|f| f.stats())
+    }
+
+    /// Watchdog/restart counters (supervised sessions only).
+    pub fn supervisor_stats(&self) -> Option<SupervisorStats> {
+        self.op.supervisor_stats()
     }
 
     pub fn db_snapshot(&self) -> SampleDb {
@@ -131,6 +148,23 @@ impl Viprof {
         Ok((viprof_report(db, kernel, &resolver, options), quality))
     }
 
+    /// [`Viprof::report_with_quality`] after the journal-replay
+    /// recovery pass: code maps are rebuilt from the per-pid map
+    /// journals, the degraded baseline is measured alongside, and the
+    /// returned [`RecoveryReport`] says how many samples replay
+    /// salvaged over that baseline.
+    pub fn report_with_recovery(
+        db: &SampleDb,
+        kernel: &Kernel,
+        options: &ReportOptions,
+    ) -> Result<(Report, ResolutionQuality, RecoveryReport), ViprofError> {
+        let baseline = ViprofResolver::load(kernel)?.quality(db);
+        let (resolver, mut recovery) = ViprofResolver::load_recovered(kernel)?;
+        let quality = resolver.quality(db);
+        recovery.samples_salvaged = quality.resolved.saturating_sub(baseline.resolved);
+        Ok((viprof_report(db, kernel, &resolver, options), quality, recovery))
+    }
+
     /// Export a complete, self-contained session to a real directory:
     /// the machine's VFS (sample db, epoch code maps, `RVM.map`) plus
     /// image/process metadata, so `viprof-report` (or any external
@@ -140,24 +174,56 @@ impl Viprof {
         machine: &mut Machine,
         dir: &std::path::Path,
     ) -> std::io::Result<usize> {
-        let images = serde_json::to_vec_pretty(&machine.kernel.images)
-            .expect("image table serializes");
+        let to_io = |e: serde_json::Error| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+        };
+        let images = serde_json::to_vec_pretty(&machine.kernel.images).map_err(to_io)?;
         machine.kernel.vfs.write(SESSION_META_IMAGES, images);
         let procs: Vec<&sim_os::Process> = machine.kernel.processes().collect();
-        let procs = serde_json::to_vec_pretty(&procs).expect("process table serializes");
+        let procs = serde_json::to_vec_pretty(&procs).map_err(to_io)?;
         machine.kernel.vfs.write(SESSION_META_PROCESSES, procs);
+        // The manifest goes in last so it covers everything above; it
+        // cannot digest itself and is excluded from its own map.
+        let manifest = serde_json::to_vec_pretty(&session_manifest(&machine.kernel.vfs))
+            .map_err(to_io)?;
+        machine.kernel.vfs.write(SESSION_MANIFEST, manifest);
         std::fs::create_dir_all(dir)?;
         machine.kernel.vfs.export_to_dir(dir)
     }
 
     /// Rebuild a kernel view from an exported session directory.
     /// The returned kernel carries the session's images, processes and
-    /// VFS — everything `Viprof::report` needs.
+    /// VFS — everything `Viprof::report` needs. The session manifest
+    /// (when present) is verified file-by-file; any integrity violation
+    /// is a [`ViprofError::Corrupt`] — use
+    /// [`Viprof::import_session_lenient`] to load anyway and inspect
+    /// the damage.
     pub fn import_session(dir: &std::path::Path) -> Result<Kernel, ViprofError> {
+        let (kernel, mismatches) = Self::import_session_lenient(dir)?;
+        if let Some(first) = mismatches.first() {
+            return Err(ViprofError::Corrupt {
+                path: format!("{}", dir.display()),
+                detail: format!(
+                    "{} integrity violation(s); first: {first}",
+                    mismatches.len()
+                ),
+            });
+        }
+        Ok(kernel)
+    }
+
+    /// [`Viprof::import_session`] that tolerates integrity violations:
+    /// loads whatever is there and returns one human-readable line per
+    /// manifest mismatch (the recovery workflow feeds these to the
+    /// journal-replay pass instead of giving up).
+    pub fn import_session_lenient(
+        dir: &std::path::Path,
+    ) -> Result<(Kernel, Vec<String>), ViprofError> {
         let vfs = sim_os::Vfs::import_from_dir(dir).map_err(|e| ViprofError::Io {
             path: format!("{}", dir.display()),
             detail: e.to_string(),
         })?;
+        let mismatches = verify_manifest(&vfs)?;
         let mut kernel = Kernel::new();
         let images = vfs
             .read(SESSION_META_IMAGES)
@@ -182,13 +248,74 @@ impl Viprof {
             kernel.insert_process(p);
         }
         kernel.vfs = vfs;
-        Ok(kernel)
+        Ok((kernel, mismatches))
     }
 }
 
 /// Session-metadata paths written by [`Viprof::export_session`].
 pub const SESSION_META_IMAGES: &str = "/meta/images.json";
 pub const SESSION_META_PROCESSES: &str = "/meta/processes.json";
+/// Integrity manifest covering every other file in the export.
+pub const SESSION_MANIFEST: &str = "/meta/manifest.json";
+
+/// Per-file integrity digest recorded in the session manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileDigest {
+    pub len: u64,
+    pub crc32: u32,
+}
+
+impl FileDigest {
+    pub fn of(data: &[u8]) -> FileDigest {
+        FileDigest {
+            len: data.len() as u64,
+            crc32: crc32(data),
+        }
+    }
+}
+
+/// Digest every VFS file except the manifest itself.
+fn session_manifest(vfs: &Vfs) -> BTreeMap<String, FileDigest> {
+    vfs.list("")
+        .into_iter()
+        .filter(|p| *p != SESSION_MANIFEST)
+        .map(|p| {
+            let data = vfs.read(p).unwrap_or_default();
+            (p.to_string(), FileDigest::of(data))
+        })
+        .collect()
+}
+
+/// Check an imported VFS against its manifest. A session without a
+/// manifest (pre-manifest export) verifies vacuously; an unparseable
+/// manifest is itself corruption.
+fn verify_manifest(vfs: &Vfs) -> Result<Vec<String>, ViprofError> {
+    let Some(raw) = vfs.read(SESSION_MANIFEST) else {
+        return Ok(Vec::new());
+    };
+    let manifest: BTreeMap<String, FileDigest> =
+        serde_json::from_slice(raw).map_err(|e| ViprofError::Corrupt {
+            path: SESSION_MANIFEST.to_string(),
+            detail: e.to_string(),
+        })?;
+    let mut mismatches = Vec::new();
+    for (path, want) in &manifest {
+        match vfs.read(path) {
+            None => mismatches.push(format!("{path}: listed in manifest but absent")),
+            Some(data) => {
+                let got = FileDigest::of(data);
+                if got != *want {
+                    mismatches.push(format!(
+                        "{path}: digest mismatch (manifest {}B crc32 {:08x}, \
+                         file {}B crc32 {:08x})",
+                        want.len, want.crc32, got.len, got.crc32
+                    ));
+                }
+            }
+        }
+    }
+    Ok(mismatches)
+}
 
 #[cfg(test)]
 mod tests {
@@ -470,5 +597,101 @@ mod tests {
             v - o < 0.20,
             "VIProf must stay near OProfile: o={o:.4} v={v:.4}"
         );
+    }
+
+    #[test]
+    fn export_manifest_catches_bit_rot_and_deletion() {
+        let mut machine = Machine::new(MachineConfig::default());
+        let viprof = Viprof::start(&mut machine, OpConfig::time_at(20_000));
+        let mut natives = NativeRegistry::new();
+        let program = bench_program(&mut natives);
+        let mut vm = Vm::boot(
+            &mut machine,
+            program,
+            natives,
+            vm_config(96 * 1024),
+            Box::new(viprof.make_agent()),
+        );
+        vm.run(&mut machine);
+        vm.shutdown(&mut machine);
+        viprof.stop(&mut machine);
+
+        let dir =
+            std::env::temp_dir().join(format!("viprof-manifest-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Viprof::export_session(&mut machine, &dir).unwrap();
+
+        // Pristine round trip: strict import passes.
+        let kernel = Viprof::import_session(&dir).unwrap();
+        assert!(kernel.vfs.read(oprofile::SAMPLES_PATH).is_some());
+
+        // Same-length bit rot in the sample db — the CRC catches what
+        // a length check cannot.
+        let victim = dir.join("var/lib/oprofile/samples/current.db");
+        let mut rotted = std::fs::read(&victim).unwrap();
+        let last = rotted.len() - 1;
+        rotted[last] ^= 0xFF;
+        std::fs::write(&victim, &rotted).unwrap();
+        let err = Viprof::import_session(&dir).unwrap_err();
+        assert!(matches!(err, ViprofError::Corrupt { .. }), "{err:?}");
+        let (_, mismatches) = Viprof::import_session_lenient(&dir).unwrap();
+        assert_eq!(mismatches.len(), 1, "{mismatches:?}");
+        assert!(mismatches[0].contains("current.db"), "{mismatches:?}");
+        assert!(mismatches[0].contains("digest mismatch"), "{mismatches:?}");
+
+        // Deleting it is the other violation class: listed but absent.
+        std::fs::remove_file(&victim).unwrap();
+        let (_, mismatches) = Viprof::import_session_lenient(&dir).unwrap();
+        assert_eq!(mismatches.len(), 1, "{mismatches:?}");
+        assert!(mismatches[0].contains("absent"), "{mismatches:?}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journaled_session_recovers_torn_maps() {
+        // Every map write torn on disk, but journaled: the recovery
+        // replay must rebuild the pristine maps and account for every
+        // sample, and the sample journal must replay to the final db.
+        let mut machine = Machine::new(MachineConfig::default());
+        let plan = FaultPlan::new(11).with_torn_maps(1.0);
+        let viprof = Viprof::start_with_faults(
+            &mut machine,
+            OpConfig::time_at(20_000).with_journal(),
+            &plan,
+        );
+        let mut natives = NativeRegistry::new();
+        let program = bench_program(&mut natives);
+        let mut vm = Vm::boot(
+            &mut machine,
+            program,
+            natives,
+            vm_config(96 * 1024),
+            Box::new(viprof.make_agent()),
+        );
+        vm.run(&mut machine);
+        vm.shutdown(&mut machine);
+        let db = viprof.stop(&mut machine);
+        assert!(viprof.map_fault_stats().unwrap().torn_maps > 0);
+
+        let (_, degraded) =
+            Viprof::report_with_quality(&db, &machine.kernel, &ReportOptions::default())
+                .unwrap();
+        let (report, q, rec) =
+            Viprof::report_with_recovery(&db, &machine.kernel, &ReportOptions::default())
+                .unwrap();
+        assert!(rec.journals_scanned >= 1, "{rec:?}");
+        assert!(rec.records_replayed > 0, "{rec:?}");
+        assert!(q.resolved >= degraded.resolved);
+        assert_eq!(rec.samples_salvaged, q.resolved - degraded.resolved);
+        assert_eq!(q.accounted(), db.total_samples());
+        assert!(!report.rows.is_empty());
+
+        // Daemon-side: the batch journal replays to exactly the
+        // persisted database, drops included.
+        let replayed =
+            crate::recover::recover_sample_db(&machine.kernel.vfs).expect("journaling on");
+        assert_eq!(replayed.db, db);
+        assert_eq!(replayed.truncated_bytes, 0);
     }
 }

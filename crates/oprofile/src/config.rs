@@ -1,6 +1,7 @@
 //! Profiler configuration.
 
 use crate::faults::{DaemonFaults, DriverFaults};
+use crate::supervisor::SupervisorConfig;
 use sim_cpu::{CostModel, CounterSpec, HwEvent};
 
 /// Everything `opcontrol --setup` would take.
@@ -18,6 +19,11 @@ pub struct OpConfig {
     pub driver_faults: Option<DriverFaults>,
     /// Daemon fault schedule (robustness testing; `None` normally).
     pub daemon_faults: Option<DaemonFaults>,
+    /// Journal drained sample batches to a write-ahead log so a crashed
+    /// session's database can be rebuilt by replay.
+    pub journal: bool,
+    /// Wrap the daemon in a watchdog/restart supervisor.
+    pub supervisor: Option<SupervisorConfig>,
 }
 
 impl Default for OpConfig {
@@ -29,6 +35,8 @@ impl Default for OpConfig {
             cost: CostModel::default(),
             driver_faults: None,
             daemon_faults: None,
+            journal: false,
+            supervisor: None,
         }
     }
 }
@@ -68,6 +76,18 @@ impl OpConfig {
     ) -> Self {
         self.driver_faults = driver;
         self.daemon_faults = daemon;
+        self
+    }
+
+    /// Enable the sample-batch write-ahead journal.
+    pub fn with_journal(mut self) -> Self {
+        self.journal = true;
+        self
+    }
+
+    /// Wrap the daemon in a watchdog/restart supervisor.
+    pub fn with_supervisor(mut self, config: SupervisorConfig) -> Self {
+        self.supervisor = Some(config);
         self
     }
 

@@ -13,8 +13,9 @@ use crate::faults::{DaemonFaultStats, DaemonFaults};
 use crate::samples::SampleDb;
 use parking_lot::Mutex;
 use sim_cpu::{Addr, BlockExec, CostModel, CpuMode, MemActivity, Pid};
+use sim_os::journal::{JournalWriter, KIND_SAMPLE_BATCH};
 use sim_os::loader::BIN_HINT;
-use sim_os::{Image, Kernel, Loader, MachineCtx, MachineService, Symbol};
+use sim_os::{Image, Kernel, Loader, MachineCtx, MachineService, Symbol, Vfs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -33,8 +34,15 @@ pub struct Daemon {
     pc_range: (Addr, Addr),
     /// Wakeups performed (tests/ablation).
     pub wakeups: u64,
+    /// Drains that actually landed (wakeups minus missed windows). The
+    /// supervisor's heartbeat: a wakeup without a drain is a stall or a
+    /// crash.
+    pub drains: u64,
     /// Optional fault schedule (stalls, crash-and-restart).
     faults: Option<DaemonFaults>,
+    /// Optional write-ahead journal for drained batches (shared with
+    /// the session so the final synchronous flush journals too).
+    journal: Option<Arc<Mutex<JournalWriter>>>,
 }
 
 impl Daemon {
@@ -69,7 +77,9 @@ impl Daemon {
             pid,
             pc_range: (base, base + 0x2000), // opd_process_samples
             wakeups: 0,
+            drains: 0,
             faults: None,
+            journal: None,
         }
     }
 
@@ -77,6 +87,60 @@ impl Daemon {
     pub fn with_faults(mut self, faults: DaemonFaults) -> Daemon {
         self.faults = Some(faults);
         self
+    }
+
+    /// Attach a sample-batch journal. Every drained batch is appended
+    /// as one committed record before the daemon moves on, so a crashed
+    /// or corrupted `current.db` can be rebuilt by replay.
+    pub fn with_journal(mut self, journal: Arc<Mutex<JournalWriter>>) -> Daemon {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Restart a crashed daemon process: clears any remaining injected
+    /// downtime so the next wakeup drains again. No-op without faults.
+    pub fn revive(&mut self) -> u64 {
+        self.faults.as_mut().map(|f| f.revive()).unwrap_or(0)
+    }
+
+    /// Immediate out-of-schedule drain (the supervisor's catch-up after
+    /// a restart). Charges daemon cycles and journals the batch like a
+    /// timer drain. Returns the samples recovered from the ring buffer.
+    pub fn force_drain(&mut self, ctx: &mut MachineCtx<'_>) -> u64 {
+        let (batch, cycles) = Daemon::drain_batch(&self.driver, &self.db, &self.cost);
+        let n = batch.total_samples();
+        self.drains += 1;
+        Daemon::journal_batch(&self.journal, &mut ctx.kernel.vfs, &batch);
+        if cycles > 0 {
+            ctx.exec(&BlockExec {
+                pid: self.pid,
+                mode: CpuMode::User,
+                pc_range: self.pc_range,
+                cycles,
+                instructions: cycles,
+                branches: cycles / 32,
+                mem: MemActivity::None,
+            });
+        }
+        n
+    }
+
+    /// Append one drained batch to the journal (if one is attached and
+    /// the batch carries anything worth replaying). Journal appends are
+    /// part of the drain's existing I/O budget — no extra cycles — so
+    /// journaled and unjournaled runs stay cycle-identical.
+    pub fn journal_batch(
+        journal: &Option<Arc<Mutex<JournalWriter>>>,
+        vfs: &mut Vfs,
+        batch: &SampleDb,
+    ) {
+        if let Some(journal) = journal {
+            if batch.total_samples() > 0 || batch.dropped > 0 {
+                journal
+                    .lock()
+                    .append(vfs, KIND_SAMPLE_BATCH, &batch.to_bytes());
+            }
+        }
     }
 
     /// Injected-fault counters, if a schedule is installed.
@@ -96,20 +160,33 @@ impl Daemon {
         db: &Mutex<SampleDb>,
         cost: &CostModel,
     ) -> (u64, u64) {
+        let (batch, cycles) = Daemon::drain_batch(driver, db, cost);
+        (batch.total_samples(), cycles)
+    }
+
+    /// [`Daemon::drain_once`], returning the drained window as its own
+    /// [`SampleDb`] (already merged into `db`). The batch is what gets
+    /// journaled: replaying every batch record in order rebuilds the
+    /// full database, because [`SampleDb::merge`] is the same operation
+    /// the drain itself performs.
+    pub fn drain_batch(
+        driver: &Mutex<Driver>,
+        db: &Mutex<SampleDb>,
+        cost: &CostModel,
+    ) -> (SampleDb, u64) {
         let (samples, dropped, probe) = {
             let mut d = driver.lock();
             let (s, dr) = d.drain();
             (s, dr, d.daemon_probe_cost())
         };
         let n = samples.len() as u64;
-        {
-            let mut db = db.lock();
-            for s in samples {
-                db.add(s, 1);
-            }
-            db.dropped += dropped;
+        let mut batch = SampleDb::new();
+        for s in samples {
+            batch.add(s, 1);
         }
-        (n, cost.daemon_drain(n) + probe)
+        batch.dropped = dropped;
+        db.lock().merge(&batch);
+        (batch, cost.daemon_drain(n) + probe)
     }
 }
 
@@ -136,7 +213,9 @@ impl MachineService for Daemon {
                 return;
             }
         }
-        let (_, cycles) = Daemon::drain_once(&self.driver, &self.db, &self.cost);
+        let (batch, cycles) = Daemon::drain_batch(&self.driver, &self.db, &self.cost);
+        self.drains += 1;
+        Daemon::journal_batch(&self.journal, &mut ctx.kernel.vfs, &batch);
         if cycles > 0 {
             ctx.exec(&BlockExec {
                 pid: self.pid,

@@ -176,6 +176,14 @@ impl DaemonFaults {
         self
     }
 
+    /// Cancel any remaining post-crash downtime: the supervisor
+    /// restarted the daemon process. Returns how many down windows were
+    /// skipped. The crash already happened (and was counted); a revived
+    /// daemon simply stops missing wakeups early.
+    pub fn revive(&mut self) -> u64 {
+        std::mem::take(&mut self.down_remaining)
+    }
+
     /// May the daemon drain on this (1-based) wakeup?
     pub fn wakeup_allowed(&mut self, wakeup: u64) -> bool {
         let mut stats = self.stats.lock();

@@ -29,6 +29,7 @@ pub mod faults;
 pub mod report;
 pub mod samples;
 pub mod session;
+pub mod supervisor;
 
 pub use annotate::{opannotate, Annotation, AnnotateRow};
 pub use anon::{AnonExtension, AnonTable, JitClaim, NoExtension};
@@ -39,4 +40,5 @@ pub use driver::{Driver, DriverStats};
 pub use faults::{DaemonFaultStats, DaemonFaults, DriverFaultStats, DriverFaults, FaultVerdict};
 pub use report::{opreport, Report, ReportOptions, ReportRow};
 pub use samples::{SampleBucket, SampleDb, SampleOrigin};
-pub use session::Oprofile;
+pub use session::{Oprofile, SAMPLES_PATH, SAMPLE_JOURNAL_PATH};
+pub use supervisor::{Supervisor, SupervisorConfig, SupervisorStats};

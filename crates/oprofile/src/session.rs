@@ -6,14 +6,20 @@ use crate::daemon::Daemon;
 use crate::driver::{Driver, DriverStats};
 use crate::faults::{DaemonFaultStats, DaemonFaults, DriverFaultStats};
 use crate::samples::SampleDb;
+use crate::supervisor::{Supervisor, SupervisorStats};
 use parking_lot::Mutex;
 use sim_cpu::Pid;
+use sim_os::journal::JournalWriter;
 use sim_os::Machine;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// VFS path where `stop` persists the final sample database.
 pub const SAMPLES_PATH: &str = "/var/lib/oprofile/samples/current.db";
+
+/// VFS path of the drained-batch write-ahead journal (when
+/// [`OpConfig::journal`] is on).
+pub const SAMPLE_JOURNAL_PATH: &str = "/var/lib/oprofile/samples/journal";
 
 /// A running profiling session.
 pub struct Oprofile {
@@ -24,6 +30,11 @@ pub struct Oprofile {
     daemon_pid: Pid,
     /// Shared-stats handle to the daemon's fault schedule, if any.
     daemon_faults: Option<DaemonFaults>,
+    /// Shared sample-batch journal (the daemon appends timer drains,
+    /// `stop` appends the final flush).
+    sample_journal: Option<Arc<Mutex<JournalWriter>>>,
+    /// Shared-stats handle to the supervisor, if one wraps the daemon.
+    supervisor_stats: Option<Arc<Mutex<SupervisorStats>>>,
 }
 
 impl Oprofile {
@@ -76,8 +87,27 @@ impl Oprofile {
         if let Some(faults) = daemon_faults.clone() {
             daemon = daemon.with_faults(faults);
         }
+        let sample_journal = if config.journal {
+            let writer = JournalWriter::create(&mut machine.kernel.vfs, SAMPLE_JOURNAL_PATH);
+            let shared = Arc::new(Mutex::new(writer));
+            daemon = daemon.with_journal(shared.clone());
+            Some(shared)
+        } else {
+            None
+        };
         let daemon_pid = daemon.pid();
-        machine.add_service(Box::new(daemon));
+        let supervisor_stats = match &config.supervisor {
+            Some(sup_config) => {
+                let supervisor = Supervisor::new(daemon, *sup_config);
+                let stats = supervisor.stats_handle();
+                machine.add_service(Box::new(supervisor));
+                Some(stats)
+            }
+            None => {
+                machine.add_service(Box::new(daemon));
+                None
+            }
+        };
         Oprofile {
             driver,
             db,
@@ -85,6 +115,8 @@ impl Oprofile {
             config,
             daemon_pid,
             daemon_faults,
+            sample_journal,
+            supervisor_stats,
         }
     }
 
@@ -110,6 +142,11 @@ impl Oprofile {
         self.daemon_faults.as_ref().map(|f| f.stats())
     }
 
+    /// Supervisor activity counters (sessions with a supervisor).
+    pub fn supervisor_stats(&self) -> Option<SupervisorStats> {
+        self.supervisor_stats.as_ref().map(|s| *s.lock())
+    }
+
     /// Snapshot of the sample DB as accumulated so far (not including
     /// still-buffered samples).
     pub fn db_snapshot(&self) -> SampleDb {
@@ -120,8 +157,10 @@ impl Oprofile {
     /// deprogram counters, uninstall the handler, persist the sample
     /// database to the VFS, and return it.
     pub fn stop(&self, machine: &mut Machine) -> SampleDb {
-        // Final synchronous drain, charged like a daemon wakeup.
-        let (_, cycles) = Daemon::drain_once(&self.driver, &self.db, &self.config.cost);
+        // Final synchronous drain, charged like a daemon wakeup — and
+        // journaled like one, so replay covers the whole run.
+        let (batch, cycles) = Daemon::drain_batch(&self.driver, &self.db, &self.config.cost);
+        Daemon::journal_batch(&self.sample_journal, &mut machine.kernel.vfs, &batch);
         self.active.store(false, Ordering::Relaxed);
         machine.cpu.clear_counters();
         machine.clear_handler();
@@ -145,6 +184,7 @@ impl Oprofile {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::supervisor::SupervisorConfig;
     use sim_cpu::{BlockExec, CpuMode, HwEvent};
     use sim_os::{MachineConfig, Vma};
 
@@ -219,6 +259,79 @@ mod tests {
             overhead > 0.005 && overhead < 0.15,
             "overhead {overhead} outside plausible band"
         );
+    }
+
+    #[test]
+    fn journaled_session_replays_to_the_persisted_db() {
+        let mut m = machine();
+        let pid = m.kernel.spawn("app");
+        m.kernel
+            .process_mut(pid)
+            .unwrap()
+            .space
+            .map(Vma::anon(0x6000_0000, 0x6100_0000))
+            .unwrap();
+        let config = OpConfig {
+            daemon_period_cycles: 200_000,
+            ..OpConfig::time_at(10_000)
+        }
+        .with_journal();
+        let op = Oprofile::start(&mut m, config);
+        for _ in 0..5 {
+            m.exec(&BlockExec::compute(
+                pid,
+                CpuMode::User,
+                (0x6000_0000, 0x6100_0000),
+                220_000,
+            ));
+        }
+        let db = op.stop(&mut m);
+        assert!(db.total_samples() > 0);
+        // Replaying every committed batch record rebuilds the database
+        // bit for bit.
+        let scan = sim_os::journal::scan(&m.kernel.vfs, SAMPLE_JOURNAL_PATH).unwrap();
+        assert_eq!(scan.damaged_bytes, 0);
+        assert!(scan.records.len() >= 2, "timer drains + final flush");
+        let mut replayed = SampleDb::new();
+        for rec in &scan.records {
+            assert_eq!(rec.kind, sim_os::journal::KIND_SAMPLE_BATCH);
+            replayed.merge(&SampleDb::from_bytes(&rec.payload).unwrap());
+        }
+        assert_eq!(replayed, db);
+    }
+
+    #[test]
+    fn journal_costs_no_cycles() {
+        // Journaled and unjournaled runs of the same workload burn the
+        // same simulated time — the journal rides the drain's existing
+        // I/O budget.
+        let run = |journal: bool| {
+            let mut m = machine();
+            let pid = m.kernel.spawn("app");
+            let mut config = OpConfig {
+                daemon_period_cycles: 200_000,
+                ..OpConfig::time_at(10_000)
+            };
+            config.journal = journal;
+            let op = Oprofile::start(&mut m, config);
+            m.exec(&BlockExec::compute(pid, CpuMode::User, (0x1000, 0x2000), 1_000_000));
+            op.stop(&mut m);
+            m.cpu.clock.cycles()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn supervised_session_exposes_stats() {
+        let mut m = machine();
+        let config = OpConfig::time_at(90_000).with_supervisor(SupervisorConfig::default());
+        let op = Oprofile::start(&mut m, config);
+        assert_eq!(op.supervisor_stats(), Some(SupervisorStats::default()));
+        op.stop(&mut m);
+        // Unsupervised sessions report none.
+        let op2 = Oprofile::start(&mut m, OpConfig::default());
+        assert_eq!(op2.supervisor_stats(), None);
+        op2.stop(&mut m);
     }
 
     #[test]

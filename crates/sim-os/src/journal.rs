@@ -1,0 +1,562 @@
+//! Crash-consistent write-ahead journal on the [`Vfs`].
+//!
+//! Both halves of the profiling pipeline persist through ordinary
+//! `write(2)`-style VFS calls, and both are crash points: the VM agent
+//! writes one code map per GC epoch, the daemon flushes drained sample
+//! batches. A torn or bit-rotted file is only detected *post mortem* —
+//! after the run — when a lossy parser quarantines whatever no longer
+//! decodes. This module adds the discipline that makes such damage
+//! *recoverable* instead of merely counted: an append-only journal of
+//! self-describing records, each carrying
+//!
+//! * a fixed **marker** byte (resynchronization is never attempted —
+//!   a record that does not start where the previous one ended is
+//!   damage, not drift);
+//! * a **monotonic sequence number** (a valid-looking record from a
+//!   previous generation, or one that skips ahead, is rejected);
+//! * a **CRC32** over the record header and payload (bit rot is
+//!   detected, not parsed);
+//! * a trailing **commit byte** (a record is committed only when its
+//!   last byte is on disk — the classic WAL commit protocol).
+//!
+//! [`scan`] replays the longest valid prefix and stops at the first
+//! record that fails any of these checks; everything after that point
+//! is untrusted, exactly like a database truncating its WAL at the last
+//! commit. [`repair`] makes that truncation physical so a journal can
+//! be appended to again after a crash.
+//!
+//! The writer side models two distinct failure modes the fault plans
+//! inject:
+//!
+//! * a **short (torn) append** by a *living* writer —
+//!   [`JournalWriter::append_torn_then_repair`]: the writer's read-back
+//!   verification notices the missing commit byte immediately and
+//!   rewrites the record in place (one retry; the write path is why a
+//!   journal exists at all);
+//! * **post-commit media damage** — [`JournalWriter::append_rotted`]:
+//!   the bytes rot *after* the writer verified them, so nothing repairs
+//!   them at write time; the damage surfaces at [`scan`] as a CRC
+//!   mismatch and the journal is truncated there.
+
+use crate::vfs::Vfs;
+
+/// Journal file header.
+pub const JOURNAL_MAGIC: &[u8; 4] = b"VJL1";
+
+/// First byte of every record.
+pub const RECORD_MARKER: u8 = 0xA5;
+
+/// Last byte of every committed record.
+pub const COMMIT_BYTE: u8 = 0x5A;
+
+/// Record kind: one epoch code map (payload: epoch `u64` LE + rendered
+/// map text).
+pub const KIND_CODE_MAP: u8 = 1;
+
+/// Record kind: one drained sample batch (payload: `SampleDb` binary
+/// encoding).
+pub const KIND_SAMPLE_BATCH: u8 = 2;
+
+/// marker + seq + kind + len.
+const HEADER_LEN: usize = 1 + 8 + 1 + 4;
+/// Header + crc + commit byte.
+const RECORD_OVERHEAD: usize = HEADER_LEN + 4 + 1;
+
+// --- CRC32 (IEEE 802.3, the zlib polynomial) -------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// Incremental CRC32 hasher (no external crates in the simulator).
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    pub fn new() -> Crc32 {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let idx = ((self.state ^ b as u32) & 0xFF) as usize;
+            self.state = CRC_TABLE[idx] ^ (self.state >> 8);
+        }
+    }
+
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finalize()
+}
+
+// --- records ---------------------------------------------------------
+
+/// One committed journal record, as replayed by [`scan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    pub seq: u64,
+    pub kind: u8,
+    pub payload: Vec<u8>,
+}
+
+/// Result of scanning a journal: the longest valid record prefix plus
+/// how much trailing damage was cut off.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalScan {
+    /// Committed records, in sequence order.
+    pub records: Vec<JournalRecord>,
+    /// Bytes up to and including the last committed record (the length
+    /// [`repair`] truncates to).
+    pub valid_len: usize,
+    /// Bytes past the last committed record (torn tail, rotted record,
+    /// or a damaged header — untrusted either way).
+    pub damaged_bytes: usize,
+}
+
+impl JournalScan {
+    /// Sequence number the next append should carry.
+    pub fn next_seq(&self) -> u64 {
+        self.records.last().map(|r| r.seq + 1).unwrap_or(0)
+    }
+}
+
+fn record_crc(seq: u64, kind: u8, payload: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(&seq.to_le_bytes());
+    h.update(&[kind]);
+    h.update(&(payload.len() as u32).to_le_bytes());
+    h.update(payload);
+    h.finalize()
+}
+
+fn encode_record(seq: u64, kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(RECORD_OVERHEAD + payload.len());
+    rec.push(RECORD_MARKER);
+    rec.extend_from_slice(&seq.to_le_bytes());
+    rec.push(kind);
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(payload);
+    rec.extend_from_slice(&record_crc(seq, kind, payload).to_le_bytes());
+    rec.push(COMMIT_BYTE);
+    rec
+}
+
+/// Parse the record expected at `pos`. `None` on any violation: short
+/// read, wrong marker, out-of-order sequence, CRC mismatch, missing
+/// commit byte.
+fn parse_record_at(data: &[u8], pos: usize, expect_seq: u64) -> Option<(JournalRecord, usize)> {
+    let header_end = pos.checked_add(HEADER_LEN)?;
+    if data.len() < header_end || data[pos] != RECORD_MARKER {
+        return None;
+    }
+    let seq = u64::from_le_bytes(data[pos + 1..pos + 9].try_into().ok()?);
+    if seq != expect_seq {
+        return None;
+    }
+    let kind = data[pos + 9];
+    let len = u32::from_le_bytes(data[pos + 10..pos + 14].try_into().ok()?) as usize;
+    let end = pos.checked_add(RECORD_OVERHEAD)?.checked_add(len)?;
+    if data.len() < end {
+        return None;
+    }
+    let payload = &data[header_end..header_end + len];
+    let crc = u32::from_le_bytes(data[header_end + len..header_end + len + 4].try_into().ok()?);
+    if crc != record_crc(seq, kind, payload) || data[end - 1] != COMMIT_BYTE {
+        return None;
+    }
+    Some((
+        JournalRecord {
+            seq,
+            kind,
+            payload: payload.to_vec(),
+        },
+        end,
+    ))
+}
+
+/// Scan raw journal bytes: replay the longest valid prefix, stop at the
+/// first check that fails. A damaged file header discredits everything.
+pub fn scan_bytes(data: &[u8]) -> JournalScan {
+    let mut out = JournalScan {
+        records: Vec::new(),
+        valid_len: 0,
+        damaged_bytes: data.len(),
+    };
+    if data.len() < JOURNAL_MAGIC.len() || &data[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
+        return out;
+    }
+    out.valid_len = JOURNAL_MAGIC.len();
+    let mut pos = out.valid_len;
+    let mut expect_seq = 0u64;
+    while let Some((rec, end)) = parse_record_at(data, pos, expect_seq) {
+        out.records.push(rec);
+        pos = end;
+        out.valid_len = end;
+        expect_seq += 1;
+    }
+    out.damaged_bytes = data.len() - out.valid_len;
+    out
+}
+
+/// Scan the journal at `path`. `None` when the file does not exist (a
+/// run that never journaled — not the same thing as an empty journal).
+pub fn scan(vfs: &Vfs, path: &str) -> Option<JournalScan> {
+    vfs.read(path).map(scan_bytes)
+}
+
+/// Physically truncate `path` to its valid prefix so appends can resume
+/// after a crash. Returns the bytes removed (0 if the file is absent or
+/// already clean).
+pub fn repair(vfs: &mut Vfs, path: &str) -> usize {
+    let Some(s) = scan(vfs, path) else { return 0 };
+    if s.damaged_bytes == 0 {
+        return 0;
+    }
+    let kept: Vec<u8> = vfs
+        .read(path)
+        .map(|d| d[..s.valid_len].to_vec())
+        .unwrap_or_default();
+    vfs.write(path.to_string(), kept);
+    s.damaged_bytes
+}
+
+// --- writer ----------------------------------------------------------
+
+/// Appending side of the journal: tracks the committed length and the
+/// next sequence number, and implements the read-back commit protocol.
+#[derive(Debug, Clone)]
+pub struct JournalWriter {
+    path: String,
+    next_seq: u64,
+    committed_len: usize,
+    /// Torn appends detected by read-back verification and rewritten.
+    pub repaired: u64,
+    /// Records appended (committed or rotted-after-commit).
+    pub appended: u64,
+}
+
+impl JournalWriter {
+    /// Start a fresh journal at `path` (truncates any previous one).
+    pub fn create(vfs: &mut Vfs, path: impl Into<String>) -> JournalWriter {
+        let path = path.into();
+        vfs.write(path.clone(), JOURNAL_MAGIC.to_vec());
+        JournalWriter {
+            path,
+            next_seq: 0,
+            committed_len: JOURNAL_MAGIC.len(),
+            repaired: 0,
+            appended: 0,
+        }
+    }
+
+    /// Reopen an existing journal for appending: scan it, truncate any
+    /// damaged tail, continue after the last committed record. Creates
+    /// the journal if it does not exist — or afresh when its *header*
+    /// is damaged (nothing in such a file is trustworthy, and appending
+    /// after a missing magic would leave the records unreachable).
+    pub fn open(vfs: &mut Vfs, path: impl Into<String>) -> JournalWriter {
+        let path = path.into();
+        match scan(vfs, &path) {
+            Some(s) if s.valid_len >= JOURNAL_MAGIC.len() => {
+                repair(vfs, &path);
+                JournalWriter {
+                    next_seq: s.next_seq(),
+                    committed_len: s.valid_len,
+                    path,
+                    repaired: 0,
+                    appended: 0,
+                }
+            }
+            _ => JournalWriter::create(vfs, path),
+        }
+    }
+
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Append one record; returns its sequence number.
+    pub fn append(&mut self, vfs: &mut Vfs, kind: u8, payload: &[u8]) -> u64 {
+        let seq = self.next_seq;
+        let rec = encode_record(seq, kind, payload);
+        vfs.append(&self.path, &rec);
+        self.commit(rec.len());
+        seq
+    }
+
+    /// Append that suffers a short write: only `payload_prefix` payload
+    /// bytes reach disk, so the commit byte never lands. The commit
+    /// protocol's read-back verification catches the uncommitted tail
+    /// immediately, truncates it, and rewrites the record whole — the
+    /// repair a plain map-file `write` cannot perform.
+    pub fn append_torn_then_repair(
+        &mut self,
+        vfs: &mut Vfs,
+        kind: u8,
+        payload: &[u8],
+        payload_prefix: usize,
+    ) -> u64 {
+        let seq = self.next_seq;
+        let rec = encode_record(seq, kind, payload);
+        // Short write: header + a payload prefix, never the commit byte.
+        let keep = (HEADER_LEN + payload_prefix).min(rec.len() - 1);
+        vfs.append(&self.path, &rec[..keep]);
+        // Read-back verification fails (no committed record at the
+        // tail), so truncate to the last commit and retry once.
+        debug_assert!(vfs
+            .read(&self.path)
+            .and_then(|d| parse_record_at(d, self.committed_len, seq))
+            .is_none());
+        let kept: Vec<u8> = vfs
+            .read(&self.path)
+            .map(|d| d[..self.committed_len.min(d.len())].to_vec())
+            .unwrap_or_else(|| JOURNAL_MAGIC.to_vec());
+        vfs.write(self.path.clone(), kept);
+        vfs.append(&self.path, &rec);
+        self.commit(rec.len());
+        self.repaired += 1;
+        seq
+    }
+
+    /// Append whose stored payload bytes rot *after* the commit (media
+    /// damage): the CRC covers the pristine payload, the bytes on disk
+    /// are `rot` (clipped to the payload length). Write-time
+    /// verification cannot see this — [`scan`] detects the mismatch and
+    /// truncates the journal at the previous record.
+    pub fn append_rotted(&mut self, vfs: &mut Vfs, kind: u8, payload: &[u8], rot: &[u8]) -> u64 {
+        let seq = self.next_seq;
+        let mut rec = encode_record(seq, kind, payload);
+        let n = rot.len().min(payload.len());
+        rec[HEADER_LEN..HEADER_LEN + n].copy_from_slice(&rot[..n]);
+        vfs.append(&self.path, &rec);
+        // The writer verified the pristine bytes before the rot landed,
+        // so it believes the record committed and keeps appending after
+        // it. Readers will stop here.
+        self.commit(rec.len());
+        seq
+    }
+
+    fn commit(&mut self, rec_len: usize) {
+        self.next_seq += 1;
+        self.committed_len += rec_len;
+        self.appended += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE test vectors.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn crc32_is_incremental() {
+        let mut h = Crc32::new();
+        h.update(b"1234");
+        h.update(b"56789");
+        assert_eq!(h.finalize(), crc32(b"123456789"));
+    }
+
+    #[test]
+    fn append_scan_round_trip() {
+        let mut vfs = Vfs::new();
+        let mut w = JournalWriter::create(&mut vfs, "/j");
+        assert_eq!(w.append(&mut vfs, KIND_CODE_MAP, b"alpha"), 0);
+        assert_eq!(w.append(&mut vfs, KIND_SAMPLE_BATCH, b""), 1);
+        assert_eq!(w.append(&mut vfs, KIND_CODE_MAP, b"gamma"), 2);
+        let s = scan(&vfs, "/j").unwrap();
+        assert_eq!(s.damaged_bytes, 0);
+        assert_eq!(s.valid_len, vfs.read("/j").unwrap().len());
+        let kinds: Vec<(u64, u8, &[u8])> = s
+            .records
+            .iter()
+            .map(|r| (r.seq, r.kind, r.payload.as_slice()))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (0, KIND_CODE_MAP, &b"alpha"[..]),
+                (1, KIND_SAMPLE_BATCH, &b""[..]),
+                (2, KIND_CODE_MAP, &b"gamma"[..]),
+            ]
+        );
+        assert_eq!(s.next_seq(), 3);
+    }
+
+    #[test]
+    fn missing_file_scans_as_none_empty_journal_as_zero_records() {
+        let mut vfs = Vfs::new();
+        assert!(scan(&vfs, "/nope").is_none());
+        JournalWriter::create(&mut vfs, "/j");
+        let s = scan(&vfs, "/j").unwrap();
+        assert!(s.records.is_empty());
+        assert_eq!(s.damaged_bytes, 0);
+    }
+
+    #[test]
+    fn crash_at_any_byte_keeps_a_committed_prefix() {
+        let mut vfs = Vfs::new();
+        let mut w = JournalWriter::create(&mut vfs, "/j");
+        for i in 0..4u8 {
+            w.append(&mut vfs, KIND_CODE_MAP, &[i; 24]);
+        }
+        let full = vfs.read("/j").unwrap().to_vec();
+        let full_scan = scan_bytes(&full);
+        assert_eq!(full_scan.records.len(), 4);
+        for cut in 0..=full.len() {
+            let s = scan_bytes(&full[..cut]);
+            // Records are exactly the ones whose encoding fits in the cut.
+            assert_eq!(
+                s.records,
+                full_scan.records[..s.records.len()],
+                "cut {cut}: prefix property violated"
+            );
+            assert!(s.valid_len <= cut);
+            assert_eq!(s.damaged_bytes, cut - s.valid_len);
+            // A cut exactly on a record boundary loses nothing.
+            if cut == full_scan.valid_len {
+                assert_eq!(s.records.len(), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_record_truncates_the_journal_there() {
+        let mut vfs = Vfs::new();
+        let mut w = JournalWriter::create(&mut vfs, "/j");
+        w.append(&mut vfs, KIND_CODE_MAP, b"first");
+        let good_len = vfs.read("/j").unwrap().len();
+        w.append_rotted(&mut vfs, KIND_CODE_MAP, b"second", b"sEcOnd");
+        w.append(&mut vfs, KIND_CODE_MAP, b"third");
+        let s = scan(&vfs, "/j").unwrap();
+        // Everything at and after the rotted record is untrusted — the
+        // commit chain is broken even though "third" itself is intact.
+        assert_eq!(s.records.len(), 1);
+        assert_eq!(s.records[0].payload, b"first");
+        assert_eq!(s.valid_len, good_len);
+        assert!(s.damaged_bytes > 0);
+    }
+
+    #[test]
+    fn torn_append_is_repaired_in_place() {
+        let mut vfs = Vfs::new();
+        let mut w = JournalWriter::create(&mut vfs, "/j");
+        w.append(&mut vfs, KIND_CODE_MAP, b"first");
+        w.append_torn_then_repair(&mut vfs, KIND_CODE_MAP, b"second-payload", 3);
+        assert_eq!(w.repaired, 1);
+        let s = scan(&vfs, "/j").unwrap();
+        assert_eq!(s.damaged_bytes, 0, "repair leaves no damage behind");
+        assert_eq!(s.records.len(), 2);
+        assert_eq!(s.records[1].payload, b"second-payload");
+        assert_eq!(s.records[1].seq, 1, "the retry reuses the seq");
+    }
+
+    #[test]
+    fn repair_truncates_and_open_resumes() {
+        let mut vfs = Vfs::new();
+        let mut w = JournalWriter::create(&mut vfs, "/j");
+        w.append(&mut vfs, KIND_CODE_MAP, b"kept");
+        // Crash mid-append: raw torn tail, nobody around to retry.
+        vfs.append("/j", &[RECORD_MARKER, 1, 2, 3]);
+        let removed = repair(&mut vfs, "/j");
+        assert_eq!(removed, 4);
+        assert_eq!(repair(&mut vfs, "/j"), 0, "already clean");
+        let mut w2 = JournalWriter::open(&mut vfs, "/j");
+        w2.append(&mut vfs, KIND_CODE_MAP, b"resumed");
+        let s = scan(&vfs, "/j").unwrap();
+        assert_eq!(s.records.len(), 2);
+        assert_eq!(s.records[1].seq, 1, "sequence continues across reopen");
+        assert_eq!(s.records[1].payload, b"resumed");
+    }
+
+    #[test]
+    fn open_starts_fresh_over_a_damaged_header() {
+        // A journal whose magic is gone is untrusted in full; reopening
+        // must not append after the broken header (those records would
+        // be unreachable) but start a fresh, readable journal.
+        let mut vfs = Vfs::new();
+        let mut w = JournalWriter::create(&mut vfs, "/j");
+        w.append(&mut vfs, KIND_CODE_MAP, b"old-generation");
+        let mut raw = vfs.read("/j").unwrap().to_vec();
+        raw[1] ^= 0xFF;
+        vfs.write("/j", raw);
+        let mut w2 = JournalWriter::open(&mut vfs, "/j");
+        assert_eq!(w2.append(&mut vfs, KIND_CODE_MAP, b"fresh"), 0);
+        let s = scan(&vfs, "/j").unwrap();
+        assert_eq!(s.damaged_bytes, 0);
+        assert_eq!(s.records.len(), 1);
+        assert_eq!(s.records[0].payload, b"fresh");
+    }
+
+    #[test]
+    fn damaged_header_discredits_the_whole_file() {
+        let mut vfs = Vfs::new();
+        let mut w = JournalWriter::create(&mut vfs, "/j");
+        w.append(&mut vfs, KIND_CODE_MAP, b"data");
+        let mut raw = vfs.read("/j").unwrap().to_vec();
+        raw[0] ^= 0xFF;
+        let s = scan_bytes(&raw);
+        assert!(s.records.is_empty());
+        assert_eq!(s.valid_len, 0);
+        assert_eq!(s.damaged_bytes, raw.len());
+    }
+
+    #[test]
+    fn stale_sequence_numbers_are_rejected() {
+        // A record from a previous journal generation spliced after the
+        // current tail: marker and CRC are fine, seq is not next.
+        let mut vfs = Vfs::new();
+        let mut w = JournalWriter::create(&mut vfs, "/j");
+        w.append(&mut vfs, KIND_CODE_MAP, b"a");
+        w.append(&mut vfs, KIND_CODE_MAP, b"b");
+        let raw = vfs.read("/j").unwrap().to_vec();
+        let s = scan_bytes(&raw);
+        let first_end = {
+            let one = scan_bytes(&raw[..s.valid_len - (raw.len() - s.valid_len).max(0)]);
+            one.valid_len
+        };
+        // Duplicate record 0 after record 1: seq 0 != expected 2.
+        let rec0 = encode_record(0, KIND_CODE_MAP, b"a");
+        let mut spliced = raw.clone();
+        spliced.extend_from_slice(&rec0);
+        let s2 = scan_bytes(&spliced);
+        assert_eq!(s2.records.len(), 2, "replayed generation rejected");
+        assert!(s2.damaged_bytes >= rec0.len());
+        let _ = first_end;
+    }
+}

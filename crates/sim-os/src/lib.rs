@@ -12,6 +12,7 @@
 //! executes against.
 
 pub mod image;
+pub mod journal;
 pub mod kernel;
 pub mod loader;
 pub mod machine;
@@ -21,6 +22,9 @@ pub mod vfs;
 pub mod vma;
 
 pub use image::{Image, ImageId, ImageTable, Symbol};
+pub use journal::{
+    crc32, Crc32, JournalRecord, JournalScan, JournalWriter, KIND_CODE_MAP, KIND_SAMPLE_BATCH,
+};
 pub use kernel::{Kernel, Resolution};
 pub use loader::Loader;
 pub use machine::{
@@ -29,5 +33,5 @@ pub use machine::{
 };
 pub use process::Process;
 pub use rng::SplitMix64;
-pub use vfs::Vfs;
+pub use vfs::{Vfs, VfsError};
 pub use vma::{AddressSpace, Vma, VmaBacking};

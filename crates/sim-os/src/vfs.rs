@@ -7,6 +7,44 @@
 
 use bytes::Bytes;
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// Typed failure for in-place file mutations ([`Vfs::truncate`],
+/// [`Vfs::patch`]). A fault injector that thinks it is tearing a file
+/// but is actually aiming past the end deserves an error, not a silent
+/// clamp that quietly weakens the fault schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VfsError {
+    /// The target file does not exist.
+    NotFound { path: String },
+    /// The requested range falls outside the file's current extent.
+    OutOfRange {
+        path: String,
+        offset: usize,
+        len: usize,
+        file_len: usize,
+    },
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VfsError::NotFound { path } => write!(f, "vfs: no such file: {path}"),
+            VfsError::OutOfRange {
+                path,
+                offset,
+                len,
+                file_len,
+            } => write!(
+                f,
+                "vfs: range {offset}..{} out of bounds for {path} ({file_len} bytes)",
+                offset + len
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VfsError {}
 
 /// Flat, ordered, in-memory file store.
 #[derive(Debug, Clone, Default)]
@@ -49,31 +87,55 @@ impl Vfs {
         self.files.remove(path)
     }
 
-    /// Truncate a file to `len` bytes (no-op if shorter or absent).
-    /// Returns `true` when the file existed. This is the "torn write"
-    /// fault seam: a writer that died mid-`write(2)` leaves exactly
-    /// such a prefix on disk.
-    pub fn truncate(&mut self, path: &str, len: usize) -> bool {
+    /// Truncate a file to `len` bytes, returning how many bytes were
+    /// removed. This is the "torn write" fault seam: a writer that died
+    /// mid-`write(2)` leaves exactly such a prefix on disk. A `len`
+    /// beyond the file's extent is an [`VfsError::OutOfRange`] — a torn
+    /// write cannot make a file longer.
+    pub fn truncate(&mut self, path: &str, len: usize) -> Result<usize, VfsError> {
         match self.files.get_mut(path) {
-            Some(data) => {
+            Some(data) if len <= data.len() => {
+                let removed = data.len() - len;
                 data.truncate(len);
-                true
+                Ok(removed)
             }
-            None => false,
+            Some(data) => Err(VfsError::OutOfRange {
+                path: path.to_string(),
+                offset: len,
+                len: 0,
+                file_len: data.len(),
+            }),
+            None => Err(VfsError::NotFound {
+                path: path.to_string(),
+            }),
         }
     }
 
-    /// Overwrite bytes at `offset` in an existing file (clipped to the
-    /// file's current length; nothing is extended). Returns how many
-    /// bytes were patched. The "bit rot / corrupt block" fault seam.
-    pub fn patch(&mut self, path: &str, offset: usize, bytes: &[u8]) -> usize {
+    /// Overwrite bytes at `offset` in an existing file. The "bit rot /
+    /// corrupt block" fault seam. The whole range must lie inside the
+    /// file — patching past the end is [`VfsError::OutOfRange`], never
+    /// a silent clip (bit rot flips bytes that exist; it does not
+    /// extend files).
+    pub fn patch(&mut self, path: &str, offset: usize, bytes: &[u8]) -> Result<(), VfsError> {
         match self.files.get_mut(path) {
-            Some(data) if offset < data.len() => {
-                let n = bytes.len().min(data.len() - offset);
-                data[offset..offset + n].copy_from_slice(&bytes[..n]);
-                n
+            Some(data) => {
+                let end = offset.checked_add(bytes.len());
+                match end {
+                    Some(end) if end <= data.len() => {
+                        data[offset..end].copy_from_slice(bytes);
+                        Ok(())
+                    }
+                    _ => Err(VfsError::OutOfRange {
+                        path: path.to_string(),
+                        offset,
+                        len: bytes.len(),
+                        file_len: data.len(),
+                    }),
+                }
             }
-            _ => 0,
+            None => Err(VfsError::NotFound {
+                path: path.to_string(),
+            }),
         }
     }
 
@@ -189,25 +251,74 @@ mod tests {
     fn truncate_models_a_torn_write() {
         let mut v = Vfs::new();
         v.write("/maps/m", b"line one\nline two\n".to_vec());
-        assert!(v.truncate("/maps/m", 12));
+        assert_eq!(v.truncate("/maps/m", 12), Ok(6));
         assert_eq!(v.read("/maps/m"), Some(&b"line one\nlin"[..]));
-        // Longer than the file / missing file: harmless.
-        assert!(v.truncate("/maps/m", 1000));
-        assert_eq!(v.read("/maps/m").unwrap().len(), 12);
-        assert!(!v.truncate("/nope", 0));
+        // Truncating to the current length removes nothing.
+        assert_eq!(v.truncate("/maps/m", 12), Ok(0));
+        assert_eq!(v.truncate("/maps/m", 0), Ok(12));
+    }
+
+    #[test]
+    fn truncate_rejects_out_of_range_and_missing() {
+        let mut v = Vfs::new();
+        v.write("/maps/m", b"twelve bytes".to_vec());
+        assert_eq!(
+            v.truncate("/maps/m", 13),
+            Err(VfsError::OutOfRange {
+                path: "/maps/m".into(),
+                offset: 13,
+                len: 0,
+                file_len: 12,
+            })
+        );
+        assert_eq!(v.read("/maps/m").unwrap().len(), 12, "file untouched");
+        assert_eq!(
+            v.truncate("/nope", 0),
+            Err(VfsError::NotFound { path: "/nope".into() })
+        );
     }
 
     #[test]
     fn patch_corrupts_in_place_without_extending() {
         let mut v = Vfs::new();
         v.write("/f", b"0123456789".to_vec());
-        assert_eq!(v.patch("/f", 4, b"zz"), 2);
+        assert_eq!(v.patch("/f", 4, b"zz"), Ok(()));
         assert_eq!(v.read("/f"), Some(&b"0123zz6789"[..]));
-        // Clipped at the end; never grows the file.
-        assert_eq!(v.patch("/f", 8, b"abcdef"), 2);
+        // Boundary: a patch ending exactly at the file's end is fine.
+        assert_eq!(v.patch("/f", 8, b"ab"), Ok(()));
         assert_eq!(v.read("/f"), Some(&b"0123zz67ab"[..]));
-        assert_eq!(v.patch("/f", 10, b"x"), 0);
-        assert_eq!(v.patch("/nope", 0, b"x"), 0);
+        // Empty patch at the end offset touches nothing but is in range.
+        assert_eq!(v.patch("/f", 10, b""), Ok(()));
+    }
+
+    #[test]
+    fn patch_rejects_out_of_range_and_missing() {
+        let mut v = Vfs::new();
+        v.write("/f", b"0123456789".to_vec());
+        // One byte past the end: error, not a clip.
+        assert_eq!(
+            v.patch("/f", 8, b"abc"),
+            Err(VfsError::OutOfRange {
+                path: "/f".into(),
+                offset: 8,
+                len: 3,
+                file_len: 10,
+            })
+        );
+        assert_eq!(v.read("/f"), Some(&b"0123456789"[..]), "file untouched");
+        assert!(matches!(
+            v.patch("/f", 10, b"x"),
+            Err(VfsError::OutOfRange { .. })
+        ));
+        // Overflow-proof: offset + len wrapping must not panic or pass.
+        assert!(matches!(
+            v.patch("/f", usize::MAX, b"x"),
+            Err(VfsError::OutOfRange { .. })
+        ));
+        assert_eq!(
+            v.patch("/nope", 0, b"x"),
+            Err(VfsError::NotFound { path: "/nope".into() })
+        );
     }
 
     #[test]

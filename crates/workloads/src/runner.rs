@@ -4,7 +4,7 @@ use crate::background::{BackgroundConfig, BackgroundLoad};
 use crate::plan::WorkPlan;
 use crate::programs::BuiltWorkload;
 use crate::spec::BenchParams;
-use oprofile::{DriverStats, OpConfig, Oprofile, SampleDb};
+use oprofile::{DriverStats, OpConfig, Oprofile, SampleDb, SupervisorStats};
 use parking_lot::Mutex;
 use sim_jvm::{NullHooks, Vm, VmConfig, VmProfilerHooks, VmStats};
 use sim_os::{Machine, MachineConfig};
@@ -25,6 +25,10 @@ pub enum ProfilerKind {
     ViprofPreciseMoves(OpConfig),
     /// VIProf under a seeded fault schedule (robustness matrix).
     ViprofFaulty(OpConfig, FaultPlan),
+    /// [`ProfilerKind::ViprofFaulty`] with the crash-consistency layer
+    /// on: map + sample journaling plus the daemon watchdog/restart
+    /// supervisor (both seeded from the plan, so runs replay).
+    ViprofSupervised(OpConfig, FaultPlan),
 }
 
 impl ProfilerKind {
@@ -41,6 +45,11 @@ impl ProfilerKind {
     pub fn viprof_faulty_at(period: u64, plan: FaultPlan) -> ProfilerKind {
         ProfilerKind::ViprofFaulty(OpConfig::time_at(period), plan)
     }
+
+    /// Faulted VIProf at `period` with journaling + supervision on.
+    pub fn viprof_supervised_at(period: u64, plan: FaultPlan) -> ProfilerKind {
+        ProfilerKind::ViprofSupervised(OpConfig::time_at(period), plan)
+    }
 }
 
 /// Everything a harness wants from one run.
@@ -56,6 +65,8 @@ pub struct RunOutcome {
     pub agent: Option<Arc<Mutex<AgentStats>>>,
     /// Injected-fault counters (fault-plan runs only).
     pub faults: Option<FaultReport>,
+    /// Watchdog/restart counters (supervised runs only).
+    pub supervisor: Option<SupervisorStats>,
     /// The machine, for post-processing (reports read images + VFS).
     pub machine: Machine,
 }
@@ -130,16 +141,17 @@ pub fn run_benchmark(
     }
 
     let precise = matches!(&profiler, ProfilerKind::ViprofPreciseMoves(_));
-    let (vm_stats, db, driver, agent, faults) = match profiler {
+    let supervised = matches!(&profiler, ProfilerKind::ViprofSupervised(..));
+    let (vm_stats, db, driver, agent, faults, supervisor) = match profiler {
         ProfilerKind::None => {
             let stats = execute_plan(&mut machine, built, plan, Box::new(NullHooks));
-            (stats, None, None, None, None)
+            (stats, None, None, None, None, None)
         }
         ProfilerKind::Oprofile(config) => {
             let op = Oprofile::start(&mut machine, config);
             let stats = execute_plan(&mut machine, built, plan, Box::new(NullHooks));
             let db = op.stop(&mut machine);
-            (stats, Some(db), Some(op.driver_stats()), None, None)
+            (stats, Some(db), Some(op.driver_stats()), None, None, None)
         }
         ProfilerKind::Viprof(config) | ProfilerKind::ViprofPreciseMoves(config) => {
             let vp = Viprof::start(&mut machine, config);
@@ -153,9 +165,18 @@ pub fn run_benchmark(
                 Some(vp.driver_stats()),
                 Some(agent_stats),
                 None,
+                None,
             )
         }
-        ProfilerKind::ViprofFaulty(config, fault_plan) => {
+        ProfilerKind::ViprofFaulty(config, fault_plan)
+        | ProfilerKind::ViprofSupervised(config, fault_plan) => {
+            let config = if supervised {
+                config
+                    .with_journal()
+                    .with_supervisor(fault_plan.supervisor_config())
+            } else {
+                config
+            };
             let vp = Viprof::start_with_faults(&mut machine, config, &fault_plan);
             let agent = vp.make_agent_with(false);
             let agent_stats = agent.stats_handle();
@@ -172,6 +193,7 @@ pub fn run_benchmark(
                 Some(vp.driver_stats()),
                 Some(agent_stats),
                 Some(report),
+                vp.supervisor_stats(),
             )
         }
     };
@@ -184,6 +206,7 @@ pub fn run_benchmark(
         driver,
         agent,
         faults,
+        supervisor,
         machine,
     }
 }
@@ -242,6 +265,34 @@ mod tests {
         assert_eq!(a.cycles, b.cycles);
         let c = run_benchmark(&built, &plan, ProfilerKind::None, 8, true);
         assert_ne!(a.cycles, c.cycles, "different noise seed");
+    }
+
+    #[test]
+    fn supervised_run_exposes_watchdog_stats_and_journals() {
+        let (built, plan) = small_built();
+        let out = run_benchmark(
+            &built,
+            &plan,
+            ProfilerKind::viprof_supervised_at(90_000, FaultPlan::new(5)),
+            1,
+            false,
+        );
+        let sup = out.supervisor.expect("supervised run carries stats");
+        assert_eq!(sup.restarts, 0, "no faults injected, no restarts");
+        // The sample journal replays to exactly the persisted database.
+        let replayed = viprof::recover::recover_sample_db(&out.machine.kernel.vfs)
+            .expect("journaling was on");
+        assert_eq!(&replayed.db, out.db.as_ref().unwrap());
+        assert_eq!(replayed.truncated_bytes, 0);
+        // Unsupervised runs carry no stats.
+        let plain = run_benchmark(
+            &built,
+            &plan,
+            ProfilerKind::viprof_faulty_at(90_000, FaultPlan::new(5)),
+            1,
+            false,
+        );
+        assert!(plain.supervisor.is_none());
     }
 
     #[test]

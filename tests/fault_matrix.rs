@@ -7,9 +7,18 @@
 //!   samples the driver emitted, and drops are never silent;
 //! * the same seed replays the same faults **bit for bit** — identical
 //!   sample databases, fault counters and quality reports.
+//!
+//! The supervised variants re-run the same scenarios with the crash-
+//! consistency layer on (map + sample journaling, daemon watchdog) and
+//! check the *recovery* contract: journal replay never resolves fewer
+//! samples than the degraded baseline, and strictly more where the
+//! journal holds what the disk lost.
 
 use viprof_repro::oprofile::{OpConfig, ReportOptions, SampleOrigin};
-use viprof_repro::viprof::{FaultPlan, ResolutionQuality, Viprof};
+use viprof_repro::viprof::codemap::JIT_MAP_DIR;
+use viprof_repro::viprof::{
+    recover_sample_db, FaultPlan, RecoveryReport, ResolutionQuality, Viprof,
+};
 use viprof_repro::workloads::{
     calibrate, find_benchmark, programs, run_benchmark, BuiltWorkload, ProfilerKind, RunOutcome,
     WorkPlan,
@@ -39,6 +48,19 @@ fn quality_of(out: &RunOutcome) -> ResolutionQuality {
     // Rendering must not panic either, however damaged the session.
     let _ = report.render_text();
     q
+}
+
+/// Post-process with the journal-replay recovery pass, enforcing the
+/// same accounting contract on the recovered quality report.
+fn recovery_of(out: &RunOutcome) -> (ResolutionQuality, RecoveryReport) {
+    let db = out.db.as_ref().expect("profiled run");
+    let (report, q, rec) =
+        Viprof::report_with_recovery(db, &out.machine.kernel, &ReportOptions::default())
+            .expect("recovery still reports");
+    assert_eq!(q.accounted(), db.total_samples(), "unaccounted after recovery: {q:?}");
+    assert_eq!(q.dropped, db.dropped, "silent drops after recovery: {q:?}");
+    let _ = report.render_text();
+    (q, rec)
 }
 
 fn jit_samples(out: &RunOutcome) -> u64 {
@@ -245,4 +267,224 @@ fn chaos_plan_replays_bit_for_bit() {
     // A different fault seed draws a different schedule.
     let c = run(43);
     assert_ne!(a.db, c.db, "fault schedule must depend on the seed");
+}
+
+// ---- supervised variants: the crash-consistency layer under the same
+// ---- fault schedules ------------------------------------------------
+
+#[test]
+fn supervised_daemon_crash_salvages_dropped_samples() {
+    // The daemon-crash scenario above, bare vs supervised. The watchdog
+    // restarts the daemon mid-outage and catch-up-drains the backlog,
+    // so the supervised run keeps strictly more samples and drops
+    // strictly fewer — the first strict improvement over PR 1.
+    let (built, plan) = small_workload();
+    let config = || OpConfig {
+        buffer_capacity: 8,
+        daemon_period_cycles: 300_000,
+        ..OpConfig::time_at(PERIOD)
+    };
+    let chaos = || FaultPlan::new(5).with_daemon_crash(2, 8);
+    let bare = run_benchmark(
+        &built,
+        &plan,
+        ProfilerKind::ViprofFaulty(config(), chaos()),
+        1,
+        false,
+    );
+    let sup = run_benchmark(
+        &built,
+        &plan,
+        ProfilerKind::ViprofSupervised(config(), chaos()),
+        1,
+        false,
+    );
+
+    let stats = sup.supervisor.expect("supervised run carries stats");
+    assert!(stats.restarts >= 1, "the watchdog must fire: {stats:?}");
+    assert!(stats.missed_observed >= 2, "{stats:?}");
+    assert!(stats.redrained_samples > 0, "catch-up drain recovered the backlog");
+
+    let bare_db = bare.db.as_ref().unwrap();
+    let sup_db = sup.db.as_ref().unwrap();
+    assert!(
+        sup_db.dropped < bare_db.dropped,
+        "restart must cut the outage short: supervised dropped {} vs bare {}",
+        sup_db.dropped,
+        bare_db.dropped
+    );
+    assert!(
+        sup_db.total_samples() > bare_db.total_samples(),
+        "supervised kept {} vs bare {}",
+        sup_db.total_samples(),
+        bare_db.total_samples()
+    );
+
+    let bare_q = quality_of(&bare);
+    let (sup_q, _) = recovery_of(&sup);
+    assert!(
+        sup_q.resolved >= bare_q.resolved,
+        "recovery resolves no fewer: {sup_q:?} vs {bare_q:?}"
+    );
+}
+
+#[test]
+fn supervised_torn_maps_replay_to_the_clean_run() {
+    // The torn-maps scenario, journaled. Map damage stays post-mortem
+    // (sampling identical to the clean run), and replaying the journal
+    // restores the clean run's resolution exactly. Then the disk is
+    // wiped outright: the degraded baseline collapses while the replay
+    // still restores everything — the second strict improvement.
+    let (built, plan) = small_workload();
+    let base = run_benchmark(&built, &plan, ProfilerKind::viprof_at(PERIOD), 2, false);
+    let chaos = FaultPlan::new(9).with_torn_maps(1.0);
+    let mut torn = run_benchmark(
+        &built,
+        &plan,
+        ProfilerKind::viprof_supervised_at(PERIOD, chaos),
+        2,
+        false,
+    );
+    assert_eq!(torn.cycles, base.cycles, "journaling is off the sampling path");
+    assert_eq!(torn.db, base.db);
+    assert!(torn.faults.as_ref().unwrap().maps.torn_maps > 0);
+
+    let bq = quality_of(&base);
+    let (rq, rec) = recovery_of(&torn);
+    assert!(rec.journals_scanned >= 1, "{rec:?}");
+    assert!(rec.records_replayed > 0, "{rec:?}");
+    assert_eq!(rq, bq, "journal replay restores clean-run resolution");
+
+    // Escalate: every map file emptied post-run (disk wiped after the
+    // crash). Resolution without the journal collapses; with it,
+    // nothing changes.
+    let jit = jit_samples(&torn);
+    assert!(jit > 0, "workload must produce JIT samples");
+    let map_files: Vec<String> = torn
+        .machine
+        .kernel
+        .vfs
+        .list(&format!("{JIT_MAP_DIR}/"))
+        .into_iter()
+        .filter(|p| p.contains("/map."))
+        .map(str::to_string)
+        .collect();
+    assert!(!map_files.is_empty());
+    for p in map_files {
+        torn.machine.kernel.vfs.write(p, Vec::new());
+    }
+    let dq = quality_of(&torn);
+    assert!(
+        dq.unresolved >= jit,
+        "wiped maps leave every JIT sample unresolved: {dq:?}"
+    );
+    let (rq2, rec2) = recovery_of(&torn);
+    assert_eq!(rq2, bq, "replay does not depend on the map files at all");
+    assert!(
+        rq2.resolved > dq.resolved,
+        "strict improvement: recovered {rq2:?} vs degraded {dq:?}"
+    );
+    assert!(rec2.samples_salvaged > 0);
+    assert_eq!(rec2.samples_salvaged, rq2.resolved - dq.resolved);
+}
+
+#[test]
+fn supervised_lost_maps_have_no_journal_to_replay() {
+    // A lost write never reaches the journal either (the fault models
+    // the writing process dying before any I/O): recovery must
+    // degenerate to the degraded baseline, not invent data.
+    let (built, plan) = small_workload();
+    let chaos = FaultPlan::new(3).with_lost_maps(1.0);
+    let out = run_benchmark(
+        &built,
+        &plan,
+        ProfilerKind::viprof_supervised_at(PERIOD, chaos),
+        1,
+        false,
+    );
+    assert!(out.faults.as_ref().unwrap().maps.lost_maps > 0);
+    let dq = quality_of(&out);
+    let (rq, rec) = recovery_of(&out);
+    assert_eq!(rq, dq, "nothing journaled, nothing recovered");
+    assert_eq!(rec.journals_scanned, 0, "no surviving write ever created a journal");
+    assert_eq!(rec.records_replayed, 0);
+    assert_eq!(rec.samples_salvaged, 0);
+}
+
+#[test]
+fn supervised_garbled_maps_truncate_the_journal_and_fall_back() {
+    // Garbling models post-commit media rot: the writer verified the
+    // pristine bytes, the rot landed afterwards. The scan's CRC catches
+    // it, the journal truncates at the first rotted record, and
+    // recovery falls back to the (equally garbled) disk state — never
+    // worse than the degraded baseline, damage counted.
+    let (built, plan) = small_workload();
+    let chaos = FaultPlan::new(13).with_garbled_lines(1.0);
+    let out = run_benchmark(
+        &built,
+        &plan,
+        ProfilerKind::viprof_supervised_at(PERIOD, chaos),
+        1,
+        false,
+    );
+    assert!(out.faults.as_ref().unwrap().maps.garbled_lines > 0);
+    let dq = quality_of(&out);
+    let (rq, rec) = recovery_of(&out);
+    assert_eq!(rq, dq, "rotted journal cannot improve on the disk state");
+    assert_eq!(rec.epochs_recovered, 0);
+    assert_eq!(rec.samples_salvaged, 0);
+    assert!(rec.truncated_bytes > 0, "the rot is detected and cut: {rec:?}");
+    assert!(rec.truncated_journals >= 1);
+}
+
+#[test]
+fn supervised_chaos_recovery_is_deterministic_and_monotone() {
+    // The full chaos plan, supervised: two runs replay bit for bit —
+    // including the supervisor's restart schedule and the entire
+    // recovery report — and recovery never resolves fewer samples than
+    // the degraded baseline.
+    let (built, plan) = small_workload();
+    let chaos = || {
+        FaultPlan::new(42)
+            .with_overflow_bursts(0.1, 3)
+            .with_sample_corruption(0.05)
+            .with_epoch_skew(1)
+            .with_daemon_stalls(0.2)
+            .with_daemon_crash(3, 2)
+            .with_lost_maps(0.2)
+            .with_torn_maps(0.2)
+            .with_garbled_lines(0.1)
+    };
+    let run = || {
+        let config = OpConfig {
+            daemon_period_cycles: 300_000,
+            ..OpConfig::time_at(PERIOD)
+        };
+        run_benchmark(
+            &built,
+            &plan,
+            ProfilerKind::ViprofSupervised(config, chaos()),
+            11,
+            false,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.db, b.db);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.supervisor, b.supervisor, "restart schedule replays per seed");
+    let (qa, ra) = recovery_of(&a);
+    let (qb, rb) = recovery_of(&b);
+    assert_eq!(qa, qb, "recovered quality is deterministic");
+    assert_eq!(ra, rb, "recovery report is deterministic");
+
+    let dq = quality_of(&a);
+    assert!(qa.resolved >= dq.resolved, "recovery is monotone: {qa:?} vs {dq:?}");
+    assert_eq!(ra.samples_salvaged, qa.resolved - dq.resolved);
+
+    // The daemon's batch journal replays to exactly the persisted
+    // database — drops included — even across crashes and restarts.
+    let replayed = recover_sample_db(&a.machine.kernel.vfs).expect("journaling on");
+    assert_eq!(&replayed.db, a.db.as_ref().unwrap());
 }
