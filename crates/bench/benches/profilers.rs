@@ -5,7 +5,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use oprofile::{opreport, ReportOptions};
-use viprof::Viprof;
+use viprof::{ReportSpec, Viprof};
 use viprof_bench::HarnessOpts;
 use viprof_workloads::{calibrate, find_benchmark, programs, run_benchmark, ProfilerKind};
 use viprof_workloads::{BuiltWorkload, WorkPlan};
@@ -57,8 +57,21 @@ fn bench_postprocess(c: &mut Criterion) {
     group.bench_function("viprof_report", |b| {
         b.iter(|| {
             black_box(
-                Viprof::report(&db, kernel, &ReportOptions::default())
+                Viprof::make_report(&db, kernel, &ReportSpec::default())
                     .expect("report")
+                    .lines
+                    .rows
+                    .len(),
+            )
+        })
+    });
+    let sharded = ReportSpec::default().threads(4);
+    group.bench_function("viprof_report_4_shards", |b| {
+        b.iter(|| {
+            black_box(
+                Viprof::make_report(&db, kernel, &sharded)
+                    .expect("report")
+                    .lines
                     .rows
                     .len(),
             )

@@ -66,7 +66,9 @@ fn run(mode: GcMode, profiled: bool, built: &viprof_workloads::BuiltWorkload, pl
             entries_written: 0,
         };
     }
-    let vp = Viprof::start(&mut machine, OpConfig::time_at(90_000));
+    let vp = Viprof::builder()
+        .config(OpConfig::time_at(90_000))
+        .start(&mut machine);
     let agent = vp.make_agent();
     let agent_stats = agent.stats_handle();
     let stats = execute_plan_with_config(&mut machine, built, plan, Box::new(agent), config);

@@ -24,9 +24,9 @@ use serde::Serialize;
 use sim_cpu::HwEvent;
 use sim_jvm::Vm;
 use sim_os::{Machine, MachineConfig};
-use viprof::resolve::ViprofResolver;
+use viprof::resolve::{ResolveOptions, ViprofResolver};
 use viprof::xen::{domain_breakdown, domain_jit_profile, DomainTable, Hypervisor, XenScheduler};
-use viprof::Viprof;
+use viprof::{ReportSpec, Viprof};
 use viprof_bench::{write_json, HarnessOpts};
 use viprof_workloads::runner::vm_config;
 use viprof_workloads::{calibrate, find_benchmark, programs};
@@ -63,7 +63,9 @@ fn main() {
     let dom1 = domains.register("domU-ps");
     let dom2 = domains.register("domU-jbb");
 
-    let vp = Viprof::start(&mut machine, OpConfig::time_at(90_000));
+    let vp = Viprof::builder()
+        .config(OpConfig::time_at(90_000))
+        .start(&mut machine);
 
     // Two guest stacks, two agents, one shared registration table.
     let mut vm1 = Vm::boot(
@@ -119,15 +121,19 @@ fn main() {
     }
 
     // ---- hypervisor layer visible in the merged report ----
-    let report = Viprof::report(
+    let report = Viprof::make_report(
         &db,
         &machine.kernel,
-        &ReportOptions {
-            min_primary_percent: 0.005,
-            ..ReportOptions::default()
+        &ReportSpec {
+            options: ReportOptions {
+                min_primary_percent: 0.005,
+                ..ReportOptions::default()
+            },
+            ..ReportSpec::default()
         },
     )
-    .expect("merged report");
+    .expect("merged report")
+    .lines;
     let xen_rows: Vec<(String, f64)> = report
         .rows
         .iter()
@@ -140,7 +146,9 @@ fn main() {
     }
 
     // ---- per-domain method resolution (vertical, per stack) ----
-    let resolver = ViprofResolver::load(&machine.kernel).expect("resolver");
+    let resolver = ViprofResolver::load_with(&machine.kernel, ResolveOptions::default())
+        .expect("resolver")
+        .0;
     let dom1_top = domain_jit_profile(&db, &machine.kernel, &resolver, &domains, dom1, HwEvent::Cycles);
     let dom2_top = domain_jit_profile(&db, &machine.kernel, &resolver, &domains, dom2, HwEvent::Cycles);
     println!("\nTop methods in domU-ps:");

@@ -6,25 +6,28 @@
 //! `/var/lib/oprofile` after `opcontrol --stop`.
 //!
 //! ```text
-//! viprof-report <session-dir> [--classic] [--recover] [--min <percent>] [--rows <n>] [--csv | --json]
+//! viprof-report <session-dir> [--classic] [--recover] [--threads <n>] [--min <percent>] [--rows <n>] [--csv | --json]
 //!
-//!   --classic   render what stock opreport would show (anon ranges,
-//!               symbol-less boot image) instead of the merged view
-//!   --recover   tolerate integrity violations and replay the crash
-//!               journals: rebuild code maps (and, if the sample db is
-//!               missing or corrupt, the db itself) from journal records
-//!   --min  P    hide rows below P percent of the primary event (0.05)
-//!   --rows N    keep at most N rows
-//!   --csv       emit CSV instead of the aligned text table
-//!   --json      emit JSON
+//!   --classic    render what stock opreport would show (anon ranges,
+//!                symbol-less boot image) instead of the merged view
+//!   --recover    tolerate integrity violations and replay the crash
+//!                journals: rebuild code maps (and, if the sample db is
+//!                missing or corrupt, the db itself) from journal records
+//!   --threads N  resolve across N shards (default: available
+//!                parallelism; output is bit-identical for every N)
+//!   --min  P     hide rows below P percent of the primary event (0.05)
+//!   --rows N     keep at most N rows
+//!   --csv        emit CSV instead of the aligned text table
+//!   --json       emit JSON
 //! ```
 
 use oprofile::{opreport, ReportOptions, SampleDb};
-use viprof::{RecoveredDb, RecoveryReport, Viprof};
+use viprof::{RecoveredDb, RecoveryReport, ReportSpec, Viprof};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: viprof-report <session-dir> [--classic] [--recover] [--min <percent>] [--rows <n>] [--csv | --json]"
+        "usage: viprof-report <session-dir> [--classic] [--recover] [--threads <n>] \
+         [--min <percent>] [--rows <n>] [--csv | --json]"
     );
     std::process::exit(2);
 }
@@ -40,6 +43,7 @@ fn main() {
     let Some(dir) = args.next() else { usage() };
     let mut classic = false;
     let mut recover = false;
+    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut options = ReportOptions {
         min_primary_percent: 0.05,
         ..ReportOptions::default()
@@ -49,6 +53,12 @@ fn main() {
         match flag.as_str() {
             "--classic" => classic = true,
             "--recover" => recover = true,
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             "--csv" => format = Format::Csv,
             "--json" => format = Format::Json,
             "--min" => {
@@ -129,28 +139,28 @@ fn main() {
 
     let (report, quality, recovery) = if classic {
         (opreport(&db, &kernel, &options), None, None)
-    } else if recover {
-        match Viprof::report_with_recovery(&db, &kernel, &options) {
-            Ok((r, q, mut rec)) => {
-                if let Some(rb) = &rebuilt {
-                    rec.db_rebuilt = true;
-                    rec.sample_batches_replayed = rb.batches;
-                    rec.bad_sample_batches = rb.bad_batches;
-                    if rb.truncated_bytes > 0 {
-                        rec.truncated_journals += 1;
-                        rec.truncated_bytes += rb.truncated_bytes;
-                    }
-                }
-                (r, Some(q), Some(rec))
-            }
-            Err(e) => {
-                eprintln!("viprof-report: {e}");
-                std::process::exit(1);
-            }
-        }
     } else {
-        match Viprof::report_with_quality(&db, &kernel, &options) {
-            Ok((r, q)) => (r, Some(q), None),
+        let spec = ReportSpec {
+            options: options.clone(),
+            recover,
+            threads,
+        };
+        match Viprof::make_report(&db, &kernel, &spec) {
+            Ok(sr) => {
+                let recovery = sr.recovery.map(|mut rec| {
+                    if let Some(rb) = &rebuilt {
+                        rec.db_rebuilt = true;
+                        rec.sample_batches_replayed = rb.batches;
+                        rec.bad_sample_batches = rb.bad_batches;
+                        if rb.truncated_bytes > 0 {
+                            rec.truncated_journals += 1;
+                            rec.truncated_bytes += rb.truncated_bytes;
+                        }
+                    }
+                    rec
+                });
+                (sr.lines, Some(sr.quality), recovery)
+            }
             Err(e) => {
                 eprintln!("viprof-report: {e}");
                 std::process::exit(1);

@@ -51,6 +51,12 @@ impl BootMap {
         self.methods.len()
     }
 
+    /// The loaded methods, sorted by offset — the flattening input for
+    /// [`crate::engine::ResolutionEngine`].
+    pub fn methods(&self) -> &[BootMethod] {
+        &self.methods
+    }
+
     /// Resolve an offset *within the boot image* to a VM method.
     pub fn resolve(&self, offset: u64) -> Option<&BootMethod> {
         let pos = self.methods.partition_point(|m| m.offset <= offset);

@@ -1,0 +1,489 @@
+//! The parallel resolution engine: flattened epoch indexes + interned
+//! symbols + sharded multi-threaded aggregation.
+//!
+//! [`crate::resolve::ViprofResolver`] is the *reference*
+//! implementation: per-bucket backward epoch walks and `String`
+//! labels. [`ResolutionEngine`] is the production path built on top of
+//! it:
+//!
+//! 1. every pid's epoch chain is collapsed into a
+//!    [`FlatIndex`](crate::flatindex::FlatIndex) (one binary search per
+//!    lookup instead of one per epoch), and the boot-image map is
+//!    flattened the same way;
+//! 2. labels resolve to interned [`Arc<str>`] pairs once per code-map
+//!    entry instead of allocating per bucket;
+//! 3. the sample database is partitioned by bucket hash and the shards
+//!    are resolved concurrently via [`std::thread::scope`] against the
+//!    shared immutable index; per-shard
+//!    [`ResolutionQuality`] tallies and row aggregates merge with plain
+//!    commutative sums.
+//!
+//! The engine produces **bit-identical** reports and quality totals
+//! regardless of thread count, and identical to the legacy walk —
+//! enforced by `tests/prop_resolve_flat.rs` and the fault-matrix
+//! suite.
+
+use crate::flatindex::FlatIndex;
+use crate::resolve::{ResolutionQuality, ViprofResolver};
+use oprofile::report::{bucket_label, finish_report, report_events, Report, ReportOptions};
+use oprofile::{SampleBucket, SampleDb, SampleOrigin};
+use sim_cpu::{HwEvent, Pid};
+use sim_jvm::bootimage::{BOOT_IMAGE_NAME, RVM_MAP_IMAGE_LABEL};
+use sim_os::{ImageId, Kernel};
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// How a bucket classified, mirroring the [`ResolutionQuality`]
+/// buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Resolved,
+    Stale,
+    Unresolved,
+}
+
+/// Per-shard partial sums; merged by addition, so the totals are
+/// independent of the partition.
+#[derive(Debug, Clone, Copy, Default)]
+struct ShardTally {
+    resolved: u64,
+    stale_epoch: u64,
+    unresolved: u64,
+}
+
+/// Immutable resolution state shared by every shard. Built once from a
+/// loaded [`ViprofResolver`]; safe to query from any number of scoped
+/// threads.
+#[derive(Debug, Default)]
+pub struct ResolutionEngine {
+    /// Flattened epoch chain per pid.
+    flat: HashMap<Pid, FlatIndex>,
+    /// Flattened boot-image map: disjoint `[start, end)` offset ranges
+    /// with interned method names, reproducing `BootMap::resolve`'s
+    /// candidate/shadowing behaviour exactly.
+    boot_starts: Vec<u64>,
+    boot_ends: Vec<u64>,
+    boot_names: Vec<Arc<str>>,
+    boot_image: Option<ImageId>,
+    /// Load-time damage counters (quarantined lines, skipped files,
+    /// failed pids, missing epochs) — the static part of every quality
+    /// report.
+    damage: ResolutionQuality,
+    jit_app: Arc<str>,
+    unresolved_jit: Arc<str>,
+    rvm_map: Arc<str>,
+    boot_image_name: Arc<str>,
+    no_symbols: Arc<str>,
+}
+
+impl ResolutionEngine {
+    /// Flatten and intern everything the resolver loaded.
+    pub fn build(resolver: &ViprofResolver) -> ResolutionEngine {
+        let mut damage = ResolutionQuality {
+            failed_pids: resolver.failed_pids().len() as u64,
+            ..ResolutionQuality::default()
+        };
+        let mut flat = HashMap::new();
+        for (pid, set) in resolver.sets() {
+            damage.quarantined_lines += set.quarantined_lines;
+            damage.skipped_map_files += set.skipped_files;
+            damage.missing_epochs += set.missing_epochs();
+            flat.insert(*pid, FlatIndex::build(set));
+        }
+
+        // Flatten the boot map with the same candidate rule its
+        // `resolve` applies: last entry per distinct offset, coverage
+        // cut at the next distinct offset.
+        let methods = resolver.bootmap().methods();
+        let mut boot_starts = Vec::new();
+        let mut boot_ends = Vec::new();
+        let mut boot_names: Vec<Arc<str>> = Vec::new();
+        let mut i = 0;
+        while i < methods.len() {
+            let offset = methods[i].offset;
+            let mut j = i + 1;
+            while j < methods.len() && methods[j].offset == offset {
+                j += 1;
+            }
+            let cand = &methods[j - 1];
+            let mut end = offset.saturating_add(cand.size);
+            if let Some(next) = methods.get(j) {
+                end = end.min(next.offset);
+            }
+            if end > offset {
+                boot_starts.push(offset);
+                boot_ends.push(end);
+                boot_names.push(Arc::from(cand.name.as_str()));
+            }
+            i = j;
+        }
+
+        ResolutionEngine {
+            flat,
+            boot_starts,
+            boot_ends,
+            boot_names,
+            boot_image: resolver.boot_image_id(),
+            damage,
+            jit_app: Arc::from("JIT.App"),
+            unresolved_jit: Arc::from("(unresolved jit)"),
+            rvm_map: Arc::from(RVM_MAP_IMAGE_LABEL),
+            boot_image_name: Arc::from(BOOT_IMAGE_NAME),
+            no_symbols: Arc::from("(no symbols)"),
+        }
+    }
+
+    /// The flattened index for one pid, if its maps loaded.
+    pub fn index(&self, pid: Pid) -> Option<&FlatIndex> {
+        self.flat.get(&pid)
+    }
+
+    fn boot_resolve(&self, offset: u64) -> Option<&Arc<str>> {
+        let pos = self.boot_starts.partition_point(|s| *s <= offset).checked_sub(1)?;
+        (offset < self.boot_ends[pos]).then(|| &self.boot_names[pos])
+    }
+
+    /// Classification only — no label allocation. Must stay in
+    /// lockstep with [`ViprofResolver::quality`]'s per-bucket match.
+    fn classify_bucket(&self, bucket: &SampleBucket) -> Class {
+        match bucket.origin {
+            SampleOrigin::JitApp { pid } => {
+                match self
+                    .flat
+                    .get(&pid)
+                    .and_then(|f| f.resolve_salvage(bucket.addr, bucket.epoch))
+                {
+                    Some((_, false)) => Class::Resolved,
+                    Some((_, true)) => Class::Stale,
+                    None => Class::Unresolved,
+                }
+            }
+            SampleOrigin::Image(_) => Class::Resolved,
+            SampleOrigin::Anon { .. } | SampleOrigin::Unknown => Class::Unresolved,
+        }
+    }
+
+    /// Label one bucket as interned `(image, symbol)` columns —
+    /// content-identical to [`ViprofResolver::label`], without the
+    /// per-bucket `String` allocations on the hot (JIT / boot-image)
+    /// paths.
+    pub fn label(&self, bucket: &SampleBucket, kernel: &Kernel) -> (Arc<str>, Arc<str>) {
+        match bucket.origin {
+            SampleOrigin::Image(id) if Some(id) == self.boot_image => {
+                match self.boot_resolve(bucket.addr) {
+                    Some(name) => (self.rvm_map.clone(), name.clone()),
+                    None => (self.boot_image_name.clone(), self.no_symbols.clone()),
+                }
+            }
+            SampleOrigin::JitApp { pid } => {
+                match self
+                    .flat
+                    .get(&pid)
+                    .and_then(|f| f.resolve_salvage(bucket.addr, bucket.epoch))
+                {
+                    Some((sym, _)) => (self.jit_app.clone(), sym.clone()),
+                    None => (self.jit_app.clone(), self.unresolved_jit.clone()),
+                }
+            }
+            _ => {
+                let (img, sym) = bucket_label(bucket, kernel);
+                (Arc::from(img), Arc::from(sym))
+            }
+        }
+    }
+
+    /// Partition the database's buckets into `threads` shards by
+    /// bucket hash (one shard — every bucket — when `threads <= 1`).
+    fn shard<'db>(
+        &self,
+        db: &'db SampleDb,
+        threads: usize,
+    ) -> Vec<Vec<(&'db SampleBucket, u64)>> {
+        let n = threads.max(1);
+        let mut shards: Vec<Vec<(&SampleBucket, u64)>> = vec![Vec::new(); n];
+        if n == 1 {
+            shards[0] = db.iter().map(|(b, c)| (b, *c)).collect();
+            return shards;
+        }
+        for (b, c) in db.iter() {
+            let mut h = DefaultHasher::new();
+            b.hash(&mut h);
+            shards[(h.finish() % n as u64) as usize].push((b, *c));
+        }
+        shards
+    }
+
+    fn base_quality(&self, db: &SampleDb) -> ResolutionQuality {
+        ResolutionQuality {
+            dropped: db.dropped,
+            ..self.damage
+        }
+    }
+
+    /// Resolve one shard: row aggregation keyed by interned labels,
+    /// plus the shard's quality tally. Aggregation only covers buckets
+    /// whose event is a report column (like [`oprofile::report::aggregate`]);
+    /// the tally covers every bucket (like [`ViprofResolver::quality`]).
+    fn resolve_shard(
+        &self,
+        shard: &[(&SampleBucket, u64)],
+        kernel: &Kernel,
+        events: &[HwEvent],
+    ) -> (HashMap<(Arc<str>, Arc<str>), Vec<u64>>, ShardTally) {
+        let mut agg: HashMap<(Arc<str>, Arc<str>), Vec<u64>> = HashMap::new();
+        let mut tally = ShardTally::default();
+        for &(bucket, count) in shard {
+            match self.classify_bucket(bucket) {
+                Class::Resolved => tally.resolved += count,
+                Class::Stale => tally.stale_epoch += count,
+                Class::Unresolved => tally.unresolved += count,
+            }
+            if let Some(col) = events.iter().position(|e| *e == bucket.event) {
+                let key = self.label(bucket, kernel);
+                agg.entry(key).or_insert_with(|| vec![0; events.len()])[col] += count;
+            }
+        }
+        (agg, tally)
+    }
+
+    fn classify_shard(&self, shard: &[(&SampleBucket, u64)]) -> ShardTally {
+        let mut tally = ShardTally::default();
+        for &(bucket, count) in shard {
+            match self.classify_bucket(bucket) {
+                Class::Resolved => tally.resolved += count,
+                Class::Stale => tally.stale_epoch += count,
+                Class::Unresolved => tally.unresolved += count,
+            }
+        }
+        tally
+    }
+
+    /// The merged report plus quality accounting in one pass over the
+    /// database, resolved across `threads` shards (`0`/`1` =
+    /// single-threaded). Results are bit-identical for every thread
+    /// count: shard sums are commutative and the final row shaping is
+    /// [`finish_report`], the same code `aggregate` runs.
+    pub fn report_with_quality(
+        &self,
+        db: &SampleDb,
+        kernel: &Kernel,
+        options: &ReportOptions,
+        threads: usize,
+    ) -> (Report, ResolutionQuality) {
+        let (events, totals) = report_events(db, options);
+        let shards = self.shard(db, threads);
+        let events_ref: &[HwEvent] = &events;
+        let parts: Vec<(HashMap<(Arc<str>, Arc<str>), Vec<u64>>, ShardTally)> =
+            if shards.len() <= 1 {
+                shards
+                    .iter()
+                    .map(|s| self.resolve_shard(s, kernel, events_ref))
+                    .collect()
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = shards
+                        .iter()
+                        .map(|shard| {
+                            scope.spawn(move || self.resolve_shard(shard, kernel, events_ref))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("resolution shard panicked"))
+                        .collect()
+                })
+            };
+
+        let mut quality = self.base_quality(db);
+        let mut merged: HashMap<(Arc<str>, Arc<str>), Vec<u64>> = HashMap::new();
+        for (agg, tally) in parts {
+            quality.resolved += tally.resolved;
+            quality.stale_epoch += tally.stale_epoch;
+            quality.unresolved += tally.unresolved;
+            for (key, counts) in agg {
+                match merged.entry(key) {
+                    Entry::Occupied(mut e) => {
+                        for (a, b) in e.get_mut().iter_mut().zip(&counts) {
+                            *a += b;
+                        }
+                    }
+                    Entry::Vacant(v) => {
+                        v.insert(counts);
+                    }
+                }
+            }
+        }
+        // One `String` materialization per distinct row — not per
+        // bucket — to hand off to the shared row shaping.
+        let rows: HashMap<(String, String), Vec<u64>> = merged
+            .into_iter()
+            .map(|((img, sym), counts)| ((img.to_string(), sym.to_string()), counts))
+            .collect();
+        (finish_report(events, totals, rows, options), quality)
+    }
+
+    /// Quality accounting alone (no label work), sharded the same way.
+    /// Identical to [`ViprofResolver::quality`] on the same load.
+    pub fn quality(&self, db: &SampleDb, threads: usize) -> ResolutionQuality {
+        let shards = self.shard(db, threads);
+        let tallies: Vec<ShardTally> = if shards.len() <= 1 {
+            shards.iter().map(|s| self.classify_shard(s)).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .map(|shard| scope.spawn(move || self.classify_shard(shard)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("classification shard panicked"))
+                    .collect()
+            })
+        };
+        let mut quality = self.base_quality(db);
+        for t in tallies {
+            quality.resolved += t.resolved;
+            quality.stale_epoch += t.stale_epoch;
+            quality.unresolved += t.unresolved;
+        }
+        quality
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codemap::{map_path, render_map, CodeMapEntry};
+    use crate::report::viprof_report;
+    use crate::resolve::ResolveOptions;
+    use sim_jvm::BootImage;
+
+    fn bucket(origin: SampleOrigin, addr: u64, epoch: u64) -> SampleBucket {
+        SampleBucket {
+            origin,
+            event: HwEvent::Cycles,
+            addr,
+            epoch,
+        }
+    }
+
+    fn setup() -> (Kernel, Pid) {
+        let mut k = Kernel::new();
+        let pid = k.spawn("jikesrvm");
+        let mut boot = BootImage::jikes_standard();
+        boot.install(&mut k, pid, 0x0900_0000);
+        k.vfs.write(
+            map_path(pid, 0),
+            render_map(&[CodeMapEntry {
+                addr: 0x6400_0040,
+                size: 0x80,
+                level: "O1".into(),
+                signature: "app.Scanner.parseLine".into(),
+            }])
+            .into_bytes(),
+        );
+        k.vfs.write(
+            map_path(pid, 4),
+            render_map(&[CodeMapEntry {
+                addr: 0x6500_0000,
+                size: 0x40,
+                level: "base".into(),
+                signature: "app.Late.comer".into(),
+            }])
+            .into_bytes(),
+        );
+        (k, pid)
+    }
+
+    fn mixed_db(k: &Kernel, pid: Pid) -> SampleDb {
+        let boot_id = k.images.find_by_name(BOOT_IMAGE_NAME).unwrap();
+        let mut db = SampleDb::new();
+        db.add(bucket(SampleOrigin::JitApp { pid }, 0x6400_0080, 2), 10);
+        db.add(bucket(SampleOrigin::JitApp { pid }, 0x6500_0010, 1), 6);
+        db.add(bucket(SampleOrigin::JitApp { pid }, 0x7000_0000, 0), 3);
+        db.add(bucket(SampleOrigin::Image(boot_id), 0x10, 0), 5);
+        db.add(bucket(SampleOrigin::Image(k.kernel_image), 0x3000, 0), 4);
+        db.add(bucket(SampleOrigin::Unknown, 0x0, 0), 2);
+        db.dropped = 7;
+        db
+    }
+
+    #[test]
+    fn labels_match_the_reference_resolver_on_every_origin() {
+        let (k, pid) = setup();
+        let (resolver, _) = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap();
+        let engine = ResolutionEngine::build(&resolver);
+        for (b, _) in mixed_db(&k, pid).iter() {
+            let (img, sym) = engine.label(b, &k);
+            assert_eq!(
+                (img.to_string(), sym.to_string()),
+                resolver.label(b, &k),
+                "label diverged on {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn quality_matches_the_reference_resolver() {
+        let (k, pid) = setup();
+        let db = mixed_db(&k, pid);
+        let (resolver, _) = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap();
+        let engine = ResolutionEngine::build(&resolver);
+        let want = resolver.quality(&db);
+        assert_eq!(engine.quality(&db, 1), want);
+        assert_eq!(engine.quality(&db, 4), want);
+        assert_eq!(want.accounted(), db.total_samples());
+    }
+
+    #[test]
+    fn sharded_report_is_bit_identical_to_walk_and_thread_count_invariant() {
+        let (k, pid) = setup();
+        let db = mixed_db(&k, pid);
+        let (resolver, _) = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap();
+        let engine = ResolutionEngine::build(&resolver);
+        let options = ReportOptions::default();
+        let legacy = viprof_report(&db, &k, &resolver, &options);
+        let legacy_q = resolver.quality(&db);
+        for threads in [0, 1, 2, 3, 8] {
+            let (report, q) = engine.report_with_quality(&db, &k, &options, threads);
+            assert_eq!(report, legacy, "threads={threads}");
+            assert_eq!(q, legacy_q, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn row_filters_apply_identically() {
+        let (k, pid) = setup();
+        let db = mixed_db(&k, pid);
+        let (resolver, _) = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap();
+        let engine = ResolutionEngine::build(&resolver);
+        let options = ReportOptions {
+            min_primary_percent: 10.0,
+            max_rows: Some(2),
+            ..ReportOptions::default()
+        };
+        let legacy = viprof_report(&db, &k, &resolver, &options);
+        let (report, _) = engine.report_with_quality(&db, &k, &options, 4);
+        assert_eq!(report, legacy);
+        assert!(report.rows.len() <= 2);
+    }
+
+    #[test]
+    fn empty_db_reports_empty_with_damage_counters_intact() {
+        let (mut k, pid) = setup();
+        // One garbled line so the damage counters are non-zero.
+        k.vfs.write(
+            map_path(pid, 1),
+            b"!! garbage\n0000000065100000 00000040 base app.Ok.fine\n".to_vec(),
+        );
+        let (resolver, _) = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap();
+        let engine = ResolutionEngine::build(&resolver);
+        let db = SampleDb::new();
+        let (report, q) = engine.report_with_quality(&db, &k, &ReportOptions::default(), 4);
+        assert!(report.rows.is_empty());
+        assert_eq!(q, resolver.quality(&db));
+        assert_eq!(q.quarantined_lines, 1);
+    }
+}

@@ -22,6 +22,12 @@
 //!   that address is found; boot-image samples are resolved through the
 //!   VM build's `RVM.map` (§3.2).
 //!
+//! The production resolution path flattens each pid's epoch chain into
+//! a [`flatindex::FlatIndex`] (one binary search per sample instead of
+//! a per-epoch walk) and resolves the sample database across hash
+//! shards on scoped threads ([`engine::ResolutionEngine`]) — with
+//! results bit-identical to the reference walk in [`resolve`].
+//!
 //! [`session::Viprof`] wires everything together; [`callgraph`] adds the
 //! cross-layer call-sequence profiles §4.2 mentions; [`xen`] implements
 //! the §5 future work (hypervisor layer + multiple concurrent stacks,
@@ -32,8 +38,10 @@ pub mod agent;
 pub mod bootmap;
 pub mod callgraph;
 pub mod codemap;
+pub mod engine;
 pub mod error;
 pub mod faults;
+pub mod flatindex;
 pub mod recover;
 pub mod registry;
 pub mod report;
@@ -46,14 +54,17 @@ pub use agent::{AgentStats, MapFaultStats, MapFaults, VmAgent};
 pub use bootmap::BootMap;
 pub use callgraph::CallGraph;
 pub use codemap::{CodeMapEntry, CodeMapSet, EpochMap, ParsedMap, JIT_MAP_DIR};
+pub use engine::ResolutionEngine;
 pub use error::ViprofError;
 pub use faults::{FaultPlan, FaultReport};
+pub use flatindex::FlatIndex;
 pub use recover::{recover_codemaps, recover_sample_db, PidRecovery, RecoveredDb, RecoveryReport};
 pub use registry::{JitRegistry, SharedRegistry};
 pub use report::viprof_report;
-pub use resolve::{ResolutionQuality, ViprofResolver};
+pub use resolve::{ResolutionQuality, ResolveOptions, ViprofResolver};
 pub use runtime::ViprofExtension;
 pub use session::{
-    FileDigest, Viprof, SESSION_MANIFEST, SESSION_META_IMAGES, SESSION_META_PROCESSES,
+    FileDigest, ReportSpec, SessionBuilder, SessionReport, Viprof, SESSION_MANIFEST,
+    SESSION_META_IMAGES, SESSION_META_PROCESSES,
 };
 pub use xen::{DomainId, DomainTable, Hypervisor, XenScheduler};

@@ -2,13 +2,20 @@
 //! half): VM-internal methods (`RVM.map`), JIT'd application methods
 //! (`JIT.App`), native libraries and kernel symbols, side by side with
 //! per-event percentage columns.
+//!
+//! This is the *reference* path: per-bucket label closures over the
+//! legacy epoch walk. Production post-processing goes through
+//! [`crate::engine::ResolutionEngine::report_with_quality`], which must
+//! produce bit-identical output (enforced by the engine tests, the
+//! fault-matrix suite and `tests/prop_resolve_flat.rs`).
 
 use crate::resolve::ViprofResolver;
 use oprofile::report::{aggregate, Report, ReportOptions};
 use oprofile::SampleDb;
 use sim_os::Kernel;
 
-/// Produce the merged VIProf report from a sample database.
+/// Produce the merged VIProf report from a sample database (reference
+/// single-threaded walk).
 pub fn viprof_report(
     db: &SampleDb,
     kernel: &Kernel,
@@ -70,7 +77,9 @@ mod tests {
         add(SampleOrigin::Image(libc), 0x1100, HwEvent::Cycles, 20);
         add(SampleOrigin::Image(libc), 0x1100, HwEvent::L2Miss, 15);
 
-        let resolver = ViprofResolver::load(&k).unwrap();
+        let resolver = ViprofResolver::load_with(&k, crate::resolve::ResolveOptions::default())
+            .unwrap()
+            .0;
         let r = viprof_report(&db, &k, &resolver, &ReportOptions::default());
 
         let jit = r.find("JIT.App", "dacapo.ps.Scanner.parseLine").unwrap();

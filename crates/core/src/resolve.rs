@@ -80,6 +80,24 @@ fn discover_pids(kernel: &Kernel) -> Vec<Pid> {
     pids
 }
 
+/// How [`ViprofResolver::load_with`] should treat the on-disk map
+/// artifacts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolveOptions {
+    /// Run the journal-replay recovery pass: per pid, pristine journal
+    /// records are overlaid on the damaged disk state when a map
+    /// journal exists; pids without one fall back to the plain
+    /// degraded loader.
+    pub recover: bool,
+}
+
+impl ResolveOptions {
+    /// Options with the recovery pass enabled.
+    pub fn recovered() -> ResolveOptions {
+        ResolveOptions { recover: true }
+    }
+}
+
 /// Loaded post-processing state.
 #[derive(Debug, Default)]
 pub struct ViprofResolver {
@@ -91,39 +109,18 @@ pub struct ViprofResolver {
 }
 
 impl ViprofResolver {
-    /// Load every map artifact from the machine's VFS.
+    /// Load every map artifact from the machine's VFS, optionally
+    /// through the journal-replay recovery pass
+    /// ([`ResolveOptions::recover`]).
     ///
     /// One pid's unloadable maps must not abort post-processing for
     /// every other pid: such pids are recorded (their samples degrade to
-    /// "(unresolved jit)") and loading continues.
-    pub fn load(kernel: &Kernel) -> Result<ViprofResolver, ViprofError> {
-        let bootmap = BootMap::load(&kernel.vfs)?;
-        let boot_image = kernel.images.find_by_name(BOOT_IMAGE_NAME);
-        let mut codemaps = HashMap::new();
-        let mut failed_pids = Vec::new();
-        for pid in discover_pids(kernel) {
-            match CodeMapSet::load(&kernel.vfs, pid) {
-                Ok(set) => {
-                    codemaps.insert(pid, set);
-                }
-                Err(_) => failed_pids.push(pid),
-            }
-        }
-        Ok(ViprofResolver {
-            bootmap,
-            codemaps,
-            boot_image,
-            failed_pids,
-        })
-    }
-
-    /// [`ViprofResolver::load`] with the journal-replay recovery pass:
-    /// each pid's maps come from [`recover_codemaps`] when a map
-    /// journal exists (pristine journal records overlaid on the damaged
-    /// disk state), and from the plain degraded loader otherwise. Also
-    /// returns the aggregate [`RecoveryReport`].
-    pub fn load_recovered(
+    /// "(unresolved jit)") and loading continues. The returned
+    /// [`RecoveryReport`] is all-zero when recovery was off or no
+    /// journals existed.
+    pub fn load_with(
         kernel: &Kernel,
+        options: ResolveOptions,
     ) -> Result<(ViprofResolver, RecoveryReport), ViprofError> {
         let bootmap = BootMap::load(&kernel.vfs)?;
         let boot_image = kernel.images.find_by_name(BOOT_IMAGE_NAME);
@@ -131,17 +128,18 @@ impl ViprofResolver {
         let mut failed_pids = Vec::new();
         let mut report = RecoveryReport::default();
         for pid in discover_pids(kernel) {
-            match recover_codemaps(&kernel.vfs, pid) {
-                Some((set, pid_rec)) => {
+            if options.recover {
+                if let Some((set, pid_rec)) = recover_codemaps(&kernel.vfs, pid) {
                     report.absorb(&pid_rec);
                     codemaps.insert(pid, set);
+                    continue;
                 }
-                None => match CodeMapSet::load(&kernel.vfs, pid) {
-                    Ok(set) => {
-                        codemaps.insert(pid, set);
-                    }
-                    Err(_) => failed_pids.push(pid),
-                },
+            }
+            match CodeMapSet::load(&kernel.vfs, pid) {
+                Ok(set) => {
+                    codemaps.insert(pid, set);
+                }
+                Err(_) => failed_pids.push(pid),
             }
         }
         Ok((
@@ -155,8 +153,32 @@ impl ViprofResolver {
         ))
     }
 
+    /// Load without the recovery pass.
+    #[deprecated(since = "0.2.0", note = "use `ViprofResolver::load_with(kernel, ResolveOptions::default())`")]
+    pub fn load(kernel: &Kernel) -> Result<ViprofResolver, ViprofError> {
+        ViprofResolver::load_with(kernel, ResolveOptions::default()).map(|(r, _)| r)
+    }
+
+    /// Load with the journal-replay recovery pass.
+    #[deprecated(since = "0.2.0", note = "use `ViprofResolver::load_with(kernel, ResolveOptions::recovered())`")]
+    pub fn load_recovered(
+        kernel: &Kernel,
+    ) -> Result<(ViprofResolver, RecoveryReport), ViprofError> {
+        ViprofResolver::load_with(kernel, ResolveOptions::recovered())
+    }
+
     pub fn codemaps(&self, pid: Pid) -> Option<&CodeMapSet> {
         self.codemaps.get(&pid)
+    }
+
+    /// Every loaded pid's map set, for index flattening.
+    pub(crate) fn sets(&self) -> impl Iterator<Item = (&Pid, &CodeMapSet)> {
+        self.codemaps.iter()
+    }
+
+    /// The image id the boot image registered under, if installed.
+    pub(crate) fn boot_image_id(&self) -> Option<ImageId> {
+        self.boot_image
     }
 
     pub fn bootmap(&self) -> &BootMap {
@@ -271,7 +293,7 @@ mod tests {
     #[test]
     fn boot_image_samples_resolve_to_rvm_map_rows() {
         let (k, _) = setup();
-        let r = ViprofResolver::load(&k).unwrap();
+        let r = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap().0;
         let boot_id = k.images.find_by_name(BOOT_IMAGE_NAME).unwrap();
         let (img, sym) = r.label(&bucket(SampleOrigin::Image(boot_id), 0x10, 0), &k);
         assert_eq!(img, "RVM.map");
@@ -284,7 +306,7 @@ mod tests {
     #[test]
     fn jit_samples_resolve_through_code_maps() {
         let (k, pid) = setup();
-        let r = ViprofResolver::load(&k).unwrap();
+        let r = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap().0;
         let (img, sym) = r.label(&bucket(SampleOrigin::JitApp { pid }, 0x6400_0080, 0), &k);
         assert_eq!(img, "JIT.App");
         assert_eq!(sym, "app.Scanner.parseLine");
@@ -299,7 +321,7 @@ mod tests {
     #[test]
     fn other_buckets_fall_back_to_oprofile_labels() {
         let (k, pid) = setup();
-        let r = ViprofResolver::load(&k).unwrap();
+        let r = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap().0;
         let (img, sym) = r.label(
             &bucket(SampleOrigin::Image(k.kernel_image), 0x3000, 0),
             &k,
@@ -324,7 +346,7 @@ mod tests {
     fn missing_artifacts_degrade_gracefully() {
         // Fresh kernel, no RVM.map, no code maps.
         let k = Kernel::new();
-        let r = ViprofResolver::load(&k).unwrap();
+        let r = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap().0;
         assert!(r.bootmap().is_empty());
         let (img, sym) = r.label(&bucket(SampleOrigin::JitApp { pid: Pid(1) }, 0x10, 0), &k);
         assert_eq!((img.as_str(), sym.as_str()), ("JIT.App", "(unresolved jit)"));
@@ -336,7 +358,7 @@ mod tests {
         // A second VM whose only map file is binary garbage.
         let bad = k.spawn("jikesrvm2");
         k.vfs.write(map_path(bad, 0), vec![0xff, 0xfe, 0x80]);
-        let r = ViprofResolver::load(&k).unwrap();
+        let r = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap().0;
         assert_eq!(r.failed_pids(), &[bad]);
         assert!(r.codemaps(good).is_some(), "good pid still loaded");
         // The bad pid's samples degrade instead of erroring out.
@@ -359,7 +381,7 @@ mod tests {
             }])
             .into_bytes(),
         );
-        let r = ViprofResolver::load(&k).unwrap();
+        let r = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap().0;
         // A sample tagged epoch 1 on that address: backward chain
         // misses, forward salvage attributes it (stale).
         let (_, sym) = r.label(&bucket(SampleOrigin::JitApp { pid }, 0x6500_0010, 1), &k);
@@ -376,7 +398,7 @@ mod tests {
         db.add(bucket(SampleOrigin::Image(boot_id), 0x10, 0), 5);
         db.add(bucket(SampleOrigin::Unknown, 0x0, 0), 2);
         db.dropped = 7;
-        let r = ViprofResolver::load(&k).unwrap();
+        let r = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap().0;
         let q = r.quality(&db);
         assert_eq!(q.resolved, 15);
         assert_eq!(q.unresolved, 5);
@@ -392,7 +414,7 @@ mod tests {
         use sim_os::JournalWriter;
         // Without any journal, recovery degenerates to the plain loader.
         let (k, pid) = setup();
-        let (r, report) = ViprofResolver::load_recovered(&k).unwrap();
+        let (r, report) = ViprofResolver::load_with(&k, ResolveOptions::recovered()).unwrap();
         assert_eq!(report, crate::recover::RecoveryReport::default());
         assert!(r.codemaps(pid).is_some());
         // Tear epoch 0's map on disk but journal the pristine render:
@@ -404,10 +426,10 @@ mod tests {
         payload.extend_from_slice(&pristine);
         let mut w = JournalWriter::create(&mut k.vfs, journal_path(pid));
         w.append(&mut k.vfs, KIND_CODE_MAP, &payload);
-        let degraded = ViprofResolver::load(&k).unwrap();
+        let degraded = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap().0;
         let (_, sym) = degraded.label(&bucket(SampleOrigin::JitApp { pid }, 0x6400_0080, 0), &k);
         assert_eq!(sym, "(unresolved jit)");
-        let (recovered, report) = ViprofResolver::load_recovered(&k).unwrap();
+        let (recovered, report) = ViprofResolver::load_with(&k, ResolveOptions::recovered()).unwrap();
         assert_eq!(report.journals_scanned, 1);
         assert_eq!(report.records_replayed, 1);
         assert_eq!(report.epochs_recovered, 1);
@@ -433,7 +455,7 @@ mod tests {
         db.add(bucket(SampleOrigin::JitApp { pid }, 0x6400_0080, 2), 4);
         // Forward salvage.
         db.add(bucket(SampleOrigin::JitApp { pid }, 0x6500_0010, 1), 6);
-        let r = ViprofResolver::load(&k).unwrap();
+        let r = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap().0;
         let q = r.quality(&db);
         assert_eq!(q.resolved, 4);
         assert_eq!(q.stale_epoch, 6);

@@ -3,17 +3,17 @@
 
 use crate::agent::{MapFaultStats, MapFaults, VmAgent};
 use crate::callgraph::CallGraph;
+use crate::engine::ResolutionEngine;
 use crate::error::ViprofError;
 use crate::faults::FaultPlan;
 use crate::recover::RecoveryReport;
 use crate::registry::{JitRegistry, SharedRegistry};
-use crate::report::viprof_report;
-use crate::resolve::{ResolutionQuality, ViprofResolver};
+use crate::resolve::{ResolutionQuality, ResolveOptions, ViprofResolver};
 use crate::runtime::ViprofExtension;
 use oprofile::report::{Report, ReportOptions};
 use oprofile::{
     DaemonFaultStats, DriverFaultStats, DriverStats, OpConfig, Oprofile, SampleDb,
-    SupervisorStats,
+    SupervisorConfig, SupervisorStats,
 };
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -21,6 +21,131 @@ use sim_cpu::CostModel;
 use sim_os::{crc32, Kernel, Machine, Vfs};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// Builder for a VIProf session — the single way to express every
+/// start-time combination that used to be spread over
+/// `start`/`start_with_faults` and manual `OpConfig::with_journal`/
+/// `with_supervisor` chains:
+///
+/// ```ignore
+/// let vp = Viprof::builder()
+///     .config(OpConfig::time_at(20_000))
+///     .journal(true)
+///     .faults(&plan)
+///     .supervised(true)
+///     .start(&mut machine);
+/// ```
+///
+/// Unset toggles inherit whatever the [`OpConfig`] already says, so
+/// `Viprof::builder().config(c).start(m)` is exactly the old
+/// `Viprof::start(m, c)`.
+#[derive(Debug, Clone, Default)]
+pub struct SessionBuilder {
+    config: OpConfig,
+    plan: Option<FaultPlan>,
+    journal: Option<bool>,
+    supervised: Option<bool>,
+}
+
+impl SessionBuilder {
+    /// The base profiler configuration (events, periods, cost model).
+    pub fn config(mut self, config: OpConfig) -> SessionBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Toggle crash-consistent journaling (daemon sample batches + VM
+    /// agent map writes). Unset → inherit `config.journal`.
+    pub fn journal(mut self, on: bool) -> SessionBuilder {
+        self.journal = Some(on);
+        self
+    }
+
+    /// Run under a fault schedule: the plan's driver and daemon
+    /// injectors are wired into the kernel-side pipeline, its map-write
+    /// injector into every agent the session builds.
+    pub fn faults(mut self, plan: &FaultPlan) -> SessionBuilder {
+        self.plan = Some(plan.clone());
+        self
+    }
+
+    /// Toggle daemon supervision. `true` uses the fault plan's
+    /// seeded [`SupervisorConfig`] when a plan is set (the default
+    /// config otherwise); `false` forces supervision off. Unset →
+    /// inherit `config.supervisor`.
+    pub fn supervised(mut self, on: bool) -> SessionBuilder {
+        self.supervised = Some(on);
+        self
+    }
+
+    /// Start the session on `machine`.
+    pub fn start(self, machine: &mut Machine) -> Viprof {
+        let mut config = self.config;
+        if let Some(journal) = self.journal {
+            config.journal = journal;
+        }
+        match self.supervised {
+            Some(true) => {
+                let sup: SupervisorConfig = self
+                    .plan
+                    .as_ref()
+                    .map(|p| p.supervisor_config())
+                    .unwrap_or_default();
+                config.supervisor = Some(sup);
+            }
+            Some(false) => config.supervisor = None,
+            None => {}
+        }
+        let (config, agent_faults) = match &self.plan {
+            Some(plan) => (plan.apply_to(config), plan.agent_faults()),
+            None => (config, None),
+        };
+        Viprof::start_inner(machine, config, agent_faults)
+    }
+}
+
+/// What [`Viprof::make_report`] should produce.
+#[derive(Debug, Clone, Default)]
+pub struct ReportSpec {
+    /// Row shaping: event columns, percent floor, row cap.
+    pub options: ReportOptions,
+    /// Run the journal-replay recovery pass before resolving, and
+    /// report what it salvaged.
+    pub recover: bool,
+    /// Resolution shards; `0` or `1` = single-threaded. The report is
+    /// bit-identical for every value.
+    pub threads: usize,
+}
+
+impl ReportSpec {
+    /// Spec with the recovery pass enabled.
+    pub fn recovered() -> ReportSpec {
+        ReportSpec {
+            recover: true,
+            ..ReportSpec::default()
+        }
+    }
+
+    /// Set the shard count.
+    pub fn threads(mut self, threads: usize) -> ReportSpec {
+        self.threads = threads;
+        self
+    }
+}
+
+/// Everything one post-processing pass produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// The merged profile rows (Figure-1 upper half).
+    pub lines: Report,
+    /// Per-run resolution accounting; always sums to 100% of the
+    /// emitted samples.
+    pub quality: ResolutionQuality,
+    /// Journal-replay outcome — `Some` iff [`ReportSpec::recover`] was
+    /// set, with `samples_salvaged` measured against the degraded
+    /// baseline.
+    pub recovery: Option<RecoveryReport>,
+}
 
 /// A running VIProf session: OProfile with the runtime-profiler
 /// extension installed, plus the shared state VM agents attach to.
@@ -38,18 +163,25 @@ pub struct Viprof {
 }
 
 impl Viprof {
-    /// Start profiling (counters + extended driver + daemon).
-    pub fn start(machine: &mut Machine, config: OpConfig) -> Viprof {
-        Self::start_inner(machine, config, None)
+    /// Start configuring a session; finish with
+    /// [`SessionBuilder::start`].
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
     }
 
-    /// Start profiling under a fault schedule: the plan's driver and
-    /// daemon injectors are wired into the kernel-side pipeline, and
-    /// its map-write injector into every agent built via
-    /// [`Viprof::make_agent`].
+    /// Start profiling (counters + extended driver + daemon).
+    #[deprecated(since = "0.2.0", note = "use `Viprof::builder().config(config).start(machine)`")]
+    pub fn start(machine: &mut Machine, config: OpConfig) -> Viprof {
+        Viprof::builder().config(config).start(machine)
+    }
+
+    /// Start profiling under a fault schedule.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Viprof::builder().config(config).faults(plan).start(machine)`"
+    )]
     pub fn start_with_faults(machine: &mut Machine, config: OpConfig, plan: &FaultPlan) -> Viprof {
-        let config = plan.apply_to(config);
-        Self::start_inner(machine, config, plan.agent_faults())
+        Viprof::builder().config(config).faults(plan).start(machine)
     }
 
     fn start_inner(
@@ -125,44 +257,68 @@ impl Viprof {
         self.op.stop(machine)
     }
 
-    /// Post-process: load maps from the VFS and produce the merged
-    /// report (Figure-1 upper half).
+    /// Post-process one session: load maps from the VFS (optionally
+    /// through journal-replay recovery), flatten them into the
+    /// [`ResolutionEngine`], and resolve the database across
+    /// `spec.threads` shards. One entrypoint for everything the old
+    /// `report`/`report_with_quality`/`report_with_recovery` trio did —
+    /// lines, quality accounting and recovery outcome come back
+    /// together in a [`SessionReport`].
+    pub fn make_report(
+        db: &SampleDb,
+        kernel: &Kernel,
+        spec: &ReportSpec,
+    ) -> Result<SessionReport, ViprofError> {
+        let (resolver, mut rec) =
+            ViprofResolver::load_with(kernel, ResolveOptions { recover: spec.recover })?;
+        let engine = ResolutionEngine::build(&resolver);
+        let (lines, quality) = engine.report_with_quality(db, kernel, &spec.options, spec.threads);
+        let recovery = if spec.recover {
+            // Measure the degraded baseline alongside, so the recovery
+            // report can say how many samples replay salvaged.
+            let (degraded, _) = ViprofResolver::load_with(kernel, ResolveOptions::default())?;
+            let baseline = ResolutionEngine::build(&degraded).quality(db, spec.threads);
+            rec.samples_salvaged = quality.resolved.saturating_sub(baseline.resolved);
+            Some(rec)
+        } else {
+            None
+        };
+        Ok(SessionReport {
+            lines,
+            quality,
+            recovery,
+        })
+    }
+
+    /// Merged report only (Figure-1 upper half).
+    #[deprecated(since = "0.2.0", note = "use `Viprof::make_report(db, kernel, &ReportSpec::default())`")]
     pub fn report(
         db: &SampleDb,
         kernel: &Kernel,
         options: &ReportOptions,
     ) -> Result<Report, ViprofError> {
-        let resolver = ViprofResolver::load(kernel)?;
-        Ok(viprof_report(db, kernel, &resolver, options))
+        Self::make_report(db, kernel, &spec_with(options, false)).map(|r| r.lines)
     }
 
-    /// [`Viprof::report`] plus the per-run [`ResolutionQuality`]
-    /// accounting (resolved / stale-epoch / unresolved / dropped).
+    /// Merged report plus the per-run [`ResolutionQuality`] accounting.
+    #[deprecated(since = "0.2.0", note = "use `Viprof::make_report(db, kernel, &ReportSpec::default())`")]
     pub fn report_with_quality(
         db: &SampleDb,
         kernel: &Kernel,
         options: &ReportOptions,
     ) -> Result<(Report, ResolutionQuality), ViprofError> {
-        let resolver = ViprofResolver::load(kernel)?;
-        let quality = resolver.quality(db);
-        Ok((viprof_report(db, kernel, &resolver, options), quality))
+        Self::make_report(db, kernel, &spec_with(options, false)).map(|r| (r.lines, r.quality))
     }
 
-    /// [`Viprof::report_with_quality`] after the journal-replay
-    /// recovery pass: code maps are rebuilt from the per-pid map
-    /// journals, the degraded baseline is measured alongside, and the
-    /// returned [`RecoveryReport`] says how many samples replay
-    /// salvaged over that baseline.
+    /// Merged report after the journal-replay recovery pass.
+    #[deprecated(since = "0.2.0", note = "use `Viprof::make_report(db, kernel, &ReportSpec::recovered())`")]
     pub fn report_with_recovery(
         db: &SampleDb,
         kernel: &Kernel,
         options: &ReportOptions,
     ) -> Result<(Report, ResolutionQuality, RecoveryReport), ViprofError> {
-        let baseline = ViprofResolver::load(kernel)?.quality(db);
-        let (resolver, mut recovery) = ViprofResolver::load_recovered(kernel)?;
-        let quality = resolver.quality(db);
-        recovery.samples_salvaged = quality.resolved.saturating_sub(baseline.resolved);
-        Ok((viprof_report(db, kernel, &resolver, options), quality, recovery))
+        Self::make_report(db, kernel, &spec_with(options, true))
+            .map(|r| (r.lines, r.quality, r.recovery.unwrap_or_default()))
     }
 
     /// Export a complete, self-contained session to a real directory:
@@ -249,6 +405,16 @@ impl Viprof {
         }
         kernel.vfs = vfs;
         Ok((kernel, mismatches))
+    }
+}
+
+/// Shared shim plumbing: an owned [`ReportSpec`] from the legacy
+/// borrowed-options signatures.
+fn spec_with(options: &ReportOptions, recover: bool) -> ReportSpec {
+    ReportSpec {
+        options: options.clone(),
+        recover,
+        threads: 0,
     }
 }
 
@@ -381,7 +547,9 @@ mod tests {
     #[test]
     fn end_to_end_vertical_profile() {
         let mut machine = Machine::new(MachineConfig::default());
-        let viprof = Viprof::start(&mut machine, OpConfig::figure1(20_000, 400));
+        let viprof = Viprof::builder()
+            .config(OpConfig::figure1(20_000, 400))
+            .start(&mut machine);
         let mut natives = NativeRegistry::new();
         let program = bench_program(&mut natives);
         let agent = viprof.make_agent();
@@ -414,8 +582,9 @@ mod tests {
         drop(ast);
 
         // The merged report resolves JIT methods by name.
-        let report =
-            Viprof::report(&db, &machine.kernel, &ReportOptions::default()).unwrap();
+        let report = Viprof::make_report(&db, &machine.kernel, &ReportSpec::default())
+            .unwrap()
+            .lines;
         let jit_rows: Vec<_> = report
             .rows
             .iter()
@@ -461,8 +630,10 @@ mod tests {
             .with_overflow_bursts(0.25, 2)
             .with_lost_maps(0.5)
             .with_garbled_lines(0.25);
-        let viprof =
-            Viprof::start_with_faults(&mut machine, OpConfig::time_at(20_000), &plan);
+        let viprof = Viprof::builder()
+            .config(OpConfig::time_at(20_000))
+            .faults(&plan)
+            .start(&mut machine);
         let mut natives = NativeRegistry::new();
         let program = bench_program(&mut natives);
         let mut vm = Vm::boot(
@@ -482,12 +653,50 @@ mod tests {
         // Forced drops are counted, never silent.
         assert!(db.dropped >= drv.forced_drops, "db.dropped {}", db.dropped);
 
-        let (report, q) =
-            Viprof::report_with_quality(&db, &machine.kernel, &ReportOptions::default())
-                .unwrap();
+        let rep =
+            Viprof::make_report(&db, &machine.kernel, &ReportSpec::default()).unwrap();
+        let (report, q) = (rep.lines, rep.quality);
         assert_eq!(q.accounted(), db.total_samples());
         assert_eq!(q.dropped, db.dropped);
         assert!(!report.rows.is_empty());
+    }
+
+    #[test]
+    fn builder_toggles_supervision_and_journaling() {
+        // supervised(true) without a plan installs the default
+        // watchdog; journal(true) reaches both the daemon and the
+        // agents this session builds.
+        let mut machine = Machine::new(MachineConfig::default());
+        let viprof = Viprof::builder()
+            .config(OpConfig::time_at(20_000))
+            .journal(true)
+            .supervised(true)
+            .start(&mut machine);
+        let mut natives = NativeRegistry::new();
+        let program = bench_program(&mut natives);
+        let mut vm = Vm::boot(
+            &mut machine,
+            program,
+            natives,
+            vm_config(96 * 1024),
+            Box::new(viprof.make_agent()),
+        );
+        vm.run(&mut machine);
+        vm.shutdown(&mut machine);
+        let db = viprof.stop(&mut machine);
+        assert!(viprof.supervisor_stats().is_some(), "watchdog installed");
+        let replayed =
+            crate::recover::recover_sample_db(&machine.kernel.vfs).expect("journaling on");
+        assert_eq!(replayed.db, db);
+
+        // supervised(false) overrides a config that asked for one.
+        let mut machine = Machine::new(MachineConfig::default());
+        let viprof = Viprof::builder()
+            .config(OpConfig::time_at(20_000).with_supervisor(SupervisorConfig::default()))
+            .supervised(false)
+            .start(&mut machine);
+        assert!(viprof.supervisor_stats().is_none());
+        viprof.stop(&mut machine);
     }
 
     #[test]
@@ -551,8 +760,9 @@ mod tests {
                         mapwrite_per_entry_cycles: 420,
                         ..sim_cpu::CostModel::default()
                     };
-                    let vp =
-                        Viprof::start(&mut machine, OpConfig::time_at(90_000).with_cost(cost));
+                    let vp = Viprof::builder()
+                        .config(OpConfig::time_at(90_000).with_cost(cost))
+                        .start(&mut machine);
                     let hooks = Box::new(vp.make_agent());
                     let mut vm = Vm::boot(
                         &mut machine,
@@ -602,7 +812,9 @@ mod tests {
     #[test]
     fn export_manifest_catches_bit_rot_and_deletion() {
         let mut machine = Machine::new(MachineConfig::default());
-        let viprof = Viprof::start(&mut machine, OpConfig::time_at(20_000));
+        let viprof = Viprof::builder()
+            .config(OpConfig::time_at(20_000))
+            .start(&mut machine);
         let mut natives = NativeRegistry::new();
         let program = bench_program(&mut natives);
         let mut vm = Vm::boot(
@@ -655,11 +867,11 @@ mod tests {
         // sample, and the sample journal must replay to the final db.
         let mut machine = Machine::new(MachineConfig::default());
         let plan = FaultPlan::new(11).with_torn_maps(1.0);
-        let viprof = Viprof::start_with_faults(
-            &mut machine,
-            OpConfig::time_at(20_000).with_journal(),
-            &plan,
-        );
+        let viprof = Viprof::builder()
+            .config(OpConfig::time_at(20_000))
+            .journal(true)
+            .faults(&plan)
+            .start(&mut machine);
         let mut natives = NativeRegistry::new();
         let program = bench_program(&mut natives);
         let mut vm = Vm::boot(
@@ -674,12 +886,13 @@ mod tests {
         let db = viprof.stop(&mut machine);
         assert!(viprof.map_fault_stats().unwrap().torn_maps > 0);
 
-        let (_, degraded) =
-            Viprof::report_with_quality(&db, &machine.kernel, &ReportOptions::default())
-                .unwrap();
-        let (report, q, rec) =
-            Viprof::report_with_recovery(&db, &machine.kernel, &ReportOptions::default())
-                .unwrap();
+        let degraded = Viprof::make_report(&db, &machine.kernel, &ReportSpec::default())
+            .unwrap()
+            .quality;
+        let recovered =
+            Viprof::make_report(&db, &machine.kernel, &ReportSpec::recovered()).unwrap();
+        let (report, q) = (recovered.lines, recovered.quality);
+        let rec = recovered.recovery.expect("recover spec returns a recovery report");
         assert!(rec.journals_scanned >= 1, "{rec:?}");
         assert!(rec.records_replayed > 0, "{rec:?}");
         assert!(q.resolved >= degraded.resolved);

@@ -46,7 +46,7 @@ pub struct ReportRow {
 }
 
 /// A rendered profile.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct Report {
     pub events: Vec<HwEvent>,
     pub totals: Vec<u64>,
@@ -156,15 +156,11 @@ pub fn bucket_label(bucket: &crate::samples::SampleBucket, kernel: &Kernel) -> (
     }
 }
 
-/// Aggregate a sample DB into a report using a custom bucket labeller.
-/// `opreport` uses [`bucket_label`]; VIProf passes a labeller that
-/// resolves boot-image and JIT buckets first.
-pub fn aggregate(
-    db: &SampleDb,
-    options: &ReportOptions,
-    mut labeller: impl FnMut(&crate::samples::SampleBucket) -> (String, String),
-) -> Report {
-    // Event order: explicit, or discovered (cycles first).
+/// Event columns and their totals for a database under `options` —
+/// the first step of [`aggregate`], exposed so external aggregators
+/// (VIProf's sharded resolution engine) share the exact same column
+/// selection: explicit order, or discovered with cycles first.
+pub fn report_events(db: &SampleDb, options: &ReportOptions) -> (Vec<HwEvent>, Vec<u64>) {
     let events: Vec<HwEvent> = options.events.clone().unwrap_or_else(|| {
         let mut evs: Vec<HwEvent> = HwEvent::ALL
             .iter()
@@ -175,16 +171,20 @@ pub fn aggregate(
         evs
     });
     let totals: Vec<u64> = events.iter().map(|e| db.total(*e)).collect();
+    (events, totals)
+}
 
-    let mut agg: HashMap<(String, String), Vec<u64>> = HashMap::new();
-    for (bucket, count) in db.iter() {
-        let Some(col) = events.iter().position(|e| *e == bucket.event) else {
-            continue;
-        };
-        let key = labeller(bucket);
-        agg.entry(key).or_insert_with(|| vec![0; events.len()])[col] += count;
-    }
-
+/// Finish a report from pre-aggregated `(image, symbol) → per-event
+/// counts`: percentage computation, deterministic row ordering, the
+/// min-percent filter and row cap — exactly the shaping [`aggregate`]
+/// performs, exposed so external aggregators produce bit-identical
+/// reports.
+pub fn finish_report(
+    events: Vec<HwEvent>,
+    totals: Vec<u64>,
+    agg: HashMap<(String, String), Vec<u64>>,
+    options: &ReportOptions,
+) -> Report {
     let mut rows: Vec<ReportRow> = agg
         .into_iter()
         .map(|((image, symbol), counts)| {
@@ -217,6 +217,26 @@ pub fn aggregate(
         totals,
         rows,
     }
+}
+
+/// Aggregate a sample DB into a report using a custom bucket labeller.
+/// `opreport` uses [`bucket_label`]; VIProf passes a labeller that
+/// resolves boot-image and JIT buckets first.
+pub fn aggregate(
+    db: &SampleDb,
+    options: &ReportOptions,
+    mut labeller: impl FnMut(&crate::samples::SampleBucket) -> (String, String),
+) -> Report {
+    let (events, totals) = report_events(db, options);
+    let mut agg: HashMap<(String, String), Vec<u64>> = HashMap::new();
+    for (bucket, count) in db.iter() {
+        let Some(col) = events.iter().position(|e| *e == bucket.event) else {
+            continue;
+        };
+        let key = labeller(bucket);
+        agg.entry(key).or_insert_with(|| vec![0; events.len()])[col] += count;
+    }
+    finish_report(events, totals, agg, options)
 }
 
 /// Resolve a sample-db into a stock opreport.

@@ -142,6 +142,12 @@ pub fn run_benchmark(
 
     let precise = matches!(&profiler, ProfilerKind::ViprofPreciseMoves(_));
     let supervised = matches!(&profiler, ProfilerKind::ViprofSupervised(..));
+    let fault_plan = match &profiler {
+        ProfilerKind::ViprofFaulty(_, fp) | ProfilerKind::ViprofSupervised(_, fp) => {
+            Some(fp.clone())
+        }
+        _ => None,
+    };
     let (vm_stats, db, driver, agent, faults, supervisor) = match profiler {
         ProfilerKind::None => {
             let stats = execute_plan(&mut machine, built, plan, Box::new(NullHooks));
@@ -153,46 +159,35 @@ pub fn run_benchmark(
             let db = op.stop(&mut machine);
             (stats, Some(db), Some(op.driver_stats()), None, None, None)
         }
-        ProfilerKind::Viprof(config) | ProfilerKind::ViprofPreciseMoves(config) => {
-            let vp = Viprof::start(&mut machine, config);
+        // Every VIProf flavour is one builder chain now: faults and
+        // supervision are orthogonal toggles, not enum plumbing.
+        ProfilerKind::Viprof(config)
+        | ProfilerKind::ViprofPreciseMoves(config)
+        | ProfilerKind::ViprofFaulty(config, _)
+        | ProfilerKind::ViprofSupervised(config, _) => {
+            let mut builder = Viprof::builder().config(config);
+            if let Some(fp) = &fault_plan {
+                builder = builder.faults(fp);
+            }
+            if supervised {
+                builder = builder.journal(true).supervised(true);
+            }
+            let vp = builder.start(&mut machine);
             let agent = vp.make_agent_with(precise);
             let agent_stats = agent.stats_handle();
             let stats = execute_plan(&mut machine, built, plan, Box::new(agent));
             let db = vp.stop(&mut machine);
-            (
-                stats,
-                Some(db),
-                Some(vp.driver_stats()),
-                Some(agent_stats),
-                None,
-                None,
-            )
-        }
-        ProfilerKind::ViprofFaulty(config, fault_plan)
-        | ProfilerKind::ViprofSupervised(config, fault_plan) => {
-            let config = if supervised {
-                config
-                    .with_journal()
-                    .with_supervisor(fault_plan.supervisor_config())
-            } else {
-                config
-            };
-            let vp = Viprof::start_with_faults(&mut machine, config, &fault_plan);
-            let agent = vp.make_agent_with(false);
-            let agent_stats = agent.stats_handle();
-            let stats = execute_plan(&mut machine, built, plan, Box::new(agent));
-            let db = vp.stop(&mut machine);
-            let report = FaultReport {
+            let report = fault_plan.is_some().then(|| FaultReport {
                 driver: vp.driver_fault_stats().unwrap_or_default(),
                 daemon: vp.daemon_fault_stats().unwrap_or_default(),
                 maps: vp.map_fault_stats().unwrap_or_default(),
-            };
+            });
             (
                 stats,
                 Some(db),
                 Some(vp.driver_stats()),
                 Some(agent_stats),
-                Some(report),
+                report,
                 vp.supervisor_stats(),
             )
         }

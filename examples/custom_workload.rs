@@ -13,7 +13,7 @@ use viprof_repro::sim_jvm::{
 };
 use viprof_repro::sim_os::{Machine, MachineConfig};
 use viprof_repro::viprof::codemap::CodeMapSet;
-use viprof_repro::viprof::Viprof;
+use viprof_repro::viprof::{ReportSpec, Viprof};
 
 fn main() {
     let mut b = ProgramBuilder::new();
@@ -62,7 +62,9 @@ fn main() {
     let program = b.build().unwrap();
 
     let mut machine = Machine::new(MachineConfig::default());
-    let viprof = Viprof::start(&mut machine, OpConfig::time_at(30_000));
+    let viprof = Viprof::builder()
+        .config(OpConfig::time_at(30_000))
+        .start(&mut machine);
     let mut vm = Vm::boot(
         &mut machine,
         program,
@@ -115,14 +117,18 @@ fn main() {
         println!("  {e}");
     }
 
-    let report = Viprof::report(
+    let report = Viprof::make_report(
         &db,
         &machine.kernel,
-        &ReportOptions {
-            min_primary_percent: 0.5,
-            ..ReportOptions::default()
+        &ReportSpec {
+            options: ReportOptions {
+                min_primary_percent: 0.5,
+                ..ReportOptions::default()
+            },
+            ..ReportSpec::default()
         },
     )
-    .unwrap();
+    .unwrap()
+    .lines;
     println!("\n{}", report.render_text());
 }

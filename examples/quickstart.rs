@@ -10,14 +10,16 @@ use viprof_repro::sim_jvm::{
     ClassId, MethodAsm, NativeFn, NativeRegistry, Op, ProgramBuilder, Vm, VmConfig,
 };
 use viprof_repro::sim_os::{Machine, MachineConfig};
-use viprof_repro::viprof::Viprof;
+use viprof_repro::viprof::{ReportSpec, Viprof};
 
 fn main() {
     // 1. A machine: 3.4 GHz CPU + Linux-like kernel, as in the paper.
     let mut machine = Machine::new(MachineConfig::default());
 
     // 2. Start VIProf: cycle samples every 90K cycles plus L2 misses.
-    let viprof = Viprof::start(&mut machine, OpConfig::figure1(90_000, 2_000));
+    let viprof = Viprof::builder()
+        .config(OpConfig::figure1(90_000, 2_000))
+        .start(&mut machine);
 
     // 3. A little program: a hot loop, some allocation, and a memset.
     let mut natives = NativeRegistry::new();
@@ -64,15 +66,19 @@ fn main() {
 
     // 6. Post-process: JIT samples resolve to method names via the
     //    epoch code maps, VM internals via RVM.map.
-    let report = Viprof::report(
+    let report = Viprof::make_report(
         &db,
         &machine.kernel,
-        &ReportOptions {
-            min_primary_percent: 0.2,
-            ..ReportOptions::default()
+        &ReportSpec {
+            options: ReportOptions {
+                min_primary_percent: 0.2,
+                ..ReportOptions::default()
+            },
+            ..ReportSpec::default()
         },
     )
-    .expect("post-processing");
+    .expect("post-processing")
+    .lines;
 
     println!(
         "simulated {:.1} ms, {} samples, {} GC epochs\n",

@@ -8,7 +8,7 @@
 
 use viprof_repro::oprofile::{opreport, OpConfig, ReportOptions};
 use viprof_repro::sim_os::{Machine, MachineConfig};
-use viprof_repro::viprof::Viprof;
+use viprof_repro::viprof::{ReportSpec, Viprof};
 use viprof_repro::workloads::{
     calibrate, find_benchmark, programs, run_benchmark, runner, ProfilerKind,
 };
@@ -40,8 +40,16 @@ fn main() {
 
     // --- VIProf: same workload, every layer resolved ---
     let run = run_benchmark(&built, &plan, ProfilerKind::Viprof(config.clone()), 7, true);
-    let report = Viprof::report(run.db.as_ref().unwrap(), &run.machine.kernel, &opts)
-        .expect("post-processing");
+    let report = Viprof::make_report(
+        run.db.as_ref().unwrap(),
+        &run.machine.kernel,
+        &ReportSpec {
+            options: opts.clone(),
+            ..ReportSpec::default()
+        },
+    )
+    .expect("post-processing")
+    .lines;
     println!("\n=== What VIProf sees (same run) ===\n");
     print!("{}", report.render_text());
 
@@ -51,7 +59,7 @@ fn main() {
         seed: 7,
         ..MachineConfig::default()
     });
-    let vp = Viprof::start(&mut machine, config);
+    let vp = Viprof::builder().config(config).start(&mut machine);
     runner::execute_plan(&mut machine, &built, &plan, Box::new(vp.make_agent()));
     vp.stop(&mut machine);
     println!("\n=== Call-sequence profile across layers ===\n");

@@ -1,0 +1,222 @@
+//! Deprecation-shim equivalence: every `#[deprecated]` entrypoint must
+//! be a behaviour-preserving wrapper over its builder/options
+//! replacement. Same seed, same workload → bit-identical sample
+//! databases, cycle counts, quality accounting and rendered report
+//! bytes.
+#![allow(deprecated)]
+
+use viprof_repro::oprofile::{OpConfig, ReportOptions, SampleDb, SupervisorConfig};
+use viprof_repro::sim_os::{Machine, MachineConfig};
+use viprof_repro::viprof::resolve::ResolveOptions;
+use viprof_repro::viprof::{
+    viprof_report, FaultPlan, ReportSpec, ResolutionEngine, Viprof, ViprofResolver,
+};
+use viprof_repro::workloads::runner::execute_plan;
+use viprof_repro::workloads::{calibrate, find_benchmark, programs, BuiltWorkload, WorkPlan};
+
+const SEED: u64 = 9;
+
+fn small_workload() -> (BuiltWorkload, WorkPlan) {
+    let mut params = find_benchmark("fop").expect("benchmark exists");
+    params.support_methods = params.support_methods.min(120);
+    params.heap_mb = 2;
+    let built = programs::build(&params);
+    let plan = calibrate(&built, 0.02);
+    (built, plan)
+}
+
+/// Drive one full session with `start` supplying the profiler; returns
+/// everything equivalence needs to compare.
+fn run_session(
+    built: &BuiltWorkload,
+    plan: &WorkPlan,
+    start: impl FnOnce(&mut Machine) -> Viprof,
+) -> (SampleDb, u64, Machine) {
+    let mut machine = Machine::new(MachineConfig {
+        seed: SEED,
+        ..MachineConfig::default()
+    });
+    let vp = start(&mut machine);
+    execute_plan(&mut machine, built, plan, Box::new(vp.make_agent()));
+    let db = vp.stop(&mut machine);
+    (db, machine.cpu.clock.cycles(), machine)
+}
+
+#[test]
+fn start_shim_equals_builder() {
+    let (built, plan) = small_workload();
+    let (db_old, cycles_old, _) = run_session(&built, &plan, |m| {
+        Viprof::start(m, OpConfig::time_at(60_000))
+    });
+    let (db_new, cycles_new, _) = run_session(&built, &plan, |m| {
+        Viprof::builder().config(OpConfig::time_at(60_000)).start(m)
+    });
+    assert_eq!(cycles_old, cycles_new);
+    assert_eq!(db_old, db_new);
+}
+
+#[test]
+fn start_with_faults_shim_equals_builder() {
+    let (built, plan) = small_workload();
+    let fp = FaultPlan::new(21)
+        .with_overflow_bursts(0.2, 2)
+        .with_lost_maps(0.4)
+        .with_garbled_lines(0.2);
+    let (db_old, cycles_old, _) = run_session(&built, &plan, |m| {
+        Viprof::start_with_faults(m, OpConfig::time_at(60_000), &fp)
+    });
+    let (db_new, cycles_new, _) = run_session(&built, &plan, |m| {
+        Viprof::builder()
+            .config(OpConfig::time_at(60_000))
+            .faults(&fp)
+            .start(m)
+    });
+    assert_eq!(cycles_old, cycles_new);
+    assert_eq!(db_old, db_new);
+}
+
+#[test]
+fn manual_supervised_config_equals_builder_toggles() {
+    // The pre-builder idiom: hand-chain with_journal + with_supervisor
+    // onto the config before start_with_faults. The builder spelling
+    // must reproduce it bit for bit.
+    let (built, plan) = small_workload();
+    let fp = FaultPlan::new(33).with_daemon_crash(3, 2).with_torn_maps(0.5);
+    let (db_old, cycles_old, m_old) = run_session(&built, &plan, |m| {
+        Viprof::start_with_faults(
+            m,
+            OpConfig::time_at(60_000)
+                .with_journal()
+                .with_supervisor(fp.supervisor_config()),
+            &fp,
+        )
+    });
+    let (db_new, cycles_new, m_new) = run_session(&built, &plan, |m| {
+        Viprof::builder()
+            .config(OpConfig::time_at(60_000))
+            .journal(true)
+            .supervised(true)
+            .faults(&fp)
+            .start(m)
+    });
+    assert_eq!(cycles_old, cycles_new);
+    assert_eq!(db_old, db_new);
+    // The recovered reports agree byte for byte as well.
+    let old = Viprof::make_report(&db_old, &m_old.kernel, &ReportSpec::recovered()).unwrap();
+    let new = Viprof::make_report(&db_new, &m_new.kernel, &ReportSpec::recovered()).unwrap();
+    assert_eq!(old, new);
+}
+
+#[test]
+fn supervised_false_override_differs_from_supervised_config() {
+    // Sanity that the toggle actually reaches the supervisor: forcing
+    // it off beats a config that asked for one.
+    let (built, plan) = small_workload();
+    let mut machine = Machine::new(MachineConfig {
+        seed: SEED,
+        ..MachineConfig::default()
+    });
+    let vp = Viprof::builder()
+        .config(OpConfig::time_at(60_000).with_supervisor(SupervisorConfig::default()))
+        .supervised(false)
+        .start(&mut machine);
+    execute_plan(&mut machine, &built, &plan, Box::new(vp.make_agent()));
+    vp.stop(&mut machine);
+    assert!(vp.supervisor_stats().is_none());
+}
+
+#[test]
+fn report_shims_equal_make_report() {
+    let (built, plan) = small_workload();
+    let (db, _, machine) = run_session(&built, &plan, |m| {
+        Viprof::builder().config(OpConfig::time_at(60_000)).start(m)
+    });
+    let kernel = &machine.kernel;
+    let options = ReportOptions {
+        min_primary_percent: 0.05,
+        ..ReportOptions::default()
+    };
+    let spec = ReportSpec {
+        options: options.clone(),
+        ..ReportSpec::default()
+    };
+    let unified = Viprof::make_report(&db, kernel, &spec).unwrap();
+
+    let old = Viprof::report(&db, kernel, &options).unwrap();
+    assert_eq!(old, unified.lines);
+    assert_eq!(old.render_text(), unified.lines.render_text());
+    assert_eq!(old.render_csv(), unified.lines.render_csv());
+
+    let (old_r, old_q) = Viprof::report_with_quality(&db, kernel, &options).unwrap();
+    assert_eq!(old_r, unified.lines);
+    assert_eq!(old_q, unified.quality);
+}
+
+#[test]
+fn recovery_shim_equals_make_report_recovered() {
+    let (built, plan) = small_workload();
+    let fp = FaultPlan::new(11).with_torn_maps(1.0);
+    let (db, _, machine) = run_session(&built, &plan, |m| {
+        Viprof::builder()
+            .config(OpConfig::time_at(60_000))
+            .journal(true)
+            .faults(&fp)
+            .start(m)
+    });
+    let kernel = &machine.kernel;
+    let options = ReportOptions::default();
+    let unified = Viprof::make_report(
+        &db,
+        kernel,
+        &ReportSpec {
+            options: options.clone(),
+            recover: true,
+            threads: 0,
+        },
+    )
+    .unwrap();
+    let (old_r, old_q, old_rec) = Viprof::report_with_recovery(&db, kernel, &options).unwrap();
+    assert_eq!(old_r, unified.lines);
+    assert_eq!(old_r.render_text(), unified.lines.render_text());
+    assert_eq!(old_q, unified.quality);
+    assert_eq!(Some(old_rec), unified.recovery);
+}
+
+#[test]
+fn resolver_load_shims_equal_load_with() {
+    let (built, plan) = small_workload();
+    let fp = FaultPlan::new(11).with_torn_maps(1.0);
+    let (db, _, machine) = run_session(&built, &plan, |m| {
+        Viprof::builder()
+            .config(OpConfig::time_at(60_000))
+            .journal(true)
+            .faults(&fp)
+            .start(m)
+    });
+    let kernel = &machine.kernel;
+    let options = ReportOptions::default();
+
+    let old = ViprofResolver::load(kernel).unwrap();
+    let (new, rec) = ViprofResolver::load_with(kernel, ResolveOptions::default()).unwrap();
+    assert_eq!(rec, Default::default(), "plain load reports no recovery");
+    assert_eq!(old.quality(&db), new.quality(&db));
+    assert_eq!(
+        viprof_report(&db, kernel, &old, &options),
+        viprof_report(&db, kernel, &new, &options)
+    );
+
+    let (old_rec, old_rep) = ViprofResolver::load_recovered(kernel).unwrap();
+    let (new_rec, new_rep) =
+        ViprofResolver::load_with(kernel, ResolveOptions::recovered()).unwrap();
+    assert_eq!(old_rep, new_rep);
+    assert_eq!(old_rec.quality(&db), new_rec.quality(&db));
+    assert_eq!(
+        viprof_report(&db, kernel, &old_rec, &options),
+        viprof_report(&db, kernel, &new_rec, &options)
+    );
+    // And the engine built from either recovered resolver agrees.
+    assert_eq!(
+        ResolutionEngine::build(&old_rec).quality(&db, 4),
+        new_rec.quality(&db)
+    );
+}

@@ -16,8 +16,10 @@
 
 use viprof_repro::oprofile::{OpConfig, ReportOptions, SampleOrigin};
 use viprof_repro::viprof::codemap::JIT_MAP_DIR;
+use viprof_repro::viprof::resolve::ResolveOptions;
 use viprof_repro::viprof::{
-    recover_sample_db, FaultPlan, RecoveryReport, ResolutionQuality, Viprof,
+    recover_sample_db, viprof_report, FaultPlan, RecoveryReport, ReportSpec, ResolutionEngine,
+    ResolutionQuality, Viprof, ViprofResolver,
 };
 use viprof_repro::workloads::{
     calibrate, find_benchmark, programs, run_benchmark, BuiltWorkload, ProfilerKind, RunOutcome,
@@ -25,6 +27,8 @@ use viprof_repro::workloads::{
 };
 
 const PERIOD: u64 = 60_000;
+/// Shard count used for the multi-threaded leg of every scenario.
+const SHARDS: usize = 4;
 
 fn small_workload() -> (BuiltWorkload, WorkPlan) {
     let mut params = find_benchmark("fop").expect("benchmark exists");
@@ -35,31 +39,72 @@ fn small_workload() -> (BuiltWorkload, WorkPlan) {
     (built, plan)
 }
 
-/// Post-process a finished run and enforce the accounting contract
-/// every faulted run must satisfy: quality buckets sum to exactly the
-/// emitted sample count, and the drop counter matches the database's.
+/// Post-process a finished run three ways — reference epoch walk,
+/// flattened engine single-threaded, flattened engine sharded — and
+/// enforce two contracts on every fault scenario in the matrix:
+///
+/// * accounting: quality buckets sum to exactly the emitted sample
+///   count, and the drop counter matches the database's;
+/// * bit-identity: all three paths produce the same report rows and
+///   the same `ResolutionQuality`.
 fn quality_of(out: &RunOutcome) -> ResolutionQuality {
     let db = out.db.as_ref().expect("profiled run");
-    let (report, q) =
-        Viprof::report_with_quality(db, &out.machine.kernel, &ReportOptions::default())
-            .expect("degraded sessions still report");
+    let kernel = &out.machine.kernel;
+    let options = ReportOptions::default();
+    // Reference: the legacy per-bucket epoch walk.
+    let (resolver, _) = ViprofResolver::load_with(kernel, ResolveOptions::default())
+        .expect("degraded sessions still report");
+    let walk_report = viprof_report(db, kernel, &resolver, &options);
+    let walk_q = resolver.quality(db);
+    // Production: flattened index, single-threaded and sharded.
+    let single = Viprof::make_report(db, kernel, &ReportSpec::default())
+        .expect("degraded sessions still report");
+    let sharded = Viprof::make_report(db, kernel, &ReportSpec::default().threads(SHARDS))
+        .expect("degraded sessions still report");
+    assert_eq!(single.lines, walk_report, "flattened vs walk report");
+    assert_eq!(single.quality, walk_q, "flattened vs walk quality");
+    assert_eq!(sharded.lines, walk_report, "sharded vs walk report");
+    assert_eq!(sharded.quality, walk_q, "sharded vs walk quality");
+    let q = single.quality;
     assert_eq!(q.accounted(), db.total_samples(), "unaccounted samples: {q:?}");
     assert_eq!(q.dropped, db.dropped, "silent drops: {q:?}");
     // Rendering must not panic either, however damaged the session.
-    let _ = report.render_text();
+    let _ = single.lines.render_text();
     q
 }
 
 /// Post-process with the journal-replay recovery pass, enforcing the
-/// same accounting contract on the recovered quality report.
+/// same accounting and three-way bit-identity contracts on the
+/// recovered state.
 fn recovery_of(out: &RunOutcome) -> (ResolutionQuality, RecoveryReport) {
     let db = out.db.as_ref().expect("profiled run");
-    let (report, q, rec) =
-        Viprof::report_with_recovery(db, &out.machine.kernel, &ReportOptions::default())
-            .expect("recovery still reports");
+    let kernel = &out.machine.kernel;
+    let options = ReportOptions::default();
+    let (resolver, _) = ViprofResolver::load_with(kernel, ResolveOptions::recovered())
+        .expect("recovery still reports");
+    let walk_report = viprof_report(db, kernel, &resolver, &options);
+    let walk_q = resolver.quality(db);
+    let single =
+        Viprof::make_report(db, kernel, &ReportSpec::recovered()).expect("recovery still reports");
+    let sharded = Viprof::make_report(db, kernel, &ReportSpec::recovered().threads(SHARDS))
+        .expect("recovery still reports");
+    assert_eq!(single.lines, walk_report, "recovered flattened vs walk report");
+    assert_eq!(single.quality, walk_q, "recovered flattened vs walk quality");
+    assert_eq!(sharded.lines, walk_report, "recovered sharded vs walk report");
+    assert_eq!(sharded.quality, walk_q, "recovered sharded vs walk quality");
+    // The engine built directly from the recovered resolver agrees too.
+    let engine = ResolutionEngine::build(&resolver);
+    assert_eq!(engine.quality(db, SHARDS), walk_q, "direct engine quality");
+    let q = single.quality;
+    let rec = single.recovery.expect("recover spec returns a recovery report");
+    assert_eq!(
+        rec,
+        sharded.recovery.expect("sharded recovery report"),
+        "recovery report must not depend on shard count"
+    );
     assert_eq!(q.accounted(), db.total_samples(), "unaccounted after recovery: {q:?}");
     assert_eq!(q.dropped, db.dropped, "silent drops after recovery: {q:?}");
-    let _ = report.render_text();
+    let _ = single.lines.render_text();
     (q, rec)
 }
 

@@ -4,7 +4,7 @@
 use viprof_repro::oprofile::{opreport, OpConfig, Oprofile, ReportOptions, SampleDb};
 use viprof_repro::sim_cpu::HwEvent;
 use viprof_repro::viprof::codemap::CodeMapSet;
-use viprof_repro::viprof::Viprof;
+use viprof_repro::viprof::{ReportSpec, Viprof};
 use viprof_repro::workloads::{
     calibrate, find_benchmark, programs, run_benchmark, BuiltWorkload, ProfilerKind, WorkPlan,
 };
@@ -62,7 +62,9 @@ fn report_percentages_are_consistent() {
         true,
     );
     let db = out.db.as_ref().unwrap();
-    let report = Viprof::report(db, &out.machine.kernel, &ReportOptions::default()).unwrap();
+    let report = Viprof::make_report(db, &out.machine.kernel, &ReportSpec::default())
+        .unwrap()
+        .lines;
     assert_eq!(report.events, vec![HwEvent::Cycles, HwEvent::L2Miss]);
     // Unfiltered percentages sum to 100 per event column.
     for col in 0..report.events.len() {
@@ -145,7 +147,9 @@ fn profiler_sessions_are_serially_reusable() {
     let db1 = op.stop(&mut machine);
     assert!(db1.total_samples() > 0);
 
-    let vp = Viprof::start(&mut machine, OpConfig::time_at(50_000));
+    let vp = Viprof::builder()
+        .config(OpConfig::time_at(50_000))
+        .start(&mut machine);
     let mut vm2 = viprof_repro::sim_jvm::Vm::boot(
         &mut machine,
         built.program.clone(),
@@ -191,8 +195,9 @@ fn exported_session_reports_identically_offline() {
         true,
     );
     let db = out.db.clone().unwrap();
-    let live_report =
-        Viprof::report(&db, &out.machine.kernel, &ReportOptions::default()).unwrap();
+    let live_report = Viprof::make_report(&db, &out.machine.kernel, &ReportSpec::default())
+        .unwrap()
+        .lines;
 
     let dir = std::env::temp_dir().join(format!("viprof-session-test-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -204,7 +209,9 @@ fn exported_session_reports_identically_offline() {
         .expect("db persisted in session");
     let db2 = SampleDb::from_bytes(raw).unwrap();
     assert_eq!(db2, db);
-    let offline_report = Viprof::report(&db2, &kernel, &ReportOptions::default()).unwrap();
+    let offline_report = Viprof::make_report(&db2, &kernel, &ReportSpec::default())
+        .unwrap()
+        .lines;
     assert_eq!(offline_report.rows, live_report.rows);
     assert_eq!(offline_report.totals, live_report.totals);
     std::fs::remove_dir_all(&dir).unwrap();

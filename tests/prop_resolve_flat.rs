@@ -1,0 +1,141 @@
+//! Property tests for the flattened epoch interval index and the
+//! sharded resolution engine: on *random map chains* — overlapping
+//! entries, duplicate start addresses, zero-sized bodies, duplicate
+//! epochs, sparse chains — the flattened index must reproduce the
+//! legacy backward walk and forward salvage **exactly**, including the
+//! stale-epoch classification; and the engine must produce the same
+//! labels, quality and report as the reference resolver for every
+//! shard count.
+
+use proptest::prelude::*;
+use viprof_repro::oprofile::{SampleBucket, SampleDb, SampleOrigin};
+use viprof_repro::sim_cpu::HwEvent;
+use viprof_repro::sim_os::Kernel;
+use viprof_repro::viprof::codemap::{map_path, render_map, CodeMapEntry, CodeMapSet, EpochMap};
+use viprof_repro::viprof::resolve::ResolveOptions;
+use viprof_repro::viprof::{viprof_report, FlatIndex, ResolutionEngine, ViprofResolver};
+
+const SIGS: [&str; 5] = [
+    "app.A.run",
+    "app.B.step",
+    "app.C.scan",
+    "app.D.gc",
+    "app.E.init",
+];
+
+fn entry_strategy() -> impl Strategy<Value = CodeMapEntry> {
+    (0u64..0x2000, 0u64..0x200, 0usize..SIGS.len()).prop_map(|(addr, size, sig)| CodeMapEntry {
+        addr,
+        size,
+        level: "O1".to_string(),
+        signature: SIGS[sig].to_string(),
+    })
+}
+
+/// Random epoch-map chains; epochs may repeat (possible through the
+/// public `CodeMapSet::new`, and the hardest case for flattening —
+/// the walk breaks ties by position, not epoch value).
+fn chain_strategy() -> impl Strategy<Value = Vec<(u64, Vec<CodeMapEntry>)>> {
+    prop::collection::vec(
+        (0u64..12, prop::collection::vec(entry_strategy(), 0..8)),
+        0..6,
+    )
+}
+
+fn queries_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0u64..0x2400, 0u64..14), 1..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn flattened_index_matches_the_epoch_walk(
+        chain in chain_strategy(),
+        queries in queries_strategy(),
+    ) {
+        let set = CodeMapSet::new(
+            chain
+                .into_iter()
+                .map(|(epoch, entries)| EpochMap::new(epoch, entries))
+                .collect(),
+        );
+        let flat = FlatIndex::build(&set);
+        for (pc, epoch) in queries {
+            // Backward walk only.
+            let walk = set.resolve(pc, epoch).map(|e| e.signature.as_str());
+            let fast = flat.resolve(pc, epoch).map(|s| s.as_ref());
+            prop_assert_eq!(walk, fast, "resolve(pc={:#x}, epoch={})", pc, epoch);
+            // Walk + forward salvage, with the stale flag.
+            let walk = set
+                .resolve_salvage(pc, epoch)
+                .map(|(e, stale)| (e.signature.as_str(), stale));
+            let fast = flat
+                .resolve_salvage(pc, epoch)
+                .map(|(s, stale)| (s.as_ref(), stale));
+            prop_assert_eq!(walk, fast, "resolve_salvage(pc={:#x}, epoch={})", pc, epoch);
+        }
+    }
+
+    #[test]
+    fn engine_matches_the_reference_resolver_on_random_sessions(
+        // On-disk chains: one file per epoch (duplicates are covered by
+        // the direct index property above).
+        maps in prop::collection::btree_map(
+            0u64..10,
+            prop::collection::vec(entry_strategy(), 0..6),
+            0..5,
+        ),
+        buckets in prop::collection::vec(
+            (0u64..0x2400, 0u64..12, 0usize..HwEvent::ALL.len(), any::<bool>(), 1u64..50),
+            0..48,
+        ),
+        dropped in 0u64..20,
+    ) {
+        let mut k = Kernel::new();
+        let pid = k.spawn("jikesrvm");
+        for (epoch, entries) in &maps {
+            k.vfs.write(
+                map_path(pid, *epoch),
+                render_map(entries).into_bytes(),
+            );
+        }
+        let mut db = SampleDb::new();
+        for (addr, epoch, ev, jit, count) in buckets {
+            let origin = if jit {
+                SampleOrigin::JitApp { pid }
+            } else {
+                SampleOrigin::Unknown
+            };
+            db.add(
+                SampleBucket { origin, event: HwEvent::ALL[ev], addr, epoch },
+                count,
+            );
+        }
+        db.dropped = dropped;
+
+        let (resolver, _) = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap();
+        let engine = ResolutionEngine::build(&resolver);
+        // Per-bucket label parity.
+        for (bucket, _) in db.iter() {
+            let (img, sym) = engine.label(bucket, &k);
+            prop_assert_eq!(
+                (img.to_string(), sym.to_string()),
+                resolver.label(bucket, &k),
+                "label diverged on {:?}",
+                bucket
+            );
+        }
+        // Whole-session parity, across shard counts.
+        let options = Default::default();
+        let walk_report = viprof_report(&db, &k, &resolver, &options);
+        let walk_q = resolver.quality(&db);
+        prop_assert_eq!(walk_q.accounted(), db.total_samples());
+        for threads in [1usize, 3, 7] {
+            let (report, q) = engine.report_with_quality(&db, &k, &options, threads);
+            prop_assert_eq!(&report, &walk_report, "report diverged at threads={}", threads);
+            prop_assert_eq!(q, walk_q, "quality diverged at threads={}", threads);
+            prop_assert_eq!(engine.quality(&db, threads), walk_q);
+        }
+    }
+}
