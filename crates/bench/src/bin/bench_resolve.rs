@@ -11,6 +11,11 @@
 //! Usage: `bench_resolve [--smoke]` — `--smoke` shrinks every scenario
 //! (and drops the 10M one) so `scripts/verify.sh` can run it as a
 //! correctness smoke test in seconds.
+//!
+//! The run also measures the cost of the self-telemetry layer on the
+//! acceptance scenario (resolve both paths with and without an
+//! attached registry) and asserts it stays under 3% — always-on
+//! telemetry is a design contract, not a hope.
 
 use oprofile::report::ReportOptions;
 use oprofile::{SampleBucket, SampleDb, SampleOrigin};
@@ -21,7 +26,8 @@ use std::time::Instant;
 use viprof::codemap::{map_path, render_map, CodeMapEntry};
 use viprof::resolve::ResolveOptions;
 use viprof::{viprof_report, ResolutionEngine, ViprofResolver};
-use viprof_bench::write_json;
+use viprof_bench::{quiet, write_json};
+use viprof_telemetry::Telemetry;
 
 /// Deterministic generator (SplitMix64) so every trial and every run
 /// resolves the exact same session.
@@ -187,6 +193,85 @@ struct BenchOutput {
     trials: u32,
     thread_counts: Vec<usize>,
     scenarios: Vec<ScenarioResult>,
+    telemetry_overhead: TelemetryOverhead,
+}
+
+/// Cost of the always-on telemetry layer on the acceptance scenario:
+/// each resolve path timed with and without an attached registry.
+#[derive(Serialize)]
+struct TelemetryOverhead {
+    scenario: String,
+    runs: u32,
+    legacy_plain_ms: f64,
+    legacy_telemetry_ms: f64,
+    legacy_overhead_pct: f64,
+    flat_plain_ms: f64,
+    flat_telemetry_ms: f64,
+    flat_overhead_pct: f64,
+}
+
+/// Overhead is a delta of two min-of-N timings, so tiny smoke runs can
+/// report wild percentages on sub-millisecond noise; an absolute slack
+/// of 0.5 ms keeps the gate meaningful at every scale.
+fn overhead_ok(plain_ms: f64, telemetry_ms: f64) -> bool {
+    let delta = telemetry_ms - plain_ms;
+    delta < 0.5 || delta / plain_ms * 100.0 < 3.0
+}
+
+/// Measure telemetry overhead on the report path of one scenario: the
+/// legacy resolver with/without a mirrored registry, and the flat
+/// engine with/without its counter bundle. Min over `runs` trials each,
+/// interleaved so cache warmth favors neither side.
+fn measure_telemetry_overhead(s: &Scenario, runs: u32) -> TelemetryOverhead {
+    let (kernel, db) = build_session(s);
+    let options = ReportOptions::default();
+
+    let (resolver_plain, _) =
+        ViprofResolver::load_with(&kernel, ResolveOptions::default()).expect("load maps");
+    let (mut resolver_tel, _) =
+        ViprofResolver::load_with(&kernel, ResolveOptions::default()).expect("load maps");
+    let legacy_registry = Telemetry::new();
+    resolver_tel.set_telemetry(&legacy_registry);
+
+    let engine_plain = ResolutionEngine::build(&resolver_plain);
+    let mut engine_tel = ResolutionEngine::build(&resolver_tel);
+    let flat_registry = Telemetry::new();
+    engine_tel.set_telemetry(&flat_registry);
+
+    let mut legacy_plain_ms = f64::INFINITY;
+    let mut legacy_telemetry_ms = f64::INFINITY;
+    let mut flat_plain_ms = f64::INFINITY;
+    let mut flat_telemetry_ms = f64::INFINITY;
+    for _ in 0..runs {
+        let t = Instant::now();
+        let _ = viprof_report(&db, &kernel, &resolver_plain, &options);
+        let _ = resolver_plain.quality(&db);
+        legacy_plain_ms = legacy_plain_ms.min(ms_since(t));
+
+        let t = Instant::now();
+        let _ = viprof_report(&db, &kernel, &resolver_tel, &options);
+        let _ = resolver_tel.quality(&db);
+        legacy_telemetry_ms = legacy_telemetry_ms.min(ms_since(t));
+
+        let t = Instant::now();
+        let _ = engine_plain.report_with_quality(&db, &kernel, &options, 1);
+        flat_plain_ms = flat_plain_ms.min(ms_since(t));
+
+        let t = Instant::now();
+        let _ = engine_tel.report_with_quality(&db, &kernel, &options, 1);
+        flat_telemetry_ms = flat_telemetry_ms.min(ms_since(t));
+    }
+
+    TelemetryOverhead {
+        scenario: s.name.to_string(),
+        runs,
+        legacy_plain_ms,
+        legacy_telemetry_ms,
+        legacy_overhead_pct: (legacy_telemetry_ms - legacy_plain_ms) / legacy_plain_ms * 100.0,
+        flat_plain_ms,
+        flat_telemetry_ms,
+        flat_overhead_pct: (flat_telemetry_ms - flat_plain_ms) / flat_plain_ms * 100.0,
+    }
 }
 
 fn run_scenario(s: &Scenario, trials: u32, thread_counts: &[usize]) -> ScenarioResult {
@@ -275,7 +360,9 @@ fn main() {
             s.samples = 20_000;
             s.methods_per_pid = s.methods_per_pid.min(256);
         }
-        eprintln!("scenario {} ({} samples)...", s.name, s.samples);
+        if !quiet() {
+            eprintln!("scenario {} ({} samples)...", s.name, s.samples);
+        }
         let r = run_scenario(&s, trials, &thread_counts);
         println!(
             "{:>18}: legacy {:>9.1} ms | flat x1 {:>9.1} ms ({:.2}x) | best {:.2}x @{} threads",
@@ -295,6 +382,38 @@ fn main() {
         scenarios.push(r);
     }
 
+    // Telemetry-overhead gate on the acceptance scenario (shrunk the
+    // same way under --smoke so the gate runs everywhere).
+    let mut accept = SCENARIOS[0];
+    if smoke {
+        accept.samples = 20_000;
+        accept.methods_per_pid = accept.methods_per_pid.min(256);
+    }
+    if !quiet() {
+        eprintln!("telemetry overhead on {}...", accept.name);
+    }
+    let overhead = measure_telemetry_overhead(&accept, trials.max(5));
+    println!(
+        "telemetry overhead ({}): legacy {:+.2}% ({:.1} -> {:.1} ms) | flat {:+.2}% ({:.1} -> {:.1} ms)",
+        overhead.scenario,
+        overhead.legacy_overhead_pct,
+        overhead.legacy_plain_ms,
+        overhead.legacy_telemetry_ms,
+        overhead.flat_overhead_pct,
+        overhead.flat_plain_ms,
+        overhead.flat_telemetry_ms,
+    );
+    assert!(
+        overhead_ok(overhead.legacy_plain_ms, overhead.legacy_telemetry_ms),
+        "legacy-path telemetry overhead exceeds 3%: {:.2}%",
+        overhead.legacy_overhead_pct
+    );
+    assert!(
+        overhead_ok(overhead.flat_plain_ms, overhead.flat_telemetry_ms),
+        "flat-path telemetry overhead exceeds 3%: {:.2}%",
+        overhead.flat_overhead_pct
+    );
+
     write_json(
         "BENCH_resolve.json",
         &BenchOutput {
@@ -302,6 +421,7 @@ fn main() {
             trials,
             thread_counts,
             scenarios,
+            telemetry_overhead: overhead,
         },
     );
 }

@@ -8,14 +8,16 @@
 //! cargo run --release -p viprof-bench --bin fig2
 //! ```
 
-use viprof_bench::{figure2_rows, measure_catalog, write_json, Fig2Config, HarnessOpts};
+use viprof_bench::{figure2_rows, measure_catalog, quiet, write_json, Fig2Config, HarnessOpts};
 
 fn main() {
     let opts = HarnessOpts::from_env();
-    eprintln!(
-        "fig2: overhead sweep, scale {} trials {} seed {}",
-        opts.scale, opts.trials, opts.seed
-    );
+    if !quiet() {
+        eprintln!(
+            "fig2: overhead sweep, scale {} trials {} seed {}",
+            opts.scale, opts.trials, opts.seed
+        );
+    }
     let measurements = measure_catalog(&Fig2Config::ALL, opts);
     let rows = figure2_rows(&measurements);
 

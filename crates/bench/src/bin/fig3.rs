@@ -6,7 +6,7 @@
 //! ```
 
 use serde::Serialize;
-use viprof_bench::{figure2_rows, measure_catalog, write_json, Fig2Config, HarnessOpts};
+use viprof_bench::{figure2_rows, measure_catalog, quiet, write_json, Fig2Config, HarnessOpts};
 
 #[derive(Serialize)]
 struct Fig3Row {
@@ -33,10 +33,12 @@ fn paper_value(name: &str) -> Option<f64> {
 
 fn main() {
     let opts = HarnessOpts::from_env();
-    eprintln!(
-        "fig3: base times, scale {} trials {} seed {}",
-        opts.scale, opts.trials, opts.seed
-    );
+    if !quiet() {
+        eprintln!(
+            "fig3: base times, scale {} trials {} seed {}",
+            opts.scale, opts.trials, opts.seed
+        );
+    }
     let measurements = measure_catalog(&[Fig2Config::Base], opts);
     let rows = figure2_rows(&measurements);
 

@@ -11,6 +11,8 @@ use crossbeam::channel;
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::OnceLock;
+use viprof_telemetry::{names, Telemetry};
 use viprof_workloads::{
     calibrate, catalog, programs, run_benchmark, BenchParams, ProfilerKind, Suite, WorkPlan,
 };
@@ -232,12 +234,38 @@ pub fn results_dir() -> PathBuf {
     p
 }
 
+/// `VIPROF_QUIET=1` silences the harness's progress chatter on stderr
+/// (the artifacts themselves are unaffected). Telemetry still records
+/// everything — `harness_telemetry()` is the quiet channel.
+pub fn quiet() -> bool {
+    static QUIET: OnceLock<bool> = OnceLock::new();
+    *QUIET.get_or_init(|| {
+        std::env::var("VIPROF_QUIET").map_or(false, |v| !v.is_empty() && v != "0")
+    })
+}
+
+/// The harness-process telemetry registry: one per process, shared by
+/// every artifact write so a run's activity can be dumped at exit.
+pub fn harness_telemetry() -> &'static Telemetry {
+    static REGISTRY: OnceLock<Telemetry> = OnceLock::new();
+    REGISTRY.get_or_init(Telemetry::new)
+}
+
 /// Persist a JSON result artifact.
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let path = results_dir().join(name);
     let data = serde_json::to_string_pretty(value).expect("serialize results");
-    std::fs::write(&path, data).expect("write results");
-    eprintln!("wrote {}", path.display());
+    std::fs::write(&path, &data).expect("write results");
+    let t = harness_telemetry();
+    t.counter(names::BENCH_ARTIFACTS_WRITTEN).inc();
+    t.event(
+        names::EVENT_BENCH_ARTIFACT,
+        &path.display().to_string(),
+        &[("bytes", data.len() as u64)],
+    );
+    if !quiet() {
+        eprintln!("wrote {}", path.display());
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +279,23 @@ mod tests {
         assert!((trimmed_mean(&xs) - 5.0).abs() < 1e-12);
         assert_eq!(trimmed_mean(&[4.0]), 4.0);
         assert_eq!(trimmed_mean(&[4.0, 6.0]), 5.0);
+    }
+
+    #[test]
+    fn write_json_records_an_artifact_event() {
+        let dir = std::env::temp_dir().join(format!("viprof-bench-results-{}", std::process::id()));
+        std::env::set_var("VIPROF_RESULTS", &dir);
+        let before = harness_telemetry()
+            .counter(names::BENCH_ARTIFACTS_WRITTEN)
+            .get();
+        write_json("telemetry-probe.json", &BTreeMap::from([("ok", 1u64)]));
+        let snap = harness_telemetry().snapshot();
+        assert_eq!(snap.counter(names::BENCH_ARTIFACTS_WRITTEN), before + 1);
+        assert!(snap
+            .events_of(names::EVENT_BENCH_ARTIFACT)
+            .iter()
+            .any(|e| e.detail.contains("telemetry-probe.json")));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -24,6 +24,28 @@ use sim_os::journal::{JournalWriter, KIND_CODE_MAP};
 use sim_os::{SplitMix64, Vfs};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+use viprof_telemetry::{names, Counter, Stage, Telemetry};
+
+/// Telemetry handles for the agent's map-write path, resolved once.
+struct AgentTelemetry {
+    registry: Telemetry,
+    maps_written: Counter,
+    map_entries: Counter,
+    gc_epochs: Counter,
+    map_write_stage: Stage,
+}
+
+impl AgentTelemetry {
+    fn attach(registry: &Telemetry) -> Self {
+        AgentTelemetry {
+            registry: registry.clone(),
+            maps_written: registry.counter(names::AGENT_MAPS_WRITTEN),
+            map_entries: registry.counter(names::AGENT_MAP_ENTRIES),
+            gc_epochs: registry.counter(names::AGENT_GC_EPOCHS),
+            map_write_stage: registry.stage(names::STAGE_AGENT_MAP_WRITE),
+        }
+    }
+}
 
 /// Counters for injected map-write faults.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -187,6 +209,7 @@ pub struct VmAgent {
     /// Record every Nth call edge (sampling keeps the inline hook cheap).
     call_sample_interval: u64,
     call_counter: u64,
+    telemetry: Option<AgentTelemetry>,
     pub stats: Arc<Mutex<AgentStats>>,
 }
 
@@ -207,8 +230,16 @@ impl VmAgent {
             callgraph: None,
             call_sample_interval: 16,
             call_counter: 0,
+            telemetry: None,
             stats: Arc::new(Mutex::new(AgentStats::default())),
         }
+    }
+
+    /// Mirror map writes and GC epochs into the session's telemetry
+    /// registry (a session-built agent gets this automatically).
+    pub fn with_telemetry(mut self, registry: &Telemetry) -> VmAgent {
+        self.telemetry = Some(AgentTelemetry::attach(registry));
+        self
     }
 
     /// Attach a call-graph collector (records every `interval`-th edge).
@@ -287,9 +318,21 @@ impl VmAgent {
         let mut st = self.stats.lock();
         st.maps_written += 1;
         st.entries_written += entries.len() as u64;
+        drop(st);
         // Journal appends ride the map write's existing I/O budget, so
         // the charged cost is the same with or without journaling.
-        self.cost.map_write(entries.len() as u64)
+        let cost = self.cost.map_write(entries.len() as u64);
+        if let Some(t) = &self.telemetry {
+            t.maps_written.inc();
+            t.map_entries.add(entries.len() as u64);
+            t.map_write_stage.record(cost);
+            t.registry.event(
+                names::EVENT_AGENT_MAP_WRITE,
+                &map_path(pid, epoch),
+                &[("epoch", epoch), ("entries", entries.len() as u64)],
+            );
+        }
+        cost
     }
 
     /// Mirror one map write into the journal, under the *same* fault
@@ -316,7 +359,11 @@ impl VmAgent {
     ) {
         let Some(damaged) = damaged else { return };
         if self.journal.is_none() {
-            self.journal = Some(JournalWriter::create(vfs, journal_path(pid)));
+            let mut writer = JournalWriter::create(vfs, journal_path(pid));
+            if let Some(t) = &self.telemetry {
+                writer.set_telemetry(&t.registry);
+            }
+            self.journal = Some(writer);
         }
         let journal = self.journal.as_mut().expect("just created");
         // Payload: epoch tag + the pristine rendered map.
@@ -385,6 +432,14 @@ impl VmProfilerHooks for VmAgent {
     fn on_gc_end(&mut self, new_epoch: u64) -> u64 {
         if let Some(pid) = self.pid {
             self.registry.read().set_epoch(pid, new_epoch);
+        }
+        if let Some(t) = &self.telemetry {
+            t.gc_epochs.inc();
+            t.registry.event(
+                names::EVENT_AGENT_GC_EPOCH,
+                "registry advanced to a new code epoch",
+                &[("epoch", new_epoch)],
+            );
         }
         0
     }
@@ -714,6 +769,34 @@ mod tests {
         // (it is created lazily by the first surviving write).
         assert!(sim_os::journal::scan(&vfs, journal_path(Pid(7))).is_none());
         assert_eq!(a.stats.lock().journal_appends, 0);
+    }
+
+    #[test]
+    fn telemetry_mirrors_map_writes_and_gc_epochs() {
+        let (mut a, _) = agent();
+        let t = Telemetry::new();
+        a = a.with_telemetry(&t);
+        let mut vfs = Vfs::new();
+        a.on_vm_start(Pid(7), (0x1000, 0x2000));
+        a.on_compile(&compile_info(0, 0x1000, 0));
+        a.on_gc_begin(0, &mut vfs);
+        a.on_gc_end(1);
+        a.on_compile(&compile_info(1, 0x1100, 1));
+        a.on_vm_exit(1, &mut vfs);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter(names::AGENT_MAPS_WRITTEN), 2);
+        assert_eq!(snap.counter(names::AGENT_MAP_ENTRIES), 2);
+        assert_eq!(snap.counter(names::AGENT_GC_EPOCHS), 1);
+        let writes = snap.events_of(names::EVENT_AGENT_MAP_WRITE);
+        assert_eq!(writes.len(), 2);
+        assert_eq!(writes[0].detail, map_path(Pid(7), 0));
+        assert_eq!(snap.events_of(names::EVENT_AGENT_GC_EPOCH).len(), 1);
+        let stage = snap.stage(names::STAGE_AGENT_MAP_WRITE).unwrap();
+        assert_eq!(stage.entries, 2);
+        assert!(stage.cycles > 0);
+        // The same run without telemetry is otherwise identical: the
+        // stats handle sees the same counts.
+        assert_eq!(a.stats.lock().maps_written, 2);
     }
 
     #[test]

@@ -6,13 +6,16 @@
 //! `/var/lib/oprofile` after `opcontrol --stop`.
 //!
 //! ```text
-//! viprof-report <session-dir> [--classic] [--recover] [--threads <n>] [--min <percent>] [--rows <n>] [--csv | --json]
+//! viprof-report <session-dir> [--classic] [--recover] [--telemetry] [--threads <n>] [--min <percent>] [--rows <n>] [--csv | --json]
 //!
 //!   --classic    render what stock opreport would show (anon ranges,
 //!                symbol-less boot image) instead of the merged view
 //!   --recover    tolerate integrity violations and replay the crash
 //!                journals: rebuild code maps (and, if the sample db is
 //!                missing or corrupt, the db itself) from journal records
+//!   --telemetry  append the session's runtime telemetry (exported at
+//!                /var/log/viprof/telemetry.json) and this resolve
+//!                pass's own metrics to the text output
 //!   --threads N  resolve across N shards (default: available
 //!                parallelism; output is bit-identical for every N)
 //!   --min  P     hide rows below P percent of the primary event (0.05)
@@ -23,11 +26,12 @@
 
 use oprofile::{opreport, ReportOptions, SampleDb};
 use viprof::{RecoveredDb, RecoveryReport, ReportSpec, Viprof};
+use viprof_telemetry::TelemetrySnapshot;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: viprof-report <session-dir> [--classic] [--recover] [--threads <n>] \
-         [--min <percent>] [--rows <n>] [--csv | --json]"
+        "usage: viprof-report <session-dir> [--classic] [--recover] [--telemetry] \
+         [--threads <n>] [--min <percent>] [--rows <n>] [--csv | --json]"
     );
     std::process::exit(2);
 }
@@ -43,6 +47,7 @@ fn main() {
     let Some(dir) = args.next() else { usage() };
     let mut classic = false;
     let mut recover = false;
+    let mut telemetry = false;
     let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut options = ReportOptions {
         min_primary_percent: 0.05,
@@ -53,6 +58,7 @@ fn main() {
         match flag.as_str() {
             "--classic" => classic = true,
             "--recover" => recover = true,
+            "--telemetry" => telemetry = true,
             "--threads" => {
                 threads = args
                     .next()
@@ -137,6 +143,7 @@ fn main() {
         }
     };
 
+    let mut resolve_telemetry: Option<TelemetrySnapshot> = None;
     let (report, quality, recovery) = if classic {
         (opreport(&db, &kernel, &options), None, None)
     } else {
@@ -159,6 +166,7 @@ fn main() {
                     }
                     rec
                 });
+                resolve_telemetry = Some(sr.telemetry);
                 (sr.lines, Some(sr.quality), recovery)
             }
             Err(e) => {
@@ -196,6 +204,30 @@ fn main() {
                 let emitted = db.total_samples() + db.dropped;
                 let pct = 100.0 * db.dropped as f64 / emitted as f64;
                 println!("WARNING: {} samples dropped ({pct:.1}%)", db.dropped);
+            }
+            if telemetry {
+                match kernel.vfs.read(oprofile::TELEMETRY_PATH) {
+                    Some(raw) => match std::str::from_utf8(raw)
+                        .map_err(|e| e.to_string())
+                        .and_then(TelemetrySnapshot::from_json)
+                    {
+                        Ok(snap) => {
+                            println!("== runtime telemetry ({}) ==", oprofile::TELEMETRY_PATH);
+                            print!("{}", snap.render_text());
+                        }
+                        Err(e) => {
+                            eprintln!("viprof-report: WARNING: unreadable runtime telemetry: {e}")
+                        }
+                    },
+                    None => eprintln!(
+                        "viprof-report: WARNING: session has no runtime telemetry \
+                         (pre-telemetry export?)"
+                    ),
+                }
+                if let Some(snap) = &resolve_telemetry {
+                    println!("== resolve telemetry (this pass) ==");
+                    print!("{}", snap.render_text());
+                }
             }
         }
         Format::Csv => print!("{}", report.render_csv()),

@@ -1,0 +1,309 @@
+//! `viprof-stat` — telemetry inspection CLI.
+//!
+//! Reads the self-telemetry a session exported alongside its samples
+//! (`/var/log/viprof/telemetry.json` inside the session directory) and
+//! prints a pipeline health summary: sample flow, drop rates, daemon
+//! and supervisor behaviour, resolution quality ratios, per-stage
+//! breakdown, and the flight-recorder tail.
+//!
+//! ```text
+//! viprof-stat --schema
+//! viprof-stat --selftest
+//! viprof-stat <session-dir> [--json] [--recover] [--threads <n>] [--events <n>]
+//!
+//!   --schema     print the metric catalog (one `<kind> <name>` line
+//!                per metric) — diffed against scripts/telemetry-schema.txt
+//!                by scripts/verify.sh
+//!   --selftest   run a synthetic in-memory session end to end and
+//!                check its telemetry export; exits non-zero on failure
+//!   --json       print the session's runtime telemetry snapshot as
+//!                canonical JSON instead of the summary
+//!   --recover    tolerate manifest violations when importing
+//!   --threads N  resolve across N shards for the resolve-side metrics
+//!   --events N   show the last N flight-recorder events (default 10)
+//! ```
+
+use oprofile::{OpConfig, Oprofile, ReportOptions};
+use viprof::{ReportSpec, Viprof};
+use viprof_telemetry::{bucket_hi, bucket_lo, names, TelemetrySnapshot};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: viprof-stat --schema | --selftest | <session-dir> \
+         [--json] [--recover] [--threads <n>] [--events <n>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(first) = args.next() else { usage() };
+    match first.as_str() {
+        "--schema" => {
+            for line in names::schema_lines() {
+                println!("{line}");
+            }
+            return;
+        }
+        "--selftest" => {
+            selftest();
+            return;
+        }
+        _ => {}
+    }
+
+    let dir = std::path::PathBuf::from(first);
+    let mut json = false;
+    let mut recover = false;
+    let mut threads = 1usize;
+    let mut tail = 10usize;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--json" => json = true,
+            "--recover" => recover = true,
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--events" => {
+                tail = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+
+    let (kernel, mismatches) = match Viprof::import_session_lenient(&dir) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("viprof-stat: {e}");
+            std::process::exit(1);
+        }
+    };
+    if !recover && !mismatches.is_empty() {
+        for m in &mismatches {
+            eprintln!("viprof-stat: {m}");
+        }
+        eprintln!("viprof-stat: session fails integrity checks (use --recover to proceed)");
+        std::process::exit(1);
+    }
+    for m in &mismatches {
+        eprintln!("viprof-stat: WARNING: {m}");
+    }
+
+    let runtime = match kernel.vfs.read(oprofile::TELEMETRY_PATH) {
+        Some(raw) => match std::str::from_utf8(raw)
+            .map_err(|e| e.to_string())
+            .and_then(TelemetrySnapshot::from_json)
+        {
+            Ok(snap) => snap,
+            Err(e) => {
+                eprintln!("viprof-stat: corrupt runtime telemetry: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            eprintln!(
+                "viprof-stat: no runtime telemetry at {} (pre-telemetry export?)",
+                oprofile::TELEMETRY_PATH
+            );
+            std::process::exit(1);
+        }
+    };
+
+    if json {
+        // Re-serialize: the output is the canonical deterministic form
+        // regardless of how the file on disk was formatted.
+        println!("{}", runtime.to_json());
+        return;
+    }
+
+    // Resolve-side metrics: re-run the resolve pass over the exported
+    // database, if one is present (its telemetry is deterministic, so
+    // "re-run" and "what the session saw" agree).
+    let resolve = kernel
+        .vfs
+        .read(oprofile::SAMPLES_PATH)
+        .and_then(|raw| oprofile::SampleDb::from_bytes(raw).ok())
+        .and_then(|db| {
+            let spec = ReportSpec {
+                options: ReportOptions::default(),
+                recover,
+                threads,
+            };
+            Viprof::make_report(&db, &kernel, &spec).ok()
+        });
+
+    println!("session {}", dir.display());
+    print_flow(&runtime);
+    print_pipeline(&runtime);
+    if let Some(report) = &resolve {
+        print_resolution(&report.telemetry);
+    }
+    print_stages(&runtime, resolve.as_ref().map(|r| &r.telemetry));
+    print_events(&runtime, tail);
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+fn print_flow(t: &TelemetrySnapshot) {
+    let delivered = t.counter(names::CPU_SAMPLES_DELIVERED);
+    let pushed = t.counter(names::BUFFER_PUSHED);
+    let dropped = t.counter(names::BUFFER_DROPPED);
+    println!("-- sample flow --");
+    println!("  nmi samples delivered   {delivered}");
+    println!("  suppressed (skipped nmi) {}", t.counter(names::CPU_SAMPLES_SUPPRESSED));
+    println!(
+        "  buffer pushed / dropped {pushed} / {dropped} ({:.2}% dropped)",
+        pct(dropped, pushed + dropped)
+    );
+}
+
+fn print_pipeline(t: &TelemetrySnapshot) {
+    println!("-- daemon / journal --");
+    println!(
+        "  wakeups / drains / stalls {} / {} / {}",
+        t.counter(names::DAEMON_WAKEUPS),
+        t.counter(names::DAEMON_DRAINS),
+        t.counter(names::DAEMON_STALLS)
+    );
+    println!(
+        "  journal appends / commits / repairs {} / {} / {}",
+        t.counter(names::JOURNAL_APPENDS),
+        t.counter(names::JOURNAL_COMMITS),
+        t.counter(names::JOURNAL_REPAIRS)
+    );
+    let restarts = t.counter(names::SUPERVISOR_RESTARTS);
+    if restarts > 0 || t.counter(names::SUPERVISOR_MISSED) > 0 {
+        println!(
+            "  supervisor restarts / missed / redrained {} / {} / {} (last backoff {})",
+            restarts,
+            t.counter(names::SUPERVISOR_MISSED),
+            t.counter(names::SUPERVISOR_REDRAINED_SAMPLES),
+            t.gauge(names::SUPERVISOR_LAST_BACKOFF)
+        );
+    }
+    println!(
+        "  agent maps written {} ({} entries), gc epochs {}",
+        t.counter(names::AGENT_MAPS_WRITTEN),
+        t.counter(names::AGENT_MAP_ENTRIES),
+        t.counter(names::AGENT_GC_EPOCHS)
+    );
+}
+
+fn print_resolution(t: &TelemetrySnapshot) {
+    let resolved = t.counter(names::RESOLVE_SAMPLES_RESOLVED);
+    let stale = t.counter(names::RESOLVE_SAMPLES_STALE_EPOCH);
+    let unresolved = t.counter(names::RESOLVE_SAMPLES_UNRESOLVED);
+    let total = resolved + stale + unresolved;
+    println!("-- resolution --");
+    println!(
+        "  resolved {} ({:.2}%), stale-epoch {} ({:.2}%), unresolved {} ({:.2}%)",
+        resolved,
+        pct(resolved, total),
+        stale,
+        pct(stale, total),
+        unresolved,
+        pct(unresolved, total)
+    );
+    println!(
+        "  damage: {} quarantined lines, {} skipped map files, {} failed pids, {} missing epochs",
+        t.counter(names::RESOLVE_QUARANTINED_LINES),
+        t.counter(names::RESOLVE_SKIPPED_MAP_FILES),
+        t.counter(names::RESOLVE_FAILED_PIDS),
+        t.counter(names::RESOLVE_MISSING_EPOCHS)
+    );
+    if let Some(h) = t.histogram(names::RESOLVE_SHARD_SAMPLES) {
+        let spread: Vec<String> = h
+            .buckets
+            .iter()
+            .map(|(k, n)| format!("{}x[{}..{}]", n, bucket_lo(*k), bucket_hi(*k)))
+            .collect();
+        println!(
+            "  shards {} — samples/shard {}",
+            t.gauge(names::RESOLVE_SHARDS),
+            spread.join(" ")
+        );
+    }
+    println!("  report rows {}", t.counter(names::REPORT_ROWS));
+}
+
+fn print_stages(runtime: &TelemetrySnapshot, resolve: Option<&TelemetrySnapshot>) {
+    println!("-- stages (virtual cycles; resolve stages count work units) --");
+    for snap in std::iter::once(runtime).chain(resolve) {
+        for s in &snap.stages {
+            println!("  {:<24} {:>8} entries {:>14} units", s.name, s.entries, s.cycles);
+        }
+    }
+}
+
+fn print_events(t: &TelemetrySnapshot, tail: usize) {
+    println!(
+        "-- flight recorder ({} events, {} evicted) --",
+        t.events.len(),
+        t.events_dropped
+    );
+    let skip = t.events.len().saturating_sub(tail);
+    for e in &t.events[skip..] {
+        let fields: Vec<String> = e
+            .fields
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        println!(
+            "  [{:>12}] {:<24} {} {}",
+            e.cycles,
+            e.kind,
+            e.detail,
+            fields.join(" ")
+        );
+    }
+}
+
+/// End-to-end smoke: a tiny in-memory session must export telemetry
+/// that parses, round-trips byte-identically, and accounts for its own
+/// sample flow. Run by `scripts/verify.sh`.
+fn selftest() {
+    use sim_cpu::{BlockExec, CpuMode};
+    use sim_os::{Machine, MachineConfig};
+
+    let mut m = Machine::new(MachineConfig::default());
+    let pid = m.kernel.spawn("selftest");
+    let op = Oprofile::start(&mut m, OpConfig::time_at(10_000));
+    m.exec(&BlockExec::compute(pid, CpuMode::User, (0x1000, 0x2000), 1_000_000));
+    op.stop(&mut m);
+
+    let raw = m
+        .kernel
+        .vfs
+        .read(oprofile::TELEMETRY_PATH)
+        .expect("session exports telemetry");
+    let text = std::str::from_utf8(raw).expect("telemetry is utf-8");
+    let snap = TelemetrySnapshot::from_json(text).expect("telemetry parses");
+    assert_eq!(snap.to_json(), text, "canonical JSON round-trips");
+    assert_eq!(snap.counter(names::SESSION_INSTALLS), 1);
+    assert_eq!(snap.counter(names::SESSION_STOPS), 1);
+    let delivered = snap.counter(names::CPU_SAMPLES_DELIVERED);
+    assert!(delivered > 0, "sampling ran");
+    assert_eq!(
+        snap.counter(names::BUFFER_PUSHED) + snap.counter(names::BUFFER_DROPPED),
+        delivered,
+        "every delivered sample was pushed or counted dropped"
+    );
+    assert_eq!(snap.events_of(names::EVENT_SESSION_STOP).len(), 1);
+    println!(
+        "viprof-stat: selftest ok ({} samples, {} metrics)",
+        delivered,
+        snap.counters.len() + snap.gauges.len() + snap.histograms.len() + snap.stages.len()
+    );
+}

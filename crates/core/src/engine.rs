@@ -34,6 +34,7 @@ use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+use viprof_telemetry::{names, Counter, Gauge, Histogram, Stage, Telemetry};
 
 /// How a bucket classified, mirroring the [`ResolutionQuality`]
 /// buckets.
@@ -51,6 +52,104 @@ struct ShardTally {
     resolved: u64,
     stale_epoch: u64,
     unresolved: u64,
+}
+
+/// The engine's resolved telemetry handles. The quality counters are a
+/// *second sink* for the same [`ShardTally`] values the merged
+/// [`ResolutionQuality`] struct sums — deliberately redundant so
+/// [`EngineTelemetry::finish`] can assert the two accountings agree
+/// (the struct and the registry can never drift apart silently).
+#[derive(Debug, Clone)]
+struct EngineTelemetry {
+    resolved: Counter,
+    stale_epoch: Counter,
+    unresolved: Counter,
+    dropped: Counter,
+    quarantined_lines: Counter,
+    skipped_map_files: Counter,
+    failed_pids: Counter,
+    missing_epochs: Counter,
+    shards: Gauge,
+    shard_samples: Histogram,
+    report_stage: Stage,
+}
+
+impl EngineTelemetry {
+    fn attach(registry: &Telemetry) -> EngineTelemetry {
+        EngineTelemetry {
+            resolved: registry.counter(names::RESOLVE_SAMPLES_RESOLVED),
+            stale_epoch: registry.counter(names::RESOLVE_SAMPLES_STALE_EPOCH),
+            unresolved: registry.counter(names::RESOLVE_SAMPLES_UNRESOLVED),
+            dropped: registry.counter(names::RESOLVE_SAMPLES_DROPPED),
+            quarantined_lines: registry.counter(names::RESOLVE_QUARANTINED_LINES),
+            skipped_map_files: registry.counter(names::RESOLVE_SKIPPED_MAP_FILES),
+            failed_pids: registry.counter(names::RESOLVE_FAILED_PIDS),
+            missing_epochs: registry.counter(names::RESOLVE_MISSING_EPOCHS),
+            shards: registry.gauge(names::RESOLVE_SHARDS),
+            shard_samples: registry.histogram(names::RESOLVE_SHARD_SAMPLES),
+            report_stage: registry.stage(names::STAGE_RESOLVE_REPORT),
+        }
+    }
+
+    /// Current values of the eight quality counters, in
+    /// [`ResolutionQuality`] field order. Taken before a resolve pass
+    /// so `finish` can compare deltas (registries may be shared and
+    /// pre-used, so absolute values prove nothing).
+    fn quality_counts(&self) -> [u64; 8] {
+        [
+            self.resolved.get(),
+            self.stale_epoch.get(),
+            self.unresolved.get(),
+            self.dropped.get(),
+            self.quarantined_lines.get(),
+            self.skipped_map_files.get(),
+            self.failed_pids.get(),
+            self.missing_epochs.get(),
+        ]
+    }
+
+    /// Second-sink accumulation of one shard tally.
+    fn add_tally(&self, t: &ShardTally) {
+        self.resolved.add(t.resolved);
+        self.stale_epoch.add(t.stale_epoch);
+        self.unresolved.add(t.unresolved);
+    }
+
+    /// Second-sink accumulation of the static base quality (load-time
+    /// damage plus ring-buffer drops).
+    fn add_base(&self, base: &ResolutionQuality) {
+        self.dropped.add(base.dropped);
+        self.quarantined_lines.add(base.quarantined_lines);
+        self.skipped_map_files.add(base.skipped_map_files);
+        self.failed_pids.add(base.failed_pids);
+        self.missing_epochs.add(base.missing_epochs);
+    }
+
+    /// Close out one resolve pass: shard-shape metrics, the offline
+    /// work-unit stage, and the counter-vs-struct equivalence check.
+    fn finish(&self, before: [u64; 8], quality: &ResolutionQuality, shard_sizes: &[u64]) {
+        self.shards.set(shard_sizes.len() as u64);
+        for &size in shard_sizes {
+            self.shard_samples.record(size);
+        }
+        self.report_stage.record(quality.accounted());
+        let after = self.quality_counts();
+        let deltas: Vec<u64> = after.iter().zip(before).map(|(a, b)| a - b).collect();
+        assert_eq!(
+            deltas,
+            vec![
+                quality.resolved,
+                quality.stale_epoch,
+                quality.unresolved,
+                quality.dropped,
+                quality.quarantined_lines,
+                quality.skipped_map_files,
+                quality.failed_pids,
+                quality.missing_epochs,
+            ],
+            "engine telemetry counters diverged from the merged quality struct"
+        );
+    }
 }
 
 /// Immutable resolution state shared by every shard. Built once from a
@@ -76,6 +175,10 @@ pub struct ResolutionEngine {
     rvm_map: Arc<str>,
     boot_image_name: Arc<str>,
     no_symbols: Arc<str>,
+    /// Resolved handles into an attached registry; `None` keeps the
+    /// engine metrics-free (handles never charge simulated cycles
+    /// either way).
+    telemetry: Option<EngineTelemetry>,
 }
 
 impl ResolutionEngine {
@@ -132,7 +235,15 @@ impl ResolutionEngine {
             rvm_map: Arc::from(RVM_MAP_IMAGE_LABEL),
             boot_image_name: Arc::from(BOOT_IMAGE_NAME),
             no_symbols: Arc::from("(no symbols)"),
+            telemetry: None,
         }
+    }
+
+    /// Mirror every subsequent resolve pass into `registry`'s
+    /// `resolve.*` metrics. Handles are resolved once here; the sharded
+    /// hot path never locks the registry.
+    pub fn set_telemetry(&mut self, registry: &Telemetry) {
+        self.telemetry = Some(EngineTelemetry::attach(registry));
     }
 
     /// The flattened index for one pid, if its maps loaded.
@@ -296,12 +407,23 @@ impl ResolutionEngine {
                 })
             };
 
+        let before = self.telemetry.as_ref().map(|t| t.quality_counts());
+        let shard_sizes: Vec<u64> = shards
+            .iter()
+            .map(|s| s.iter().map(|(_, c)| *c).sum())
+            .collect();
         let mut quality = self.base_quality(db);
+        if let Some(t) = &self.telemetry {
+            t.add_base(&quality);
+        }
         let mut merged: HashMap<(Arc<str>, Arc<str>), Vec<u64>> = HashMap::new();
         for (agg, tally) in parts {
             quality.resolved += tally.resolved;
             quality.stale_epoch += tally.stale_epoch;
             quality.unresolved += tally.unresolved;
+            if let Some(t) = &self.telemetry {
+                t.add_tally(&tally);
+            }
             for (key, counts) in agg {
                 match merged.entry(key) {
                     Entry::Occupied(mut e) => {
@@ -314,6 +436,9 @@ impl ResolutionEngine {
                     }
                 }
             }
+        }
+        if let (Some(t), Some(before)) = (&self.telemetry, before) {
+            t.finish(before, &quality, &shard_sizes);
         }
         // One `String` materialization per distinct row — not per
         // bucket — to hand off to the shared row shaping.
@@ -342,11 +467,25 @@ impl ResolutionEngine {
                     .collect()
             })
         };
+        let before = self.telemetry.as_ref().map(|t| t.quality_counts());
+        let shard_sizes: Vec<u64> = shards
+            .iter()
+            .map(|s| s.iter().map(|(_, c)| *c).sum())
+            .collect();
         let mut quality = self.base_quality(db);
-        for t in tallies {
-            quality.resolved += t.resolved;
-            quality.stale_epoch += t.stale_epoch;
-            quality.unresolved += t.unresolved;
+        if let Some(t) = &self.telemetry {
+            t.add_base(&quality);
+        }
+        for tally in tallies {
+            quality.resolved += tally.resolved;
+            quality.stale_epoch += tally.stale_epoch;
+            quality.unresolved += tally.unresolved;
+            if let Some(t) = &self.telemetry {
+                t.add_tally(&tally);
+            }
+        }
+        if let (Some(t), Some(before)) = (&self.telemetry, before) {
+            t.finish(before, &quality, &shard_sizes);
         }
         quality
     }
@@ -468,6 +607,44 @@ mod tests {
         let (report, _) = engine.report_with_quality(&db, &k, &options, 4);
         assert_eq!(report, legacy);
         assert!(report.rows.len() <= 2);
+    }
+
+    #[test]
+    fn telemetry_counters_match_quality_for_every_thread_count() {
+        let (k, pid) = setup();
+        let db = mixed_db(&k, pid);
+        let (resolver, _) = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap();
+        for threads in [1, 4] {
+            let mut engine = ResolutionEngine::build(&resolver);
+            let t = Telemetry::default();
+            engine.set_telemetry(&t);
+            let (report, q) = engine.report_with_quality(&db, &k, &ReportOptions::default(), threads);
+            assert!(!report.rows.is_empty());
+            let snap = t.snapshot();
+            assert_eq!(snap.counter(names::RESOLVE_SAMPLES_RESOLVED), q.resolved);
+            assert_eq!(snap.counter(names::RESOLVE_SAMPLES_STALE_EPOCH), q.stale_epoch);
+            assert_eq!(snap.counter(names::RESOLVE_SAMPLES_UNRESOLVED), q.unresolved);
+            assert_eq!(snap.counter(names::RESOLVE_SAMPLES_DROPPED), q.dropped);
+            assert_eq!(snap.counter(names::RESOLVE_MISSING_EPOCHS), q.missing_epochs);
+            assert_eq!(snap.gauge(names::RESOLVE_SHARDS), threads as u64);
+            let shard_hist = snap.histogram(names::RESOLVE_SHARD_SAMPLES).unwrap();
+            assert_eq!(shard_hist.count, threads as u64);
+            assert_eq!(shard_hist.sum, db.total_samples());
+            let stage = snap.stage(names::STAGE_RESOLVE_REPORT).unwrap();
+            assert_eq!((stage.entries, stage.cycles), (1, q.accounted()));
+        }
+        // A shared, pre-used registry still passes the delta assertion
+        // and simply accumulates across passes.
+        let mut engine = ResolutionEngine::build(&resolver);
+        let t = Telemetry::default();
+        engine.set_telemetry(&t);
+        let q1 = engine.quality(&db, 2);
+        let q2 = engine.quality(&db, 3);
+        assert_eq!(q1, q2);
+        assert_eq!(
+            t.snapshot().counter(names::RESOLVE_SAMPLES_RESOLVED),
+            2 * q1.resolved
+        );
     }
 
     #[test]

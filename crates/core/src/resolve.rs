@@ -23,6 +23,7 @@ use sim_cpu::Pid;
 use sim_jvm::bootimage::{BOOT_IMAGE_NAME, RVM_MAP_IMAGE_LABEL};
 use sim_os::{ImageId, Kernel};
 use std::collections::HashMap;
+use viprof_telemetry::{names, Telemetry};
 
 /// Per-run accounting of how well resolution went. Every sample in the
 /// database lands in exactly one of `resolved` / `stale_epoch` /
@@ -57,6 +58,30 @@ impl ResolutionQuality {
     pub fn accounted(&self) -> u64 {
         self.resolved + self.stale_epoch + self.unresolved
     }
+}
+
+/// Mirror one finished quality report into the registry's `resolve.*`
+/// counters. Offline stages record deterministic work units (samples
+/// accounted) in place of virtual cycles — post-processing runs outside
+/// the simulated clock.
+pub(crate) fn record_quality(registry: &Telemetry, q: &ResolutionQuality) {
+    registry.counter(names::RESOLVE_SAMPLES_RESOLVED).add(q.resolved);
+    registry
+        .counter(names::RESOLVE_SAMPLES_STALE_EPOCH)
+        .add(q.stale_epoch);
+    registry
+        .counter(names::RESOLVE_SAMPLES_UNRESOLVED)
+        .add(q.unresolved);
+    registry.counter(names::RESOLVE_SAMPLES_DROPPED).add(q.dropped);
+    registry
+        .counter(names::RESOLVE_QUARANTINED_LINES)
+        .add(q.quarantined_lines);
+    registry
+        .counter(names::RESOLVE_SKIPPED_MAP_FILES)
+        .add(q.skipped_map_files);
+    registry.counter(names::RESOLVE_FAILED_PIDS).add(q.failed_pids);
+    registry.counter(names::RESOLVE_MISSING_EPOCHS).add(q.missing_epochs);
+    registry.stage(names::STAGE_RESOLVE_REPORT).record(q.accounted());
 }
 
 /// Discover pids with per-pid map directories: paths look like
@@ -106,6 +131,10 @@ pub struct ViprofResolver {
     boot_image: Option<ImageId>,
     /// Pids whose map sets failed to load (skipped, not fatal).
     failed_pids: Vec<Pid>,
+    /// Mirror quality reports into this registry's `resolve.*` counters.
+    /// Used by the legacy (non-engine) resolve path only — the engine
+    /// carries its own handles so the two never double count.
+    telemetry: Option<Telemetry>,
 }
 
 impl ViprofResolver {
@@ -148,9 +177,16 @@ impl ViprofResolver {
                 codemaps,
                 boot_image,
                 failed_pids,
+                telemetry: None,
             },
             report,
         ))
+    }
+
+    /// Mirror every subsequent [`ViprofResolver::quality`] report into
+    /// `registry`'s `resolve.*` counters.
+    pub fn set_telemetry(&mut self, registry: &Telemetry) {
+        self.telemetry = Some(registry.clone());
     }
 
     /// Load without the recovery pass.
@@ -251,6 +287,9 @@ impl ViprofResolver {
                 // information by definition.
                 SampleOrigin::Anon { .. } | SampleOrigin::Unknown => q.unresolved += count,
             }
+        }
+        if let Some(t) = &self.telemetry {
+            record_quality(t, &q);
         }
         q
     }
@@ -435,6 +474,26 @@ mod tests {
         assert_eq!(report.epochs_recovered, 1);
         let (_, sym) = recovered.label(&bucket(SampleOrigin::JitApp { pid }, 0x6400_0080, 0), &k);
         assert_eq!(sym, "app.Scanner.parseLine");
+    }
+
+    #[test]
+    fn quality_mirrors_into_attached_telemetry() {
+        let (k, pid) = setup();
+        let mut db = SampleDb::new();
+        db.add(bucket(SampleOrigin::JitApp { pid }, 0x6400_0080, 0), 10);
+        db.add(bucket(SampleOrigin::Unknown, 0x0, 0), 2);
+        db.dropped = 3;
+        let mut r = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap().0;
+        let t = Telemetry::default();
+        r.set_telemetry(&t);
+        let q = r.quality(&db);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter(names::RESOLVE_SAMPLES_RESOLVED), q.resolved);
+        assert_eq!(snap.counter(names::RESOLVE_SAMPLES_UNRESOLVED), q.unresolved);
+        assert_eq!(snap.counter(names::RESOLVE_SAMPLES_DROPPED), 3);
+        let stage = snap.stage(names::STAGE_RESOLVE_REPORT).expect("stage recorded");
+        assert_eq!(stage.entries, 1);
+        assert_eq!(stage.cycles, q.accounted());
     }
 
     #[test]

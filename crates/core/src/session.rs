@@ -21,6 +21,7 @@ use sim_cpu::CostModel;
 use sim_os::{crc32, Kernel, Machine, Vfs};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use viprof_telemetry::{names, Telemetry, TelemetrySnapshot};
 
 /// Builder for a VIProf session — the single way to express every
 /// start-time combination that used to be spread over
@@ -145,6 +146,11 @@ pub struct SessionReport {
     /// set, with `samples_salvaged` measured against the degraded
     /// baseline.
     pub recovery: Option<RecoveryReport>,
+    /// The resolve pass's own telemetry (`resolve.*` / `report.*`
+    /// metrics). Offline stages count deterministic work units, not
+    /// cycles, so this too is identical across same-seed runs and
+    /// thread counts.
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// A running VIProf session: OProfile with the runtime-profiler
@@ -217,11 +223,18 @@ impl Viprof {
         let mut agent = VmAgent::new(self.registry.clone(), self.cost)
             .with_callgraph(self.callgraph.clone(), 16)
             .with_precise_moves(precise_moves)
-            .with_journal(self.journal);
+            .with_journal(self.journal)
+            .with_telemetry(&self.op.telemetry());
         if let Some(faults) = &self.agent_faults {
             agent = agent.with_map_faults(faults.clone());
         }
         agent
+    }
+
+    /// The session's shared telemetry registry (the same one every
+    /// layer — CPU, buffer, daemon, journal, agents — records into).
+    pub fn telemetry(&self) -> Telemetry {
+        self.op.telemetry()
     }
 
     pub fn driver_stats(&self) -> DriverStats {
@@ -269,13 +282,34 @@ impl Viprof {
         kernel: &Kernel,
         spec: &ReportSpec,
     ) -> Result<SessionReport, ViprofError> {
+        // Each pass gets a fresh registry: report telemetry describes
+        // *this* resolve, and stays byte-identical across same-seed
+        // runs. Only the engine is attached — the reference resolver's
+        // mirror would double count the same registry.
+        let telemetry = Telemetry::new();
         let (resolver, mut rec) =
             ViprofResolver::load_with(kernel, ResolveOptions { recover: spec.recover })?;
-        let engine = ResolutionEngine::build(&resolver);
+        let loaded_entries: u64 = resolver
+            .sets()
+            .map(|(_, set)| set.total_entries() as u64)
+            .sum();
+        telemetry
+            .stage(names::STAGE_RESOLVE_LOAD)
+            .record(loaded_entries);
+        let mut engine = ResolutionEngine::build(&resolver);
+        engine.set_telemetry(&telemetry);
         let (lines, quality) = engine.report_with_quality(db, kernel, &spec.options, spec.threads);
+        telemetry
+            .counter(names::REPORT_ROWS)
+            .add(lines.rows.len() as u64);
+        telemetry
+            .stage(names::STAGE_REPORT_FINISH)
+            .record(lines.rows.len() as u64);
         let recovery = if spec.recover {
             // Measure the degraded baseline alongside, so the recovery
-            // report can say how many samples replay salvaged.
+            // report can say how many samples replay salvaged. The
+            // baseline engine stays un-attached: its pass is scaffolding,
+            // not part of this report's accounting.
             let (degraded, _) = ViprofResolver::load_with(kernel, ResolveOptions::default())?;
             let baseline = ResolutionEngine::build(&degraded).quality(db, spec.threads);
             rec.samples_salvaged = quality.resolved.saturating_sub(baseline.resolved);
@@ -287,6 +321,7 @@ impl Viprof {
             lines,
             quality,
             recovery,
+            telemetry: telemetry.snapshot(),
         })
     }
 
@@ -659,6 +694,15 @@ mod tests {
         assert_eq!(q.accounted(), db.total_samples());
         assert_eq!(q.dropped, db.dropped);
         assert!(!report.rows.is_empty());
+        // The report's own telemetry mirrors the quality accounting.
+        assert_eq!(
+            rep.telemetry.counter(names::RESOLVE_SAMPLES_DROPPED),
+            q.dropped
+        );
+        assert_eq!(
+            rep.telemetry.counter(names::REPORT_ROWS),
+            report.rows.len() as u64
+        );
     }
 
     #[test]

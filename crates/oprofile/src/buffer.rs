@@ -6,6 +6,15 @@
 //! classic tuning knobs when sampling fast.
 
 use crate::samples::SampleBucket;
+use viprof_telemetry::{names, Counter, Gauge, Telemetry};
+
+/// Telemetry handles for the ring's hot path, resolved once at attach.
+#[derive(Debug, Clone)]
+struct BufferTelemetry {
+    pushed: Counter,
+    dropped: Counter,
+    occupancy: Gauge,
+}
 
 /// Fixed-capacity FIFO ring.
 #[derive(Debug, Clone)]
@@ -18,6 +27,7 @@ pub struct RingBuffer {
     pub dropped: u64,
     /// Total samples ever accepted.
     pub pushed: u64,
+    telemetry: Option<BufferTelemetry>,
 }
 
 impl RingBuffer {
@@ -33,7 +43,21 @@ impl RingBuffer {
             capacity,
             dropped: 0,
             pushed: 0,
+            telemetry: None,
         }
+    }
+
+    /// Mirror pushes, drops, and occupancy into `registry`. The
+    /// capacity gauge is published once here.
+    pub fn attach_telemetry(&mut self, registry: &Telemetry) {
+        registry.gauge(names::BUFFER_CAPACITY).set(self.capacity as u64);
+        let t = BufferTelemetry {
+            pushed: registry.counter(names::BUFFER_PUSHED),
+            dropped: registry.counter(names::BUFFER_DROPPED),
+            occupancy: registry.gauge(names::BUFFER_OCCUPANCY),
+        };
+        t.occupancy.set(self.len as u64);
+        self.telemetry = Some(t);
     }
 
     pub fn capacity(&self) -> usize {
@@ -56,6 +80,9 @@ impl RingBuffer {
     pub fn push(&mut self, s: SampleBucket) -> bool {
         if self.is_full() {
             self.dropped += 1;
+            if let Some(t) = &self.telemetry {
+                t.dropped.inc();
+            }
             return false;
         }
         let tail = (self.head + self.len) % self.capacity;
@@ -66,7 +93,20 @@ impl RingBuffer {
         }
         self.len += 1;
         self.pushed += 1;
+        if let Some(t) = &self.telemetry {
+            t.pushed.inc();
+            t.occupancy.set(self.len as u64);
+        }
         true
+    }
+
+    /// Count a sample lost before it reached the ring (the driver's
+    /// injected-drop path), so telemetry sees every loss.
+    pub fn count_drop(&mut self) {
+        self.dropped += 1;
+        if let Some(t) = &self.telemetry {
+            t.dropped.inc();
+        }
     }
 
     /// Drain every buffered sample in FIFO order.
@@ -78,6 +118,9 @@ impl RingBuffer {
             self.len -= 1;
         }
         self.head = 0;
+        if let Some(t) = &self.telemetry {
+            t.occupancy.set(0);
+        }
         out
     }
 }
@@ -155,5 +198,23 @@ mod tests {
         }
         assert_eq!(seen, (0..20).collect::<Vec<u64>>());
         assert_eq!(r.dropped, 0);
+    }
+
+    #[test]
+    fn telemetry_tracks_occupancy_and_drops() {
+        let t = Telemetry::new();
+        let mut r = RingBuffer::new(2);
+        r.attach_telemetry(&t);
+        assert_eq!(t.snapshot().gauge(names::BUFFER_CAPACITY), 2);
+        r.push(s(0));
+        r.push(s(1));
+        r.push(s(2));
+        r.count_drop();
+        let snap = t.snapshot();
+        assert_eq!(snap.counter(names::BUFFER_PUSHED), 2);
+        assert_eq!(snap.counter(names::BUFFER_DROPPED), 2);
+        assert_eq!(snap.gauge(names::BUFFER_OCCUPANCY), 2);
+        r.drain();
+        assert_eq!(t.snapshot().gauge(names::BUFFER_OCCUPANCY), 0);
     }
 }

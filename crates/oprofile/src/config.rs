@@ -3,6 +3,7 @@
 use crate::faults::{DaemonFaults, DriverFaults};
 use crate::supervisor::SupervisorConfig;
 use sim_cpu::{CostModel, CounterSpec, HwEvent};
+use viprof_telemetry::Telemetry;
 
 /// Everything `opcontrol --setup` would take.
 #[derive(Debug, Clone)]
@@ -24,6 +25,11 @@ pub struct OpConfig {
     pub journal: bool,
     /// Wrap the daemon in a watchdog/restart supervisor.
     pub supervisor: Option<SupervisorConfig>,
+    /// Share a telemetry registry with the session. Telemetry is
+    /// always on — `None` just means the session creates its own
+    /// registry; pass a handle to observe it (or to share one registry
+    /// across the VM agent and the profiler).
+    pub telemetry: Option<Telemetry>,
 }
 
 impl Default for OpConfig {
@@ -37,6 +43,7 @@ impl Default for OpConfig {
             daemon_faults: None,
             journal: false,
             supervisor: None,
+            telemetry: None,
         }
     }
 }
@@ -88,6 +95,13 @@ impl OpConfig {
     /// Wrap the daemon in a watchdog/restart supervisor.
     pub fn with_supervisor(mut self, config: SupervisorConfig) -> Self {
         self.supervisor = Some(config);
+        self
+    }
+
+    /// Share `registry` with the session instead of letting it create
+    /// a private one.
+    pub fn with_telemetry(mut self, registry: &Telemetry) -> Self {
+        self.telemetry = Some(registry.clone());
         self
     }
 

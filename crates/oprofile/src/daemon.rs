@@ -18,6 +18,54 @@ use sim_os::loader::BIN_HINT;
 use sim_os::{Image, Kernel, Loader, MachineCtx, MachineService, Symbol, Vfs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use viprof_telemetry::{names, Counter, Histogram, Stage, Telemetry};
+
+/// Telemetry handles for the drain path, resolved once at attach.
+struct DaemonTelemetry {
+    registry: Telemetry,
+    wakeups: Counter,
+    drains: Counter,
+    stalls: Counter,
+    batches_journaled: Counter,
+    batch_samples: Histogram,
+    occupancy_at_drain: Histogram,
+    drain_stage: Stage,
+}
+
+impl DaemonTelemetry {
+    fn attach(registry: &Telemetry) -> Self {
+        DaemonTelemetry {
+            registry: registry.clone(),
+            wakeups: registry.counter(names::DAEMON_WAKEUPS),
+            drains: registry.counter(names::DAEMON_DRAINS),
+            stalls: registry.counter(names::DAEMON_STALLS),
+            batches_journaled: registry.counter(names::DAEMON_BATCHES_JOURNALED),
+            batch_samples: registry.histogram(names::DAEMON_BATCH_SAMPLES),
+            occupancy_at_drain: registry.histogram(names::BUFFER_OCCUPANCY_AT_DRAIN),
+            drain_stage: registry.stage(names::STAGE_DAEMON_DRAIN),
+        }
+    }
+
+    /// Account one landed drain: batch shape, drain cycles, and — when
+    /// the ring overflowed since the previous drain — a coalesced
+    /// `buffer.overflow` event carrying the loss count.
+    fn note_drain(&self, occupancy: u64, batch: &SampleDb, cycles: u64, journaled: bool) {
+        self.drains.inc();
+        self.occupancy_at_drain.record(occupancy);
+        self.batch_samples.record(batch.total_samples());
+        self.drain_stage.record(cycles);
+        if journaled && (batch.total_samples() > 0 || batch.dropped > 0) {
+            self.batches_journaled.inc();
+        }
+        if batch.dropped > 0 {
+            self.registry.event(
+                names::EVENT_BUFFER_OVERFLOW,
+                "ring buffer overflowed since last drain",
+                &[("dropped", batch.dropped), ("drained", batch.total_samples())],
+            );
+        }
+    }
+}
 
 /// OS image name of the daemon binary.
 pub const DAEMON_IMAGE: &str = "oprofiled";
@@ -43,6 +91,7 @@ pub struct Daemon {
     /// Optional write-ahead journal for drained batches (shared with
     /// the session so the final synchronous flush journals too).
     journal: Option<Arc<Mutex<JournalWriter>>>,
+    telemetry: Option<DaemonTelemetry>,
 }
 
 impl Daemon {
@@ -80,7 +129,15 @@ impl Daemon {
             drains: 0,
             faults: None,
             journal: None,
+            telemetry: None,
         }
+    }
+
+    /// Mirror wakeups, drains, stalls, and batch shapes into `registry`
+    /// and record stall/overflow events on its flight recorder.
+    pub fn with_telemetry(mut self, registry: &Telemetry) -> Daemon {
+        self.telemetry = Some(DaemonTelemetry::attach(registry));
+        self
     }
 
     /// Attach a fault schedule (chaos/robustness testing).
@@ -107,10 +164,15 @@ impl Daemon {
     /// a restart). Charges daemon cycles and journals the batch like a
     /// timer drain. Returns the samples recovered from the ring buffer.
     pub fn force_drain(&mut self, ctx: &mut MachineCtx<'_>) -> u64 {
+        let occupancy = self.driver.lock().buffer.len() as u64;
         let (batch, cycles) = Daemon::drain_batch(&self.driver, &self.db, &self.cost);
         let n = batch.total_samples();
         self.drains += 1;
         Daemon::journal_batch(&self.journal, &mut ctx.kernel.vfs, &batch);
+        if let Some(t) = &self.telemetry {
+            t.registry.set_now(ctx.cpu.clock.cycles());
+            t.note_drain(occupancy, &batch, cycles, self.journal.is_some());
+        }
         if cycles > 0 {
             ctx.exec(&BlockExec {
                 pid: self.pid,
@@ -205,17 +267,33 @@ impl MachineService for Daemon {
             self.next_wakeup += self.period_cycles;
         }
         self.wakeups += 1;
+        if let Some(t) = &self.telemetry {
+            t.registry.set_now(now);
+            t.wakeups.inc();
+        }
         if let Some(faults) = &mut self.faults {
             if !faults.wakeup_allowed(self.wakeups) {
                 // Stalled or crashed: the drain window is missed and the
                 // ring buffer keeps filling. No daemon cycles are burned
                 // either — a dead process costs nothing.
+                if let Some(t) = &self.telemetry {
+                    t.stalls.inc();
+                    t.registry.event(
+                        names::EVENT_DAEMON_STALL,
+                        "drain window missed (stalled or crashed daemon)",
+                        &[("wakeup", self.wakeups)],
+                    );
+                }
                 return;
             }
         }
+        let occupancy = self.driver.lock().buffer.len() as u64;
         let (batch, cycles) = Daemon::drain_batch(&self.driver, &self.db, &self.cost);
         self.drains += 1;
         Daemon::journal_batch(&self.journal, &mut ctx.kernel.vfs, &batch);
+        if let Some(t) = &self.telemetry {
+            t.note_drain(occupancy, &batch, cycles, self.journal.is_some());
+        }
         if cycles > 0 {
             ctx.exec(&BlockExec {
                 pid: self.pid,
@@ -345,6 +423,49 @@ mod tests {
         let (rest, dropped) = driver.lock().drain();
         assert!(rest.is_empty());
         assert_eq!(dropped, 0, "drop counter was handed to the db");
+    }
+
+    #[test]
+    fn telemetry_records_drains_stalls_and_overflow_events() {
+        use viprof_telemetry::{names, Telemetry};
+        let t = Telemetry::new();
+        let mut m = Machine::new(MachineConfig::default());
+        let driver = Arc::new(Mutex::new(Driver::new(CostModel::free(), 2)));
+        driver.lock().buffer.attach_telemetry(&t);
+        let db = Arc::new(Mutex::new(SampleDb::new()));
+        let active = Arc::new(AtomicBool::new(true));
+        let d = Daemon::spawn(
+            &mut m.kernel,
+            driver.clone(),
+            db.clone(),
+            active,
+            CostModel::free(),
+            100,
+        )
+        .with_faults(DaemonFaults::new(1).with_crash(1, 1))
+        .with_telemetry(&t);
+        m.add_service(Box::new(d));
+        for round in 0..3u64 {
+            driver.lock().buffer.push(bucket(round * 16));
+            driver.lock().buffer.push(bucket(round * 16 + 8));
+            driver.lock().buffer.push(bucket(round * 16 + 12)); // overflows
+            m.exec(&BlockExec::compute(Pid(1), CpuMode::User, (0, 0x100), 110));
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.counter(names::DAEMON_WAKEUPS), 3);
+        assert_eq!(snap.counter(names::DAEMON_STALLS), 2, "crash + 1 window down");
+        assert_eq!(snap.counter(names::DAEMON_DRAINS), 1);
+        assert_eq!(snap.events_of(names::EVENT_DAEMON_STALL).len(), 2);
+        let overflows = snap.events_of(names::EVENT_BUFFER_OVERFLOW);
+        assert_eq!(overflows.len(), 1, "overflow is coalesced at the drain");
+        assert!(overflows[0]
+            .fields
+            .iter()
+            .any(|(k, v)| k == "dropped" && *v == 7));
+        let h = snap.histogram(names::DAEMON_BATCH_SAMPLES).unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 2, "the surviving two samples were drained");
+        assert!(snap.stage(names::STAGE_DAEMON_DRAIN).is_some());
     }
 
     #[test]

@@ -159,7 +159,7 @@ impl OsNmiHandler for Driver {
             if faults.on_sample(&mut bucket) == FaultVerdict::Drop {
                 // Injected overflow: the sample is lost exactly like a
                 // full buffer would lose it — visibly, via `dropped`.
-                self.buffer.dropped += 1;
+                self.buffer.count_drop();
                 return cost;
             }
         }

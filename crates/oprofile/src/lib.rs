@@ -40,5 +40,5 @@ pub use driver::{Driver, DriverStats};
 pub use faults::{DaemonFaultStats, DaemonFaults, DriverFaultStats, DriverFaults, FaultVerdict};
 pub use report::{opreport, Report, ReportOptions, ReportRow};
 pub use samples::{SampleBucket, SampleDb, SampleOrigin};
-pub use session::{Oprofile, SAMPLES_PATH, SAMPLE_JOURNAL_PATH};
-pub use supervisor::{Supervisor, SupervisorConfig, SupervisorStats};
+pub use session::{Oprofile, SAMPLES_PATH, SAMPLE_JOURNAL_PATH, TELEMETRY_PATH};
+pub use supervisor::{Supervisor, SupervisorConfig, SupervisorCounters, SupervisorStats};

@@ -6,13 +6,14 @@ use crate::daemon::Daemon;
 use crate::driver::{Driver, DriverStats};
 use crate::faults::{DaemonFaultStats, DaemonFaults, DriverFaultStats};
 use crate::samples::SampleDb;
-use crate::supervisor::{Supervisor, SupervisorStats};
+use crate::supervisor::{Supervisor, SupervisorCounters, SupervisorStats};
 use parking_lot::Mutex;
 use sim_cpu::Pid;
 use sim_os::journal::JournalWriter;
 use sim_os::Machine;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use viprof_telemetry::{names, Telemetry};
 
 /// VFS path where `stop` persists the final sample database.
 pub const SAMPLES_PATH: &str = "/var/lib/oprofile/samples/current.db";
@@ -20,6 +21,10 @@ pub const SAMPLES_PATH: &str = "/var/lib/oprofile/samples/current.db";
 /// VFS path of the drained-batch write-ahead journal (when
 /// [`OpConfig::journal`] is on).
 pub const SAMPLE_JOURNAL_PATH: &str = "/var/lib/oprofile/samples/journal";
+
+/// VFS path where `stop` persists the session's telemetry snapshot
+/// (deterministic JSON; `viprof-stat` reads it back).
+pub const TELEMETRY_PATH: &str = "/var/log/viprof/telemetry.json";
 
 /// A running profiling session.
 pub struct Oprofile {
@@ -33,8 +38,11 @@ pub struct Oprofile {
     /// Shared sample-batch journal (the daemon appends timer drains,
     /// `stop` appends the final flush).
     sample_journal: Option<Arc<Mutex<JournalWriter>>>,
-    /// Shared-stats handle to the supervisor, if one wraps the daemon.
-    supervisor_stats: Option<Arc<Mutex<SupervisorStats>>>,
+    /// Shared-counters handle to the supervisor, if one wraps the daemon.
+    supervisor_stats: Option<SupervisorCounters>,
+    /// The session's telemetry registry (always on; shared with every
+    /// layer the session installs).
+    telemetry: Telemetry,
 }
 
 impl Oprofile {
@@ -63,9 +71,15 @@ impl Oprofile {
             machine.cpu.bank.is_empty(),
             "another profiling session is already running"
         );
+        let telemetry = config.telemetry.clone().unwrap_or_default();
         if let Some(faults) = config.driver_faults.clone() {
             driver.lock().set_faults(faults);
         }
+        {
+            let mut d = driver.lock();
+            d.buffer.attach_telemetry(&telemetry);
+        }
+        machine.cpu.attach_telemetry(&telemetry);
         for spec in &config.events {
             machine.cpu.program_counter(*spec);
         }
@@ -87,8 +101,10 @@ impl Oprofile {
         if let Some(faults) = daemon_faults.clone() {
             daemon = daemon.with_faults(faults);
         }
+        daemon = daemon.with_telemetry(&telemetry);
         let sample_journal = if config.journal {
-            let writer = JournalWriter::create(&mut machine.kernel.vfs, SAMPLE_JOURNAL_PATH);
+            let mut writer = JournalWriter::create(&mut machine.kernel.vfs, SAMPLE_JOURNAL_PATH);
+            writer.set_telemetry(&telemetry);
             let shared = Arc::new(Mutex::new(writer));
             daemon = daemon.with_journal(shared.clone());
             Some(shared)
@@ -98,7 +114,7 @@ impl Oprofile {
         let daemon_pid = daemon.pid();
         let supervisor_stats = match &config.supervisor {
             Some(sup_config) => {
-                let supervisor = Supervisor::new(daemon, *sup_config);
+                let supervisor = Supervisor::new(daemon, *sup_config).with_telemetry(&telemetry);
                 let stats = supervisor.stats_handle();
                 machine.add_service(Box::new(supervisor));
                 Some(stats)
@@ -108,6 +124,15 @@ impl Oprofile {
                 None
             }
         };
+        telemetry.counter(names::SESSION_INSTALLS).inc();
+        telemetry.event(
+            names::EVENT_SESSION_INSTALL,
+            "profiling session installed",
+            &[
+                ("events", config.events.len() as u64),
+                ("buffer_capacity", config.buffer_capacity as u64),
+            ],
+        );
         Oprofile {
             driver,
             db,
@@ -117,7 +142,13 @@ impl Oprofile {
             daemon_faults,
             sample_journal,
             supervisor_stats,
+            telemetry,
         }
+    }
+
+    /// Handle to the session's telemetry registry.
+    pub fn telemetry(&self) -> Telemetry {
+        self.telemetry.clone()
     }
 
     pub fn config(&self) -> &OpConfig {
@@ -144,7 +175,7 @@ impl Oprofile {
 
     /// Supervisor activity counters (sessions with a supervisor).
     pub fn supervisor_stats(&self) -> Option<SupervisorStats> {
-        self.supervisor_stats.as_ref().map(|s| *s.lock())
+        self.supervisor_stats.as_ref().map(|s| s.snapshot())
     }
 
     /// Snapshot of the sample DB as accumulated so far (not including
@@ -177,6 +208,27 @@ impl Oprofile {
         }
         let db = self.db.lock().clone();
         machine.kernel.vfs.write(SAMPLES_PATH, db.to_bytes().to_vec());
+        // Telemetry epilogue: stamp the final clock, account the flush,
+        // and persist the snapshot next to the sample database.
+        self.telemetry.set_now(machine.cpu.clock.cycles());
+        self.telemetry.stage(names::STAGE_SESSION_FLUSH).record(cycles);
+        if batch.dropped > 0 {
+            self.telemetry.event(
+                names::EVENT_BUFFER_OVERFLOW,
+                "ring buffer overflowed before the final flush",
+                &[("dropped", batch.dropped), ("drained", batch.total_samples())],
+            );
+        }
+        self.telemetry.counter(names::SESSION_STOPS).inc();
+        self.telemetry.event(
+            names::EVENT_SESSION_STOP,
+            "profiling session stopped",
+            &[("samples", db.total_samples()), ("dropped", db.dropped)],
+        );
+        machine
+            .kernel
+            .vfs
+            .write(TELEMETRY_PATH, self.telemetry.snapshot().to_json().into_bytes());
         db
     }
 }
@@ -332,6 +384,24 @@ mod tests {
         let op2 = Oprofile::start(&mut m, OpConfig::default());
         assert_eq!(op2.supervisor_stats(), None);
         op2.stop(&mut m);
+    }
+
+    #[test]
+    fn stop_persists_a_parseable_telemetry_snapshot() {
+        use viprof_telemetry::TelemetrySnapshot;
+        let mut m = machine();
+        let pid = m.kernel.spawn("app");
+        let op = Oprofile::start(&mut m, OpConfig::time_at(10_000));
+        m.exec(&BlockExec::compute(pid, CpuMode::User, (0x1000, 0x2000), 1_000_000));
+        op.stop(&mut m);
+        let raw = m.kernel.vfs.read(TELEMETRY_PATH).unwrap();
+        let snap = TelemetrySnapshot::from_json(std::str::from_utf8(raw).unwrap()).unwrap();
+        assert_eq!(snap.counter(names::SESSION_INSTALLS), 1);
+        assert_eq!(snap.counter(names::SESSION_STOPS), 1);
+        assert_eq!(snap.counter(names::CPU_SAMPLES_DELIVERED), 100);
+        assert_eq!(snap.counter(names::BUFFER_PUSHED), 100);
+        assert_eq!(snap.events_of(names::EVENT_SESSION_STOP).len(), 1);
+        assert!(snap.stage(names::STAGE_SESSION_FLUSH).is_some());
     }
 
     #[test]

@@ -31,9 +31,8 @@
 //! races between two services sharing one timer.
 
 use crate::daemon::Daemon;
-use parking_lot::Mutex;
 use sim_os::{MachineCtx, MachineService, SplitMix64};
-use std::sync::Arc;
+use viprof_telemetry::{names, Counter, Gauge, Telemetry};
 
 /// Watchdog/restart policy knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,9 +62,8 @@ impl Default for SupervisorConfig {
     }
 }
 
-/// Observable supervisor activity (shared handle, like the fault
-/// stats: the supervisor is boxed into the machine, the session keeps
-/// a clone).
+/// Point-in-time supervisor activity (the shape older call sites
+/// consume and the fault-matrix tests compare).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SupervisorStats {
     /// Restarts performed.
@@ -76,6 +74,45 @@ pub struct SupervisorStats {
     pub redrained_samples: u64,
     /// Backoff (wakeups) used by the most recent restart.
     pub last_backoff: u64,
+}
+
+/// Live supervisor activity as lock-free atomic counters (the
+/// supervisor is boxed into the machine; the session keeps a clone of
+/// this handle). Standalone by default, or backed by the telemetry
+/// registry's `supervisor.*` metrics via [`from_telemetry`] — in which
+/// case the session snapshot and [`SupervisorStats`] read the same
+/// atomics and can never drift.
+///
+/// [`from_telemetry`]: SupervisorCounters::from_telemetry
+#[derive(Debug, Clone, Default)]
+pub struct SupervisorCounters {
+    restarts: Counter,
+    missed_observed: Counter,
+    redrained_samples: Counter,
+    last_backoff: Gauge,
+}
+
+impl SupervisorCounters {
+    /// Counters resolved from the shared registry, so the exported
+    /// telemetry snapshot carries the supervisor's activity.
+    pub fn from_telemetry(registry: &Telemetry) -> Self {
+        SupervisorCounters {
+            restarts: registry.counter(names::SUPERVISOR_RESTARTS),
+            missed_observed: registry.counter(names::SUPERVISOR_MISSED),
+            redrained_samples: registry.counter(names::SUPERVISOR_REDRAINED_SAMPLES),
+            last_backoff: registry.gauge(names::SUPERVISOR_LAST_BACKOFF),
+        }
+    }
+
+    /// Point-in-time copy in the legacy [`SupervisorStats`] shape.
+    pub fn snapshot(&self) -> SupervisorStats {
+        SupervisorStats {
+            restarts: self.restarts.get(),
+            missed_observed: self.missed_observed.get(),
+            redrained_samples: self.redrained_samples.get(),
+            last_backoff: self.last_backoff.get(),
+        }
+    }
 }
 
 /// The service: wraps a [`Daemon`], delegates its timer, watches the
@@ -90,7 +127,10 @@ pub struct Supervisor {
     backoff: u64,
     /// Wakeup number at which the scheduled restart fires.
     restart_at: Option<u64>,
-    stats: Arc<Mutex<SupervisorStats>>,
+    stats: SupervisorCounters,
+    /// Registry for watchdog events (`supervisor.missed_window`,
+    /// `supervisor.restart`); counters alone work without one.
+    telemetry: Option<Telemetry>,
 }
 
 impl Supervisor {
@@ -101,18 +141,27 @@ impl Supervisor {
             missed: 0,
             backoff: config.backoff_initial.max(1),
             restart_at: None,
-            stats: Default::default(),
+            stats: SupervisorCounters::default(),
+            telemetry: None,
             config,
         }
     }
 
-    /// Shared handle to the activity counters.
-    pub fn stats_handle(&self) -> Arc<Mutex<SupervisorStats>> {
+    /// Back the activity counters by the registry's `supervisor.*`
+    /// metrics and record watchdog events on its flight recorder.
+    pub fn with_telemetry(mut self, registry: &Telemetry) -> Supervisor {
+        self.stats = SupervisorCounters::from_telemetry(registry);
+        self.telemetry = Some(registry.clone());
+        self
+    }
+
+    /// Shared handle to the live atomic counters.
+    pub fn stats_handle(&self) -> SupervisorCounters {
         self.stats.clone()
     }
 
     pub fn stats(&self) -> SupervisorStats {
-        *self.stats.lock()
+        self.stats.snapshot()
     }
 
     pub fn daemon(&self) -> &Daemon {
@@ -138,18 +187,30 @@ impl MachineService for Supervisor {
         }
         // A wakeup passed with no drain.
         self.missed += 1;
-        self.stats.lock().missed_observed += 1;
+        self.stats.missed_observed.inc();
+        if let Some(t) = &self.telemetry {
+            t.event(
+                names::EVENT_SUPERVISOR_MISSED,
+                "watchdog observed a missed drain window",
+                &[("wakeup", self.daemon.wakeups), ("consecutive", self.missed)],
+            );
+        }
         match self.restart_at {
             Some(at) if self.daemon.wakeups >= at => {
                 // Restart: revive the process and immediately drain the
                 // backlog the outage accumulated.
                 self.daemon.revive();
                 let recovered = self.daemon.force_drain(ctx);
-                let mut stats = self.stats.lock();
-                stats.restarts += 1;
-                stats.redrained_samples += recovered;
-                stats.last_backoff = self.backoff;
-                drop(stats);
+                self.stats.restarts.inc();
+                self.stats.redrained_samples.add(recovered);
+                self.stats.last_backoff.set(self.backoff);
+                if let Some(t) = &self.telemetry {
+                    t.event(
+                        names::EVENT_SUPERVISOR_RESTART,
+                        "daemon restarted after sustained silence",
+                        &[("backoff", self.backoff), ("redrained", recovered)],
+                    );
+                }
                 self.backoff = (self.backoff * 2).min(self.config.backoff_cap.max(1));
                 self.restart_at = None;
                 self.missed = 0;
@@ -170,9 +231,11 @@ mod tests {
     use crate::driver::Driver;
     use crate::faults::DaemonFaults;
     use crate::samples::{SampleBucket, SampleDb, SampleOrigin};
+    use parking_lot::Mutex;
     use sim_cpu::{BlockExec, CostModel, CpuMode, HwEvent, Pid};
     use sim_os::{Machine, MachineConfig};
     use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
 
     fn bucket(addr: u64) -> SampleBucket {
         SampleBucket {
@@ -187,12 +250,20 @@ mod tests {
         m: Machine,
         driver: Arc<Mutex<Driver>>,
         db: Arc<Mutex<SampleDb>>,
-        stats: Arc<Mutex<SupervisorStats>>,
+        stats: SupervisorCounters,
     }
 
     /// Capacity-2 ring + 100-cycle daemon timer + supplied faults,
     /// wrapped in a supervisor with the given config.
     fn rig(faults: Option<DaemonFaults>, config: SupervisorConfig) -> Rig {
+        rig_with_telemetry(faults, config, None)
+    }
+
+    fn rig_with_telemetry(
+        faults: Option<DaemonFaults>,
+        config: SupervisorConfig,
+        telemetry: Option<&Telemetry>,
+    ) -> Rig {
         let mut m = Machine::new(MachineConfig::default());
         let driver = Arc::new(Mutex::new(Driver::new(CostModel::free(), 2)));
         let db = Arc::new(Mutex::new(SampleDb::new()));
@@ -208,7 +279,10 @@ mod tests {
         if let Some(f) = faults {
             d = d.with_faults(f);
         }
-        let sup = Supervisor::new(d, config);
+        let mut sup = Supervisor::new(d, config);
+        if let Some(t) = telemetry {
+            sup = sup.with_telemetry(t);
+        }
         let stats = sup.stats_handle();
         m.add_service(Box::new(sup));
         Rig { m, driver, db, stats }
@@ -227,8 +301,8 @@ mod tests {
     fn healthy_daemon_is_never_restarted() {
         let mut r = rig(None, SupervisorConfig::default());
         run_windows(&mut r, 6);
-        assert_eq!(r.stats.lock().restarts, 0);
-        assert_eq!(r.stats.lock().missed_observed, 0);
+        assert_eq!(r.stats.snapshot().restarts, 0);
+        assert_eq!(r.stats.snapshot().missed_observed, 0);
         assert_eq!(r.db.lock().total_samples(), 12, "all windows drained");
     }
 
@@ -244,7 +318,7 @@ mod tests {
         };
         let mut r = rig(Some(DaemonFaults::new(1).with_crash(1, 6)), cfg);
         run_windows(&mut r, 8);
-        let s = r.stats.lock();
+        let s = r.stats.snapshot();
         // Misses at wakeups 1 and 2 cross the threshold; backoff 1 puts
         // the restart at wakeup 3 — four windows before the injected
         // downtime would have ended on its own.
@@ -252,7 +326,6 @@ mod tests {
         assert!(s.missed_observed >= 2);
         assert!(s.redrained_samples > 0, "catch-up drain recovered backlog");
         assert_eq!(s.last_backoff, 1);
-        drop(s);
         let db = r.db.lock();
         // 8 rounds x 2 pushes: the supervised run keeps everything except
         // what overflowed during the short outage.
@@ -319,9 +392,37 @@ mod tests {
         };
         let mut r = rig(Some(DaemonFaults::new(2).with_stalls(1.0)), cfg);
         run_windows(&mut r, 40);
-        let s = r.stats.lock();
+        let s = r.stats.snapshot();
         assert!(s.restarts >= 3, "{s:?}");
         assert_eq!(s.last_backoff, 4, "backoff reached and held the cap");
+    }
+
+    #[test]
+    fn registry_backed_counters_match_stats_and_record_restart_events() {
+        let t = Telemetry::new();
+        let cfg = SupervisorConfig {
+            jitter: 0,
+            seed: 7,
+            ..SupervisorConfig::default()
+        };
+        let mut r = rig_with_telemetry(Some(DaemonFaults::new(1).with_crash(1, 6)), cfg, Some(&t));
+        run_windows(&mut r, 8);
+        let s = r.stats.snapshot();
+        assert_eq!(s.restarts, 1);
+        let snap = t.snapshot();
+        // Same atomics, two views: the registry can never drift from
+        // the compat accessor.
+        assert_eq!(snap.counter(names::SUPERVISOR_RESTARTS), s.restarts);
+        assert_eq!(snap.counter(names::SUPERVISOR_MISSED), s.missed_observed);
+        assert_eq!(
+            snap.counter(names::SUPERVISOR_REDRAINED_SAMPLES),
+            s.redrained_samples
+        );
+        assert_eq!(snap.gauge(names::SUPERVISOR_LAST_BACKOFF), s.last_backoff);
+        let restarts = snap.events_of(names::EVENT_SUPERVISOR_RESTART);
+        assert_eq!(restarts.len(), 1);
+        assert!(restarts[0].fields.iter().any(|(k, _)| k == "redrained"));
+        assert!(!snap.events_of(names::EVENT_SUPERVISOR_MISSED).is_empty());
     }
 
     #[test]
@@ -334,7 +435,7 @@ mod tests {
             };
             let mut r = rig(Some(DaemonFaults::new(5).with_stalls(0.6)), cfg);
             run_windows(&mut r, 30);
-            let s = *r.stats.lock();
+            let s = r.stats.snapshot();
             let db = r.db.lock();
             (s, db.total_samples(), db.dropped)
         };

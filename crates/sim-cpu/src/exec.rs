@@ -24,6 +24,7 @@ use crate::counters::{CounterBank, CounterSpec};
 use crate::events::{BlockEvents, MemActivity};
 use crate::nmi::{NmiHandler, SampleContext};
 use crate::types::{Addr, CpuMode, HwEvent, Pid};
+use viprof_telemetry::{names, Counter, Stage, Telemetry};
 
 /// Static machine configuration.
 #[derive(Debug, Clone)]
@@ -88,6 +89,27 @@ pub struct CpuStats {
     pub penalty_cycles: u64,
 }
 
+/// Telemetry handles the hot path touches, resolved once at attach
+/// time so `execute_block` never takes a registry lock.
+#[derive(Debug, Clone)]
+struct CpuTelemetry {
+    registry: Telemetry,
+    delivered: Counter,
+    suppressed: Counter,
+    handler: Stage,
+}
+
+impl CpuTelemetry {
+    fn attach(registry: &Telemetry) -> CpuTelemetry {
+        CpuTelemetry {
+            delivered: registry.counter(names::CPU_SAMPLES_DELIVERED),
+            suppressed: registry.counter(names::CPU_SAMPLES_SUPPRESSED),
+            handler: registry.stage(names::STAGE_NMI_HANDLER),
+            registry: registry.clone(),
+        }
+    }
+}
+
 /// The simulated CPU.
 pub struct Cpu {
     pub clock: Clock,
@@ -95,6 +117,7 @@ pub struct Cpu {
     pub caches: Option<CacheHierarchy>,
     nmi_vector: (Addr, Addr),
     pub stats: CpuStats,
+    telemetry: Option<CpuTelemetry>,
 }
 
 impl Cpu {
@@ -105,7 +128,16 @@ impl Cpu {
             caches: config.hierarchy.map(CacheHierarchy::new),
             nmi_vector: config.nmi_vector,
             stats: CpuStats::default(),
+            telemetry: None,
         }
+    }
+
+    /// Attach a telemetry registry: sample delivery/suppression and
+    /// handler time get recorded, and the registry's virtual "now" is
+    /// kept in step with the clock. Costs zero simulated cycles.
+    pub fn attach_telemetry(&mut self, registry: &Telemetry) {
+        registry.set_now(self.clock.cycles());
+        self.telemetry = Some(CpuTelemetry::attach(registry));
     }
 
     /// Program a counter (delegates to the bank).
@@ -170,6 +202,7 @@ impl Cpu {
 
         // Deliver events to the bank, firing NMIs on overflow.
         let mut handler_cost = 0u64;
+        let mut delivered = 0u64;
         let deliveries = [
             (HwEvent::Cycles, events.cycles),
             (HwEvent::Instructions, events.instructions),
@@ -196,18 +229,33 @@ impl Cpu {
                 };
                 handler_cost += handler.handle_overflow(&ctx);
                 self.stats.samples_delivered += 1;
+                delivered += 1;
             }
         }
 
         self.clock.advance(events.cycles);
 
+        let mut suppressed = 0u64;
         if handler_cost > 0 {
             // Handler runs in kernel mode at the NMI vector with further
             // NMIs masked: events are counted, overflows coalesced.
             self.stats.handler_cycles += handler_cost;
-            self.stats.samples_suppressed +=
-                self.bank.add_events_masked(HwEvent::Cycles, handler_cost);
+            suppressed = self.bank.add_events_masked(HwEvent::Cycles, handler_cost);
+            self.stats.samples_suppressed += suppressed;
             self.clock.advance(handler_cost);
+        }
+
+        if let Some(t) = &self.telemetry {
+            t.registry.set_now(self.clock.cycles());
+            if delivered > 0 {
+                t.delivered.add(delivered);
+            }
+            if suppressed > 0 {
+                t.suppressed.add(suppressed);
+            }
+            if handler_cost > 0 {
+                t.handler.record(handler_cost);
+            }
         }
 
         events
@@ -372,5 +420,30 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(ts, sorted);
         assert!(ts[0] >= 100 && *ts.last().unwrap() <= 1_000);
+    }
+
+    #[test]
+    fn telemetry_mirrors_stats_without_touching_the_clock() {
+        let run = |telemetry: Option<&Telemetry>| {
+            let mut cpu = cpu_no_cache();
+            if let Some(t) = telemetry {
+                cpu.attach_telemetry(t);
+            }
+            cpu.program_counter(CounterSpec::new(HwEvent::Cycles, 100));
+            let mut h = CountingHandler::new(350);
+            cpu.execute_block(&user_block(100), &mut h);
+            (cpu.clock.cycles(), cpu.stats)
+        };
+        let t = Telemetry::new();
+        let (cycles_on, stats_on) = run(Some(&t));
+        let (cycles_off, stats_off) = run(None);
+        assert_eq!(cycles_on, cycles_off, "telemetry charges no cycles");
+        assert_eq!(stats_on, stats_off);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter(names::CPU_SAMPLES_DELIVERED), stats_on.samples_delivered);
+        assert_eq!(snap.counter(names::CPU_SAMPLES_SUPPRESSED), stats_on.samples_suppressed);
+        let handler = snap.stage(names::STAGE_NMI_HANDLER).unwrap();
+        assert_eq!(handler.cycles, stats_on.handler_cycles);
+        assert_eq!(t.now(), cycles_on, "virtual now tracks the clock");
     }
 }

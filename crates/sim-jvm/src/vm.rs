@@ -146,6 +146,9 @@ pub struct VmConfig {
     /// Feed real addresses through the cache hierarchy (requires the
     /// machine to have one). Off → statistical misses from `MemSpec`s.
     pub detailed_mem: bool,
+    /// Self-telemetry registry: when present, GC collections and their
+    /// virtual-cycle pauses are recorded (zero simulated cost).
+    pub telemetry: Option<viprof_telemetry::Telemetry>,
 }
 
 impl Default for VmConfig {
@@ -158,6 +161,7 @@ impl Default for VmConfig {
             mature: Some(MatureConfig::default()),
             gc_mode: GcMode::Copying,
             detailed_mem: false,
+            telemetry: None,
         }
     }
 }
@@ -747,6 +751,12 @@ impl Vm {
             });
         }
         self.hooks.on_gc_end(self.heap.collections);
+        if let Some(t) = &self.config.telemetry {
+            use viprof_telemetry::names;
+            t.counter(names::VM_GC_COLLECTIONS).inc();
+            t.histogram(names::VM_GC_PAUSE_CYCLES)
+                .record(gc_cycles + move_cycles);
+        }
     }
 
     /// Execute `count` calls of a native function with argument `arg0`.

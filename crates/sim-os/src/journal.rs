@@ -39,6 +39,7 @@
 //!   mismatch and the journal is truncated there.
 
 use crate::vfs::Vfs;
+use viprof_telemetry::{names, Counter, Telemetry};
 
 /// Journal file header.
 pub const JOURNAL_MAGIC: &[u8; 4] = b"VJL1";
@@ -251,6 +252,32 @@ pub fn repair(vfs: &mut Vfs, path: &str) -> usize {
 
 // --- writer ----------------------------------------------------------
 
+/// Telemetry handles for the journal write path, resolved once at
+/// attach time. Journal work charges no simulated cycles, so events
+/// are stamped with the registry's published virtual "now".
+#[derive(Debug, Clone)]
+struct JournalTelemetry {
+    registry: Telemetry,
+    appends: Counter,
+    commits: Counter,
+    repairs: Counter,
+    appended_bytes: Counter,
+    damaged_bytes: Counter,
+}
+
+impl JournalTelemetry {
+    fn attach(registry: &Telemetry) -> JournalTelemetry {
+        JournalTelemetry {
+            appends: registry.counter(names::JOURNAL_APPENDS),
+            commits: registry.counter(names::JOURNAL_COMMITS),
+            repairs: registry.counter(names::JOURNAL_REPAIRS),
+            appended_bytes: registry.counter(names::JOURNAL_APPENDED_BYTES),
+            damaged_bytes: registry.counter(names::JOURNAL_DAMAGED_BYTES),
+            registry: registry.clone(),
+        }
+    }
+}
+
 /// Appending side of the journal: tracks the committed length and the
 /// next sequence number, and implements the read-back commit protocol.
 #[derive(Debug, Clone)]
@@ -262,6 +289,7 @@ pub struct JournalWriter {
     pub repaired: u64,
     /// Records appended (committed or rotted-after-commit).
     pub appended: u64,
+    telemetry: Option<JournalTelemetry>,
 }
 
 impl JournalWriter {
@@ -275,6 +303,7 @@ impl JournalWriter {
             committed_len: JOURNAL_MAGIC.len(),
             repaired: 0,
             appended: 0,
+            telemetry: None,
         }
     }
 
@@ -294,6 +323,7 @@ impl JournalWriter {
                     path,
                     repaired: 0,
                     appended: 0,
+                    telemetry: None,
                 }
             }
             _ => JournalWriter::create(vfs, path),
@@ -302,6 +332,11 @@ impl JournalWriter {
 
     pub fn path(&self) -> &str {
         &self.path
+    }
+
+    /// Record appends/commits/repairs into `registry` from here on.
+    pub fn set_telemetry(&mut self, registry: &Telemetry) {
+        self.telemetry = Some(JournalTelemetry::attach(registry));
     }
 
     /// Append one record; returns its sequence number.
@@ -340,10 +375,21 @@ impl JournalWriter {
             .read(&self.path)
             .map(|d| d[..self.committed_len.min(d.len())].to_vec())
             .unwrap_or_else(|| JOURNAL_MAGIC.to_vec());
+        // The short write's bytes are all discarded by the truncation.
+        let torn_bytes = keep as u64;
         vfs.write(self.path.clone(), kept);
         vfs.append(&self.path, &rec);
         self.commit(rec.len());
         self.repaired += 1;
+        if let Some(t) = &self.telemetry {
+            t.repairs.inc();
+            t.damaged_bytes.add(torn_bytes);
+            t.registry.event(
+                names::EVENT_JOURNAL_REPAIR,
+                &self.path,
+                &[("seq", seq), ("torn_bytes", torn_bytes)],
+            );
+        }
         seq
     }
 
@@ -369,6 +415,11 @@ impl JournalWriter {
         self.next_seq += 1;
         self.committed_len += rec_len;
         self.appended += 1;
+        if let Some(t) = &self.telemetry {
+            t.appends.inc();
+            t.commits.inc();
+            t.appended_bytes.add(rec_len as u64);
+        }
     }
 }
 
@@ -558,5 +609,28 @@ mod tests {
         assert_eq!(s2.records.len(), 2, "replayed generation rejected");
         assert!(s2.damaged_bytes >= rec0.len());
         let _ = first_end;
+    }
+
+    #[test]
+    fn telemetry_counts_appends_commits_and_repairs() {
+        let mut vfs = Vfs::new();
+        let t = Telemetry::new();
+        let mut w = JournalWriter::create(&mut vfs, "/j");
+        w.set_telemetry(&t);
+        w.append(&mut vfs, KIND_CODE_MAP, b"hello");
+        w.append_torn_then_repair(&mut vfs, KIND_CODE_MAP, b"world", 2);
+        w.append_rotted(&mut vfs, KIND_CODE_MAP, b"abcd", b"XY");
+        let snap = t.snapshot();
+        assert_eq!(snap.counter(names::JOURNAL_APPENDS), 3);
+        assert_eq!(snap.counter(names::JOURNAL_COMMITS), 3);
+        assert_eq!(snap.counter(names::JOURNAL_REPAIRS), 1);
+        assert!(snap.counter(names::JOURNAL_APPENDED_BYTES) > 0);
+        assert!(snap.counter(names::JOURNAL_DAMAGED_BYTES) > 0);
+        let repairs = snap.events_of(names::EVENT_JOURNAL_REPAIR);
+        assert_eq!(repairs.len(), 1);
+        assert_eq!(repairs[0].detail, "/j");
+        // The writer's own public counters agree with telemetry.
+        assert_eq!(w.appended, 3);
+        assert_eq!(w.repaired, 1);
     }
 }

@@ -1,0 +1,667 @@
+//! Snapshot exporters: deterministic JSON and a human-text rendering.
+//!
+//! The JSON writer is hand-rolled (the crate is std-only) and emits a
+//! fully ordered document — object keys come from sorted registry
+//! iteration and every value is an integer — so two runs with the same
+//! seed produce byte-identical bytes. A matching minimal parser reads
+//! snapshots back (`viprof-stat` consumes exported sessions offline);
+//! it only accepts the subset the writer emits: objects, arrays,
+//! strings, and unsigned integers.
+
+use crate::recorder::Event;
+
+/// Materialized view of one registry: plain ordered data, so it can be
+/// compared, cloned, and embedded in report structs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TelemetrySnapshot {
+    /// `(name, value)` sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` sorted by name.
+    pub gauges: Vec<(String, u64)>,
+    /// Sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Sorted by name.
+    pub stages: Vec<StageSnapshot>,
+    /// Flight-recorder contents, oldest first.
+    pub events: Vec<Event>,
+    /// Events evicted from the ring to make room.
+    pub events_dropped: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub count: u64,
+    pub sum: u64,
+    /// Non-empty log2 buckets as `(bucket index, count)`, ascending.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSnapshot {
+    pub name: String,
+    pub entries: u64,
+    pub cycles: u64,
+}
+
+impl TelemetrySnapshot {
+    pub fn counter(&self, name: &str) -> u64 {
+        lookup(&self.counters, name)
+    }
+
+    pub fn gauge(&self, name: &str) -> u64 {
+        lookup(&self.gauges, name)
+    }
+
+    pub fn stage(&self, name: &str) -> Option<&StageSnapshot> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Events of one kind, oldest first.
+    pub fn events_of(&self, kind: &str) -> Vec<&Event> {
+        self.events.iter().filter(|e| e.kind == kind).collect()
+    }
+
+    /// Deterministic JSON: same snapshot → same bytes.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.obj_open();
+        w.key("counters");
+        w.obj_open();
+        for (name, v) in &self.counters {
+            w.key(name);
+            w.num(*v);
+        }
+        w.obj_close();
+        w.key("gauges");
+        w.obj_open();
+        for (name, v) in &self.gauges {
+            w.key(name);
+            w.num(*v);
+        }
+        w.obj_close();
+        w.key("histograms");
+        w.obj_open();
+        for h in &self.histograms {
+            w.key(&h.name);
+            w.obj_open();
+            w.key("count");
+            w.num(h.count);
+            w.key("sum");
+            w.num(h.sum);
+            w.key("buckets");
+            w.obj_open();
+            for (k, n) in &h.buckets {
+                w.key(&k.to_string());
+                w.num(*n);
+            }
+            w.obj_close();
+            w.obj_close();
+        }
+        w.obj_close();
+        w.key("stages");
+        w.obj_open();
+        for s in &self.stages {
+            w.key(&s.name);
+            w.obj_open();
+            w.key("entries");
+            w.num(s.entries);
+            w.key("cycles");
+            w.num(s.cycles);
+            w.obj_close();
+        }
+        w.obj_close();
+        w.key("events");
+        w.arr_open();
+        for e in &self.events {
+            w.obj_open();
+            w.key("seq");
+            w.num(e.seq);
+            w.key("cycles");
+            w.num(e.cycles);
+            w.key("kind");
+            w.str(&e.kind);
+            w.key("detail");
+            w.str(&e.detail);
+            w.key("fields");
+            w.obj_open();
+            for (k, v) in &e.fields {
+                w.key(k);
+                w.num(*v);
+            }
+            w.obj_close();
+            w.obj_close();
+        }
+        w.arr_close();
+        w.key("events_dropped");
+        w.num(self.events_dropped);
+        w.obj_close();
+        w.finish()
+    }
+
+    /// Parse a snapshot previously written by [`Self::to_json`].
+    pub fn from_json(text: &str) -> Result<TelemetrySnapshot, String> {
+        let root = parse_json(text)?;
+        let top = root.as_obj("top level")?;
+        let mut snap = TelemetrySnapshot::default();
+        for (name, v) in get(top, "counters")?.as_obj("counters")? {
+            snap.counters.push((name.clone(), v.as_num(name)?));
+        }
+        for (name, v) in get(top, "gauges")?.as_obj("gauges")? {
+            snap.gauges.push((name.clone(), v.as_num(name)?));
+        }
+        for (name, v) in get(top, "histograms")?.as_obj("histograms")? {
+            let h = v.as_obj(name)?;
+            let mut buckets = Vec::new();
+            for (k, n) in get(h, "buckets")?.as_obj("buckets")? {
+                let idx: usize = k
+                    .parse()
+                    .map_err(|_| format!("bad bucket index {k:?}"))?;
+                buckets.push((idx, n.as_num(k)?));
+            }
+            snap.histograms.push(HistogramSnapshot {
+                name: name.clone(),
+                count: get(h, "count")?.as_num("count")?,
+                sum: get(h, "sum")?.as_num("sum")?,
+                buckets,
+            });
+        }
+        for (name, v) in get(top, "stages")?.as_obj("stages")? {
+            let s = v.as_obj(name)?;
+            snap.stages.push(StageSnapshot {
+                name: name.clone(),
+                entries: get(s, "entries")?.as_num("entries")?,
+                cycles: get(s, "cycles")?.as_num("cycles")?,
+            });
+        }
+        for v in get(top, "events")?.as_arr("events")? {
+            let e = v.as_obj("event")?;
+            let mut fields = Vec::new();
+            for (k, fv) in get(e, "fields")?.as_obj("fields")? {
+                fields.push((k.clone(), fv.as_num(k)?));
+            }
+            snap.events.push(Event {
+                seq: get(e, "seq")?.as_num("seq")?,
+                cycles: get(e, "cycles")?.as_num("cycles")?,
+                kind: get(e, "kind")?.as_str("kind")?.to_string(),
+                detail: get(e, "detail")?.as_str("detail")?.to_string(),
+                fields,
+            });
+        }
+        snap.events_dropped = get(top, "events_dropped")?.as_num("events_dropped")?;
+        Ok(snap)
+    }
+
+    /// Aligned human rendering (the `viprof-stat` default view).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<34} {v:>14}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("  {name:<34} {v:>14}\n"));
+            }
+        }
+        if !self.stages.is_empty() {
+            out.push_str("stages (virtual cycles):\n");
+            for s in &self.stages {
+                out.push_str(&format!(
+                    "  {:<34} {:>14} cycles over {} entries\n",
+                    s.name, s.cycles, s.entries
+                ));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for h in &self.histograms {
+                let mean = if h.count > 0 { h.sum / h.count } else { 0 };
+                out.push_str(&format!(
+                    "  {:<34} n={} sum={} mean={}\n",
+                    h.name, h.count, h.sum, mean
+                ));
+                for (k, n) in &h.buckets {
+                    out.push_str(&format!(
+                        "    [{:>20}..{:>20}] {n}\n",
+                        crate::metrics::bucket_lo(*k),
+                        crate::metrics::bucket_hi(*k)
+                    ));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "flight recorder: {} event(s), {} evicted\n",
+            self.events.len(),
+            self.events_dropped
+        ));
+        for e in &self.events {
+            let fields: Vec<String> =
+                e.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            out.push_str(&format!(
+                "  #{:<5} @{:<14} {:<24} {} {}\n",
+                e.seq,
+                e.cycles,
+                e.kind,
+                fields.join(" "),
+                e.detail
+            ));
+        }
+        out
+    }
+}
+
+fn lookup(list: &[(String, u64)], name: &str) -> u64 {
+    list.iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+// ---------------- JSON writer ----------------
+
+struct JsonWriter {
+    out: String,
+    /// Whether the current container already has an element (per
+    /// nesting level).
+    stack: Vec<bool>,
+}
+
+impl JsonWriter {
+    fn new() -> JsonWriter {
+        JsonWriter { out: String::new(), stack: Vec::new() }
+    }
+
+    fn comma(&mut self) {
+        if let Some(has) = self.stack.last_mut() {
+            if *has {
+                self.out.push(',');
+            }
+            *has = true;
+        }
+    }
+
+    fn obj_open(&mut self) {
+        self.comma();
+        self.out.push('{');
+        self.stack.push(false);
+    }
+
+    fn obj_close(&mut self) {
+        self.stack.pop();
+        self.out.push('}');
+    }
+
+    fn arr_open(&mut self) {
+        self.comma();
+        self.out.push('[');
+        self.stack.push(false);
+    }
+
+    fn arr_close(&mut self) {
+        self.stack.pop();
+        self.out.push(']');
+    }
+
+    fn key(&mut self, k: &str) {
+        self.comma();
+        write_escaped(&mut self.out, k);
+        self.out.push(':');
+        // The value that follows must not emit its own comma.
+        if let Some(has) = self.stack.last_mut() {
+            *has = false;
+        }
+    }
+
+    fn num(&mut self, v: u64) {
+        self.comma();
+        self.out.push_str(&v.to_string());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.comma();
+        write_escaped(&mut self.out, s);
+    }
+
+    fn finish(self) -> String {
+        self.out
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------- JSON parser (writer's subset) ----------------
+
+#[derive(Debug)]
+enum Json {
+    Obj(Vec<(String, Json)>),
+    Arr(Vec<Json>),
+    Str(String),
+    Num(u64),
+}
+
+impl Json {
+    fn as_obj(&self, what: &str) -> Result<&Vec<(String, Json)>, String> {
+        match self {
+            Json::Obj(m) => Ok(m),
+            _ => Err(format!("{what}: expected object")),
+        }
+    }
+
+    fn as_arr(&self, what: &str) -> Result<&Vec<Json>, String> {
+        match self {
+            Json::Arr(a) => Ok(a),
+            _ => Err(format!("{what}: expected array")),
+        }
+    }
+
+    fn as_num(&self, what: &str) -> Result<u64, String> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            _ => Err(format!("{what}: expected integer")),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err(format!("{what}: expected string")),
+        }
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing key {key:?}"))
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at offset {}",
+                b as char, self.pos
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b'0'..=b'9' => self.number(),
+            b => Err(format!("unexpected byte {:?} at offset {}", b as char, self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            entries.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                b => return Err(format!("expected ',' or '}}', got {:?}", b as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                b => return Err(format!("expected ',' or ']', got {:?}", b as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or("unterminated string")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or("surrogate \\u escape unsupported")?,
+                            );
+                        }
+                        b => {
+                            return Err(format!("unknown escape \\{}", b as char))
+                        }
+                    }
+                }
+                b => {
+                    // Re-assemble multi-byte UTF-8 sequences: find the
+                    // full char starting at pos-1.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let len = utf8_len(b)?;
+                        let chunk = self
+                            .bytes
+                            .get(start..start + len)
+                            .ok_or("truncated UTF-8 sequence")?;
+                        let s = std::str::from_utf8(chunk)
+                            .map_err(|_| "invalid UTF-8 in string")?;
+                        out.push_str(s);
+                        self.pos = start + len;
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit())
+        {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        s.parse::<u64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad integer {s:?}"))
+    }
+}
+
+fn utf8_len(first: u8) -> Result<usize, String> {
+    match first {
+        0xC0..=0xDF => Ok(2),
+        0xE0..=0xEF => Ok(3),
+        0xF0..=0xF7 => Ok(4),
+        _ => Err("invalid UTF-8 lead byte".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: vec![("a.count".into(), 3), ("b.count".into(), 0)],
+            gauges: vec![("g.occ".into(), 17)],
+            histograms: vec![HistogramSnapshot {
+                name: "h.sizes".into(),
+                count: 4,
+                sum: 1030,
+                buckets: vec![(1, 3), (11, 1)],
+            }],
+            stages: vec![StageSnapshot {
+                name: "stage.x".into(),
+                entries: 2,
+                cycles: 9000,
+            }],
+            events: vec![Event {
+                seq: 0,
+                cycles: 1234,
+                kind: "k.e".into(),
+                detail: "path/with \"quotes\"\nand newline".into(),
+                fields: vec![("n".into(), 8)],
+            }],
+            events_dropped: 1,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let snap = sample();
+        let json = snap.to_json();
+        let back = TelemetrySnapshot::from_json(&json).expect("parse back");
+        assert_eq!(back, snap);
+        // And the re-export is byte-identical.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        assert_eq!(sample().to_json(), sample().to_json());
+    }
+
+    #[test]
+    fn empty_snapshot_exports_and_parses() {
+        let snap = TelemetrySnapshot::default();
+        let json = snap.to_json();
+        assert_eq!(
+            TelemetrySnapshot::from_json(&json).expect("parse"),
+            snap
+        );
+        assert!(json.contains("\"events_dropped\":0"));
+    }
+
+    #[test]
+    fn accessors_find_entries() {
+        let snap = sample();
+        assert_eq!(snap.counter("a.count"), 3);
+        assert_eq!(snap.counter("absent"), 0);
+        assert_eq!(snap.gauge("g.occ"), 17);
+        assert_eq!(snap.stage("stage.x").unwrap().cycles, 9000);
+        assert_eq!(snap.histogram("h.sizes").unwrap().count, 4);
+        assert_eq!(snap.events_of("k.e").len(), 1);
+        assert!(snap.render_text().contains("flight recorder: 1 event(s), 1 evicted"));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(TelemetrySnapshot::from_json("").is_err());
+        assert!(TelemetrySnapshot::from_json("{\"counters\":12}").is_err());
+        assert!(TelemetrySnapshot::from_json("{}").is_err());
+        assert!(parse_json("{\"a\":1}garbage").is_err());
+    }
+}

@@ -1,0 +1,272 @@
+//! # viprof-telemetry — the pipeline's self-observability layer
+//!
+//! VIProf's thesis is that a profiler must see every layer of the
+//! stack; this crate applies that thesis to the profiler itself. One
+//! [`Telemetry`] registry rides along a session and collects, from
+//! every pipeline stage (NMI handler → ring buffer → daemon → journal
+//! → resolver → report):
+//!
+//! * **counters / gauges / histograms** ([`metrics`]) — always-on
+//!   atomics, JXPerf-style: cheap enough to never turn off;
+//! * **stage timers** ([`metrics::Stage`] / [`metrics::Span`]) —
+//!   spans measured in **virtual cycles** (the sim clock), never wall
+//!   time, so a seeded run reproduces its own overhead breakdown
+//!   bit-for-bit;
+//! * a **flight recorder** ([`recorder`]) — a bounded ring of
+//!   structured events that makes fault-matrix runs explainable after
+//!   the fact.
+//!
+//! Registration (name → handle) is the cold path, behind a mutex;
+//! instrumentation sites resolve their handles once at attach time and
+//! then touch only atomics. Telemetry never charges simulated cycles:
+//! the observed run's virtual timing is identical with the layer on or
+//! off, which `journal_costs_no_cycles`-style tests rely on.
+//!
+//! Exports ([`export::TelemetrySnapshot`]) are fully ordered and
+//! integer-valued, so the JSON form is byte-identical across same-seed
+//! runs — the determinism contract `tests/telemetry.rs` pins.
+
+pub mod export;
+pub mod metrics;
+pub mod names;
+pub mod recorder;
+
+pub use export::{HistogramSnapshot, StageSnapshot, TelemetrySnapshot};
+pub use metrics::{bucket_hi, bucket_lo, bucket_of, Counter, Gauge, Histogram, Span, Stage, BUCKETS};
+pub use recorder::{Event, FlightRecorder, DEFAULT_EVENT_CAPACITY};
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, Gauge>>,
+    histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+    stages: Mutex<BTreeMap<&'static str, Stage>>,
+    recorder: Mutex<FlightRecorder>,
+    /// Virtual "now": clocked layers publish the sim clock here so
+    /// clock-less layers (journal, agent, bench harness) can stamp
+    /// flight-recorder events with a deterministic timestamp.
+    now: AtomicU64,
+}
+
+/// A clonable handle to one telemetry registry. Cloning shares the
+/// registry (sessions pass the same handle down every layer).
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Arc<Registry>,
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("now", &self.now())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Telemetry {
+    pub fn new() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// Registry whose flight recorder keeps at most `capacity` events.
+    pub fn with_recorder_capacity(capacity: usize) -> Telemetry {
+        let t = Telemetry::default();
+        *t.inner.recorder.lock().unwrap() = FlightRecorder::new(capacity);
+        t
+    }
+
+    /// Get-or-create; call once per site and keep the handle (the
+    /// lookup locks a map, the handle does not).
+    pub fn counter(&self, name: &'static str) -> Counter {
+        self.inner
+            .counters
+            .lock()
+            .unwrap()
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        self.inner
+            .gauges
+            .lock()
+            .unwrap()
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        self.inner
+            .histograms
+            .lock()
+            .unwrap()
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    pub fn stage(&self, name: &'static str) -> Stage {
+        self.inner
+            .stages
+            .lock()
+            .unwrap()
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    /// Open a virtual-time span over `name` starting at the current
+    /// virtual clock.
+    pub fn span(&self, name: &'static str) -> Span {
+        Span::open(self.stage(name), self.now())
+    }
+
+    /// Publish the sim clock (cheap atomic store; clocked layers call
+    /// this as time advances).
+    pub fn set_now(&self, cycles: u64) {
+        self.inner.now.store(cycles, Ordering::Relaxed);
+    }
+
+    /// Last published virtual time.
+    pub fn now(&self) -> u64 {
+        self.inner.now.load(Ordering::Relaxed)
+    }
+
+    /// Record a flight-recorder event stamped with the current virtual
+    /// time. Only call from deterministic (single-threaded or
+    /// post-join) contexts.
+    pub fn event(&self, kind: &str, detail: &str, fields: &[(&str, u64)]) {
+        self.event_at(self.now(), kind, detail, fields);
+    }
+
+    /// [`Self::event`] with an explicit virtual timestamp.
+    pub fn event_at(&self, cycles: u64, kind: &str, detail: &str, fields: &[(&str, u64)]) {
+        self.inner
+            .recorder
+            .lock()
+            .unwrap()
+            .record(cycles, kind, detail, fields);
+    }
+
+    /// Materialize everything into ordered plain data.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, c)| (name.to_string(), c.get()))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, g)| (name.to_string(), g.get()))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, h)| HistogramSnapshot {
+                name: name.to_string(),
+                count: h.count(),
+                sum: h.sum(),
+                buckets: h.nonzero_buckets(),
+            })
+            .collect();
+        let stages = self
+            .inner
+            .stages
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, s)| StageSnapshot {
+                name: name.to_string(),
+                entries: s.entries(),
+                cycles: s.cycles(),
+            })
+            .collect();
+        let recorder = self.inner.recorder.lock().unwrap();
+        TelemetrySnapshot {
+            counters,
+            gauges,
+            histograms,
+            stages,
+            events: recorder.events(),
+            events_dropped: recorder.dropped(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_one_registry() {
+        let t = Telemetry::new();
+        let a = t.counter(names::DAEMON_DRAINS);
+        let b = t.clone().counter(names::DAEMON_DRAINS);
+        a.add(2);
+        b.inc();
+        assert_eq!(t.counter(names::DAEMON_DRAINS).get(), 3);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_deterministic() {
+        let build = || {
+            let t = Telemetry::new();
+            // Registered out of order; the snapshot sorts by name.
+            t.counter(names::SESSION_STOPS).inc();
+            t.counter(names::DAEMON_WAKEUPS).add(5);
+            t.gauge(names::BUFFER_OCCUPANCY).set(3);
+            t.histogram(names::DAEMON_BATCH_SAMPLES).record(12);
+            t.set_now(500);
+            t.event(names::EVENT_DAEMON_STALL, "", &[("missed", 1)]);
+            t.stage(names::STAGE_DAEMON_DRAIN).record(90);
+            t.snapshot()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+        let names: Vec<&str> = a.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec![names::DAEMON_WAKEUPS, names::SESSION_STOPS]);
+        assert_eq!(a.events[0].cycles, 500);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let t = Telemetry::new();
+        t.counter(names::BUFFER_DROPPED).add(7);
+        t.stage(names::STAGE_NMI_HANDLER).record(123);
+        t.event_at(9, names::EVENT_SESSION_STOP, "s", &[]);
+        let snap = t.snapshot();
+        let back = TelemetrySnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn spans_use_published_virtual_time() {
+        let t = Telemetry::new();
+        t.set_now(1_000);
+        let span = t.span(names::STAGE_SESSION_FLUSH);
+        t.set_now(1_450);
+        span.finish(t.now());
+        let s = t.snapshot();
+        let st = s.stage(names::STAGE_SESSION_FLUSH).unwrap();
+        assert_eq!((st.entries, st.cycles), (1, 450));
+    }
+}

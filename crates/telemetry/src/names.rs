@@ -1,0 +1,172 @@
+//! The metric catalog: every name the pipeline records, in one place.
+//!
+//! Instrumentation sites must take names from here — the catalog is
+//! the telemetry schema, and `scripts/verify.sh` diffs it (via
+//! `viprof-stat --schema`) against the reviewed golden list in
+//! `scripts/telemetry-schema.txt`, so additions and removals fail CI
+//! until the golden file is updated alongside them.
+
+// ---- counters ----
+pub const CPU_SAMPLES_DELIVERED: &str = "cpu.samples_delivered";
+pub const CPU_SAMPLES_SUPPRESSED: &str = "cpu.samples_suppressed";
+pub const BUFFER_PUSHED: &str = "buffer.pushed";
+pub const BUFFER_DROPPED: &str = "buffer.dropped";
+pub const DAEMON_WAKEUPS: &str = "daemon.wakeups";
+pub const DAEMON_DRAINS: &str = "daemon.drains";
+pub const DAEMON_STALLS: &str = "daemon.stalls";
+pub const DAEMON_BATCHES_JOURNALED: &str = "daemon.batches_journaled";
+pub const SUPERVISOR_RESTARTS: &str = "supervisor.restarts";
+pub const SUPERVISOR_MISSED: &str = "supervisor.missed";
+pub const SUPERVISOR_REDRAINED_SAMPLES: &str = "supervisor.redrained_samples";
+pub const JOURNAL_APPENDS: &str = "journal.appends";
+pub const JOURNAL_COMMITS: &str = "journal.commits";
+pub const JOURNAL_REPAIRS: &str = "journal.repairs";
+pub const JOURNAL_APPENDED_BYTES: &str = "journal.appended_bytes";
+pub const JOURNAL_DAMAGED_BYTES: &str = "journal.damaged_bytes";
+pub const AGENT_MAPS_WRITTEN: &str = "agent.maps_written";
+pub const AGENT_MAP_ENTRIES: &str = "agent.map_entries";
+pub const AGENT_GC_EPOCHS: &str = "agent.gc_epochs";
+pub const VM_GC_COLLECTIONS: &str = "vm.gc_collections";
+pub const RESOLVE_SAMPLES_RESOLVED: &str = "resolve.samples_resolved";
+pub const RESOLVE_SAMPLES_STALE_EPOCH: &str = "resolve.samples_stale_epoch";
+pub const RESOLVE_SAMPLES_UNRESOLVED: &str = "resolve.samples_unresolved";
+pub const RESOLVE_SAMPLES_DROPPED: &str = "resolve.samples_dropped";
+pub const RESOLVE_QUARANTINED_LINES: &str = "resolve.quarantined_lines";
+pub const RESOLVE_SKIPPED_MAP_FILES: &str = "resolve.skipped_map_files";
+pub const RESOLVE_FAILED_PIDS: &str = "resolve.failed_pids";
+pub const RESOLVE_MISSING_EPOCHS: &str = "resolve.missing_epochs";
+pub const REPORT_ROWS: &str = "report.rows";
+pub const SESSION_INSTALLS: &str = "session.installs";
+pub const SESSION_STOPS: &str = "session.stops";
+pub const BENCH_ARTIFACTS_WRITTEN: &str = "bench.artifacts_written";
+
+// ---- gauges ----
+pub const BUFFER_OCCUPANCY: &str = "buffer.occupancy";
+pub const BUFFER_CAPACITY: &str = "buffer.capacity";
+pub const SUPERVISOR_LAST_BACKOFF: &str = "supervisor.last_backoff";
+pub const RESOLVE_SHARDS: &str = "resolve.shards";
+
+// ---- histograms ----
+pub const DAEMON_BATCH_SAMPLES: &str = "daemon.batch_samples";
+pub const BUFFER_OCCUPANCY_AT_DRAIN: &str = "buffer.occupancy_at_drain";
+pub const RESOLVE_SHARD_SAMPLES: &str = "resolve.shard_samples";
+pub const VM_GC_PAUSE_CYCLES: &str = "vm.gc_pause_cycles";
+
+// ---- stages (virtual-cycle spans; offline stages count work units) ----
+pub const STAGE_NMI_HANDLER: &str = "stage.nmi_handler";
+pub const STAGE_DAEMON_DRAIN: &str = "stage.daemon_drain";
+pub const STAGE_AGENT_MAP_WRITE: &str = "stage.agent_map_write";
+pub const STAGE_SESSION_FLUSH: &str = "stage.session_flush";
+pub const STAGE_RESOLVE_LOAD: &str = "stage.resolve_load";
+pub const STAGE_RESOLVE_REPORT: &str = "stage.resolve_report";
+pub const STAGE_REPORT_FINISH: &str = "stage.report_finish";
+
+// ---- flight-recorder event kinds ----
+pub const EVENT_BUFFER_OVERFLOW: &str = "buffer.overflow";
+pub const EVENT_DAEMON_STALL: &str = "daemon.stall";
+pub const EVENT_SUPERVISOR_MISSED: &str = "supervisor.missed_window";
+pub const EVENT_SUPERVISOR_RESTART: &str = "supervisor.restart";
+pub const EVENT_AGENT_MAP_WRITE: &str = "agent.map_write";
+pub const EVENT_AGENT_GC_EPOCH: &str = "agent.gc_epoch";
+pub const EVENT_JOURNAL_REPAIR: &str = "journal.repair";
+pub const EVENT_SESSION_INSTALL: &str = "session.install";
+pub const EVENT_SESSION_STOP: &str = "session.stop";
+pub const EVENT_BENCH_ARTIFACT: &str = "bench.artifact";
+
+/// The full schema: `(kind, name)` pairs, grouped by kind in
+/// declaration order (names sorted within each kind).
+pub const ALL_METRICS: &[(&str, &str)] = &[
+    ("counter", AGENT_GC_EPOCHS),
+    ("counter", AGENT_MAP_ENTRIES),
+    ("counter", AGENT_MAPS_WRITTEN),
+    ("counter", BENCH_ARTIFACTS_WRITTEN),
+    ("counter", BUFFER_DROPPED),
+    ("counter", BUFFER_PUSHED),
+    ("counter", CPU_SAMPLES_DELIVERED),
+    ("counter", CPU_SAMPLES_SUPPRESSED),
+    ("counter", DAEMON_BATCHES_JOURNALED),
+    ("counter", DAEMON_DRAINS),
+    ("counter", DAEMON_STALLS),
+    ("counter", DAEMON_WAKEUPS),
+    ("counter", JOURNAL_APPENDED_BYTES),
+    ("counter", JOURNAL_APPENDS),
+    ("counter", JOURNAL_COMMITS),
+    ("counter", JOURNAL_DAMAGED_BYTES),
+    ("counter", JOURNAL_REPAIRS),
+    ("counter", REPORT_ROWS),
+    ("counter", RESOLVE_FAILED_PIDS),
+    ("counter", RESOLVE_MISSING_EPOCHS),
+    ("counter", RESOLVE_QUARANTINED_LINES),
+    ("counter", RESOLVE_SAMPLES_DROPPED),
+    ("counter", RESOLVE_SAMPLES_RESOLVED),
+    ("counter", RESOLVE_SAMPLES_STALE_EPOCH),
+    ("counter", RESOLVE_SAMPLES_UNRESOLVED),
+    ("counter", RESOLVE_SKIPPED_MAP_FILES),
+    ("counter", SESSION_INSTALLS),
+    ("counter", SESSION_STOPS),
+    ("counter", SUPERVISOR_MISSED),
+    ("counter", SUPERVISOR_REDRAINED_SAMPLES),
+    ("counter", SUPERVISOR_RESTARTS),
+    ("counter", VM_GC_COLLECTIONS),
+    ("gauge", BUFFER_CAPACITY),
+    ("gauge", BUFFER_OCCUPANCY),
+    ("gauge", RESOLVE_SHARDS),
+    ("gauge", SUPERVISOR_LAST_BACKOFF),
+    ("histogram", BUFFER_OCCUPANCY_AT_DRAIN),
+    ("histogram", DAEMON_BATCH_SAMPLES),
+    ("histogram", RESOLVE_SHARD_SAMPLES),
+    ("histogram", VM_GC_PAUSE_CYCLES),
+    ("stage", STAGE_AGENT_MAP_WRITE),
+    ("stage", STAGE_DAEMON_DRAIN),
+    ("stage", STAGE_NMI_HANDLER),
+    ("stage", STAGE_REPORT_FINISH),
+    ("stage", STAGE_RESOLVE_LOAD),
+    ("stage", STAGE_RESOLVE_REPORT),
+    ("stage", STAGE_SESSION_FLUSH),
+    ("event", EVENT_AGENT_GC_EPOCH),
+    ("event", EVENT_AGENT_MAP_WRITE),
+    ("event", EVENT_BENCH_ARTIFACT),
+    ("event", EVENT_BUFFER_OVERFLOW),
+    ("event", EVENT_DAEMON_STALL),
+    ("event", EVENT_JOURNAL_REPAIR),
+    ("event", EVENT_SESSION_INSTALL),
+    ("event", EVENT_SESSION_STOP),
+    ("event", EVENT_SUPERVISOR_MISSED),
+    ("event", EVENT_SUPERVISOR_RESTART),
+];
+
+/// Schema as printable lines (`<kind> <name>`), the exact format the
+/// golden file stores.
+pub fn schema_lines() -> Vec<String> {
+    ALL_METRICS
+        .iter()
+        .map(|(kind, name)| format!("{kind} {name}"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_no_duplicates_and_is_sorted_within_kinds() {
+        let mut seen = std::collections::BTreeSet::new();
+        for (kind, name) in ALL_METRICS {
+            assert!(seen.insert(*name), "duplicate metric name {name}");
+            assert!(
+                ["counter", "gauge", "histogram", "stage", "event"].contains(kind),
+                "unknown metric kind {kind}"
+            );
+        }
+        for kind in ["counter", "gauge", "histogram", "stage", "event"] {
+            let names: Vec<&str> = ALL_METRICS
+                .iter()
+                .filter(|(k, _)| *k == kind)
+                .map(|(_, n)| *n)
+                .collect();
+            let mut sorted = names.clone();
+            sorted.sort_unstable();
+            assert_eq!(names, sorted, "{kind} names out of order");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! The pipeline flight recorder: a bounded ring of structured events.
+//!
+//! Events are timestamped in **virtual cycles** (the sim clock), so a
+//! seeded run replays to byte-identical recordings. When the ring is
+//! full the oldest event is evicted and counted — the recorder never
+//! grows without bound and never lies about having dropped history.
+//!
+//! Events must only be emitted from deterministic contexts: the
+//! single-threaded simulation loop, or post-join code iterating shards
+//! in index order. Parallel workers record into counters/histograms
+//! (whose merges commute) and leave the recorder alone.
+
+use std::collections::VecDeque;
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Emission order, dense from 0 including evicted events.
+    pub seq: u64,
+    /// Virtual timestamp (sim-clock cycles; 0 in clock-less layers).
+    pub cycles: u64,
+    /// Event kind, from the [`crate::names`] catalog.
+    pub kind: String,
+    /// Free-form human detail (paths, labels); deterministic inputs
+    /// keep it deterministic.
+    pub detail: String,
+    /// Small structured payload, in emission order.
+    pub fields: Vec<(String, u64)>,
+}
+
+/// Bounded drop-oldest event ring.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+    ring: VecDeque<Event>,
+}
+
+/// Default ring capacity; enough for every fault-matrix scenario to be
+/// replayed in full.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            next_seq: 0,
+            dropped: 0,
+            ring: VecDeque::new(),
+        }
+    }
+
+    pub fn record(&mut self, cycles: u64, kind: &str, detail: &str, fields: &[(&str, u64)]) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(Event {
+            seq: self.next_seq,
+            cycles,
+            kind: kind.to_string(),
+            detail: detail.to_string(),
+            fields: fields.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        });
+        self.next_seq += 1;
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.ring.iter().cloned().collect()
+    }
+
+    /// Events evicted to make room (not the same as never recorded).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut fr = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            fr.record(i * 10, "t.event", "", &[("i", i)]);
+        }
+        assert_eq!(fr.dropped(), 2);
+        let evs = fr.events();
+        assert_eq!(evs.len(), 3);
+        // Oldest two (seq 0, 1) evicted; sequence numbers stay dense.
+        assert_eq!(evs[0].seq, 2);
+        assert_eq!(evs[2].seq, 4);
+        assert_eq!(evs[2].cycles, 40);
+        assert_eq!(evs[2].fields, vec![("i".to_string(), 4)]);
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let mut fr = FlightRecorder::new(0);
+        fr.record(0, "a", "", &[]);
+        fr.record(1, "b", "", &[]);
+        assert_eq!(fr.len(), 1);
+        assert_eq!(fr.events()[0].kind, "b");
+    }
+}

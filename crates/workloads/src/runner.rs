@@ -11,6 +11,7 @@ use sim_os::{Machine, MachineConfig};
 use std::sync::Arc;
 use viprof::agent::AgentStats;
 use viprof::{FaultPlan, FaultReport, Viprof};
+use viprof_telemetry::TelemetrySnapshot;
 
 /// Which profiler (if any) observes the run.
 #[derive(Debug, Clone)]
@@ -67,6 +68,10 @@ pub struct RunOutcome {
     pub faults: Option<FaultReport>,
     /// Watchdog/restart counters (supervised runs only).
     pub supervisor: Option<SupervisorStats>,
+    /// The session's final self-telemetry (profiled runs): counters,
+    /// stage timings and the flight-recorder tail, snapshotted after
+    /// the stop-time flush.
+    pub telemetry: Option<TelemetrySnapshot>,
     /// The machine, for post-processing (reports read images + VFS).
     pub machine: Machine,
 }
@@ -148,16 +153,25 @@ pub fn run_benchmark(
         }
         _ => None,
     };
-    let (vm_stats, db, driver, agent, faults, supervisor) = match profiler {
+    let (vm_stats, db, driver, agent, faults, supervisor, telemetry) = match profiler {
         ProfilerKind::None => {
             let stats = execute_plan(&mut machine, built, plan, Box::new(NullHooks));
-            (stats, None, None, None, None, None)
+            (stats, None, None, None, None, None, None)
         }
         ProfilerKind::Oprofile(config) => {
             let op = Oprofile::start(&mut machine, config);
             let stats = execute_plan(&mut machine, built, plan, Box::new(NullHooks));
             let db = op.stop(&mut machine);
-            (stats, Some(db), Some(op.driver_stats()), None, None, None)
+            let telemetry = Some(op.telemetry().snapshot());
+            (
+                stats,
+                Some(db),
+                Some(op.driver_stats()),
+                None,
+                None,
+                None,
+                telemetry,
+            )
         }
         // Every VIProf flavour is one builder chain now: faults and
         // supervision are orthogonal toggles, not enum plumbing.
@@ -175,8 +189,16 @@ pub fn run_benchmark(
             let vp = builder.start(&mut machine);
             let agent = vp.make_agent_with(precise);
             let agent_stats = agent.stats_handle();
-            let stats = execute_plan(&mut machine, built, plan, Box::new(agent));
+            // The VM shares the session registry so GC collections and
+            // pause cycles land in the same snapshot.
+            let config = VmConfig {
+                telemetry: Some(vp.telemetry()),
+                ..vm_config(&built.params)
+            };
+            let stats =
+                execute_plan_with_config(&mut machine, built, plan, Box::new(agent), config);
             let db = vp.stop(&mut machine);
+            let telemetry = Some(vp.telemetry().snapshot());
             let report = fault_plan.is_some().then(|| FaultReport {
                 driver: vp.driver_fault_stats().unwrap_or_default(),
                 daemon: vp.daemon_fault_stats().unwrap_or_default(),
@@ -189,6 +211,7 @@ pub fn run_benchmark(
                 Some(agent_stats),
                 report,
                 vp.supervisor_stats(),
+                telemetry,
             )
         }
     };
@@ -202,6 +225,7 @@ pub fn run_benchmark(
         agent,
         faults,
         supervisor,
+        telemetry,
         machine,
     }
 }
@@ -250,6 +274,14 @@ mod tests {
         assert!(vd.jit > 0);
         // The agent wrote maps.
         assert!(viprof.agent.unwrap().lock().maps_written >= 1);
+        // Telemetry rode along the profiled runs (and only those).
+        assert!(base.telemetry.is_none());
+        use viprof_telemetry::names;
+        let ot = oprof.telemetry.unwrap();
+        assert!(ot.counter(names::CPU_SAMPLES_DELIVERED) > 0);
+        let vt = viprof.telemetry.unwrap();
+        assert!(vt.counter(names::AGENT_MAPS_WRITTEN) >= 1);
+        assert!(vt.counter(names::VM_GC_COLLECTIONS) > 0, "VM shares the registry");
     }
 
     #[test]

@@ -51,10 +51,23 @@ if [[ "${1:-}" != "--fast" ]]; then
         env RUSTFLAGS="${RUSTFLAGS:-} -D deprecated" cargo check --workspace --all-targets --quiet
 
     # Resolution-engine bench, smoke-sized: asserts the flattened
-    # sharded path is bit-identical to the legacy walk and writes
-    # results/BENCH_resolve.json.
+    # sharded path is bit-identical to the legacy walk, gates the
+    # telemetry overhead under 3%, and writes results/BENCH_resolve.json.
     echo "==> bench_resolve --smoke"
     cargo run --release -p viprof-bench --bin bench_resolve -- --smoke
+
+    # Telemetry self-check: a mini end-to-end session whose persisted
+    # snapshot must parse, round-trip canonically, and reconcile.
+    echo "==> viprof-stat --selftest"
+    cargo run --release -p viprof --bin viprof-stat -- --selftest
+
+    # Telemetry-schema drift gate: the metric catalog must match the
+    # reviewed golden list, so additions/removals fail until the golden
+    # file is updated in the same change.
+    echo "==> telemetry schema drift check"
+    cargo run --release -p viprof --bin viprof-stat -- --schema \
+        | diff -u scripts/telemetry-schema.txt - \
+        || { echo "==> telemetry schema drifted from scripts/telemetry-schema.txt"; exit 1; }
 fi
 
 echo "==> verify OK"

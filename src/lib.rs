@@ -9,7 +9,9 @@
 //! * [`oprofile`] — the baseline system-wide profiler;
 //! * [`viprof`] — the paper's contribution (start here);
 //! * [`workloads`] — the synthetic SPEC JVM98 / DaCapo / pseudoJBB
-//!   suite and the run harness.
+//!   suite and the run harness;
+//! * [`telemetry`] — the self-observation layer every component above
+//!   reports into (metrics, stage timers, flight recorder).
 //!
 //! See `examples/quickstart.rs` for the five-minute tour.
 
@@ -18,4 +20,5 @@ pub use sim_cpu;
 pub use sim_jvm;
 pub use sim_os;
 pub use viprof;
+pub use viprof_telemetry as telemetry;
 pub use viprof_workloads as workloads;

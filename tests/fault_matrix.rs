@@ -15,6 +15,7 @@
 //! journal holds what the disk lost.
 
 use viprof_repro::oprofile::{OpConfig, ReportOptions, SampleOrigin};
+use viprof_repro::telemetry::names;
 use viprof_repro::viprof::codemap::JIT_MAP_DIR;
 use viprof_repro::viprof::resolve::ResolveOptions;
 use viprof_repro::viprof::{
@@ -184,6 +185,19 @@ fn daemon_crash_overflows_the_buffer_visibly() {
     let db = out.db.as_ref().unwrap();
     assert!(db.dropped > 0, "8-slot buffer must overflow while down");
     assert!(db.total_samples() > 0, "the restarted daemon drains again");
+    // The flight recorder explains the outage without the fault report:
+    // overflow events carry per-drain drop counts that reconcile with
+    // the database exactly.
+    let snap = out.telemetry.as_ref().expect("profiled run records telemetry");
+    let overflows = snap.events_of(names::EVENT_BUFFER_OVERFLOW);
+    assert!(!overflows.is_empty(), "the overflow left no trace");
+    let dropped_in_events: u64 = overflows
+        .iter()
+        .filter_map(|e| e.fields.iter().find(|(k, _)| k == "dropped"))
+        .map(|(_, v)| *v)
+        .sum();
+    assert_eq!(dropped_in_events, db.dropped, "every drop traces to an overflow event");
+    assert_eq!(snap.counter(names::BUFFER_DROPPED), db.dropped);
     quality_of(&out);
 }
 
@@ -349,6 +363,23 @@ fn supervised_daemon_crash_salvages_dropped_samples() {
     assert!(stats.restarts >= 1, "the watchdog must fire: {stats:?}");
     assert!(stats.missed_observed >= 2, "{stats:?}");
     assert!(stats.redrained_samples > 0, "catch-up drain recovered the backlog");
+    // The revive is reconstructible from the flight recorder alone:
+    // one event per missed window and per restart, with the restart
+    // events carrying the exact catch-up salvage.
+    let snap = sup.telemetry.as_ref().expect("supervised run records telemetry");
+    let restarts = snap.events_of(names::EVENT_SUPERVISOR_RESTART);
+    assert_eq!(restarts.len() as u64, stats.restarts, "each restart is an event");
+    assert_eq!(
+        snap.events_of(names::EVENT_SUPERVISOR_MISSED).len() as u64,
+        stats.missed_observed,
+        "each missed window is an event"
+    );
+    let redrained_in_events: u64 = restarts
+        .iter()
+        .filter_map(|e| e.fields.iter().find(|(k, _)| k == "redrained"))
+        .map(|(_, v)| *v)
+        .sum();
+    assert_eq!(redrained_in_events, stats.redrained_samples);
 
     let bare_db = bare.db.as_ref().unwrap();
     let sup_db = sup.db.as_ref().unwrap();

@@ -1,0 +1,133 @@
+//! Telemetry-layer integration tests: the self-observation contract
+//! across the whole stack.
+//!
+//! * **Determinism** — the sim clock drives every timestamp, so a
+//!   fixed seed exports byte-identical telemetry JSON, run after run,
+//!   and the resolve-side snapshot is byte-stable per thread count
+//!   with all substance (counters, stages) shard-invariant;
+//! * **Partition** — the log2 histogram buckets tile the whole `u64`
+//!   range with no gaps, overlaps, or misfiled boundaries;
+//! * **Schema** — the metric catalog matches the reviewed golden list
+//!   in `scripts/telemetry-schema.txt`, so instrumentation drift fails
+//!   review here and in `scripts/verify.sh`.
+
+use viprof_repro::oprofile::session::TELEMETRY_PATH;
+use viprof_repro::telemetry::{
+    bucket_hi, bucket_lo, bucket_of, names, Telemetry, TelemetrySnapshot, BUCKETS,
+};
+use viprof_repro::viprof::{ReportSpec, Viprof};
+use viprof_repro::workloads::{
+    calibrate, find_benchmark, programs, run_benchmark, BuiltWorkload, ProfilerKind, WorkPlan,
+};
+
+fn small_workload() -> (BuiltWorkload, WorkPlan) {
+    let mut params = find_benchmark("fop").expect("benchmark exists");
+    params.support_methods = params.support_methods.min(120);
+    params.heap_mb = 2;
+    let built = programs::build(&params);
+    let plan = calibrate(&built, 0.02);
+    (built, plan)
+}
+
+#[test]
+fn same_seed_exports_byte_identical_telemetry_json() {
+    let (built, plan) = small_workload();
+    let run = || run_benchmark(&built, &plan, ProfilerKind::viprof_at(50_000), 42, true);
+    let a = run();
+    let b = run();
+    let raw_a = a
+        .machine
+        .kernel
+        .vfs
+        .read(TELEMETRY_PATH)
+        .expect("stop persists the telemetry snapshot");
+    let raw_b = b.machine.kernel.vfs.read(TELEMETRY_PATH).unwrap();
+    assert_eq!(raw_a, raw_b, "same seed must export the same bytes");
+
+    // The snapshot the harness hands back is the same state stop
+    // persisted, and the JSON round-trips losslessly and canonically.
+    let text = std::str::from_utf8(raw_a).unwrap();
+    let snap = TelemetrySnapshot::from_json(text).expect("persisted JSON parses");
+    assert_eq!(Some(&snap), a.telemetry.as_ref());
+    assert_eq!(snap.to_json(), text, "export is canonical");
+    assert!(snap.counter(names::CPU_SAMPLES_DELIVERED) > 0);
+    assert_eq!(snap.counter(names::SESSION_STOPS), 1);
+}
+
+#[test]
+fn resolve_telemetry_is_deterministic_per_thread_count() {
+    let (built, plan) = small_workload();
+    let out = run_benchmark(&built, &plan, ProfilerKind::viprof_at(60_000), 7, false);
+    let db = out.db.as_ref().expect("profiled run");
+    let kernel = &out.machine.kernel;
+    let resolve = |threads: usize| {
+        Viprof::make_report(db, kernel, &ReportSpec::default().threads(threads))
+            .expect("report succeeds")
+            .telemetry
+    };
+
+    // Byte-identical JSON per thread count, run after run.
+    let t1 = resolve(1);
+    assert_eq!(t1.to_json(), resolve(1).to_json(), "1 thread");
+    let t4 = resolve(4);
+    assert_eq!(t4.to_json(), resolve(4).to_json(), "4 threads");
+
+    // Substance is shard-invariant: every counter and stage agrees
+    // across thread counts; only the shard-shaped gauge and histogram
+    // describe the partitioning itself.
+    assert_eq!(t1.counters, t4.counters, "counters must not depend on sharding");
+    assert_eq!(t1.stages, t4.stages, "stage work units must not depend on sharding");
+    assert_eq!(t1.gauge(names::RESOLVE_SHARDS), 1);
+    assert_eq!(t4.gauge(names::RESOLVE_SHARDS), 4);
+    let h = t4.histogram(names::RESOLVE_SHARD_SAMPLES).expect("shard sizes recorded");
+    assert_eq!(h.count, 4, "one record per shard");
+    assert_eq!(h.sum, db.total_samples(), "shards partition the samples");
+    assert!(t1.counter(names::REPORT_ROWS) > 0);
+}
+
+#[test]
+fn histogram_buckets_partition_the_u64_range() {
+    assert_eq!(bucket_of(0), 0);
+    assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    for k in 0..BUCKETS {
+        let lo = bucket_lo(k);
+        let hi = bucket_hi(k);
+        assert!(lo <= hi, "bucket {k} bounds inverted");
+        assert_eq!(bucket_of(lo), k, "lo of bucket {k} misfiled");
+        assert_eq!(bucket_of(hi), k, "hi of bucket {k} misfiled");
+        assert_eq!(bucket_of(lo + (hi - lo) / 2), k, "midpoint of bucket {k}");
+        if k > 0 {
+            assert_eq!(bucket_of(lo - 1), k - 1, "overlap below bucket {k}");
+        }
+        if k + 1 < BUCKETS {
+            assert_eq!(bucket_lo(k + 1), hi + 1, "gap above bucket {k}");
+        }
+    }
+
+    // A live histogram files every probe where the boundary math says,
+    // with exact count and (wrapping) sum.
+    let t = Telemetry::new();
+    let h = t.histogram(names::DAEMON_BATCH_SAMPLES);
+    let probes = [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX];
+    for &v in &probes {
+        h.record(v);
+    }
+    assert_eq!(h.count(), probes.len() as u64);
+    assert_eq!(h.sum(), probes.iter().copied().fold(0u64, u64::wrapping_add));
+    for &v in &probes {
+        assert!(h.bucket_count(bucket_of(v)) >= 1, "probe {v} not in its bucket");
+    }
+}
+
+#[test]
+fn metric_catalog_matches_the_reviewed_golden_schema() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scripts/telemetry-schema.txt");
+    let golden = std::fs::read_to_string(path).expect("golden schema exists");
+    let golden_lines: Vec<&str> = golden.lines().collect();
+    assert_eq!(
+        names::schema_lines(),
+        golden_lines,
+        "metric catalog drifted from scripts/telemetry-schema.txt — \
+         update the golden file in the same change"
+    );
+}
