@@ -1,0 +1,171 @@
+//! Overload-governor benchmark: fixed-rate sampling vs. the closed
+//! loop under a ring buffer small enough to force sustained overflow.
+//!
+//! One workload, one seed, three runs — unprofiled base, VIProf at a
+//! fixed aggressive period, and the same configuration with the
+//! adaptive governor on. The fixed run sheds samples every drain
+//! window; the governed run backs the NMI period off at the source and
+//! must (a) drop strictly fewer samples, (b) keep the final drop
+//! fraction under 5%, and (c) leave a complete decision trail in the
+//! flight recorder. Results land in `results/BENCH_overload.json`.
+//!
+//! Usage: `bench_overload [--smoke]` — `--smoke` shrinks the workload
+//! so `scripts/verify.sh` can run the gate in seconds.
+
+use oprofile::{GovernorConfig, OpConfig};
+use serde::Serialize;
+use viprof_bench::{quiet, write_json};
+use viprof_telemetry::names;
+use viprof_workloads::{calibrate, find_benchmark, programs, run_benchmark, ProfilerKind, RunOutcome};
+
+/// Aggressive enough that 20 samples land per drain window in an
+/// 8-slot ring: overflow is structural, not incidental.
+const BASE_PERIOD: u64 = 15_000;
+const RING: usize = 8;
+const DAEMON_PERIOD: u64 = 300_000;
+const SEED: u64 = 3;
+
+fn config(governed: bool) -> OpConfig {
+    let base = OpConfig {
+        buffer_capacity: RING,
+        daemon_period_cycles: DAEMON_PERIOD,
+        ..OpConfig::time_at(BASE_PERIOD)
+    };
+    if governed {
+        base.with_governor(GovernorConfig {
+            high_watermark_pct: 50,
+            low_watermark_pct: 20,
+            dwell_windows: 1,
+            backoff_factor: 4,
+            recovery_step: 0,
+            max_scale: 64,
+            deadline_cycles: 0,
+            deadline_miss_threshold: 3,
+        })
+    } else {
+        base
+    }
+}
+
+#[derive(Serialize)]
+struct RunResult {
+    label: String,
+    cycles: u64,
+    overhead_pct: f64,
+    samples: u64,
+    dropped: u64,
+    drop_pct: f64,
+    final_period: u64,
+    backoffs: u64,
+    recoveries: u64,
+    rate_change_events: usize,
+}
+
+fn result_of(label: &str, out: &RunOutcome, base_cycles: u64) -> RunResult {
+    let db = out.db.as_ref().expect("profiled run");
+    let snap = out.telemetry.as_ref().expect("profiled run records telemetry");
+    let emitted = db.total_samples() + db.dropped;
+    RunResult {
+        label: label.to_string(),
+        cycles: out.cycles,
+        overhead_pct: (out.cycles as f64 - base_cycles as f64) / base_cycles as f64 * 100.0,
+        samples: db.total_samples(),
+        dropped: db.dropped,
+        drop_pct: if emitted == 0 {
+            0.0
+        } else {
+            100.0 * db.dropped as f64 / emitted as f64
+        },
+        final_period: snap.gauge(names::GOVERNOR_PERIOD),
+        backoffs: snap.counter(names::GOVERNOR_BACKOFFS),
+        recoveries: snap.counter(names::GOVERNOR_RECOVERIES),
+        rate_change_events: snap.events_of(names::EVENT_GOVERNOR_RATE_CHANGE).len(),
+    }
+}
+
+#[derive(Serialize)]
+struct BenchOutput {
+    smoke: bool,
+    base_period: u64,
+    ring_capacity: usize,
+    base_cycles: u64,
+    fixed: RunResult,
+    governed: RunResult,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut params = find_benchmark("fop").expect("benchmark exists");
+    params.support_methods = params.support_methods.min(120);
+    params.heap_mb = 2;
+    let built = programs::build(&params);
+    let plan = calibrate(&built, if smoke { 0.02 } else { 0.1 });
+
+    if !quiet() {
+        eprintln!("overload runs (smoke={smoke})...");
+    }
+    let base = run_benchmark(&built, &plan, ProfilerKind::None, SEED, false);
+    let fixed_out = run_benchmark(&built, &plan, ProfilerKind::Viprof(config(false)), SEED, false);
+    let governed_out =
+        run_benchmark(&built, &plan, ProfilerKind::Viprof(config(true)), SEED, false);
+
+    let fixed = result_of("fixed", &fixed_out, base.cycles);
+    let governed = result_of("governed", &governed_out, base.cycles);
+    println!(
+        "overload: fixed dropped {} of {} ({:.1}%) at +{:.2}% overhead",
+        fixed.dropped,
+        fixed.samples + fixed.dropped,
+        fixed.drop_pct,
+        fixed.overhead_pct
+    );
+    println!(
+        "overload: governed dropped {} of {} ({:.1}%) at +{:.2}% overhead — \
+         {} backoff(s), {} recovery(ies), final period {}",
+        governed.dropped,
+        governed.samples + governed.dropped,
+        governed.drop_pct,
+        governed.overhead_pct,
+        governed.backoffs,
+        governed.recoveries,
+        governed.final_period
+    );
+
+    // The gates scripts/verify.sh relies on.
+    assert!(
+        fixed.dropped > 0,
+        "an {RING}-slot ring at period {BASE_PERIOD} must overflow — the scenario is broken"
+    );
+    assert!(
+        governed.dropped < fixed.dropped,
+        "governor must shed load at the source: governed {} vs fixed {}",
+        governed.dropped,
+        fixed.dropped
+    );
+    assert!(
+        governed.drop_pct < 5.0,
+        "governed drop fraction must stay under 5%: {:.2}%",
+        governed.drop_pct
+    );
+    assert!(governed.backoffs >= 1, "pressure must trigger a backoff");
+    assert!(
+        governed.final_period > BASE_PERIOD,
+        "the governed period must have backed off from {BASE_PERIOD}: {}",
+        governed.final_period
+    );
+    assert_eq!(
+        fixed.backoffs, 0,
+        "the ungoverned run must record no governor activity"
+    );
+
+    write_json(
+        "BENCH_overload.json",
+        &BenchOutput {
+            smoke,
+            base_period: BASE_PERIOD,
+            ring_capacity: RING,
+            base_cycles: base.cycles,
+            fixed,
+            governed,
+        },
+    );
+}

@@ -151,6 +151,7 @@ fn main() {
             options: options.clone(),
             recover,
             threads,
+            poison: None,
         };
         match Viprof::make_report(&db, &kernel, &spec) {
             Ok(sr) => {
@@ -196,6 +197,20 @@ fn main() {
                         q.skipped_map_files
                     );
                 }
+                if q.quarantined > 0 {
+                    println!(
+                        "WARNING: {} sample(s) quarantined — a resolution shard \
+                         panicked twice; they are counted but carry no symbols",
+                        q.quarantined
+                    );
+                }
+                if q.evicted > 0 {
+                    println!(
+                        "NOTE: {} sample(s) evicted at admission — the session ran \
+                         with a bounded sample database",
+                        q.evicted
+                    );
+                }
             }
             if let Some(rec) = &recovery {
                 print_recovery(rec);
@@ -214,6 +229,7 @@ fn main() {
                         Ok(snap) => {
                             println!("== runtime telemetry ({}) ==", oprofile::TELEMETRY_PATH);
                             print!("{}", snap.render_text());
+                            print_governor_footer(&snap);
                         }
                         Err(e) => {
                             eprintln!("viprof-report: WARNING: unreadable runtime telemetry: {e}")
@@ -238,6 +254,36 @@ fn main() {
                 std::process::exit(1);
             }
         },
+    }
+}
+
+/// One human line per overload-governor outcome, after the raw metric
+/// dump: what the closed loop actually *did* to the sampling rate.
+fn print_governor_footer(snap: &TelemetrySnapshot) {
+    use viprof_telemetry::names;
+    let backoffs = snap.counter(names::GOVERNOR_BACKOFFS);
+    let recoveries = snap.counter(names::GOVERNOR_RECOVERIES);
+    let escalations = snap.counter(names::GOVERNOR_ESCALATIONS);
+    let misses = snap.counter(names::DAEMON_DEADLINE_MISSES);
+    if backoffs == 0 && recoveries == 0 && escalations == 0 && misses == 0 {
+        return;
+    }
+    println!("== overload governor ==");
+    println!(
+        "governor: {backoffs} backoff(s), {recoveries} recovery step(s); \
+         final period {} cycles",
+        snap.gauge(names::GOVERNOR_PERIOD)
+    );
+    for e in snap.events_of(names::EVENT_GOVERNOR_RATE_CHANGE) {
+        let from = e.fields.iter().find(|(k, _)| k == "from").map_or(0, |(_, v)| *v);
+        let to = e.fields.iter().find(|(k, _)| k == "to").map_or(0, |(_, v)| *v);
+        println!("governor: cycle {}: period {} -> {} ({})", e.cycles, from, to, e.detail);
+    }
+    if misses > 0 {
+        println!(
+            "governor: {misses} drain-deadline miss(es), {escalations} \
+             escalation(s) to the supervisor"
+        );
     }
 }
 

@@ -134,6 +134,7 @@ fn main() {
                 options: ReportOptions::default(),
                 recover,
                 threads,
+                poison: None,
             };
             Viprof::make_report(&db, &kernel, &spec).ok()
         });
@@ -193,6 +194,21 @@ fn print_pipeline(t: &TelemetrySnapshot) {
             t.gauge(names::SUPERVISOR_LAST_BACKOFF)
         );
     }
+    let backoffs = t.counter(names::GOVERNOR_BACKOFFS);
+    let recoveries = t.counter(names::GOVERNOR_RECOVERIES);
+    let misses = t.counter(names::DAEMON_DEADLINE_MISSES);
+    if backoffs > 0 || recoveries > 0 || misses > 0 {
+        println!(
+            "  governor backoffs / recoveries / escalations {} / {} / {} \
+             (period {}, {} deadline misses, {} evicted)",
+            backoffs,
+            recoveries,
+            t.counter(names::GOVERNOR_ESCALATIONS),
+            t.gauge(names::GOVERNOR_PERIOD),
+            misses,
+            t.counter(names::DB_EVICTED_SAMPLES)
+        );
+    }
     println!(
         "  agent maps written {} ({} entries), gc epochs {}",
         t.counter(names::AGENT_MAPS_WRITTEN),
@@ -223,6 +239,18 @@ fn print_resolution(t: &TelemetrySnapshot) {
         t.counter(names::RESOLVE_FAILED_PIDS),
         t.counter(names::RESOLVE_MISSING_EPOCHS)
     );
+    let panics = t.counter(names::RESOLVE_SHARD_PANICS);
+    if panics > 0 {
+        println!(
+            "  shard panics {} — {} sample(s) quarantined",
+            panics,
+            t.counter(names::RESOLVE_SAMPLES_QUARANTINED)
+        );
+    }
+    let evicted = t.counter(names::RESOLVE_SAMPLES_EVICTED);
+    if evicted > 0 {
+        println!("  admission-cap evictions {evicted}");
+    }
     if let Some(h) = t.histogram(names::RESOLVE_SHARD_SAMPLES) {
         let spread: Vec<String> = h
             .buckets

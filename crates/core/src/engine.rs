@@ -52,6 +52,22 @@ struct ShardTally {
     resolved: u64,
     stale_epoch: u64,
     unresolved: u64,
+    /// Samples whose shard panicked twice (worker + fallback): kept in
+    /// the accounting so the report never silently shrinks.
+    quarantined: u64,
+}
+
+/// Deterministic shard-poison knob (fault-matrix and unit tests): any
+/// bucket belonging to `pid` panics mid-resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPoison {
+    /// JIT pid whose buckets trip the panic.
+    pub pid: Pid,
+    /// `false`: panic only inside parallel shard workers, so the
+    /// engine's single-threaded fallback re-resolve succeeds and the
+    /// report comes out identical to a clean run. `true`: the fallback
+    /// panics too and the shard's samples are quarantined.
+    pub fatal: bool,
 }
 
 /// The engine's resolved telemetry handles. The quality counters are a
@@ -61,14 +77,18 @@ struct ShardTally {
 /// (the struct and the registry can never drift apart silently).
 #[derive(Debug, Clone)]
 struct EngineTelemetry {
+    registry: Telemetry,
     resolved: Counter,
     stale_epoch: Counter,
     unresolved: Counter,
+    quarantined: Counter,
     dropped: Counter,
+    evicted: Counter,
     quarantined_lines: Counter,
     skipped_map_files: Counter,
     failed_pids: Counter,
     missing_epochs: Counter,
+    shard_panics: Counter,
     shards: Gauge,
     shard_samples: Histogram,
     report_stage: Stage,
@@ -77,30 +97,36 @@ struct EngineTelemetry {
 impl EngineTelemetry {
     fn attach(registry: &Telemetry) -> EngineTelemetry {
         EngineTelemetry {
+            registry: registry.clone(),
             resolved: registry.counter(names::RESOLVE_SAMPLES_RESOLVED),
             stale_epoch: registry.counter(names::RESOLVE_SAMPLES_STALE_EPOCH),
             unresolved: registry.counter(names::RESOLVE_SAMPLES_UNRESOLVED),
+            quarantined: registry.counter(names::RESOLVE_SAMPLES_QUARANTINED),
             dropped: registry.counter(names::RESOLVE_SAMPLES_DROPPED),
+            evicted: registry.counter(names::RESOLVE_SAMPLES_EVICTED),
             quarantined_lines: registry.counter(names::RESOLVE_QUARANTINED_LINES),
             skipped_map_files: registry.counter(names::RESOLVE_SKIPPED_MAP_FILES),
             failed_pids: registry.counter(names::RESOLVE_FAILED_PIDS),
             missing_epochs: registry.counter(names::RESOLVE_MISSING_EPOCHS),
+            shard_panics: registry.counter(names::RESOLVE_SHARD_PANICS),
             shards: registry.gauge(names::RESOLVE_SHARDS),
             shard_samples: registry.histogram(names::RESOLVE_SHARD_SAMPLES),
             report_stage: registry.stage(names::STAGE_RESOLVE_REPORT),
         }
     }
 
-    /// Current values of the eight quality counters, in
+    /// Current values of the ten quality counters, in
     /// [`ResolutionQuality`] field order. Taken before a resolve pass
     /// so `finish` can compare deltas (registries may be shared and
     /// pre-used, so absolute values prove nothing).
-    fn quality_counts(&self) -> [u64; 8] {
+    fn quality_counts(&self) -> [u64; 10] {
         [
             self.resolved.get(),
             self.stale_epoch.get(),
             self.unresolved.get(),
+            self.quarantined.get(),
             self.dropped.get(),
+            self.evicted.get(),
             self.quarantined_lines.get(),
             self.skipped_map_files.get(),
             self.failed_pids.get(),
@@ -113,21 +139,43 @@ impl EngineTelemetry {
         self.resolved.add(t.resolved);
         self.stale_epoch.add(t.stale_epoch);
         self.unresolved.add(t.unresolved);
+        self.quarantined.add(t.quarantined);
     }
 
     /// Second-sink accumulation of the static base quality (load-time
-    /// damage plus ring-buffer drops).
+    /// damage plus ring-buffer drops and admission-cap evictions).
     fn add_base(&self, base: &ResolutionQuality) {
         self.dropped.add(base.dropped);
+        self.evicted.add(base.evicted);
         self.quarantined_lines.add(base.quarantined_lines);
         self.skipped_map_files.add(base.skipped_map_files);
         self.failed_pids.add(base.failed_pids);
         self.missing_epochs.add(base.missing_epochs);
     }
 
+    /// One shard worker died. Counts the panic and records whether the
+    /// single-threaded fallback recovered the shard or its samples went
+    /// to quarantine.
+    fn note_shard_panic(&self, shard: u64, samples: u64, recovered: bool) {
+        self.shard_panics.inc();
+        self.registry.event(
+            names::EVENT_RESOLVE_SHARD_QUARANTINE,
+            if recovered {
+                "shard panicked; fallback re-resolve recovered it"
+            } else {
+                "shard panicked twice; samples quarantined"
+            },
+            &[
+                ("shard", shard),
+                ("samples", samples),
+                ("recovered", recovered as u64),
+            ],
+        );
+    }
+
     /// Close out one resolve pass: shard-shape metrics, the offline
     /// work-unit stage, and the counter-vs-struct equivalence check.
-    fn finish(&self, before: [u64; 8], quality: &ResolutionQuality, shard_sizes: &[u64]) {
+    fn finish(&self, before: [u64; 10], quality: &ResolutionQuality, shard_sizes: &[u64]) {
         self.shards.set(shard_sizes.len() as u64);
         for &size in shard_sizes {
             self.shard_samples.record(size);
@@ -141,7 +189,9 @@ impl EngineTelemetry {
                 quality.resolved,
                 quality.stale_epoch,
                 quality.unresolved,
+                quality.quarantined,
                 quality.dropped,
+                quality.evicted,
                 quality.quarantined_lines,
                 quality.skipped_map_files,
                 quality.failed_pids,
@@ -179,6 +229,8 @@ pub struct ResolutionEngine {
     /// engine metrics-free (handles never charge simulated cycles
     /// either way).
     telemetry: Option<EngineTelemetry>,
+    /// Deterministic panic injector for the quarantine machinery.
+    poison: Option<ShardPoison>,
 }
 
 impl ResolutionEngine {
@@ -236,6 +288,25 @@ impl ResolutionEngine {
             boot_image_name: Arc::from(BOOT_IMAGE_NAME),
             no_symbols: Arc::from("(no symbols)"),
             telemetry: None,
+            poison: None,
+        }
+    }
+
+    /// Install (or clear) the deterministic shard-poison injector.
+    pub fn set_poison(&mut self, poison: Option<ShardPoison>) {
+        self.poison = poison;
+    }
+
+    /// Panic if `bucket` is poisoned in this context — the seam the
+    /// quarantine tests drive. A non-fatal poison only trips inside
+    /// parallel shard workers, leaving the fallback path clean.
+    fn trip_poison(&self, bucket: &SampleBucket, parallel_worker: bool) {
+        if let Some(p) = self.poison {
+            if let SampleOrigin::JitApp { pid } = bucket.origin {
+                if pid == p.pid && (p.fatal || parallel_worker) {
+                    panic!("poisoned resolution shard (pid {})", pid.0);
+                }
+            }
         }
     }
 
@@ -329,6 +400,7 @@ impl ResolutionEngine {
     fn base_quality(&self, db: &SampleDb) -> ResolutionQuality {
         ResolutionQuality {
             dropped: db.dropped,
+            evicted: db.evicted,
             ..self.damage
         }
     }
@@ -342,10 +414,12 @@ impl ResolutionEngine {
         shard: &[(&SampleBucket, u64)],
         kernel: &Kernel,
         events: &[HwEvent],
+        parallel_worker: bool,
     ) -> (HashMap<(Arc<str>, Arc<str>), Vec<u64>>, ShardTally) {
         let mut agg: HashMap<(Arc<str>, Arc<str>), Vec<u64>> = HashMap::new();
         let mut tally = ShardTally::default();
         for &(bucket, count) in shard {
+            self.trip_poison(bucket, parallel_worker);
             match self.classify_bucket(bucket) {
                 Class::Resolved => tally.resolved += count,
                 Class::Stale => tally.stale_epoch += count,
@@ -359,9 +433,10 @@ impl ResolutionEngine {
         (agg, tally)
     }
 
-    fn classify_shard(&self, shard: &[(&SampleBucket, u64)]) -> ShardTally {
+    fn classify_shard(&self, shard: &[(&SampleBucket, u64)], parallel_worker: bool) -> ShardTally {
         let mut tally = ShardTally::default();
         for &(bucket, count) in shard {
+            self.trip_poison(bucket, parallel_worker);
             match self.classify_bucket(bucket) {
                 Class::Resolved => tally.resolved += count,
                 Class::Stale => tally.stale_epoch += count,
@@ -369,6 +444,15 @@ impl ResolutionEngine {
             }
         }
         tally
+    }
+
+    /// Quarantine tally for a shard whose worker *and* fallback died:
+    /// every sample is kept in the accounting, none get report rows.
+    fn quarantine_tally(shard: &[(&SampleBucket, u64)]) -> ShardTally {
+        ShardTally {
+            quarantined: shard.iter().map(|(_, c)| *c).sum(),
+            ..ShardTally::default()
+        }
     }
 
     /// The merged report plus quality accounting in one pass over the
@@ -386,26 +470,52 @@ impl ResolutionEngine {
         let (events, totals) = report_events(db, options);
         let shards = self.shard(db, threads);
         let events_ref: &[HwEvent] = &events;
-        let parts: Vec<(HashMap<(Arc<str>, Arc<str>), Vec<u64>>, ShardTally)> =
+        // A panicking shard must not take the session report with it:
+        // every worker is isolated, and a dead shard is retried once on
+        // the legacy single-threaded walk before its samples fall back
+        // to quarantine accounting.
+        let attempts: Vec<Option<(HashMap<(Arc<str>, Arc<str>), Vec<u64>>, ShardTally)>> =
             if shards.len() <= 1 {
                 shards
                     .iter()
-                    .map(|s| self.resolve_shard(s, kernel, events_ref))
+                    .map(|s| {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            self.resolve_shard(s, kernel, events_ref, true)
+                        }))
+                        .ok()
+                    })
                     .collect()
             } else {
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = shards
                         .iter()
                         .map(|shard| {
-                            scope.spawn(move || self.resolve_shard(shard, kernel, events_ref))
+                            scope.spawn(move || self.resolve_shard(shard, kernel, events_ref, true))
                         })
                         .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("resolution shard panicked"))
-                        .collect()
+                    handles.into_iter().map(|h| h.join().ok()).collect()
                 })
             };
+        let parts: Vec<(HashMap<(Arc<str>, Arc<str>), Vec<u64>>, ShardTally)> = attempts
+            .into_iter()
+            .enumerate()
+            .map(|(i, attempt)| match attempt {
+                Some(part) => part,
+                None => {
+                    let retried = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        self.resolve_shard(&shards[i], kernel, events_ref, false)
+                    }));
+                    let recovered = retried.is_ok();
+                    if let Some(t) = &self.telemetry {
+                        let samples: u64 = shards[i].iter().map(|(_, c)| *c).sum();
+                        t.note_shard_panic(i as u64, samples, recovered);
+                    }
+                    retried.unwrap_or_else(|_| {
+                        (HashMap::new(), Self::quarantine_tally(&shards[i]))
+                    })
+                }
+            })
+            .collect();
 
         let before = self.telemetry.as_ref().map(|t| t.quality_counts());
         let shard_sizes: Vec<u64> = shards
@@ -421,6 +531,7 @@ impl ResolutionEngine {
             quality.resolved += tally.resolved;
             quality.stale_epoch += tally.stale_epoch;
             quality.unresolved += tally.unresolved;
+            quality.quarantined += tally.quarantined;
             if let Some(t) = &self.telemetry {
                 t.add_tally(&tally);
             }
@@ -453,20 +564,43 @@ impl ResolutionEngine {
     /// Identical to [`ViprofResolver::quality`] on the same load.
     pub fn quality(&self, db: &SampleDb, threads: usize) -> ResolutionQuality {
         let shards = self.shard(db, threads);
-        let tallies: Vec<ShardTally> = if shards.len() <= 1 {
-            shards.iter().map(|s| self.classify_shard(s)).collect()
+        let attempts: Vec<Option<ShardTally>> = if shards.len() <= 1 {
+            shards
+                .iter()
+                .map(|s| {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        self.classify_shard(s, true)
+                    }))
+                    .ok()
+                })
+                .collect()
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = shards
                     .iter()
-                    .map(|shard| scope.spawn(move || self.classify_shard(shard)))
+                    .map(|shard| scope.spawn(move || self.classify_shard(shard, true)))
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("classification shard panicked"))
-                    .collect()
+                handles.into_iter().map(|h| h.join().ok()).collect()
             })
         };
+        let tallies: Vec<ShardTally> = attempts
+            .into_iter()
+            .enumerate()
+            .map(|(i, attempt)| match attempt {
+                Some(tally) => tally,
+                None => {
+                    let retried = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        self.classify_shard(&shards[i], false)
+                    }));
+                    let recovered = retried.is_ok();
+                    if let Some(t) = &self.telemetry {
+                        let samples: u64 = shards[i].iter().map(|(_, c)| *c).sum();
+                        t.note_shard_panic(i as u64, samples, recovered);
+                    }
+                    retried.unwrap_or_else(|_| Self::quarantine_tally(&shards[i]))
+                }
+            })
+            .collect();
         let before = self.telemetry.as_ref().map(|t| t.quality_counts());
         let shard_sizes: Vec<u64> = shards
             .iter()
@@ -480,6 +614,7 @@ impl ResolutionEngine {
             quality.resolved += tally.resolved;
             quality.stale_epoch += tally.stale_epoch;
             quality.unresolved += tally.unresolved;
+            quality.quarantined += tally.quarantined;
             if let Some(t) = &self.telemetry {
                 t.add_tally(&tally);
             }
@@ -645,6 +780,74 @@ mod tests {
             t.snapshot().counter(names::RESOLVE_SAMPLES_RESOLVED),
             2 * q1.resolved
         );
+    }
+
+    #[test]
+    fn nonfatal_poison_recovers_via_fallback_bit_identically() {
+        let (k, pid) = setup();
+        let db = mixed_db(&k, pid);
+        let (resolver, _) = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap();
+        let clean = ResolutionEngine::build(&resolver);
+        let options = ReportOptions::default();
+        let (clean_report, clean_q) = clean.report_with_quality(&db, &k, &options, 4);
+        let mut poisoned = ResolutionEngine::build(&resolver);
+        let t = Telemetry::default();
+        poisoned.set_telemetry(&t);
+        poisoned.set_poison(Some(ShardPoison { pid, fatal: false }));
+        let (report, q) = poisoned.report_with_quality(&db, &k, &options, 4);
+        assert_eq!(report, clean_report, "fallback must reproduce the clean report");
+        assert_eq!(q, clean_q);
+        assert_eq!(q.quarantined, 0);
+        let snap = t.snapshot();
+        assert!(snap.counter(names::RESOLVE_SHARD_PANICS) >= 1);
+        let events = snap.events_of(names::EVENT_RESOLVE_SHARD_QUARANTINE);
+        assert!(!events.is_empty());
+        assert!(events
+            .iter()
+            .all(|e| e.fields.iter().any(|(k, v)| k == "recovered" && *v == 1)));
+    }
+
+    #[test]
+    fn fatal_poison_quarantines_without_losing_accounting() {
+        let (k, pid) = setup();
+        let db = mixed_db(&k, pid);
+        let (resolver, _) = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap();
+        for threads in [1, 4] {
+            let mut engine = ResolutionEngine::build(&resolver);
+            let t = Telemetry::default();
+            engine.set_telemetry(&t);
+            engine.set_poison(Some(ShardPoison { pid, fatal: true }));
+            let (_report, q) = engine.report_with_quality(&db, &k, &ReportOptions::default(), threads);
+            assert!(q.quarantined > 0, "threads={threads}");
+            assert_eq!(
+                q.accounted(),
+                db.total_samples(),
+                "quarantine keeps the accounting complete (threads={threads})"
+            );
+            let quality_only = engine.quality(&db, threads);
+            assert_eq!(quality_only, q, "both paths quarantine identically");
+            let snap = t.snapshot();
+            assert!(snap.counter(names::RESOLVE_SHARD_PANICS) >= 2, "worker and fallback");
+            assert!(snap
+                .events_of(names::EVENT_RESOLVE_SHARD_QUARANTINE)
+                .iter()
+                .any(|e| e.fields.iter().any(|(k, v)| k == "recovered" && *v == 0)));
+        }
+    }
+
+    #[test]
+    fn evictions_flow_from_db_into_quality() {
+        let (k, pid) = setup();
+        let mut db = mixed_db(&k, pid);
+        db.evicted = 9;
+        let (resolver, _) = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap();
+        let engine = ResolutionEngine::build(&resolver);
+        let q = engine.quality(&db, 2);
+        assert_eq!(q.evicted, 9);
+        assert_eq!(q, resolver.quality(&db), "legacy walk agrees");
+        // Evicted samples sit outside accounted(): they never reached
+        // the database, like drops.
+        assert_eq!(q.accounted(), db.total_samples());
     }
 
     #[test]

@@ -22,6 +22,11 @@ pub enum ViprofError {
     Corrupt { path: String, detail: String },
     /// Map files exist for this pid but not one of them was usable.
     NoUsableMaps { pid: Pid },
+    /// The session configuration cannot start a profiler at all (no
+    /// events, a zero period, a self-contradicting governor). Caught
+    /// before any counter is programmed — the alternative is a sampler
+    /// that silently never fires.
+    InvalidConfig(String),
 }
 
 impl std::fmt::Display for ViprofError {
@@ -36,6 +41,9 @@ impl std::fmt::Display for ViprofError {
             }
             ViprofError::NoUsableMaps { pid } => {
                 write!(f, "pid {}: map files exist but none is usable", pid.0)
+            }
+            ViprofError::InvalidConfig(why) => {
+                write!(f, "invalid session config: {why}")
             }
         }
     }
@@ -55,6 +63,8 @@ mod tests {
         assert_eq!(e.to_string(), "/meta/images.json missing from session");
         let e = ViprofError::NoUsableMaps { pid: Pid(12) };
         assert!(e.to_string().contains("pid 12"));
+        let e = ViprofError::InvalidConfig("no events".into());
+        assert_eq!(e.to_string(), "invalid session config: no events");
     }
 
     #[test]

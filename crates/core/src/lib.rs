@@ -54,7 +54,7 @@ pub use agent::{AgentStats, MapFaultStats, MapFaults, VmAgent};
 pub use bootmap::BootMap;
 pub use callgraph::CallGraph;
 pub use codemap::{CodeMapEntry, CodeMapSet, EpochMap, ParsedMap, JIT_MAP_DIR};
-pub use engine::ResolutionEngine;
+pub use engine::{ResolutionEngine, ShardPoison};
 pub use error::ViprofError;
 pub use faults::{FaultPlan, FaultReport};
 pub use flatindex::FlatIndex;

@@ -40,8 +40,14 @@ pub struct ResolutionQuality {
     /// Samples with no attribution beyond their raw origin (unresolved
     /// JIT, anon ranges, unknown PCs).
     pub unresolved: u64,
+    /// Samples whose resolution shard panicked and whose fallback
+    /// re-resolution panicked too: present in the database, counted
+    /// here instead of silently vanishing from the report.
+    pub quarantined: u64,
     /// Samples that never reached the database (ring-buffer overflow).
     pub dropped: u64,
+    /// Samples the database's admission cap refused (bounded memory).
+    pub evicted: u64,
     /// Map lines quarantined during load.
     pub quarantined_lines: u64,
     /// Whole map files skipped as unusable.
@@ -54,9 +60,9 @@ pub struct ResolutionQuality {
 
 impl ResolutionQuality {
     /// Emitted samples this report accounts for — by construction equal
-    /// to `db.total_samples()`.
+    /// to `db.total_samples()`, even when shards panicked.
     pub fn accounted(&self) -> u64 {
-        self.resolved + self.stale_epoch + self.unresolved
+        self.resolved + self.stale_epoch + self.unresolved + self.quarantined
     }
 }
 
@@ -72,7 +78,11 @@ pub(crate) fn record_quality(registry: &Telemetry, q: &ResolutionQuality) {
     registry
         .counter(names::RESOLVE_SAMPLES_UNRESOLVED)
         .add(q.unresolved);
+    registry
+        .counter(names::RESOLVE_SAMPLES_QUARANTINED)
+        .add(q.quarantined);
     registry.counter(names::RESOLVE_SAMPLES_DROPPED).add(q.dropped);
+    registry.counter(names::RESOLVE_SAMPLES_EVICTED).add(q.evicted);
     registry
         .counter(names::RESOLVE_QUARANTINED_LINES)
         .add(q.quarantined_lines);
@@ -259,6 +269,7 @@ impl ViprofResolver {
     pub fn quality(&self, db: &SampleDb) -> ResolutionQuality {
         let mut q = ResolutionQuality {
             dropped: db.dropped,
+            evicted: db.evicted,
             failed_pids: self.failed_pids.len() as u64,
             ..ResolutionQuality::default()
         };

@@ -79,8 +79,20 @@ impl SessionBuilder {
         self
     }
 
-    /// Start the session on `machine`.
+    /// Start the session on `machine`. Panics on an unstartable
+    /// configuration (the profiler would otherwise never fire a single
+    /// NMI); use [`SessionBuilder::try_start`] to get the typed error
+    /// instead.
     pub fn start(self, machine: &mut Machine) -> Viprof {
+        self.try_start(machine)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`SessionBuilder::start`] with the config checked first: an
+    /// unstartable configuration comes back as
+    /// [`ViprofError::InvalidConfig`] *before* any counter is
+    /// programmed or any machine state touched.
+    pub fn try_start(self, machine: &mut Machine) -> Result<Viprof, ViprofError> {
         let mut config = self.config;
         if let Some(journal) = self.journal {
             config.journal = journal;
@@ -101,7 +113,8 @@ impl SessionBuilder {
             Some(plan) => (plan.apply_to(config), plan.agent_faults()),
             None => (config, None),
         };
-        Viprof::start_inner(machine, config, agent_faults)
+        config.validate().map_err(ViprofError::InvalidConfig)?;
+        Ok(Viprof::start_inner(machine, config, agent_faults))
     }
 }
 
@@ -116,6 +129,10 @@ pub struct ReportSpec {
     /// Resolution shards; `0` or `1` = single-threaded. The report is
     /// bit-identical for every value.
     pub threads: usize,
+    /// Deterministic shard-poison injection (fault-matrix tests): the
+    /// named pid's buckets panic mid-resolution, exercising the
+    /// engine's catch-unwind fallback and quarantine accounting.
+    pub poison: Option<crate::engine::ShardPoison>,
 }
 
 impl ReportSpec {
@@ -130,6 +147,13 @@ impl ReportSpec {
     /// Set the shard count.
     pub fn threads(mut self, threads: usize) -> ReportSpec {
         self.threads = threads;
+        self
+    }
+
+    /// Poison the shard holding `pid`'s JIT buckets (see
+    /// [`crate::engine::ShardPoison`]).
+    pub fn poison(mut self, poison: crate::engine::ShardPoison) -> ReportSpec {
+        self.poison = Some(poison);
         self
     }
 }
@@ -298,6 +322,7 @@ impl Viprof {
             .record(loaded_entries);
         let mut engine = ResolutionEngine::build(&resolver);
         engine.set_telemetry(&telemetry);
+        engine.set_poison(spec.poison);
         let (lines, quality) = engine.report_with_quality(db, kernel, &spec.options, spec.threads);
         telemetry
             .counter(names::REPORT_ROWS)
@@ -450,6 +475,7 @@ fn spec_with(options: &ReportOptions, recover: bool) -> ReportSpec {
         options: options.clone(),
         recover,
         threads: 0,
+        poison: None,
     }
 }
 
@@ -702,6 +728,73 @@ mod tests {
         assert_eq!(
             rep.telemetry.counter(names::REPORT_ROWS),
             report.rows.len() as u64
+        );
+    }
+
+    #[test]
+    fn try_start_surfaces_invalid_config_as_typed_error() {
+        // An unstartable config comes back as InvalidConfig before any
+        // counter is programmed; the machine stays usable afterwards.
+        let mut machine = Machine::new(MachineConfig::default());
+        let mut config = OpConfig::time_at(20_000);
+        config.events.clear();
+        let err = Viprof::builder()
+            .config(config)
+            .try_start(&mut machine)
+            .unwrap_err();
+        assert!(matches!(err, ViprofError::InvalidConfig(_)), "{err:?}");
+        assert!(
+            err.to_string().starts_with("invalid session config:"),
+            "{err}"
+        );
+        // Nothing was installed — a valid session still starts cleanly.
+        let viprof = Viprof::builder()
+            .config(OpConfig::time_at(20_000))
+            .try_start(&mut machine)
+            .unwrap();
+        viprof.stop(&mut machine);
+    }
+
+    #[test]
+    fn poisoned_report_spec_keeps_the_session_report_complete() {
+        // A fatal shard poison routed through the high-level report
+        // path: rows may shrink, but the quality accounting still
+        // covers every emitted sample and the report never errors.
+        let mut machine = Machine::new(MachineConfig::default());
+        let viprof = Viprof::builder()
+            .config(OpConfig::time_at(20_000))
+            .start(&mut machine);
+        let mut natives = NativeRegistry::new();
+        let program = bench_program(&mut natives);
+        let mut vm = Vm::boot(
+            &mut machine,
+            program,
+            natives,
+            vm_config(96 * 1024),
+            Box::new(viprof.make_agent()),
+        );
+        vm.run(&mut machine);
+        vm.shutdown(&mut machine);
+        let db = viprof.stop(&mut machine);
+        let pid = db
+            .iter()
+            .find_map(|(b, _)| match b.origin {
+                oprofile::SampleOrigin::JitApp { pid } => Some(pid),
+                _ => None,
+            })
+            .expect("workload produced JIT samples");
+
+        let clean = Viprof::make_report(&db, &machine.kernel, &ReportSpec::default()).unwrap();
+        let spec = ReportSpec::default()
+            .threads(4)
+            .poison(crate::engine::ShardPoison { pid, fatal: true });
+        let poisoned = Viprof::make_report(&db, &machine.kernel, &spec).unwrap();
+        assert!(poisoned.quality.quarantined > 0);
+        assert_eq!(poisoned.quality.accounted(), db.total_samples());
+        assert_eq!(clean.quality.accounted(), poisoned.quality.accounted());
+        assert!(
+            poisoned.telemetry.counter(names::RESOLVE_SHARD_PANICS) > 0,
+            "panic surfaced in the pass telemetry"
         );
     }
 

@@ -13,6 +13,7 @@ use viprof_telemetry::{names, Counter, Gauge, Telemetry};
 struct BufferTelemetry {
     pushed: Counter,
     dropped: Counter,
+    drain_allocated: Counter,
     occupancy: Gauge,
 }
 
@@ -27,6 +28,14 @@ pub struct RingBuffer {
     pub dropped: u64,
     /// Total samples ever accepted.
     pub pushed: u64,
+    /// Recycled drain vector: [`drain`](Self::drain) hands it out,
+    /// [`recycle`](Self::recycle) takes it back, so steady-state drains
+    /// allocate nothing.
+    spare: Vec<SampleBucket>,
+    /// Total slots of fresh allocation `drain` ever had to perform.
+    /// With callers recycling, this is bounded by the ring capacity
+    /// (times the growth factor), independent of how many drains run.
+    pub drain_allocated_slots: u64,
     telemetry: Option<BufferTelemetry>,
 }
 
@@ -43,6 +52,8 @@ impl RingBuffer {
             capacity,
             dropped: 0,
             pushed: 0,
+            spare: Vec::new(),
+            drain_allocated_slots: 0,
             telemetry: None,
         }
     }
@@ -54,6 +65,7 @@ impl RingBuffer {
         let t = BufferTelemetry {
             pushed: registry.counter(names::BUFFER_PUSHED),
             dropped: registry.counter(names::BUFFER_DROPPED),
+            drain_allocated: registry.counter(names::BUFFER_DRAIN_ALLOCATED_SLOTS),
             occupancy: registry.gauge(names::BUFFER_OCCUPANCY),
         };
         t.occupancy.set(self.len as u64);
@@ -110,8 +122,24 @@ impl RingBuffer {
     }
 
     /// Drain every buffered sample in FIFO order.
+    ///
+    /// The returned vector is the recycled spare when one is available;
+    /// hand it back via [`recycle`](Self::recycle) after consuming it
+    /// and steady-state drains stop allocating. Fresh allocation (first
+    /// drain, or growth after a deeper-than-ever occupancy) is tallied
+    /// in `drain_allocated_slots` and the matching telemetry counter.
     pub fn drain(&mut self) -> Vec<SampleBucket> {
-        let mut out = Vec::with_capacity(self.len);
+        let mut out = std::mem::take(&mut self.spare);
+        out.clear();
+        if out.capacity() < self.len {
+            let before = out.capacity();
+            out.reserve(self.len);
+            let grown = (out.capacity() - before) as u64;
+            self.drain_allocated_slots += grown;
+            if let Some(t) = &self.telemetry {
+                t.drain_allocated.add(grown);
+            }
+        }
         while self.len > 0 {
             out.push(self.slots[self.head]);
             self.head = (self.head + 1) % self.capacity;
@@ -122,6 +150,17 @@ impl RingBuffer {
             t.occupancy.set(0);
         }
         out
+    }
+
+    /// Return a drained vector for reuse by the next [`drain`]
+    /// (keeping whichever of the two has more capacity).
+    ///
+    /// [`drain`]: Self::drain
+    pub fn recycle(&mut self, mut v: Vec<SampleBucket>) {
+        v.clear();
+        if v.capacity() > self.spare.capacity() {
+            self.spare = v;
+        }
     }
 }
 
@@ -198,6 +237,59 @@ mod tests {
         }
         assert_eq!(seen, (0..20).collect::<Vec<u64>>());
         assert_eq!(r.dropped, 0);
+    }
+
+    #[test]
+    fn recycled_drains_stop_allocating() {
+        let t = Telemetry::new();
+        let mut r = RingBuffer::new(8);
+        r.attach_telemetry(&t);
+        let mut after_first = None;
+        for round in 0..100u64 {
+            for i in 0..8 {
+                r.push(s(round * 8 + i));
+            }
+            let batch = r.drain();
+            assert_eq!(batch.len(), 8);
+            r.recycle(batch);
+            match after_first {
+                None => {
+                    after_first = Some(r.drain_allocated_slots);
+                    assert!(r.drain_allocated_slots >= 8, "first drain must allocate");
+                }
+                Some(first) => assert_eq!(
+                    r.drain_allocated_slots, first,
+                    "recycled drains must not allocate again (round {round})"
+                ),
+            }
+        }
+        // Peak allocation is bounded by the capacity (×2 for Vec growth
+        // slack), not by drain count × capacity.
+        assert!(r.drain_allocated_slots <= 2 * 8);
+        assert_eq!(
+            t.snapshot().counter(names::BUFFER_DRAIN_ALLOCATED_SLOTS),
+            r.drain_allocated_slots
+        );
+    }
+
+    #[test]
+    fn recycle_keeps_the_larger_vector() {
+        let mut r = RingBuffer::new(4);
+        r.push(s(0));
+        let small = r.drain(); // capacity ≥ 1
+        for i in 0..4 {
+            r.push(s(i));
+        }
+        let big = r.drain(); // fresh allocation: spare was handed out
+        r.recycle(small);
+        r.recycle(big);
+        for i in 0..4 {
+            r.push(s(i));
+        }
+        let before = r.drain_allocated_slots;
+        let batch = r.drain();
+        assert_eq!(batch.len(), 4);
+        assert_eq!(r.drain_allocated_slots, before, "big spare was kept");
     }
 
     #[test]

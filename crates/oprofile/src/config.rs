@@ -1,6 +1,7 @@
 //! Profiler configuration.
 
 use crate::faults::{DaemonFaults, DriverFaults};
+use crate::governor::GovernorConfig;
 use crate::supervisor::SupervisorConfig;
 use sim_cpu::{CostModel, CounterSpec, HwEvent};
 use viprof_telemetry::Telemetry;
@@ -25,6 +26,15 @@ pub struct OpConfig {
     pub journal: bool,
     /// Wrap the daemon in a watchdog/restart supervisor.
     pub supervisor: Option<SupervisorConfig>,
+    /// Close the overload loop: watch ring occupancy and dynamically
+    /// rescale the NMI period (`None` = fixed period, the classic
+    /// OProfile behaviour — and the default, so unregulated sessions
+    /// replay bit-identically to older seeds).
+    pub governor: Option<GovernorConfig>,
+    /// Admission cap on distinct sample-database buckets (bounded
+    /// memory). `None` = unbounded; rejected samples are counted as
+    /// evictions and flow into quality accounting.
+    pub db_bucket_cap: Option<usize>,
     /// Share a telemetry registry with the session. Telemetry is
     /// always on — `None` just means the session creates its own
     /// registry; pass a handle to observe it (or to share one registry
@@ -43,6 +53,8 @@ impl Default for OpConfig {
             daemon_faults: None,
             journal: false,
             supervisor: None,
+            governor: None,
+            db_bucket_cap: None,
             telemetry: None,
         }
     }
@@ -98,6 +110,18 @@ impl OpConfig {
         self
     }
 
+    /// Enable the adaptive overload governor.
+    pub fn with_governor(mut self, config: GovernorConfig) -> Self {
+        self.governor = Some(config);
+        self
+    }
+
+    /// Bound the sample database to at most `buckets` distinct buckets.
+    pub fn with_db_bucket_cap(mut self, buckets: usize) -> Self {
+        self.db_bucket_cap = Some(buckets);
+        self
+    }
+
     /// Share `registry` with the session instead of letting it create
     /// a private one.
     pub fn with_telemetry(mut self, registry: &Telemetry) -> Self {
@@ -105,9 +129,39 @@ impl OpConfig {
         self
     }
 
+    /// Validate the configuration before a session starts. An empty
+    /// event list used to slip through here and surface later as a
+    /// zero `primary_period()` — a divide-by-zero hazard once the
+    /// governor started rescaling periods — so sessions now reject it
+    /// up front (the core API wraps this in a typed `ViprofError`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.events.is_empty() {
+            return Err("OpConfig.events must program at least one counter".into());
+        }
+        for spec in &self.events {
+            if spec.period == 0 {
+                return Err(format!("counter {:?} has a zero period", spec.event));
+            }
+        }
+        if let Some(governor) = &self.governor {
+            governor.validate()?;
+        }
+        if self.db_bucket_cap == Some(0) {
+            return Err("db_bucket_cap of 0 would reject every sample".into());
+        }
+        Ok(())
+    }
+
     /// Period of the primary (first) event.
+    ///
+    /// Panics on an empty event list rather than silently returning 0;
+    /// [`validate`](Self::validate) rejects such configs before any
+    /// session reaches this point.
     pub fn primary_period(&self) -> u64 {
-        self.events.first().map(|e| e.period).unwrap_or(0)
+        self.events
+            .first()
+            .map(|e| e.period)
+            .expect("OpConfig.events is empty — OpConfig::validate rejects this")
     }
 
     pub fn primary_event(&self) -> HwEvent {
@@ -141,5 +195,35 @@ mod tests {
     fn with_cost_overrides() {
         let c = OpConfig::default().with_cost(CostModel::free());
         assert_eq!(c.cost, CostModel::free());
+    }
+
+    #[test]
+    fn validate_rejects_empty_events() {
+        let mut c = OpConfig::default();
+        assert!(c.validate().is_ok());
+        c.events.clear();
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "OpConfig.events is empty")]
+    fn primary_period_no_longer_silently_returns_zero() {
+        let mut c = OpConfig::default();
+        c.events.clear();
+        c.primary_period();
+    }
+
+    #[test]
+    fn validate_checks_governor_and_cap() {
+        use crate::governor::GovernorConfig;
+        let bad_gov = OpConfig::default().with_governor(GovernorConfig {
+            dwell_windows: 0,
+            ..GovernorConfig::default()
+        });
+        assert!(bad_gov.validate().is_err());
+        let good_gov = OpConfig::default().with_governor(GovernorConfig::default());
+        assert!(good_gov.validate().is_ok());
+        assert!(OpConfig::default().with_db_bucket_cap(0).validate().is_err());
+        assert!(OpConfig::default().with_db_bucket_cap(10_000).validate().is_ok());
     }
 }

@@ -10,15 +10,16 @@
 
 use crate::driver::Driver;
 use crate::faults::{DaemonFaultStats, DaemonFaults};
+use crate::governor::{DeadlineVerdict, Governor, GovernorDecision};
 use crate::samples::SampleDb;
 use parking_lot::Mutex;
-use sim_cpu::{Addr, BlockExec, CostModel, CpuMode, MemActivity, Pid};
+use sim_cpu::{Addr, BlockExec, CostModel, CpuMode, HwEvent, MemActivity, Pid};
 use sim_os::journal::{JournalWriter, KIND_SAMPLE_BATCH};
 use sim_os::loader::BIN_HINT;
 use sim_os::{Image, Kernel, Loader, MachineCtx, MachineService, Symbol, Vfs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use viprof_telemetry::{names, Counter, Histogram, Stage, Telemetry};
+use viprof_telemetry::{names, Counter, Gauge, Histogram, Stage, Telemetry};
 
 /// Telemetry handles for the drain path, resolved once at attach.
 struct DaemonTelemetry {
@@ -27,8 +28,15 @@ struct DaemonTelemetry {
     drains: Counter,
     stalls: Counter,
     batches_journaled: Counter,
+    deadline_misses: Counter,
+    governor_backoffs: Counter,
+    governor_recoveries: Counter,
+    governor_escalations: Counter,
+    db_evicted: Counter,
+    governor_period: Gauge,
     batch_samples: Histogram,
     occupancy_at_drain: Histogram,
+    drain_cycles: Histogram,
     drain_stage: Stage,
 }
 
@@ -40,8 +48,15 @@ impl DaemonTelemetry {
             drains: registry.counter(names::DAEMON_DRAINS),
             stalls: registry.counter(names::DAEMON_STALLS),
             batches_journaled: registry.counter(names::DAEMON_BATCHES_JOURNALED),
+            deadline_misses: registry.counter(names::DAEMON_DEADLINE_MISSES),
+            governor_backoffs: registry.counter(names::GOVERNOR_BACKOFFS),
+            governor_recoveries: registry.counter(names::GOVERNOR_RECOVERIES),
+            governor_escalations: registry.counter(names::GOVERNOR_ESCALATIONS),
+            db_evicted: registry.counter(names::DB_EVICTED_SAMPLES),
+            governor_period: registry.gauge(names::GOVERNOR_PERIOD),
             batch_samples: registry.histogram(names::DAEMON_BATCH_SAMPLES),
             occupancy_at_drain: registry.histogram(names::BUFFER_OCCUPANCY_AT_DRAIN),
+            drain_cycles: registry.histogram(names::DAEMON_DRAIN_CYCLES),
             drain_stage: registry.stage(names::STAGE_DAEMON_DRAIN),
         }
     }
@@ -53,8 +68,9 @@ impl DaemonTelemetry {
         self.drains.inc();
         self.occupancy_at_drain.record(occupancy);
         self.batch_samples.record(batch.total_samples());
+        self.drain_cycles.record(cycles);
         self.drain_stage.record(cycles);
-        if journaled && (batch.total_samples() > 0 || batch.dropped > 0) {
+        if journaled && (batch.total_samples() > 0 || batch.dropped > 0 || batch.evicted > 0) {
             self.batches_journaled.inc();
         }
         if batch.dropped > 0 {
@@ -62,6 +78,14 @@ impl DaemonTelemetry {
                 names::EVENT_BUFFER_OVERFLOW,
                 "ring buffer overflowed since last drain",
                 &[("dropped", batch.dropped), ("drained", batch.total_samples())],
+            );
+        }
+        if batch.evicted > 0 {
+            self.db_evicted.add(batch.evicted);
+            self.registry.event(
+                names::EVENT_DB_EVICTION,
+                "sample-db admission cap refused new buckets",
+                &[("evicted", batch.evicted), ("drained", batch.total_samples())],
             );
         }
     }
@@ -91,6 +115,15 @@ pub struct Daemon {
     /// Optional write-ahead journal for drained batches (shared with
     /// the session so the final synchronous flush journals too).
     journal: Option<Arc<Mutex<JournalWriter>>>,
+    /// Closed-loop overload governor: observes occupancy and drop
+    /// pressure each drain window, rescales the NMI period in response,
+    /// and polices the per-drain deadline budget.
+    governor: Option<Governor>,
+    /// The event whose counter the governor reprograms.
+    governed_event: HwEvent,
+    /// Set when consecutive deadline misses cross the escalation
+    /// threshold; the supervisor consumes it as a missed heartbeat.
+    deadline_escalated: bool,
     telemetry: Option<DaemonTelemetry>,
 }
 
@@ -129,6 +162,9 @@ impl Daemon {
             drains: 0,
             faults: None,
             journal: None,
+            governor: None,
+            governed_event: HwEvent::Cycles,
+            deadline_escalated: false,
             telemetry: None,
         }
     }
@@ -144,6 +180,25 @@ impl Daemon {
     pub fn with_faults(mut self, faults: DaemonFaults) -> Daemon {
         self.faults = Some(faults);
         self
+    }
+
+    /// Attach the overload governor, controlling the counter that
+    /// watches `event` (the session's primary event).
+    pub fn with_governor(mut self, governor: Governor, event: HwEvent) -> Daemon {
+        self.governor = Some(governor);
+        self.governed_event = event;
+        self
+    }
+
+    /// The governor's controller state, if one is attached.
+    pub fn governor(&self) -> Option<&Governor> {
+        self.governor.as_ref()
+    }
+
+    /// Consume a pending deadline escalation (supervisor side). The
+    /// flag re-arms on the next threshold crossing.
+    pub fn take_deadline_escalation(&mut self) -> bool {
+        std::mem::take(&mut self.deadline_escalated)
     }
 
     /// Attach a sample-batch journal. Every drained batch is appended
@@ -197,7 +252,7 @@ impl Daemon {
         batch: &SampleDb,
     ) {
         if let Some(journal) = journal {
-            if batch.total_samples() > 0 || batch.dropped > 0 {
+            if batch.total_samples() > 0 || batch.dropped > 0 || batch.evicted > 0 {
                 journal
                     .lock()
                     .append(vfs, KIND_SAMPLE_BATCH, &batch.to_bytes());
@@ -231,23 +286,36 @@ impl Daemon {
     /// journaled: replaying every batch record in order rebuilds the
     /// full database, because [`SampleDb::merge`] is the same operation
     /// the drain itself performs.
+    /// The drained vector is recycled back into the ring before the
+    /// driver lock drops, so steady-state drains allocate nothing. The
+    /// returned batch's `evicted` counts samples the shared database's
+    /// admission cap refused *from this batch* — mirroring how
+    /// `dropped` carries this window's overflow losses — so journal
+    /// replay rebuilds eviction accounting too.
     pub fn drain_batch(
         driver: &Mutex<Driver>,
         db: &Mutex<SampleDb>,
         cost: &CostModel,
     ) -> (SampleDb, u64) {
-        let (samples, dropped, probe) = {
+        let (mut batch, n, probe) = {
             let mut d = driver.lock();
-            let (s, dr) = d.drain();
-            (s, dr, d.daemon_probe_cost())
+            let (samples, dropped) = d.drain();
+            let n = samples.len() as u64;
+            let mut batch = SampleDb::new();
+            for s in &samples {
+                batch.add(*s, 1);
+            }
+            batch.dropped = dropped;
+            d.recycle(samples);
+            let probe = d.daemon_probe_cost();
+            (batch, n, probe)
         };
-        let n = samples.len() as u64;
-        let mut batch = SampleDb::new();
-        for s in samples {
-            batch.add(s, 1);
-        }
-        batch.dropped = dropped;
-        db.lock().merge(&batch);
+        batch.evicted = {
+            let mut db = db.lock();
+            let before = db.evicted;
+            db.merge(&batch);
+            db.evicted - before
+        };
         (batch, cost.daemon_drain(n) + probe)
     }
 }
@@ -287,13 +355,88 @@ impl MachineService for Daemon {
                 return;
             }
         }
-        let occupancy = self.driver.lock().buffer.len() as u64;
+        let (occupancy, capacity) = {
+            let d = self.driver.lock();
+            (d.buffer.len() as u64, d.buffer.capacity())
+        };
         let (batch, cycles) = Daemon::drain_batch(&self.driver, &self.db, &self.cost);
         self.drains += 1;
         Daemon::journal_batch(&self.journal, &mut ctx.kernel.vfs, &batch);
         if let Some(t) = &self.telemetry {
             t.note_drain(occupancy, &batch, cycles, self.journal.is_some());
         }
+
+        // Close the overload loop: one observation per drain window,
+        // actuated by reprogramming the live counter. Every input
+        // (occupancy, drop count, drain cycles) is seed-deterministic
+        // and produced online, so the period trajectory cannot depend
+        // on offline post-processing choices like thread counts.
+        if let Some(gov) = &mut self.governor {
+            match gov.observe(occupancy as usize, capacity, batch.dropped) {
+                GovernorDecision::Hold => {}
+                GovernorDecision::Backoff { from, to } => {
+                    ctx.cpu.reprogram_period(self.governed_event, to);
+                    if let Some(t) = &self.telemetry {
+                        t.governor_backoffs.inc();
+                        t.governor_period.set(to);
+                        t.registry.event(
+                            names::EVENT_GOVERNOR_RATE_CHANGE,
+                            "overload pressure: sample period backed off",
+                            &[
+                                ("from", from),
+                                ("to", to),
+                                ("occupancy", occupancy),
+                                ("dropped", batch.dropped),
+                            ],
+                        );
+                    }
+                }
+                GovernorDecision::Recover { from, to } => {
+                    ctx.cpu.reprogram_period(self.governed_event, to);
+                    if let Some(t) = &self.telemetry {
+                        t.governor_recoveries.inc();
+                        t.governor_period.set(to);
+                        t.registry.event(
+                            names::EVENT_GOVERNOR_RATE_CHANGE,
+                            "pressure subsided: sample period recovering",
+                            &[("from", from), ("to", to), ("occupancy", occupancy)],
+                        );
+                    }
+                }
+            }
+            match gov.note_drain_cycles(cycles) {
+                DeadlineVerdict::Met => {}
+                DeadlineVerdict::Missed { escalate } => {
+                    // Retry at half the usual period instead of waiting
+                    // out a full window behind an oversized backlog.
+                    self.next_wakeup = now + (self.period_cycles / 2).max(1);
+                    if let Some(t) = &self.telemetry {
+                        t.deadline_misses.inc();
+                        t.registry.event(
+                            names::EVENT_GOVERNOR_DEADLINE_MISS,
+                            "drain exceeded its cycle budget",
+                            &[
+                                ("cycles", cycles),
+                                ("budget", gov.deadline_cycles()),
+                                ("wakeup", self.wakeups),
+                            ],
+                        );
+                    }
+                    if escalate {
+                        self.deadline_escalated = true;
+                        if let Some(t) = &self.telemetry {
+                            t.governor_escalations.inc();
+                            t.registry.event(
+                                names::EVENT_GOVERNOR_ESCALATION,
+                                "repeated deadline misses escalated to the supervisor",
+                                &[("misses", gov.deadline_misses)],
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
         if cycles > 0 {
             ctx.exec(&BlockExec {
                 pid: self.pid,
@@ -466,6 +609,128 @@ mod tests {
         assert_eq!(h.count, 1);
         assert_eq!(h.sum, 2, "the surviving two samples were drained");
         assert!(snap.stage(names::STAGE_DAEMON_DRAIN).is_some());
+    }
+
+    #[test]
+    fn governor_backs_off_the_live_counter_under_pressure() {
+        use crate::governor::{Governor, GovernorConfig};
+        use viprof_telemetry::{names, Telemetry};
+        let t = Telemetry::new();
+        let mut m = Machine::new(MachineConfig::default());
+        // A live counter the governor will reprogram; period far above
+        // the test's block sizes so it never actually overflows here.
+        m.cpu.program_counter(sim_cpu::CounterSpec::new(HwEvent::Cycles, 1_000_000));
+        let driver = Arc::new(Mutex::new(Driver::new(CostModel::free(), 8)));
+        let db = Arc::new(Mutex::new(SampleDb::new()));
+        let active = Arc::new(AtomicBool::new(true));
+        let gov = Governor::new(
+            1_000_000,
+            GovernorConfig {
+                high_watermark_pct: 50,
+                low_watermark_pct: 20,
+                dwell_windows: 1,
+                backoff_factor: 2,
+                max_scale: 4,
+                ..GovernorConfig::default()
+            },
+        );
+        let d = Daemon::spawn(
+            &mut m.kernel,
+            driver.clone(),
+            db.clone(),
+            active,
+            CostModel::free(),
+            100,
+        )
+        .with_governor(gov, HwEvent::Cycles)
+        .with_telemetry(&t);
+        m.add_service(Box::new(d));
+        for round in 0..6u64 {
+            // 6 of 8 slots = 75% occupancy: above the high watermark.
+            for i in 0..6 {
+                driver.lock().buffer.push(bucket(round * 128 + i * 16));
+            }
+            m.exec(&BlockExec::compute(Pid(1), CpuMode::User, (0, 0x100), 110));
+        }
+        // dwell 1 with a 1-window cooldown: back-offs land every other
+        // drain until the 4× ceiling — 1M → 2M → 4M, then hold.
+        assert_eq!(m.cpu.bank.counter(0).spec().period, 4_000_000);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter(names::GOVERNOR_BACKOFFS), 2);
+        assert_eq!(snap.gauge(names::GOVERNOR_PERIOD), 4_000_000);
+        assert_eq!(snap.events_of(names::EVENT_GOVERNOR_RATE_CHANGE).len(), 2);
+    }
+
+    #[test]
+    fn deadline_misses_surface_and_escalate() {
+        use crate::governor::{Governor, GovernorConfig};
+        use viprof_telemetry::{names, Telemetry};
+        let t = Telemetry::new();
+        let mut m = Machine::new(MachineConfig::default());
+        // Default cost model: every drain costs well over 1 cycle, so a
+        // 1-cycle budget misses each window.
+        let driver = Arc::new(Mutex::new(Driver::new(CostModel::default(), 64)));
+        let db = Arc::new(Mutex::new(SampleDb::new()));
+        let active = Arc::new(AtomicBool::new(true));
+        let gov = Governor::new(
+            90_000,
+            GovernorConfig {
+                deadline_cycles: 1,
+                deadline_miss_threshold: 2,
+                ..GovernorConfig::default()
+            },
+        );
+        let d = Daemon::spawn(
+            &mut m.kernel,
+            driver.clone(),
+            db,
+            active,
+            CostModel::default(),
+            100,
+        )
+        .with_governor(gov, HwEvent::Cycles)
+        .with_telemetry(&t);
+        m.add_service(Box::new(d));
+        for round in 0..4u64 {
+            driver.lock().buffer.push(bucket(round * 16));
+            m.exec(&BlockExec::compute(Pid(1), CpuMode::User, (0, 0x100), 110));
+        }
+        let snap = t.snapshot();
+        assert!(snap.counter(names::DAEMON_DEADLINE_MISSES) >= 2);
+        assert!(snap.counter(names::GOVERNOR_ESCALATIONS) >= 1, "threshold of 2 crossed");
+        assert!(!snap.events_of(names::EVENT_GOVERNOR_DEADLINE_MISS).is_empty());
+        assert!(!snap.events_of(names::EVENT_GOVERNOR_ESCALATION).is_empty());
+    }
+
+    #[test]
+    fn capped_db_counts_evictions_through_the_drain_path() {
+        use viprof_telemetry::{names, Telemetry};
+        let t = Telemetry::new();
+        let mut m = Machine::new(MachineConfig::default());
+        let driver = Arc::new(Mutex::new(Driver::new(CostModel::free(), 64)));
+        let db = Arc::new(Mutex::new(SampleDb::new()));
+        db.lock().set_admission_cap(Some(2));
+        let active = Arc::new(AtomicBool::new(true));
+        let d = Daemon::spawn(
+            &mut m.kernel,
+            driver.clone(),
+            db.clone(),
+            active,
+            CostModel::free(),
+            100,
+        )
+        .with_telemetry(&t);
+        m.add_service(Box::new(d));
+        for i in 0..5 {
+            driver.lock().buffer.push(bucket(i * 16)); // 5 distinct buckets
+        }
+        m.exec(&BlockExec::compute(Pid(1), CpuMode::User, (0, 0x100), 110));
+        assert_eq!(db.lock().len(), 2, "cap bounds distinct buckets");
+        assert_eq!(db.lock().evicted, 3);
+        assert_eq!(db.lock().total_samples(), 2);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter(names::DB_EVICTED_SAMPLES), 3);
+        assert!(!snap.events_of(names::EVENT_DB_EVICTION).is_empty());
     }
 
     #[test]

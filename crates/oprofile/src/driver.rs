@@ -84,6 +84,12 @@ impl Driver {
         self.buffer.dropped = 0;
         (self.buffer.drain(), dropped)
     }
+
+    /// Hand a consumed drain batch back for reuse, so steady-state
+    /// drains allocate nothing (see [`RingBuffer::recycle`]).
+    pub fn recycle(&mut self, batch: Vec<SampleBucket>) {
+        self.buffer.recycle(batch);
+    }
 }
 
 impl OsNmiHandler for Driver {

@@ -26,6 +26,7 @@ pub mod config;
 pub mod daemon;
 pub mod driver;
 pub mod faults;
+pub mod governor;
 pub mod report;
 pub mod samples;
 pub mod session;
@@ -38,6 +39,7 @@ pub use config::OpConfig;
 pub use daemon::Daemon;
 pub use driver::{Driver, DriverStats};
 pub use faults::{DaemonFaultStats, DaemonFaults, DriverFaultStats, DriverFaults, FaultVerdict};
+pub use governor::{DeadlineVerdict, Governor, GovernorConfig, GovernorDecision};
 pub use report::{opreport, Report, ReportOptions, ReportRow};
 pub use samples::{SampleBucket, SampleDb, SampleOrigin};
 pub use session::{Oprofile, SAMPLES_PATH, SAMPLE_JOURNAL_PATH, TELEMETRY_PATH};

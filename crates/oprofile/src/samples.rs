@@ -53,12 +53,32 @@ impl SampleBucket {
 }
 
 /// Accumulated profile: bucket → sample count.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct SampleDb {
     counts: HashMap<SampleBucket, u64>,
     totals: HashMap<HwEvent, u64>,
     /// Samples lost to ring-buffer overflow (reported by the daemon).
     pub dropped: u64,
+    /// Samples refused by the admission cap: the database was at its
+    /// bucket limit and the sample would have created a new bucket.
+    /// Like `dropped`, these never enter `total_samples()` but are
+    /// carried through serialization so quality accounting sees them.
+    pub evicted: u64,
+    /// Bounded-memory admission cap on distinct buckets (`None` =
+    /// unbounded). Configuration, not content: excluded from equality
+    /// and serialization.
+    cap: Option<usize>,
+}
+
+/// Equality is over sample *content* (buckets, drop and eviction
+/// counts), not configuration — a capped database equals its uncapped
+/// round-trip through the sample-file format.
+impl PartialEq for SampleDb {
+    fn eq(&self, other: &Self) -> bool {
+        self.counts == other.counts
+            && self.dropped == other.dropped
+            && self.evicted == other.evicted
+    }
 }
 
 impl SampleDb {
@@ -66,8 +86,25 @@ impl SampleDb {
         SampleDb::default()
     }
 
+    /// Bound the database to at most `cap` distinct buckets. Samples
+    /// for existing buckets always accumulate; samples that would mint
+    /// a new bucket past the cap are counted in `evicted` instead.
+    pub fn set_admission_cap(&mut self, cap: Option<usize>) {
+        self.cap = cap;
+    }
+
+    pub fn admission_cap(&self) -> Option<usize> {
+        self.cap
+    }
+
     pub fn add(&mut self, bucket: SampleBucket, n: u64) {
         let bucket = bucket.quantize();
+        if let Some(cap) = self.cap {
+            if self.counts.len() >= cap && !self.counts.contains_key(&bucket) {
+                self.evicted += n;
+                return;
+            }
+        }
         *self.counts.entry(bucket).or_insert(0) += n;
         *self.totals.entry(bucket.event).or_insert(0) += n;
     }
@@ -105,6 +142,7 @@ impl SampleDb {
             self.add(*b, *c);
         }
         self.dropped += other.dropped;
+        self.evicted += other.evicted;
     }
 
     // --- binary serialization (the "sample files" on the VFS) ---
@@ -120,12 +158,14 @@ impl SampleDb {
             .ok_or_else(|| format!("bad event code {code}"))
     }
 
-    /// Serialize into the compact binary sample-file format.
+    /// Serialize into the compact binary sample-file format (v2; v1
+    /// files — which predate the `evicted` counter — still parse).
     pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(32 + self.counts.len() * 40);
+        let mut buf = BytesMut::with_capacity(40 + self.counts.len() * 40);
         buf.put_slice(b"OPDB");
-        buf.put_u32_le(1); // version
+        buf.put_u32_le(2); // version
         buf.put_u64_le(self.dropped);
+        buf.put_u64_le(self.evicted);
         buf.put_u64_le(self.counts.len() as u64);
         for (b, c) in self.sorted() {
             match b.origin {
@@ -173,13 +213,22 @@ impl SampleDb {
         }
         data.advance(4);
         let version = data.get_u32_le();
-        if version != 1 {
+        if version != 1 && version != 2 {
             return Err(format!("unsupported version {version}"));
         }
         let dropped = data.get_u64_le();
+        let evicted = if version >= 2 {
+            if data.remaining() < 16 {
+                return Err("truncated v2 header".into());
+            }
+            data.get_u64_le()
+        } else {
+            0
+        };
         let n = data.get_u64_le();
         let mut db = SampleDb {
             dropped,
+            evicted,
             ..SampleDb::default()
         };
         for _ in 0..n {
@@ -320,6 +369,55 @@ mod tests {
         db.add(img_bucket(0, HwEvent::Cycles), 1);
         let bytes = db.to_bytes();
         assert!(SampleDb::from_bytes(&bytes[..bytes.len() - 4]).is_err());
+    }
+
+    #[test]
+    fn admission_cap_bounds_buckets_and_counts_evictions() {
+        let mut db = SampleDb::new();
+        db.set_admission_cap(Some(2));
+        db.add(img_bucket(0x00, HwEvent::Cycles), 1);
+        db.add(img_bucket(0x10, HwEvent::Cycles), 1);
+        db.add(img_bucket(0x20, HwEvent::Cycles), 5); // third bucket: refused
+        db.add(img_bucket(0x00, HwEvent::Cycles), 3); // existing: accumulates
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.evicted, 5);
+        assert_eq!(db.total_samples(), 5, "evicted samples never enter totals");
+        assert_eq!(db.total(HwEvent::Cycles), 5);
+    }
+
+    #[test]
+    fn evictions_survive_serialization_and_merge() {
+        let mut db = SampleDb::new();
+        db.set_admission_cap(Some(1));
+        db.add(img_bucket(0x00, HwEvent::Cycles), 2);
+        db.add(img_bucket(0x10, HwEvent::Cycles), 3);
+        assert_eq!(db.evicted, 3);
+        let back = SampleDb::from_bytes(&db.to_bytes()).unwrap();
+        assert_eq!(back, db, "content equality ignores the cap config");
+        assert_eq!(back.evicted, 3);
+        assert_eq!(back.admission_cap(), None, "cap is config, not content");
+
+        let mut sink = SampleDb::new();
+        sink.merge(&back);
+        assert_eq!(sink.evicted, 3);
+    }
+
+    #[test]
+    fn v1_files_without_eviction_field_still_parse() {
+        let mut db = SampleDb::new();
+        db.add(img_bucket(0x40, HwEvent::Cycles), 7);
+        db.dropped = 2;
+        // Hand-build the v1 layout: no `evicted` word in the header.
+        let v2 = db.to_bytes();
+        let mut v1 = BytesMut::new();
+        v1.put_slice(b"OPDB");
+        v1.put_u32_le(1);
+        v1.put_u64_le(db.dropped);
+        // Skip the v2 `evicted` word (offset 16..24), keep the rest.
+        v1.put_slice(&v2[24..]);
+        let back = SampleDb::from_bytes(&v1).unwrap();
+        assert_eq!(back, db);
+        assert_eq!(back.evicted, 0);
     }
 
     #[test]

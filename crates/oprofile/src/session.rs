@@ -71,6 +71,9 @@ impl Oprofile {
             machine.cpu.bank.is_empty(),
             "another profiling session is already running"
         );
+        if let Err(e) = config.validate() {
+            panic!("invalid OpConfig: {e}");
+        }
         let telemetry = config.telemetry.clone().unwrap_or_default();
         if let Some(faults) = config.driver_faults.clone() {
             driver.lock().set_faults(faults);
@@ -86,6 +89,7 @@ impl Oprofile {
         machine.set_handler(driver.clone());
 
         let db = Arc::new(Mutex::new(SampleDb::new()));
+        db.lock().set_admission_cap(config.db_bucket_cap);
         let active = Arc::new(AtomicBool::new(true));
         let mut daemon = Daemon::spawn(
             &mut machine.kernel,
@@ -102,6 +106,11 @@ impl Oprofile {
             daemon = daemon.with_faults(faults);
         }
         daemon = daemon.with_telemetry(&telemetry);
+        if let Some(gov_config) = config.governor {
+            let governor = crate::governor::Governor::new(config.primary_period(), gov_config);
+            telemetry.gauge(names::GOVERNOR_PERIOD).set(governor.period());
+            daemon = daemon.with_governor(governor, config.primary_event());
+        }
         let sample_journal = if config.journal {
             let mut writer = JournalWriter::create(&mut machine.kernel.vfs, SAMPLE_JOURNAL_PATH);
             writer.set_telemetry(&telemetry);
@@ -217,6 +226,14 @@ impl Oprofile {
                 names::EVENT_BUFFER_OVERFLOW,
                 "ring buffer overflowed before the final flush",
                 &[("dropped", batch.dropped), ("drained", batch.total_samples())],
+            );
+        }
+        if batch.evicted > 0 {
+            self.telemetry.counter(names::DB_EVICTED_SAMPLES).add(batch.evicted);
+            self.telemetry.event(
+                names::EVENT_DB_EVICTION,
+                "admission cap refused new buckets in the final flush",
+                &[("evicted", batch.evicted), ("drained", batch.total_samples())],
             );
         }
         self.telemetry.counter(names::SESSION_STOPS).inc();
@@ -402,6 +419,29 @@ mod tests {
         assert_eq!(snap.counter(names::BUFFER_PUSHED), 100);
         assert_eq!(snap.events_of(names::EVENT_SESSION_STOP).len(), 1);
         assert!(snap.stage(names::STAGE_SESSION_FLUSH).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid OpConfig")]
+    fn start_rejects_invalid_config() {
+        let mut m = machine();
+        let mut config = OpConfig::default();
+        config.events.clear();
+        let _ = Oprofile::start(&mut m, config);
+    }
+
+    #[test]
+    fn governed_session_publishes_period_and_cap() {
+        use crate::governor::GovernorConfig;
+        let mut m = machine();
+        let config = OpConfig::time_at(90_000)
+            .with_governor(GovernorConfig::default())
+            .with_db_bucket_cap(64);
+        let op = Oprofile::start(&mut m, config);
+        let snap = op.telemetry().snapshot();
+        assert_eq!(snap.gauge(names::GOVERNOR_PERIOD), 90_000);
+        assert_eq!(op.db.lock().admission_cap(), Some(64));
+        op.stop(&mut m);
     }
 
     #[test]

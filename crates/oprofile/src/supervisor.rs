@@ -178,20 +178,36 @@ impl MachineService for Supervisor {
             // Not a drain window — nothing to observe.
             return;
         }
-        if self.daemon.drains > drains_before {
+        // A drain that repeatedly blows its deadline budget is as sick
+        // as a stalled one; the governor applies its own consecutive-
+        // miss threshold before raising this flag, so one escalation is
+        // a full watchdog trip, not a single strike.
+        let escalated = self.daemon.take_deadline_escalation();
+        if self.daemon.drains > drains_before && !escalated {
             // Healthy heartbeat: reset the watchdog and the backoff.
             self.missed = 0;
             self.backoff = self.config.backoff_initial.max(1);
             self.restart_at = None;
             return;
         }
-        // A wakeup passed with no drain.
+        // A wakeup passed with no drain — or with an escalation.
+        if escalated {
+            self.missed = self.missed.max(self.config.miss_threshold.saturating_sub(1));
+            // The governor's own consecutive-miss threshold supplied
+            // the dwell; restart now rather than waiting out a backoff
+            // window that an interleaved on-time drain would cancel.
+            self.restart_at = Some(self.daemon.wakeups);
+        }
         self.missed += 1;
         self.stats.missed_observed.inc();
         if let Some(t) = &self.telemetry {
             t.event(
                 names::EVENT_SUPERVISOR_MISSED,
-                "watchdog observed a missed drain window",
+                if escalated {
+                    "governor escalated repeated drain-deadline misses"
+                } else {
+                    "watchdog observed a missed drain window"
+                },
                 &[("wakeup", self.daemon.wakeups), ("consecutive", self.missed)],
             );
         }
@@ -423,6 +439,56 @@ mod tests {
         assert_eq!(restarts.len(), 1);
         assert!(restarts[0].fields.iter().any(|(k, _)| k == "redrained"));
         assert!(!snap.events_of(names::EVENT_SUPERVISOR_MISSED).is_empty());
+    }
+
+    #[test]
+    fn deadline_escalations_trip_the_watchdog_and_restart() {
+        use crate::governor::{Governor, GovernorConfig};
+        let t = Telemetry::new();
+        let mut m = Machine::new(MachineConfig::default());
+        // Default cost model: every drain blows the 1-cycle budget.
+        let driver = Arc::new(Mutex::new(Driver::new(CostModel::default(), 64)));
+        let db = Arc::new(Mutex::new(SampleDb::new()));
+        let active = Arc::new(AtomicBool::new(true));
+        let gov = Governor::new(
+            90_000,
+            GovernorConfig {
+                deadline_cycles: 1,
+                deadline_miss_threshold: 2,
+                ..GovernorConfig::default()
+            },
+        );
+        let d = Daemon::spawn(
+            &mut m.kernel,
+            driver.clone(),
+            db,
+            active,
+            CostModel::default(),
+            100,
+        )
+        .with_governor(gov, HwEvent::Cycles)
+        .with_telemetry(&t);
+        let cfg = SupervisorConfig {
+            jitter: 0,
+            seed: 1,
+            ..SupervisorConfig::default()
+        };
+        let sup = Supervisor::new(d, cfg).with_telemetry(&t);
+        let stats = sup.stats_handle();
+        m.add_service(Box::new(sup));
+        for round in 0..8u64 {
+            driver.lock().buffer.push(bucket(round * 16));
+            m.exec(&BlockExec::compute(Pid(1), CpuMode::User, (0, 0x100), 110));
+        }
+        let s = stats.snapshot();
+        assert!(s.missed_observed >= 1, "{s:?}");
+        assert!(s.restarts >= 1, "escalation must drive a restart: {s:?}");
+        let snap = t.snapshot();
+        assert!(snap.counter(names::GOVERNOR_ESCALATIONS) >= 1);
+        assert!(snap
+            .events_of(names::EVENT_SUPERVISOR_MISSED)
+            .iter()
+            .any(|e| e.detail.contains("escalated")));
     }
 
     #[test]

@@ -125,6 +125,19 @@ impl Counter {
         }
     }
 
+    /// Reprogram the overflow period in place, as the overload governor
+    /// does when it backs the sample rate off (or recovers it). The
+    /// in-flight countdown is clamped to the new period: shrinking the
+    /// period takes effect within one window instead of waiting out the
+    /// old reset value, while growing it never *lengthens* an already
+    /// armed countdown — both choices are deterministic functions of the
+    /// counter state, so replays stay bit-identical.
+    pub fn set_period(&mut self, period: u64) {
+        assert!(period > 0, "counter period must be positive");
+        self.spec.period = period;
+        self.remaining = self.remaining.min(period);
+    }
+
     /// Deliver `n` events while NMIs are masked: events are counted but
     /// at most the final overflow state is preserved (extra overflows are
     /// coalesced, as on real hardware where the counter wraps while the
@@ -190,6 +203,21 @@ impl CounterBank {
     /// Index of the counter watching `event`, if programmed.
     pub fn index_of(&self, event: HwEvent) -> Option<usize> {
         self.counters.iter().position(|c| c.spec().event == event)
+    }
+
+    /// Reprogram the period of the counter watching `event` without
+    /// losing its accumulated state (totals, overflow counts, countdown).
+    /// Returns `false` if no counter watches the event. This is the
+    /// actuator of the overload governor: the daemon rescales the NMI
+    /// rate while the session keeps running.
+    pub fn reprogram_period(&mut self, event: HwEvent, period: u64) -> bool {
+        match self.index_of(event) {
+            Some(idx) => {
+                self.counters[idx].set_period(period);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Deliver a batch of `n` events of `event` type. Returns
@@ -304,6 +332,44 @@ mod tests {
         assert_eq!(lost, 3);
         assert_eq!(c.total_events(), 35);
         assert_eq!(c.until_overflow(), 5);
+    }
+
+    #[test]
+    fn set_period_preserves_state_and_clamps_countdown() {
+        let mut c = Counter::new(cyc(100));
+        c.add(30); // 70 remaining
+        c.set_period(40); // shrink: countdown clamps to 40
+        assert_eq!(c.until_overflow(), 40);
+        assert_eq!(c.spec().period, 40);
+        assert_eq!(c.total_events(), 30, "totals survive reprogramming");
+        let o = c.add(40);
+        assert_eq!(o.count, 1);
+        assert_eq!(o.period, 40);
+        // Growing the period never lengthens an armed countdown.
+        c.add(10); // 30 remaining of 40
+        c.set_period(1_000);
+        assert_eq!(c.until_overflow(), 30);
+        let o = c.add(30);
+        assert_eq!(o.count, 1);
+        assert_eq!(c.until_overflow(), 1_000, "reload uses the new period");
+    }
+
+    #[test]
+    fn bank_reprograms_only_the_matching_event() {
+        let mut bank = CounterBank::new();
+        bank.program(CounterSpec::new(HwEvent::Cycles, 10));
+        bank.program(CounterSpec::new(HwEvent::L2Miss, 5));
+        assert!(bank.reprogram_period(HwEvent::Cycles, 20));
+        assert!(!bank.reprogram_period(HwEvent::Branches, 20));
+        assert_eq!(bank.counter(0).spec().period, 20);
+        assert_eq!(bank.counter(1).spec().period, 5, "other counters untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn set_period_rejects_zero() {
+        let mut c = Counter::new(cyc(10));
+        c.set_period(0);
     }
 
     #[test]

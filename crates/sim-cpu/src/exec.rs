@@ -150,6 +150,15 @@ impl Cpu {
         self.bank.clear();
     }
 
+    /// Rescale the overflow period of the counter watching `event`
+    /// without disturbing its accumulated state. Returns `false` if no
+    /// such counter is programmed. Reprogramming itself is free — on
+    /// real hardware it is a pair of MSR writes the daemon performs
+    /// inside cycles it is already charged for.
+    pub fn reprogram_period(&mut self, event: HwEvent, period: u64) -> bool {
+        self.bank.reprogram_period(event, period)
+    }
+
     /// Interpolate the PC of the `pos`-th event (1-based) out of `n`
     /// within `range`.
     fn interpolate_pc(range: (Addr, Addr), pos: u64, n: u64) -> Addr {
@@ -420,6 +429,20 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(ts, sorted);
         assert!(ts[0] >= 100 && *ts.last().unwrap() <= 1_000);
+    }
+
+    #[test]
+    fn reprogrammed_period_takes_effect_mid_run() {
+        let mut cpu = cpu_no_cache();
+        cpu.program_counter(CounterSpec::new(HwEvent::Cycles, 100));
+        let mut h = CountingHandler::new(0);
+        cpu.execute_block(&user_block(1_000), &mut h);
+        assert_eq!(h.samples.len(), 10);
+        // Governor backs off 100 → 500: sample rate drops 5×.
+        assert!(cpu.reprogram_period(HwEvent::Cycles, 500));
+        cpu.execute_block(&user_block(1_000), &mut h);
+        assert_eq!(h.samples.len(), 12);
+        assert!(!cpu.reprogram_period(HwEvent::Branches, 500));
     }
 
     #[test]

@@ -28,6 +28,12 @@ pub struct SampleContext {
 }
 
 /// A profiler's interrupt handler.
+///
+/// The overflow period that paces these interrupts is not fixed for the
+/// life of a session: the overload governor (see `oprofile::governor`)
+/// may rescale it between blocks via [`crate::Cpu::reprogram_period`]
+/// when the sampling pipeline falls behind. Handlers must therefore not
+/// assume a constant inter-sample distance.
 pub trait NmiHandler {
     /// Handle one overflow sample. Returns the cycles the handler spent,
     /// which the CPU will charge to simulated time (and which count as

@@ -11,10 +11,16 @@ pub const CPU_SAMPLES_DELIVERED: &str = "cpu.samples_delivered";
 pub const CPU_SAMPLES_SUPPRESSED: &str = "cpu.samples_suppressed";
 pub const BUFFER_PUSHED: &str = "buffer.pushed";
 pub const BUFFER_DROPPED: &str = "buffer.dropped";
+pub const BUFFER_DRAIN_ALLOCATED_SLOTS: &str = "buffer.drain_allocated_slots";
 pub const DAEMON_WAKEUPS: &str = "daemon.wakeups";
 pub const DAEMON_DRAINS: &str = "daemon.drains";
 pub const DAEMON_STALLS: &str = "daemon.stalls";
 pub const DAEMON_BATCHES_JOURNALED: &str = "daemon.batches_journaled";
+pub const DAEMON_DEADLINE_MISSES: &str = "daemon.deadline_misses";
+pub const DB_EVICTED_SAMPLES: &str = "db.evicted_samples";
+pub const GOVERNOR_BACKOFFS: &str = "governor.backoffs";
+pub const GOVERNOR_ESCALATIONS: &str = "governor.escalations";
+pub const GOVERNOR_RECOVERIES: &str = "governor.recoveries";
 pub const SUPERVISOR_RESTARTS: &str = "supervisor.restarts";
 pub const SUPERVISOR_MISSED: &str = "supervisor.missed";
 pub const SUPERVISOR_REDRAINED_SAMPLES: &str = "supervisor.redrained_samples";
@@ -31,6 +37,9 @@ pub const RESOLVE_SAMPLES_RESOLVED: &str = "resolve.samples_resolved";
 pub const RESOLVE_SAMPLES_STALE_EPOCH: &str = "resolve.samples_stale_epoch";
 pub const RESOLVE_SAMPLES_UNRESOLVED: &str = "resolve.samples_unresolved";
 pub const RESOLVE_SAMPLES_DROPPED: &str = "resolve.samples_dropped";
+pub const RESOLVE_SAMPLES_EVICTED: &str = "resolve.samples_evicted";
+pub const RESOLVE_SAMPLES_QUARANTINED: &str = "resolve.samples_quarantined";
+pub const RESOLVE_SHARD_PANICS: &str = "resolve.shard_panics";
 pub const RESOLVE_QUARANTINED_LINES: &str = "resolve.quarantined_lines";
 pub const RESOLVE_SKIPPED_MAP_FILES: &str = "resolve.skipped_map_files";
 pub const RESOLVE_FAILED_PIDS: &str = "resolve.failed_pids";
@@ -43,11 +52,13 @@ pub const BENCH_ARTIFACTS_WRITTEN: &str = "bench.artifacts_written";
 // ---- gauges ----
 pub const BUFFER_OCCUPANCY: &str = "buffer.occupancy";
 pub const BUFFER_CAPACITY: &str = "buffer.capacity";
+pub const GOVERNOR_PERIOD: &str = "governor.period";
 pub const SUPERVISOR_LAST_BACKOFF: &str = "supervisor.last_backoff";
 pub const RESOLVE_SHARDS: &str = "resolve.shards";
 
 // ---- histograms ----
 pub const DAEMON_BATCH_SAMPLES: &str = "daemon.batch_samples";
+pub const DAEMON_DRAIN_CYCLES: &str = "daemon.drain_cycles";
 pub const BUFFER_OCCUPANCY_AT_DRAIN: &str = "buffer.occupancy_at_drain";
 pub const RESOLVE_SHARD_SAMPLES: &str = "resolve.shard_samples";
 pub const VM_GC_PAUSE_CYCLES: &str = "vm.gc_pause_cycles";
@@ -64,6 +75,11 @@ pub const STAGE_REPORT_FINISH: &str = "stage.report_finish";
 // ---- flight-recorder event kinds ----
 pub const EVENT_BUFFER_OVERFLOW: &str = "buffer.overflow";
 pub const EVENT_DAEMON_STALL: &str = "daemon.stall";
+pub const EVENT_DB_EVICTION: &str = "db.eviction";
+pub const EVENT_GOVERNOR_DEADLINE_MISS: &str = "governor.deadline_miss";
+pub const EVENT_GOVERNOR_ESCALATION: &str = "governor.escalation";
+pub const EVENT_GOVERNOR_RATE_CHANGE: &str = "governor.rate_change";
+pub const EVENT_RESOLVE_SHARD_QUARANTINE: &str = "resolve.shard_quarantine";
 pub const EVENT_SUPERVISOR_MISSED: &str = "supervisor.missed_window";
 pub const EVENT_SUPERVISOR_RESTART: &str = "supervisor.restart";
 pub const EVENT_AGENT_MAP_WRITE: &str = "agent.map_write";
@@ -80,14 +96,20 @@ pub const ALL_METRICS: &[(&str, &str)] = &[
     ("counter", AGENT_MAP_ENTRIES),
     ("counter", AGENT_MAPS_WRITTEN),
     ("counter", BENCH_ARTIFACTS_WRITTEN),
+    ("counter", BUFFER_DRAIN_ALLOCATED_SLOTS),
     ("counter", BUFFER_DROPPED),
     ("counter", BUFFER_PUSHED),
     ("counter", CPU_SAMPLES_DELIVERED),
     ("counter", CPU_SAMPLES_SUPPRESSED),
     ("counter", DAEMON_BATCHES_JOURNALED),
+    ("counter", DAEMON_DEADLINE_MISSES),
     ("counter", DAEMON_DRAINS),
     ("counter", DAEMON_STALLS),
     ("counter", DAEMON_WAKEUPS),
+    ("counter", DB_EVICTED_SAMPLES),
+    ("counter", GOVERNOR_BACKOFFS),
+    ("counter", GOVERNOR_ESCALATIONS),
+    ("counter", GOVERNOR_RECOVERIES),
     ("counter", JOURNAL_APPENDED_BYTES),
     ("counter", JOURNAL_APPENDS),
     ("counter", JOURNAL_COMMITS),
@@ -98,9 +120,12 @@ pub const ALL_METRICS: &[(&str, &str)] = &[
     ("counter", RESOLVE_MISSING_EPOCHS),
     ("counter", RESOLVE_QUARANTINED_LINES),
     ("counter", RESOLVE_SAMPLES_DROPPED),
+    ("counter", RESOLVE_SAMPLES_EVICTED),
+    ("counter", RESOLVE_SAMPLES_QUARANTINED),
     ("counter", RESOLVE_SAMPLES_RESOLVED),
     ("counter", RESOLVE_SAMPLES_STALE_EPOCH),
     ("counter", RESOLVE_SAMPLES_UNRESOLVED),
+    ("counter", RESOLVE_SHARD_PANICS),
     ("counter", RESOLVE_SKIPPED_MAP_FILES),
     ("counter", SESSION_INSTALLS),
     ("counter", SESSION_STOPS),
@@ -110,10 +135,12 @@ pub const ALL_METRICS: &[(&str, &str)] = &[
     ("counter", VM_GC_COLLECTIONS),
     ("gauge", BUFFER_CAPACITY),
     ("gauge", BUFFER_OCCUPANCY),
+    ("gauge", GOVERNOR_PERIOD),
     ("gauge", RESOLVE_SHARDS),
     ("gauge", SUPERVISOR_LAST_BACKOFF),
     ("histogram", BUFFER_OCCUPANCY_AT_DRAIN),
     ("histogram", DAEMON_BATCH_SAMPLES),
+    ("histogram", DAEMON_DRAIN_CYCLES),
     ("histogram", RESOLVE_SHARD_SAMPLES),
     ("histogram", VM_GC_PAUSE_CYCLES),
     ("stage", STAGE_AGENT_MAP_WRITE),
@@ -128,7 +155,12 @@ pub const ALL_METRICS: &[(&str, &str)] = &[
     ("event", EVENT_BENCH_ARTIFACT),
     ("event", EVENT_BUFFER_OVERFLOW),
     ("event", EVENT_DAEMON_STALL),
+    ("event", EVENT_DB_EVICTION),
+    ("event", EVENT_GOVERNOR_DEADLINE_MISS),
+    ("event", EVENT_GOVERNOR_ESCALATION),
+    ("event", EVENT_GOVERNOR_RATE_CHANGE),
     ("event", EVENT_JOURNAL_REPAIR),
+    ("event", EVENT_RESOLVE_SHARD_QUARANTINE),
     ("event", EVENT_SESSION_INSTALL),
     ("event", EVENT_SESSION_STOP),
     ("event", EVENT_SUPERVISOR_MISSED),

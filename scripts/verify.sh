@@ -56,6 +56,13 @@ if [[ "${1:-}" != "--fast" ]]; then
     echo "==> bench_resolve --smoke"
     cargo run --release -p viprof-bench --bin bench_resolve -- --smoke
 
+    # Overload-governor gate, smoke-sized: a ring small enough to force
+    # overflow; the governed run must drop strictly fewer samples than
+    # fixed-rate sampling and keep its drop fraction under 5%. Writes
+    # results/BENCH_overload.json.
+    echo "==> bench_overload --smoke"
+    cargo run --release -p viprof-bench --bin bench_overload -- --smoke
+
     # Telemetry self-check: a mini end-to-end session whose persisted
     # snapshot must parse, round-trip canonically, and reconcile.
     echo "==> viprof-stat --selftest"

@@ -171,7 +171,7 @@ fn recovery_shim_equals_make_report_recovered() {
         &ReportSpec {
             options: options.clone(),
             recover: true,
-            threads: 0,
+            ..ReportSpec::default()
         },
     )
     .unwrap();

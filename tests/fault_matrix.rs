@@ -14,13 +14,13 @@
 //! samples than the degraded baseline, and strictly more where the
 //! journal holds what the disk lost.
 
-use viprof_repro::oprofile::{OpConfig, ReportOptions, SampleOrigin};
+use viprof_repro::oprofile::{GovernorConfig, OpConfig, ReportOptions, SampleOrigin};
 use viprof_repro::telemetry::names;
 use viprof_repro::viprof::codemap::JIT_MAP_DIR;
 use viprof_repro::viprof::resolve::ResolveOptions;
 use viprof_repro::viprof::{
     recover_sample_db, viprof_report, FaultPlan, RecoveryReport, ReportSpec, ResolutionEngine,
-    ResolutionQuality, Viprof, ViprofResolver,
+    ResolutionQuality, ShardPoison, Viprof, ViprofResolver,
 };
 use viprof_repro::workloads::{
     calibrate, find_benchmark, programs, run_benchmark, BuiltWorkload, ProfilerKind, RunOutcome,
@@ -563,4 +563,130 @@ fn supervised_chaos_recovery_is_deterministic_and_monotone() {
     // database — drops included — even across crashes and restarts.
     let replayed = recover_sample_db(&a.machine.kernel.vfs).expect("journaling on");
     assert_eq!(&replayed.db, a.db.as_ref().unwrap());
+}
+
+// ---- overload governor: backpressure closes the loop ----------------
+
+#[test]
+fn governed_burst_sheds_strictly_fewer_samples() {
+    // A ring small enough that fixed-rate sampling must overflow it
+    // (20 samples arrive per drain window, 8 fit). Same seed, same
+    // workload: closing the loop strictly reduces the drop count, and
+    // the controller's whole trajectory replays bit for bit.
+    let (built, plan) = small_workload();
+    let config = |governed: bool| {
+        let base = OpConfig {
+            buffer_capacity: 8,
+            daemon_period_cycles: 300_000,
+            ..OpConfig::time_at(15_000)
+        };
+        if governed {
+            base.with_governor(GovernorConfig {
+                high_watermark_pct: 50,
+                low_watermark_pct: 20,
+                dwell_windows: 1,
+                backoff_factor: 4,
+                recovery_step: 0,
+                max_scale: 64,
+                deadline_cycles: 0,
+                deadline_miss_threshold: 3,
+            })
+        } else {
+            base
+        }
+    };
+    let fixed = run_benchmark(&built, &plan, ProfilerKind::Viprof(config(false)), 3, false);
+    let governed = run_benchmark(&built, &plan, ProfilerKind::Viprof(config(true)), 3, false);
+
+    let fixed_db = fixed.db.as_ref().unwrap();
+    let gov_db = governed.db.as_ref().unwrap();
+    assert!(fixed_db.dropped > 0, "the 8-slot ring must overflow at a fixed rate");
+    assert!(
+        gov_db.dropped < fixed_db.dropped,
+        "the governor must shed load at the source: governed dropped {} vs fixed {}",
+        gov_db.dropped,
+        fixed_db.dropped
+    );
+
+    let snap = governed.telemetry.as_ref().expect("profiled run records telemetry");
+    assert!(snap.counter(names::GOVERNOR_BACKOFFS) >= 1, "pressure must trigger a backoff");
+    assert!(snap.gauge(names::GOVERNOR_PERIOD) > 15_000, "the period backed off from base");
+    assert!(!snap.events_of(names::EVENT_GOVERNOR_RATE_CHANGE).is_empty());
+    let fsnap = fixed.telemetry.as_ref().unwrap();
+    assert_eq!(fsnap.counter(names::GOVERNOR_BACKOFFS), 0, "no governor, no governor metrics");
+
+    // The governed run still honours the 100%-accounting contract.
+    quality_of(&governed);
+
+    // Same seed ⇒ identical cycles, database and telemetry JSON — the
+    // closed loop is as deterministic as the open one.
+    let replay = run_benchmark(&built, &plan, ProfilerKind::Viprof(config(true)), 3, false);
+    assert_eq!(replay.cycles, governed.cycles);
+    assert_eq!(replay.db, governed.db);
+    assert_eq!(
+        replay.telemetry.as_ref().unwrap().to_json(),
+        snap.to_json(),
+        "governor trajectory replays bit for bit"
+    );
+}
+
+#[test]
+fn poisoned_shard_never_loses_the_session_report() {
+    // A resolution shard that panics mid-resolve must never take the
+    // session report down with it: non-fatal panics heal bit-identically
+    // through the single-threaded fallback, fatal ones quarantine the
+    // shard's samples — counted, never silently lost.
+    let (built, plan) = small_workload();
+    let out = run_benchmark(&built, &plan, ProfilerKind::viprof_at(PERIOD), 4, false);
+    let db = out.db.as_ref().unwrap();
+    let kernel = &out.machine.kernel;
+    let pid = db
+        .iter()
+        .find_map(|(b, _)| match b.origin {
+            SampleOrigin::JitApp { pid } => Some(pid),
+            _ => None,
+        })
+        .expect("workload produced JIT samples");
+
+    let clean = Viprof::make_report(db, kernel, &ReportSpec::default().threads(SHARDS)).unwrap();
+
+    // Non-fatal: the parallel worker dies, the fallback re-resolve
+    // succeeds — the report comes out identical to the clean run.
+    let healed = Viprof::make_report(
+        db,
+        kernel,
+        &ReportSpec::default()
+            .threads(SHARDS)
+            .poison(ShardPoison { pid, fatal: false }),
+    )
+    .expect("a panicking shard must not fail the report");
+    assert_eq!(healed.lines, clean.lines, "fallback re-resolve is bit-identical");
+    assert_eq!(healed.quality, clean.quality);
+    assert!(healed.telemetry.counter(names::RESOLVE_SHARD_PANICS) >= 1);
+
+    // Fatal: the fallback dies too; the shard's samples are quarantined
+    // but the accounting still covers 100% of the emitted samples.
+    let fatal_spec = |threads: usize| {
+        ReportSpec::default()
+            .threads(threads)
+            .poison(ShardPoison { pid, fatal: true })
+    };
+    let maimed = Viprof::make_report(db, kernel, &fatal_spec(SHARDS))
+        .expect("a twice-panicking shard must not fail the report");
+    assert!(maimed.quality.quarantined > 0, "{:?}", maimed.quality);
+    assert_eq!(maimed.quality.accounted(), db.total_samples());
+    assert_eq!(maimed.quality.dropped, db.dropped);
+    assert!(maimed.lines.rows.len() <= clean.lines.rows.len());
+    assert!(
+        !maimed
+            .telemetry
+            .events_of(names::EVENT_RESOLVE_SHARD_QUARANTINE)
+            .is_empty(),
+        "the quarantine leaves a flight-recorder trace"
+    );
+    // Shard assignment is content-hashed, not worker-count-dependent:
+    // the damage is identical at every thread count.
+    let single = Viprof::make_report(db, kernel, &fatal_spec(1)).unwrap();
+    assert_eq!(single.quality, maimed.quality);
+    assert_eq!(single.lines, maimed.lines);
 }

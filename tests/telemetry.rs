@@ -12,6 +12,7 @@
 //!   review here and in `scripts/verify.sh`.
 
 use viprof_repro::oprofile::session::TELEMETRY_PATH;
+use viprof_repro::oprofile::OpConfig;
 use viprof_repro::telemetry::{
     bucket_hi, bucket_lo, bucket_of, names, Telemetry, TelemetrySnapshot, BUCKETS,
 };
@@ -83,6 +84,33 @@ fn resolve_telemetry_is_deterministic_per_thread_count() {
     assert_eq!(h.count, 4, "one record per shard");
     assert_eq!(h.sum, db.total_samples(), "shards partition the samples");
     assert!(t1.counter(names::REPORT_ROWS) > 0);
+}
+
+#[test]
+fn drain_allocation_is_bounded_by_ring_capacity_not_drain_count() {
+    // The daemon recycles its drain vector back into the ring, so the
+    // fresh allocation `drain` performs over a whole session is bounded
+    // by the ring capacity (plus allocator slack) — *not* by
+    // drains × batch size, which is what a drain that allocated a new
+    // vector every wakeup would cost.
+    let (built, plan) = small_workload();
+    let config = OpConfig {
+        buffer_capacity: 64,
+        daemon_period_cycles: 300_000,
+        ..OpConfig::time_at(15_000)
+    };
+    let out = run_benchmark(&built, &plan, ProfilerKind::Viprof(config), 9, false);
+    let snap = out.telemetry.as_ref().expect("profiled run records telemetry");
+    let drains = snap.counter(names::DAEMON_DRAINS);
+    let pushed = snap.counter(names::BUFFER_PUSHED);
+    let allocated = snap.counter(names::BUFFER_DRAIN_ALLOCATED_SLOTS);
+    assert!(drains >= 4, "fast daemon timer must produce many drains: {drains}");
+    assert!(pushed > 2 * 64, "the session must push well past one ring's worth");
+    assert!(allocated > 0, "the first drain has no spare to recycle");
+    assert!(
+        allocated <= 2 * 64,
+        "drain allocation must stay capacity-bounded: {allocated} slots over {drains} drains"
+    );
 }
 
 #[test]
