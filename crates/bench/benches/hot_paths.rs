@@ -34,8 +34,8 @@ fn bench_vma_lookup(c: &mut Criterion) {
 
 fn bench_registry_classify(c: &mut Criterion) {
     let mut reg = JitRegistry::new();
-    reg.register(Pid(4), (0x6000_0000, 0x6800_0000));
-    reg.register(Pid(9), (0x7000_0000, 0x7800_0000));
+    reg.register(Pid(4), 0, (0x6000_0000, 0x6800_0000)).unwrap();
+    reg.register(Pid(9), 0, (0x7000_0000, 0x7800_0000)).unwrap();
     c.bench_function("registry_classify_hit", |b| {
         b.iter(|| reg.classify(black_box(Pid(4)), black_box(0x6400_0000)))
     });
@@ -46,7 +46,7 @@ fn bench_registry_classify(c: &mut Criterion) {
 
 fn bench_ring_buffer(c: &mut Criterion) {
     let sample = SampleBucket {
-        origin: SampleOrigin::JitApp { pid: Pid(4) },
+        origin: SampleOrigin::JitApp { pid: Pid(4), gen: 0 },
         event: HwEvent::Cycles,
         addr: 0x6400_0040,
         epoch: 3,

@@ -48,7 +48,7 @@ fn resolve_rates(out: &viprof_workloads::RunOutcome) -> (Rates, u64, usize) {
     let pid = db
         .iter()
         .find_map(|(b, _)| match b.origin {
-            SampleOrigin::JitApp { pid } => Some(pid),
+            SampleOrigin::JitApp { pid, .. } => Some(pid),
             _ => None,
         })
         .expect("run must produce JIT samples");

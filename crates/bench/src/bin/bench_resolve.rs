@@ -149,7 +149,7 @@ fn build_session(s: &Scenario) -> (Kernel, SampleDb) {
         };
         db.add(
             SampleBucket {
-                origin: SampleOrigin::JitApp { pid },
+                origin: SampleOrigin::JitApp { pid, gen: 0 },
                 event,
                 addr,
                 epoch,

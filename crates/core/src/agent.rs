@@ -16,9 +16,9 @@
 
 use crate::callgraph::CallGraph;
 use crate::codemap::{journal_path, map_path, render_map, CodeMapEntry};
-use crate::registry::SharedRegistry;
+use crate::registry::{RegisterOutcome, SharedRegistry};
 use parking_lot::Mutex;
-use sim_cpu::{Addr, CostModel, Pid};
+use sim_cpu::{Addr, CostModel, Pid, ProcKey};
 use sim_jvm::{CompiledBodyInfo, MethodId, VmProfilerHooks};
 use sim_os::journal::{JournalWriter, KIND_CODE_MAP};
 use sim_os::{SplitMix64, Vfs};
@@ -32,6 +32,8 @@ struct AgentTelemetry {
     maps_written: Counter,
     map_entries: Counter,
     gc_epochs: Counter,
+    registrations: Counter,
+    generation_bumps: Counter,
     map_write_stage: Stage,
 }
 
@@ -42,6 +44,8 @@ impl AgentTelemetry {
             maps_written: registry.counter(names::AGENT_MAPS_WRITTEN),
             map_entries: registry.counter(names::AGENT_MAP_ENTRIES),
             gc_epochs: registry.counter(names::AGENT_GC_EPOCHS),
+            registrations: registry.counter(names::REGISTRY_REGISTRATIONS),
+            generation_bumps: registry.counter(names::REGISTRY_GENERATION_BUMPS),
             map_write_stage: registry.stage(names::STAGE_AGENT_MAP_WRITE),
         }
     }
@@ -174,7 +178,11 @@ const CALL_EDGE_CYCLES: u64 = 30;
 pub struct VmAgent {
     registry: SharedRegistry,
     cost: CostModel,
-    pid: Option<Pid>,
+    /// Identity of the incarnation this agent serves, known after
+    /// `on_vm_start`. Map and journal paths are namespaced by it, so a
+    /// restarted VM (same pid, bumped generation) starts a fresh chain
+    /// at epoch 0 without touching its predecessor's files.
+    key: Option<ProcKey>,
     /// Current location of every known compiled method ("a list of
     /// known compiled methods", §3).
     current: BTreeMap<MethodId, CodeMapEntry>,
@@ -218,7 +226,7 @@ impl VmAgent {
         VmAgent {
             registry,
             cost,
-            pid: None,
+            key: None,
             current: BTreeMap::new(),
             pending_compiles: Vec::new(),
             moved_flags: BTreeSet::new(),
@@ -282,7 +290,7 @@ impl VmAgent {
     fn write_map(&mut self, epoch: u64, vfs: &mut Vfs) -> u64 {
         // An agent used before `on_vm_start` has nothing to attribute a
         // map to; skip gracefully rather than panicking inside a hook.
-        let Some(pid) = self.pid else { return 0 };
+        let Some(key) = self.key else { return 0 };
         // Entries: every compile event of the ending epoch, plus the
         // current locations of bodies moved by the previous collection.
         // Keyed by address: a method compiled after being moved shares
@@ -309,10 +317,10 @@ impl VmAgent {
             None => Some(rendered.as_bytes().to_vec()),
         };
         if let Some(bytes) = &payload {
-            vfs.write(map_path(pid, epoch), bytes.clone());
+            vfs.write(map_path(key, epoch), bytes.clone());
         }
         if self.journal_enabled {
-            self.journal_map(pid, epoch, &rendered, payload.as_deref(), vfs);
+            self.journal_map(key, epoch, &rendered, payload.as_deref(), vfs);
         }
         self.moved_flags.clear();
         let mut st = self.stats.lock();
@@ -328,7 +336,7 @@ impl VmAgent {
             t.map_write_stage.record(cost);
             t.registry.event(
                 names::EVENT_AGENT_MAP_WRITE,
-                &map_path(pid, epoch),
+                &map_path(key, epoch),
                 &[("epoch", epoch), ("entries", entries.len() as u64)],
             );
         }
@@ -351,7 +359,7 @@ impl VmAgent {
     ///   detects the CRC mismatch and truncates the journal there.
     fn journal_map(
         &mut self,
-        pid: Pid,
+        key: ProcKey,
         epoch: u64,
         rendered: &str,
         damaged: Option<&[u8]>,
@@ -359,7 +367,7 @@ impl VmAgent {
     ) {
         let Some(damaged) = damaged else { return };
         if self.journal.is_none() {
-            let mut writer = JournalWriter::create(vfs, journal_path(pid));
+            let mut writer = JournalWriter::create(vfs, journal_path(key));
             if let Some(t) = &self.telemetry {
                 writer.set_telemetry(&t.registry);
             }
@@ -387,9 +395,40 @@ impl VmAgent {
 }
 
 impl VmProfilerHooks for VmAgent {
-    fn on_vm_start(&mut self, pid: Pid, heap_range: (Addr, Addr)) -> u64 {
-        self.pid = Some(pid);
-        self.registry.write().register(pid, heap_range);
+    fn on_vm_start(&mut self, pid: Pid, gen: u32, heap_range: (Addr, Addr)) -> u64 {
+        let key = ProcKey::new(pid, gen);
+        if self.key != Some(key) {
+            // A fresh incarnation gets a fresh journal under its own
+            // generation directory; the predecessor's file is closed as
+            // written.
+            self.journal = None;
+        }
+        self.key = Some(key);
+        match self.registry.write().register(pid, gen, heap_range) {
+            Ok(outcome) => {
+                if let Some(t) = &self.telemetry {
+                    t.registrations.inc();
+                    if gen > 0 || matches!(outcome, RegisterOutcome::Supplanted { .. }) {
+                        t.generation_bumps.inc();
+                    }
+                    t.registry.event(
+                        names::EVENT_REGISTRY_REGISTER,
+                        &key.to_string(),
+                        &[
+                            ("pid", pid.0 as u64),
+                            ("gen", gen as u64),
+                            ("heap_lo", heap_range.0),
+                            ("heap_hi", heap_range.1),
+                        ],
+                    );
+                }
+            }
+            Err(_) => {
+                // A conflicting incarnation (stale gen, zombie restart)
+                // must not claim JIT samples — leave it unregistered so
+                // its heap stays anonymous, and keep the hook total.
+            }
+        }
         self.cost.vm_probe_cycles
     }
 
@@ -430,8 +469,8 @@ impl VmProfilerHooks for VmAgent {
     }
 
     fn on_gc_end(&mut self, new_epoch: u64) -> u64 {
-        if let Some(pid) = self.pid {
-            self.registry.read().set_epoch(pid, new_epoch);
+        if let Some(key) = self.key {
+            self.registry.read().set_epoch(key.pid, new_epoch);
         }
         if let Some(t) = &self.telemetry {
             t.gc_epochs.inc();
@@ -445,7 +484,14 @@ impl VmProfilerHooks for VmAgent {
     }
 
     fn on_vm_exit(&mut self, final_epoch: u64, vfs: &mut Vfs) -> u64 {
-        self.write_map(final_epoch, vfs)
+        let cost = self.write_map(final_epoch, vfs);
+        // Graceful exit: the final map is on disk, so the registration
+        // retires (late in-ring samples stay resolvable) rather than
+        // being reaped.
+        if let Some(key) = self.key {
+            self.registry.write().retire(key.pid);
+        }
+        cost
     }
 
     fn on_call(&mut self, caller: Option<&str>, callee: &str) -> u64 {
@@ -507,24 +553,24 @@ mod tests {
     #[test]
     fn vm_start_registers_heap() {
         let (mut a, reg) = agent();
-        a.on_vm_start(Pid(7), (0x6000_0000, 0x6400_0000));
+        a.on_vm_start(Pid(7), 0, (0x6000_0000, 0x6400_0000));
         assert!(reg.read().is_registered(Pid(7)));
-        assert_eq!(reg.read().classify(Pid(7), 0x6100_0000), Some(0));
+        assert_eq!(reg.read().classify(Pid(7), 0x6100_0000), Some((0, 0)));
     }
 
     #[test]
     fn gc_end_bumps_epoch_in_registry() {
         let (mut a, reg) = agent();
-        a.on_vm_start(Pid(7), (0x1000, 0x2000));
+        a.on_vm_start(Pid(7), 0, (0x1000, 0x2000));
         a.on_gc_end(3);
-        assert_eq!(reg.read().classify(Pid(7), 0x1800), Some(3));
+        assert_eq!(reg.read().classify(Pid(7), 0x1800), Some((3, 0)));
     }
 
     #[test]
     fn partial_maps_contain_only_new_and_moved() {
         let (mut a, _) = agent();
         let mut vfs = Vfs::new();
-        a.on_vm_start(Pid(7), (0x1000, 0x2000));
+        a.on_vm_start(Pid(7), 0, (0x1000, 0x2000));
         // Epoch 0: compile A and B.
         a.on_compile(&compile_info(0, 0x1000, 0));
         a.on_compile(&compile_info(1, 0x1100, 0));
@@ -558,7 +604,7 @@ mod tests {
         // so a sample in epoch 1 must chain backwards to map 0.
         let (mut a, _) = agent();
         let mut vfs = Vfs::new();
-        a.on_vm_start(Pid(7), (0x1000, 0x2000));
+        a.on_vm_start(Pid(7), 0, (0x1000, 0x2000));
         a.on_compile(&compile_info(1, 0x1100, 0));
         a.on_gc_begin(0, &mut vfs);
         a.on_gc_end(1);
@@ -574,7 +620,7 @@ mod tests {
         let (mut a, _) = agent();
         let cost = CostModel::default();
         let mut vfs = Vfs::new();
-        assert_eq!(a.on_vm_start(Pid(1), (0, 0x1000)), cost.vm_probe_cycles);
+        assert_eq!(a.on_vm_start(Pid(1), 0, (0, 0x1000)), cost.vm_probe_cycles);
         assert_eq!(
             a.on_compile(&compile_info(0, 0x10, 0)),
             cost.agent_compile_log_cycles
@@ -620,7 +666,7 @@ mod tests {
         a = a.with_map_faults(MapFaults::new(3).with_lost(1.0));
         let faults = a.map_faults.clone().unwrap();
         let mut vfs = Vfs::new();
-        a.on_vm_start(Pid(7), (0x1000, 0x2000));
+        a.on_vm_start(Pid(7), 0, (0x1000, 0x2000));
         a.on_compile(&compile_info(0, 0x1000, 0));
         a.on_gc_begin(0, &mut vfs);
         a.on_vm_exit(1, &mut vfs);
@@ -636,7 +682,7 @@ mod tests {
         a = a.with_map_faults(MapFaults::new(5).with_garbled(1.0));
         let faults = a.map_faults.clone().unwrap();
         let mut vfs = Vfs::new();
-        a.on_vm_start(Pid(7), (0x1000, 0x2000));
+        a.on_vm_start(Pid(7), 0, (0x1000, 0x2000));
         a.on_compile(&compile_info(0, 0x1000, 0));
         a.on_compile(&compile_info(1, 0x1100, 0));
         a.on_gc_begin(0, &mut vfs);
@@ -677,7 +723,7 @@ mod tests {
         let (mut a, _) = agent();
         a = a.with_journal(true);
         let mut vfs = Vfs::new();
-        a.on_vm_start(Pid(7), (0x1000, 0x2000));
+        a.on_vm_start(Pid(7), 0, (0x1000, 0x2000));
         a.on_compile(&compile_info(0, 0x1000, 0));
         a.on_gc_begin(0, &mut vfs);
         a.on_gc_end(1);
@@ -710,7 +756,7 @@ mod tests {
             .with_journal(true);
         let faults = a.map_faults.clone().unwrap();
         let mut vfs = Vfs::new();
-        a.on_vm_start(Pid(7), (0x1000, 0x2000));
+        a.on_vm_start(Pid(7), 0, (0x1000, 0x2000));
         a.on_compile(&compile_info(0, 0x1000, 0));
         a.on_compile(&compile_info(1, 0x1100, 0));
         a.on_gc_begin(0, &mut vfs);
@@ -747,7 +793,7 @@ mod tests {
             .with_map_faults(MapFaults::new(5).with_garbled(1.0))
             .with_journal(true);
         let mut vfs = Vfs::new();
-        a.on_vm_start(Pid(7), (0x1000, 0x2000));
+        a.on_vm_start(Pid(7), 0, (0x1000, 0x2000));
         a.on_compile(&compile_info(0, 0x1000, 0));
         a.on_gc_begin(0, &mut vfs);
         let scan = sim_os::journal::scan(&vfs, journal_path(Pid(7))).unwrap();
@@ -762,7 +808,7 @@ mod tests {
             .with_map_faults(MapFaults::new(3).with_lost(1.0))
             .with_journal(true);
         let mut vfs = Vfs::new();
-        a.on_vm_start(Pid(7), (0x1000, 0x2000));
+        a.on_vm_start(Pid(7), 0, (0x1000, 0x2000));
         a.on_compile(&compile_info(0, 0x1000, 0));
         a.on_gc_begin(0, &mut vfs);
         // The VM died before either write — even the journal is absent
@@ -777,7 +823,7 @@ mod tests {
         let t = Telemetry::new();
         a = a.with_telemetry(&t);
         let mut vfs = Vfs::new();
-        a.on_vm_start(Pid(7), (0x1000, 0x2000));
+        a.on_vm_start(Pid(7), 0, (0x1000, 0x2000));
         a.on_compile(&compile_info(0, 0x1000, 0));
         a.on_gc_begin(0, &mut vfs);
         a.on_gc_end(1);
@@ -797,6 +843,52 @@ mod tests {
         // The same run without telemetry is otherwise identical: the
         // stats handle sees the same counts.
         assert_eq!(a.stats.lock().maps_written, 2);
+    }
+
+    #[test]
+    fn restarted_incarnation_namespaces_maps_and_resets_epochs() {
+        let reg = JitRegistry::shared();
+        let mut vfs = Vfs::new();
+        // Incarnation 0 lives and dies gracefully.
+        let mut a0 = VmAgent::new(reg.clone(), CostModel::default()).with_journal(true);
+        a0.on_vm_start(Pid(7), 0, (0x1000, 0x2000));
+        a0.on_compile(&compile_info(0, 0x1000, 0));
+        a0.on_vm_exit(0, &mut vfs);
+        assert!(!reg.read().is_registered(Pid(7)), "retired at exit");
+        // Incarnation 1 reuses the pid: epoch counter restarts at 0.
+        let mut a1 = VmAgent::new(reg.clone(), CostModel::default()).with_journal(true);
+        a1.on_vm_start(Pid(7), 1, (0x3000, 0x4000));
+        assert_eq!(reg.read().classify(Pid(7), 0x3800), Some((0, 1)));
+        a1.on_compile(&compile_info(9, 0x3000, 0));
+        a1.on_vm_exit(0, &mut vfs);
+        // Each incarnation has its own chain and journal; neither
+        // corrupted the other's.
+        let g0 = CodeMapSet::load(&vfs, ProcKey::new(Pid(7), 0)).unwrap();
+        let g1 = CodeMapSet::load(&vfs, ProcKey::new(Pid(7), 1)).unwrap();
+        assert_eq!(g0.resolve(0x1010, 0).unwrap().signature, "app.M0.run");
+        assert_eq!(g1.resolve(0x3010, 0).unwrap().signature, "app.M9.run");
+        assert!(g0.resolve(0x3010, 0).is_none());
+        for gen in [0u32, 1] {
+            let scan =
+                sim_os::journal::scan(&vfs, journal_path(ProcKey::new(Pid(7), gen))).unwrap();
+            assert_eq!(scan.damaged_bytes, 0);
+            assert_eq!(scan.records.len(), 1);
+        }
+    }
+
+    #[test]
+    fn conflicting_registration_leaves_heap_anonymous() {
+        let reg = JitRegistry::shared();
+        // Generation 2 registered and was reaped (unclean death).
+        reg.write().register(Pid(4), 2, (0x1000, 0x2000)).unwrap();
+        reg.write().reap(&mut |_, _| false);
+        // A zombie agent for the dead incarnation comes back: the
+        // conflict is swallowed, nothing is registered.
+        let mut a = VmAgent::new(reg.clone(), CostModel::default());
+        let cost = a.on_vm_start(Pid(4), 2, (0x1000, 0x2000));
+        assert_eq!(cost, CostModel::default().vm_probe_cycles);
+        assert!(!reg.read().is_registered(Pid(4)));
+        assert_eq!(reg.read().classify(Pid(4), 0x1800), None);
     }
 
     #[test]

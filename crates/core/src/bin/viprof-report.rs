@@ -144,6 +144,7 @@ fn main() {
     };
 
     let mut resolve_telemetry: Option<TelemetrySnapshot> = None;
+    let mut incarnations: Vec<viprof::IncarnationSummary> = Vec::new();
     let (report, quality, recovery) = if classic {
         (opreport(&db, &kernel, &options), None, None)
     } else {
@@ -168,6 +169,7 @@ fn main() {
                     rec
                 });
                 resolve_telemetry = Some(sr.telemetry);
+                incarnations = sr.incarnations;
                 (sr.lines, Some(sr.quality), recovery)
             }
             Err(e) => {
@@ -211,7 +213,17 @@ fn main() {
                         q.evicted
                     );
                 }
+                if q.cross_incarnation_blocked > 0 {
+                    println!(
+                        "NOTE: {} sample(s) blocked at the incarnation boundary — \
+                         stamped with a generation whose maps are gone while another \
+                         incarnation of the pid has maps; attribution never crosses \
+                         a restart",
+                        q.cross_incarnation_blocked
+                    );
+                }
             }
+            print_incarnation_footer(&incarnations);
             if let Some(rec) = &recovery {
                 print_recovery(rec);
             }
@@ -254,6 +266,24 @@ fn main() {
                 std::process::exit(1);
             }
         },
+    }
+}
+
+/// Per-incarnation footer: printed only when the session actually saw
+/// process churn (more than one incarnation, or blocked samples) — a
+/// steady one-VM run keeps the classic single-section output.
+fn print_incarnation_footer(incarnations: &[viprof::IncarnationSummary]) {
+    let blocked: u64 = incarnations.iter().map(|i| i.blocked).sum();
+    if incarnations.len() <= 1 && blocked == 0 {
+        return;
+    }
+    println!("== incarnations ==");
+    for i in incarnations {
+        println!(
+            "pid {} gen {}: {} sample(s) — {} resolved, {} stale-epoch, \
+             {} unresolved, {} blocked",
+            i.pid, i.gen, i.samples, i.resolved, i.stale_epoch, i.unresolved, i.blocked
+        );
     }
 }
 

@@ -215,13 +215,25 @@ fn print_pipeline(t: &TelemetrySnapshot) {
         t.counter(names::AGENT_MAP_ENTRIES),
         t.counter(names::AGENT_GC_EPOCHS)
     );
+    let registrations = t.counter(names::REGISTRY_REGISTRATIONS);
+    let bumps = t.counter(names::REGISTRY_GENERATION_BUMPS);
+    let reaps = t.counter(names::REGISTRY_REAPS);
+    let dead_dropped = t.counter(names::DAEMON_DEAD_GEN_DROPPED);
+    if bumps > 0 || reaps > 0 || dead_dropped > 0 {
+        println!(
+            "  process churn: {} registration(s), {} generation bump(s), \
+             {} reap(s), {} dead-generation sample(s) dropped",
+            registrations, bumps, reaps, dead_dropped
+        );
+    }
 }
 
 fn print_resolution(t: &TelemetrySnapshot) {
     let resolved = t.counter(names::RESOLVE_SAMPLES_RESOLVED);
     let stale = t.counter(names::RESOLVE_SAMPLES_STALE_EPOCH);
     let unresolved = t.counter(names::RESOLVE_SAMPLES_UNRESOLVED);
-    let total = resolved + stale + unresolved;
+    let blocked = t.counter(names::RESOLVE_SAMPLES_CROSS_INCARNATION_BLOCKED);
+    let total = resolved + stale + unresolved + blocked;
     println!("-- resolution --");
     println!(
         "  resolved {} ({:.2}%), stale-epoch {} ({:.2}%), unresolved {} ({:.2}%)",
@@ -232,6 +244,13 @@ fn print_resolution(t: &TelemetrySnapshot) {
         unresolved,
         pct(unresolved, total)
     );
+    if blocked > 0 {
+        println!(
+            "  cross-incarnation blocked {} ({:.2}%) — attribution never crosses a restart",
+            blocked,
+            pct(blocked, total)
+        );
+    }
     println!(
         "  damage: {} quarantined lines, {} skipped map files, {} failed pids, {} missing epochs",
         t.counter(names::RESOLVE_QUARANTINED_LINES),

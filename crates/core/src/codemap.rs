@@ -9,7 +9,7 @@
 //! moved — method to occupy that address space" (§3.2).
 
 use crate::error::ViprofError;
-use sim_cpu::{Addr, Pid};
+use sim_cpu::{Addr, Pid, ProcKey};
 use sim_os::Vfs;
 
 /// VFS directory the agent writes maps under.
@@ -32,17 +32,24 @@ impl CodeMapEntry {
     }
 }
 
-/// Map-file path for (pid, epoch). Zero-padded so the VFS's
-/// lexicographic listing is also numeric epoch order.
-pub fn map_path(pid: Pid, epoch: u64) -> String {
-    format!("{JIT_MAP_DIR}/{}/map.{epoch:010}", pid.0)
+/// Map-file path for (incarnation, epoch). Zero-padded so the VFS's
+/// lexicographic listing is also numeric epoch order. Each incarnation
+/// of a pid gets its own generation directory — a restarted VM resets
+/// its epoch counter to 0 without ever touching (or being resolved
+/// against) its predecessor's chain. A bare `Pid` coerces to
+/// generation 0.
+pub fn map_path(key: impl Into<ProcKey>, epoch: u64) -> String {
+    let key = key.into();
+    format!("{JIT_MAP_DIR}/{}/{}/map.{epoch:010}", key.pid.0, key.gen)
 }
 
-/// Path of the agent's code-map write-ahead journal for `pid`. Lives
-/// beside the map files (same per-pid directory) but outside the
-/// `map.` prefix, so map listings never pick it up.
-pub fn journal_path(pid: Pid) -> String {
-    format!("{JIT_MAP_DIR}/{}/journal", pid.0)
+/// Path of the agent's code-map write-ahead journal for one
+/// incarnation. Lives beside the map files (same per-incarnation
+/// directory) but outside the `map.` prefix, so map listings never
+/// pick it up.
+pub fn journal_path(key: impl Into<ProcKey>) -> String {
+    let key = key.into();
+    format!("{JIT_MAP_DIR}/{}/{}/journal", key.pid.0, key.gen)
 }
 
 /// Render entries in the on-disk text format:
@@ -152,14 +159,16 @@ impl CodeMapSet {
         }
     }
 
-    /// Load every map file for `pid` from the VFS.
+    /// Load every map file for one incarnation from the VFS.
     ///
     /// Degrades per file: an unusable file (garbage filename, binary
     /// content) is skipped and counted; bad lines inside a usable file
     /// are quarantined and counted. `Err` only when map files exist for
-    /// the pid but *none* could be used at all.
-    pub fn load(vfs: &Vfs, pid: Pid) -> Result<CodeMapSet, ViprofError> {
-        let prefix = format!("{JIT_MAP_DIR}/{}/map.", pid.0);
+    /// the incarnation but *none* could be used at all.
+    pub fn load(vfs: &Vfs, key: impl Into<ProcKey>) -> Result<CodeMapSet, ViprofError> {
+        let key = key.into();
+        let pid = key.pid;
+        let prefix = format!("{JIT_MAP_DIR}/{}/{}/map.", key.pid.0, key.gen);
         let mut maps = Vec::new();
         let mut quarantined = 0;
         let mut skipped = 0;
@@ -374,7 +383,7 @@ mod tests {
         // Non-UTF-8 file: skipped wholesale.
         vfs.write(map_path(pid, 2), vec![0xff, 0xfe, 0x00, 0x80]);
         // Garbage filename under the same prefix: skipped.
-        vfs.write(format!("{JIT_MAP_DIR}/{}/map.zzz", pid.0), b"x".to_vec());
+        vfs.write(format!("{JIT_MAP_DIR}/{}/0/map.zzz", pid.0), b"x".to_vec());
         let set = CodeMapSet::load(&vfs, pid).unwrap();
         assert_eq!(set.maps().len(), 2);
         assert_eq!(set.quarantined_lines, 1);
@@ -408,6 +417,25 @@ mod tests {
         assert_eq!((hit.signature.as_str(), stale), ("old", false));
         // Nothing anywhere: still a miss.
         assert!(set.resolve_salvage(0x500, 1).is_none());
+    }
+
+    #[test]
+    fn generations_keep_separate_map_chains() {
+        let mut vfs = Vfs::new();
+        let pid = Pid(9);
+        // Gen 0 (a bare Pid coerces to gen 0) and gen 1 both write an
+        // epoch-0 map at the same address — different methods.
+        vfs.write(map_path(pid, 0), render_map(&[e(0x100, 0x40, "old.Main")]).into_bytes());
+        vfs.write(
+            map_path(ProcKey::new(pid, 1), 0),
+            render_map(&[e(0x100, 0x40, "new.Main")]).into_bytes(),
+        );
+        let g0 = CodeMapSet::load(&vfs, pid).unwrap();
+        let g1 = CodeMapSet::load(&vfs, ProcKey::new(pid, 1)).unwrap();
+        assert_eq!(g0.resolve(0x110, 0).unwrap().signature, "old.Main");
+        assert_eq!(g1.resolve(0x110, 0).unwrap().signature, "new.Main");
+        // A generation that never ran has no maps at all.
+        assert!(CodeMapSet::load(&vfs, ProcKey::new(pid, 2)).unwrap().is_empty());
     }
 
     #[test]

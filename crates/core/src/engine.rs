@@ -27,11 +27,11 @@ use crate::flatindex::FlatIndex;
 use crate::resolve::{ResolutionQuality, ViprofResolver};
 use oprofile::report::{bucket_label, finish_report, report_events, Report, ReportOptions};
 use oprofile::{SampleBucket, SampleDb, SampleOrigin};
-use sim_cpu::{HwEvent, Pid};
+use sim_cpu::{HwEvent, Pid, ProcKey};
 use sim_jvm::bootimage::{BOOT_IMAGE_NAME, RVM_MAP_IMAGE_LABEL};
 use sim_os::{ImageId, Kernel};
 use std::collections::hash_map::{DefaultHasher, Entry};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use viprof_telemetry::{names, Counter, Gauge, Histogram, Stage, Telemetry};
@@ -43,6 +43,9 @@ enum Class {
     Resolved,
     Stale,
     Unresolved,
+    /// The sample's incarnation has no maps while another incarnation
+    /// of the same pid does — refused, never cross-resolved.
+    Blocked,
 }
 
 /// Per-shard partial sums; merged by addition, so the totals are
@@ -55,6 +58,8 @@ struct ShardTally {
     /// Samples whose shard panicked twice (worker + fallback): kept in
     /// the accounting so the report never silently shrinks.
     quarantined: u64,
+    /// Samples refused by the cross-incarnation isolation invariant.
+    blocked: u64,
 }
 
 /// Deterministic shard-poison knob (fault-matrix and unit tests): any
@@ -82,6 +87,7 @@ struct EngineTelemetry {
     stale_epoch: Counter,
     unresolved: Counter,
     quarantined: Counter,
+    cross_incarnation_blocked: Counter,
     dropped: Counter,
     evicted: Counter,
     quarantined_lines: Counter,
@@ -102,6 +108,8 @@ impl EngineTelemetry {
             stale_epoch: registry.counter(names::RESOLVE_SAMPLES_STALE_EPOCH),
             unresolved: registry.counter(names::RESOLVE_SAMPLES_UNRESOLVED),
             quarantined: registry.counter(names::RESOLVE_SAMPLES_QUARANTINED),
+            cross_incarnation_blocked: registry
+                .counter(names::RESOLVE_SAMPLES_CROSS_INCARNATION_BLOCKED),
             dropped: registry.counter(names::RESOLVE_SAMPLES_DROPPED),
             evicted: registry.counter(names::RESOLVE_SAMPLES_EVICTED),
             quarantined_lines: registry.counter(names::RESOLVE_QUARANTINED_LINES),
@@ -115,16 +123,17 @@ impl EngineTelemetry {
         }
     }
 
-    /// Current values of the ten quality counters, in
+    /// Current values of the eleven quality counters, in
     /// [`ResolutionQuality`] field order. Taken before a resolve pass
     /// so `finish` can compare deltas (registries may be shared and
     /// pre-used, so absolute values prove nothing).
-    fn quality_counts(&self) -> [u64; 10] {
+    fn quality_counts(&self) -> [u64; 11] {
         [
             self.resolved.get(),
             self.stale_epoch.get(),
             self.unresolved.get(),
             self.quarantined.get(),
+            self.cross_incarnation_blocked.get(),
             self.dropped.get(),
             self.evicted.get(),
             self.quarantined_lines.get(),
@@ -140,6 +149,7 @@ impl EngineTelemetry {
         self.stale_epoch.add(t.stale_epoch);
         self.unresolved.add(t.unresolved);
         self.quarantined.add(t.quarantined);
+        self.cross_incarnation_blocked.add(t.blocked);
     }
 
     /// Second-sink accumulation of the static base quality (load-time
@@ -175,7 +185,7 @@ impl EngineTelemetry {
 
     /// Close out one resolve pass: shard-shape metrics, the offline
     /// work-unit stage, and the counter-vs-struct equivalence check.
-    fn finish(&self, before: [u64; 10], quality: &ResolutionQuality, shard_sizes: &[u64]) {
+    fn finish(&self, before: [u64; 11], quality: &ResolutionQuality, shard_sizes: &[u64]) {
         self.shards.set(shard_sizes.len() as u64);
         for &size in shard_sizes {
             self.shard_samples.record(size);
@@ -190,6 +200,7 @@ impl EngineTelemetry {
                 quality.stale_epoch,
                 quality.unresolved,
                 quality.quarantined,
+                quality.cross_incarnation_blocked,
                 quality.dropped,
                 quality.evicted,
                 quality.quarantined_lines,
@@ -207,8 +218,11 @@ impl EngineTelemetry {
 /// threads.
 #[derive(Debug, Default)]
 pub struct ResolutionEngine {
-    /// Flattened epoch chain per pid.
-    flat: HashMap<Pid, FlatIndex>,
+    /// Flattened epoch chain per incarnation.
+    flat: HashMap<ProcKey, FlatIndex>,
+    /// Pids with at least one incarnation in `flat` — the lookup
+    /// behind cross-incarnation blocking.
+    pids_with_maps: HashSet<u32>,
     /// Flattened boot-image map: disjoint `[start, end)` offset ranges
     /// with interned method names, reproducing `BootMap::resolve`'s
     /// candidate/shadowing behaviour exactly.
@@ -241,12 +255,13 @@ impl ResolutionEngine {
             ..ResolutionQuality::default()
         };
         let mut flat = HashMap::new();
-        for (pid, set) in resolver.sets() {
+        for (key, set) in resolver.sets() {
             damage.quarantined_lines += set.quarantined_lines;
             damage.skipped_map_files += set.skipped_files;
             damage.missing_epochs += set.missing_epochs();
-            flat.insert(*pid, FlatIndex::build(set));
+            flat.insert(*key, FlatIndex::build(set));
         }
+        let pids_with_maps: HashSet<u32> = flat.keys().map(|k| k.pid.0).collect();
 
         // Flatten the boot map with the same candidate rule its
         // `resolve` applies: last entry per distinct offset, coverage
@@ -277,6 +292,7 @@ impl ResolutionEngine {
 
         ResolutionEngine {
             flat,
+            pids_with_maps,
             boot_starts,
             boot_ends,
             boot_names,
@@ -302,7 +318,7 @@ impl ResolutionEngine {
     /// parallel shard workers, leaving the fallback path clean.
     fn trip_poison(&self, bucket: &SampleBucket, parallel_worker: bool) {
         if let Some(p) = self.poison {
-            if let SampleOrigin::JitApp { pid } = bucket.origin {
+            if let SampleOrigin::JitApp { pid, .. } = bucket.origin {
                 if pid == p.pid && (p.fatal || parallel_worker) {
                     panic!("poisoned resolution shard (pid {})", pid.0);
                 }
@@ -317,9 +333,10 @@ impl ResolutionEngine {
         self.telemetry = Some(EngineTelemetry::attach(registry));
     }
 
-    /// The flattened index for one pid, if its maps loaded.
-    pub fn index(&self, pid: Pid) -> Option<&FlatIndex> {
-        self.flat.get(&pid)
+    /// The flattened index for one incarnation, if its maps loaded. A
+    /// bare `Pid` coerces to generation 0.
+    pub fn index(&self, key: impl Into<ProcKey>) -> Option<&FlatIndex> {
+        self.flat.get(&key.into())
     }
 
     fn boot_resolve(&self, offset: u64) -> Option<&Arc<str>> {
@@ -331,14 +348,14 @@ impl ResolutionEngine {
     /// lockstep with [`ViprofResolver::quality`]'s per-bucket match.
     fn classify_bucket(&self, bucket: &SampleBucket) -> Class {
         match bucket.origin {
-            SampleOrigin::JitApp { pid } => {
-                match self
-                    .flat
-                    .get(&pid)
-                    .and_then(|f| f.resolve_salvage(bucket.addr, bucket.epoch))
-                {
-                    Some((_, false)) => Class::Resolved,
-                    Some((_, true)) => Class::Stale,
+            SampleOrigin::JitApp { pid, gen } => {
+                match self.flat.get(&ProcKey::new(pid, gen)) {
+                    Some(f) => match f.resolve_salvage(bucket.addr, bucket.epoch) {
+                        Some((_, false)) => Class::Resolved,
+                        Some((_, true)) => Class::Stale,
+                        None => Class::Unresolved,
+                    },
+                    None if self.pids_with_maps.contains(&pid.0) => Class::Blocked,
                     None => Class::Unresolved,
                 }
             }
@@ -359,10 +376,10 @@ impl ResolutionEngine {
                     None => (self.boot_image_name.clone(), self.no_symbols.clone()),
                 }
             }
-            SampleOrigin::JitApp { pid } => {
+            SampleOrigin::JitApp { pid, gen } => {
                 match self
                     .flat
-                    .get(&pid)
+                    .get(&ProcKey::new(pid, gen))
                     .and_then(|f| f.resolve_salvage(bucket.addr, bucket.epoch))
                 {
                     Some((sym, _)) => (self.jit_app.clone(), sym.clone()),
@@ -424,6 +441,7 @@ impl ResolutionEngine {
                 Class::Resolved => tally.resolved += count,
                 Class::Stale => tally.stale_epoch += count,
                 Class::Unresolved => tally.unresolved += count,
+                Class::Blocked => tally.blocked += count,
             }
             if let Some(col) = events.iter().position(|e| *e == bucket.event) {
                 let key = self.label(bucket, kernel);
@@ -441,6 +459,7 @@ impl ResolutionEngine {
                 Class::Resolved => tally.resolved += count,
                 Class::Stale => tally.stale_epoch += count,
                 Class::Unresolved => tally.unresolved += count,
+                Class::Blocked => tally.blocked += count,
             }
         }
         tally
@@ -532,6 +551,7 @@ impl ResolutionEngine {
             quality.stale_epoch += tally.stale_epoch;
             quality.unresolved += tally.unresolved;
             quality.quarantined += tally.quarantined;
+            quality.cross_incarnation_blocked += tally.blocked;
             if let Some(t) = &self.telemetry {
                 t.add_tally(&tally);
             }
@@ -615,6 +635,7 @@ impl ResolutionEngine {
             quality.stale_epoch += tally.stale_epoch;
             quality.unresolved += tally.unresolved;
             quality.quarantined += tally.quarantined;
+            quality.cross_incarnation_blocked += tally.blocked;
             if let Some(t) = &self.telemetry {
                 t.add_tally(&tally);
             }
@@ -674,9 +695,12 @@ mod tests {
     fn mixed_db(k: &Kernel, pid: Pid) -> SampleDb {
         let boot_id = k.images.find_by_name(BOOT_IMAGE_NAME).unwrap();
         let mut db = SampleDb::new();
-        db.add(bucket(SampleOrigin::JitApp { pid }, 0x6400_0080, 2), 10);
-        db.add(bucket(SampleOrigin::JitApp { pid }, 0x6500_0010, 1), 6);
-        db.add(bucket(SampleOrigin::JitApp { pid }, 0x7000_0000, 0), 3);
+        db.add(bucket(SampleOrigin::JitApp { pid, gen: 0 }, 0x6400_0080, 2), 10);
+        db.add(bucket(SampleOrigin::JitApp { pid, gen: 0 }, 0x6500_0010, 1), 6);
+        db.add(bucket(SampleOrigin::JitApp { pid, gen: 0 }, 0x7000_0000, 0), 3);
+        // A stamped generation with no maps of its own: blocked by the
+        // isolation invariant, exercised through every engine path.
+        db.add(bucket(SampleOrigin::JitApp { pid, gen: 7 }, 0x6400_0080, 2), 2);
         db.add(bucket(SampleOrigin::Image(boot_id), 0x10, 0), 5);
         db.add(bucket(SampleOrigin::Image(k.kernel_image), 0x3000, 0), 4);
         db.add(bucket(SampleOrigin::Unknown, 0x0, 0), 2);
@@ -833,6 +857,26 @@ mod tests {
                 .iter()
                 .any(|e| e.fields.iter().any(|(k, v)| k == "recovered" && *v == 0)));
         }
+    }
+
+    #[test]
+    fn blocked_samples_agree_with_the_reference_and_stay_accounted() {
+        let (k, pid) = setup();
+        let db = mixed_db(&k, pid);
+        let (resolver, _) = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap();
+        let engine = ResolutionEngine::build(&resolver);
+        let want = resolver.quality(&db);
+        assert_eq!(want.cross_incarnation_blocked, 2);
+        for threads in [1, 4] {
+            let q = engine.quality(&db, threads);
+            assert_eq!(q, want, "threads={threads}");
+            assert_eq!(q.accounted(), db.total_samples());
+        }
+        // The blocked bucket's label never borrows the other
+        // incarnation's symbols.
+        let blocked = bucket(SampleOrigin::JitApp { pid, gen: 7 }, 0x6400_0080, 2);
+        let (img, sym) = engine.label(&blocked, &k);
+        assert_eq!((&*img, &*sym), ("JIT.App", "(unresolved jit)"));
     }
 
     #[test]

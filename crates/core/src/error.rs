@@ -22,6 +22,11 @@ pub enum ViprofError {
     Corrupt { path: String, detail: String },
     /// Map files exist for this pid but not one of them was usable.
     NoUsableMaps { pid: Pid },
+    /// A VM tried to register an incarnation the registry cannot
+    /// accept: the `(pid, gen)` was already retired or reaped (dead
+    /// incarnations never come back), or the generation regresses
+    /// behind one the registry has already seen for that pid.
+    RegistrationConflict { pid: Pid, gen: u32 },
     /// The session configuration cannot start a profiler at all (no
     /// events, a zero period, a self-contradicting governor). Caught
     /// before any counter is programmed — the alternative is a sampler
@@ -41,6 +46,14 @@ impl std::fmt::Display for ViprofError {
             }
             ViprofError::NoUsableMaps { pid } => {
                 write!(f, "pid {}: map files exist but none is usable", pid.0)
+            }
+            ViprofError::RegistrationConflict { pid, gen } => {
+                write!(
+                    f,
+                    "pid {} gen {gen}: registration conflicts with a \
+                     known incarnation of this pid",
+                    pid.0
+                )
             }
             ViprofError::InvalidConfig(why) => {
                 write!(f, "invalid session config: {why}")
@@ -65,6 +78,11 @@ mod tests {
         assert!(e.to_string().contains("pid 12"));
         let e = ViprofError::InvalidConfig("no events".into());
         assert_eq!(e.to_string(), "invalid session config: no events");
+        let e = ViprofError::RegistrationConflict {
+            pid: Pid(5),
+            gen: 2,
+        };
+        assert!(e.to_string().contains("pid 5 gen 2"));
     }
 
     #[test]

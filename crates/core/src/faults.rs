@@ -43,6 +43,13 @@ pub struct FaultPlan {
     pub map_tear_rate: f64,
     /// Per-line probability of garbling within surviving maps.
     pub map_garble_rate: f64,
+    /// Process-churn: kill and restart the profiled VM this many times
+    /// mid-run, at seeded points of the workload (salt 5).
+    pub vm_restarts: u32,
+    /// Process-churn: between a kill and its restart, spawn-and-exit a
+    /// decoy process so the LIFO pid allocator hands the successor VM
+    /// its predecessor's pid — the worst-case reuse collision.
+    pub pid_reuse_collision: bool,
 }
 
 impl FaultPlan {
@@ -57,6 +64,8 @@ impl FaultPlan {
             map_lose_rate: 0.0,
             map_tear_rate: 0.0,
             map_garble_rate: 0.0,
+            vm_restarts: 0,
+            pid_reuse_collision: false,
         }
     }
 
@@ -97,6 +106,16 @@ impl FaultPlan {
 
     pub fn with_garbled_lines(mut self, rate: f64) -> FaultPlan {
         self.map_garble_rate = rate;
+        self
+    }
+
+    pub fn with_vm_restarts(mut self, restarts: u32) -> FaultPlan {
+        self.vm_restarts = restarts;
+        self
+    }
+
+    pub fn with_pid_reuse_collision(mut self) -> FaultPlan {
+        self.pid_reuse_collision = true;
         self
     }
 
@@ -158,6 +177,52 @@ impl FaultPlan {
             ..SupervisorConfig::default()
         }
     }
+
+    /// The process-churn schedule (salt 5), if any churn knob is set:
+    /// which of the workload's `slices` progress points the VM dies at.
+    /// Restart points are distinct, sorted and strictly inside the run
+    /// (never before the first slice or after the last), so the same
+    /// plan kills at the same points on every replay.
+    pub fn churn_schedule(&self, slices: u64) -> Option<ChurnSchedule> {
+        if self.vm_restarts == 0 && !self.pid_reuse_collision {
+            return None;
+        }
+        let mut rng = SplitMix64::new(self.sub_seed(5));
+        let mut restarts: Vec<u64> = Vec::new();
+        let span = slices.saturating_sub(1).max(1);
+        let wanted = (self.vm_restarts as u64).min(span) as usize;
+        while restarts.len() < wanted {
+            let at = 1 + rng.next_u64() % span;
+            if !restarts.contains(&at) {
+                restarts.push(at);
+            }
+        }
+        restarts.sort_unstable();
+        Some(ChurnSchedule {
+            restarts,
+            reuse_collision: self.pid_reuse_collision,
+        })
+    }
+}
+
+/// A seeded process-churn schedule: where the profiled VM dies and is
+/// respawned, and whether a decoy process forces the successor onto the
+/// predecessor's pid.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChurnSchedule {
+    /// Workload slice indices at which the running VM is killed and a
+    /// fresh incarnation booted (sorted, distinct).
+    pub restarts: Vec<u64>,
+    /// Spawn-and-exit a decoy between kill and respawn so the LIFO
+    /// allocator re-issues the dead VM's pid to the successor.
+    pub reuse_collision: bool,
+}
+
+impl ChurnSchedule {
+    /// Should the VM be restarted upon completing slice `slice`?
+    pub fn restart_after(&self, slice: u64) -> bool {
+        self.restarts.contains(&slice)
+    }
 }
 
 /// Aggregate fault counters across a plan's layers (what was actually
@@ -209,6 +274,29 @@ mod tests {
         let p = FaultPlan::new(9);
         assert_ne!(a.seed, p.sub_seed(2));
         assert_ne!(a.seed, p.sub_seed(3));
+    }
+
+    #[test]
+    fn churn_schedule_is_seeded_sorted_and_in_range() {
+        assert!(FaultPlan::new(3).churn_schedule(8).is_none());
+        let p = FaultPlan::new(3).with_vm_restarts(2).with_pid_reuse_collision();
+        let s = p.churn_schedule(8).unwrap();
+        assert_eq!(s.restarts.len(), 2);
+        assert!(s.restarts.windows(2).all(|w| w[0] < w[1]), "{s:?}");
+        assert!(s.restarts.iter().all(|&r| r >= 1 && r < 8), "{s:?}");
+        assert!(s.reuse_collision);
+        assert!(s.restart_after(s.restarts[0]));
+        // Bit-identical replay from the same seed; different seed,
+        // different schedule stream.
+        assert_eq!(s, FaultPlan::new(3).with_vm_restarts(2).with_pid_reuse_collision().churn_schedule(8).unwrap());
+        let other = FaultPlan::new(4).with_vm_restarts(2).churn_schedule(8).unwrap();
+        assert!(!other.reuse_collision);
+        // Collision-only plans still get a (restart-free) schedule.
+        let c = FaultPlan::new(3).with_pid_reuse_collision().churn_schedule(8).unwrap();
+        assert!(c.restarts.is_empty() && c.reuse_collision);
+        // More restarts than interior slices clamps instead of spinning.
+        let tiny = FaultPlan::new(3).with_vm_restarts(9).churn_schedule(3).unwrap();
+        assert_eq!(tiny.restarts.len(), 2);
     }
 
     #[test]

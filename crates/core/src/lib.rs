@@ -56,12 +56,12 @@ pub use callgraph::CallGraph;
 pub use codemap::{CodeMapEntry, CodeMapSet, EpochMap, ParsedMap, JIT_MAP_DIR};
 pub use engine::{ResolutionEngine, ShardPoison};
 pub use error::ViprofError;
-pub use faults::{FaultPlan, FaultReport};
+pub use faults::{ChurnSchedule, FaultPlan, FaultReport};
 pub use flatindex::FlatIndex;
 pub use recover::{recover_codemaps, recover_sample_db, PidRecovery, RecoveredDb, RecoveryReport};
-pub use registry::{JitRegistry, SharedRegistry};
+pub use registry::{JitRegistry, RegisterOutcome, SharedRegistry};
 pub use report::viprof_report;
-pub use resolve::{ResolutionQuality, ResolveOptions, ViprofResolver};
+pub use resolve::{IncarnationSummary, ResolutionQuality, ResolveOptions, ViprofResolver};
 pub use runtime::ViprofExtension;
 pub use session::{
     FileDigest, ReportSpec, SessionBuilder, SessionReport, Viprof, SESSION_MANIFEST,

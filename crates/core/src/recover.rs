@@ -32,7 +32,7 @@
 
 use crate::codemap::{journal_path, parse_map, CodeMapSet, EpochMap, ParsedMap, JIT_MAP_DIR};
 use oprofile::{SampleDb, SAMPLE_JOURNAL_PATH};
-use sim_cpu::Pid;
+use sim_cpu::ProcKey;
 use sim_os::journal::{self, KIND_CODE_MAP, KIND_SAMPLE_BATCH};
 use sim_os::Vfs;
 use std::collections::BTreeMap;
@@ -88,24 +88,26 @@ pub struct PidRecovery {
     pub epochs_recovered: u64,
 }
 
-/// Rebuild `pid`'s epoch code maps by replaying its map journal over
-/// the on-disk map files. `None` when the pid never journaled (plain
-/// [`CodeMapSet::load`] is all there is).
+/// Rebuild one incarnation's epoch code maps by replaying its map
+/// journal over the on-disk map files. `None` when the incarnation
+/// never journaled (plain [`CodeMapSet::load`] is all there is). A
+/// bare `Pid` coerces to generation 0.
 ///
 /// For every epoch the outcome is the better of the two sources:
 /// a committed journal record carries the pristine render and wins;
 /// epochs with no committed record fall back to whatever the map file
 /// parse salvages — so per epoch the recovered entry set is a superset
 /// of the degraded one, and resolution is monotonically no worse.
-pub fn recover_codemaps(vfs: &Vfs, pid: Pid) -> Option<(CodeMapSet, PidRecovery)> {
-    let scan = journal::scan(vfs, &journal_path(pid))?;
+pub fn recover_codemaps(vfs: &Vfs, key: impl Into<ProcKey>) -> Option<(CodeMapSet, PidRecovery)> {
+    let key = key.into();
+    let scan = journal::scan(vfs, &journal_path(key))?;
     let mut rec = PidRecovery {
         truncated_bytes: scan.damaged_bytes as u64,
         ..PidRecovery::default()
     };
     // On-disk state first, exactly as the degraded loader sees it:
     // `Some(parsed)` for readable files, `None` for unreadable ones.
-    let prefix = format!("{JIT_MAP_DIR}/{}/map.", pid.0);
+    let prefix = format!("{JIT_MAP_DIR}/{}/{}/map.", key.pid.0, key.gen);
     let mut epochs: BTreeMap<u64, Option<ParsedMap>> = BTreeMap::new();
     let mut skipped_unnameable = 0u64;
     for path in vfs.list(&prefix) {
@@ -199,7 +201,7 @@ mod tests {
     use super::*;
     use crate::codemap::{map_path, render_map, CodeMapEntry};
     use oprofile::{SampleBucket, SampleOrigin};
-    use sim_cpu::HwEvent;
+    use sim_cpu::{HwEvent, Pid};
     use sim_os::JournalWriter;
 
     fn entry(addr: u64, sig: &str) -> CodeMapEntry {

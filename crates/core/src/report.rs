@@ -71,8 +71,8 @@ mod tests {
         // VM-internal time (interpreter method at offset 0).
         add(SampleOrigin::Image(boot_id), 0x10, HwEvent::Cycles, 30);
         // JIT'd app method.
-        add(SampleOrigin::JitApp { pid }, 0x6400_0080, HwEvent::Cycles, 50);
-        add(SampleOrigin::JitApp { pid }, 0x6400_0080, HwEvent::L2Miss, 5);
+        add(SampleOrigin::JitApp { pid, gen: 0 }, 0x6400_0080, HwEvent::Cycles, 50);
+        add(SampleOrigin::JitApp { pid, gen: 0 }, 0x6400_0080, HwEvent::L2Miss, 5);
         // Native memset with heavy misses (the paper's top Dmiss row).
         add(SampleOrigin::Image(libc), 0x1100, HwEvent::Cycles, 20);
         add(SampleOrigin::Image(libc), 0x1100, HwEvent::L2Miss, 15);

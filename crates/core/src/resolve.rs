@@ -19,7 +19,8 @@ use crate::error::ViprofError;
 use crate::recover::{recover_codemaps, RecoveryReport};
 use oprofile::report::bucket_label;
 use oprofile::{SampleBucket, SampleDb, SampleOrigin};
-use sim_cpu::Pid;
+use serde::Serialize;
+use sim_cpu::{Pid, ProcKey};
 use sim_jvm::bootimage::{BOOT_IMAGE_NAME, RVM_MAP_IMAGE_LABEL};
 use sim_os::{ImageId, Kernel};
 use std::collections::HashMap;
@@ -44,6 +45,12 @@ pub struct ResolutionQuality {
     /// re-resolution panicked too: present in the database, counted
     /// here instead of silently vanishing from the report.
     pub quarantined: u64,
+    /// JIT samples stamped with a generation that has no maps of its
+    /// own while *another* incarnation of the same pid does. Resolving
+    /// them against the other incarnation's maps would attribute a dead
+    /// process's cycles to its pid-reusing successor (or vice versa),
+    /// so the resolver refuses and counts them here instead.
+    pub cross_incarnation_blocked: u64,
     /// Samples that never reached the database (ring-buffer overflow).
     pub dropped: u64,
     /// Samples the database's admission cap refused (bounded memory).
@@ -62,8 +69,31 @@ impl ResolutionQuality {
     /// Emitted samples this report accounts for — by construction equal
     /// to `db.total_samples()`, even when shards panicked.
     pub fn accounted(&self) -> u64 {
-        self.resolved + self.stale_epoch + self.unresolved + self.quarantined
+        self.resolved
+            + self.stale_epoch
+            + self.unresolved
+            + self.quarantined
+            + self.cross_incarnation_blocked
     }
+}
+
+/// Per-incarnation resolution breakdown: one row per `(pid, gen)` that
+/// appears in the sample database's JIT origins. Churn-heavy sessions
+/// (VM restarts, pid reuse) surface here as multiple rows per pid, each
+/// accounted independently — the report's proof that attribution never
+/// leaked across an incarnation boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct IncarnationSummary {
+    pub pid: u32,
+    pub gen: u32,
+    /// All JIT samples stamped with this incarnation.
+    pub samples: u64,
+    pub resolved: u64,
+    pub stale_epoch: u64,
+    pub unresolved: u64,
+    /// Samples refused because only *other* incarnations of this pid
+    /// had maps (see [`ResolutionQuality::cross_incarnation_blocked`]).
+    pub blocked: u64,
 }
 
 /// Mirror one finished quality report into the registry's `resolve.*`
@@ -81,6 +111,9 @@ pub(crate) fn record_quality(registry: &Telemetry, q: &ResolutionQuality) {
     registry
         .counter(names::RESOLVE_SAMPLES_QUARANTINED)
         .add(q.quarantined);
+    registry
+        .counter(names::RESOLVE_SAMPLES_CROSS_INCARNATION_BLOCKED)
+        .add(q.cross_incarnation_blocked);
     registry.counter(names::RESOLVE_SAMPLES_DROPPED).add(q.dropped);
     registry.counter(names::RESOLVE_SAMPLES_EVICTED).add(q.evicted);
     registry
@@ -94,25 +127,25 @@ pub(crate) fn record_quality(registry: &Telemetry, q: &ResolutionQuality) {
     registry.stage(names::STAGE_RESOLVE_REPORT).record(q.accounted());
 }
 
-/// Discover pids with per-pid map directories: paths look like
-/// `/var/lib/oprofile/jit/<pid>/map.<epoch>` (or `…/<pid>/journal`).
-fn discover_pids(kernel: &Kernel) -> Vec<Pid> {
+/// Discover incarnations with map directories: paths look like
+/// `/var/lib/oprofile/jit/<pid>/<gen>/map.<epoch>` (or
+/// `…/<pid>/<gen>/journal`).
+fn discover_keys(kernel: &Kernel) -> Vec<ProcKey> {
     let prefix = format!("{JIT_MAP_DIR}/");
-    let mut pids: Vec<Pid> = kernel
+    let mut keys: Vec<ProcKey> = kernel
         .vfs
         .list(&prefix)
         .iter()
         .filter_map(|p| {
-            p[prefix.len()..]
-                .split('/')
-                .next()
-                .and_then(|s| s.parse::<u32>().ok())
-                .map(Pid)
+            let mut parts = p[prefix.len()..].split('/');
+            let pid = parts.next()?.parse::<u32>().ok()?;
+            let gen = parts.next()?.parse::<u32>().ok()?;
+            Some(ProcKey::new(Pid(pid), gen))
         })
         .collect();
-    pids.sort_unstable();
-    pids.dedup();
-    pids
+    keys.sort_unstable();
+    keys.dedup();
+    keys
 }
 
 /// How [`ViprofResolver::load_with`] should treat the on-disk map
@@ -137,10 +170,10 @@ impl ResolveOptions {
 #[derive(Debug, Default)]
 pub struct ViprofResolver {
     bootmap: BootMap,
-    codemaps: HashMap<Pid, CodeMapSet>,
+    codemaps: HashMap<ProcKey, CodeMapSet>,
     boot_image: Option<ImageId>,
-    /// Pids whose map sets failed to load (skipped, not fatal).
-    failed_pids: Vec<Pid>,
+    /// Incarnations whose map sets failed to load (skipped, not fatal).
+    failed_keys: Vec<ProcKey>,
     /// Mirror quality reports into this registry's `resolve.*` counters.
     /// Used by the legacy (non-engine) resolve path only — the engine
     /// carries its own handles so the two never double count.
@@ -164,21 +197,21 @@ impl ViprofResolver {
         let bootmap = BootMap::load(&kernel.vfs)?;
         let boot_image = kernel.images.find_by_name(BOOT_IMAGE_NAME);
         let mut codemaps = HashMap::new();
-        let mut failed_pids = Vec::new();
+        let mut failed_keys = Vec::new();
         let mut report = RecoveryReport::default();
-        for pid in discover_pids(kernel) {
+        for key in discover_keys(kernel) {
             if options.recover {
-                if let Some((set, pid_rec)) = recover_codemaps(&kernel.vfs, pid) {
-                    report.absorb(&pid_rec);
-                    codemaps.insert(pid, set);
+                if let Some((set, key_rec)) = recover_codemaps(&kernel.vfs, key) {
+                    report.absorb(&key_rec);
+                    codemaps.insert(key, set);
                     continue;
                 }
             }
-            match CodeMapSet::load(&kernel.vfs, pid) {
+            match CodeMapSet::load(&kernel.vfs, key) {
                 Ok(set) => {
-                    codemaps.insert(pid, set);
+                    codemaps.insert(key, set);
                 }
-                Err(_) => failed_pids.push(pid),
+                Err(_) => failed_keys.push(key),
             }
         }
         Ok((
@@ -186,7 +219,7 @@ impl ViprofResolver {
                 bootmap,
                 codemaps,
                 boot_image,
-                failed_pids,
+                failed_keys,
                 telemetry: None,
             },
             report,
@@ -213,13 +246,19 @@ impl ViprofResolver {
         ViprofResolver::load_with(kernel, ResolveOptions::recovered())
     }
 
-    pub fn codemaps(&self, pid: Pid) -> Option<&CodeMapSet> {
-        self.codemaps.get(&pid)
+    pub fn codemaps(&self, key: impl Into<ProcKey>) -> Option<&CodeMapSet> {
+        self.codemaps.get(&key.into())
     }
 
-    /// Every loaded pid's map set, for index flattening.
-    pub(crate) fn sets(&self) -> impl Iterator<Item = (&Pid, &CodeMapSet)> {
+    /// Every loaded incarnation's map set, for index flattening.
+    pub(crate) fn sets(&self) -> impl Iterator<Item = (&ProcKey, &CodeMapSet)> {
         self.codemaps.iter()
+    }
+
+    /// Pids that have at least one incarnation with loaded maps — the
+    /// lookup behind cross-incarnation blocking.
+    pub(crate) fn pids_with_maps(&self) -> std::collections::HashSet<u32> {
+        self.codemaps.keys().map(|k| k.pid.0).collect()
     }
 
     /// The image id the boot image registered under, if installed.
@@ -231,9 +270,9 @@ impl ViprofResolver {
         &self.bootmap
     }
 
-    /// Pids whose maps were present but unloadable.
-    pub fn failed_pids(&self) -> &[Pid] {
-        &self.failed_pids
+    /// Incarnations whose maps were present but unloadable.
+    pub fn failed_pids(&self) -> &[ProcKey] {
+        &self.failed_keys
     }
 
     /// Label one bucket: (image column, symbol column).
@@ -247,12 +286,16 @@ impl ViprofResolver {
                     None => (BOOT_IMAGE_NAME.to_string(), "(no symbols)".to_string()),
                 }
             }
-            // Registered-heap samples: epoch-chained code-map search,
-            // with the forward-salvage fallback for damaged chains.
-            SampleOrigin::JitApp { pid } => {
+            // Registered-heap samples: epoch-chained code-map search
+            // against the *stamped incarnation's* maps only, with the
+            // forward-salvage fallback for damaged chains. A sample
+            // whose generation has no maps stays unresolved even if a
+            // different incarnation of the pid has maps — attribution
+            // never crosses an incarnation boundary.
+            SampleOrigin::JitApp { pid, gen } => {
                 let resolved = self
                     .codemaps
-                    .get(&pid)
+                    .get(&ProcKey::new(pid, gen))
                     .and_then(|set| set.resolve_salvage(bucket.addr, bucket.epoch));
                 match resolved {
                     Some((e, _)) => ("JIT.App".to_string(), e.signature.clone()),
@@ -270,7 +313,7 @@ impl ViprofResolver {
         let mut q = ResolutionQuality {
             dropped: db.dropped,
             evicted: db.evicted,
-            failed_pids: self.failed_pids.len() as u64,
+            failed_pids: self.failed_keys.len() as u64,
             ..ResolutionQuality::default()
         };
         for set in self.codemaps.values() {
@@ -278,16 +321,25 @@ impl ViprofResolver {
             q.skipped_map_files += set.skipped_files;
             q.missing_epochs += set.missing_epochs();
         }
+        let pids_with_maps = self.pids_with_maps();
         for (bucket, count) in db.iter() {
             match bucket.origin {
-                SampleOrigin::JitApp { pid } => {
-                    let hit = self
-                        .codemaps
-                        .get(&pid)
-                        .and_then(|set| set.resolve_salvage(bucket.addr, bucket.epoch));
-                    match hit {
-                        Some((_, false)) => q.resolved += count,
-                        Some((_, true)) => q.stale_epoch += count,
+                SampleOrigin::JitApp { pid, gen } => {
+                    let key = ProcKey::new(pid, gen);
+                    match self.codemaps.get(&key) {
+                        Some(set) => match set.resolve_salvage(bucket.addr, bucket.epoch) {
+                            Some((_, false)) => q.resolved += count,
+                            Some((_, true)) => q.stale_epoch += count,
+                            None => q.unresolved += count,
+                        },
+                        // No maps for this incarnation. If another
+                        // incarnation of the pid has maps, the only
+                        // reason these samples are unattributed is the
+                        // isolation invariant — count them as blocked,
+                        // not merely unresolved.
+                        None if pids_with_maps.contains(&pid.0) => {
+                            q.cross_incarnation_blocked += count
+                        }
                         None => q.unresolved += count,
                     }
                 }
@@ -303,6 +355,44 @@ impl ViprofResolver {
             record_quality(t, &q);
         }
         q
+    }
+
+    /// Per-incarnation breakdown of `db`'s JIT samples, sorted by
+    /// `(pid, gen)` — deterministic across runs and thread counts. The
+    /// rows partition the JIT-origin subset of [`ViprofResolver::quality`]:
+    /// summing any column over all rows reproduces the corresponding
+    /// JIT share of the whole-run quality report.
+    pub fn incarnations(&self, db: &SampleDb) -> Vec<IncarnationSummary> {
+        let pids_with_maps = self.pids_with_maps();
+        let mut rows: std::collections::BTreeMap<(u32, u32), IncarnationSummary> =
+            Default::default();
+        for (bucket, count) in db.iter() {
+            let SampleOrigin::JitApp { pid, gen } = bucket.origin else {
+                continue;
+            };
+            let row = rows
+                .entry((pid.0, gen))
+                .or_insert_with(|| IncarnationSummary {
+                    pid: pid.0,
+                    gen,
+                    samples: 0,
+                    resolved: 0,
+                    stale_epoch: 0,
+                    unresolved: 0,
+                    blocked: 0,
+                });
+            row.samples += count;
+            match self.codemaps.get(&ProcKey::new(pid, gen)) {
+                Some(set) => match set.resolve_salvage(bucket.addr, bucket.epoch) {
+                    Some((_, false)) => row.resolved += count,
+                    Some((_, true)) => row.stale_epoch += count,
+                    None => row.unresolved += count,
+                },
+                None if pids_with_maps.contains(&pid.0) => row.blocked += count,
+                None => row.unresolved += count,
+            }
+        }
+        rows.into_values().collect()
     }
 }
 
@@ -357,14 +447,14 @@ mod tests {
     fn jit_samples_resolve_through_code_maps() {
         let (k, pid) = setup();
         let r = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap().0;
-        let (img, sym) = r.label(&bucket(SampleOrigin::JitApp { pid }, 0x6400_0080, 0), &k);
+        let (img, sym) = r.label(&bucket(SampleOrigin::JitApp { pid, gen: 0 }, 0x6400_0080, 0), &k);
         assert_eq!(img, "JIT.App");
         assert_eq!(sym, "app.Scanner.parseLine");
         // Later epochs chain backwards to the same entry.
-        let (_, sym) = r.label(&bucket(SampleOrigin::JitApp { pid }, 0x6400_0080, 5), &k);
+        let (_, sym) = r.label(&bucket(SampleOrigin::JitApp { pid, gen: 0 }, 0x6400_0080, 5), &k);
         assert_eq!(sym, "app.Scanner.parseLine");
         // Unknown address stays visibly unresolved.
-        let (_, sym) = r.label(&bucket(SampleOrigin::JitApp { pid }, 0x7000_0000, 0), &k);
+        let (_, sym) = r.label(&bucket(SampleOrigin::JitApp { pid, gen: 0 }, 0x7000_0000, 0), &k);
         assert_eq!(sym, "(unresolved jit)");
     }
 
@@ -398,7 +488,7 @@ mod tests {
         let k = Kernel::new();
         let r = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap().0;
         assert!(r.bootmap().is_empty());
-        let (img, sym) = r.label(&bucket(SampleOrigin::JitApp { pid: Pid(1) }, 0x10, 0), &k);
+        let (img, sym) = r.label(&bucket(SampleOrigin::JitApp { pid: Pid(1), gen: 0 }, 0x10, 0), &k);
         assert_eq!((img.as_str(), sym.as_str()), ("JIT.App", "(unresolved jit)"));
     }
 
@@ -409,11 +499,44 @@ mod tests {
         let bad = k.spawn("jikesrvm2");
         k.vfs.write(map_path(bad, 0), vec![0xff, 0xfe, 0x80]);
         let r = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap().0;
-        assert_eq!(r.failed_pids(), &[bad]);
+        assert_eq!(r.failed_pids(), &[ProcKey::new(bad, 0)]);
         assert!(r.codemaps(good).is_some(), "good pid still loaded");
         // The bad pid's samples degrade instead of erroring out.
-        let (_, sym) = r.label(&bucket(SampleOrigin::JitApp { pid: bad }, 0x10, 0), &k);
+        let (_, sym) = r.label(&bucket(SampleOrigin::JitApp { pid: bad, gen: 0 }, 0x10, 0), &k);
         assert_eq!(sym, "(unresolved jit)");
+    }
+
+    #[test]
+    fn samples_never_resolve_across_incarnations() {
+        // Only generation 0 of the pid has maps. A sample stamped with
+        // generation 1 (the pid-reusing successor — or a predecessor's
+        // ghost) must not borrow them.
+        let (k, pid) = setup();
+        let r = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap().0;
+        let (_, sym) = r.label(&bucket(SampleOrigin::JitApp { pid, gen: 1 }, 0x6400_0080, 0), &k);
+        assert_eq!(sym, "(unresolved jit)");
+        let mut db = SampleDb::new();
+        db.add(bucket(SampleOrigin::JitApp { pid, gen: 0 }, 0x6400_0080, 0), 10);
+        db.add(bucket(SampleOrigin::JitApp { pid, gen: 1 }, 0x6400_0080, 0), 4);
+        // A pid with no maps under ANY generation stays plain unresolved.
+        db.add(bucket(SampleOrigin::JitApp { pid: Pid(99), gen: 3 }, 0x10, 0), 2);
+        let q = r.quality(&db);
+        assert_eq!(q.resolved, 10);
+        assert_eq!(q.cross_incarnation_blocked, 4);
+        assert_eq!(q.unresolved, 2);
+        assert_eq!(q.accounted(), db.total_samples());
+        // The per-incarnation breakdown partitions the same samples,
+        // in deterministic (pid, gen) order.
+        let inc = r.incarnations(&db);
+        assert_eq!(inc.len(), 3);
+        assert_eq!((inc[0].pid, inc[0].gen, inc[0].resolved), (pid.0, 0, 10));
+        assert_eq!((inc[1].pid, inc[1].gen, inc[1].blocked), (pid.0, 1, 4));
+        assert_eq!((inc[2].pid, inc[2].gen, inc[2].unresolved), (99, 3, 2));
+        let total: u64 = inc.iter().map(|i| i.samples).sum();
+        assert_eq!(
+            total,
+            q.resolved + q.stale_epoch + q.cross_incarnation_blocked + 2
+        );
     }
 
     #[test]
@@ -434,7 +557,7 @@ mod tests {
         let r = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap().0;
         // A sample tagged epoch 1 on that address: backward chain
         // misses, forward salvage attributes it (stale).
-        let (_, sym) = r.label(&bucket(SampleOrigin::JitApp { pid }, 0x6500_0010, 1), &k);
+        let (_, sym) = r.label(&bucket(SampleOrigin::JitApp { pid, gen: 0 }, 0x6500_0010, 1), &k);
         assert_eq!(sym, "app.Late.comer");
     }
 
@@ -443,8 +566,8 @@ mod tests {
         let (k, pid) = setup();
         let boot_id = k.images.find_by_name(BOOT_IMAGE_NAME).unwrap();
         let mut db = SampleDb::new();
-        db.add(bucket(SampleOrigin::JitApp { pid }, 0x6400_0080, 0), 10);
-        db.add(bucket(SampleOrigin::JitApp { pid }, 0x7000_0000, 0), 3);
+        db.add(bucket(SampleOrigin::JitApp { pid, gen: 0 }, 0x6400_0080, 0), 10);
+        db.add(bucket(SampleOrigin::JitApp { pid, gen: 0 }, 0x7000_0000, 0), 3);
         db.add(bucket(SampleOrigin::Image(boot_id), 0x10, 0), 5);
         db.add(bucket(SampleOrigin::Unknown, 0x0, 0), 2);
         db.dropped = 7;
@@ -477,13 +600,13 @@ mod tests {
         let mut w = JournalWriter::create(&mut k.vfs, journal_path(pid));
         w.append(&mut k.vfs, KIND_CODE_MAP, &payload);
         let degraded = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap().0;
-        let (_, sym) = degraded.label(&bucket(SampleOrigin::JitApp { pid }, 0x6400_0080, 0), &k);
+        let (_, sym) = degraded.label(&bucket(SampleOrigin::JitApp { pid, gen: 0 }, 0x6400_0080, 0), &k);
         assert_eq!(sym, "(unresolved jit)");
         let (recovered, report) = ViprofResolver::load_with(&k, ResolveOptions::recovered()).unwrap();
         assert_eq!(report.journals_scanned, 1);
         assert_eq!(report.records_replayed, 1);
         assert_eq!(report.epochs_recovered, 1);
-        let (_, sym) = recovered.label(&bucket(SampleOrigin::JitApp { pid }, 0x6400_0080, 0), &k);
+        let (_, sym) = recovered.label(&bucket(SampleOrigin::JitApp { pid, gen: 0 }, 0x6400_0080, 0), &k);
         assert_eq!(sym, "app.Scanner.parseLine");
     }
 
@@ -491,7 +614,7 @@ mod tests {
     fn quality_mirrors_into_attached_telemetry() {
         let (k, pid) = setup();
         let mut db = SampleDb::new();
-        db.add(bucket(SampleOrigin::JitApp { pid }, 0x6400_0080, 0), 10);
+        db.add(bucket(SampleOrigin::JitApp { pid, gen: 0 }, 0x6400_0080, 0), 10);
         db.add(bucket(SampleOrigin::Unknown, 0x0, 0), 2);
         db.dropped = 3;
         let mut r = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap().0;
@@ -522,9 +645,9 @@ mod tests {
         );
         let mut db = SampleDb::new();
         // Backward hit.
-        db.add(bucket(SampleOrigin::JitApp { pid }, 0x6400_0080, 2), 4);
+        db.add(bucket(SampleOrigin::JitApp { pid, gen: 0 }, 0x6400_0080, 2), 4);
         // Forward salvage.
-        db.add(bucket(SampleOrigin::JitApp { pid }, 0x6500_0010, 1), 6);
+        db.add(bucket(SampleOrigin::JitApp { pid, gen: 0 }, 0x6500_0010, 1), 6);
         let r = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap().0;
         let q = r.quality(&db);
         assert_eq!(q.resolved, 4);

@@ -37,7 +37,7 @@ impl AnonExtension for ViprofExtension {
         self.registry
             .read()
             .classify(pid, pc)
-            .map(|epoch| JitClaim { epoch })
+            .map(|(epoch, gen)| JitClaim { epoch, gen })
     }
 
     fn daemon_probe_cost(&self) -> u64 {
@@ -46,6 +46,14 @@ impl AnonExtension for ViprofExtension {
         } else {
             self.probe_cycles
         }
+    }
+
+    fn admit(&self, pid: Pid, gen: u32) -> bool {
+        self.registry.read().admit(pid, gen)
+    }
+
+    fn reap(&mut self, is_live: &mut dyn FnMut(Pid, u32) -> bool) -> u64 {
+        self.registry.write().reap(is_live)
     }
 }
 
@@ -57,13 +65,15 @@ mod tests {
     #[test]
     fn claims_only_registered_ranges() {
         let reg = JitRegistry::shared();
-        reg.write().register(Pid(3), (0x6000_0000, 0x6100_0000));
+        reg.write()
+            .register(Pid(3), 0, (0x6000_0000, 0x6100_0000))
+            .unwrap();
         reg.read().set_epoch(Pid(3), 2);
         let mut ext = ViprofExtension::new(reg, 1_000);
         let vma = Vma::anon(0x5000_0000, 0x7000_0000);
         assert_eq!(
             ext.classify(Pid(3), 0x6050_0000, &vma),
-            Some(JitClaim { epoch: 2 })
+            Some(JitClaim { epoch: 2, gen: 0 })
         );
         assert_eq!(ext.classify(Pid(3), 0x6150_0000, &vma), None);
         assert_eq!(ext.classify(Pid(4), 0x6050_0000, &vma), None);
@@ -74,7 +84,26 @@ mod tests {
         let reg = JitRegistry::shared();
         let ext = ViprofExtension::new(reg.clone(), 1_000);
         assert_eq!(ext.daemon_probe_cost(), 0);
-        reg.write().register(Pid(1), (0, 0x1000));
+        reg.write().register(Pid(1), 0, (0, 0x1000)).unwrap();
         assert_eq!(ext.daemon_probe_cost(), 1_000);
+    }
+
+    #[test]
+    fn claims_carry_the_registrant_generation() {
+        let reg = JitRegistry::shared();
+        reg.write()
+            .register(Pid(3), 4, (0x6000_0000, 0x6100_0000))
+            .unwrap();
+        let mut ext = ViprofExtension::new(reg.clone(), 1_000);
+        let vma = Vma::anon(0x5000_0000, 0x7000_0000);
+        assert_eq!(
+            ext.classify(Pid(3), 0x6050_0000, &vma),
+            Some(JitClaim { epoch: 0, gen: 4 })
+        );
+        assert!(ext.admit(Pid(3), 4));
+        // Reap: the kernel says pid 3 is dead.
+        assert_eq!(AnonExtension::reap(&mut ext, &mut |_, _| false), 1);
+        assert!(!ext.admit(Pid(3), 4));
+        assert_eq!(ext.classify(Pid(3), 0x6050_0000, &vma), None);
     }
 }

@@ -8,7 +8,7 @@ use crate::error::ViprofError;
 use crate::faults::FaultPlan;
 use crate::recover::RecoveryReport;
 use crate::registry::{JitRegistry, SharedRegistry};
-use crate::resolve::{ResolutionQuality, ResolveOptions, ViprofResolver};
+use crate::resolve::{IncarnationSummary, ResolutionQuality, ResolveOptions, ViprofResolver};
 use crate::runtime::ViprofExtension;
 use oprofile::report::{Report, ReportOptions};
 use oprofile::{
@@ -170,6 +170,11 @@ pub struct SessionReport {
     /// set, with `samples_salvaged` measured against the degraded
     /// baseline.
     pub recovery: Option<RecoveryReport>,
+    /// Per-incarnation breakdown of the JIT samples, one row per
+    /// `(pid, gen)` seen in the database, sorted. Steady-state runs
+    /// have one row per VM; restart/pid-reuse churn shows up as extra
+    /// rows, each accounted against its own incarnation's maps only.
+    pub incarnations: Vec<IncarnationSummary>,
     /// The resolve pass's own telemetry (`resolve.*` / `report.*`
     /// metrics). Offline stages count deterministic work units, not
     /// cycles, so this too is identical across same-seed runs and
@@ -324,6 +329,7 @@ impl Viprof {
         engine.set_telemetry(&telemetry);
         engine.set_poison(spec.poison);
         let (lines, quality) = engine.report_with_quality(db, kernel, &spec.options, spec.threads);
+        let incarnations = resolver.incarnations(db);
         telemetry
             .counter(names::REPORT_ROWS)
             .add(lines.rows.len() as u64);
@@ -346,6 +352,7 @@ impl Viprof {
             lines,
             quality,
             recovery,
+            incarnations,
             telemetry: telemetry.snapshot(),
         })
     }
@@ -720,6 +727,12 @@ mod tests {
         assert_eq!(q.accounted(), db.total_samples());
         assert_eq!(q.dropped, db.dropped);
         assert!(!report.rows.is_empty());
+        // Single-VM run: exactly one incarnation row, generation 0,
+        // and no cross-incarnation refusals.
+        assert_eq!(rep.incarnations.len(), 1, "{:?}", rep.incarnations);
+        assert_eq!(rep.incarnations[0].gen, 0);
+        assert_eq!(rep.incarnations[0].blocked, 0);
+        assert_eq!(q.cross_incarnation_blocked, 0);
         // The report's own telemetry mirrors the quality accounting.
         assert_eq!(
             rep.telemetry.counter(names::RESOLVE_SAMPLES_DROPPED),
@@ -779,7 +792,7 @@ mod tests {
         let pid = db
             .iter()
             .find_map(|(b, _)| match b.origin {
-                oprofile::SampleOrigin::JitApp { pid } => Some(pid),
+                oprofile::SampleOrigin::JitApp { pid, .. } => Some(pid),
                 _ => None,
             })
             .expect("workload produced JIT samples");

@@ -209,7 +209,7 @@ pub fn domain_breakdown(db: &SampleDb, table: &DomainTable, event: HwEvent) -> V
 /// shared text.
 fn bucket_pid(bucket: &SampleBucket) -> Option<Pid> {
     match bucket.origin {
-        SampleOrigin::Anon { pid, .. } | SampleOrigin::JitApp { pid } => Some(pid),
+        SampleOrigin::Anon { pid, .. } | SampleOrigin::JitApp { pid, .. } => Some(pid),
         SampleOrigin::Image(_) | SampleOrigin::Unknown => None,
     }
 }
@@ -251,7 +251,7 @@ mod tests {
 
     fn bucket(pid: u32, addr: u64) -> SampleBucket {
         SampleBucket {
-            origin: SampleOrigin::JitApp { pid: Pid(pid) },
+            origin: SampleOrigin::JitApp { pid: Pid(pid), gen: 0 },
             event: HwEvent::Cycles,
             addr,
             epoch: 0,

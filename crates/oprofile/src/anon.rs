@@ -17,6 +17,9 @@ use std::collections::HashSet;
 pub struct JitClaim {
     /// GC epoch to tag the sample with (paper §3.1).
     pub epoch: u64,
+    /// Process generation of the registrant whose heap range claimed
+    /// the sample, stamped at NMI time.
+    pub gen: u32,
 }
 
 /// Extension point consulted for every anon-region sample.
@@ -27,6 +30,22 @@ pub trait AnonExtension: Send {
     /// Extra daemon work per wakeup while a VM is registered ("a few
     /// other limited VM probing routines", §3).
     fn daemon_probe_cost(&self) -> u64 {
+        0
+    }
+
+    /// Should a drained sample stamped `(pid, gen)` still be admitted
+    /// into the sample database? The daemon asks this per JIT sample so
+    /// that late-arriving samples for a reaped (dead, unclean)
+    /// incarnation become `dropped` instead of resolving against a
+    /// successor's maps. The default admits everything.
+    fn admit(&self, _pid: Pid, _gen: u32) -> bool {
+        true
+    }
+
+    /// Drop registrations whose process is gone: `is_live(pid, gen)`
+    /// is the kernel's process table. Returns how many registrations
+    /// were reaped. The default extension keeps no registrations.
+    fn reap(&mut self, _is_live: &mut dyn FnMut(Pid, u32) -> bool) -> u64 {
         0
     }
 }

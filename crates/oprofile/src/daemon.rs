@@ -11,7 +11,7 @@
 use crate::driver::Driver;
 use crate::faults::{DaemonFaultStats, DaemonFaults};
 use crate::governor::{DeadlineVerdict, Governor, GovernorDecision};
-use crate::samples::SampleDb;
+use crate::samples::{SampleDb, SampleOrigin};
 use parking_lot::Mutex;
 use sim_cpu::{Addr, BlockExec, CostModel, CpuMode, HwEvent, MemActivity, Pid};
 use sim_os::journal::{JournalWriter, KIND_SAMPLE_BATCH};
@@ -28,6 +28,8 @@ struct DaemonTelemetry {
     drains: Counter,
     stalls: Counter,
     batches_journaled: Counter,
+    dead_gen_dropped: Counter,
+    registry_reaps: Counter,
     deadline_misses: Counter,
     governor_backoffs: Counter,
     governor_recoveries: Counter,
@@ -48,6 +50,8 @@ impl DaemonTelemetry {
             drains: registry.counter(names::DAEMON_DRAINS),
             stalls: registry.counter(names::DAEMON_STALLS),
             batches_journaled: registry.counter(names::DAEMON_BATCHES_JOURNALED),
+            dead_gen_dropped: registry.counter(names::DAEMON_DEAD_GEN_DROPPED),
+            registry_reaps: registry.counter(names::REGISTRY_REAPS),
             deadline_misses: registry.counter(names::DAEMON_DEADLINE_MISSES),
             governor_backoffs: registry.counter(names::GOVERNOR_BACKOFFS),
             governor_recoveries: registry.counter(names::GOVERNOR_RECOVERIES),
@@ -63,8 +67,11 @@ impl DaemonTelemetry {
 
     /// Account one landed drain: batch shape, drain cycles, and — when
     /// the ring overflowed since the previous drain — a coalesced
-    /// `buffer.overflow` event carrying the loss count.
-    fn note_drain(&self, occupancy: u64, batch: &SampleDb, cycles: u64, journaled: bool) {
+    /// `buffer.overflow` event carrying the loss count. `dead` is the
+    /// portion of `batch.dropped` refused at admission because its
+    /// incarnation was reaped (not a ring overflow), reported under its
+    /// own counter/event.
+    fn note_drain(&self, occupancy: u64, batch: &SampleDb, cycles: u64, journaled: bool, dead: u64) {
         self.drains.inc();
         self.occupancy_at_drain.record(occupancy);
         self.batch_samples.record(batch.total_samples());
@@ -73,11 +80,20 @@ impl DaemonTelemetry {
         if journaled && (batch.total_samples() > 0 || batch.dropped > 0 || batch.evicted > 0) {
             self.batches_journaled.inc();
         }
-        if batch.dropped > 0 {
+        let ring_dropped = batch.dropped - dead;
+        if ring_dropped > 0 {
             self.registry.event(
                 names::EVENT_BUFFER_OVERFLOW,
                 "ring buffer overflowed since last drain",
-                &[("dropped", batch.dropped), ("drained", batch.total_samples())],
+                &[("dropped", ring_dropped), ("drained", batch.total_samples())],
+            );
+        }
+        if dead > 0 {
+            self.dead_gen_dropped.add(dead);
+            self.registry.event(
+                names::EVENT_DAEMON_DEAD_GEN_DROP,
+                "late samples for reaped incarnations dropped at drain",
+                &[("dropped", dead), ("drained", batch.total_samples())],
             );
         }
         if batch.evicted > 0 {
@@ -219,14 +235,15 @@ impl Daemon {
     /// a restart). Charges daemon cycles and journals the batch like a
     /// timer drain. Returns the samples recovered from the ring buffer.
     pub fn force_drain(&mut self, ctx: &mut MachineCtx<'_>) -> u64 {
+        self.reap_dead(ctx.kernel, ctx.cpu.clock.cycles());
         let occupancy = self.driver.lock().buffer.len() as u64;
-        let (batch, cycles) = Daemon::drain_batch(&self.driver, &self.db, &self.cost);
+        let (batch, cycles, dead) = Daemon::drain_batch(&self.driver, &self.db, &self.cost);
         let n = batch.total_samples();
         self.drains += 1;
         Daemon::journal_batch(&self.journal, &mut ctx.kernel.vfs, &batch);
         if let Some(t) = &self.telemetry {
             t.registry.set_now(ctx.cpu.clock.cycles());
-            t.note_drain(occupancy, &batch, cycles, self.journal.is_some());
+            t.note_drain(occupancy, &batch, cycles, self.journal.is_some(), dead);
         }
         if cycles > 0 {
             ctx.exec(&BlockExec {
@@ -277,8 +294,31 @@ impl Daemon {
         db: &Mutex<SampleDb>,
         cost: &CostModel,
     ) -> (u64, u64) {
-        let (batch, cycles) = Daemon::drain_batch(driver, db, cost);
+        let (batch, cycles, _) = Daemon::drain_batch(driver, db, cost);
         (batch.total_samples(), cycles)
+    }
+
+    /// Drop the extension's registrations for processes that died
+    /// since the last window, so subsequent drains refuse their late
+    /// samples instead of resolving them against whatever owns the pid
+    /// now. Returns how many registrations were reaped.
+    pub fn reap_dead(&mut self, kernel: &Kernel, now: u64) -> u64 {
+        let reaped = self
+            .driver
+            .lock()
+            .reap(&mut |pid, gen| kernel.process(pid).map_or(false, |p| p.gen == gen));
+        if reaped > 0 {
+            if let Some(t) = &self.telemetry {
+                t.registry.set_now(now);
+                t.registry_reaps.add(reaped);
+                t.registry.event(
+                    names::EVENT_REGISTRY_REAP,
+                    "registrations of dead incarnations reaped",
+                    &[("reaped", reaped)],
+                );
+            }
+        }
+        reaped
     }
 
     /// [`Daemon::drain_once`], returning the drained window as its own
@@ -292,23 +332,35 @@ impl Daemon {
     /// admission cap refused *from this batch* — mirroring how
     /// `dropped` carries this window's overflow losses — so journal
     /// replay rebuilds eviction accounting too.
+    /// The third return value is the count of samples refused because
+    /// their `(pid, gen)` registration was reaped (the incarnation died
+    /// unclean). Those are folded into `batch.dropped` — alongside ring
+    /// overflow losses — so both the shared database and journal replay
+    /// account them as dropped, never as resolvable samples.
     pub fn drain_batch(
         driver: &Mutex<Driver>,
         db: &Mutex<SampleDb>,
         cost: &CostModel,
-    ) -> (SampleDb, u64) {
-        let (mut batch, n, probe) = {
+    ) -> (SampleDb, u64, u64) {
+        let (mut batch, n, probe, dead) = {
             let mut d = driver.lock();
             let (samples, dropped) = d.drain();
             let n = samples.len() as u64;
             let mut batch = SampleDb::new();
+            let mut dead = 0u64;
             for s in &samples {
+                if let SampleOrigin::JitApp { pid, gen } = s.origin {
+                    if !d.admit(pid, gen) {
+                        dead += 1;
+                        continue;
+                    }
+                }
                 batch.add(*s, 1);
             }
-            batch.dropped = dropped;
+            batch.dropped = dropped + dead;
             d.recycle(samples);
             let probe = d.daemon_probe_cost();
-            (batch, n, probe)
+            (batch, n, probe, dead)
         };
         batch.evicted = {
             let mut db = db.lock();
@@ -316,7 +368,7 @@ impl Daemon {
             db.merge(&batch);
             db.evicted - before
         };
-        (batch, cost.daemon_drain(n) + probe)
+        (batch, cost.daemon_drain(n) + probe, dead)
     }
 }
 
@@ -355,15 +407,18 @@ impl MachineService for Daemon {
                 return;
             }
         }
+        // Reap before draining: a registration whose process died in
+        // this window must not admit the dead incarnation's samples.
+        self.reap_dead(ctx.kernel, now);
         let (occupancy, capacity) = {
             let d = self.driver.lock();
             (d.buffer.len() as u64, d.buffer.capacity())
         };
-        let (batch, cycles) = Daemon::drain_batch(&self.driver, &self.db, &self.cost);
+        let (batch, cycles, dead) = Daemon::drain_batch(&self.driver, &self.db, &self.cost);
         self.drains += 1;
         Daemon::journal_batch(&self.journal, &mut ctx.kernel.vfs, &batch);
         if let Some(t) = &self.telemetry {
-            t.note_drain(occupancy, &batch, cycles, self.journal.is_some());
+            t.note_drain(occupancy, &batch, cycles, self.journal.is_some(), dead);
         }
 
         // Close the overload loop: one observation per drain window,
@@ -372,7 +427,10 @@ impl MachineService for Daemon {
         // and produced online, so the period trajectory cannot depend
         // on offline post-processing choices like thread counts.
         if let Some(gov) = &mut self.governor {
-            match gov.observe(occupancy as usize, capacity, batch.dropped) {
+            // Dead-generation drops are admission refusals, not ring
+            // pressure — the governor only sees real overflow losses.
+            let ring_dropped = batch.dropped - dead;
+            match gov.observe(occupancy as usize, capacity, ring_dropped) {
                 GovernorDecision::Hold => {}
                 GovernorDecision::Backoff { from, to } => {
                     ctx.cpu.reprogram_period(self.governed_event, to);
@@ -386,7 +444,7 @@ impl MachineService for Daemon {
                                 ("from", from),
                                 ("to", to),
                                 ("occupancy", occupancy),
-                                ("dropped", batch.dropped),
+                                ("dropped", ring_dropped),
                             ],
                         );
                     }

@@ -78,6 +78,18 @@ impl Driver {
         self.ext.daemon_probe_cost()
     }
 
+    /// Is a drained `(pid, gen)` JIT sample still admissible?
+    /// (Delegated to the extension's registration table.)
+    pub fn admit(&self, pid: sim_cpu::Pid, gen: u32) -> bool {
+        self.ext.admit(pid, gen)
+    }
+
+    /// Reap registrations of dead incarnations (delegated to the
+    /// extension); returns how many were reaped.
+    pub fn reap(&mut self, is_live: &mut dyn FnMut(sim_cpu::Pid, u32) -> bool) -> u64 {
+        self.ext.reap(is_live)
+    }
+
     /// Drain the ring buffer (daemon side).
     pub fn drain(&mut self) -> (Vec<SampleBucket>, u64) {
         let dropped = self.buffer.dropped;
@@ -121,7 +133,10 @@ impl OsNmiHandler for Driver {
                     self.stats.jit += 1;
                     (
                         SampleBucket {
-                            origin: SampleOrigin::JitApp { pid: ctx.pid },
+                            origin: SampleOrigin::JitApp {
+                                pid: ctx.pid,
+                                gen: claim.gen,
+                            },
                             event: ctx.event,
                             addr: ctx.pc,
                             epoch: claim.epoch,
@@ -252,7 +267,10 @@ mod tests {
     }
     impl AnonExtension for RangeExt {
         fn classify(&mut self, _pid: Pid, pc: Addr, _vma: &Vma) -> Option<JitClaim> {
-            (pc >= self.range.0 && pc < self.range.1).then_some(JitClaim { epoch: self.epoch })
+            (pc >= self.range.0 && pc < self.range.1).then_some(JitClaim {
+                epoch: self.epoch,
+                gen: 0,
+            })
         }
         fn daemon_probe_cost(&self) -> u64 {
             42

@@ -215,7 +215,7 @@ mod tests {
 
     fn jit_bucket(addr: u64, epoch: u64) -> SampleBucket {
         SampleBucket {
-            origin: SampleOrigin::JitApp { pid: Pid(1) },
+            origin: SampleOrigin::JitApp { pid: Pid(1), gen: 0 },
             event: HwEvent::Cycles,
             addr,
             epoch,

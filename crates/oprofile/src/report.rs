@@ -145,7 +145,7 @@ pub fn bucket_label(bucket: &crate::samples::SampleBucket, kernel: &Kernel) -> (
             )
         }
         // Stock opreport has no code maps: JIT samples stay opaque.
-        SampleOrigin::JitApp { pid } => {
+        SampleOrigin::JitApp { pid, .. } => {
             let proc_name = kernel
                 .process(pid)
                 .map(|p| p.name.clone())

@@ -27,8 +27,10 @@ pub enum SampleOrigin {
     Anon { pid: Pid, start: Addr, end: Addr },
     /// VIProf extension: inside a registered VM heap. `addr` is the
     /// absolute PC; the bucket's `epoch` holds the GC epoch the sample
-    /// was taken in (paper §3.1).
-    JitApp { pid: Pid },
+    /// was taken in (paper §3.1). `gen` is the registrant's process
+    /// generation stamped at NMI time, so samples from two incarnations
+    /// of the same pid can never share a bucket.
+    JitApp { pid: Pid, gen: u32 },
     /// Unmapped PC (stale process, race) — real OProfile drops these
     /// into a catch-all too.
     Unknown,
@@ -158,12 +160,13 @@ impl SampleDb {
             .ok_or_else(|| format!("bad event code {code}"))
     }
 
-    /// Serialize into the compact binary sample-file format (v2; v1
-    /// files — which predate the `evicted` counter — still parse).
+    /// Serialize into the compact binary sample-file format (v3; v1
+    /// files — which predate the `evicted` counter — and v2 files —
+    /// which predate generation tags — still parse).
     pub fn to_bytes(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(40 + self.counts.len() * 40);
         buf.put_slice(b"OPDB");
-        buf.put_u32_le(2); // version
+        buf.put_u32_le(3); // version
         buf.put_u64_le(self.dropped);
         buf.put_u64_le(self.evicted);
         buf.put_u64_le(self.counts.len() as u64);
@@ -183,10 +186,10 @@ impl SampleDb {
                     buf.put_u64_le(start);
                     buf.put_u64_le(end);
                 }
-                SampleOrigin::JitApp { pid } => {
+                SampleOrigin::JitApp { pid, gen } => {
                     buf.put_u8(2);
                     buf.put_u32_le(pid.0);
-                    buf.put_u32_le(0);
+                    buf.put_u32_le(gen); // v2's pad word, 0 pre-generation
                     buf.put_u64_le(0);
                     buf.put_u64_le(0);
                 }
@@ -213,7 +216,7 @@ impl SampleDb {
         }
         data.advance(4);
         let version = data.get_u32_le();
-        if version != 1 && version != 2 {
+        if !(1..=3).contains(&version) {
             return Err(format!("unsupported version {version}"));
         }
         let dropped = data.get_u64_le();
@@ -237,7 +240,7 @@ impl SampleDb {
             }
             let tag = data.get_u8();
             let a = data.get_u32_le();
-            let _pad = data.get_u32_le();
+            let pad = data.get_u32_le();
             let x = data.get_u64_le();
             let y = data.get_u64_le();
             let origin = match tag {
@@ -247,7 +250,12 @@ impl SampleDb {
                     start: x,
                     end: y,
                 },
-                2 => SampleOrigin::JitApp { pid: Pid(a) },
+                // Pre-v3 files predate generation tags: their pad word
+                // is zero, which is exactly generation 0.
+                2 => SampleOrigin::JitApp {
+                    pid: Pid(a),
+                    gen: pad,
+                },
                 3 => SampleOrigin::Unknown,
                 t => return Err(format!("bad origin tag {t}")),
             };
@@ -310,7 +318,7 @@ mod tests {
     fn jit_buckets_keep_epochs_distinct() {
         let mut db = SampleDb::new();
         let mk = |epoch| SampleBucket {
-            origin: SampleOrigin::JitApp { pid: Pid(9) },
+            origin: SampleOrigin::JitApp { pid: Pid(9), gen: 0 },
             event: HwEvent::Cycles,
             addr: 0x64000040,
             epoch,
@@ -318,6 +326,26 @@ mod tests {
         db.add(mk(1), 1);
         db.add(mk(2), 1);
         assert_eq!(db.len(), 2, "same PC, different epoch = different bucket");
+    }
+
+    #[test]
+    fn jit_buckets_keep_generations_distinct() {
+        let mut db = SampleDb::new();
+        let mk = |gen| SampleBucket {
+            origin: SampleOrigin::JitApp { pid: Pid(9), gen },
+            event: HwEvent::Cycles,
+            addr: 0x64000040,
+            epoch: 1,
+        };
+        db.add(mk(0), 1);
+        db.add(mk(1), 1);
+        assert_eq!(
+            db.len(),
+            2,
+            "same PC and epoch, different incarnation = different bucket"
+        );
+        let back = SampleDb::from_bytes(&db.to_bytes()).unwrap();
+        assert_eq!(back, db, "generation tags survive serialization");
     }
 
     #[test]
@@ -339,7 +367,7 @@ mod tests {
         );
         db.add(
             SampleBucket {
-                origin: SampleOrigin::JitApp { pid: Pid(4) },
+                origin: SampleOrigin::JitApp { pid: Pid(4), gen: 2 },
                 event: HwEvent::Cycles,
                 addr: 0x6200_0000,
                 epoch: 7,

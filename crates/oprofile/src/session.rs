@@ -197,9 +197,17 @@ impl Oprofile {
     /// deprogram counters, uninstall the handler, persist the sample
     /// database to the VFS, and return it.
     pub fn stop(&self, machine: &mut Machine) -> SampleDb {
+        // Reap registrations of processes that died since the last
+        // timer drain: their late samples must be accounted as dropped,
+        // never resolved against a pid's current owner.
+        let reaped = self
+            .driver
+            .lock()
+            .reap(&mut |pid, gen| machine.kernel.process(pid).map_or(false, |p| p.gen == gen));
         // Final synchronous drain, charged like a daemon wakeup — and
         // journaled like one, so replay covers the whole run.
-        let (batch, cycles) = Daemon::drain_batch(&self.driver, &self.db, &self.config.cost);
+        let (batch, cycles, dead) =
+            Daemon::drain_batch(&self.driver, &self.db, &self.config.cost);
         Daemon::journal_batch(&self.sample_journal, &mut machine.kernel.vfs, &batch);
         self.active.store(false, Ordering::Relaxed);
         machine.cpu.clear_counters();
@@ -221,11 +229,32 @@ impl Oprofile {
         // and persist the snapshot next to the sample database.
         self.telemetry.set_now(machine.cpu.clock.cycles());
         self.telemetry.stage(names::STAGE_SESSION_FLUSH).record(cycles);
-        if batch.dropped > 0 {
+        if reaped > 0 {
+            self.telemetry.counter(names::REGISTRY_REAPS).add(reaped);
+            self.telemetry.event(
+                names::EVENT_REGISTRY_REAP,
+                "registrations of dead incarnations reaped at stop",
+                &[("reaped", reaped)],
+            );
+        }
+        if batch.dropped - dead > 0 {
             self.telemetry.event(
                 names::EVENT_BUFFER_OVERFLOW,
                 "ring buffer overflowed before the final flush",
-                &[("dropped", batch.dropped), ("drained", batch.total_samples())],
+                &[
+                    ("dropped", batch.dropped - dead),
+                    ("drained", batch.total_samples()),
+                ],
+            );
+        }
+        if dead > 0 {
+            self.telemetry
+                .counter(names::DAEMON_DEAD_GEN_DROPPED)
+                .add(dead);
+            self.telemetry.event(
+                names::EVENT_DAEMON_DEAD_GEN_DROP,
+                "late samples for reaped incarnations dropped at the final flush",
+                &[("dropped", dead), ("drained", batch.total_samples())],
             );
         }
         if batch.evicted > 0 {

@@ -35,4 +35,4 @@ pub use counters::{Counter, CounterBank, CounterSpec, Overflows};
 pub use events::{BlockEvents, FracAcc, MemActivity};
 pub use exec::{BlockExec, Cpu, CpuConfig};
 pub use nmi::{CountingHandler, NmiHandler, NullHandler, SampleContext};
-pub use types::{Addr, CpuMode, HwEvent, Pid};
+pub use types::{Addr, CpuMode, HwEvent, Pid, ProcKey};

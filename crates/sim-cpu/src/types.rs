@@ -22,6 +22,36 @@ impl std::fmt::Display for Pid {
     }
 }
 
+/// Generation-tagged process identity: a PID plus the incarnation
+/// counter the kernel bumps each time that PID is reused. A `Pid` alone
+/// names a slot in the process table; a `ProcKey` names one *lifetime*
+/// of a process, so attribution survives exit/respawn and pid reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProcKey {
+    pub pid: Pid,
+    pub gen: u32,
+}
+
+impl ProcKey {
+    pub fn new(pid: Pid, gen: u32) -> ProcKey {
+        ProcKey { pid, gen }
+    }
+}
+
+/// A bare `Pid` converts to the first incarnation (generation 0), so
+/// churn-free call sites keep their pre-generation signatures.
+impl From<Pid> for ProcKey {
+    fn from(pid: Pid) -> ProcKey {
+        ProcKey { pid, gen: 0 }
+    }
+}
+
+impl std::fmt::Display for ProcKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}#{}", self.pid, self.gen)
+    }
+}
+
 /// Privilege mode the CPU was in when an event fired.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CpuMode {
@@ -102,6 +132,31 @@ mod tests {
     fn pid_display_and_kernel_constant() {
         assert_eq!(Pid::KERNEL.0, 0);
         assert_eq!(format!("{}", Pid(42)), "42");
+    }
+
+    #[test]
+    fn prockey_from_pid_is_generation_zero() {
+        let key: ProcKey = Pid(7).into();
+        assert_eq!(key, ProcKey::new(Pid(7), 0));
+        assert_eq!(format!("{}", ProcKey::new(Pid(7), 2)), "7#2");
+    }
+
+    #[test]
+    fn prockey_orders_by_pid_then_generation() {
+        let mut keys = vec![
+            ProcKey::new(Pid(2), 0),
+            ProcKey::new(Pid(1), 1),
+            ProcKey::new(Pid(1), 0),
+        ];
+        keys.sort_unstable();
+        assert_eq!(
+            keys,
+            vec![
+                ProcKey::new(Pid(1), 0),
+                ProcKey::new(Pid(1), 1),
+                ProcKey::new(Pid(2), 0),
+            ]
+        );
     }
 
     #[test]

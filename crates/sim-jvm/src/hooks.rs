@@ -31,9 +31,11 @@ pub struct CompiledBodyInfo {
 
 /// Profiler hooks. All methods return consumed cycles.
 pub trait VmProfilerHooks: Send {
-    /// VM startup: the paper's VM *registration* — PID and heap
-    /// boundaries handed to the runtime profiler.
-    fn on_vm_start(&mut self, _pid: Pid, _heap_range: (Addr, Addr)) -> u64 {
+    /// VM startup: the paper's VM *registration* — PID, incarnation
+    /// generation and heap boundaries handed to the runtime profiler.
+    /// `gen` is the kernel's per-pid generation counter, so a restarted
+    /// VM (or a reused pid) registers as a distinct incarnation.
+    fn on_vm_start(&mut self, _pid: Pid, _gen: u32, _heap_range: (Addr, Addr)) -> u64 {
         0
     }
 
@@ -89,7 +91,7 @@ impl VmProfilerHooks for NullHooks {}
 /// Test helper: counts hook invocations at configurable cost.
 #[derive(Debug, Default)]
 pub struct RecordingHooks {
-    pub starts: Vec<(Pid, (Addr, Addr))>,
+    pub starts: Vec<(Pid, u32, (Addr, Addr))>,
     pub compiles: Vec<CompiledBodyInfo>,
     pub moves: Vec<(MethodId, Addr, Addr)>,
     pub gc_begins: Vec<u64>,
@@ -99,8 +101,8 @@ pub struct RecordingHooks {
 }
 
 impl VmProfilerHooks for RecordingHooks {
-    fn on_vm_start(&mut self, pid: Pid, heap_range: (Addr, Addr)) -> u64 {
-        self.starts.push((pid, heap_range));
+    fn on_vm_start(&mut self, pid: Pid, gen: u32, heap_range: (Addr, Addr)) -> u64 {
+        self.starts.push((pid, gen, heap_range));
         self.cost_per_hook
     }
 
@@ -137,7 +139,7 @@ mod tests {
     #[test]
     fn null_hooks_are_free() {
         let mut h = NullHooks;
-        assert_eq!(h.on_vm_start(Pid(1), (0, 100)), 0);
+        assert_eq!(h.on_vm_start(Pid(1), 0, (0, 100)), 0);
         assert_eq!(h.on_gc_end(3), 0);
         assert_eq!(
             h.on_code_moved(MethodId(0), 0x10, 0x20, 64),
@@ -152,11 +154,11 @@ mod tests {
             ..Default::default()
         };
         let mut vfs = Vfs::new();
-        assert_eq!(h.on_vm_start(Pid(2), (0x100, 0x200)), 5);
+        assert_eq!(h.on_vm_start(Pid(2), 1, (0x100, 0x200)), 5);
         assert_eq!(h.on_gc_begin(0, &mut vfs), 5);
         assert_eq!(h.on_gc_end(1), 5);
         h.on_vm_exit(1, &mut vfs);
-        assert_eq!(h.starts, vec![(Pid(2), (0x100, 0x200))]);
+        assert_eq!(h.starts, vec![(Pid(2), 1, (0x100, 0x200))]);
         assert_eq!(h.gc_begins, vec![0]);
         assert_eq!(h.gc_ends, vec![1]);
         assert_eq!(h.exits, 1);

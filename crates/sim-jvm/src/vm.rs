@@ -372,7 +372,10 @@ impl Vm {
         };
 
         // VM registration with the profiler (paper §3, Runtime Profiler).
-        hooks.on_vm_start(pid, heap_region);
+        // The kernel generation distinguishes this incarnation from any
+        // earlier process that held the same pid.
+        let gen = kernel.generation(pid);
+        hooks.on_vm_start(pid, gen, heap_region);
 
         let interp = Interp::new(&program);
         let n_methods = program.methods.len();
@@ -479,6 +482,16 @@ impl Vm {
         if cycles > 0 {
             self.emit_internal(machine, &[(well_known::AGENT_MAPWRITE, 1.0)], cycles, false);
         }
+    }
+
+    /// Unclean death: the VM process vanishes from the kernel's table
+    /// with *no* final map flush and no agent unregistration — exactly
+    /// what a crash looks like to the profiler. The pid returns to the
+    /// kernel's free list, so a later spawn may reuse it at a bumped
+    /// generation. Consumes the VM; a restart is a fresh `Vm::boot`.
+    pub fn kill(mut self, machine: &mut Machine) -> VmStats {
+        machine.kernel.exit_process(self.pid);
+        std::mem::take(&mut self.stats)
     }
 
     // ---------------- detailed execution ----------------
@@ -1187,8 +1200,8 @@ mod tests {
         // shared wrapper.
         struct Shared(Arc<Mutex<RecordingHooks>>);
         impl VmProfilerHooks for Shared {
-            fn on_vm_start(&mut self, pid: Pid, r: (Addr, Addr)) -> u64 {
-                self.0.lock().on_vm_start(pid, r)
+            fn on_vm_start(&mut self, pid: Pid, gen: u32, r: (Addr, Addr)) -> u64 {
+                self.0.lock().on_vm_start(pid, gen, r)
             }
         }
         let rec = Arc::new(Mutex::new(RecordingHooks::default()));
@@ -1200,8 +1213,9 @@ mod tests {
             Box::new(Shared(rec.clone())),
         );
         assert_eq!(rec.lock().starts.len(), 1);
-        let (pid, range) = rec.lock().starts[0];
+        let (pid, gen, range) = rec.lock().starts[0];
         assert_eq!(pid, vm.pid);
+        assert_eq!(gen, 0, "first incarnation of a fresh pid");
         assert_eq!(range, vm.heap().region());
         // Boot image mapped, heap anon-mapped.
         let proc_ = m.kernel.process(vm.pid).unwrap();

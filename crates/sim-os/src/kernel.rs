@@ -5,7 +5,7 @@ use crate::image::{Image, ImageId, ImageTable, Symbol};
 use crate::process::Process;
 use crate::vfs::Vfs;
 use crate::vma::{Vma, VmaBacking};
-use sim_cpu::{Addr, CpuMode, Pid};
+use sim_cpu::{Addr, CpuMode, Pid, ProcKey};
 use std::collections::BTreeMap;
 
 /// Base virtual address of kernel text. Matches the default NMI vector
@@ -40,6 +40,13 @@ pub struct Kernel {
     pub images: ImageTable,
     processes: BTreeMap<u32, Process>,
     next_pid: u32,
+    /// PIDs freed by `exit_process`, reused LIFO (most recently freed
+    /// first) before `next_pid` advances — the deterministic analogue
+    /// of a real kernel recycling low pid numbers.
+    free_pids: Vec<u32>,
+    /// Highest generation ever assigned per PID, including exited
+    /// processes (the live process also carries its own `gen`).
+    generations: BTreeMap<u32, u32>,
     /// The `vmlinux` image: kernel text symbols.
     pub kernel_image: ImageId,
     pub vfs: Vfs,
@@ -79,17 +86,39 @@ impl Kernel {
             images,
             processes: BTreeMap::new(),
             next_pid: 1,
+            free_pids: Vec::new(),
+            generations: BTreeMap::new(),
             kernel_image,
             vfs: Vfs::new(),
         }
     }
 
-    /// Create a process; PIDs are handed out sequentially from 1.
+    /// Create a process. Freed PIDs are reused LIFO before fresh PIDs
+    /// are handed out sequentially from 1; a reused PID gets its
+    /// generation counter bumped so the new incarnation is
+    /// distinguishable from every earlier one.
     pub fn spawn(&mut self, name: impl Into<String>) -> Pid {
-        let pid = Pid(self.next_pid);
-        self.next_pid += 1;
-        self.processes.insert(pid.0, Process::new(pid, name));
-        pid
+        let (raw, gen) = match self.free_pids.pop() {
+            Some(raw) => (raw, self.generations.get(&raw).map_or(0, |g| g + 1)),
+            None => {
+                let raw = self.next_pid;
+                self.next_pid += 1;
+                (raw, 0)
+            }
+        };
+        self.generations.insert(raw, gen);
+        self.processes
+            .insert(raw, Process::with_gen(Pid(raw), name, gen));
+        Pid(raw)
+    }
+
+    /// Tear down a process: remove it from the table and return its
+    /// PID to the free list for reuse. Returns the removed process, or
+    /// `None` if the PID names nothing live.
+    pub fn exit_process(&mut self, pid: Pid) -> Option<Process> {
+        let p = self.processes.remove(&pid.0)?;
+        self.free_pids.push(pid.0);
+        Some(p)
     }
 
     pub fn process(&self, pid: Pid) -> Option<&Process> {
@@ -104,10 +133,25 @@ impl Kernel {
         self.processes.values()
     }
 
+    /// Current generation of a PID: the live process's generation, or
+    /// the last incarnation's if the PID is free. 0 for PIDs never
+    /// handed out.
+    pub fn generation(&self, pid: Pid) -> u32 {
+        self.generations.get(&pid.0).copied().unwrap_or(0)
+    }
+
+    /// The generation-tagged identity of a live process.
+    pub fn proc_key(&self, pid: Pid) -> Option<ProcKey> {
+        self.process(pid).map(Process::key)
+    }
+
     /// Insert a fully-formed process (session import); future `spawn`s
-    /// won't collide with its PID.
+    /// won't collide with its PID, and its generation is recorded so a
+    /// later reuse of the PID bumps past it.
     pub fn insert_process(&mut self, p: Process) {
         self.next_pid = self.next_pid.max(p.pid.0 + 1);
+        let gen = self.generations.get(&p.pid.0).map_or(p.gen, |g| p.gen.max(*g));
+        self.generations.insert(p.pid.0, gen);
         self.processes.insert(p.pid.0, p);
     }
 
@@ -187,6 +231,57 @@ mod tests {
         assert_eq!(k.spawn("b"), Pid(2));
         assert_eq!(k.process(Pid(2)).unwrap().name, "b");
         assert!(k.process(Pid(99)).is_none());
+    }
+
+    #[test]
+    fn exited_pids_are_reused_lifo_with_bumped_generations() {
+        let mut k = Kernel::new();
+        let a = k.spawn("a"); // Pid(1) gen 0
+        let b = k.spawn("b"); // Pid(2) gen 0
+        assert_eq!(k.generation(a), 0);
+        assert!(k.exit_process(a).is_some());
+        assert!(k.exit_process(b).is_some());
+        assert!(k.process(a).is_none());
+        // LIFO: b's pid (freed last) comes back first, generation bumped.
+        let c = k.spawn("c");
+        assert_eq!(c, b);
+        assert_eq!(k.process(c).unwrap().gen, 1);
+        assert_eq!(k.proc_key(c), Some(sim_cpu::ProcKey::new(b, 1)));
+        let d = k.spawn("d");
+        assert_eq!(d, a);
+        assert_eq!(k.generation(d), 1);
+        // Free list drained: fresh pids resume where next_pid left off.
+        assert_eq!(k.spawn("e"), Pid(3));
+        assert_eq!(k.generation(Pid(3)), 0);
+    }
+
+    #[test]
+    fn exit_of_unknown_pid_is_none_and_generation_survives_exit() {
+        let mut k = Kernel::new();
+        assert!(k.exit_process(Pid(5)).is_none());
+        let p = k.spawn("p");
+        k.exit_process(p);
+        // The last incarnation's generation is still queryable.
+        assert_eq!(k.generation(p), 0);
+        let p2 = k.spawn("q");
+        k.exit_process(p2);
+        let p3 = k.spawn("r");
+        assert_eq!((p2, p3), (p, p));
+        assert_eq!(k.generation(p), 2);
+    }
+
+    #[test]
+    fn insert_process_records_imported_generation() {
+        let mut k = Kernel::new();
+        k.insert_process(Process::with_gen(Pid(4), "imported", 3));
+        assert_eq!(k.generation(Pid(4)), 3);
+        // A fresh spawn skips past the imported pid.
+        assert_eq!(k.spawn("next"), Pid(5));
+        // Reuse after exit bumps past the imported generation.
+        k.exit_process(Pid(4));
+        let again = k.spawn("again");
+        assert_eq!(again, Pid(4));
+        assert_eq!(k.process(again).unwrap().gen, 4);
     }
 
     #[test]

@@ -10,15 +10,31 @@ pub struct Process {
     pub pid: Pid,
     pub name: String,
     pub space: AddressSpace,
+    /// Incarnation counter for this PID: 0 the first time the kernel
+    /// hands the PID out, bumped each time the PID is reused after an
+    /// exit. `serde(default)` keeps pre-generation session exports
+    /// loadable.
+    #[serde(default)]
+    pub gen: u32,
 }
 
 impl Process {
     pub fn new(pid: Pid, name: impl Into<String>) -> Self {
+        Process::with_gen(pid, name, 0)
+    }
+
+    pub fn with_gen(pid: Pid, name: impl Into<String>, gen: u32) -> Self {
         Process {
             pid,
             name: name.into(),
             space: AddressSpace::new(),
+            gen,
         }
+    }
+
+    /// This process's generation-tagged identity.
+    pub fn key(&self) -> sim_cpu::ProcKey {
+        sim_cpu::ProcKey::new(self.pid, self.gen)
     }
 }
 

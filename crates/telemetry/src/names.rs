@@ -16,6 +16,7 @@ pub const DAEMON_WAKEUPS: &str = "daemon.wakeups";
 pub const DAEMON_DRAINS: &str = "daemon.drains";
 pub const DAEMON_STALLS: &str = "daemon.stalls";
 pub const DAEMON_BATCHES_JOURNALED: &str = "daemon.batches_journaled";
+pub const DAEMON_DEAD_GEN_DROPPED: &str = "daemon.dead_gen_dropped";
 pub const DAEMON_DEADLINE_MISSES: &str = "daemon.deadline_misses";
 pub const DB_EVICTED_SAMPLES: &str = "db.evicted_samples";
 pub const GOVERNOR_BACKOFFS: &str = "governor.backoffs";
@@ -33,7 +34,12 @@ pub const AGENT_MAPS_WRITTEN: &str = "agent.maps_written";
 pub const AGENT_MAP_ENTRIES: &str = "agent.map_entries";
 pub const AGENT_GC_EPOCHS: &str = "agent.gc_epochs";
 pub const VM_GC_COLLECTIONS: &str = "vm.gc_collections";
+pub const REGISTRY_GENERATION_BUMPS: &str = "registry.generation_bumps";
+pub const REGISTRY_REAPS: &str = "registry.reaps";
+pub const REGISTRY_REGISTRATIONS: &str = "registry.registrations";
 pub const RESOLVE_SAMPLES_RESOLVED: &str = "resolve.samples_resolved";
+pub const RESOLVE_SAMPLES_CROSS_INCARNATION_BLOCKED: &str =
+    "resolve.samples_cross_incarnation_blocked";
 pub const RESOLVE_SAMPLES_STALE_EPOCH: &str = "resolve.samples_stale_epoch";
 pub const RESOLVE_SAMPLES_UNRESOLVED: &str = "resolve.samples_unresolved";
 pub const RESOLVE_SAMPLES_DROPPED: &str = "resolve.samples_dropped";
@@ -74,6 +80,7 @@ pub const STAGE_REPORT_FINISH: &str = "stage.report_finish";
 
 // ---- flight-recorder event kinds ----
 pub const EVENT_BUFFER_OVERFLOW: &str = "buffer.overflow";
+pub const EVENT_DAEMON_DEAD_GEN_DROP: &str = "daemon.dead_gen_drop";
 pub const EVENT_DAEMON_STALL: &str = "daemon.stall";
 pub const EVENT_DB_EVICTION: &str = "db.eviction";
 pub const EVENT_GOVERNOR_DEADLINE_MISS: &str = "governor.deadline_miss";
@@ -85,6 +92,8 @@ pub const EVENT_SUPERVISOR_RESTART: &str = "supervisor.restart";
 pub const EVENT_AGENT_MAP_WRITE: &str = "agent.map_write";
 pub const EVENT_AGENT_GC_EPOCH: &str = "agent.gc_epoch";
 pub const EVENT_JOURNAL_REPAIR: &str = "journal.repair";
+pub const EVENT_REGISTRY_REAP: &str = "registry.reap";
+pub const EVENT_REGISTRY_REGISTER: &str = "registry.register";
 pub const EVENT_SESSION_INSTALL: &str = "session.install";
 pub const EVENT_SESSION_STOP: &str = "session.stop";
 pub const EVENT_BENCH_ARTIFACT: &str = "bench.artifact";
@@ -102,6 +111,7 @@ pub const ALL_METRICS: &[(&str, &str)] = &[
     ("counter", CPU_SAMPLES_DELIVERED),
     ("counter", CPU_SAMPLES_SUPPRESSED),
     ("counter", DAEMON_BATCHES_JOURNALED),
+    ("counter", DAEMON_DEAD_GEN_DROPPED),
     ("counter", DAEMON_DEADLINE_MISSES),
     ("counter", DAEMON_DRAINS),
     ("counter", DAEMON_STALLS),
@@ -115,10 +125,14 @@ pub const ALL_METRICS: &[(&str, &str)] = &[
     ("counter", JOURNAL_COMMITS),
     ("counter", JOURNAL_DAMAGED_BYTES),
     ("counter", JOURNAL_REPAIRS),
+    ("counter", REGISTRY_GENERATION_BUMPS),
+    ("counter", REGISTRY_REAPS),
+    ("counter", REGISTRY_REGISTRATIONS),
     ("counter", REPORT_ROWS),
     ("counter", RESOLVE_FAILED_PIDS),
     ("counter", RESOLVE_MISSING_EPOCHS),
     ("counter", RESOLVE_QUARANTINED_LINES),
+    ("counter", RESOLVE_SAMPLES_CROSS_INCARNATION_BLOCKED),
     ("counter", RESOLVE_SAMPLES_DROPPED),
     ("counter", RESOLVE_SAMPLES_EVICTED),
     ("counter", RESOLVE_SAMPLES_QUARANTINED),
@@ -154,12 +168,15 @@ pub const ALL_METRICS: &[(&str, &str)] = &[
     ("event", EVENT_AGENT_MAP_WRITE),
     ("event", EVENT_BENCH_ARTIFACT),
     ("event", EVENT_BUFFER_OVERFLOW),
+    ("event", EVENT_DAEMON_DEAD_GEN_DROP),
     ("event", EVENT_DAEMON_STALL),
     ("event", EVENT_DB_EVICTION),
     ("event", EVENT_GOVERNOR_DEADLINE_MISS),
     ("event", EVENT_GOVERNOR_ESCALATION),
     ("event", EVENT_GOVERNOR_RATE_CHANGE),
     ("event", EVENT_JOURNAL_REPAIR),
+    ("event", EVENT_REGISTRY_REAP),
+    ("event", EVENT_REGISTRY_REGISTER),
     ("event", EVENT_RESOLVE_SHARD_QUARANTINE),
     ("event", EVENT_SESSION_INSTALL),
     ("event", EVENT_SESSION_STOP),

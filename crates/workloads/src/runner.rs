@@ -10,7 +10,7 @@ use sim_jvm::{NullHooks, Vm, VmConfig, VmProfilerHooks, VmStats};
 use sim_os::{Machine, MachineConfig};
 use std::sync::Arc;
 use viprof::agent::AgentStats;
-use viprof::{FaultPlan, FaultReport, Viprof};
+use viprof::{ChurnSchedule, FaultPlan, FaultReport, Viprof};
 use viprof_telemetry::TelemetrySnapshot;
 
 /// Which profiler (if any) observes the run.
@@ -126,6 +126,66 @@ pub fn execute_plan_with_config(
     vm.stats
 }
 
+/// [`execute_plan_with_config`] under a process-churn schedule: at each
+/// scheduled slice the running VM is *killed* — no final map flush, no
+/// unregistration, pid back on the kernel's LIFO free list — optionally
+/// a decoy process cycles the freed pid, and a fresh incarnation boots
+/// with its own agent (same session registry, bumped generation).
+/// Returns the summed stats of every incarnation.
+fn execute_plan_churn(
+    machine: &mut Machine,
+    built: &BuiltWorkload,
+    plan: &WorkPlan,
+    viprof: &Viprof,
+    precise: bool,
+    config: &VmConfig,
+    churn: &ChurnSchedule,
+) -> VmStats {
+    let mut total = VmStats::default();
+    let absorb = |total: &mut VmStats, s: VmStats| {
+        total.compiles += s.compiles;
+        total.recompiles += s.recompiles;
+        total.gcs += s.gcs;
+        total.ops_interpreted += s.ops_interpreted;
+        total.ops_jit += s.ops_jit;
+        total.native_calls += s.native_calls;
+        total.batched_invocations += s.batched_invocations;
+        total.classloads += s.classloads;
+    };
+    let boot = |machine: &mut Machine| {
+        Vm::boot(
+            machine,
+            built.program.clone(),
+            built.natives.clone(),
+            config.clone(),
+            Box::new(viprof.make_agent_with(precise)),
+        )
+    };
+    let mut vm = boot(machine);
+    vm.alloc_retained(machine, built.params.retained_kb as u64 * 1024);
+    vm.call(machine, built.startup, &[]);
+    for slice in 0..plan.slices {
+        for (i, w) in built.workers.iter().enumerate() {
+            let n = plan.slice_share(i, slice);
+            if n > 0 {
+                vm.run_batched(machine, *w, &[], n);
+            }
+        }
+        if churn.restart_after(slice as u64) && slice + 1 < plan.slices {
+            absorb(&mut total, vm.kill(machine));
+            if churn.reuse_collision {
+                let decoy = machine.kernel.spawn("decoy");
+                machine.kernel.exit_process(decoy);
+            }
+            vm = boot(machine);
+            vm.call(machine, built.startup, &[]);
+        }
+    }
+    vm.shutdown(machine);
+    absorb(&mut total, vm.stats);
+    total
+}
+
 /// Run `built` once with `plan` under `profiler`. `seed` drives the
 /// background-noise model (pass a different seed per trial, as the
 /// paper's ten repeated measurements implicitly did).
@@ -195,8 +255,26 @@ pub fn run_benchmark(
                 telemetry: Some(vp.telemetry()),
                 ..vm_config(&built.params)
             };
-            let stats =
-                execute_plan_with_config(&mut machine, built, plan, Box::new(agent), config);
+            let churn = fault_plan
+                .as_ref()
+                .and_then(|fp| fp.churn_schedule(plan.slices as u64));
+            let stats = match &churn {
+                Some(schedule) => {
+                    drop(agent); // churn boots its own per-incarnation agents
+                    execute_plan_churn(
+                        &mut machine,
+                        built,
+                        plan,
+                        &vp,
+                        precise,
+                        &config,
+                        schedule,
+                    )
+                }
+                None => {
+                    execute_plan_with_config(&mut machine, built, plan, Box::new(agent), config)
+                }
+            };
             let db = vp.stop(&mut machine);
             let telemetry = Some(vp.telemetry().snapshot());
             let report = fault_plan.is_some().then(|| FaultReport {
@@ -320,6 +398,46 @@ mod tests {
             false,
         );
         assert!(plain.supervisor.is_none());
+    }
+
+    #[test]
+    fn churned_run_restarts_the_vm_and_stays_accounted() {
+        use viprof::ReportSpec;
+        let (built, plan) = small_built();
+        let fp = FaultPlan::new(21).with_vm_restarts(2).with_pid_reuse_collision();
+        assert!(fp.churn_schedule(plan.slices as u64).is_some());
+        // Fast daemon wakeups: each incarnation's samples must reach
+        // the database *before* its death, or the whole run collapses
+        // into dead-generation drops (the default 170M-cycle period can
+        // outlast a 1%-scale workload).
+        let config = || OpConfig {
+            daemon_period_cycles: 300_000,
+            ..OpConfig::time_at(90_000)
+        };
+        let out = run_benchmark(
+            &built,
+            &plan,
+            ProfilerKind::ViprofFaulty(config(), fp.clone()),
+            1,
+            false,
+        );
+        let db = out.db.unwrap();
+        assert!(db.total_samples() > 0);
+        let rep = Viprof::make_report(&db, &out.machine.kernel, &ReportSpec::default()).unwrap();
+        assert_eq!(rep.quality.accounted(), db.total_samples());
+        // The restarts left more than one incarnation in the profile,
+        // and none of them borrowed another's maps.
+        assert!(rep.incarnations.len() >= 2, "{:?}", rep.incarnations);
+        // Same plan, same seed: the churned run replays bit-for-bit.
+        let again = run_benchmark(
+            &built,
+            &plan,
+            ProfilerKind::ViprofFaulty(config(), fp),
+            1,
+            false,
+        );
+        assert_eq!(out.cycles, again.cycles);
+        assert_eq!(&db, again.db.as_ref().unwrap());
     }
 
     #[test]

@@ -68,6 +68,17 @@ if [[ "${1:-}" != "--fast" ]]; then
     echo "==> viprof-stat --selftest"
     cargo run --release -p viprof --bin viprof-stat -- --selftest
 
+    # Process-churn smoke: VM restarts, LIFO pid reuse and dead-
+    # generation drops under injected faults must stay fully accounted
+    # and replay bit-identically, and the 256-case isolation proptest
+    # must hold (no sample ever resolves across an incarnation
+    # boundary). Named here so churn regressions fail loudly even when
+    # someone filters the main test run.
+    run_offline_tolerant "churn smoke" \
+        cargo test -q --test fault_matrix churn
+    run_offline_tolerant "churn isolation proptests" \
+        cargo test -q --test prop_churn
+
     # Telemetry-schema drift gate: the metric catalog must match the
     # reviewed golden list, so additions/removals fail until the golden
     # file is updated in the same change.

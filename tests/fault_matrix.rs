@@ -630,6 +630,142 @@ fn governed_burst_sheds_strictly_fewer_samples() {
     );
 }
 
+// ---- process churn: restarts, pid reuse, generation isolation -------
+
+#[test]
+fn killed_vm_in_flight_samples_drop_not_unresolved() {
+    // Regression (the latent drain-after-exit bug): a VM dies with
+    // samples still in the ring. The stop-time drain must reap the dead
+    // registration first and account those samples as *dropped* — they
+    // must never surface as unresolved rows, and never resolve against
+    // a successor's maps.
+    use viprof_repro::sim_jvm::{Vm, VmConfig};
+    use viprof_repro::sim_os::{Machine, MachineConfig};
+
+    let mut params = find_benchmark("fop").expect("benchmark exists");
+    params.support_methods = 40;
+    params.heap_mb = 2;
+    let built = programs::build(&params);
+
+    let mut machine = Machine::new(MachineConfig::default());
+    // Daemon period far beyond the run: nothing drains until stop().
+    let config = OpConfig {
+        daemon_period_cycles: u64::MAX / 4,
+        ..OpConfig::time_at(PERIOD)
+    };
+    let viprof = Viprof::builder().config(config).start(&mut machine);
+    let mut vm = Vm::boot(
+        &mut machine,
+        built.program.clone(),
+        built.natives.clone(),
+        VmConfig {
+            heap_bytes: 2 * 1024 * 1024,
+            ..VmConfig::default()
+        },
+        Box::new(viprof.make_agent()),
+    );
+    vm.call(&mut machine, built.startup, &[]);
+    vm.run_batched(&mut machine, built.workers[0], &[], 40);
+    // Crash: no final map flush, no unregistration, pid freed.
+    vm.kill(&mut machine);
+    let db = viprof.stop(&mut machine);
+
+    assert!(db.dropped > 0, "in-flight samples of the dead VM must drop");
+    let jit_left: u64 = db
+        .iter()
+        .filter(|(b, _)| matches!(b.origin, SampleOrigin::JitApp { .. }))
+        .map(|(_, c)| c)
+        .sum();
+    assert_eq!(
+        jit_left, 0,
+        "every JIT sample was in flight at death — none may reach the db"
+    );
+    let snap = viprof.telemetry().snapshot();
+    assert!(snap.counter(names::REGISTRY_REAPS) >= 1, "the dead VM was reaped");
+    assert_eq!(
+        snap.counter(names::DAEMON_DEAD_GEN_DROPPED),
+        db.dropped,
+        "no ring overflow here: every drop is a dead-generation drop"
+    );
+    assert!(!snap.events_of(names::EVENT_REGISTRY_REAP).is_empty());
+    assert!(!snap.events_of(names::EVENT_DAEMON_DEAD_GEN_DROP).is_empty());
+
+    // Post-processing stays fully accounted: the drops are visible in
+    // the quality report, not smeared into unresolved.
+    let rep = Viprof::make_report(&db, &machine.kernel, &ReportSpec::default()).unwrap();
+    assert_eq!(rep.quality.accounted(), db.total_samples());
+    assert_eq!(rep.quality.dropped, db.dropped);
+}
+
+#[test]
+fn churn_chaos_soak_replays_and_stays_accounted() {
+    // The kitchen sink: VM restarts + forced pid reuse + a ring small
+    // enough to overflow + a daemon crash mid-run, journaled and
+    // supervised. Three contracts at once: bit-identical replay, the
+    // legacy/1-thread/4-shard three-way identity (inside quality_of),
+    // and 100% accounting with the isolation invariant visible in the
+    // per-incarnation breakdown.
+    let (built, plan) = small_workload();
+    let chaos = || {
+        FaultPlan::new(77)
+            .with_vm_restarts(2)
+            .with_pid_reuse_collision()
+            .with_overflow_bursts(0.05, 2)
+            .with_daemon_crash(2, 4)
+    };
+    let config = || OpConfig {
+        buffer_capacity: 16,
+        daemon_period_cycles: 300_000,
+        ..OpConfig::time_at(PERIOD)
+    };
+    let run = || {
+        run_benchmark(
+            &built,
+            &plan,
+            ProfilerKind::ViprofSupervised(config(), chaos()),
+            11,
+            false,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.cycles, b.cycles, "churn schedule replays bit for bit");
+    assert_eq!(a.db, b.db);
+    assert_eq!(a.faults, b.faults);
+
+    // Three-way identity + accounting (legacy walk, 1 thread, 4 shards).
+    let q = quality_of(&a);
+    let db = a.db.as_ref().unwrap();
+    assert_eq!(q.accounted(), db.total_samples());
+    assert_eq!(q.dropped, db.dropped);
+
+    // The restarts are visible: multiple incarnations in the report,
+    // and distinct generations of the same pid in the database never
+    // share attribution.
+    let rep = Viprof::make_report(db, &a.machine.kernel, &ReportSpec::default()).unwrap();
+    assert!(rep.incarnations.len() >= 2, "{:?}", rep.incarnations);
+    let sample_sum: u64 = rep.incarnations.iter().map(|i| i.samples).sum();
+    let jit_total: u64 = db
+        .iter()
+        .filter(|(b, _)| matches!(b.origin, SampleOrigin::JitApp { .. }))
+        .map(|(_, c)| c)
+        .sum();
+    assert_eq!(sample_sum, jit_total, "incarnation rows partition the JIT samples");
+
+    // Recovery leg: the same three-way identity holds through journal
+    // replay, and the batch journal reproduces the db drops included —
+    // dead-generation drops are journaled like any other.
+    let (rq, _) = recovery_of(&a);
+    assert!(rq.resolved >= q.resolved, "recovery is monotone");
+    let replayed = recover_sample_db(&a.machine.kernel.vfs).expect("journaling on");
+    assert_eq!(&replayed.db, db, "journal replay reproduces churn drops exactly");
+
+    // A different seed draws a different churn schedule.
+    let other = FaultPlan::new(78).with_vm_restarts(2).churn_schedule(plan.slices as u64);
+    let ours = chaos().churn_schedule(plan.slices as u64);
+    assert!(ours.is_some() && other.is_some());
+}
+
 #[test]
 fn poisoned_shard_never_loses_the_session_report() {
     // A resolution shard that panics mid-resolve must never take the
@@ -643,7 +779,7 @@ fn poisoned_shard_never_loses_the_session_report() {
     let pid = db
         .iter()
         .find_map(|(b, _)| match b.origin {
-            SampleOrigin::JitApp { pid } => Some(pid),
+            SampleOrigin::JitApp { pid, .. } => Some(pid),
             _ => None,
         })
         .expect("workload produced JIT samples");

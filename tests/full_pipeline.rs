@@ -102,7 +102,7 @@ fn code_maps_on_disk_resolve_every_jit_sample() {
     let pid = db
         .iter()
         .find_map(|(b, _)| match b.origin {
-            viprof_repro::oprofile::SampleOrigin::JitApp { pid } => Some(pid),
+            viprof_repro::oprofile::SampleOrigin::JitApp { pid, .. } => Some(pid),
             _ => None,
         })
         .expect("JIT samples exist");

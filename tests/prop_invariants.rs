@@ -230,7 +230,9 @@ proptest! {
         let mut reg = JitRegistry::new();
         let mut oracle: Vec<(u32, u64, u64)> = Vec::new();
         for (pid, start, len) in vms {
-            reg.register(Pid(pid), (start, start + len));
+            // Same generation throughout: re-registration is a heap
+            // resize (`Resumed`), never a conflict.
+            reg.register(Pid(pid), 0, (start, start + len)).unwrap();
             oracle.retain(|(p, _, _)| *p != pid);
             oracle.push((pid, start, start + len));
         }
@@ -260,7 +262,7 @@ proptest! {
             let origin = match tag {
                 0 => SampleOrigin::Image(ImageId(id)),
                 1 => SampleOrigin::Anon { pid: Pid(id), start: addr & !0xfff, end: (addr & !0xfff) + 0x1000 },
-                2 => SampleOrigin::JitApp { pid: Pid(id) },
+                2 => SampleOrigin::JitApp { pid: Pid(id), gen: id % 3 },
                 _ => SampleOrigin::Unknown,
             };
             db.add(SampleBucket { origin, event: HwEvent::Cycles, addr, epoch }, count);

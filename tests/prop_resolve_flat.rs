@@ -103,7 +103,7 @@ proptest! {
         let mut db = SampleDb::new();
         for (addr, epoch, ev, jit, count) in buckets {
             let origin = if jit {
-                SampleOrigin::JitApp { pid }
+                SampleOrigin::JitApp { pid, gen: 0 }
             } else {
                 SampleOrigin::Unknown
             };
