@@ -25,7 +25,7 @@ use sim_os::Kernel;
 use std::time::Instant;
 use viprof::codemap::{map_path, render_map, CodeMapEntry};
 use viprof::resolve::ResolveOptions;
-use viprof::{viprof_report, ResolutionEngine, ViprofResolver};
+use viprof::{viprof_report, ReportSpec, ResolutionEngine, ViprofResolver};
 use viprof_bench::{quiet, write_json};
 use viprof_telemetry::Telemetry;
 
@@ -233,10 +233,11 @@ fn measure_telemetry_overhead(s: &Scenario, runs: u32) -> TelemetryOverhead {
     let legacy_registry = Telemetry::new();
     resolver_tel.set_telemetry(&legacy_registry);
 
-    let engine_plain = ResolutionEngine::build(&resolver_plain);
+    let mut engine_plain = ResolutionEngine::build(&resolver_plain);
     let mut engine_tel = ResolutionEngine::build(&resolver_tel);
     let flat_registry = Telemetry::new();
     engine_tel.set_telemetry(&flat_registry);
+    let spec = ReportSpec::default().with_options(options.clone()).threads(1);
 
     let mut legacy_plain_ms = f64::INFINITY;
     let mut legacy_telemetry_ms = f64::INFINITY;
@@ -254,11 +255,11 @@ fn measure_telemetry_overhead(s: &Scenario, runs: u32) -> TelemetryOverhead {
         legacy_telemetry_ms = legacy_telemetry_ms.min(ms_since(t));
 
         let t = Instant::now();
-        let _ = engine_plain.report_with_quality(&db, &kernel, &options, 1);
+        let _ = engine_plain.resolve(&db, &kernel, &spec);
         flat_plain_ms = flat_plain_ms.min(ms_since(t));
 
         let t = Instant::now();
-        let _ = engine_tel.report_with_quality(&db, &kernel, &options, 1);
+        let _ = engine_tel.resolve(&db, &kernel, &spec);
         flat_telemetry_ms = flat_telemetry_ms.min(ms_since(t));
     }
 
@@ -305,22 +306,25 @@ fn run_scenario(s: &Scenario, trials: u32, thread_counts: &[usize]) -> ScenarioR
     // Flattened engine, across shard counts.
     let mut flat = Vec::new();
     for &threads in thread_counts {
+        let spec = ReportSpec::default()
+            .with_options(options.clone())
+            .threads(threads);
         let mut setup_ms = f64::INFINITY;
         let mut report_ms = f64::INFINITY;
         for _ in 0..trials {
             let t0 = Instant::now();
             let (resolver, _) =
                 ViprofResolver::load_with(&kernel, ResolveOptions::default()).expect("load maps");
-            let engine = ResolutionEngine::build(&resolver);
+            let mut engine = ResolutionEngine::build(&resolver);
             let setup = ms_since(t0);
             let t1 = Instant::now();
-            let (report, quality) = engine.report_with_quality(&db, &kernel, &options, threads);
+            let session = engine.resolve(&db, &kernel, &spec);
             report_ms = report_ms.min(ms_since(t1));
             setup_ms = setup_ms.min(setup);
             // The speedup is only worth reporting if the output is the
             // same bytes the legacy path produces.
-            assert_eq!(report, walk_report, "flat report diverged ({threads} threads)");
-            assert_eq!(quality, walk_quality, "flat quality diverged ({threads} threads)");
+            assert_eq!(session.lines, walk_report, "flat report diverged ({threads} threads)");
+            assert_eq!(session.quality, walk_quality, "flat quality diverged ({threads} threads)");
         }
         flat.push(ThreadResult {
             threads,

@@ -130,12 +130,10 @@ fn main() {
         .read(oprofile::SAMPLES_PATH)
         .and_then(|raw| oprofile::SampleDb::from_bytes(raw).ok())
         .and_then(|db| {
-            let spec = ReportSpec {
-                options: ReportOptions::default(),
-                recover,
-                threads,
-                poison: None,
-            };
+            let spec = ReportSpec::default()
+                .with_options(ReportOptions::default())
+                .with_recover(recover)
+                .threads(threads);
             Viprof::make_report(&db, &kernel, &spec).ok()
         });
 

@@ -1,0 +1,173 @@
+//! `viprof-top` — streaming profile viewer.
+//!
+//! Replays an exported session's sample-batch journal through the
+//! [`viprof::LiveEngine`] in drain order — the same engine a running
+//! session feeds through the daemon's drain sink — and renders the
+//! evolving profile the way `top` renders processes: a snapshot every
+//! `--interval` batches, and the sealed final profile at the end. The
+//! final profile is bit-identical to `viprof-report` over the same
+//! session.
+//!
+//! ```text
+//! viprof-top <session-dir> [--interval <n>] [--json] [--rows <n>] [--threads <n>]
+//!
+//!   --interval N  print a snapshot every N replayed batches
+//!                 (default 0 = only the sealed final profile)
+//!   --json        print the sealed final snapshot as JSON instead of
+//!                 the table (mid-run snapshots stay tabular)
+//!   --rows N      show at most N rows per snapshot (default 20)
+//!   --threads N   resolve snapshots across N shards (default 1)
+//! ```
+
+use viprof::{LiveEngine, LiveSpec, ReportSpec, SessionReport, Viprof};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: viprof-top <session-dir> [--interval <n>] [--json] [--rows <n>] [--threads <n>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(first) = args.next() else { usage() };
+    let dir = std::path::PathBuf::from(first);
+    let mut interval = 0u64;
+    let mut json = false;
+    let mut rows = 20usize;
+    let mut threads = 1usize;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--json" => json = true,
+            "--interval" => {
+                interval = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--rows" => {
+                rows = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+
+    let kernel = match Viprof::import_session(&dir) {
+        Ok(kernel) => kernel,
+        Err(e) => {
+            eprintln!("viprof-top: {e}");
+            std::process::exit(1);
+        }
+    };
+    let Some(scan) = sim_os::journal::scan(&kernel.vfs, oprofile::SAMPLE_JOURNAL_PATH) else {
+        eprintln!(
+            "viprof-top: no sample journal at {} — re-export the session \
+             with journaling on (`Viprof::builder().journal(true)`)",
+            oprofile::SAMPLE_JOURNAL_PATH
+        );
+        std::process::exit(1);
+    };
+
+    // Offline replay keeps every frozen index: the whole journal
+    // references a fixed on-disk map set, so there is nothing to
+    // reclaim mid-stream.
+    let mut live = LiveEngine::new(LiveSpec::new().with_drop_frozen(false));
+    let spec = ReportSpec::default().threads(threads);
+    let mut replayed = 0u64;
+    for rec in &scan.records {
+        if rec.kind != sim_os::journal::KIND_SAMPLE_BATCH {
+            continue;
+        }
+        let Ok(batch) = oprofile::SampleDb::from_bytes(&rec.payload) else {
+            eprintln!("viprof-top: skipping corrupt batch record seq {}", rec.seq);
+            continue;
+        };
+        live.on_batch(&kernel, Some(rec.seq), &batch);
+        replayed += 1;
+        if interval > 0 && replayed % interval == 0 {
+            let snap = live.snapshot(&kernel, &spec);
+            println!("== after batch {replayed} ==");
+            render(&snap, rows);
+        }
+    }
+    if scan.damaged_bytes > 0 {
+        eprintln!(
+            "viprof-top: WARNING: {} damaged journal byte(s) ignored",
+            scan.damaged_bytes
+        );
+    }
+
+    live.seal(&kernel);
+    let snap = live.snapshot(&kernel, &spec);
+    if json {
+        println!("{}", final_json(&snap, replayed));
+    } else {
+        println!("== sealed ({replayed} batches) ==");
+        render(&snap, rows);
+    }
+}
+
+fn render(snap: &SessionReport, rows: usize) {
+    let events: Vec<String> = snap.lines.events.iter().map(|e| format!("{e:?}")).collect();
+    println!("{:>8}  {:<22} {:<34} {}", "%", "image", "symbol", events.join(" / "));
+    for row in snap.lines.rows.iter().take(rows) {
+        let counts: Vec<String> = row.counts.iter().map(u64::to_string).collect();
+        println!(
+            "{:>7.2}%  {:<22} {:<34} {}",
+            row.percents.first().copied().unwrap_or(0.0),
+            row.image,
+            row.symbol,
+            counts.join(" / ")
+        );
+    }
+    if snap.lines.rows.len() > rows {
+        println!("  ... {} more row(s)", snap.lines.rows.len() - rows);
+    }
+    let q = &snap.quality;
+    println!(
+        "  accounted {} = {} resolved + {} stale + {} unresolved + {} blocked \
+         + {} quarantined + {} dropped + {} evicted",
+        q.accounted(),
+        q.resolved,
+        q.stale_epoch,
+        q.unresolved,
+        q.cross_incarnation_blocked,
+        q.quarantined,
+        q.dropped,
+        q.evicted
+    );
+}
+
+fn final_json(snap: &SessionReport, batches: u64) -> String {
+    let q = &snap.quality;
+    let value = serde_json::json!({
+        "batches": batches,
+        "events": snap.lines.events.iter().map(|e| format!("{e:?}")).collect::<Vec<_>>(),
+        "rows": snap.lines.rows,
+        "quality": {
+            "resolved": q.resolved,
+            "stale_epoch": q.stale_epoch,
+            "unresolved": q.unresolved,
+            "quarantined": q.quarantined,
+            "cross_incarnation_blocked": q.cross_incarnation_blocked,
+            "dropped": q.dropped,
+            "evicted": q.evicted,
+            "quarantined_lines": q.quarantined_lines,
+            "skipped_map_files": q.skipped_map_files,
+            "failed_pids": q.failed_pids,
+            "missing_epochs": q.missing_epochs,
+            "accounted": q.accounted(),
+        },
+        "incarnations": snap.incarnations,
+    });
+    serde_json::to_string_pretty(&value).expect("report serializes")
+}

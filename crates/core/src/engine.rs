@@ -23,15 +23,17 @@
 //! enforced by `tests/prop_resolve_flat.rs` and the fault-matrix
 //! suite.
 
+use crate::bootmap::BootMap;
 use crate::flatindex::FlatIndex;
-use crate::resolve::{ResolutionQuality, ViprofResolver};
+use crate::resolve::{IncarnationSummary, ResolutionQuality, ViprofResolver};
+use crate::session::{ReportSpec, SessionReport};
 use oprofile::report::{bucket_label, finish_report, report_events, Report, ReportOptions};
 use oprofile::{SampleBucket, SampleDb, SampleOrigin};
 use sim_cpu::{HwEvent, Pid, ProcKey};
 use sim_jvm::bootimage::{BOOT_IMAGE_NAME, RVM_MAP_IMAGE_LABEL};
 use sim_os::{ImageId, Kernel};
 use std::collections::hash_map::{DefaultHasher, Entry};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use viprof_telemetry::{names, Counter, Gauge, Histogram, Stage, Telemetry};
@@ -39,7 +41,7 @@ use viprof_telemetry::{names, Counter, Gauge, Histogram, Stage, Telemetry};
 /// How a bucket classified, mirroring the [`ResolutionQuality`]
 /// buckets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Class {
+pub(crate) enum Class {
     Resolved,
     Stale,
     Unresolved,
@@ -248,28 +250,50 @@ pub struct ResolutionEngine {
 }
 
 impl ResolutionEngine {
+    /// An engine with nothing loaded: no indexes, no boot map, zero
+    /// damage. The interned constant labels are still real (a derived
+    /// `Default` would leave them empty strings) — this is the starting
+    /// state [`crate::live::LiveEngine`] grows incrementally.
+    pub(crate) fn empty() -> ResolutionEngine {
+        ResolutionEngine {
+            jit_app: Arc::from("JIT.App"),
+            unresolved_jit: Arc::from("(unresolved jit)"),
+            rvm_map: Arc::from(RVM_MAP_IMAGE_LABEL),
+            boot_image_name: Arc::from(BOOT_IMAGE_NAME),
+            no_symbols: Arc::from("(no symbols)"),
+            ..ResolutionEngine::default()
+        }
+    }
+
     /// Flatten and intern everything the resolver loaded.
     pub fn build(resolver: &ViprofResolver) -> ResolutionEngine {
+        let mut engine = ResolutionEngine::empty();
         let mut damage = ResolutionQuality {
             failed_pids: resolver.failed_pids().len() as u64,
             ..ResolutionQuality::default()
         };
-        let mut flat = HashMap::new();
         for (key, set) in resolver.sets() {
             damage.quarantined_lines += set.quarantined_lines;
             damage.skipped_map_files += set.skipped_files;
             damage.missing_epochs += set.missing_epochs();
-            flat.insert(*key, FlatIndex::build(set));
+            engine.insert_index(*key, FlatIndex::build(set));
         }
-        let pids_with_maps: HashSet<u32> = flat.keys().map(|k| k.pid.0).collect();
+        engine.damage = damage;
+        engine.set_boot(resolver.bootmap(), resolver.boot_image_id());
+        engine
+    }
 
-        // Flatten the boot map with the same candidate rule its
-        // `resolve` applies: last entry per distinct offset, coverage
-        // cut at the next distinct offset.
-        let methods = resolver.bootmap().methods();
-        let mut boot_starts = Vec::new();
-        let mut boot_ends = Vec::new();
-        let mut boot_names: Vec<Arc<str>> = Vec::new();
+    /// (Re)flatten the boot-image map with the same candidate rule its
+    /// `resolve` applies: last entry per distinct offset, coverage cut
+    /// at the next distinct offset. Replaces any previous boot state —
+    /// the live path calls this again when `RVM.map` (re)appears
+    /// mid-session.
+    pub(crate) fn set_boot(&mut self, bootmap: &BootMap, boot_image: Option<ImageId>) {
+        let methods = bootmap.methods();
+        self.boot_starts.clear();
+        self.boot_ends.clear();
+        self.boot_names.clear();
+        self.boot_image = boot_image;
         let mut i = 0;
         while i < methods.len() {
             let offset = methods[i].offset;
@@ -283,29 +307,38 @@ impl ResolutionEngine {
                 end = end.min(next.offset);
             }
             if end > offset {
-                boot_starts.push(offset);
-                boot_ends.push(end);
-                boot_names.push(Arc::from(cand.name.as_str()));
+                self.boot_starts.push(offset);
+                self.boot_ends.push(end);
+                self.boot_names.push(Arc::from(cand.name.as_str()));
             }
             i = j;
         }
+    }
 
-        ResolutionEngine {
-            flat,
-            pids_with_maps,
-            boot_starts,
-            boot_ends,
-            boot_names,
-            boot_image: resolver.boot_image_id(),
-            damage,
-            jit_app: Arc::from("JIT.App"),
-            unresolved_jit: Arc::from("(unresolved jit)"),
-            rvm_map: Arc::from(RVM_MAP_IMAGE_LABEL),
-            boot_image_name: Arc::from(BOOT_IMAGE_NAME),
-            no_symbols: Arc::from("(no symbols)"),
-            telemetry: None,
-            poison: None,
-        }
+    /// Install (or replace) one incarnation's flattened index.
+    pub(crate) fn insert_index(&mut self, key: ProcKey, index: FlatIndex) {
+        self.pids_with_maps.insert(key.pid.0);
+        self.flat.insert(key, index);
+    }
+
+    /// Remove one incarnation's heavy index (frozen-incarnation drop).
+    /// Deliberately leaves `pids_with_maps` alone: the pid *had* maps,
+    /// so a straggler sample of another generation must still classify
+    /// as blocked, never as merely unresolved.
+    pub(crate) fn take_index(&mut self, key: &ProcKey) -> Option<FlatIndex> {
+        self.flat.remove(key)
+    }
+
+    /// Mutable access to one incarnation's index, for in-place epoch
+    /// extension.
+    pub(crate) fn index_mut(&mut self, key: &ProcKey) -> Option<&mut FlatIndex> {
+        self.flat.get_mut(key)
+    }
+
+    /// Replace the load-time damage counters (the live path tracks them
+    /// incrementally and installs the totals before each snapshot).
+    pub(crate) fn set_damage(&mut self, damage: ResolutionQuality) {
+        self.damage = damage;
     }
 
     /// Install (or clear) the deterministic shard-poison injector.
@@ -346,7 +379,7 @@ impl ResolutionEngine {
 
     /// Classification only — no label allocation. Must stay in
     /// lockstep with [`ViprofResolver::quality`]'s per-bucket match.
-    fn classify_bucket(&self, bucket: &SampleBucket) -> Class {
+    pub(crate) fn classify_bucket(&self, bucket: &SampleBucket) -> Class {
         match bucket.origin {
             SampleOrigin::JitApp { pid, gen } => {
                 match self.flat.get(&ProcKey::new(pid, gen)) {
@@ -474,12 +507,90 @@ impl ResolutionEngine {
         }
     }
 
+    /// Resolve `db` into a full [`SessionReport`] under `spec` — the
+    /// builder-spec twin of [`Viprof::make_report`](crate::Viprof::make_report)
+    /// for callers that already hold a loaded engine. Honors
+    /// `spec.poison`, shards across `spec.threads`, and fills the
+    /// per-incarnation breakdown; `recovery` is always `None` (replay
+    /// is a load-time concern, not the engine's).
+    pub fn resolve(&mut self, db: &SampleDb, kernel: &Kernel, spec: &ReportSpec) -> SessionReport {
+        self.poison = spec.poison;
+        let (lines, quality) = self.resolve_rows(db, kernel, &spec.options, spec.threads);
+        let incarnations = self.incarnations(db);
+        if let Some(t) = &self.telemetry {
+            t.registry
+                .counter(names::REPORT_ROWS)
+                .add(lines.rows.len() as u64);
+            t.registry
+                .stage(names::STAGE_REPORT_FINISH)
+                .record(lines.rows.len() as u64);
+        }
+        let telemetry = self
+            .telemetry
+            .as_ref()
+            .map(|t| t.registry.snapshot())
+            .unwrap_or_else(|| Telemetry::new().snapshot());
+        SessionReport {
+            lines,
+            quality,
+            recovery: None,
+            incarnations,
+            telemetry,
+        }
+    }
+
+    /// Per-incarnation breakdown of `db`'s JIT samples, sorted by
+    /// `(pid, gen)`. Classification goes through [`Self::classify_bucket`],
+    /// so the rows partition the JIT share of the quality report
+    /// exactly like [`ViprofResolver::incarnations`] does. Poison never
+    /// trips here — the reference breakdown has no panic seam either.
+    fn incarnations(&self, db: &SampleDb) -> Vec<IncarnationSummary> {
+        let mut rows: BTreeMap<(u32, u32), IncarnationSummary> = BTreeMap::new();
+        for (bucket, count) in db.iter() {
+            let SampleOrigin::JitApp { pid, gen } = bucket.origin else {
+                continue;
+            };
+            let row = rows.entry((pid.0, gen)).or_insert_with(|| IncarnationSummary {
+                pid: pid.0,
+                gen,
+                samples: 0,
+                resolved: 0,
+                stale_epoch: 0,
+                unresolved: 0,
+                blocked: 0,
+            });
+            row.samples += count;
+            match self.classify_bucket(bucket) {
+                Class::Resolved => row.resolved += count,
+                Class::Stale => row.stale_epoch += count,
+                Class::Unresolved => row.unresolved += count,
+                Class::Blocked => row.blocked += count,
+            }
+        }
+        rows.into_values().collect()
+    }
+
+    /// One-release alias for the pre-0.3 signature.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `ResolutionEngine::resolve(db, kernel, &ReportSpec)`"
+    )]
+    pub fn report_with_quality(
+        &self,
+        db: &SampleDb,
+        kernel: &Kernel,
+        options: &ReportOptions,
+        threads: usize,
+    ) -> (Report, ResolutionQuality) {
+        self.resolve_rows(db, kernel, options, threads)
+    }
+
     /// The merged report plus quality accounting in one pass over the
     /// database, resolved across `threads` shards (`0`/`1` =
     /// single-threaded). Results are bit-identical for every thread
     /// count: shard sums are commutative and the final row shaping is
     /// [`finish_report`], the same code `aggregate` runs.
-    pub fn report_with_quality(
+    pub(crate) fn resolve_rows(
         &self,
         db: &SampleDb,
         kernel: &Kernel,
@@ -745,7 +856,7 @@ mod tests {
         let legacy = viprof_report(&db, &k, &resolver, &options);
         let legacy_q = resolver.quality(&db);
         for threads in [0, 1, 2, 3, 8] {
-            let (report, q) = engine.report_with_quality(&db, &k, &options, threads);
+            let (report, q) = engine.resolve_rows(&db, &k, &options, threads);
             assert_eq!(report, legacy, "threads={threads}");
             assert_eq!(q, legacy_q, "threads={threads}");
         }
@@ -763,7 +874,7 @@ mod tests {
             ..ReportOptions::default()
         };
         let legacy = viprof_report(&db, &k, &resolver, &options);
-        let (report, _) = engine.report_with_quality(&db, &k, &options, 4);
+        let (report, _) = engine.resolve_rows(&db, &k, &options, 4);
         assert_eq!(report, legacy);
         assert!(report.rows.len() <= 2);
     }
@@ -777,7 +888,7 @@ mod tests {
             let mut engine = ResolutionEngine::build(&resolver);
             let t = Telemetry::default();
             engine.set_telemetry(&t);
-            let (report, q) = engine.report_with_quality(&db, &k, &ReportOptions::default(), threads);
+            let (report, q) = engine.resolve_rows(&db, &k, &ReportOptions::default(), threads);
             assert!(!report.rows.is_empty());
             let snap = t.snapshot();
             assert_eq!(snap.counter(names::RESOLVE_SAMPLES_RESOLVED), q.resolved);
@@ -813,12 +924,12 @@ mod tests {
         let (resolver, _) = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap();
         let clean = ResolutionEngine::build(&resolver);
         let options = ReportOptions::default();
-        let (clean_report, clean_q) = clean.report_with_quality(&db, &k, &options, 4);
+        let (clean_report, clean_q) = clean.resolve_rows(&db, &k, &options, 4);
         let mut poisoned = ResolutionEngine::build(&resolver);
         let t = Telemetry::default();
         poisoned.set_telemetry(&t);
         poisoned.set_poison(Some(ShardPoison { pid, fatal: false }));
-        let (report, q) = poisoned.report_with_quality(&db, &k, &options, 4);
+        let (report, q) = poisoned.resolve_rows(&db, &k, &options, 4);
         assert_eq!(report, clean_report, "fallback must reproduce the clean report");
         assert_eq!(q, clean_q);
         assert_eq!(q.quarantined, 0);
@@ -841,7 +952,7 @@ mod tests {
             let t = Telemetry::default();
             engine.set_telemetry(&t);
             engine.set_poison(Some(ShardPoison { pid, fatal: true }));
-            let (_report, q) = engine.report_with_quality(&db, &k, &ReportOptions::default(), threads);
+            let (_report, q) = engine.resolve_rows(&db, &k, &ReportOptions::default(), threads);
             assert!(q.quarantined > 0, "threads={threads}");
             assert_eq!(
                 q.accounted(),
@@ -905,7 +1016,7 @@ mod tests {
         let (resolver, _) = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap();
         let engine = ResolutionEngine::build(&resolver);
         let db = SampleDb::new();
-        let (report, q) = engine.report_with_quality(&db, &k, &ReportOptions::default(), 4);
+        let (report, q) = engine.resolve_rows(&db, &k, &ReportOptions::default(), 4);
         assert!(report.rows.is_empty());
         assert_eq!(q, resolver.quality(&db));
         assert_eq!(q.quarantined_lines, 1);

@@ -42,6 +42,7 @@ pub mod engine;
 pub mod error;
 pub mod faults;
 pub mod flatindex;
+pub mod live;
 pub mod recover;
 pub mod registry;
 pub mod report;
@@ -58,6 +59,7 @@ pub use engine::{ResolutionEngine, ShardPoison};
 pub use error::ViprofError;
 pub use faults::{ChurnSchedule, FaultPlan, FaultReport};
 pub use flatindex::FlatIndex;
+pub use live::{LiveEngine, LiveSink, LiveSpec};
 pub use recover::{recover_codemaps, recover_sample_db, PidRecovery, RecoveredDb, RecoveryReport};
 pub use registry::{JitRegistry, RegisterOutcome, SharedRegistry};
 pub use report::viprof_report;

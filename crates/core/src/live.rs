@@ -1,0 +1,712 @@
+//! # Live incremental resolution
+//!
+//! The offline pipeline waits for `opcontrol --stop` before it builds
+//! flat indexes and resolves the sample database. This module keeps a
+//! resolution engine **current while the session runs**: the daemon
+//! feeds every drained batch to a [`LiveEngine`] through the
+//! [`DrainSink`] seam, and the engine
+//!
+//! 1. merges the batch into a shadow [`SampleDb`] (the same `merge`
+//!    the daemon applies to its own database, so the shadow converges
+//!    to the authoritative one bucket-for-bucket);
+//! 2. rescans each incarnation's code-map directory and **extends**
+//!    its [`FlatIndex`] by the newly appeared epoch maps only —
+//!    [`FlatIndex::extend`] re-sweeps just the address window each new
+//!    map touches, instead of re-flattening the whole chain;
+//! 3. freezes incarnations the kernel no longer knows (exited or
+//!    churned VMs): their final rescan has already happened, so their
+//!    indexes are immutable from then on — and indexes that never
+//!    received a sample are dropped outright.
+//!
+//! [`LiveEngine::snapshot`] then delegates to
+//! [`ResolutionEngine::resolve`] against the shadow database:
+//! O(aggregate size) — proportional to the number of distinct buckets
+//! and report rows, *independent of epoch depth and of how many
+//! samples arrived* — and structurally bit-identical to the batch
+//! report because it runs the very same resolve code over the very
+//! same inputs.
+//!
+//! Batches are deduplicated by journal sequence number, so a
+//! supervisor-restarted daemon replaying its write-ahead log cannot
+//! double-count; [`LiveEngine::seal`] replays any journal records the
+//! sink never delivered and does a final rescan, after which the
+//! snapshot equals the offline report exactly (`tests/fault_matrix.rs`
+//! checks the three-way identity under the full fault matrix).
+//!
+//! Epoch map files are written once and never mutated (the VM agent
+//! creates `map.<epoch>` at epoch boundaries); the rescan relies on
+//! that — a path already processed is never re-read.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use oprofile::daemon::DrainSink;
+use oprofile::{SampleDb, SampleOrigin, SinkHandle, SAMPLE_JOURNAL_PATH};
+use parking_lot::Mutex;
+use sim_cpu::ProcKey;
+use sim_jvm::bootimage::{BOOT_IMAGE_NAME, RVM_MAP_PATH};
+use sim_os::journal::{self, KIND_SAMPLE_BATCH};
+use sim_os::{ImageId, Kernel};
+use viprof_telemetry::{names, Counter, Stage, Telemetry};
+
+use crate::bootmap::BootMap;
+use crate::codemap::{parse_map, CodeMapSet, EpochMap, JIT_MAP_DIR};
+use crate::engine::ResolutionEngine;
+use crate::flatindex::FlatIndex;
+use crate::resolve::{discover_keys, ResolutionQuality};
+use crate::session::{ReportSpec, SessionReport};
+
+/// Tuning for the live engine.
+#[non_exhaustive]
+#[derive(Debug, Clone)]
+pub struct LiveSpec {
+    /// Drop the frozen index of a reaped incarnation that never
+    /// received a sample (its rows can never appear in a report).
+    /// Indexes of *sampled* incarnations are kept — the shadow
+    /// database is cumulative, so they stay resolvable forever.
+    pub drop_frozen: bool,
+}
+
+impl Default for LiveSpec {
+    fn default() -> Self {
+        LiveSpec { drop_frozen: true }
+    }
+}
+
+impl LiveSpec {
+    pub fn new() -> LiveSpec {
+        LiveSpec::default()
+    }
+
+    pub fn with_drop_frozen(mut self, drop: bool) -> Self {
+        self.drop_frozen = drop;
+        self
+    }
+}
+
+/// Per-incarnation bookkeeping mirroring what [`CodeMapSet::load`]
+/// would tally for the same directory.
+#[derive(Debug, Default)]
+struct KeyState {
+    /// Map-file paths already processed (write-once files).
+    files: HashSet<String>,
+    /// Epochs of the usable maps flattened so far, ascending — the
+    /// live twin of `CodeMapSet::maps()`'s epoch sequence.
+    epochs: Vec<u64>,
+    /// Bad lines inside otherwise-usable files.
+    quarantined_lines: u64,
+    /// Files skipped whole (bad epoch suffix, unreadable, non-UTF8).
+    skipped_files: u64,
+    /// Samples attributed to this incarnation so far.
+    samples: u64,
+    /// The kernel reaped this incarnation; its final rescan is done.
+    frozen: bool,
+    /// Frozen with zero samples — index released.
+    dropped: bool,
+}
+
+impl KeyState {
+    /// `CodeMapSet::load` fails (and the batch resolver counts the pid
+    /// as failed) exactly when the directory has files but none are
+    /// usable.
+    fn failed(&self) -> bool {
+        !self.files.is_empty() && self.epochs.is_empty()
+    }
+
+    fn missing_epochs(&self) -> u64 {
+        match self.epochs.last() {
+            Some(&last) => (last + 1).saturating_sub(self.epochs.len() as u64),
+            None => 0,
+        }
+    }
+}
+
+struct LiveTelemetry {
+    registry: Telemetry,
+    batches: Counter,
+    extends: Counter,
+    rebuilds: Counter,
+    snapshot_stage: Stage,
+}
+
+/// Streaming resolution engine: a shadow sample database plus
+/// incrementally maintained flat indexes, able to produce a full
+/// [`SessionReport`] at any point mid-run.
+pub struct LiveEngine {
+    spec: LiveSpec,
+    engine: ResolutionEngine,
+    db: SampleDb,
+    keys: HashMap<ProcKey, KeyState>,
+    /// Journal sequence numbers already merged (replay dedup).
+    applied: HashSet<u64>,
+    /// Batches accepted (post-dedup).
+    batches: u64,
+    /// `(len, crc32)` of `RVM.map` when the boot map was last loaded.
+    boot_fp: Option<(usize, u32)>,
+    boot_image: Option<ImageId>,
+    sealed: bool,
+    telemetry: Option<LiveTelemetry>,
+}
+
+impl std::fmt::Debug for LiveEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveEngine")
+            .field("batches", &self.batches)
+            .field("keys", &self.keys.len())
+            .field("samples", &self.db.total_samples())
+            .field("sealed", &self.sealed)
+            .finish()
+    }
+}
+
+impl LiveEngine {
+    pub fn new(spec: LiveSpec) -> LiveEngine {
+        LiveEngine {
+            spec,
+            engine: ResolutionEngine::empty(),
+            db: SampleDb::new(),
+            keys: HashMap::new(),
+            applied: HashSet::new(),
+            batches: 0,
+            boot_fp: None,
+            boot_image: None,
+            sealed: false,
+            telemetry: None,
+        }
+    }
+
+    /// Share a telemetry registry: live counters, the snapshot stage
+    /// timer, flight-recorder events, and the inner engine's
+    /// `resolve.*` metrics (which accumulate once per snapshot pass).
+    pub fn set_telemetry(&mut self, registry: &Telemetry) {
+        self.engine.set_telemetry(registry);
+        self.telemetry = Some(LiveTelemetry {
+            registry: registry.clone(),
+            batches: registry.counter(names::LIVE_BATCHES),
+            extends: registry.counter(names::LIVE_INCREMENTAL_EXTENDS),
+            rebuilds: registry.counter(names::LIVE_FULL_REBUILDS),
+            snapshot_stage: registry.stage(names::STAGE_LIVE_SNAPSHOT),
+        });
+    }
+
+    /// Mirror the daemon's admission cap so the shadow database evicts
+    /// and rejects the same buckets the authoritative one does.
+    pub fn set_db_cap(&mut self, cap: Option<usize>) {
+        self.db.set_admission_cap(cap);
+    }
+
+    /// The shadow sample database (converges to the daemon's).
+    pub fn db(&self) -> &SampleDb {
+        &self.db
+    }
+
+    /// Batches accepted so far (after journal-sequence deduplication).
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Whether [`seal`](Self::seal) has run.
+    pub fn sealed(&self) -> bool {
+        self.sealed
+    }
+
+    /// Wrap a shared engine as a daemon drain sink.
+    pub fn sink(engine: Arc<Mutex<LiveEngine>>) -> SinkHandle {
+        SinkHandle::new(LiveSink(engine))
+    }
+
+    /// Ingest one drained batch: merge samples, extend affected
+    /// indexes, freeze reaped incarnations. `seq` is the batch's
+    /// journal sequence number when journaling is on; a sequence seen
+    /// before (supervisor restart replaying the write-ahead log) is
+    /// dropped.
+    pub fn on_batch(&mut self, kernel: &Kernel, seq: Option<u64>, batch: &SampleDb) {
+        if self.sealed {
+            return;
+        }
+        if let Some(seq) = seq {
+            if !self.applied.insert(seq) {
+                return;
+            }
+        }
+        self.batches += 1;
+        self.db.merge(batch);
+        self.note_samples(kernel, batch);
+        self.refresh_boot(kernel);
+        self.rescan_all(kernel, false);
+        self.freeze_dead(kernel);
+        if let Some(t) = &self.telemetry {
+            t.batches.inc();
+            t.registry.event(
+                names::EVENT_LIVE_BATCH,
+                "live batch ingested",
+                &[
+                    ("seq", seq.unwrap_or(u64::MAX)),
+                    ("journaled", seq.is_some() as u64),
+                    ("samples", batch.total_samples()),
+                    ("db_buckets", self.db.len() as u64),
+                ],
+            );
+        }
+    }
+
+    /// Close the stream: replay journal records the sink never
+    /// delivered (deduplicated by sequence number), refresh the boot
+    /// map, and rescan every incarnation — frozen ones included — so
+    /// the engine reflects the final on-disk state. After sealing,
+    /// further batches are ignored and the snapshot is the session's
+    /// final report.
+    pub fn seal(&mut self, kernel: &Kernel) {
+        if self.sealed {
+            return;
+        }
+        self.sealed = true;
+        if let Some(scan) = journal::scan(&kernel.vfs, SAMPLE_JOURNAL_PATH) {
+            for rec in &scan.records {
+                if rec.kind != KIND_SAMPLE_BATCH || !self.applied.insert(rec.seq) {
+                    continue;
+                }
+                if let Ok(batch) = SampleDb::from_bytes(&rec.payload) {
+                    self.batches += 1;
+                    self.db.merge(&batch);
+                    self.note_samples(kernel, &batch);
+                }
+            }
+        }
+        self.refresh_boot(kernel);
+        self.rescan_all(kernel, true);
+    }
+
+    /// Produce a full report from the current live state. Runs the
+    /// same resolve code as the batch engine over the shadow database,
+    /// so a snapshot after [`seal`](Self::seal) is bit-identical to
+    /// the offline report. Cost is proportional to the number of
+    /// distinct sample buckets plus report rows.
+    pub fn snapshot(&mut self, kernel: &Kernel, spec: &ReportSpec) -> SessionReport {
+        self.engine.set_damage(self.damage());
+        let report = self.engine.resolve(&self.db, kernel, spec);
+        if let Some(t) = &self.telemetry {
+            t.snapshot_stage.record(0);
+            t.registry.event(
+                names::EVENT_LIVE_SNAPSHOT,
+                "live snapshot",
+                &[
+                    ("rows", report.lines.rows.len() as u64),
+                    ("accounted", report.quality.accounted()),
+                    ("batches", self.batches),
+                    ("sealed", self.sealed as u64),
+                ],
+            );
+        }
+        report
+    }
+
+    /// Resolution damage mirroring `ResolutionEngine::build`'s
+    /// tally over a full `ViprofResolver::load`: per-key counts are
+    /// summed only for incarnations with at least one usable map;
+    /// a directory with files but no usable map contributes exactly
+    /// one failed pid. (`dropped`/`evicted` come from the database at
+    /// resolve time, not from here.)
+    fn damage(&self) -> ResolutionQuality {
+        let mut damage = ResolutionQuality::default();
+        for st in self.keys.values() {
+            if st.failed() {
+                damage.failed_pids += 1;
+            } else if !st.epochs.is_empty() {
+                damage.quarantined_lines += st.quarantined_lines;
+                damage.skipped_map_files += st.skipped_files;
+                damage.missing_epochs += st.missing_epochs();
+            }
+        }
+        damage
+    }
+
+    /// Track per-incarnation sample arrival; a sample for a dropped
+    /// incarnation (possible only through defensive paths — admission
+    /// refuses reaped incarnations) forces its index back via a full
+    /// rebuild.
+    fn note_samples(&mut self, kernel: &Kernel, batch: &SampleDb) {
+        let mut restore: Vec<ProcKey> = Vec::new();
+        for (bucket, count) in batch.iter() {
+            let SampleOrigin::JitApp { pid, gen } = bucket.origin else {
+                continue;
+            };
+            let key = ProcKey::new(pid, gen);
+            let st = self.keys.entry(key).or_default();
+            st.samples += count;
+            if st.dropped {
+                st.dropped = false;
+                restore.push(key);
+            }
+        }
+        for key in restore {
+            self.rebuild_key(kernel, key);
+        }
+    }
+
+    /// Reload the flattened boot map when `RVM.map` changed (or first
+    /// appeared). The boot-image id is refreshed even when the map
+    /// file is absent: boot-image samples are labelled through the
+    /// image id regardless of whether any method row matches.
+    fn refresh_boot(&mut self, kernel: &Kernel) {
+        let boot_image = kernel.images.find_by_name(BOOT_IMAGE_NAME);
+        let fp = kernel
+            .vfs
+            .read(RVM_MAP_PATH)
+            .map(|bytes| (bytes.len(), journal::crc32(bytes)));
+        if boot_image == self.boot_image && fp == self.boot_fp {
+            return;
+        }
+        self.boot_image = boot_image;
+        self.boot_fp = fp;
+        let map = BootMap::load(&kernel.vfs).unwrap_or_default();
+        self.engine.set_boot(&map, boot_image);
+    }
+
+    /// Rescan every known incarnation's map directory, plus any
+    /// directories that exist on disk but have produced no samples
+    /// yet. Frozen incarnations are skipped mid-run (their final
+    /// rescan happened when they were reaped) but revisited at seal
+    /// for final-state parity.
+    fn rescan_all(&mut self, kernel: &Kernel, include_frozen: bool) {
+        let discovered = discover_keys(kernel);
+        let mut targets: Vec<(ProcKey, bool)> =
+            discovered.iter().map(|&key| (key, true)).collect();
+        targets.extend(
+            self.keys
+                .keys()
+                .filter(|key| discovered.binary_search(key).is_err())
+                .map(|&key| (key, false)),
+        );
+        targets.sort_unstable();
+        for (key, on_disk) in targets {
+            let skip = !include_frozen && self.keys.get(&key).is_some_and(|st| st.frozen);
+            if !skip {
+                self.rescan_key(kernel, key, on_disk);
+            }
+        }
+    }
+
+    /// Incremental path: process map files not seen before, extending
+    /// the incarnation's index one epoch at a time. Falls back to a
+    /// full rebuild when a new epoch arrives out of order (older than
+    /// an already-flattened one) or an extend refuses.
+    fn rescan_key(&mut self, kernel: &Kernel, key: ProcKey, on_disk: bool) {
+        let prefix = format!("{}/{}/{}/map.", JIT_MAP_DIR, key.pid.0, key.gen);
+        let paths: Vec<String> = kernel
+            .vfs
+            .list(&prefix)
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
+        if paths.is_empty() {
+            // A discovered incarnation directory with no map files at
+            // all (journal only — every map write torn, say) loads as
+            // an *empty* set in the batch path, which still inserts an
+            // empty index and claims the pid. Mirror that.
+            if on_disk
+                && self.engine.index(key).is_none()
+                && !self.keys.get(&key).is_some_and(|st| st.dropped)
+            {
+                self.engine
+                    .insert_index(key, FlatIndex::build(&CodeMapSet::default()));
+                self.keys.entry(key).or_default();
+            }
+            return;
+        }
+        let st = self.keys.entry(key).or_default();
+        let mut fresh: Vec<EpochMap> = Vec::new();
+        for path in paths {
+            if st.files.contains(&path) {
+                continue;
+            }
+            let epoch = path[prefix.len()..].parse::<u64>().ok();
+            st.files.insert(path.clone());
+            let map = epoch.and_then(|epoch| {
+                let text = std::str::from_utf8(kernel.vfs.read(&path)?).ok()?;
+                let parsed = parse_map(text);
+                st.quarantined_lines += parsed.quarantined;
+                Some(EpochMap::new(epoch, parsed.entries))
+            });
+            match map {
+                Some(map) => fresh.push(map),
+                None => st.skipped_files += 1,
+            }
+        }
+        if fresh.is_empty() {
+            if st.failed() {
+                // Every file for this incarnation is unusable: the
+                // batch loader errors out and loads no index.
+                self.engine.take_index(&key);
+            }
+            return;
+        }
+        fresh.sort_by_key(|m| m.epoch);
+        let in_order = st
+            .epochs
+            .last()
+            .is_none_or(|&last| fresh[0].epoch >= last);
+        if in_order && !st.dropped {
+            if self.engine.index(key).is_none() {
+                // An extend-grown index must start from the flattened
+                // empty set, not `FlatIndex::default()` (the sweep
+                // leaves a sentinel layer offset the splice needs).
+                self.engine
+                    .insert_index(key, FlatIndex::build(&CodeMapSet::default()));
+            }
+            let mut extended = 0u64;
+            let mut ok = true;
+            for map in &fresh {
+                let ordinal = st.epochs.len() as u32;
+                let index = self.engine.index_mut(&key).expect("index just ensured");
+                if index.extend(map, ordinal) {
+                    st.epochs.push(map.epoch);
+                    extended += 1;
+                } else {
+                    ok = false;
+                    break;
+                }
+            }
+            if let Some(t) = &self.telemetry {
+                t.extends.add(extended);
+            }
+            if ok {
+                return;
+            }
+        }
+        self.rebuild_key(kernel, key);
+    }
+
+    /// Slow path: reload the incarnation from disk exactly the way the
+    /// batch resolver does and rebuild its index from scratch.
+    fn rebuild_key(&mut self, kernel: &Kernel, key: ProcKey) {
+        let prefix = format!("{}/{}/{}/map.", JIT_MAP_DIR, key.pid.0, key.gen);
+        let files: HashSet<String> = kernel
+            .vfs
+            .list(&prefix)
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
+        match CodeMapSet::load(&kernel.vfs, key) {
+            Ok(set) => {
+                let st = self.keys.entry(key).or_default();
+                st.files = files;
+                st.epochs = set.maps().iter().map(|m| m.epoch).collect();
+                st.quarantined_lines = set.quarantined_lines;
+                st.skipped_files = set.skipped_files;
+                st.dropped = false;
+                self.engine.insert_index(key, FlatIndex::build(&set));
+                if let Some(t) = &self.telemetry {
+                    t.rebuilds.inc();
+                }
+            }
+            Err(_) => {
+                // Directory has files but none usable — the batch
+                // resolver counts this incarnation as a failed pid and
+                // loads no index.
+                let st = self.keys.entry(key).or_default();
+                st.files = files;
+                st.epochs.clear();
+                st.dropped = false;
+                self.engine.take_index(&key);
+            }
+        }
+    }
+
+    /// Freeze incarnations the kernel no longer tracks under the same
+    /// generation — the reap rule the daemon itself applies. Their
+    /// rescan this batch was the final one; a frozen incarnation with
+    /// zero samples surrenders its index (when the spec allows).
+    fn freeze_dead(&mut self, kernel: &Kernel) {
+        let dead: Vec<ProcKey> = self
+            .keys
+            .iter()
+            .filter(|(key, st)| {
+                !st.frozen
+                    && kernel
+                        .process(key.pid)
+                        .is_none_or(|proc| proc.gen != key.gen)
+            })
+            .map(|(key, _)| *key)
+            .collect();
+        for key in dead {
+            let drop_frozen = self.spec.drop_frozen;
+            let st = self.keys.get_mut(&key).expect("key collected above");
+            st.frozen = true;
+            let samples = st.samples;
+            let mut dropped = false;
+            if drop_frozen && samples == 0 && self.engine.take_index(&key).is_some() {
+                st.dropped = true;
+                dropped = true;
+            }
+            if let Some(t) = &self.telemetry {
+                t.registry.event(
+                    names::EVENT_LIVE_FREEZE,
+                    "incarnation frozen",
+                    &[
+                        ("pid", key.pid.0 as u64),
+                        ("gen", key.gen as u64),
+                        ("samples", samples),
+                        ("dropped", dropped as u64),
+                    ],
+                );
+            }
+        }
+    }
+}
+
+/// Adapter feeding daemon drain batches into a shared [`LiveEngine`].
+pub struct LiveSink(pub Arc<Mutex<LiveEngine>>);
+
+impl DrainSink for LiveSink {
+    fn on_batch(&mut self, kernel: &Kernel, seq: Option<u64>, batch: &SampleDb) {
+        self.0.lock().on_batch(kernel, seq, batch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codemap::{map_path, render_map, CodeMapEntry};
+    use crate::resolve::{ResolveOptions, ViprofResolver};
+    use oprofile::SampleBucket;
+    use sim_cpu::HwEvent;
+
+    fn entry(addr: u64, size: u64, sig: &str) -> CodeMapEntry {
+        CodeMapEntry {
+            addr,
+            size,
+            level: "opt0".into(),
+            signature: sig.into(),
+        }
+    }
+
+    fn write_map(kernel: &mut Kernel, key: ProcKey, epoch: u64, entries: &[CodeMapEntry]) {
+        kernel
+            .vfs
+            .write(map_path(key, epoch), render_map(entries).into_bytes());
+    }
+
+    fn jit_batch(key: ProcKey, addr: u64, epoch: u64, n: u64) -> SampleDb {
+        let mut db = SampleDb::new();
+        for _ in 0..n {
+            db.add(
+                SampleBucket {
+                    origin: SampleOrigin::JitApp {
+                        pid: key.pid,
+                        gen: key.gen,
+                    },
+                    event: HwEvent::Cycles,
+                    addr,
+                    epoch,
+                },
+                1,
+            );
+        }
+        db
+    }
+
+    fn snap_equals_batch(live: &mut LiveEngine, kernel: &Kernel) {
+        let spec = ReportSpec::default();
+        let snap = live.snapshot(kernel, &spec);
+        let (resolver, _) =
+            ViprofResolver::load_with(kernel, ResolveOptions::default()).expect("batch load");
+        let mut batch = ResolutionEngine::build(&resolver);
+        let offline = batch.resolve(live.db(), kernel, &spec);
+        assert_eq!(snap.lines, offline.lines);
+        assert_eq!(snap.quality, offline.quality);
+        assert_eq!(snap.incarnations, offline.incarnations);
+    }
+
+    #[test]
+    fn incremental_extends_match_batch() {
+        let mut kernel = Kernel::new();
+        let pid = kernel.spawn("java");
+        let key = ProcKey::from(pid);
+        let mut live = LiveEngine::new(LiveSpec::new());
+
+        write_map(&mut kernel, key, 0, &[entry(0x2000_0000, 0x100, "A.run()V")]);
+        live.on_batch(&kernel, Some(0), &jit_batch(key, 0x2000_0010, 0, 5));
+        write_map(&mut kernel, key, 1, &[entry(0x2000_0200, 0x80, "B.run()V")]);
+        live.on_batch(&kernel, Some(1), &jit_batch(key, 0x2000_0210, 1, 3));
+
+        assert_eq!(live.batches(), 2);
+        snap_equals_batch(&mut live, &kernel);
+    }
+
+    #[test]
+    fn replayed_sequences_are_deduplicated() {
+        let mut kernel = Kernel::new();
+        let pid = kernel.spawn("java");
+        let key = ProcKey::from(pid);
+        write_map(&mut kernel, key, 0, &[entry(0x2000_0000, 0x100, "A.run()V")]);
+
+        let mut live = LiveEngine::new(LiveSpec::new());
+        let batch = jit_batch(key, 0x2000_0010, 0, 7);
+        live.on_batch(&kernel, Some(3), &batch);
+        live.on_batch(&kernel, Some(3), &batch); // supervisor replay
+        assert_eq!(live.batches(), 1);
+        assert_eq!(live.db().total_samples(), 7);
+    }
+
+    #[test]
+    fn out_of_order_epoch_forces_rebuild_and_stays_identical() {
+        let mut kernel = Kernel::new();
+        let pid = kernel.spawn("java");
+        let key = ProcKey::from(pid);
+        let mut live = LiveEngine::new(LiveSpec::new());
+
+        write_map(&mut kernel, key, 2, &[entry(0x2000_0000, 0x100, "C.run()V")]);
+        live.on_batch(&kernel, Some(0), &jit_batch(key, 0x2000_0010, 2, 2));
+        // An older epoch appears late (torn agent flush): rebuild path.
+        write_map(&mut kernel, key, 1, &[entry(0x2000_0000, 0x100, "B.run()V")]);
+        live.on_batch(&kernel, Some(1), &jit_batch(key, 0x2000_0010, 1, 2));
+
+        snap_equals_batch(&mut live, &kernel);
+    }
+
+    #[test]
+    fn frozen_unsampled_incarnation_drops_its_index() {
+        let mut kernel = Kernel::new();
+        let pid = kernel.spawn("java");
+        let key = ProcKey::from(pid);
+        write_map(&mut kernel, key, 0, &[entry(0x2000_0000, 0x100, "A.run()V")]);
+
+        let other = kernel.spawn("other");
+        let mut live = LiveEngine::new(LiveSpec::new());
+        live.on_batch(&kernel, Some(0), &jit_batch(key, 0x2000_0010, 0, 4));
+        kernel.exit_process(pid);
+        // Key has samples: frozen but index retained.
+        live.on_batch(&kernel, Some(1), &jit_batch(ProcKey::from(other), 0, 0, 0));
+        assert!(live.keys[&key].frozen);
+        assert!(!live.keys[&key].dropped);
+        snap_equals_batch(&mut live, &kernel);
+    }
+
+    #[test]
+    fn seal_replays_missed_journal_batches() {
+        use sim_os::journal::JournalWriter;
+
+        let mut kernel = Kernel::new();
+        let pid = kernel.spawn("java");
+        let key = ProcKey::from(pid);
+        write_map(&mut kernel, key, 0, &[entry(0x2000_0000, 0x100, "A.run()V")]);
+
+        let delivered = jit_batch(key, 0x2000_0010, 0, 5);
+        let missed = jit_batch(key, 0x2000_0020, 0, 3);
+        let mut writer = JournalWriter::create(&mut kernel.vfs, SAMPLE_JOURNAL_PATH);
+        let seq0 = writer.append(&mut kernel.vfs, KIND_SAMPLE_BATCH, &delivered.to_bytes());
+        writer.append(&mut kernel.vfs, KIND_SAMPLE_BATCH, &missed.to_bytes());
+
+        let mut live = LiveEngine::new(LiveSpec::new());
+        live.on_batch(&kernel, Some(seq0), &delivered);
+        assert_eq!(live.db().total_samples(), 5);
+        live.seal(&kernel);
+        // The record the sink never saw is merged exactly once.
+        assert_eq!(live.db().total_samples(), 8);
+        assert_eq!(live.batches(), 2);
+        live.seal(&kernel); // idempotent
+        assert_eq!(live.db().total_samples(), 8);
+        snap_equals_batch(&mut live, &kernel);
+    }
+}

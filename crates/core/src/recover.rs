@@ -63,7 +63,9 @@ pub struct RecoveryReport {
     pub db_rebuilt: bool,
     /// Samples the recovered resolution attributes that the degraded
     /// baseline could not (filled in by the caller comparing quality
-    /// reports; see `Viprof::report_with_recovery`).
+    /// reports; see `Viprof::make_report` with [`recover`] set).
+    ///
+    /// [`recover`]: crate::session::ReportSpec::recover
     pub samples_salvaged: u64,
 }
 

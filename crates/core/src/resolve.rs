@@ -130,7 +130,7 @@ pub(crate) fn record_quality(registry: &Telemetry, q: &ResolutionQuality) {
 /// Discover incarnations with map directories: paths look like
 /// `/var/lib/oprofile/jit/<pid>/<gen>/map.<epoch>` (or
 /// `…/<pid>/<gen>/journal`).
-fn discover_keys(kernel: &Kernel) -> Vec<ProcKey> {
+pub(crate) fn discover_keys(kernel: &Kernel) -> Vec<ProcKey> {
     let prefix = format!("{JIT_MAP_DIR}/");
     let mut keys: Vec<ProcKey> = kernel
         .vfs
@@ -151,6 +151,7 @@ fn discover_keys(kernel: &Kernel) -> Vec<ProcKey> {
 /// How [`ViprofResolver::load_with`] should treat the on-disk map
 /// artifacts.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct ResolveOptions {
     /// Run the journal-replay recovery pass: per pid, pristine journal
     /// records are overlaid on the damaged disk state when a map
@@ -162,7 +163,13 @@ pub struct ResolveOptions {
 impl ResolveOptions {
     /// Options with the recovery pass enabled.
     pub fn recovered() -> ResolveOptions {
-        ResolveOptions { recover: true }
+        ResolveOptions::default().with_recover(true)
+    }
+
+    /// Toggle the journal-replay recovery pass.
+    pub fn with_recover(mut self, recover: bool) -> ResolveOptions {
+        self.recover = recover;
+        self
     }
 }
 
@@ -230,20 +237,6 @@ impl ViprofResolver {
     /// `registry`'s `resolve.*` counters.
     pub fn set_telemetry(&mut self, registry: &Telemetry) {
         self.telemetry = Some(registry.clone());
-    }
-
-    /// Load without the recovery pass.
-    #[deprecated(since = "0.2.0", note = "use `ViprofResolver::load_with(kernel, ResolveOptions::default())`")]
-    pub fn load(kernel: &Kernel) -> Result<ViprofResolver, ViprofError> {
-        ViprofResolver::load_with(kernel, ResolveOptions::default()).map(|(r, _)| r)
-    }
-
-    /// Load with the journal-replay recovery pass.
-    #[deprecated(since = "0.2.0", note = "use `ViprofResolver::load_with(kernel, ResolveOptions::recovered())`")]
-    pub fn load_recovered(
-        kernel: &Kernel,
-    ) -> Result<(ViprofResolver, RecoveryReport), ViprofError> {
-        ViprofResolver::load_with(kernel, ResolveOptions::recovered())
     }
 
     pub fn codemaps(&self, key: impl Into<ProcKey>) -> Option<&CodeMapSet> {

@@ -6,6 +6,7 @@ use crate::callgraph::CallGraph;
 use crate::engine::ResolutionEngine;
 use crate::error::ViprofError;
 use crate::faults::FaultPlan;
+use crate::live::{LiveEngine, LiveSpec};
 use crate::recover::RecoveryReport;
 use crate::registry::{JitRegistry, SharedRegistry};
 use crate::resolve::{IncarnationSummary, ResolutionQuality, ResolveOptions, ViprofResolver};
@@ -46,6 +47,7 @@ pub struct SessionBuilder {
     plan: Option<FaultPlan>,
     journal: Option<bool>,
     supervised: Option<bool>,
+    live: Option<LiveSpec>,
 }
 
 impl SessionBuilder {
@@ -76,6 +78,16 @@ impl SessionBuilder {
     /// inherit `config.supervisor`.
     pub fn supervised(mut self, on: bool) -> SessionBuilder {
         self.supervised = Some(on);
+        self
+    }
+
+    /// Maintain a [`LiveEngine`] alongside the session: the daemon
+    /// feeds it every drained batch, and
+    /// [`Viprof::live_snapshot`] produces a full [`SessionReport`]
+    /// at any point mid-run. The engine shares the session's
+    /// telemetry registry and mirrors its admission cap.
+    pub fn live(mut self, spec: LiveSpec) -> SessionBuilder {
+        self.live = Some(spec);
         self
     }
 
@@ -114,12 +126,13 @@ impl SessionBuilder {
             None => (config, None),
         };
         config.validate().map_err(ViprofError::InvalidConfig)?;
-        Ok(Viprof::start_inner(machine, config, agent_faults))
+        Ok(Viprof::start_inner(machine, config, agent_faults, self.live))
     }
 }
 
 /// What [`Viprof::make_report`] should produce.
 #[derive(Debug, Clone, Default)]
+#[non_exhaustive]
 pub struct ReportSpec {
     /// Row shaping: event columns, percent floor, row cap.
     pub options: ReportOptions,
@@ -138,10 +151,19 @@ pub struct ReportSpec {
 impl ReportSpec {
     /// Spec with the recovery pass enabled.
     pub fn recovered() -> ReportSpec {
-        ReportSpec {
-            recover: true,
-            ..ReportSpec::default()
-        }
+        ReportSpec::default().with_recover(true)
+    }
+
+    /// Set the row shaping (event columns, percent floor, row cap).
+    pub fn with_options(mut self, options: ReportOptions) -> ReportSpec {
+        self.options = options;
+        self
+    }
+
+    /// Toggle the journal-replay recovery pass.
+    pub fn with_recover(mut self, recover: bool) -> ReportSpec {
+        self.recover = recover;
+        self
     }
 
     /// Set the shard count.
@@ -160,6 +182,7 @@ impl ReportSpec {
 
 /// Everything one post-processing pass produces.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct SessionReport {
     /// The merged profile rows (Figure-1 upper half).
     pub lines: Report,
@@ -195,6 +218,9 @@ pub struct Viprof {
     /// Whether agents built by this session journal their map writes
     /// (mirrors `OpConfig::journal`, which covers the daemon side).
     journal: bool,
+    /// Streaming resolution engine fed by the daemon's drain sink
+    /// (sessions built with [`SessionBuilder::live`] only).
+    live: Option<Arc<Mutex<LiveEngine>>>,
 }
 
 impl Viprof {
@@ -204,26 +230,24 @@ impl Viprof {
         SessionBuilder::default()
     }
 
-    /// Start profiling (counters + extended driver + daemon).
-    #[deprecated(since = "0.2.0", note = "use `Viprof::builder().config(config).start(machine)`")]
-    pub fn start(machine: &mut Machine, config: OpConfig) -> Viprof {
-        Viprof::builder().config(config).start(machine)
-    }
-
-    /// Start profiling under a fault schedule.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Viprof::builder().config(config).faults(plan).start(machine)`"
-    )]
-    pub fn start_with_faults(machine: &mut Machine, config: OpConfig, plan: &FaultPlan) -> Viprof {
-        Viprof::builder().config(config).faults(plan).start(machine)
-    }
-
     fn start_inner(
         machine: &mut Machine,
-        config: OpConfig,
+        mut config: OpConfig,
         agent_faults: Option<MapFaults>,
+        live: Option<LiveSpec>,
     ) -> Viprof {
+        let live = live.map(|spec| {
+            // The live engine shares the session's registry (created
+            // here when the config didn't bring one) and mirrors the
+            // daemon's admission cap, then plugs into the drain sink.
+            let telemetry = config.telemetry.get_or_insert_with(Telemetry::new).clone();
+            let mut engine = LiveEngine::new(spec);
+            engine.set_telemetry(&telemetry);
+            engine.set_db_cap(config.db_bucket_cap);
+            let engine = Arc::new(Mutex::new(engine));
+            config.drain_sink = Some(LiveEngine::sink(engine.clone()));
+            engine
+        });
         let registry = JitRegistry::shared();
         let cost = config.cost;
         let journal = config.journal;
@@ -236,6 +260,7 @@ impl Viprof {
             cost,
             agent_faults,
             journal,
+            live,
         }
     }
 
@@ -294,9 +319,32 @@ impl Viprof {
         self.op.db_snapshot()
     }
 
-    /// Stop profiling; returns the final sample database.
+    /// Stop profiling; returns the final sample database. A live
+    /// session's engine is sealed here — it replays any journal
+    /// batches the sink never saw and does a final map rescan, after
+    /// which [`Viprof::live_snapshot`] equals the offline report.
     pub fn stop(&self, machine: &mut Machine) -> SampleDb {
-        self.op.stop(machine)
+        let db = self.op.stop(machine);
+        if let Some(live) = &self.live {
+            live.lock().seal(&machine.kernel);
+        }
+        db
+    }
+
+    /// The shared live engine, for direct inspection (live sessions
+    /// only).
+    pub fn live_engine(&self) -> Option<Arc<Mutex<LiveEngine>>> {
+        self.live.clone()
+    }
+
+    /// Resolve the live engine's current state into a full
+    /// [`SessionReport`] — mid-run or after [`Viprof::stop`]. `None`
+    /// unless the session was built with [`SessionBuilder::live`].
+    /// Cost is proportional to the aggregate (distinct buckets +
+    /// rows), independent of how many samples have arrived.
+    pub fn live_snapshot(&self, kernel: &Kernel, spec: &ReportSpec) -> Option<SessionReport> {
+        let live = self.live.as_ref()?;
+        Some(live.lock().snapshot(kernel, spec))
     }
 
     /// Post-process one session: load maps from the VFS (optionally
@@ -327,65 +375,22 @@ impl Viprof {
             .record(loaded_entries);
         let mut engine = ResolutionEngine::build(&resolver);
         engine.set_telemetry(&telemetry);
-        engine.set_poison(spec.poison);
-        let (lines, quality) = engine.report_with_quality(db, kernel, &spec.options, spec.threads);
-        let incarnations = resolver.incarnations(db);
-        telemetry
-            .counter(names::REPORT_ROWS)
-            .add(lines.rows.len() as u64);
-        telemetry
-            .stage(names::STAGE_REPORT_FINISH)
-            .record(lines.rows.len() as u64);
-        let recovery = if spec.recover {
+        let mut report = engine.resolve(db, kernel, spec);
+        if spec.recover {
             // Measure the degraded baseline alongside, so the recovery
             // report can say how many samples replay salvaged. The
             // baseline engine stays un-attached: its pass is scaffolding,
             // not part of this report's accounting.
             let (degraded, _) = ViprofResolver::load_with(kernel, ResolveOptions::default())?;
             let baseline = ResolutionEngine::build(&degraded).quality(db, spec.threads);
-            rec.samples_salvaged = quality.resolved.saturating_sub(baseline.resolved);
-            Some(rec)
-        } else {
-            None
-        };
-        Ok(SessionReport {
-            lines,
-            quality,
-            recovery,
-            incarnations,
-            telemetry: telemetry.snapshot(),
-        })
-    }
-
-    /// Merged report only (Figure-1 upper half).
-    #[deprecated(since = "0.2.0", note = "use `Viprof::make_report(db, kernel, &ReportSpec::default())`")]
-    pub fn report(
-        db: &SampleDb,
-        kernel: &Kernel,
-        options: &ReportOptions,
-    ) -> Result<Report, ViprofError> {
-        Self::make_report(db, kernel, &spec_with(options, false)).map(|r| r.lines)
-    }
-
-    /// Merged report plus the per-run [`ResolutionQuality`] accounting.
-    #[deprecated(since = "0.2.0", note = "use `Viprof::make_report(db, kernel, &ReportSpec::default())`")]
-    pub fn report_with_quality(
-        db: &SampleDb,
-        kernel: &Kernel,
-        options: &ReportOptions,
-    ) -> Result<(Report, ResolutionQuality), ViprofError> {
-        Self::make_report(db, kernel, &spec_with(options, false)).map(|r| (r.lines, r.quality))
-    }
-
-    /// Merged report after the journal-replay recovery pass.
-    #[deprecated(since = "0.2.0", note = "use `Viprof::make_report(db, kernel, &ReportSpec::recovered())`")]
-    pub fn report_with_recovery(
-        db: &SampleDb,
-        kernel: &Kernel,
-        options: &ReportOptions,
-    ) -> Result<(Report, ResolutionQuality, RecoveryReport), ViprofError> {
-        Self::make_report(db, kernel, &spec_with(options, true))
-            .map(|r| (r.lines, r.quality, r.recovery.unwrap_or_default()))
+            rec.samples_salvaged = report.quality.resolved.saturating_sub(baseline.resolved);
+            report.recovery = Some(rec);
+        }
+        // The engine snapshotted before the baseline pass; re-snapshot
+        // so the report carries the registry's final state (identical —
+        // the baseline engine is un-attached).
+        report.telemetry = telemetry.snapshot();
+        Ok(report)
     }
 
     /// Export a complete, self-contained session to a real directory:
@@ -472,17 +477,6 @@ impl Viprof {
         }
         kernel.vfs = vfs;
         Ok((kernel, mismatches))
-    }
-}
-
-/// Shared shim plumbing: an owned [`ReportSpec`] from the legacy
-/// borrowed-options signatures.
-fn spec_with(options: &ReportOptions, recover: bool) -> ReportSpec {
-    ReportSpec {
-        options: options.clone(),
-        recover,
-        threads: 0,
-        poison: None,
     }
 }
 
@@ -847,6 +841,63 @@ mod tests {
             .start(&mut machine);
         assert!(viprof.supervisor_stats().is_none());
         viprof.stop(&mut machine);
+    }
+
+    #[test]
+    fn live_session_final_snapshot_matches_offline_report() {
+        let mut machine = Machine::new(MachineConfig::default());
+        let mut config = OpConfig::time_at(20_000);
+        // Drain often so the stream sees many incremental batches.
+        config.daemon_period_cycles = 2_000_000;
+        let viprof = Viprof::builder()
+            .config(config)
+            .journal(true)
+            .live(LiveSpec::new())
+            .start(&mut machine);
+        let mut natives = NativeRegistry::new();
+        let program = bench_program(&mut natives);
+        let mut vm = Vm::boot(
+            &mut machine,
+            program,
+            natives,
+            vm_config(96 * 1024),
+            Box::new(viprof.make_agent()),
+        );
+        vm.run(&mut machine);
+
+        // Mid-run: a full report is available and fully accounted
+        // against the samples streamed so far.
+        let mid = viprof
+            .live_snapshot(&machine.kernel, &ReportSpec::default())
+            .expect("live session");
+        let live = viprof.live_engine().expect("live session");
+        assert!(mid.quality.accounted() > 0, "{:?}", mid.quality);
+        assert_eq!(mid.quality.accounted(), live.lock().db().total_samples());
+        assert!(!mid.lines.rows.is_empty());
+
+        vm.shutdown(&mut machine);
+        let db = viprof.stop(&mut machine);
+
+        // Sealed: the shadow database converged to the authoritative
+        // one, and the final snapshot is bit-identical to the offline
+        // report at every thread count.
+        assert_eq!(*live.lock().db(), db);
+        for threads in [1usize, 4] {
+            let spec = ReportSpec::default().threads(threads);
+            let snap = viprof
+                .live_snapshot(&machine.kernel, &spec)
+                .expect("live session");
+            let offline = Viprof::make_report(&db, &machine.kernel, &spec).unwrap();
+            assert_eq!(snap.lines, offline.lines, "threads={threads}");
+            assert_eq!(snap.quality, offline.quality, "threads={threads}");
+            assert_eq!(snap.incarnations, offline.incarnations, "threads={threads}");
+        }
+
+        // The streaming pipeline left its telemetry trail.
+        let t = viprof.telemetry().snapshot();
+        assert!(t.counter(names::LIVE_BATCHES) > 0);
+        assert!(t.counter(names::LIVE_INCREMENTAL_EXTENDS) > 0);
+        assert!(t.stage(names::STAGE_LIVE_SNAPSHOT).is_some());
     }
 
     #[test]

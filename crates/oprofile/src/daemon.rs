@@ -110,6 +110,38 @@ impl DaemonTelemetry {
 /// OS image name of the daemon binary.
 pub const DAEMON_IMAGE: &str = "oprofiled";
 
+/// Observer of drained sample batches — the seam the live resolution
+/// engine feeds from. Fired after a drained window has been merged into
+/// the shared database and journaled, for every batch that carries
+/// samples or loss accounting (trivial empty windows are skipped, the
+/// same rule the journal applies). `seq` is the journal sequence number
+/// of the batch's record, `None` when the session runs unjournaled.
+pub trait DrainSink: Send {
+    fn on_batch(&mut self, kernel: &Kernel, seq: Option<u64>, batch: &SampleDb);
+}
+
+/// Cloneable shared handle to a [`DrainSink`], so `OpConfig` keeps its
+/// `Debug`/`Clone` derives and the session, daemon, and caller can all
+/// hold the same sink.
+#[derive(Clone)]
+pub struct SinkHandle(Arc<Mutex<dyn DrainSink>>);
+
+impl SinkHandle {
+    pub fn new(sink: impl DrainSink + 'static) -> SinkHandle {
+        SinkHandle(Arc::new(Mutex::new(sink)))
+    }
+
+    pub fn on_batch(&self, kernel: &Kernel, seq: Option<u64>, batch: &SampleDb) {
+        self.0.lock().on_batch(kernel, seq, batch);
+    }
+}
+
+impl std::fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SinkHandle(..)")
+    }
+}
+
 /// The daemon service.
 pub struct Daemon {
     driver: Arc<Mutex<Driver>>,
@@ -137,6 +169,8 @@ pub struct Daemon {
     governor: Option<Governor>,
     /// The event whose counter the governor reprograms.
     governed_event: HwEvent,
+    /// Observer fed every non-trivial drained batch (live resolution).
+    sink: Option<SinkHandle>,
     /// Set when consecutive deadline misses cross the escalation
     /// threshold; the supervisor consumes it as a missed heartbeat.
     deadline_escalated: bool,
@@ -180,6 +214,7 @@ impl Daemon {
             journal: None,
             governor: None,
             governed_event: HwEvent::Cycles,
+            sink: None,
             deadline_escalated: false,
             telemetry: None,
         }
@@ -211,6 +246,13 @@ impl Daemon {
         self.governor.as_ref()
     }
 
+    /// Attach a drain sink: every non-trivial drained batch is handed
+    /// to it after the merge + journal append.
+    pub fn with_sink(mut self, sink: SinkHandle) -> Daemon {
+        self.sink = Some(sink);
+        self
+    }
+
     /// Consume a pending deadline escalation (supervisor side). The
     /// flag re-arms on the next threshold crossing.
     pub fn take_deadline_escalation(&mut self) -> bool {
@@ -240,7 +282,8 @@ impl Daemon {
         let (batch, cycles, dead) = Daemon::drain_batch(&self.driver, &self.db, &self.cost);
         let n = batch.total_samples();
         self.drains += 1;
-        Daemon::journal_batch(&self.journal, &mut ctx.kernel.vfs, &batch);
+        let seq = Daemon::journal_batch(&self.journal, &mut ctx.kernel.vfs, &batch);
+        Daemon::notify_sink(&self.sink, ctx.kernel, seq, &batch);
         if let Some(t) = &self.telemetry {
             t.registry.set_now(ctx.cpu.clock.cycles());
             t.note_drain(occupancy, &batch, cycles, self.journal.is_some(), dead);
@@ -262,17 +305,36 @@ impl Daemon {
     /// Append one drained batch to the journal (if one is attached and
     /// the batch carries anything worth replaying). Journal appends are
     /// part of the drain's existing I/O budget — no extra cycles — so
-    /// journaled and unjournaled runs stay cycle-identical.
+    /// journaled and unjournaled runs stay cycle-identical. Returns the
+    /// sequence number of the appended record, `None` when nothing was
+    /// journaled (no journal, or a trivial batch).
     pub fn journal_batch(
         journal: &Option<Arc<Mutex<JournalWriter>>>,
         vfs: &mut Vfs,
         batch: &SampleDb,
+    ) -> Option<u64> {
+        let journal = journal.as_ref()?;
+        if batch.total_samples() > 0 || batch.dropped > 0 || batch.evicted > 0 {
+            Some(journal.lock().append(vfs, KIND_SAMPLE_BATCH, &batch.to_bytes()))
+        } else {
+            None
+        }
+    }
+
+    /// Hand a non-trivial drained batch to `sink`. Uses the same
+    /// triviality rule as [`Daemon::journal_batch`], so a journaled
+    /// session's sink sees exactly the journaled record stream (with
+    /// matching sequence numbers) and an unjournaled one sees the same
+    /// batches with `seq: None`.
+    pub fn notify_sink(
+        sink: &Option<SinkHandle>,
+        kernel: &Kernel,
+        seq: Option<u64>,
+        batch: &SampleDb,
     ) {
-        if let Some(journal) = journal {
+        if let Some(sink) = sink {
             if batch.total_samples() > 0 || batch.dropped > 0 || batch.evicted > 0 {
-                journal
-                    .lock()
-                    .append(vfs, KIND_SAMPLE_BATCH, &batch.to_bytes());
+                sink.on_batch(kernel, seq, batch);
             }
         }
     }
@@ -416,7 +478,8 @@ impl MachineService for Daemon {
         };
         let (batch, cycles, dead) = Daemon::drain_batch(&self.driver, &self.db, &self.cost);
         self.drains += 1;
-        Daemon::journal_batch(&self.journal, &mut ctx.kernel.vfs, &batch);
+        let seq = Daemon::journal_batch(&self.journal, &mut ctx.kernel.vfs, &batch);
+        Daemon::notify_sink(&self.sink, ctx.kernel, seq, &batch);
         if let Some(t) = &self.telemetry {
             t.note_drain(occupancy, &batch, cycles, self.journal.is_some(), dead);
         }

@@ -120,6 +120,9 @@ impl Oprofile {
         } else {
             None
         };
+        if let Some(sink) = config.drain_sink.clone() {
+            daemon = daemon.with_sink(sink);
+        }
         let daemon_pid = daemon.pid();
         let supervisor_stats = match &config.supervisor {
             Some(sup_config) => {
@@ -208,7 +211,8 @@ impl Oprofile {
         // journaled like one, so replay covers the whole run.
         let (batch, cycles, dead) =
             Daemon::drain_batch(&self.driver, &self.db, &self.config.cost);
-        Daemon::journal_batch(&self.sample_journal, &mut machine.kernel.vfs, &batch);
+        let seq = Daemon::journal_batch(&self.sample_journal, &mut machine.kernel.vfs, &batch);
+        Daemon::notify_sink(&self.config.drain_sink, &machine.kernel, seq, &batch);
         self.active.store(false, Ordering::Relaxed);
         machine.cpu.clear_counters();
         machine.clear_handler();

@@ -334,6 +334,13 @@ impl JournalWriter {
         &self.path
     }
 
+    /// The sequence number the next appended record will carry — what
+    /// a drain-order observer (e.g. a live drain sink deduplicating
+    /// replayed batches) should expect from the upcoming record.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
     /// Record appends/commits/repairs into `registry` from here on.
     pub fn set_telemetry(&mut self, registry: &Telemetry) {
         self.telemetry = Some(JournalTelemetry::attach(registry));

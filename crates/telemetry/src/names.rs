@@ -30,6 +30,9 @@ pub const JOURNAL_COMMITS: &str = "journal.commits";
 pub const JOURNAL_REPAIRS: &str = "journal.repairs";
 pub const JOURNAL_APPENDED_BYTES: &str = "journal.appended_bytes";
 pub const JOURNAL_DAMAGED_BYTES: &str = "journal.damaged_bytes";
+pub const LIVE_BATCHES: &str = "live.batches";
+pub const LIVE_FULL_REBUILDS: &str = "live.full_rebuilds";
+pub const LIVE_INCREMENTAL_EXTENDS: &str = "live.incremental_extends";
 pub const AGENT_MAPS_WRITTEN: &str = "agent.maps_written";
 pub const AGENT_MAP_ENTRIES: &str = "agent.map_entries";
 pub const AGENT_GC_EPOCHS: &str = "agent.gc_epochs";
@@ -72,6 +75,7 @@ pub const VM_GC_PAUSE_CYCLES: &str = "vm.gc_pause_cycles";
 // ---- stages (virtual-cycle spans; offline stages count work units) ----
 pub const STAGE_NMI_HANDLER: &str = "stage.nmi_handler";
 pub const STAGE_DAEMON_DRAIN: &str = "stage.daemon_drain";
+pub const STAGE_LIVE_SNAPSHOT: &str = "stage.live_snapshot";
 pub const STAGE_AGENT_MAP_WRITE: &str = "stage.agent_map_write";
 pub const STAGE_SESSION_FLUSH: &str = "stage.session_flush";
 pub const STAGE_RESOLVE_LOAD: &str = "stage.resolve_load";
@@ -92,6 +96,9 @@ pub const EVENT_SUPERVISOR_RESTART: &str = "supervisor.restart";
 pub const EVENT_AGENT_MAP_WRITE: &str = "agent.map_write";
 pub const EVENT_AGENT_GC_EPOCH: &str = "agent.gc_epoch";
 pub const EVENT_JOURNAL_REPAIR: &str = "journal.repair";
+pub const EVENT_LIVE_BATCH: &str = "live.batch";
+pub const EVENT_LIVE_FREEZE: &str = "live.freeze";
+pub const EVENT_LIVE_SNAPSHOT: &str = "live.snapshot";
 pub const EVENT_REGISTRY_REAP: &str = "registry.reap";
 pub const EVENT_REGISTRY_REGISTER: &str = "registry.register";
 pub const EVENT_SESSION_INSTALL: &str = "session.install";
@@ -125,6 +132,9 @@ pub const ALL_METRICS: &[(&str, &str)] = &[
     ("counter", JOURNAL_COMMITS),
     ("counter", JOURNAL_DAMAGED_BYTES),
     ("counter", JOURNAL_REPAIRS),
+    ("counter", LIVE_BATCHES),
+    ("counter", LIVE_FULL_REBUILDS),
+    ("counter", LIVE_INCREMENTAL_EXTENDS),
     ("counter", REGISTRY_GENERATION_BUMPS),
     ("counter", REGISTRY_REAPS),
     ("counter", REGISTRY_REGISTRATIONS),
@@ -159,6 +169,7 @@ pub const ALL_METRICS: &[(&str, &str)] = &[
     ("histogram", VM_GC_PAUSE_CYCLES),
     ("stage", STAGE_AGENT_MAP_WRITE),
     ("stage", STAGE_DAEMON_DRAIN),
+    ("stage", STAGE_LIVE_SNAPSHOT),
     ("stage", STAGE_NMI_HANDLER),
     ("stage", STAGE_REPORT_FINISH),
     ("stage", STAGE_RESOLVE_LOAD),
@@ -175,6 +186,9 @@ pub const ALL_METRICS: &[(&str, &str)] = &[
     ("event", EVENT_GOVERNOR_ESCALATION),
     ("event", EVENT_GOVERNOR_RATE_CHANGE),
     ("event", EVENT_JOURNAL_REPAIR),
+    ("event", EVENT_LIVE_BATCH),
+    ("event", EVENT_LIVE_FREEZE),
+    ("event", EVENT_LIVE_SNAPSHOT),
     ("event", EVENT_REGISTRY_REAP),
     ("event", EVENT_REGISTRY_REGISTER),
     ("event", EVENT_RESOLVE_SHARD_QUARANTINE),

@@ -10,7 +10,7 @@ use sim_jvm::{NullHooks, Vm, VmConfig, VmProfilerHooks, VmStats};
 use sim_os::{Machine, MachineConfig};
 use std::sync::Arc;
 use viprof::agent::AgentStats;
-use viprof::{ChurnSchedule, FaultPlan, FaultReport, Viprof};
+use viprof::{ChurnSchedule, FaultPlan, FaultReport, LiveSpec, ReportSpec, SessionReport, Viprof};
 use viprof_telemetry::TelemetrySnapshot;
 
 /// Which profiler (if any) observes the run.
@@ -30,6 +30,12 @@ pub enum ProfilerKind {
     /// on: map + sample journaling plus the daemon watchdog/restart
     /// supervisor (both seeded from the plan, so runs replay).
     ViprofSupervised(OpConfig, FaultPlan),
+    /// VIProf with the streaming resolution engine riding the daemon's
+    /// drain sink (journaled, so replayed batches exercise the
+    /// sequence dedup). The optional fault plan puts the stream under
+    /// the robustness matrix; the sealed final snapshot comes back in
+    /// [`RunOutcome::live`].
+    ViprofLive(OpConfig, Option<FaultPlan>),
 }
 
 impl ProfilerKind {
@@ -50,6 +56,11 @@ impl ProfilerKind {
     /// Faulted VIProf at `period` with journaling + supervision on.
     pub fn viprof_supervised_at(period: u64, plan: FaultPlan) -> ProfilerKind {
         ProfilerKind::ViprofSupervised(OpConfig::time_at(period), plan)
+    }
+
+    /// VIProf at `period` with the live engine attached.
+    pub fn viprof_live_at(period: u64) -> ProfilerKind {
+        ProfilerKind::ViprofLive(OpConfig::time_at(period), None)
     }
 }
 
@@ -72,6 +83,10 @@ pub struct RunOutcome {
     /// stage timings and the flight-recorder tail, snapshotted after
     /// the stop-time flush.
     pub telemetry: Option<TelemetrySnapshot>,
+    /// The live engine's sealed final snapshot
+    /// ([`ProfilerKind::ViprofLive`] runs only) — bit-identical to
+    /// `Viprof::make_report` over [`RunOutcome::db`].
+    pub live: Option<SessionReport>,
     /// The machine, for post-processing (reports read images + VFS).
     pub machine: Machine,
 }
@@ -207,16 +222,19 @@ pub fn run_benchmark(
 
     let precise = matches!(&profiler, ProfilerKind::ViprofPreciseMoves(_));
     let supervised = matches!(&profiler, ProfilerKind::ViprofSupervised(..));
+    let live = matches!(&profiler, ProfilerKind::ViprofLive(..));
     let fault_plan = match &profiler {
         ProfilerKind::ViprofFaulty(_, fp) | ProfilerKind::ViprofSupervised(_, fp) => {
             Some(fp.clone())
         }
+        ProfilerKind::ViprofLive(_, fp) => fp.clone(),
         _ => None,
     };
-    let (vm_stats, db, driver, agent, faults, supervisor, telemetry) = match profiler {
+    let (vm_stats, db, driver, agent, faults, supervisor, telemetry, live_report) = match profiler
+    {
         ProfilerKind::None => {
             let stats = execute_plan(&mut machine, built, plan, Box::new(NullHooks));
-            (stats, None, None, None, None, None, None)
+            (stats, None, None, None, None, None, None, None)
         }
         ProfilerKind::Oprofile(config) => {
             let op = Oprofile::start(&mut machine, config);
@@ -231,6 +249,7 @@ pub fn run_benchmark(
                 None,
                 None,
                 telemetry,
+                None,
             )
         }
         // Every VIProf flavour is one builder chain now: faults and
@@ -238,13 +257,17 @@ pub fn run_benchmark(
         ProfilerKind::Viprof(config)
         | ProfilerKind::ViprofPreciseMoves(config)
         | ProfilerKind::ViprofFaulty(config, _)
-        | ProfilerKind::ViprofSupervised(config, _) => {
+        | ProfilerKind::ViprofSupervised(config, _)
+        | ProfilerKind::ViprofLive(config, _) => {
             let mut builder = Viprof::builder().config(config);
             if let Some(fp) = &fault_plan {
                 builder = builder.faults(fp);
             }
             if supervised {
                 builder = builder.journal(true).supervised(true);
+            }
+            if live {
+                builder = builder.journal(true).live(LiveSpec::new());
             }
             let vp = builder.start(&mut machine);
             let agent = vp.make_agent_with(precise);
@@ -276,6 +299,7 @@ pub fn run_benchmark(
                 }
             };
             let db = vp.stop(&mut machine);
+            let live_report = vp.live_snapshot(&machine.kernel, &ReportSpec::default());
             let telemetry = Some(vp.telemetry().snapshot());
             let report = fault_plan.is_some().then(|| FaultReport {
                 driver: vp.driver_fault_stats().unwrap_or_default(),
@@ -290,6 +314,7 @@ pub fn run_benchmark(
                 report,
                 vp.supervisor_stats(),
                 telemetry,
+                live_report,
             )
         }
     };
@@ -304,6 +329,7 @@ pub fn run_benchmark(
         faults,
         supervisor,
         telemetry,
+        live: live_report,
         machine,
     }
 }
@@ -401,8 +427,36 @@ mod tests {
     }
 
     #[test]
+    fn live_run_sealed_snapshot_matches_offline_report() {
+        let (built, plan) = small_built();
+        // Fast wakeups so the stream sees several incremental batches.
+        let config = OpConfig {
+            daemon_period_cycles: 300_000,
+            ..OpConfig::time_at(90_000)
+        };
+        let out = run_benchmark(
+            &built,
+            &plan,
+            ProfilerKind::ViprofLive(config, None),
+            1,
+            false,
+        );
+        let db = out.db.as_ref().unwrap();
+        let live = out.live.expect("live run carries a sealed snapshot");
+        let offline = Viprof::make_report(db, &out.machine.kernel, &ReportSpec::default()).unwrap();
+        assert_eq!(live.lines, offline.lines);
+        assert_eq!(live.quality, offline.quality);
+        assert_eq!(live.incarnations, offline.incarnations);
+        use viprof_telemetry::names;
+        let t = out.telemetry.as_ref().unwrap();
+        assert!(t.counter(names::LIVE_BATCHES) > 0);
+        // Non-live runs don't carry one.
+        let plain = run_benchmark(&built, &plan, ProfilerKind::viprof_at(90_000), 1, false);
+        assert!(plain.live.is_none());
+    }
+
+    #[test]
     fn churned_run_restarts_the_vm_and_stays_accounted() {
-        use viprof::ReportSpec;
         let (built, plan) = small_built();
         let fp = FaultPlan::new(21).with_vm_restarts(2).with_pid_reuse_collision();
         assert!(fp.churn_schedule(plan.slices as u64).is_some());

@@ -63,6 +63,13 @@ if [[ "${1:-}" != "--fast" ]]; then
     echo "==> bench_overload --smoke"
     cargo run --release -p viprof-bench --bin bench_overload -- --smoke
 
+    # Live-resolution gate, smoke-sized: incremental epoch extension
+    # must match (==) and not lose to per-drain re-flattening, and the
+    # streaming engine's sealed snapshot must equal the batch report.
+    # Writes results/BENCH_live.json.
+    echo "==> bench_live --smoke"
+    cargo run --release -p viprof-bench --bin bench_live -- --smoke
+
     # Telemetry self-check: a mini end-to-end session whose persisted
     # snapshot must parse, round-trip canonically, and reconcile.
     echo "==> viprof-stat --selftest"
@@ -86,6 +93,19 @@ if [[ "${1:-}" != "--fast" ]]; then
     cargo run --release -p viprof --bin viprof-stat -- --schema \
         | diff -u scripts/telemetry-schema.txt - \
         || { echo "==> telemetry schema drifted from scripts/telemetry-schema.txt"; exit 1; }
+
+    # Public-API drift gate: the inventory of exported fn/struct names
+    # must match the reviewed golden list — intentional surface changes
+    # update scripts/api-surface.txt in the same change, accidental
+    # ones fail here. (Names only, grep-derived: a cheap tripwire, not
+    # a semver checker.)
+    echo "==> public API surface drift check"
+    grep -rhoE '^[[:space:]]*pub (fn|struct) [A-Za-z_][A-Za-z0-9_]*' \
+            crates/*/src src --include='*.rs' \
+        | sed -E 's/^[[:space:]]+//' | LC_ALL=C sort | uniq -c \
+        | sed -E 's/^[[:space:]]+//' \
+        | diff -u scripts/api-surface.txt - \
+        || { echo "==> public API surface drifted from scripts/api-surface.txt"; exit 1; }
 fi
 
 echo "==> verify OK"

@@ -1,15 +1,18 @@
-//! Deprecation-shim equivalence: every `#[deprecated]` entrypoint must
-//! be a behaviour-preserving wrapper over its builder/options
-//! replacement. Same seed, same workload → bit-identical sample
-//! databases, cycle counts, quality accounting and rendered report
-//! bytes.
-#![allow(deprecated)]
+//! v0.3 surface equivalence: the consolidated API's spellings of one
+//! post-processing pass must agree bit for bit. Same seed, same
+//! workload → identical sample databases, cycle counts, quality
+//! accounting and rendered report bytes — whether the caller goes
+//! through `Viprof::make_report`, a hand-held `ResolutionEngine`, or
+//! the streaming `LiveEngine`.
+//!
+//! This file compiles with `-D deprecated` in `scripts/verify.sh`: it
+//! is the proof that the supported surface needs no removed v0.2 shim.
 
 use viprof_repro::oprofile::{OpConfig, ReportOptions, SampleDb, SupervisorConfig};
 use viprof_repro::sim_os::{Machine, MachineConfig};
 use viprof_repro::viprof::resolve::ResolveOptions;
 use viprof_repro::viprof::{
-    viprof_report, FaultPlan, ReportSpec, ResolutionEngine, Viprof, ViprofResolver,
+    viprof_report, FaultPlan, LiveSpec, ReportSpec, ResolutionEngine, Viprof, ViprofResolver,
 };
 use viprof_repro::workloads::runner::execute_plan;
 use viprof_repro::workloads::{calibrate, find_benchmark, programs, BuiltWorkload, WorkPlan};
@@ -43,53 +46,21 @@ fn run_session(
 }
 
 #[test]
-fn start_shim_equals_builder() {
-    let (built, plan) = small_workload();
-    let (db_old, cycles_old, _) = run_session(&built, &plan, |m| {
-        Viprof::start(m, OpConfig::time_at(60_000))
-    });
-    let (db_new, cycles_new, _) = run_session(&built, &plan, |m| {
-        Viprof::builder().config(OpConfig::time_at(60_000)).start(m)
-    });
-    assert_eq!(cycles_old, cycles_new);
-    assert_eq!(db_old, db_new);
-}
-
-#[test]
-fn start_with_faults_shim_equals_builder() {
-    let (built, plan) = small_workload();
-    let fp = FaultPlan::new(21)
-        .with_overflow_bursts(0.2, 2)
-        .with_lost_maps(0.4)
-        .with_garbled_lines(0.2);
-    let (db_old, cycles_old, _) = run_session(&built, &plan, |m| {
-        Viprof::start_with_faults(m, OpConfig::time_at(60_000), &fp)
-    });
-    let (db_new, cycles_new, _) = run_session(&built, &plan, |m| {
-        Viprof::builder()
-            .config(OpConfig::time_at(60_000))
-            .faults(&fp)
-            .start(m)
-    });
-    assert_eq!(cycles_old, cycles_new);
-    assert_eq!(db_old, db_new);
-}
-
-#[test]
-fn manual_supervised_config_equals_builder_toggles() {
-    // The pre-builder idiom: hand-chain with_journal + with_supervisor
-    // onto the config before start_with_faults. The builder spelling
-    // must reproduce it bit for bit.
+fn preconfigured_opconfig_equals_builder_toggles() {
+    // Journal + supervisor hand-chained onto the config before the
+    // builder sees it, vs. the builder's own toggles: bit-identical
+    // sessions either way.
     let (built, plan) = small_workload();
     let fp = FaultPlan::new(33).with_daemon_crash(3, 2).with_torn_maps(0.5);
     let (db_old, cycles_old, m_old) = run_session(&built, &plan, |m| {
-        Viprof::start_with_faults(
-            m,
-            OpConfig::time_at(60_000)
-                .with_journal()
-                .with_supervisor(fp.supervisor_config()),
-            &fp,
-        )
+        Viprof::builder()
+            .config(
+                OpConfig::time_at(60_000)
+                    .with_journal()
+                    .with_supervisor(fp.supervisor_config()),
+            )
+            .faults(&fp)
+            .start(m)
     });
     let (db_new, cycles_new, m_new) = run_session(&built, &plan, |m| {
         Viprof::builder()
@@ -126,7 +97,10 @@ fn supervised_false_override_differs_from_supervised_config() {
 }
 
 #[test]
-fn report_shims_equal_make_report() {
+fn make_report_equals_engine_resolve() {
+    // `Viprof::make_report` and a hand-held resolver + engine are the
+    // same pass: lines, quality and incarnation rows all agree, for
+    // every thread count.
     let (built, plan) = small_workload();
     let (db, _, machine) = run_session(&built, &plan, |m| {
         Viprof::builder().config(OpConfig::time_at(60_000)).start(m)
@@ -136,24 +110,33 @@ fn report_shims_equal_make_report() {
         min_primary_percent: 0.05,
         ..ReportOptions::default()
     };
-    let spec = ReportSpec {
-        options: options.clone(),
-        ..ReportSpec::default()
-    };
+    let spec = ReportSpec::default().with_options(options.clone());
     let unified = Viprof::make_report(&db, kernel, &spec).unwrap();
 
-    let old = Viprof::report(&db, kernel, &options).unwrap();
-    assert_eq!(old, unified.lines);
-    assert_eq!(old.render_text(), unified.lines.render_text());
-    assert_eq!(old.render_csv(), unified.lines.render_csv());
-
-    let (old_r, old_q) = Viprof::report_with_quality(&db, kernel, &options).unwrap();
-    assert_eq!(old_r, unified.lines);
-    assert_eq!(old_q, unified.quality);
+    let (resolver, rec) = ViprofResolver::load_with(kernel, ResolveOptions::default()).unwrap();
+    assert_eq!(rec, Default::default(), "plain load reports no recovery");
+    assert_eq!(
+        viprof_report(&db, kernel, &resolver, &options),
+        unified.lines,
+        "legacy walk agrees with the unified pass"
+    );
+    for threads in [1usize, 4] {
+        let mut engine = ResolutionEngine::build(&resolver);
+        let session = engine.resolve(&db, kernel, &spec.clone().threads(threads));
+        assert_eq!(session.lines, unified.lines);
+        assert_eq!(session.lines.render_text(), unified.lines.render_text());
+        assert_eq!(session.lines.render_csv(), unified.lines.render_csv());
+        assert_eq!(session.quality, unified.quality);
+        assert_eq!(session.incarnations, unified.incarnations);
+        assert_eq!(session.recovery, None, "replay is a load-time concern");
+    }
 }
 
 #[test]
-fn recovery_shim_equals_make_report_recovered() {
+fn recovered_spec_equals_recovered_load() {
+    // `ReportSpec::recovered()` through `make_report` and
+    // `ResolveOptions::recovered()` through `load_with` run the same
+    // salvage pass.
     let (built, plan) = small_workload();
     let fp = FaultPlan::new(11).with_torn_maps(1.0);
     let (db, _, machine) = run_session(&built, &plan, |m| {
@@ -168,55 +151,83 @@ fn recovery_shim_equals_make_report_recovered() {
     let unified = Viprof::make_report(
         &db,
         kernel,
-        &ReportSpec {
-            options: options.clone(),
-            recover: true,
-            ..ReportSpec::default()
-        },
+        &ReportSpec::recovered().with_options(options.clone()),
     )
     .unwrap();
-    let (old_r, old_q, old_rec) = Viprof::report_with_recovery(&db, kernel, &options).unwrap();
-    assert_eq!(old_r, unified.lines);
-    assert_eq!(old_r.render_text(), unified.lines.render_text());
-    assert_eq!(old_q, unified.quality);
-    assert_eq!(Some(old_rec), unified.recovery);
+    assert!(unified.recovery.is_some(), "recover: true fills recovery");
+
+    let (resolver, recovery) =
+        ViprofResolver::load_with(kernel, ResolveOptions::recovered()).unwrap();
+    // `make_report` fills `samples_salvaged` by running the degraded
+    // baseline alongside; the load-time half of the report must match
+    // field for field.
+    let unified_rec = unified.recovery.expect("recovery filled");
+    let mut aligned = recovery;
+    aligned.samples_salvaged = unified_rec.samples_salvaged;
+    assert_eq!(aligned, unified_rec);
+    assert_eq!(viprof_report(&db, kernel, &resolver, &options), unified.lines);
+    assert_eq!(resolver.quality(&db), unified.quality);
+    // And the engine built from the recovered resolver agrees.
+    assert_eq!(
+        ResolutionEngine::build(&resolver).quality(&db, 4),
+        unified.quality
+    );
 }
 
 #[test]
-fn resolver_load_shims_equal_load_with() {
+fn spec_builders_reach_every_field() {
+    // The `#[non_exhaustive]` specs are built exclusively through
+    // `with_*` methods; each one must actually land.
+    let spec = ReportSpec::default()
+        .with_options(ReportOptions {
+            min_primary_percent: 1.5,
+            ..ReportOptions::default()
+        })
+        .with_recover(true)
+        .threads(8);
+    assert!((spec.options.min_primary_percent - 1.5).abs() < f64::EPSILON);
+    assert!(spec.recover);
+    assert_eq!(spec.threads, 8);
+    assert!(spec.poison.is_none());
+    assert!(ReportSpec::recovered().recover);
+
+    assert!(ResolveOptions::recovered().recover);
+    assert!(!ResolveOptions::default().with_recover(false).recover);
+
+    assert!(LiveSpec::new().drop_frozen, "reclaim is the default");
+    assert!(!LiveSpec::new().with_drop_frozen(false).drop_frozen);
+}
+
+#[test]
+fn live_builder_snapshot_equals_make_report() {
+    // The streaming spelling of the same session: a `live(LiveSpec)`
+    // builder session's sealed snapshot is the batch report.
     let (built, plan) = small_workload();
-    let fp = FaultPlan::new(11).with_torn_maps(1.0);
-    let (db, _, machine) = run_session(&built, &plan, |m| {
-        Viprof::builder()
-            .config(OpConfig::time_at(60_000))
-            .journal(true)
-            .faults(&fp)
-            .start(m)
+    let mut machine = Machine::new(MachineConfig {
+        seed: SEED,
+        ..MachineConfig::default()
     });
-    let kernel = &machine.kernel;
-    let options = ReportOptions::default();
+    let vp = Viprof::builder()
+        .config(OpConfig::time_at(60_000))
+        .journal(true)
+        .live(LiveSpec::new())
+        .start(&mut machine);
+    execute_plan(&mut machine, &built, &plan, Box::new(vp.make_agent()));
+    let db = vp.stop(&mut machine);
 
-    let old = ViprofResolver::load(kernel).unwrap();
-    let (new, rec) = ViprofResolver::load_with(kernel, ResolveOptions::default()).unwrap();
-    assert_eq!(rec, Default::default(), "plain load reports no recovery");
-    assert_eq!(old.quality(&db), new.quality(&db));
-    assert_eq!(
-        viprof_report(&db, kernel, &old, &options),
-        viprof_report(&db, kernel, &new, &options)
-    );
+    let spec = ReportSpec::default();
+    let offline = Viprof::make_report(&db, &machine.kernel, &spec).unwrap();
+    let live = vp
+        .live_snapshot(&machine.kernel, &spec)
+        .expect("live session exposes its engine");
+    assert_eq!(live.lines, offline.lines);
+    assert_eq!(live.quality, offline.quality);
+    assert_eq!(live.incarnations, offline.incarnations);
 
-    let (old_rec, old_rep) = ViprofResolver::load_recovered(kernel).unwrap();
-    let (new_rec, new_rep) =
-        ViprofResolver::load_with(kernel, ResolveOptions::recovered()).unwrap();
-    assert_eq!(old_rep, new_rep);
-    assert_eq!(old_rec.quality(&db), new_rec.quality(&db));
-    assert_eq!(
-        viprof_report(&db, kernel, &old_rec, &options),
-        viprof_report(&db, kernel, &new_rec, &options)
-    );
-    // And the engine built from either recovered resolver agrees.
-    assert_eq!(
-        ResolutionEngine::build(&old_rec).quality(&db, 4),
-        new_rec.quality(&db)
-    );
+    // A session built without `live(..)` has no engine to expose.
+    let (_, _, _) = run_session(&built, &plan, |m| {
+        let vp = Viprof::builder().config(OpConfig::time_at(60_000)).start(m);
+        assert!(vp.live_engine().is_none());
+        vp
+    });
 }

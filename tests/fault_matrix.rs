@@ -628,6 +628,35 @@ fn governed_burst_sheds_strictly_fewer_samples() {
         snap.to_json(),
         "governor trajectory replays bit for bit"
     );
+
+    // Streaming under backpressure: the live engine rides the governed
+    // run's drain sink, sees the rate-scaled windows, and its sealed
+    // snapshot is still the batch report.
+    let live = run_benchmark(
+        &built,
+        &plan,
+        ProfilerKind::ViprofLive(config(true), None),
+        3,
+        false,
+    );
+    let lsnap = live.telemetry.as_ref().unwrap();
+    assert!(
+        lsnap.counter(names::GOVERNOR_BACKOFFS) >= 1,
+        "the governor must still engage with the sink attached"
+    );
+    assert!(lsnap.counter(names::LIVE_BATCHES) >= 1, "the sink saw drained windows");
+    let live_snap = live.live.as_ref().expect("live run seals a snapshot");
+    for threads in [1usize, SHARDS] {
+        let offline = Viprof::make_report(
+            live.db.as_ref().unwrap(),
+            &live.machine.kernel,
+            &ReportSpec::default().threads(threads),
+        )
+        .unwrap();
+        assert_eq!(live_snap.lines, offline.lines, "live vs batch rows ({threads} threads)");
+        assert_eq!(live_snap.quality, offline.quality, "live vs batch quality ({threads} threads)");
+        assert_eq!(live_snap.incarnations, offline.incarnations);
+    }
 }
 
 // ---- process churn: restarts, pid reuse, generation isolation -------
@@ -759,6 +788,44 @@ fn churn_chaos_soak_replays_and_stays_accounted() {
     assert!(rq.resolved >= q.resolved, "recovery is monotone");
     let replayed = recover_sample_db(&a.machine.kernel.vfs).expect("journaling on");
     assert_eq!(&replayed.db, db, "journal replay reproduces churn drops exactly");
+
+    // Live leg: the same chaos with the streaming engine riding the
+    // drain sink (supervision pre-chained on the config — equivalent
+    // to the `supervised(true)` toggle). Attaching the sink is
+    // invisible to the simulation, and the sealed snapshot is the
+    // batch report — under pid-reuse churn, overflow, a daemon crash
+    // with supervisor restarts, and the replayed journal batches the
+    // restarts produce (sequence dedup under fire).
+    let live_run = run_benchmark(
+        &built,
+        &plan,
+        ProfilerKind::ViprofLive(
+            config()
+                .with_journal()
+                .with_supervisor(chaos().supervisor_config()),
+            Some(chaos()),
+        ),
+        11,
+        false,
+    );
+    assert_eq!(live_run.cycles, a.cycles, "live sink perturbed the run");
+    assert_eq!(live_run.db, a.db, "live sink perturbed the profile");
+    assert_eq!(live_run.faults, a.faults);
+    let live_snap = live_run.live.as_ref().expect("live run seals a snapshot");
+    for threads in [1usize, SHARDS] {
+        let offline = Viprof::make_report(
+            live_run.db.as_ref().unwrap(),
+            &live_run.machine.kernel,
+            &ReportSpec::default().threads(threads),
+        )
+        .unwrap();
+        assert_eq!(live_snap.lines, offline.lines, "live vs batch rows ({threads} threads)");
+        assert_eq!(live_snap.quality, offline.quality, "live vs batch quality ({threads} threads)");
+        assert_eq!(
+            live_snap.incarnations, offline.incarnations,
+            "live vs batch incarnations ({threads} threads)"
+        );
+    }
 
     // A different seed draws a different churn schedule.
     let other = FaultPlan::new(78).with_vm_restarts(2).churn_schedule(plan.slices as u64);

@@ -13,7 +13,9 @@ use viprof_repro::sim_cpu::HwEvent;
 use viprof_repro::sim_os::Kernel;
 use viprof_repro::viprof::codemap::{map_path, render_map, CodeMapEntry, CodeMapSet, EpochMap};
 use viprof_repro::viprof::resolve::ResolveOptions;
-use viprof_repro::viprof::{viprof_report, FlatIndex, ResolutionEngine, ViprofResolver};
+use viprof_repro::viprof::{
+    viprof_report, FlatIndex, ReportSpec, ResolutionEngine, ViprofResolver,
+};
 
 const SIGS: [&str; 5] = [
     "app.A.run",
@@ -115,7 +117,7 @@ proptest! {
         db.dropped = dropped;
 
         let (resolver, _) = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap();
-        let engine = ResolutionEngine::build(&resolver);
+        let mut engine = ResolutionEngine::build(&resolver);
         // Per-bucket label parity.
         for (bucket, _) in db.iter() {
             let (img, sym) = engine.label(bucket, &k);
@@ -132,10 +134,76 @@ proptest! {
         let walk_q = resolver.quality(&db);
         prop_assert_eq!(walk_q.accounted(), db.total_samples());
         for threads in [1usize, 3, 7] {
-            let (report, q) = engine.report_with_quality(&db, &k, &options, threads);
-            prop_assert_eq!(&report, &walk_report, "report diverged at threads={}", threads);
-            prop_assert_eq!(q, walk_q, "quality diverged at threads={}", threads);
+            let spec = ReportSpec::default().threads(threads);
+            let session = engine.resolve(&db, &k, &spec);
+            prop_assert_eq!(&session.lines, &walk_report, "report diverged at threads={}", threads);
+            prop_assert_eq!(session.quality, walk_q, "quality diverged at threads={}", threads);
             prop_assert_eq!(engine.quality(&db, threads), walk_q);
+        }
+    }
+
+    /// The live engine's maintenance invariant, isolated: growing an
+    /// index epoch by epoch with `FlatIndex::extend` is `==` to
+    /// `FlatIndex::build` over the whole chain — across random entry
+    /// overlaps, duplicate start addresses, zero-sized bodies,
+    /// duplicate epochs and empty maps — whenever the appends arrive
+    /// in chain order (the fast path's contract). Any refusal must
+    /// leave the index untouched.
+    #[test]
+    fn extend_by_epoch_equals_rebuild_from_scratch(
+        chain in chain_strategy(),
+        queries in queries_strategy(),
+    ) {
+        // Chain order = ascending (epoch, position): exactly how
+        // `CodeMapSet::new` sorts and numbers the maps.
+        let mut maps: Vec<EpochMap> = chain
+            .into_iter()
+            .map(|(epoch, entries)| EpochMap::new(epoch, entries))
+            .collect();
+        maps.sort_by_key(|m| m.epoch);
+
+        let mut grown = FlatIndex::build(&CodeMapSet::default());
+        for (ordinal, map) in maps.iter().enumerate() {
+            let before = grown.clone();
+            let ok = grown.extend(map, ordinal as u32);
+            prop_assert!(ok, "in-order append refused at ordinal {}", ordinal);
+            // Each prefix matches its own full rebuild, not just the
+            // final state — a mid-chain divergence that later appends
+            // happen to repair would still break live snapshots.
+            let rebuilt = FlatIndex::build(&CodeMapSet::new(maps[..=ordinal].to_vec()));
+            prop_assert_eq!(
+                &grown, &rebuilt,
+                "extend diverged from rebuild after {} maps (was {:?})",
+                ordinal + 1, before
+            );
+        }
+
+        // An out-of-order append (epoch strictly below an existing
+        // layer) must refuse and leave the index bit-identical.
+        if let Some(top) = maps.iter().map(|m| m.epoch).max() {
+            if top > 0 {
+                let mut probe = grown.clone();
+                let stale = EpochMap::new(
+                    top - 1,
+                    vec![CodeMapEntry {
+                        addr: 0x100,
+                        size: 0x40,
+                        level: "O1".to_string(),
+                        signature: SIGS[0].to_string(),
+                    }],
+                );
+                if !probe.extend(&stale, maps.len() as u32) {
+                    prop_assert_eq!(&probe, &grown, "refused extend mutated the index");
+                }
+            }
+        }
+
+        // And the grown index still answers like the walk.
+        let set = CodeMapSet::new(maps);
+        for (pc, epoch) in queries {
+            let walk = set.resolve(pc, epoch).map(|e| e.signature.as_str());
+            let fast = grown.resolve(pc, epoch).map(|s| s.as_ref());
+            prop_assert_eq!(walk, fast, "grown resolve(pc={:#x}, epoch={})", pc, epoch);
         }
     }
 }
