@@ -176,7 +176,11 @@ struct StreamingRun {
     ingest_ms: f64,
     midrun_snapshot_ms: f64,
     sealed_snapshot_ms: f64,
+    /// Sealed snapshot with `ReportSpec::trace` off — the baseline for
+    /// the lineage/trace overhead gate.
+    sealed_plain_ms: f64,
     batch_report_ms: f64,
+    trace_overhead_pct: f64,
 }
 
 /// One drain per epoch: the epoch's maps land on disk, then a batch of
@@ -219,7 +223,7 @@ fn measure_streaming(s: &Scenario, threads: usize) -> StreamingRun {
             );
         }
         let t = Instant::now();
-        live.on_batch(&kernel, Some(epoch), &batch);
+        live.on_batch(&kernel, Some(epoch), &batch, None);
         ingest_ms += ms_since(t);
         if epoch == s.epochs / 2 {
             let t = Instant::now();
@@ -229,6 +233,10 @@ fn measure_streaming(s: &Scenario, threads: usize) -> StreamingRun {
     }
 
     live.seal(&kernel);
+    let spec_plain = ReportSpec::default().threads(threads).with_trace(false);
+    let t = Instant::now();
+    let _ = live.snapshot(&kernel, &spec_plain);
+    let sealed_plain_ms = ms_since(t);
     let t = Instant::now();
     let sealed = live.snapshot(&kernel, &spec);
     let sealed_snapshot_ms = ms_since(t);
@@ -247,6 +255,15 @@ fn measure_streaming(s: &Scenario, threads: usize) -> StreamingRun {
         sealed.incarnations, offline.incarnations,
         "live incarnation rows diverged from batch"
     );
+    // Lineage and trace are pure functions of (journal, quality,
+    // incarnations): the sealed stream and the offline batch pass must
+    // agree byte for byte.
+    assert_eq!(sealed.lineage, offline.lineage, "live lineage diverged from batch");
+    assert_eq!(
+        sealed.trace.to_chrome_json(),
+        offline.trace.to_chrome_json(),
+        "live trace diverged from batch"
+    );
 
     let snap = registry.snapshot();
     StreamingRun {
@@ -257,7 +274,9 @@ fn measure_streaming(s: &Scenario, threads: usize) -> StreamingRun {
         ingest_ms,
         midrun_snapshot_ms,
         sealed_snapshot_ms,
+        sealed_plain_ms,
         batch_report_ms,
+        trace_overhead_pct: (sealed_snapshot_ms - sealed_plain_ms) / sealed_plain_ms * 100.0,
     }
 }
 
@@ -322,6 +341,17 @@ fn main() {
     assert!(
         streaming.incremental_extends > 0,
         "streaming run never took the incremental path"
+    );
+    println!(
+        "trace overhead (sealed snapshot): {:+.2}% ({:.2} -> {:.2} ms)",
+        streaming.trace_overhead_pct, streaming.sealed_plain_ms, streaming.sealed_snapshot_ms
+    );
+    // Same budget as bench_resolve's telemetry gate: <3% or <0.5 ms.
+    assert!(
+        streaming.sealed_snapshot_ms - streaming.sealed_plain_ms < 0.5
+            || streaming.trace_overhead_pct < 3.0,
+        "lineage/trace overhead on the sealed snapshot exceeds 3%: {:.2}%",
+        streaming.trace_overhead_pct
     );
 
     write_json(

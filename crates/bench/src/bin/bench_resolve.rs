@@ -194,6 +194,7 @@ struct BenchOutput {
     thread_counts: Vec<usize>,
     scenarios: Vec<ScenarioResult>,
     telemetry_overhead: TelemetryOverhead,
+    trace_overhead: TraceOverhead,
 }
 
 /// Cost of the always-on telemetry layer on the acceptance scenario:
@@ -208,6 +209,17 @@ struct TelemetryOverhead {
     flat_plain_ms: f64,
     flat_telemetry_ms: f64,
     flat_overhead_pct: f64,
+}
+
+/// Cost of the lineage/trace pass on the flat engine: the same resolve
+/// with `ReportSpec::trace` off vs on (the default).
+#[derive(Serialize)]
+struct TraceOverhead {
+    scenario: String,
+    runs: u32,
+    plain_ms: f64,
+    traced_ms: f64,
+    overhead_pct: f64,
 }
 
 /// Overhead is a delta of two min-of-N timings, so tiny smoke runs can
@@ -272,6 +284,37 @@ fn measure_telemetry_overhead(s: &Scenario, runs: u32) -> TelemetryOverhead {
         flat_plain_ms,
         flat_telemetry_ms,
         flat_overhead_pct: (flat_telemetry_ms - flat_plain_ms) / flat_plain_ms * 100.0,
+    }
+}
+
+/// Measure the lineage/trace construction overhead on the flat engine:
+/// `with_trace(false)` vs the tracing default, min over `runs` trials,
+/// interleaved like the telemetry measurement.
+fn measure_trace_overhead(s: &Scenario, runs: u32) -> TraceOverhead {
+    let (kernel, db) = build_session(s);
+    let (resolver, _) =
+        ViprofResolver::load_with(&kernel, ResolveOptions::default()).expect("load maps");
+    let mut engine = ResolutionEngine::build(&resolver);
+    let spec_plain = ReportSpec::default().threads(1).with_trace(false);
+    let spec_traced = ReportSpec::default().threads(1);
+
+    let mut plain_ms = f64::INFINITY;
+    let mut traced_ms = f64::INFINITY;
+    for _ in 0..runs {
+        let t = Instant::now();
+        let _ = engine.resolve(&db, &kernel, &spec_plain);
+        plain_ms = plain_ms.min(ms_since(t));
+
+        let t = Instant::now();
+        let _ = engine.resolve(&db, &kernel, &spec_traced);
+        traced_ms = traced_ms.min(ms_since(t));
+    }
+    TraceOverhead {
+        scenario: s.name.to_string(),
+        runs,
+        plain_ms,
+        traced_ms,
+        overhead_pct: (traced_ms - plain_ms) / plain_ms * 100.0,
     }
 }
 
@@ -418,6 +461,25 @@ fn main() {
         overhead.flat_overhead_pct
     );
 
+    // Lineage/trace gate: the causal-tracing pass rides the same <3%
+    // budget as the telemetry layer.
+    if !quiet() {
+        eprintln!("trace overhead on {}...", accept.name);
+    }
+    let trace_overhead = measure_trace_overhead(&accept, trials.max(5));
+    println!(
+        "trace overhead ({}): {:+.2}% ({:.1} -> {:.1} ms)",
+        trace_overhead.scenario,
+        trace_overhead.overhead_pct,
+        trace_overhead.plain_ms,
+        trace_overhead.traced_ms,
+    );
+    assert!(
+        overhead_ok(trace_overhead.plain_ms, trace_overhead.traced_ms),
+        "lineage/trace overhead exceeds 3%: {:.2}%",
+        trace_overhead.overhead_pct
+    );
+
     write_json(
         "BENCH_resolve.json",
         &BenchOutput {
@@ -426,6 +488,7 @@ fn main() {
             thread_counts,
             scenarios,
             telemetry_overhead: overhead,
+            trace_overhead,
         },
     );
 }

@@ -24,7 +24,7 @@ use sim_os::journal::{JournalWriter, KIND_CODE_MAP};
 use sim_os::{SplitMix64, Vfs};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
-use viprof_telemetry::{names, Counter, Stage, Telemetry};
+use viprof_telemetry::{names, Counter, Stage, Telemetry, TraceLayer};
 
 /// Telemetry handles for the agent's map-write path, resolved once.
 struct AgentTelemetry {
@@ -338,6 +338,21 @@ impl VmAgent {
                 names::EVENT_AGENT_MAP_WRITE,
                 &map_path(key, epoch),
                 &[("epoch", epoch), ("entries", entries.len() as u64)],
+            );
+            // Causal span: map writes are roots of the epoch's later
+            // resolution story, parented under the session span.
+            let span = t.registry.trace_begin(
+                TraceLayer::Agent,
+                names::SPAN_AGENT_MAP_WRITE,
+                t.registry.trace_root(),
+            );
+            t.registry.trace_end(
+                span,
+                &[
+                    ("epoch", epoch),
+                    ("entries", entries.len() as u64),
+                    ("cost", cost),
+                ],
             );
         }
         cost

@@ -6,7 +6,7 @@
 //! `/var/lib/oprofile` after `opcontrol --stop`.
 //!
 //! ```text
-//! viprof-report <session-dir> [--classic] [--recover] [--telemetry] [--threads <n>] [--min <percent>] [--rows <n>] [--csv | --json]
+//! viprof-report <session-dir> [--classic] [--recover] [--telemetry] [--lineage] [--threads <n>] [--min <percent>] [--rows <n>] [--csv | --json]
 //!
 //!   --classic    render what stock opreport would show (anon ranges,
 //!                symbol-less boot image) instead of the merged view
@@ -16,6 +16,9 @@
 //!   --telemetry  append the session's runtime telemetry (exported at
 //!                /var/log/viprof/telemetry.json) and this resolve
 //!                pass's own metrics to the text output
+//!   --lineage    append the sample-lineage footer: every loss bucket
+//!                (dropped/evicted/quarantined/blocked) broken down by
+//!                the causal span where the loss occurred
 //!   --threads N  resolve across N shards (default: available
 //!                parallelism; output is bit-identical for every N)
 //!   --min  P     hide rows below P percent of the primary event (0.05)
@@ -31,7 +34,7 @@ use viprof_telemetry::TelemetrySnapshot;
 fn usage() -> ! {
     eprintln!(
         "usage: viprof-report <session-dir> [--classic] [--recover] [--telemetry] \
-         [--threads <n>] [--min <percent>] [--rows <n>] [--csv | --json]"
+         [--lineage] [--threads <n>] [--min <percent>] [--rows <n>] [--csv | --json]"
     );
     std::process::exit(2);
 }
@@ -48,6 +51,7 @@ fn main() {
     let mut classic = false;
     let mut recover = false;
     let mut telemetry = false;
+    let mut lineage = false;
     let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut options = ReportOptions {
         min_primary_percent: 0.05,
@@ -59,6 +63,7 @@ fn main() {
             "--classic" => classic = true,
             "--recover" => recover = true,
             "--telemetry" => telemetry = true,
+            "--lineage" => lineage = true,
             "--threads" => {
                 threads = args
                     .next()
@@ -145,15 +150,14 @@ fn main() {
 
     let mut resolve_telemetry: Option<TelemetrySnapshot> = None;
     let mut incarnations: Vec<viprof::IncarnationSummary> = Vec::new();
+    let mut lineage_table: Option<viprof_telemetry::LineageTable> = None;
     let (report, quality, recovery) = if classic {
         (opreport(&db, &kernel, &options), None, None)
     } else {
-        let spec = ReportSpec {
-            options: options.clone(),
-            recover,
-            threads,
-            poison: None,
-        };
+        let spec = ReportSpec::default()
+            .with_options(options.clone())
+            .with_recover(recover)
+            .threads(threads);
         match Viprof::make_report(&db, &kernel, &spec) {
             Ok(sr) => {
                 let recovery = sr.recovery.map(|mut rec| {
@@ -170,6 +174,7 @@ fn main() {
                 });
                 resolve_telemetry = Some(sr.telemetry);
                 incarnations = sr.incarnations;
+                lineage_table = Some(sr.lineage);
                 (sr.lines, Some(sr.quality), recovery)
             }
             Err(e) => {
@@ -231,6 +236,17 @@ fn main() {
                 let emitted = db.total_samples() + db.dropped;
                 let pct = 100.0 * db.dropped as f64 / emitted as f64;
                 println!("WARNING: {} samples dropped ({pct:.1}%)", db.dropped);
+            }
+            if lineage {
+                match &lineage_table {
+                    Some(table) => {
+                        println!("== sample lineage ==");
+                        print!("{}", table.render_text());
+                    }
+                    None => eprintln!(
+                        "viprof-report: WARNING: --lineage has no effect with --classic"
+                    ),
+                }
             }
             if telemetry {
                 match kernel.vfs.read(oprofile::TELEMETRY_PATH) {

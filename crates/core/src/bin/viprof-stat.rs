@@ -9,7 +9,7 @@
 //! ```text
 //! viprof-stat --schema
 //! viprof-stat --selftest
-//! viprof-stat <session-dir> [--json] [--recover] [--threads <n>] [--events <n>]
+//! viprof-stat <session-dir> [--json] [--recover] [--threads <n>] [--events <n>] [--histograms]
 //!
 //!   --schema     print the metric catalog (one `<kind> <name>` line
 //!                per metric) — diffed against scripts/telemetry-schema.txt
@@ -21,16 +21,19 @@
 //!   --recover    tolerate manifest violations when importing
 //!   --threads N  resolve across N shards for the resolve-side metrics
 //!   --events N   show the last N flight-recorder events (default 10)
+//!   --histograms print every histogram's per-bucket log2 rows after
+//!                the summary (the summary shows only quantile-ish
+//!                spreads)
 //! ```
 
 use oprofile::{OpConfig, Oprofile, ReportOptions};
 use viprof::{ReportSpec, Viprof};
-use viprof_telemetry::{bucket_hi, bucket_lo, names, TelemetrySnapshot};
+use viprof_telemetry::{bucket_hi, bucket_lo, log2_rows, names, TelemetrySnapshot};
 
 fn usage() -> ! {
     eprintln!(
         "usage: viprof-stat --schema | --selftest | <session-dir> \
-         [--json] [--recover] [--threads <n>] [--events <n>]"
+         [--json] [--recover] [--threads <n>] [--events <n>] [--histograms]"
     );
     std::process::exit(2);
 }
@@ -57,10 +60,12 @@ fn main() {
     let mut recover = false;
     let mut threads = 1usize;
     let mut tail = 10usize;
+    let mut histograms = false;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--json" => json = true,
             "--recover" => recover = true,
+            "--histograms" => histograms = true,
             "--threads" => {
                 threads = args
                     .next()
@@ -144,7 +149,25 @@ fn main() {
         print_resolution(&report.telemetry);
     }
     print_stages(&runtime, resolve.as_ref().map(|r| &r.telemetry));
+    if histograms {
+        print_histograms(&runtime, resolve.as_ref().map(|r| &r.telemetry));
+    }
     print_events(&runtime, tail);
+}
+
+/// Per-bucket log2 rows for every histogram — the full distribution
+/// behind the summary's one-line spreads. Formatting shared with
+/// `viprof-trace --top` via [`log2_rows`].
+fn print_histograms(runtime: &TelemetrySnapshot, resolve: Option<&TelemetrySnapshot>) {
+    println!("-- histograms (log2 buckets) --");
+    for snap in std::iter::once(runtime).chain(resolve) {
+        for h in &snap.histograms {
+            println!("  {} — count {}, sum {}", h.name, h.count, h.sum);
+            for row in log2_rows(&h.buckets) {
+                println!("    {row}");
+            }
+        }
+    }
 }
 
 fn pct(part: u64, whole: u64) -> f64 {

@@ -14,7 +14,9 @@
 //!   --interval N  print a snapshot every N replayed batches
 //!                 (default 0 = only the sealed final profile)
 //!   --json        print the sealed final snapshot as JSON instead of
-//!                 the table (mid-run snapshots stay tabular)
+//!                 the table; every human-readable line (mid-run
+//!                 snapshots, warnings) moves to stderr so stdout is
+//!                 pure JSON
 //!   --rows N      show at most N rows per snapshot (default 20)
 //!   --threads N   resolve snapshots across N shards (default 1)
 //! ```
@@ -79,24 +81,36 @@ fn main() {
 
     // Offline replay keeps every frozen index: the whole journal
     // references a fixed on-disk map set, so there is nothing to
-    // reclaim mid-stream.
+    // reclaim mid-stream. Traced (v2) batch records replay with their
+    // span context; untagged v1 records replay without one.
     let mut live = LiveEngine::new(LiveSpec::new().with_drop_frozen(false));
     let spec = ReportSpec::default().threads(threads);
     let mut replayed = 0u64;
     for rec in &scan.records {
-        if rec.kind != sim_os::journal::KIND_SAMPLE_BATCH {
-            continue;
-        }
-        let Ok(batch) = oprofile::SampleDb::from_bytes(&rec.payload) else {
+        let (ctx, body) = match rec.kind {
+            sim_os::journal::KIND_SAMPLE_BATCH => (None, rec.payload.as_slice()),
+            sim_os::journal::KIND_SAMPLE_BATCH_TRACED => {
+                let Some((ctx, body)) = sim_os::journal::split_traced_payload(&rec.payload)
+                else {
+                    eprintln!("viprof-top: skipping torn traced record seq {}", rec.seq);
+                    continue;
+                };
+                (Some(ctx), body)
+            }
+            _ => continue,
+        };
+        let Ok(batch) = oprofile::SampleDb::from_bytes(body) else {
             eprintln!("viprof-top: skipping corrupt batch record seq {}", rec.seq);
             continue;
         };
-        live.on_batch(&kernel, Some(rec.seq), &batch);
+        live.on_batch(&kernel, Some(rec.seq), &batch, ctx);
         replayed += 1;
         if interval > 0 && replayed % interval == 0 {
             let snap = live.snapshot(&kernel, &spec);
-            println!("== after batch {replayed} ==");
-            render(&snap, rows);
+            // Under --json, stdout carries nothing but the final JSON
+            // document: progress snapshots go to stderr.
+            status(json, format_args!("== after batch {replayed} =="));
+            render(&snap, rows, json);
         }
     }
     if scan.damaged_bytes > 0 {
@@ -112,38 +126,60 @@ fn main() {
         println!("{}", final_json(&snap, replayed));
     } else {
         println!("== sealed ({replayed} batches) ==");
-        render(&snap, rows);
+        render(&snap, rows, false);
     }
 }
 
-fn render(snap: &SessionReport, rows: usize) {
+/// A human-readable status line: stdout normally, stderr under
+/// `--json` (stdout must stay machine-parseable).
+fn status(json: bool, line: std::fmt::Arguments<'_>) {
+    if json {
+        eprintln!("{line}");
+    } else {
+        println!("{line}");
+    }
+}
+
+fn render(snap: &SessionReport, rows: usize, to_stderr: bool) {
     let events: Vec<String> = snap.lines.events.iter().map(|e| format!("{e:?}")).collect();
-    println!("{:>8}  {:<22} {:<34} {}", "%", "image", "symbol", events.join(" / "));
+    status(
+        to_stderr,
+        format_args!("{:>8}  {:<22} {:<34} {}", "%", "image", "symbol", events.join(" / ")),
+    );
     for row in snap.lines.rows.iter().take(rows) {
         let counts: Vec<String> = row.counts.iter().map(u64::to_string).collect();
-        println!(
-            "{:>7.2}%  {:<22} {:<34} {}",
-            row.percents.first().copied().unwrap_or(0.0),
-            row.image,
-            row.symbol,
-            counts.join(" / ")
+        status(
+            to_stderr,
+            format_args!(
+                "{:>7.2}%  {:<22} {:<34} {}",
+                row.percents.first().copied().unwrap_or(0.0),
+                row.image,
+                row.symbol,
+                counts.join(" / ")
+            ),
         );
     }
     if snap.lines.rows.len() > rows {
-        println!("  ... {} more row(s)", snap.lines.rows.len() - rows);
+        status(
+            to_stderr,
+            format_args!("  ... {} more row(s)", snap.lines.rows.len() - rows),
+        );
     }
     let q = &snap.quality;
-    println!(
-        "  accounted {} = {} resolved + {} stale + {} unresolved + {} blocked \
-         + {} quarantined + {} dropped + {} evicted",
-        q.accounted(),
-        q.resolved,
-        q.stale_epoch,
-        q.unresolved,
-        q.cross_incarnation_blocked,
-        q.quarantined,
-        q.dropped,
-        q.evicted
+    status(
+        to_stderr,
+        format_args!(
+            "  accounted {} = {} resolved + {} stale + {} unresolved + {} blocked \
+             + {} quarantined + {} dropped + {} evicted",
+            q.accounted(),
+            q.resolved,
+            q.stale_epoch,
+            q.unresolved,
+            q.cross_incarnation_blocked,
+            q.quarantined,
+            q.dropped,
+            q.evicted
+        ),
     );
 }
 

@@ -1,0 +1,292 @@
+//! `viprof-trace` — causal trace inspection CLI.
+//!
+//! Reads the Chrome-trace JSON a session exported alongside its
+//! samples (`/var/log/viprof/trace.json` inside the session
+//! directory) and renders the causal span tree: which NMI window fed
+//! which drain, which drain fed which journal batch, where the GC
+//! pauses and agent map writes sat. With `--lineage` it re-runs the
+//! resolve pass and prints the sample-lineage table — every loss
+//! bucket broken down by the span where the loss occurred.
+//!
+//! ```text
+//! viprof-trace --selftest
+//! viprof-trace <session-dir> [--chrome] [--json] [--lineage] [--top <n>] [--threads <n>]
+//!
+//!   --chrome     print the canonical Chrome trace-event JSON
+//!                (load it at chrome://tracing or ui.perfetto.dev)
+//!   --json       print a structured span dump (ids, parents, layers,
+//!                fields) instead of the human tree
+//!   --lineage    re-resolve the exported database and print the
+//!                sample-lineage table
+//!   --top N      show the N span names with the largest total
+//!                duration, each with its log2 duration histogram
+//!   --threads N  shard count for the --lineage resolve pass (the
+//!                output is bit-identical for every N)
+//!   --selftest   run a fixed-seed synthetic session twice and check
+//!                trace determinism (byte-identical Chrome JSON across
+//!                runs and across resolve thread counts {1, 4}) plus
+//!                lineage reconciliation; exits non-zero on failure
+//! ```
+
+use viprof::{ReportSpec, Viprof};
+use viprof_telemetry::{log2_rows, TraceSnapshot};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: viprof-trace --selftest | <session-dir> \
+         [--chrome] [--json] [--lineage] [--top <n>] [--threads <n>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(first) = args.next() else { usage() };
+    if first == "--selftest" {
+        selftest();
+        return;
+    }
+
+    let dir = std::path::PathBuf::from(first);
+    let mut chrome = false;
+    let mut json = false;
+    let mut lineage = false;
+    let mut top = 0usize;
+    let mut threads = 1usize;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--chrome" => chrome = true,
+            "--json" => json = true,
+            "--lineage" => lineage = true,
+            "--top" => {
+                top = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+
+    let kernel = match Viprof::import_session(&dir) {
+        Ok(kernel) => kernel,
+        Err(e) => {
+            eprintln!("viprof-trace: {e}");
+            std::process::exit(1);
+        }
+    };
+    let snap = match kernel.vfs.read(oprofile::TRACE_PATH) {
+        Some(raw) => match std::str::from_utf8(raw)
+            .map_err(|e| e.to_string())
+            .and_then(|text| TraceSnapshot::from_chrome_json(text))
+        {
+            Ok(snap) => snap,
+            Err(e) => {
+                eprintln!("viprof-trace: corrupt trace export: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            eprintln!(
+                "viprof-trace: no trace at {} (pre-tracing export?)",
+                oprofile::TRACE_PATH
+            );
+            std::process::exit(1);
+        }
+    };
+
+    if chrome {
+        // Re-serialize: canonical form regardless of on-disk formatting.
+        println!("{}", snap.to_chrome_json());
+        return;
+    }
+    if json {
+        println!("{}", span_dump_json(&snap));
+        return;
+    }
+
+    println!("session {} — {} span(s)", dir.display(), snap.spans.len());
+    for root in snap.roots() {
+        print_tree(&snap, root.id, 0);
+    }
+    if top > 0 {
+        print_top(&snap, top);
+    }
+    if lineage {
+        let report = kernel
+            .vfs
+            .read(oprofile::SAMPLES_PATH)
+            .ok_or_else(|| "no sample database in session".to_string())
+            .and_then(|raw| {
+                oprofile::SampleDb::from_bytes(raw)
+                    .map_err(|e| format!("corrupt sample database: {e}"))
+            })
+            .and_then(|db| {
+                let spec = ReportSpec::default().threads(threads);
+                Viprof::make_report(&db, &kernel, &spec).map_err(|e| e.to_string())
+            });
+        match report {
+            Ok(report) => {
+                println!("== sample lineage ==");
+                print!("{}", report.lineage.render_text());
+            }
+            Err(e) => {
+                eprintln!("viprof-trace: cannot build lineage: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn print_tree(snap: &TraceSnapshot, id: u64, depth: usize) {
+    let Some(s) = snap.span(id) else { return };
+    let fields: Vec<String> = s.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    println!(
+        "{:indent$}{} [{}] {}..{} ({} cycles) {}",
+        "",
+        s.name,
+        s.layer.label(),
+        s.begin,
+        s.end,
+        s.duration(),
+        fields.join(" "),
+        indent = depth * 2
+    );
+    for child in snap.children(id) {
+        print_tree(snap, child.id, depth + 1);
+    }
+}
+
+/// The N span names with the largest total duration, each with its
+/// per-bucket log2 duration rows (formatting shared with
+/// `viprof-stat --histograms` via [`log2_rows`]).
+fn print_top(snap: &TraceSnapshot, top: usize) {
+    let mut totals: Vec<(String, u64, u64)> = Vec::new();
+    for s in &snap.spans {
+        match totals.iter_mut().find(|(name, _, _)| *name == s.name) {
+            Some(row) => {
+                row.1 += s.duration();
+                row.2 += 1;
+            }
+            None => totals.push((s.name.clone(), s.duration(), 1)),
+        }
+    }
+    totals.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    println!("== top {} span name(s) by total duration ==", top.min(totals.len()));
+    for (name, total, count) in totals.iter().take(top) {
+        println!("  {name} — {count} span(s), {total} cycles");
+        for row in log2_rows(&snap.duration_buckets(Some(name))) {
+            println!("    {row}");
+        }
+    }
+}
+
+fn span_dump_json(snap: &TraceSnapshot) -> String {
+    let spans: Vec<serde_json::Value> = snap
+        .spans
+        .iter()
+        .map(|s| {
+            serde_json::json!({
+                "id": s.id,
+                "parent": s.parent,
+                "trace": s.trace,
+                "layer": s.layer.label(),
+                "name": s.name,
+                "begin": s.begin,
+                "end": s.end,
+                "fields": s.fields.iter().cloned().collect::<std::collections::BTreeMap<String, u64>>(),
+            })
+        })
+        .collect();
+    let value = serde_json::json!({ "spans": spans });
+    serde_json::to_string_pretty(&value).expect("trace serializes")
+}
+
+/// Fixed-seed determinism smoke, run by `scripts/verify.sh`:
+///
+/// * two identical sessions export byte-identical Chrome trace JSON;
+/// * the resolve pass's trace and lineage are byte-identical across
+///   thread counts {1, 4};
+/// * every lineage bucket total reconciles exactly with the
+///   [`viprof::ResolutionQuality`] counts.
+fn selftest() {
+    use oprofile::OpConfig;
+    use sim_cpu::{BlockExec, CpuMode};
+    use sim_os::{Machine, MachineConfig};
+
+    let run = || {
+        let mut m = Machine::new(MachineConfig {
+            seed: 2007,
+            ..MachineConfig::default()
+        });
+        let pid = m.kernel.spawn("selftest");
+        let vp = Viprof::builder()
+            .config(OpConfig::time_at(10_000))
+            .journal(true)
+            .start(&mut m);
+        m.exec(&BlockExec::compute(
+            pid,
+            CpuMode::User,
+            (0x1000, 0x2000),
+            1_000_000,
+        ));
+        let db = vp.stop(&mut m);
+        (m, db)
+    };
+
+    let (m1, db) = run();
+    let (m2, _) = run();
+    let raw1 = m1
+        .kernel
+        .vfs
+        .read(oprofile::TRACE_PATH)
+        .expect("session exports a trace");
+    let raw2 = m2.kernel.vfs.read(oprofile::TRACE_PATH).unwrap();
+    assert_eq!(raw1, raw2, "fixed seed exports byte-identical trace JSON");
+    let text = std::str::from_utf8(raw1).expect("trace is utf-8");
+    let snap = TraceSnapshot::from_chrome_json(text).expect("trace parses");
+    assert_eq!(snap.to_chrome_json(), text, "canonical JSON round-trips");
+    assert_eq!(snap.roots().len(), 1, "one session root");
+    assert!(
+        snap.spans.iter().any(|s| s.parent != 0),
+        "pipeline spans hang off the root"
+    );
+
+    let mut reports = Vec::new();
+    for threads in [1usize, 4] {
+        let spec = ReportSpec::default().threads(threads);
+        let report = Viprof::make_report(&db, &m1.kernel, &spec).expect("resolve succeeds");
+        let q = &report.quality;
+        for (bucket, want) in [
+            ("dropped", q.dropped),
+            ("evicted", q.evicted),
+            ("quarantined", q.quarantined),
+            ("blocked", q.cross_incarnation_blocked),
+        ] {
+            assert_eq!(
+                report.lineage.total(bucket),
+                want,
+                "lineage {bucket} reconciles at {threads} thread(s)"
+            );
+        }
+        reports.push(report);
+    }
+    assert_eq!(
+        reports[0].trace.to_chrome_json(),
+        reports[1].trace.to_chrome_json(),
+        "resolve trace is byte-identical across thread counts"
+    );
+    assert_eq!(reports[0].lineage, reports[1].lineage);
+    println!(
+        "viprof-trace: selftest ok ({} runtime span(s), {} resolve span(s), {} lineage row(s))",
+        snap.spans.len(),
+        reports[0].trace.spans.len(),
+        reports[0].lineage.entries.len()
+    );
+}

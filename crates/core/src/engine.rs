@@ -28,15 +28,19 @@ use crate::flatindex::FlatIndex;
 use crate::resolve::{IncarnationSummary, ResolutionQuality, ViprofResolver};
 use crate::session::{ReportSpec, SessionReport};
 use oprofile::report::{bucket_label, finish_report, report_events, Report, ReportOptions};
-use oprofile::{SampleBucket, SampleDb, SampleOrigin};
+use oprofile::{SampleBucket, SampleDb, SampleOrigin, SAMPLE_JOURNAL_PATH};
 use sim_cpu::{HwEvent, Pid, ProcKey};
 use sim_jvm::bootimage::{BOOT_IMAGE_NAME, RVM_MAP_IMAGE_LABEL};
+use sim_os::journal::{self, split_traced_payload, KIND_SAMPLE_BATCH_TRACED};
 use sim_os::{ImageId, Kernel};
 use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
-use viprof_telemetry::{names, Counter, Gauge, Histogram, Stage, Telemetry};
+use viprof_telemetry::{
+    names, Counter, Gauge, Histogram, LineageTable, SpanStore, Stage, Telemetry, TraceCtx,
+    TraceLayer, TraceSnapshot, DEFAULT_SPAN_CAPACITY,
+};
 
 /// How a bucket classified, mirroring the [`ResolutionQuality`]
 /// buckets.
@@ -530,13 +534,182 @@ impl ResolutionEngine {
             .as_ref()
             .map(|t| t.registry.snapshot())
             .unwrap_or_else(|| Telemetry::new().snapshot());
+        let (lineage, trace) = if spec.trace {
+            Self::lineage_and_trace(kernel, &quality, &incarnations)
+        } else {
+            (LineageTable::default(), TraceSnapshot::default())
+        };
         SessionReport {
             lines,
             quality,
             recovery: None,
             incarnations,
             telemetry,
+            lineage,
+            trace,
         }
+    }
+
+    /// Decompose every [`ResolutionQuality`] loss bucket by causal
+    /// span, and record the resolve pass's own span tree.
+    ///
+    /// The trace runs on a *work-unit pseudo-clock* (one tick per
+    /// logical step), never wall or sim time, and never emits
+    /// per-worker spans — so the same `(journal, quality,
+    /// incarnations)` inputs produce a byte-identical trace at every
+    /// thread count, and batch vs sealed-live agree exactly.
+    ///
+    /// Reconciliation is by construction: dropped/evicted samples are
+    /// attributed per traced journal batch (deduplicated by sequence
+    /// number) only when the journaled sums do not exceed the
+    /// authoritative quality counts; any remainder — or, on
+    /// disagreement, the whole count — lands on the ingest span as an
+    /// `untraced` row. Per bucket, the lineage total therefore always
+    /// equals the quality count exactly.
+    fn lineage_and_trace(
+        kernel: &Kernel,
+        quality: &ResolutionQuality,
+        incarnations: &[IncarnationSummary],
+    ) -> (LineageTable, TraceSnapshot) {
+        use viprof_telemetry::trace::{
+            LINEAGE_BLOCKED, LINEAGE_DROPPED, LINEAGE_EVICTED, LINEAGE_QUARANTINED,
+        };
+        let mut store = SpanStore::new(DEFAULT_SPAN_CAPACITY);
+        let mut now = 0u64;
+        let (root, _) = store.begin(TraceLayer::Resolve, names::SPAN_RESOLVE, None, now);
+        let mut lineage = LineageTable::default();
+
+        // Traced journal batches: `(seq, runtime span ctx, dropped,
+        // evicted)`, deduplicated by sequence number (a supervisor
+        // replay appends the same seq twice).
+        let mut batches: Vec<(u64, TraceCtx, u64, u64)> = Vec::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        if let Some(scan) = journal::scan(&kernel.vfs, SAMPLE_JOURNAL_PATH) {
+            for rec in &scan.records {
+                if rec.kind != KIND_SAMPLE_BATCH_TRACED {
+                    continue;
+                }
+                let Some((ctx, body)) = split_traced_payload(&rec.payload) else {
+                    continue;
+                };
+                if !seen.insert(rec.seq) {
+                    continue;
+                }
+                if let Ok(batch) = SampleDb::from_bytes(body) {
+                    batches.push((rec.seq, ctx, batch.dropped, batch.evicted));
+                }
+            }
+        }
+        let journaled_dropped: u64 = batches.iter().map(|b| b.2).sum();
+        let journaled_evicted: u64 = batches.iter().map(|b| b.3).sum();
+        let drop_per_batch = journaled_dropped <= quality.dropped;
+        let evict_per_batch = journaled_evicted <= quality.evicted;
+        let (ingest, _) =
+            store.begin(TraceLayer::Resolve, names::SPAN_RESOLVE_INGEST, Some(root), now);
+        for (seq, ctx, dropped, evicted) in &batches {
+            now += 1;
+            let label = format!("journal batch seq {seq}");
+            if drop_per_batch {
+                lineage.push(
+                    LINEAGE_DROPPED,
+                    TraceLayer::Journal,
+                    Some(*ctx),
+                    label.as_str(),
+                    *dropped,
+                );
+            }
+            if evict_per_batch {
+                lineage.push(LINEAGE_EVICTED, TraceLayer::Journal, Some(*ctx), label, *evicted);
+            }
+        }
+        store.end(ingest, now, &[("batches", batches.len() as u64)]);
+        let rem_dropped =
+            quality.dropped - if drop_per_batch { journaled_dropped } else { 0 };
+        let rem_evicted =
+            quality.evicted - if evict_per_batch { journaled_evicted } else { 0 };
+        lineage.push(LINEAGE_DROPPED, TraceLayer::Resolve, Some(ingest), "untraced", rem_dropped);
+        lineage.push(LINEAGE_EVICTED, TraceLayer::Resolve, Some(ingest), "untraced", rem_evicted);
+
+        // Blocked samples: one row per incarnation, provided the
+        // per-row classification reconciles with the merged quality (a
+        // quarantined shard hides some classifications — fall back to
+        // one aggregate row attributed to the resolve pass).
+        let rows_blocked: u64 = incarnations.iter().map(|r| r.blocked).sum();
+        if rows_blocked == quality.cross_incarnation_blocked {
+            for row in incarnations.iter().filter(|r| r.blocked > 0) {
+                let (span, _) = store.begin(
+                    TraceLayer::Resolve,
+                    names::SPAN_RESOLVE_INCARNATION,
+                    Some(root),
+                    now,
+                );
+                now += 1;
+                store.end(
+                    span,
+                    now,
+                    &[
+                        ("pid", row.pid as u64),
+                        ("gen", row.gen as u64),
+                        ("blocked", row.blocked),
+                    ],
+                );
+                lineage.push(
+                    LINEAGE_BLOCKED,
+                    TraceLayer::Resolve,
+                    Some(span),
+                    format!("pid {} gen {}", row.pid, row.gen),
+                    row.blocked,
+                );
+            }
+        } else if quality.cross_incarnation_blocked > 0 {
+            let (span, _) = store.begin(
+                TraceLayer::Resolve,
+                names::SPAN_RESOLVE_INCARNATION,
+                Some(root),
+                now,
+            );
+            now += 1;
+            store.end(span, now, &[("blocked", quality.cross_incarnation_blocked)]);
+            lineage.push(
+                LINEAGE_BLOCKED,
+                TraceLayer::Resolve,
+                Some(span),
+                "aggregate",
+                quality.cross_incarnation_blocked,
+            );
+        }
+
+        // Quarantine is a resolve-side loss: one total row against the
+        // shard pass (per-worker spans would break thread invariance).
+        if quality.quarantined > 0 {
+            let (span, _) = store.begin(
+                TraceLayer::Resolve,
+                names::SPAN_RESOLVE_SHARDS,
+                Some(root),
+                now,
+            );
+            now += 1;
+            store.end(span, now, &[("quarantined", quality.quarantined)]);
+            lineage.push(
+                LINEAGE_QUARANTINED,
+                TraceLayer::Resolve,
+                Some(span),
+                "shard quarantine",
+                quality.quarantined,
+            );
+        }
+        store.end(
+            root,
+            now,
+            &[
+                ("accounted", quality.accounted()),
+                ("dropped", quality.dropped),
+                ("evicted", quality.evicted),
+                ("quarantined", quality.quarantined),
+                ("blocked", quality.cross_incarnation_blocked),
+            ],
+        );
+        (lineage, store.snapshot())
     }
 
     /// Per-incarnation breakdown of `db`'s JIT samples, sorted by
@@ -1020,5 +1193,80 @@ mod tests {
         assert!(report.rows.is_empty());
         assert_eq!(q, resolver.quality(&db));
         assert_eq!(q.quarantined_lines, 1);
+    }
+
+    #[test]
+    fn lineage_reconciles_with_quality_and_is_thread_invariant() {
+        let (k, pid) = setup();
+        let mut db = mixed_db(&k, pid);
+        db.evicted = 9;
+        let (resolver, _) = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap();
+        let mut first: Option<SessionReport> = None;
+        for threads in [1, 4] {
+            let mut engine = ResolutionEngine::build(&resolver);
+            let spec = ReportSpec::default().threads(threads);
+            let report = engine.resolve(&db, &k, &spec);
+            let q = &report.quality;
+            assert_eq!(report.lineage.total("dropped"), q.dropped);
+            assert_eq!(report.lineage.total("evicted"), q.evicted);
+            assert_eq!(report.lineage.total("quarantined"), q.quarantined);
+            assert_eq!(
+                report.lineage.total("blocked"),
+                q.cross_incarnation_blocked
+            );
+            assert!(report.trace.roots().len() == 1);
+            if let Some(prev) = &first {
+                assert_eq!(prev.lineage, report.lineage, "threads={threads}");
+                assert_eq!(
+                    prev.trace.to_chrome_json(),
+                    report.trace.to_chrome_json(),
+                    "threads={threads}"
+                );
+            }
+            first = Some(report);
+        }
+        // spec.trace == false skips the pass entirely.
+        let mut engine = ResolutionEngine::build(&resolver);
+        let report = engine.resolve(&db, &k, &ReportSpec::default().with_trace(false));
+        assert_eq!(report.lineage, LineageTable::default());
+        assert_eq!(report.trace, TraceSnapshot::default());
+    }
+
+    #[test]
+    fn lineage_attributes_losses_to_journaled_batches() {
+        let (mut k, pid) = setup();
+        let mut db = mixed_db(&k, pid);
+        db.dropped = 7;
+        db.evicted = 4;
+        // Two traced journal batches carrying (dropped, evicted) =
+        // (3, 1) and (2, 3): dropped sums to 5 < 7 (remainder 2 goes
+        // untraced), evicted sums to 4 == 4 (fully attributed).
+        let mut writer =
+            sim_os::journal::JournalWriter::create(&mut k.vfs, SAMPLE_JOURNAL_PATH);
+        let mut batch1 = SampleDb::new();
+        batch1.dropped = 3;
+        batch1.evicted = 1;
+        let mut batch2 = SampleDb::new();
+        batch2.dropped = 2;
+        batch2.evicted = 3;
+        for (i, b) in [&batch1, &batch2].into_iter().enumerate() {
+            let ctx = TraceCtx {
+                trace: 0xAB,
+                span: 0x100 + i as u64,
+            };
+            writer.append(
+                &mut k.vfs,
+                KIND_SAMPLE_BATCH_TRACED,
+                &journal::encode_traced_payload(ctx, &b.to_bytes()),
+            );
+        }
+        let (resolver, _) = ViprofResolver::load_with(&k, ResolveOptions::default()).unwrap();
+        let mut engine = ResolutionEngine::build(&resolver);
+        let report = engine.resolve(&db, &k, &ReportSpec::default());
+        assert_eq!(report.lineage.total("dropped"), 7);
+        assert_eq!(report.lineage.total("evicted"), 4);
+        let text = report.lineage.render_text();
+        assert!(text.contains("journal batch seq"), "{text}");
+        assert!(text.contains("untraced"), "{text}");
     }
 }

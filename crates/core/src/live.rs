@@ -45,9 +45,9 @@ use oprofile::{SampleDb, SampleOrigin, SinkHandle, SAMPLE_JOURNAL_PATH};
 use parking_lot::Mutex;
 use sim_cpu::ProcKey;
 use sim_jvm::bootimage::{BOOT_IMAGE_NAME, RVM_MAP_PATH};
-use sim_os::journal::{self, KIND_SAMPLE_BATCH};
+use sim_os::journal::{self, split_traced_payload, KIND_SAMPLE_BATCH, KIND_SAMPLE_BATCH_TRACED};
 use sim_os::{ImageId, Kernel};
-use viprof_telemetry::{names, Counter, Stage, Telemetry};
+use viprof_telemetry::{names, Counter, Stage, Telemetry, TraceCtx, TraceLayer};
 
 use crate::bootmap::BootMap;
 use crate::codemap::{parse_map, CodeMapSet, EpochMap, JIT_MAP_DIR};
@@ -146,6 +146,10 @@ pub struct LiveEngine {
     boot_image: Option<ImageId>,
     sealed: bool,
     telemetry: Option<LiveTelemetry>,
+    /// Causal parent for spans emitted during the current ingest: the
+    /// daemon's drain span while an `on_batch` is in flight, the
+    /// session root during `seal`'s replay, `None` otherwise.
+    span_parent: Option<TraceCtx>,
 }
 
 impl std::fmt::Debug for LiveEngine {
@@ -172,6 +176,18 @@ impl LiveEngine {
             boot_image: None,
             sealed: false,
             telemetry: None,
+            span_parent: None,
+        }
+    }
+
+    /// Emit one instant live-layer span (begin == end at the registry's
+    /// current sim time), parented to the in-flight drain span when the
+    /// daemon provided one, else to the session root.
+    fn live_span(&self, name: &'static str, fields: &[(&str, u64)]) {
+        if let Some(t) = &self.telemetry {
+            let parent = self.span_parent.or_else(|| t.registry.trace_root());
+            let ctx = t.registry.trace_begin(TraceLayer::Live, name, parent);
+            t.registry.trace_end(ctx, fields);
         }
     }
 
@@ -220,7 +236,15 @@ impl LiveEngine {
     /// journal sequence number when journaling is on; a sequence seen
     /// before (supervisor restart replaying the write-ahead log) is
     /// dropped.
-    pub fn on_batch(&mut self, kernel: &Kernel, seq: Option<u64>, batch: &SampleDb) {
+    /// `ctx` is the daemon's drain span: live spans emitted while this
+    /// batch is processed (extends, rebuilds, freezes) chain to it.
+    pub fn on_batch(
+        &mut self,
+        kernel: &Kernel,
+        seq: Option<u64>,
+        batch: &SampleDb,
+        ctx: Option<TraceCtx>,
+    ) {
         if self.sealed {
             return;
         }
@@ -229,12 +253,14 @@ impl LiveEngine {
                 return;
             }
         }
+        self.span_parent = ctx;
         self.batches += 1;
         self.db.merge(batch);
         self.note_samples(kernel, batch);
         self.refresh_boot(kernel);
         self.rescan_all(kernel, false);
         self.freeze_dead(kernel);
+        self.span_parent = None;
         if let Some(t) = &self.telemetry {
             t.batches.inc();
             t.registry.event(
@@ -261,12 +287,22 @@ impl LiveEngine {
             return;
         }
         self.sealed = true;
+        self.span_parent = self
+            .telemetry
+            .as_ref()
+            .and_then(|t| t.registry.trace_root());
         if let Some(scan) = journal::scan(&kernel.vfs, SAMPLE_JOURNAL_PATH) {
             for rec in &scan.records {
-                if rec.kind != KIND_SAMPLE_BATCH || !self.applied.insert(rec.seq) {
+                let body = match rec.kind {
+                    KIND_SAMPLE_BATCH => Some(&rec.payload[..]),
+                    KIND_SAMPLE_BATCH_TRACED => split_traced_payload(&rec.payload).map(|(_, b)| b),
+                    _ => None,
+                };
+                let Some(body) = body else { continue };
+                if !self.applied.insert(rec.seq) {
                     continue;
                 }
-                if let Ok(batch) = SampleDb::from_bytes(&rec.payload) {
+                if let Ok(batch) = SampleDb::from_bytes(body) {
                     self.batches += 1;
                     self.db.merge(&batch);
                     self.note_samples(kernel, &batch);
@@ -275,6 +311,7 @@ impl LiveEngine {
         }
         self.refresh_boot(kernel);
         self.rescan_all(kernel, true);
+        self.span_parent = None;
     }
 
     /// Produce a full report from the current live state. Runs the
@@ -470,6 +507,16 @@ impl LiveEngine {
             if let Some(t) = &self.telemetry {
                 t.extends.add(extended);
             }
+            if extended > 0 {
+                self.live_span(
+                    names::SPAN_LIVE_EXTEND,
+                    &[
+                        ("pid", key.pid.0 as u64),
+                        ("gen", key.gen as u64),
+                        ("epochs", extended),
+                    ],
+                );
+            }
             if ok {
                 return;
             }
@@ -495,10 +542,19 @@ impl LiveEngine {
                 st.quarantined_lines = set.quarantined_lines;
                 st.skipped_files = set.skipped_files;
                 st.dropped = false;
+                let epochs = st.epochs.len() as u64;
                 self.engine.insert_index(key, FlatIndex::build(&set));
                 if let Some(t) = &self.telemetry {
                     t.rebuilds.inc();
                 }
+                self.live_span(
+                    names::SPAN_LIVE_REBUILD,
+                    &[
+                        ("pid", key.pid.0 as u64),
+                        ("gen", key.gen as u64),
+                        ("epochs", epochs),
+                    ],
+                );
             }
             Err(_) => {
                 // Directory has files but none usable — the batch
@@ -551,6 +607,15 @@ impl LiveEngine {
                     ],
                 );
             }
+            self.live_span(
+                names::SPAN_LIVE_FREEZE,
+                &[
+                    ("pid", key.pid.0 as u64),
+                    ("gen", key.gen as u64),
+                    ("samples", samples),
+                    ("dropped", dropped as u64),
+                ],
+            );
         }
     }
 }
@@ -559,8 +624,14 @@ impl LiveEngine {
 pub struct LiveSink(pub Arc<Mutex<LiveEngine>>);
 
 impl DrainSink for LiveSink {
-    fn on_batch(&mut self, kernel: &Kernel, seq: Option<u64>, batch: &SampleDb) {
-        self.0.lock().on_batch(kernel, seq, batch);
+    fn on_batch(
+        &mut self,
+        kernel: &Kernel,
+        seq: Option<u64>,
+        batch: &SampleDb,
+        ctx: Option<TraceCtx>,
+    ) {
+        self.0.lock().on_batch(kernel, seq, batch, ctx);
     }
 }
 
@@ -626,9 +697,9 @@ mod tests {
         let mut live = LiveEngine::new(LiveSpec::new());
 
         write_map(&mut kernel, key, 0, &[entry(0x2000_0000, 0x100, "A.run()V")]);
-        live.on_batch(&kernel, Some(0), &jit_batch(key, 0x2000_0010, 0, 5));
+        live.on_batch(&kernel, Some(0), &jit_batch(key, 0x2000_0010, 0, 5), None);
         write_map(&mut kernel, key, 1, &[entry(0x2000_0200, 0x80, "B.run()V")]);
-        live.on_batch(&kernel, Some(1), &jit_batch(key, 0x2000_0210, 1, 3));
+        live.on_batch(&kernel, Some(1), &jit_batch(key, 0x2000_0210, 1, 3), None);
 
         assert_eq!(live.batches(), 2);
         snap_equals_batch(&mut live, &kernel);
@@ -643,8 +714,8 @@ mod tests {
 
         let mut live = LiveEngine::new(LiveSpec::new());
         let batch = jit_batch(key, 0x2000_0010, 0, 7);
-        live.on_batch(&kernel, Some(3), &batch);
-        live.on_batch(&kernel, Some(3), &batch); // supervisor replay
+        live.on_batch(&kernel, Some(3), &batch, None);
+        live.on_batch(&kernel, Some(3), &batch, None); // supervisor replay
         assert_eq!(live.batches(), 1);
         assert_eq!(live.db().total_samples(), 7);
     }
@@ -657,10 +728,10 @@ mod tests {
         let mut live = LiveEngine::new(LiveSpec::new());
 
         write_map(&mut kernel, key, 2, &[entry(0x2000_0000, 0x100, "C.run()V")]);
-        live.on_batch(&kernel, Some(0), &jit_batch(key, 0x2000_0010, 2, 2));
+        live.on_batch(&kernel, Some(0), &jit_batch(key, 0x2000_0010, 2, 2), None);
         // An older epoch appears late (torn agent flush): rebuild path.
         write_map(&mut kernel, key, 1, &[entry(0x2000_0000, 0x100, "B.run()V")]);
-        live.on_batch(&kernel, Some(1), &jit_batch(key, 0x2000_0010, 1, 2));
+        live.on_batch(&kernel, Some(1), &jit_batch(key, 0x2000_0010, 1, 2), None);
 
         snap_equals_batch(&mut live, &kernel);
     }
@@ -674,10 +745,10 @@ mod tests {
 
         let other = kernel.spawn("other");
         let mut live = LiveEngine::new(LiveSpec::new());
-        live.on_batch(&kernel, Some(0), &jit_batch(key, 0x2000_0010, 0, 4));
+        live.on_batch(&kernel, Some(0), &jit_batch(key, 0x2000_0010, 0, 4), None);
         kernel.exit_process(pid);
         // Key has samples: frozen but index retained.
-        live.on_batch(&kernel, Some(1), &jit_batch(ProcKey::from(other), 0, 0, 0));
+        live.on_batch(&kernel, Some(1), &jit_batch(ProcKey::from(other), 0, 0, 0), None);
         assert!(live.keys[&key].frozen);
         assert!(!live.keys[&key].dropped);
         snap_equals_batch(&mut live, &kernel);
@@ -699,7 +770,7 @@ mod tests {
         writer.append(&mut kernel.vfs, KIND_SAMPLE_BATCH, &missed.to_bytes());
 
         let mut live = LiveEngine::new(LiveSpec::new());
-        live.on_batch(&kernel, Some(seq0), &delivered);
+        live.on_batch(&kernel, Some(seq0), &delivered, None);
         assert_eq!(live.db().total_samples(), 5);
         live.seal(&kernel);
         // The record the sink never saw is merged exactly once.

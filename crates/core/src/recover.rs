@@ -33,7 +33,9 @@
 use crate::codemap::{journal_path, parse_map, CodeMapSet, EpochMap, ParsedMap, JIT_MAP_DIR};
 use oprofile::{SampleDb, SAMPLE_JOURNAL_PATH};
 use sim_cpu::ProcKey;
-use sim_os::journal::{self, KIND_CODE_MAP, KIND_SAMPLE_BATCH};
+use sim_os::journal::{
+    self, split_traced_payload, KIND_CODE_MAP, KIND_SAMPLE_BATCH, KIND_SAMPLE_BATCH_TRACED,
+};
 use sim_os::Vfs;
 use std::collections::BTreeMap;
 
@@ -184,10 +186,21 @@ pub fn recover_sample_db(vfs: &Vfs) -> Option<RecoveredDb> {
         ..RecoveredDb::default()
     };
     for r in &scan.records {
-        if r.kind != KIND_SAMPLE_BATCH {
+        // Both the untagged v1 record and the traced v3 record carry a
+        // SampleDb body; the trace header (when present) is 16 bytes of
+        // span identity in front of it.
+        let body = match r.kind {
+            KIND_SAMPLE_BATCH => Some(&r.payload[..]),
+            KIND_SAMPLE_BATCH_TRACED => split_traced_payload(&r.payload).map(|(_, b)| b),
+            _ => None,
+        };
+        let Some(body) = body else {
+            if r.kind == KIND_SAMPLE_BATCH_TRACED {
+                out.bad_batches += 1;
+            }
             continue;
-        }
-        match SampleDb::from_bytes(&r.payload) {
+        };
+        match SampleDb::from_bytes(body) {
             Ok(batch) => {
                 out.db.merge(&batch);
                 out.batches += 1;
@@ -335,6 +348,40 @@ mod tests {
         want.merge(&batch2);
         assert_eq!(got.db, want);
         assert_eq!(got.db.dropped, 3);
+    }
+
+    #[test]
+    fn sample_db_rebuild_accepts_traced_and_v1_records_mixed() {
+        use sim_os::journal::encode_traced_payload;
+        use viprof_telemetry::TraceCtx;
+        let mut vfs = Vfs::new();
+        let bucket = |addr| SampleBucket {
+            origin: SampleOrigin::Unknown,
+            event: HwEvent::Cycles,
+            addr,
+            epoch: 0,
+        };
+        let mut batch1 = SampleDb::new();
+        batch1.add(bucket(0x100), 4);
+        let mut batch2 = SampleDb::new();
+        batch2.add(bucket(0x200), 2);
+        let mut w = JournalWriter::create(&mut vfs, SAMPLE_JOURNAL_PATH);
+        // An old untagged record followed by a traced one: replay reads
+        // both — the header is stripped, not merged into the db.
+        w.append(&mut vfs, KIND_SAMPLE_BATCH, &batch1.to_bytes());
+        let ctx = TraceCtx { trace: 7, span: 9 };
+        w.append(
+            &mut vfs,
+            KIND_SAMPLE_BATCH_TRACED,
+            &encode_traced_payload(ctx, &batch2.to_bytes()),
+        );
+        let got = recover_sample_db(&vfs).unwrap();
+        assert_eq!(got.batches, 2);
+        assert_eq!(got.bad_batches, 0);
+        let mut want = SampleDb::new();
+        want.merge(&batch1);
+        want.merge(&batch2);
+        assert_eq!(got.db, want);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use sim_cpu::CostModel;
 use sim_os::{crc32, Kernel, Machine, Vfs};
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use viprof_telemetry::{names, Telemetry, TelemetrySnapshot};
+use viprof_telemetry::{names, LineageTable, Telemetry, TelemetrySnapshot, TraceSnapshot};
 
 /// Builder for a VIProf session — the single way to express every
 /// start-time combination that used to be spread over
@@ -131,7 +131,7 @@ impl SessionBuilder {
 }
 
 /// What [`Viprof::make_report`] should produce.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct ReportSpec {
     /// Row shaping: event columns, percent floor, row cap.
@@ -146,6 +146,22 @@ pub struct ReportSpec {
     /// named pid's buckets panic mid-resolution, exercising the
     /// engine's catch-unwind fallback and quarantine accounting.
     pub poison: Option<crate::engine::ShardPoison>,
+    /// Build the causal lineage table and resolve-side trace (on by
+    /// default; the bench overhead gate turns it off to measure the
+    /// flat path).
+    pub trace: bool,
+}
+
+impl Default for ReportSpec {
+    fn default() -> ReportSpec {
+        ReportSpec {
+            options: ReportOptions::default(),
+            recover: false,
+            threads: 0,
+            poison: None,
+            trace: true,
+        }
+    }
 }
 
 impl ReportSpec {
@@ -178,6 +194,12 @@ impl ReportSpec {
         self.poison = Some(poison);
         self
     }
+
+    /// Toggle lineage/trace construction.
+    pub fn with_trace(mut self, trace: bool) -> ReportSpec {
+        self.trace = trace;
+        self
+    }
 }
 
 /// Everything one post-processing pass produces.
@@ -203,6 +225,17 @@ pub struct SessionReport {
     /// cycles, so this too is identical across same-seed runs and
     /// thread counts.
     pub telemetry: TelemetrySnapshot,
+    /// Causal attribution of every `quality` loss bucket: per bucket,
+    /// the entry sum equals the quality count exactly — dropped and
+    /// evicted samples point back to the journal span that persisted
+    /// the losing drain, blocked samples to their incarnation, and
+    /// quarantined samples to the shard pass. Empty when
+    /// [`ReportSpec::trace`] is off.
+    pub lineage: LineageTable,
+    /// The resolve pass's own span tree (work-unit pseudo-time, so it
+    /// is byte-identical across thread counts and batch-vs-live).
+    /// Empty when [`ReportSpec::trace`] is off.
+    pub trace: TraceSnapshot,
 }
 
 /// A running VIProf session: OProfile with the runtime-profiler

@@ -14,12 +14,12 @@ use crate::governor::{DeadlineVerdict, Governor, GovernorDecision};
 use crate::samples::{SampleDb, SampleOrigin};
 use parking_lot::Mutex;
 use sim_cpu::{Addr, BlockExec, CostModel, CpuMode, HwEvent, MemActivity, Pid};
-use sim_os::journal::{JournalWriter, KIND_SAMPLE_BATCH};
+use sim_os::journal::{encode_traced_payload, JournalWriter, KIND_SAMPLE_BATCH, KIND_SAMPLE_BATCH_TRACED};
 use sim_os::loader::BIN_HINT;
 use sim_os::{Image, Kernel, Loader, MachineCtx, MachineService, Symbol, Vfs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use viprof_telemetry::{names, Counter, Gauge, Histogram, Stage, Telemetry};
+use viprof_telemetry::{names, Counter, Gauge, Histogram, Stage, Telemetry, TraceCtx, TraceLayer};
 
 /// Telemetry handles for the drain path, resolved once at attach.
 struct DaemonTelemetry {
@@ -105,6 +105,52 @@ impl DaemonTelemetry {
             );
         }
     }
+
+    /// Open the causal spans for one landed drain: the NMI sampling
+    /// window that just closed (retroactive — it began when the
+    /// previous drain ended) and the drain itself as its child.
+    /// `redrain` marks the supervisor's out-of-schedule catch-up.
+    /// Returns the drain span, the parent for the journal append and
+    /// everything downstream (live sink, lineage).
+    fn begin_drain_spans(
+        &self,
+        window_begin: u64,
+        now: u64,
+        occupancy: u64,
+        redrain: bool,
+    ) -> TraceCtx {
+        let root = self.registry.trace_root();
+        let window = self.registry.trace_begin_at(
+            window_begin.min(now),
+            TraceLayer::Nmi,
+            names::SPAN_NMI_WINDOW,
+            root,
+        );
+        self.registry
+            .trace_end_at(now, window, &[("occupancy", occupancy)]);
+        let (layer, name) = if redrain {
+            (TraceLayer::Redrain, names::SPAN_SUPERVISOR_REDRAIN)
+        } else {
+            (TraceLayer::Drain, names::SPAN_DAEMON_DRAIN)
+        };
+        self.registry.trace_begin_at(now, layer, name, Some(window))
+    }
+
+    /// Close a drain span opened by [`Self::begin_drain_spans`] at the
+    /// virtual time the drain's charged cycles end, carrying the
+    /// batch's full loss accounting.
+    fn end_drain_span(&self, drain: TraceCtx, end: u64, batch: &SampleDb, dead: u64) {
+        self.registry.trace_end_at(
+            end,
+            drain,
+            &[
+                ("samples", batch.total_samples()),
+                ("dropped", batch.dropped),
+                ("evicted", batch.evicted),
+                ("dead", dead),
+            ],
+        );
+    }
 }
 
 /// OS image name of the daemon binary.
@@ -116,8 +162,16 @@ pub const DAEMON_IMAGE: &str = "oprofiled";
 /// samples or loss accounting (trivial empty windows are skipped, the
 /// same rule the journal applies). `seq` is the journal sequence number
 /// of the batch's record, `None` when the session runs unjournaled.
+/// `ctx` is the drain span that delivered the batch — the causal parent
+/// for any spans the sink opens — `None` when the session is untraced.
 pub trait DrainSink: Send {
-    fn on_batch(&mut self, kernel: &Kernel, seq: Option<u64>, batch: &SampleDb);
+    fn on_batch(
+        &mut self,
+        kernel: &Kernel,
+        seq: Option<u64>,
+        batch: &SampleDb,
+        ctx: Option<TraceCtx>,
+    );
 }
 
 /// Cloneable shared handle to a [`DrainSink`], so `OpConfig` keeps its
@@ -131,8 +185,14 @@ impl SinkHandle {
         SinkHandle(Arc::new(Mutex::new(sink)))
     }
 
-    pub fn on_batch(&self, kernel: &Kernel, seq: Option<u64>, batch: &SampleDb) {
-        self.0.lock().on_batch(kernel, seq, batch);
+    pub fn on_batch(
+        &self,
+        kernel: &Kernel,
+        seq: Option<u64>,
+        batch: &SampleDb,
+        ctx: Option<TraceCtx>,
+    ) {
+        self.0.lock().on_batch(kernel, seq, batch, ctx);
     }
 }
 
@@ -174,6 +234,9 @@ pub struct Daemon {
     /// Set when consecutive deadline misses cross the escalation
     /// threshold; the supervisor consumes it as a missed heartbeat.
     deadline_escalated: bool,
+    /// Virtual time the previous drain landed — the begin of the NMI
+    /// sampling window the next drain's span closes retroactively.
+    last_drain_end: u64,
     telemetry: Option<DaemonTelemetry>,
 }
 
@@ -216,6 +279,7 @@ impl Daemon {
             governed_event: HwEvent::Cycles,
             sink: None,
             deadline_escalated: false,
+            last_drain_end: 0,
             telemetry: None,
         }
     }
@@ -277,16 +341,30 @@ impl Daemon {
     /// a restart). Charges daemon cycles and journals the batch like a
     /// timer drain. Returns the samples recovered from the ring buffer.
     pub fn force_drain(&mut self, ctx: &mut MachineCtx<'_>) -> u64 {
-        self.reap_dead(ctx.kernel, ctx.cpu.clock.cycles());
+        let now = ctx.cpu.clock.cycles();
+        self.reap_dead(ctx.kernel, now);
         let occupancy = self.driver.lock().buffer.len() as u64;
+        let drain_span = self.telemetry.as_ref().map(|t| {
+            t.registry.set_now(now);
+            t.begin_drain_spans(self.last_drain_end, now, occupancy, true)
+        });
         let (batch, cycles, dead) = Daemon::drain_batch(&self.driver, &self.db, &self.cost);
         let n = batch.total_samples();
         self.drains += 1;
-        let seq = Daemon::journal_batch(&self.journal, &mut ctx.kernel.vfs, &batch);
-        Daemon::notify_sink(&self.sink, ctx.kernel, seq, &batch);
+        self.last_drain_end = now;
+        let seq = Daemon::journal_batch(
+            &self.journal,
+            &mut ctx.kernel.vfs,
+            &batch,
+            drain_span,
+            self.telemetry.as_ref().map(|t| &t.registry),
+        );
+        Daemon::notify_sink(&self.sink, ctx.kernel, seq, &batch, drain_span);
         if let Some(t) = &self.telemetry {
-            t.registry.set_now(ctx.cpu.clock.cycles());
             t.note_drain(occupancy, &batch, cycles, self.journal.is_some(), dead);
+            if let Some(span) = drain_span {
+                t.end_drain_span(span, now + cycles, &batch, dead);
+            }
         }
         if cycles > 0 {
             ctx.exec(&BlockExec {
@@ -308,33 +386,65 @@ impl Daemon {
     /// journaled and unjournaled runs stay cycle-identical. Returns the
     /// sequence number of the appended record, `None` when nothing was
     /// journaled (no journal, or a trivial batch).
+    ///
+    /// When a registry is supplied the append is wrapped in a
+    /// `span.journal_batch` child of `parent`, the record is written as
+    /// [`KIND_SAMPLE_BATCH_TRACED`], and that journal span's identity
+    /// rides in the record header — so an offline resolver can point at
+    /// the exact batch where a sample was dropped or evicted. Without a
+    /// registry the untagged v1 record format is written, byte-for-byte
+    /// what pre-tracing builds produced.
     pub fn journal_batch(
         journal: &Option<Arc<Mutex<JournalWriter>>>,
         vfs: &mut Vfs,
         batch: &SampleDb,
+        parent: Option<TraceCtx>,
+        registry: Option<&Telemetry>,
     ) -> Option<u64> {
         let journal = journal.as_ref()?;
-        if batch.total_samples() > 0 || batch.dropped > 0 || batch.evicted > 0 {
-            Some(journal.lock().append(vfs, KIND_SAMPLE_BATCH, &batch.to_bytes()))
-        } else {
-            None
+        if batch.total_samples() == 0 && batch.dropped == 0 && batch.evicted == 0 {
+            return None;
         }
+        let body = batch.to_bytes();
+        let seq = match registry {
+            Some(t) => {
+                let span = t.trace_begin(TraceLayer::Journal, names::SPAN_JOURNAL_BATCH, parent);
+                let payload = encode_traced_payload(span, &body);
+                let seq = journal
+                    .lock()
+                    .append(vfs, KIND_SAMPLE_BATCH_TRACED, &payload);
+                t.trace_end(
+                    span,
+                    &[
+                        ("seq", seq),
+                        ("samples", batch.total_samples()),
+                        ("dropped", batch.dropped),
+                        ("evicted", batch.evicted),
+                    ],
+                );
+                seq
+            }
+            None => journal.lock().append(vfs, KIND_SAMPLE_BATCH, &body),
+        };
+        Some(seq)
     }
 
     /// Hand a non-trivial drained batch to `sink`. Uses the same
     /// triviality rule as [`Daemon::journal_batch`], so a journaled
     /// session's sink sees exactly the journaled record stream (with
     /// matching sequence numbers) and an unjournaled one sees the same
-    /// batches with `seq: None`.
+    /// batches with `seq: None`. `ctx` is the drain span handed through
+    /// to the sink as causal parent.
     pub fn notify_sink(
         sink: &Option<SinkHandle>,
         kernel: &Kernel,
         seq: Option<u64>,
         batch: &SampleDb,
+        ctx: Option<TraceCtx>,
     ) {
         if let Some(sink) = sink {
             if batch.total_samples() > 0 || batch.dropped > 0 || batch.evicted > 0 {
-                sink.on_batch(kernel, seq, batch);
+                sink.on_batch(kernel, seq, batch, ctx);
             }
         }
     }
@@ -476,12 +586,26 @@ impl MachineService for Daemon {
             let d = self.driver.lock();
             (d.buffer.len() as u64, d.buffer.capacity())
         };
+        let drain_span = self
+            .telemetry
+            .as_ref()
+            .map(|t| t.begin_drain_spans(self.last_drain_end, now, occupancy, false));
         let (batch, cycles, dead) = Daemon::drain_batch(&self.driver, &self.db, &self.cost);
         self.drains += 1;
-        let seq = Daemon::journal_batch(&self.journal, &mut ctx.kernel.vfs, &batch);
-        Daemon::notify_sink(&self.sink, ctx.kernel, seq, &batch);
+        self.last_drain_end = now;
+        let seq = Daemon::journal_batch(
+            &self.journal,
+            &mut ctx.kernel.vfs,
+            &batch,
+            drain_span,
+            self.telemetry.as_ref().map(|t| &t.registry),
+        );
+        Daemon::notify_sink(&self.sink, ctx.kernel, seq, &batch, drain_span);
         if let Some(t) = &self.telemetry {
             t.note_drain(occupancy, &batch, cycles, self.journal.is_some(), dead);
+            if let Some(span) = drain_span {
+                t.end_drain_span(span, now + cycles, &batch, dead);
+            }
         }
 
         // Close the overload loop: one observation per drain window,
@@ -730,6 +854,77 @@ mod tests {
         assert_eq!(h.count, 1);
         assert_eq!(h.sum, 2, "the surviving two samples were drained");
         assert!(snap.stage(names::STAGE_DAEMON_DRAIN).is_some());
+    }
+
+    #[test]
+    fn drains_emit_causal_spans_and_traced_journal_records() {
+        use sim_os::journal::{scan, split_traced_payload};
+        use viprof_telemetry::Telemetry;
+        let t = Telemetry::new();
+        let mut m = Machine::new(MachineConfig::default());
+        let driver = Arc::new(Mutex::new(Driver::new(CostModel::free(), 64)));
+        let db = Arc::new(Mutex::new(SampleDb::new()));
+        let active = Arc::new(AtomicBool::new(true));
+        let journal = Arc::new(Mutex::new(JournalWriter::create(&mut m.kernel.vfs, "/j")));
+        let d = Daemon::spawn(
+            &mut m.kernel,
+            driver.clone(),
+            db,
+            active,
+            CostModel::free(),
+            100,
+        )
+        .with_journal(journal)
+        .with_telemetry(&t);
+        m.add_service(Box::new(d));
+        driver.lock().buffer.push(bucket(0x10));
+        m.exec(&BlockExec::compute(Pid(1), CpuMode::User, (0, 0x100), 110));
+
+        // window → drain → journal, chained by parent links.
+        let trace = t.trace_snapshot();
+        let window = trace.spans.iter().find(|s| s.layer == TraceLayer::Nmi).unwrap();
+        let drain = trace.spans.iter().find(|s| s.layer == TraceLayer::Drain).unwrap();
+        let jspan = trace.spans.iter().find(|s| s.layer == TraceLayer::Journal).unwrap();
+        assert_eq!(drain.parent, window.id);
+        assert_eq!(jspan.parent, drain.id);
+        assert_eq!(drain.field("samples"), Some(1));
+        assert!(window.end <= drain.begin, "window closes before the drain runs");
+
+        // The persisted record carries the journal span's identity and
+        // the untouched SampleDb body.
+        let s = scan(&m.kernel.vfs, "/j").unwrap();
+        assert_eq!(s.records.len(), 1);
+        assert_eq!(s.records[0].kind, KIND_SAMPLE_BATCH_TRACED);
+        let (rec_ctx, body) = split_traced_payload(&s.records[0].payload).unwrap();
+        assert_eq!(rec_ctx.span, jspan.id);
+        assert_eq!(rec_ctx.trace, jspan.trace);
+        assert_eq!(SampleDb::from_bytes(body).unwrap().total_samples(), 1);
+    }
+
+    #[test]
+    fn untraced_daemon_journals_plain_v1_records() {
+        use sim_os::journal::scan;
+        let mut m = Machine::new(MachineConfig::default());
+        let driver = Arc::new(Mutex::new(Driver::new(CostModel::free(), 64)));
+        let db = Arc::new(Mutex::new(SampleDb::new()));
+        let active = Arc::new(AtomicBool::new(true));
+        let journal = Arc::new(Mutex::new(JournalWriter::create(&mut m.kernel.vfs, "/j")));
+        let d = Daemon::spawn(
+            &mut m.kernel,
+            driver.clone(),
+            db,
+            active,
+            CostModel::free(),
+            100,
+        )
+        .with_journal(journal);
+        m.add_service(Box::new(d));
+        driver.lock().buffer.push(bucket(0x10));
+        m.exec(&BlockExec::compute(Pid(1), CpuMode::User, (0, 0x100), 110));
+        let s = scan(&m.kernel.vfs, "/j").unwrap();
+        assert_eq!(s.records.len(), 1);
+        assert_eq!(s.records[0].kind, KIND_SAMPLE_BATCH, "no telemetry → v1 record");
+        assert!(SampleDb::from_bytes(&s.records[0].payload).is_ok());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use sim_os::journal::JournalWriter;
 use sim_os::Machine;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use viprof_telemetry::{names, Telemetry};
+use viprof_telemetry::{names, Telemetry, TraceLayer};
 
 /// VFS path where `stop` persists the final sample database.
 pub const SAMPLES_PATH: &str = "/var/lib/oprofile/samples/current.db";
@@ -25,6 +25,10 @@ pub const SAMPLE_JOURNAL_PATH: &str = "/var/lib/oprofile/samples/journal";
 /// VFS path where `stop` persists the session's telemetry snapshot
 /// (deterministic JSON; `viprof-stat` reads it back).
 pub const TELEMETRY_PATH: &str = "/var/log/viprof/telemetry.json";
+
+/// VFS path where `stop` persists the session's causal trace as Chrome
+/// trace-event JSON (`viprof-trace` reads it back).
+pub const TRACE_PATH: &str = "/var/log/viprof/trace.json";
 
 /// A running profiling session.
 pub struct Oprofile {
@@ -136,6 +140,10 @@ impl Oprofile {
                 None
             }
         };
+        // Open the session's root span: every causal chain the pipeline
+        // emits (NMI window → drain → journal → live) hangs off it.
+        telemetry.set_now(machine.cpu.clock.cycles());
+        telemetry.trace_begin(TraceLayer::Session, names::SPAN_SESSION, None);
         telemetry.counter(names::SESSION_INSTALLS).inc();
         telemetry.event(
             names::EVENT_SESSION_INSTALL,
@@ -209,10 +217,28 @@ impl Oprofile {
             .reap(&mut |pid, gen| machine.kernel.process(pid).map_or(false, |p| p.gen == gen));
         // Final synchronous drain, charged like a daemon wakeup — and
         // journaled like one, so replay covers the whole run.
+        self.telemetry.set_now(machine.cpu.clock.cycles());
+        let flush_span = self.telemetry.trace_begin(
+            TraceLayer::Drain,
+            names::SPAN_DAEMON_DRAIN,
+            self.telemetry.trace_root(),
+        );
         let (batch, cycles, dead) =
             Daemon::drain_batch(&self.driver, &self.db, &self.config.cost);
-        let seq = Daemon::journal_batch(&self.sample_journal, &mut machine.kernel.vfs, &batch);
-        Daemon::notify_sink(&self.config.drain_sink, &machine.kernel, seq, &batch);
+        let seq = Daemon::journal_batch(
+            &self.sample_journal,
+            &mut machine.kernel.vfs,
+            &batch,
+            Some(flush_span),
+            Some(&self.telemetry),
+        );
+        Daemon::notify_sink(
+            &self.config.drain_sink,
+            &machine.kernel,
+            seq,
+            &batch,
+            Some(flush_span),
+        );
         self.active.store(false, Ordering::Relaxed);
         machine.cpu.clear_counters();
         machine.clear_handler();
@@ -232,6 +258,14 @@ impl Oprofile {
         // Telemetry epilogue: stamp the final clock, account the flush,
         // and persist the snapshot next to the sample database.
         self.telemetry.set_now(machine.cpu.clock.cycles());
+        self.telemetry.trace_end(
+            flush_span,
+            &[
+                ("samples", batch.total_samples()),
+                ("dropped", batch.dropped),
+                ("evicted", batch.evicted),
+            ],
+        );
         self.telemetry.stage(names::STAGE_SESSION_FLUSH).record(cycles);
         if reaped > 0 {
             self.telemetry.counter(names::REGISTRY_REAPS).add(reaped);
@@ -275,10 +309,20 @@ impl Oprofile {
             "profiling session stopped",
             &[("samples", db.total_samples()), ("dropped", db.dropped)],
         );
+        if let Some(root) = self.telemetry.trace_root() {
+            self.telemetry.trace_end(
+                root,
+                &[("samples", db.total_samples()), ("dropped", db.dropped)],
+            );
+        }
         machine
             .kernel
             .vfs
             .write(TELEMETRY_PATH, self.telemetry.snapshot().to_json().into_bytes());
+        machine.kernel.vfs.write(
+            TRACE_PATH,
+            self.telemetry.trace_snapshot().to_chrome_json().into_bytes(),
+        );
         db
     }
 }
@@ -396,8 +440,12 @@ mod tests {
         assert!(scan.records.len() >= 2, "timer drains + final flush");
         let mut replayed = SampleDb::new();
         for rec in &scan.records {
-            assert_eq!(rec.kind, sim_os::journal::KIND_SAMPLE_BATCH);
-            replayed.merge(&SampleDb::from_bytes(&rec.payload).unwrap());
+            // Telemetry is always on for sessions, so every batch record
+            // carries a trace header.
+            assert_eq!(rec.kind, sim_os::journal::KIND_SAMPLE_BATCH_TRACED);
+            let (ctx, body) = sim_os::journal::split_traced_payload(&rec.payload).unwrap();
+            assert_ne!(ctx.span, 0, "journal span identity persisted");
+            replayed.merge(&SampleDb::from_bytes(body).unwrap());
         }
         assert_eq!(replayed, db);
     }
@@ -452,6 +500,31 @@ mod tests {
         assert_eq!(snap.counter(names::BUFFER_PUSHED), 100);
         assert_eq!(snap.events_of(names::EVENT_SESSION_STOP).len(), 1);
         assert!(snap.stage(names::STAGE_SESSION_FLUSH).is_some());
+    }
+
+    #[test]
+    fn stop_persists_a_parseable_chrome_trace() {
+        use viprof_telemetry::TraceSnapshot;
+        let mut m = machine();
+        let pid = m.kernel.spawn("app");
+        let config = OpConfig {
+            daemon_period_cycles: 200_000,
+            ..OpConfig::time_at(10_000)
+        };
+        let op = Oprofile::start(&mut m, config);
+        m.exec(&BlockExec::compute(pid, CpuMode::User, (0x1000, 0x2000), 1_000_000));
+        op.stop(&mut m);
+        let raw = m.kernel.vfs.read(TRACE_PATH).unwrap();
+        let trace = TraceSnapshot::from_chrome_json(std::str::from_utf8(raw).unwrap()).unwrap();
+        // One session root, closed at stop, with drains hanging off it.
+        let roots = trace.roots();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, names::SPAN_SESSION);
+        assert_eq!(roots[0].end, m.cpu.clock.cycles());
+        assert!(trace
+            .spans
+            .iter()
+            .any(|s| s.name == names::SPAN_DAEMON_DRAIN && s.parent != 0));
     }
 
     #[test]

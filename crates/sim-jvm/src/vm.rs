@@ -765,10 +765,28 @@ impl Vm {
         }
         self.hooks.on_gc_end(self.heap.collections);
         if let Some(t) = &self.config.telemetry {
-            use viprof_telemetry::names;
+            use viprof_telemetry::{names, TraceLayer};
+            let pause = gc_cycles + move_cycles;
             t.counter(names::VM_GC_COLLECTIONS).inc();
-            t.histogram(names::VM_GC_PAUSE_CYCLES)
-                .record(gc_cycles + move_cycles);
+            t.histogram(names::VM_GC_PAUSE_CYCLES).record(pause);
+            // Retroactive pause span on the sim clock: the collection
+            // ended at the cycles just charged to the machine.
+            let end = machine.cpu.clock.cycles();
+            let span = t.trace_begin_at(
+                end.saturating_sub(pause),
+                TraceLayer::Vm,
+                names::SPAN_VM_GC,
+                t.trace_root(),
+            );
+            t.trace_end_at(
+                end,
+                span,
+                &[
+                    ("epoch", ending_epoch),
+                    ("copied_bytes", stats.copied_bytes),
+                    ("pause_cycles", pause),
+                ],
+            );
         }
     }
 

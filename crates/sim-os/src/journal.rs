@@ -39,7 +39,7 @@
 //!   mismatch and the journal is truncated there.
 
 use crate::vfs::Vfs;
-use viprof_telemetry::{names, Counter, Telemetry};
+use viprof_telemetry::{names, Counter, Telemetry, TraceCtx};
 
 /// Journal file header.
 pub const JOURNAL_MAGIC: &[u8; 4] = b"VJL1";
@@ -57,6 +57,37 @@ pub const KIND_CODE_MAP: u8 = 1;
 /// Record kind: one drained sample batch (payload: `SampleDb` binary
 /// encoding).
 pub const KIND_SAMPLE_BATCH: u8 = 2;
+
+/// Record kind: a traced sample batch — the payload is a 16-byte trace
+/// header ([`TRACE_HEADER_LEN`]: trace id then span id, both `u64` LE,
+/// see [`encode_traced_payload`]) followed by the same `SampleDb`
+/// binary encoding as [`KIND_SAMPLE_BATCH`]. Untagged v1 (kind 2)
+/// records stay valid forever; every batch reader accepts both kinds.
+pub const KIND_SAMPLE_BATCH_TRACED: u8 = 3;
+
+/// Length of the `(trace, span)` header prefixed to traced payloads.
+pub const TRACE_HEADER_LEN: usize = 16;
+
+/// Prefix `body` with `ctx`'s 16-byte trace header, producing the
+/// payload of a [`KIND_SAMPLE_BATCH_TRACED`] record.
+pub fn encode_traced_payload(ctx: TraceCtx, body: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(TRACE_HEADER_LEN + body.len());
+    payload.extend_from_slice(&ctx.trace.to_le_bytes());
+    payload.extend_from_slice(&ctx.span.to_le_bytes());
+    payload.extend_from_slice(body);
+    payload
+}
+
+/// Split a [`KIND_SAMPLE_BATCH_TRACED`] payload back into its trace
+/// context and batch body. `None` when the payload cannot carry a
+/// header (such a record is damage the CRC did not see — callers treat
+/// it like an undecodable batch).
+pub fn split_traced_payload(payload: &[u8]) -> Option<(TraceCtx, &[u8])> {
+    let header = payload.get(..TRACE_HEADER_LEN)?;
+    let trace = u64::from_le_bytes(header[..8].try_into().ok()?);
+    let span = u64::from_le_bytes(header[8..].try_into().ok()?);
+    Some((TraceCtx { trace, span }, &payload[TRACE_HEADER_LEN..]))
+}
 
 /// marker + seq + kind + len.
 const HEADER_LEN: usize = 1 + 8 + 1 + 4;
@@ -616,6 +647,29 @@ mod tests {
         assert_eq!(s2.records.len(), 2, "replayed generation rejected");
         assert!(s2.damaged_bytes >= rec0.len());
         let _ = first_end;
+    }
+
+    #[test]
+    fn traced_payload_round_trips_and_rejects_short_headers() {
+        let ctx = TraceCtx { trace: 0xDEAD_BEEF_0BAD_F00D, span: 42 };
+        let payload = encode_traced_payload(ctx, b"batch-bytes");
+        assert_eq!(payload.len(), TRACE_HEADER_LEN + 11);
+        let (back, body) = split_traced_payload(&payload).unwrap();
+        assert_eq!(back, ctx);
+        assert_eq!(body, b"batch-bytes");
+        // An empty body is legal (an empty batch was journaled).
+        let empty = encode_traced_payload(ctx, b"");
+        assert_eq!(split_traced_payload(&empty).unwrap().1, b"");
+        // Anything shorter than the header cannot be traced.
+        assert!(split_traced_payload(&empty[..TRACE_HEADER_LEN - 1]).is_none());
+
+        // Traced records ride the normal commit protocol.
+        let mut vfs = Vfs::new();
+        let mut w = JournalWriter::create(&mut vfs, "/j");
+        w.append(&mut vfs, KIND_SAMPLE_BATCH_TRACED, &payload);
+        let s = scan(&vfs, "/j").unwrap();
+        assert_eq!(s.records[0].kind, KIND_SAMPLE_BATCH_TRACED);
+        assert_eq!(split_traced_payload(&s.records[0].payload).unwrap().0, ctx);
     }
 
     #[test]

@@ -228,12 +228,10 @@ impl TelemetrySnapshot {
                     "  {:<34} n={} sum={} mean={}\n",
                     h.name, h.count, h.sum, mean
                 ));
-                for (k, n) in &h.buckets {
-                    out.push_str(&format!(
-                        "    [{:>20}..{:>20}] {n}\n",
-                        crate::metrics::bucket_lo(*k),
-                        crate::metrics::bucket_hi(*k)
-                    ));
+                for row in log2_rows(&h.buckets) {
+                    out.push_str("    ");
+                    out.push_str(&row);
+                    out.push('\n');
                 }
             }
         }
@@ -265,9 +263,27 @@ fn lookup(list: &[(String, u64)], name: &str) -> u64 {
         .unwrap_or(0)
 }
 
+/// Render non-empty log2 buckets (`(bucket index, count)` pairs, the
+/// shape [`crate::metrics::Histogram::nonzero_buckets`] and
+/// [`crate::trace::TraceSnapshot::duration_buckets`] produce) as
+/// aligned `[lo..hi] count` rows — the one formatter shared by
+/// `viprof-stat --histograms` and `viprof-trace --top`.
+pub fn log2_rows(buckets: &[(usize, u64)]) -> Vec<String> {
+    buckets
+        .iter()
+        .map(|(k, n)| {
+            format!(
+                "[{:>20}..{:>20}] {n}",
+                crate::metrics::bucket_lo(*k),
+                crate::metrics::bucket_hi(*k)
+            )
+        })
+        .collect()
+}
+
 // ---------------- JSON writer ----------------
 
-struct JsonWriter {
+pub(crate) struct JsonWriter {
     out: String,
     /// Whether the current container already has an element (per
     /// nesting level).
@@ -275,7 +291,7 @@ struct JsonWriter {
 }
 
 impl JsonWriter {
-    fn new() -> JsonWriter {
+    pub(crate) fn new() -> JsonWriter {
         JsonWriter { out: String::new(), stack: Vec::new() }
     }
 
@@ -288,29 +304,29 @@ impl JsonWriter {
         }
     }
 
-    fn obj_open(&mut self) {
+    pub(crate) fn obj_open(&mut self) {
         self.comma();
         self.out.push('{');
         self.stack.push(false);
     }
 
-    fn obj_close(&mut self) {
+    pub(crate) fn obj_close(&mut self) {
         self.stack.pop();
         self.out.push('}');
     }
 
-    fn arr_open(&mut self) {
+    pub(crate) fn arr_open(&mut self) {
         self.comma();
         self.out.push('[');
         self.stack.push(false);
     }
 
-    fn arr_close(&mut self) {
+    pub(crate) fn arr_close(&mut self) {
         self.stack.pop();
         self.out.push(']');
     }
 
-    fn key(&mut self, k: &str) {
+    pub(crate) fn key(&mut self, k: &str) {
         self.comma();
         write_escaped(&mut self.out, k);
         self.out.push(':');
@@ -320,17 +336,17 @@ impl JsonWriter {
         }
     }
 
-    fn num(&mut self, v: u64) {
+    pub(crate) fn num(&mut self, v: u64) {
         self.comma();
         self.out.push_str(&v.to_string());
     }
 
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.comma();
         write_escaped(&mut self.out, s);
     }
 
-    fn finish(self) -> String {
+    pub(crate) fn finish(self) -> String {
         self.out
     }
 }
@@ -354,7 +370,7 @@ fn write_escaped(out: &mut String, s: &str) {
 // ---------------- JSON parser (writer's subset) ----------------
 
 #[derive(Debug)]
-enum Json {
+pub(crate) enum Json {
     Obj(Vec<(String, Json)>),
     Arr(Vec<Json>),
     Str(String),
@@ -362,28 +378,28 @@ enum Json {
 }
 
 impl Json {
-    fn as_obj(&self, what: &str) -> Result<&Vec<(String, Json)>, String> {
+    pub(crate) fn as_obj(&self, what: &str) -> Result<&Vec<(String, Json)>, String> {
         match self {
             Json::Obj(m) => Ok(m),
             _ => Err(format!("{what}: expected object")),
         }
     }
 
-    fn as_arr(&self, what: &str) -> Result<&Vec<Json>, String> {
+    pub(crate) fn as_arr(&self, what: &str) -> Result<&Vec<Json>, String> {
         match self {
             Json::Arr(a) => Ok(a),
             _ => Err(format!("{what}: expected array")),
         }
     }
 
-    fn as_num(&self, what: &str) -> Result<u64, String> {
+    pub(crate) fn as_num(&self, what: &str) -> Result<u64, String> {
         match self {
             Json::Num(n) => Ok(*n),
             _ => Err(format!("{what}: expected integer")),
         }
     }
 
-    fn as_str(&self, what: &str) -> Result<&str, String> {
+    pub(crate) fn as_str(&self, what: &str) -> Result<&str, String> {
         match self {
             Json::Str(s) => Ok(s),
             _ => Err(format!("{what}: expected string")),
@@ -391,7 +407,7 @@ impl Json {
     }
 }
 
-fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+pub(crate) fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
     obj.iter()
         .find(|(k, _)| k == key)
         .map(|(_, v)| v)
@@ -403,7 +419,7 @@ struct Parser<'a> {
     pos: usize,
 }
 
-fn parse_json(text: &str) -> Result<Json, String> {
+pub(crate) fn parse_json(text: &str) -> Result<Json, String> {
     let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
     let v = p.value()?;
     p.skip_ws();

@@ -30,10 +30,15 @@ pub mod export;
 pub mod metrics;
 pub mod names;
 pub mod recorder;
+pub mod trace;
 
-pub use export::{HistogramSnapshot, StageSnapshot, TelemetrySnapshot};
+pub use export::{log2_rows, HistogramSnapshot, StageSnapshot, TelemetrySnapshot};
 pub use metrics::{bucket_hi, bucket_lo, bucket_of, Counter, Gauge, Histogram, Span, Stage, BUCKETS};
 pub use recorder::{Event, FlightRecorder, DEFAULT_EVENT_CAPACITY};
+pub use trace::{
+    LineageEntry, LineageTable, SpanRecord, SpanStore, StagedSpan, TraceCtx, TraceLayer,
+    TraceSnapshot, DEFAULT_SPAN_CAPACITY,
+};
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -47,6 +52,7 @@ struct Registry {
     histograms: Mutex<BTreeMap<&'static str, Histogram>>,
     stages: Mutex<BTreeMap<&'static str, Stage>>,
     recorder: Mutex<FlightRecorder>,
+    tracer: Mutex<SpanStore>,
     /// Virtual "now": clocked layers publish the sim clock here so
     /// clock-less layers (journal, agent, bench harness) can stamp
     /// flight-recorder events with a deterministic timestamp.
@@ -155,6 +161,80 @@ impl Telemetry {
             .record(cycles, kind, detail, fields);
     }
 
+    /// Open a trace span at the current virtual time. `parent: None`
+    /// starts a new trace; the first root becomes the session root,
+    /// discoverable by lower layers via [`Self::trace_root`]. Like
+    /// flight-recorder events, only call from deterministic
+    /// (single-threaded or post-join) contexts.
+    pub fn trace_begin(
+        &self,
+        layer: TraceLayer,
+        name: &str,
+        parent: Option<TraceCtx>,
+    ) -> TraceCtx {
+        self.trace_begin_at(self.now(), layer, name, parent)
+    }
+
+    /// [`Self::trace_begin`] with an explicit virtual timestamp.
+    pub fn trace_begin_at(
+        &self,
+        cycles: u64,
+        layer: TraceLayer,
+        name: &str,
+        parent: Option<TraceCtx>,
+    ) -> TraceCtx {
+        let (ctx, recorded) = self
+            .inner
+            .tracer
+            .lock()
+            .unwrap()
+            .begin(layer, name, parent, cycles);
+        if recorded {
+            self.counter(names::TRACE_SPANS_RECORDED).inc();
+        } else {
+            self.counter(names::TRACE_SPANS_DROPPED).inc();
+        }
+        ctx
+    }
+
+    /// Close a trace span at the current virtual time, attaching
+    /// `fields`. Closing a span the bounded store dropped is a no-op.
+    pub fn trace_end(&self, ctx: TraceCtx, fields: &[(&str, u64)]) {
+        self.trace_end_at(self.now(), ctx, fields);
+    }
+
+    /// [`Self::trace_end`] with an explicit virtual timestamp.
+    pub fn trace_end_at(&self, cycles: u64, ctx: TraceCtx, fields: &[(&str, u64)]) {
+        self.inner.tracer.lock().unwrap().end(ctx, cycles, fields);
+    }
+
+    /// Close a trace span and charge its virtual-cycle duration to
+    /// stage `stage_name` — the begin/end guard coupling spans to the
+    /// existing stage timers, so the span tree and the stage totals
+    /// cannot disagree.
+    pub fn trace_end_staged(
+        &self,
+        ctx: TraceCtx,
+        stage_name: &'static str,
+        fields: &[(&str, u64)],
+    ) {
+        let now = self.now();
+        let dur = self.inner.tracer.lock().unwrap().end(ctx, now, fields);
+        if let Some(dur) = dur {
+            self.stage(stage_name).record(dur);
+        }
+    }
+
+    /// The first root span opened in this registry (the session root).
+    pub fn trace_root(&self) -> Option<TraceCtx> {
+        self.inner.tracer.lock().unwrap().root()
+    }
+
+    /// Materialize the span store into ordered plain data.
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        self.inner.tracer.lock().unwrap().snapshot()
+    }
+
     /// Materialize everything into ordered plain data.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let counters = self
@@ -256,6 +336,37 @@ mod tests {
         let snap = t.snapshot();
         let back = TelemetrySnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn trace_spans_ride_the_registry() {
+        let t = Telemetry::new();
+        t.set_now(1_000);
+        let root = t.trace_begin(TraceLayer::Session, "session", None);
+        assert_eq!(t.trace_root(), Some(root));
+        t.set_now(1_200);
+        let drain = t.trace_begin(TraceLayer::Drain, "daemon.drain", Some(root));
+        t.set_now(1_260);
+        t.trace_end_staged(drain, names::STAGE_DAEMON_DRAIN, &[("samples", 4)]);
+        t.set_now(2_000);
+        t.trace_end(root, &[]);
+
+        let trace = t.trace_snapshot();
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.spans[0].name, "session");
+        assert_eq!(trace.spans[1].parent, root.span);
+        assert_eq!(trace.spans[1].duration(), 60);
+        assert_eq!(trace.spans[1].field("samples"), Some(4));
+
+        let snap = t.snapshot();
+        assert_eq!(snap.counter(names::TRACE_SPANS_RECORDED), 2);
+        assert_eq!(snap.counter(names::TRACE_SPANS_DROPPED), 0);
+        let st = snap.stage(names::STAGE_DAEMON_DRAIN).unwrap();
+        assert_eq!(
+            (st.entries, st.cycles),
+            (1, 60),
+            "staged guard lands the span duration on the stage"
+        );
     }
 
     #[test]

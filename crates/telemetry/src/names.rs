@@ -56,7 +56,28 @@ pub const RESOLVE_MISSING_EPOCHS: &str = "resolve.missing_epochs";
 pub const REPORT_ROWS: &str = "report.rows";
 pub const SESSION_INSTALLS: &str = "session.installs";
 pub const SESSION_STOPS: &str = "session.stops";
+pub const TRACE_SPANS_DROPPED: &str = "trace.spans_dropped";
+pub const TRACE_SPANS_RECORDED: &str = "trace.spans_recorded";
 pub const BENCH_ARTIFACTS_WRITTEN: &str = "bench.artifacts_written";
+
+/// Saturation counters: the one naming convention for "a bounded
+/// resource was full (or a governor shed load) and records were
+/// discarded". Such counters end in `dropped` or `suppressed`, or name
+/// the eviction (`evicted`); nothing else may use those suffixes, and
+/// every counter using them must appear here — the catalog test
+/// enforces both directions, so a new saturation point cannot ship
+/// under an ad-hoc name. The flight recorder's and span store's ring
+/// evictions surface as `events_dropped` (a snapshot field, by design
+/// outside the registry) and [`TRACE_SPANS_DROPPED`] respectively.
+pub const SATURATION_COUNTERS: &[&str] = &[
+    BUFFER_DROPPED,
+    CPU_SAMPLES_SUPPRESSED,
+    DAEMON_DEAD_GEN_DROPPED,
+    DB_EVICTED_SAMPLES,
+    RESOLVE_SAMPLES_DROPPED,
+    RESOLVE_SAMPLES_EVICTED,
+    TRACE_SPANS_DROPPED,
+];
 
 // ---- gauges ----
 pub const BUFFER_OCCUPANCY: &str = "buffer.occupancy";
@@ -81,6 +102,28 @@ pub const STAGE_SESSION_FLUSH: &str = "stage.session_flush";
 pub const STAGE_RESOLVE_LOAD: &str = "stage.resolve_load";
 pub const STAGE_RESOLVE_REPORT: &str = "stage.resolve_report";
 pub const STAGE_REPORT_FINISH: &str = "stage.report_finish";
+
+// ---- trace spans (the causal tree `viprof-trace` renders) ----
+pub const SPAN_AGENT_MAP_WRITE: &str = "span.agent_map_write";
+pub const SPAN_DAEMON_DRAIN: &str = "span.daemon_drain";
+pub const SPAN_JOURNAL_BATCH: &str = "span.journal_batch";
+pub const SPAN_LIVE_EXTEND: &str = "span.live_extend";
+pub const SPAN_LIVE_FREEZE: &str = "span.live_freeze";
+pub const SPAN_LIVE_REBUILD: &str = "span.live_rebuild";
+pub const SPAN_NMI_WINDOW: &str = "span.nmi_window";
+pub const SPAN_RESOLVE: &str = "span.resolve";
+pub const SPAN_RESOLVE_INCARNATION: &str = "span.resolve_incarnation";
+pub const SPAN_RESOLVE_INGEST: &str = "span.resolve_ingest";
+pub const SPAN_RESOLVE_SHARDS: &str = "span.resolve_shards";
+pub const SPAN_SESSION: &str = "span.session";
+pub const SPAN_SUPERVISOR_REDRAIN: &str = "span.supervisor_redrain";
+pub const SPAN_VM_GC: &str = "span.vm_gc";
+
+// ---- lineage loss buckets (`SessionReport.lineage` rows) ----
+pub const LINEAGE_BLOCKED: &str = "lineage.blocked";
+pub const LINEAGE_DROPPED: &str = "lineage.dropped";
+pub const LINEAGE_EVICTED: &str = "lineage.evicted";
+pub const LINEAGE_QUARANTINED: &str = "lineage.quarantined";
 
 // ---- flight-recorder event kinds ----
 pub const EVENT_BUFFER_OVERFLOW: &str = "buffer.overflow";
@@ -156,6 +199,8 @@ pub const ALL_METRICS: &[(&str, &str)] = &[
     ("counter", SUPERVISOR_MISSED),
     ("counter", SUPERVISOR_REDRAINED_SAMPLES),
     ("counter", SUPERVISOR_RESTARTS),
+    ("counter", TRACE_SPANS_DROPPED),
+    ("counter", TRACE_SPANS_RECORDED),
     ("counter", VM_GC_COLLECTIONS),
     ("gauge", BUFFER_CAPACITY),
     ("gauge", BUFFER_OCCUPANCY),
@@ -175,6 +220,24 @@ pub const ALL_METRICS: &[(&str, &str)] = &[
     ("stage", STAGE_RESOLVE_LOAD),
     ("stage", STAGE_RESOLVE_REPORT),
     ("stage", STAGE_SESSION_FLUSH),
+    ("span", SPAN_AGENT_MAP_WRITE),
+    ("span", SPAN_DAEMON_DRAIN),
+    ("span", SPAN_JOURNAL_BATCH),
+    ("span", SPAN_LIVE_EXTEND),
+    ("span", SPAN_LIVE_FREEZE),
+    ("span", SPAN_LIVE_REBUILD),
+    ("span", SPAN_NMI_WINDOW),
+    ("span", SPAN_RESOLVE),
+    ("span", SPAN_RESOLVE_INCARNATION),
+    ("span", SPAN_RESOLVE_INGEST),
+    ("span", SPAN_RESOLVE_SHARDS),
+    ("span", SPAN_SESSION),
+    ("span", SPAN_SUPERVISOR_REDRAIN),
+    ("span", SPAN_VM_GC),
+    ("lineage", LINEAGE_BLOCKED),
+    ("lineage", LINEAGE_DROPPED),
+    ("lineage", LINEAGE_EVICTED),
+    ("lineage", LINEAGE_QUARANTINED),
     ("event", EVENT_AGENT_GC_EPOCH),
     ("event", EVENT_AGENT_MAP_WRITE),
     ("event", EVENT_BENCH_ARTIFACT),
@@ -211,17 +274,24 @@ pub fn schema_lines() -> Vec<String> {
 mod tests {
     use super::*;
 
+    const KINDS: [&str; 7] = [
+        "counter",
+        "gauge",
+        "histogram",
+        "stage",
+        "span",
+        "lineage",
+        "event",
+    ];
+
     #[test]
     fn catalog_has_no_duplicates_and_is_sorted_within_kinds() {
         let mut seen = std::collections::BTreeSet::new();
         for (kind, name) in ALL_METRICS {
             assert!(seen.insert(*name), "duplicate metric name {name}");
-            assert!(
-                ["counter", "gauge", "histogram", "stage", "event"].contains(kind),
-                "unknown metric kind {kind}"
-            );
+            assert!(KINDS.contains(kind), "unknown metric kind {kind}");
         }
-        for kind in ["counter", "gauge", "histogram", "stage", "event"] {
+        for kind in KINDS {
             let names: Vec<&str> = ALL_METRICS
                 .iter()
                 .filter(|(k, _)| *k == kind)
@@ -231,5 +301,43 @@ mod tests {
             sorted.sort_unstable();
             assert_eq!(names, sorted, "{kind} names out of order");
         }
+    }
+
+    /// The saturation-counter convention, both directions: every
+    /// counter whose name signals discarded records is listed in
+    /// [`SATURATION_COUNTERS`], and everything listed is a cataloged
+    /// counter with a conforming name.
+    #[test]
+    fn saturation_counters_follow_the_convention() {
+        let is_saturation_name = |name: &str| {
+            name.ends_with("dropped")
+                || name.ends_with("suppressed")
+                || name.contains("evicted")
+        };
+        let counters: Vec<&str> = ALL_METRICS
+            .iter()
+            .filter(|(k, _)| *k == "counter")
+            .map(|(_, n)| *n)
+            .collect();
+        for name in SATURATION_COUNTERS {
+            assert!(
+                counters.contains(name),
+                "{name} is listed as a saturation counter but not cataloged"
+            );
+            assert!(
+                is_saturation_name(name),
+                "{name} does not follow the saturation naming convention"
+            );
+        }
+        for name in &counters {
+            assert_eq!(
+                is_saturation_name(name),
+                SATURATION_COUNTERS.contains(name),
+                "saturation audit out of sync for {name}"
+            );
+        }
+        let mut sorted = SATURATION_COUNTERS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(SATURATION_COUNTERS, sorted, "audit list out of order");
     }
 }

@@ -11,7 +11,7 @@ use sim_os::{Machine, MachineConfig};
 use std::sync::Arc;
 use viprof::agent::AgentStats;
 use viprof::{ChurnSchedule, FaultPlan, FaultReport, LiveSpec, ReportSpec, SessionReport, Viprof};
-use viprof_telemetry::TelemetrySnapshot;
+use viprof_telemetry::{TelemetrySnapshot, TraceSnapshot};
 
 /// Which profiler (if any) observes the run.
 #[derive(Debug, Clone)]
@@ -83,6 +83,10 @@ pub struct RunOutcome {
     /// stage timings and the flight-recorder tail, snapshotted after
     /// the stop-time flush.
     pub telemetry: Option<TelemetrySnapshot>,
+    /// The session's causal span tree (profiled runs), snapshotted
+    /// after the stop-time flush — same data the session persists as
+    /// Chrome trace JSON at `oprofile::TRACE_PATH`.
+    pub trace: Option<TraceSnapshot>,
     /// The live engine's sealed final snapshot
     /// ([`ProfilerKind::ViprofLive`] runs only) — bit-identical to
     /// `Viprof::make_report` over [`RunOutcome::db`].
@@ -230,17 +234,18 @@ pub fn run_benchmark(
         ProfilerKind::ViprofLive(_, fp) => fp.clone(),
         _ => None,
     };
-    let (vm_stats, db, driver, agent, faults, supervisor, telemetry, live_report) = match profiler
-    {
+    let (vm_stats, db, driver, agent, faults, supervisor, telemetry, trace, live_report) =
+        match profiler {
         ProfilerKind::None => {
             let stats = execute_plan(&mut machine, built, plan, Box::new(NullHooks));
-            (stats, None, None, None, None, None, None, None)
+            (stats, None, None, None, None, None, None, None, None)
         }
         ProfilerKind::Oprofile(config) => {
             let op = Oprofile::start(&mut machine, config);
             let stats = execute_plan(&mut machine, built, plan, Box::new(NullHooks));
             let db = op.stop(&mut machine);
             let telemetry = Some(op.telemetry().snapshot());
+            let trace = Some(op.telemetry().trace_snapshot());
             (
                 stats,
                 Some(db),
@@ -249,6 +254,7 @@ pub fn run_benchmark(
                 None,
                 None,
                 telemetry,
+                trace,
                 None,
             )
         }
@@ -301,6 +307,7 @@ pub fn run_benchmark(
             let db = vp.stop(&mut machine);
             let live_report = vp.live_snapshot(&machine.kernel, &ReportSpec::default());
             let telemetry = Some(vp.telemetry().snapshot());
+            let trace = Some(vp.telemetry().trace_snapshot());
             let report = fault_plan.is_some().then(|| FaultReport {
                 driver: vp.driver_fault_stats().unwrap_or_default(),
                 daemon: vp.daemon_fault_stats().unwrap_or_default(),
@@ -314,6 +321,7 @@ pub fn run_benchmark(
                 report,
                 vp.supervisor_stats(),
                 telemetry,
+                trace,
                 live_report,
             )
         }
@@ -329,6 +337,7 @@ pub fn run_benchmark(
         faults,
         supervisor,
         telemetry,
+        trace,
         live: live_report,
         machine,
     }

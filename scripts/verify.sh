@@ -75,6 +75,23 @@ if [[ "${1:-}" != "--fast" ]]; then
     echo "==> viprof-stat --selftest"
     cargo run --release -p viprof --bin viprof-stat -- --selftest
 
+    # Trace-determinism self-check: two fixed-seed sessions must export
+    # byte-identical Chrome trace JSON, the resolve-pass trace must be
+    # bit-identical across thread counts {1,4}, and every lineage
+    # bucket must reconcile exactly with the resolution quality.
+    echo "==> viprof-trace --selftest"
+    cargo run --release -p viprof --bin viprof-trace -- --selftest
+
+    # Trace/lineage smoke: the engine tests that assert lineage totals
+    # reconcile with quality, attribute losses to journaled batches,
+    # and stay thread-invariant — plus the span-tree/round-trip
+    # proptests. Named so tracing regressions fail loudly even when
+    # someone filters the main test run.
+    run_offline_tolerant "trace lineage smoke" \
+        cargo test -q -p viprof lineage
+    run_offline_tolerant "trace proptests" \
+        cargo test -q --test prop_trace
+
     # Process-churn smoke: VM restarts, LIFO pid reuse and dead-
     # generation drops under injected faults must stay fully accounted
     # and replay bit-identically, and the 256-case isolation proptest

@@ -66,11 +66,37 @@ fn quality_of(out: &RunOutcome) -> ResolutionQuality {
     assert_eq!(single.quality, walk_q, "flattened vs walk quality");
     assert_eq!(sharded.lines, walk_report, "sharded vs walk report");
     assert_eq!(sharded.quality, walk_q, "sharded vs walk quality");
+    // Lineage: every loss bucket decomposes to causal spans whose
+    // totals reconcile *exactly* with the quality counts (and thus,
+    // transitively, with the flight-recorder overflow accounting,
+    // which the per-scenario tests pin to `db.dropped`), and the whole
+    // trace is byte-identical at every shard count.
+    for (label, report) in [("single", &single), ("sharded", &sharded)] {
+        for (bucket, want) in [
+            ("dropped", report.quality.dropped),
+            ("evicted", report.quality.evicted),
+            ("quarantined", report.quality.quarantined),
+            ("blocked", report.quality.cross_incarnation_blocked),
+        ] {
+            assert_eq!(
+                report.lineage.total(bucket),
+                want,
+                "{label}: lineage {bucket} diverged from quality"
+            );
+        }
+    }
+    assert_eq!(single.lineage, sharded.lineage, "lineage depends on shard count");
+    assert_eq!(
+        single.trace.to_chrome_json(),
+        sharded.trace.to_chrome_json(),
+        "trace export depends on shard count"
+    );
     let q = single.quality;
     assert_eq!(q.accounted(), db.total_samples(), "unaccounted samples: {q:?}");
     assert_eq!(q.dropped, db.dropped, "silent drops: {q:?}");
     // Rendering must not panic either, however damaged the session.
     let _ = single.lines.render_text();
+    let _ = single.lineage.render_text();
     q
 }
 
@@ -105,6 +131,23 @@ fn recovery_of(out: &RunOutcome) -> (ResolutionQuality, RecoveryReport) {
     );
     assert_eq!(q.accounted(), db.total_samples(), "unaccounted after recovery: {q:?}");
     assert_eq!(q.dropped, db.dropped, "silent drops after recovery: {q:?}");
+    // Recovered passes carry the same lineage contract.
+    for (bucket, want) in [
+        ("dropped", q.dropped),
+        ("evicted", q.evicted),
+        ("quarantined", q.quarantined),
+        ("blocked", q.cross_incarnation_blocked),
+    ] {
+        assert_eq!(
+            single.lineage.total(bucket),
+            want,
+            "recovered lineage {bucket} diverged from quality"
+        );
+    }
+    assert_eq!(
+        single.lineage, sharded.lineage,
+        "recovered lineage depends on shard count"
+    );
     let _ = single.lines.render_text();
     (q, rec)
 }
@@ -656,6 +699,15 @@ fn governed_burst_sheds_strictly_fewer_samples() {
         assert_eq!(live_snap.lines, offline.lines, "live vs batch rows ({threads} threads)");
         assert_eq!(live_snap.quality, offline.quality, "live vs batch quality ({threads} threads)");
         assert_eq!(live_snap.incarnations, offline.incarnations);
+        assert_eq!(
+            live_snap.lineage, offline.lineage,
+            "live vs batch lineage ({threads} threads)"
+        );
+        assert_eq!(
+            live_snap.trace.to_chrome_json(),
+            offline.trace.to_chrome_json(),
+            "live vs batch trace export ({threads} threads)"
+        );
     }
 }
 
@@ -825,6 +877,15 @@ fn churn_chaos_soak_replays_and_stays_accounted() {
             live_snap.incarnations, offline.incarnations,
             "live vs batch incarnations ({threads} threads)"
         );
+        assert_eq!(
+            live_snap.lineage, offline.lineage,
+            "live vs batch lineage ({threads} threads)"
+        );
+        assert_eq!(
+            live_snap.trace.to_chrome_json(),
+            offline.trace.to_chrome_json(),
+            "live vs batch trace export ({threads} threads)"
+        );
     }
 
     // A different seed draws a different churn schedule.
@@ -892,4 +953,23 @@ fn poisoned_shard_never_loses_the_session_report() {
     let single = Viprof::make_report(db, kernel, &fatal_spec(1)).unwrap();
     assert_eq!(single.quality, maimed.quality);
     assert_eq!(single.lines, maimed.lines);
+    // Even with quarantine skewing the per-incarnation classification,
+    // the lineage decomposition must still reconcile every loss bucket
+    // (via the aggregate fallback rows) at every thread count.
+    for report in [&maimed, &single] {
+        for (bucket, want) in [
+            ("dropped", report.quality.dropped),
+            ("evicted", report.quality.evicted),
+            ("quarantined", report.quality.quarantined),
+            ("blocked", report.quality.cross_incarnation_blocked),
+        ] {
+            assert_eq!(
+                report.lineage.total(bucket),
+                want,
+                "quarantined lineage {bucket} diverged from quality"
+            );
+        }
+    }
+    assert_eq!(single.lineage, maimed.lineage);
+    assert_eq!(single.trace.to_chrome_json(), maimed.trace.to_chrome_json());
 }

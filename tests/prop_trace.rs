@@ -1,0 +1,163 @@
+//! Property tests for the causal span tracer (ISSUE 9):
+//!
+//! 1. Span-tree well-formedness: any interleaved begin/end schedule —
+//!    at any store capacity, with parents picked freely among open
+//!    spans (including ones the full store refused to record) —
+//!    yields a snapshot whose ids are unique and nonzero, whose
+//!    parents always resolve to an earlier recorded span, whose
+//!    children inherit the root's trace id, whose `begin <= end`, and
+//!    whose drop accounting is exact. Replaying the schedule on a
+//!    fresh store reproduces the snapshot byte-for-byte.
+//!
+//! 2. Chrome-trace export round-trip: `from_chrome_json(to_chrome_json(s))`
+//!    recovers the exact snapshot (names with quotes, backslashes,
+//!    newlines, control characters and multi-byte UTF-8 included) and
+//!    re-serialization is byte-identical — the determinism contract
+//!    `viprof-trace --selftest` relies on.
+
+use proptest::prelude::*;
+use viprof_repro::telemetry::trace::{SpanStore, TraceCtx, TraceSnapshot, TRACE_LAYERS};
+
+/// Span names chosen to stress the JSON escaper: quotes, backslashes,
+/// newlines, a raw control character and multi-byte UTF-8.
+const NAMES: &[&str] = &[
+    "span.nmi_window",
+    "span.daemon_drain",
+    "journal \"batch\"",
+    "live\\extend",
+    "gc\npause",
+    "r\u{e9}solve \u{1} bell\u{7}",
+];
+
+const FIELD_KEYS: &[&str] = &["samples", "dropped", "weird \"key\"", "\u{3b1}\u{3b2}"];
+
+/// One step of a random tracing schedule.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Open a span: layer pick, name pick, parent pick (`None` = a new
+    /// root, `Some(i)` = the `i % open`-th currently open span), and a
+    /// clock advance.
+    Begin {
+        layer: usize,
+        name: usize,
+        parent: Option<usize>,
+        dt: u64,
+    },
+    /// Close the `pick % open`-th open span with `fields` fields.
+    End { pick: usize, fields: usize, dt: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Vec<Op>> {
+    let begin = (0usize..16, 0usize..NAMES.len(), prop::option::of(0usize..8), 0u64..1_000)
+        .prop_map(|(layer, name, parent, dt)| Op::Begin { layer, name, parent, dt });
+    let end = (0usize..8, 0usize..=FIELD_KEYS.len(), 0u64..1_000)
+        .prop_map(|(pick, fields, dt)| Op::End { pick, fields, dt });
+    prop::collection::vec(prop_oneof![3 => begin, 2 => end], 1..120)
+}
+
+/// Replay a schedule against a fresh store. Returns the snapshot plus
+/// the number of `begin` calls issued (for drop accounting).
+fn drive(ops: &[Op], capacity: usize) -> (TraceSnapshot, usize) {
+    let mut store = SpanStore::new(capacity);
+    let mut now = 0u64;
+    let mut open: Vec<(TraceCtx, bool)> = Vec::new();
+    let mut begins = 0usize;
+    for op in ops {
+        match op {
+            Op::Begin { layer, name, parent, dt } => {
+                now += dt;
+                let parent_ctx = parent.and_then(|i| {
+                    (!open.is_empty()).then(|| open[i % open.len()].0)
+                });
+                let layer = TRACE_LAYERS[layer % TRACE_LAYERS.len()];
+                let (ctx, recorded) =
+                    store.begin(layer, NAMES[name % NAMES.len()], parent_ctx, now);
+                begins += 1;
+                open.push((ctx, recorded));
+            }
+            Op::End { pick, fields, dt } => {
+                if open.is_empty() {
+                    continue;
+                }
+                now += dt;
+                let (ctx, recorded) = open.remove(pick % open.len());
+                let kv: Vec<(&str, u64)> = FIELD_KEYS
+                    .iter()
+                    .take(*fields)
+                    .enumerate()
+                    .map(|(i, k)| (*k, now.wrapping_mul(i as u64 + 1)))
+                    .collect();
+                let dur = store.end(ctx, now, &kv);
+                // A recorded span always closes; an evicted one never does.
+                assert_eq!(dur.is_some(), recorded);
+            }
+        }
+    }
+    (store.snapshot(), begins)
+}
+
+proptest! {
+    #[test]
+    fn span_trees_are_well_formed(ops in op_strategy(), cap in 1usize..48) {
+        let (snap, begins) = drive(&ops, cap);
+
+        // Capacity and drop accounting are exact.
+        prop_assert!(snap.spans.len() <= cap);
+        prop_assert_eq!(snap.dropped as usize, begins - snap.spans.len());
+
+        let mut seen: std::collections::HashSet<u64> = Default::default();
+        for (i, s) in snap.spans.iter().enumerate() {
+            prop_assert_ne!(s.id, 0, "span ids are never 0 (0 means 'no parent')");
+            prop_assert!(seen.insert(s.id), "span ids are unique");
+            prop_assert!(s.begin <= s.end, "spans never end before they begin");
+            prop_assert_ne!(s.trace, 0, "trace ids are never 0");
+            if i > 0 {
+                prop_assert!(
+                    snap.spans[i - 1].begin <= s.begin,
+                    "snapshot is in begin order under a monotonic clock"
+                );
+            }
+            if s.parent != 0 {
+                // Parents always resolve: an evicted parent implies a
+                // full store, and a full store never records children.
+                let parent = snap.span(s.parent);
+                prop_assert!(parent.is_some(), "recorded spans never orphaned");
+                let parent = parent.unwrap();
+                prop_assert_eq!(
+                    parent.trace, s.trace,
+                    "children inherit the trace id of their root"
+                );
+            }
+        }
+
+        // Every span is reachable from exactly one root by walking
+        // children(); i.e. roots() + children() cover the snapshot.
+        let mut reached = 0usize;
+        let mut stack: Vec<u64> = snap.roots().iter().map(|r| r.id).collect();
+        while let Some(id) = stack.pop() {
+            reached += 1;
+            stack.extend(snap.children(id).iter().map(|c| c.id));
+        }
+        prop_assert_eq!(reached, snap.spans.len());
+
+        // Duration histogram covers every span exactly once.
+        let total: u64 = snap.duration_buckets(None).iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(total, snap.spans.len() as u64);
+
+        // Replaying the schedule is deterministic down to the bytes.
+        let (again, _) = drive(&ops, cap);
+        prop_assert_eq!(&again, &snap);
+        prop_assert_eq!(again.to_chrome_json(), snap.to_chrome_json());
+    }
+
+    #[test]
+    fn chrome_json_round_trips(ops in op_strategy(), cap in 1usize..48) {
+        let (snap, _) = drive(&ops, cap);
+        let text = snap.to_chrome_json();
+        let parsed = TraceSnapshot::from_chrome_json(&text);
+        prop_assert!(parsed.is_ok(), "export parses: {:?}", parsed.err());
+        let parsed = parsed.unwrap();
+        prop_assert_eq!(&parsed, &snap, "round-trip recovers the snapshot");
+        prop_assert_eq!(parsed.to_chrome_json(), text, "canonical form is a fixed point");
+    }
+}
