@@ -18,7 +18,7 @@
 //! ```
 
 use serde::Serialize;
-use viprof_bench::{write_json, HarnessOpts};
+use viprof_bench::{write_artifact, HarnessOpts};
 use viprof_workloads::{calibrate, find_benchmark, programs, run_benchmark, ProfilerKind};
 
 #[derive(Serialize)]
@@ -79,5 +79,14 @@ fn main() {
             > out.last().unwrap().slowdown_viprof_90k + 0.005,
         "amortization must be visible end to end"
     );
-    write_json("ablation_amortize.json", &out);
+    write_artifact(
+        "ablation_amortize.json",
+        opts.seed,
+        &opts.config_json(),
+        &out,
+        &serde_json::json!({
+            "slowdown_monotone_nonincreasing": true,
+            "amortization_visible_end_to_end": true,
+        }),
+    );
 }

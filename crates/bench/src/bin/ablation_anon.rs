@@ -19,7 +19,7 @@
 use oprofile::OpConfig;
 use serde::Serialize;
 use sim_cpu::CostModel;
-use viprof_bench::{run_seed, trimmed_mean, write_json, HarnessOpts};
+use viprof_bench::{run_seed, trimmed_mean, write_artifact, HarnessOpts};
 use viprof_workloads::{calibrate, find_benchmark, programs, run_benchmark, ProfilerKind};
 
 #[derive(Serialize)]
@@ -123,5 +123,14 @@ fn main() {
         last_gap > first_gap,
         "the gap must scale with the anon-path cost"
     );
-    write_json("ablation_anon.json", &rows);
+    write_artifact(
+        "ablation_anon.json",
+        opts.seed,
+        &opts.config_json(),
+        &rows,
+        &serde_json::json!({
+            "agent_free_viprof_beats_oprofile": true,
+            "gap_scales_with_anon_cost": last_gap > first_gap,
+        }),
+    );
 }

@@ -24,7 +24,7 @@
 use oprofile::{OpConfig, SampleOrigin};
 use serde::Serialize;
 use viprof::codemap::CodeMapSet;
-use viprof_bench::{write_json, HarnessOpts};
+use viprof_bench::{write_artifact, HarnessOpts};
 use viprof_workloads::{calibrate, find_benchmark, programs, run_benchmark, ProfilerKind};
 
 #[derive(Serialize, Default)]
@@ -145,13 +145,20 @@ fn main() {
         precise.chained, precise.jit_samples,
         "precise moves must resolve 100%"
     );
-    write_json(
+    write_artifact(
         "ablation_epochs.json",
+        opts.seed,
+        &opts.config_json(),
         &EpochAblation {
             paper_mode: paper,
             precise_mode: precise,
             epochs,
             maps,
         },
+        &serde_json::json!({
+            "chained_resolves_over_99pct": true,
+            "backward_walk_matters": true,
+            "precise_moves_resolve_all": true,
+        }),
     );
 }

@@ -22,7 +22,7 @@ use serde::Serialize;
 use sim_jvm::{GcMode, VmConfig};
 use sim_os::{Machine, MachineConfig};
 use viprof::Viprof;
-use viprof_bench::{write_json, HarnessOpts};
+use viprof_bench::{write_artifact, HarnessOpts};
 use viprof_workloads::runner::{execute_plan_with_config, vm_config};
 use viprof_workloads::{calibrate, find_benchmark, programs};
 
@@ -123,5 +123,15 @@ fn main() {
         nonmoving.entries_written < copying.entries_written,
         "maps shrink to compile records without moves"
     );
-    write_json("ablation_gcmode.json", &rows);
+    write_artifact(
+        "ablation_gcmode.json",
+        opts.seed,
+        &opts.config_json(),
+        &rows,
+        &serde_json::json!({
+            "copying_flags_moves": true,
+            "nonmoving_flags_none": true,
+            "nonmoving_maps_smaller": true,
+        }),
+    );
 }

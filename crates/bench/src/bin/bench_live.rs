@@ -30,8 +30,12 @@ use std::time::Instant;
 use viprof::codemap::{map_path, render_map, CodeMapEntry, CodeMapSet, EpochMap};
 use viprof::resolve::ResolveOptions;
 use viprof::{FlatIndex, LiveEngine, LiveSpec, ReportSpec, ResolutionEngine, ViprofResolver};
-use viprof_bench::{quiet, write_json};
+use viprof_bench::{quiet, write_artifact};
 use viprof_telemetry::{names, Telemetry};
+
+/// Master seed of the deterministic sample stream (the scenario
+/// derives its stream as `GENERATOR_SEED ^ samples`).
+const GENERATOR_SEED: u64 = 0x11FE;
 
 /// Deterministic generator (SplitMix64), same recurrence as
 /// `bench_resolve` so runs are reproducible bit for bit.
@@ -197,7 +201,7 @@ fn measure_streaming(s: &Scenario, threads: usize) -> StreamingRun {
     live.set_telemetry(&registry);
     let spec = ReportSpec::default().threads(threads);
 
-    let mut rng = SplitMix64(0x11FE ^ s.samples);
+    let mut rng = SplitMix64(GENERATOR_SEED ^ s.samples);
     let per_batch = s.samples / s.epochs;
     let mut ingest_ms = 0.0;
     let mut midrun_snapshot_ms = 0.0;
@@ -281,15 +285,26 @@ fn measure_streaming(s: &Scenario, threads: usize) -> StreamingRun {
 }
 
 #[derive(Serialize)]
-struct BenchOutput {
+struct BenchConfig {
     smoke: bool,
     trials: u32,
     samples: u64,
     epochs: u64,
     pids: usize,
     methods_per_pid: u64,
+}
+
+#[derive(Serialize)]
+struct BenchMetrics {
     index_maintenance: IndexMaintenance,
     streaming: StreamingRun,
+}
+
+#[derive(Serialize)]
+struct BenchGates {
+    incremental_beats_reflatten: bool,
+    streaming_took_incremental_path: bool,
+    sealed_trace_overhead_under_3pct: bool,
 }
 
 /// Min-of-N deltas on sub-millisecond smoke runs are noise; an absolute
@@ -347,24 +362,37 @@ fn main() {
         streaming.trace_overhead_pct, streaming.sealed_plain_ms, streaming.sealed_snapshot_ms
     );
     // Same budget as bench_resolve's telemetry gate: <3% or <0.5 ms.
+    let trace_gate = streaming.sealed_snapshot_ms - streaming.sealed_plain_ms < 0.5
+        || streaming.trace_overhead_pct < 3.0;
     assert!(
-        streaming.sealed_snapshot_ms - streaming.sealed_plain_ms < 0.5
-            || streaming.trace_overhead_pct < 3.0,
+        trace_gate,
         "lineage/trace overhead on the sealed snapshot exceeds 3%: {:.2}%",
         streaming.trace_overhead_pct
     );
 
-    write_json(
+    let gates = BenchGates {
+        incremental_beats_reflatten: faster_ok(
+            maintenance.incremental_ms,
+            maintenance.full_reflatten_ms,
+        ),
+        streaming_took_incremental_path: streaming.incremental_extends > 0,
+        sealed_trace_overhead_under_3pct: trace_gate,
+    };
+    write_artifact(
         "BENCH_live.json",
-        &BenchOutput {
+        GENERATOR_SEED,
+        &BenchConfig {
             smoke,
             trials,
             samples: s.samples,
             epochs: s.epochs,
             pids: s.pids,
             methods_per_pid: s.methods_per_pid,
+        },
+        &BenchMetrics {
             index_maintenance: maintenance,
             streaming,
         },
+        &gates,
     );
 }

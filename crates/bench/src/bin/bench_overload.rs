@@ -14,7 +14,7 @@
 
 use oprofile::{GovernorConfig, OpConfig};
 use serde::Serialize;
-use viprof_bench::{quiet, write_json};
+use viprof_bench::{quiet, write_artifact};
 use viprof_telemetry::names;
 use viprof_workloads::{calibrate, find_benchmark, programs, run_benchmark, ProfilerKind, RunOutcome};
 
@@ -84,13 +84,28 @@ fn result_of(label: &str, out: &RunOutcome, base_cycles: u64) -> RunResult {
 }
 
 #[derive(Serialize)]
-struct BenchOutput {
+struct BenchConfig {
     smoke: bool,
     base_period: u64,
     ring_capacity: usize,
+    daemon_period: u64,
+}
+
+#[derive(Serialize)]
+struct BenchMetrics {
     base_cycles: u64,
     fixed: RunResult,
     governed: RunResult,
+}
+
+#[derive(Serialize)]
+struct BenchGates {
+    fixed_overflows: bool,
+    governed_sheds_less: bool,
+    governed_drop_under_5pct: bool,
+    backoff_fired: bool,
+    period_backed_off: bool,
+    ungoverned_untouched: bool,
 }
 
 fn main() {
@@ -131,41 +146,54 @@ fn main() {
     );
 
     // The gates scripts/verify.sh relies on.
+    let gates = BenchGates {
+        fixed_overflows: fixed.dropped > 0,
+        governed_sheds_less: governed.dropped < fixed.dropped,
+        governed_drop_under_5pct: governed.drop_pct < 5.0,
+        backoff_fired: governed.backoffs >= 1,
+        period_backed_off: governed.final_period > BASE_PERIOD,
+        ungoverned_untouched: fixed.backoffs == 0,
+    };
     assert!(
-        fixed.dropped > 0,
+        gates.fixed_overflows,
         "an {RING}-slot ring at period {BASE_PERIOD} must overflow — the scenario is broken"
     );
     assert!(
-        governed.dropped < fixed.dropped,
+        gates.governed_sheds_less,
         "governor must shed load at the source: governed {} vs fixed {}",
         governed.dropped,
         fixed.dropped
     );
     assert!(
-        governed.drop_pct < 5.0,
+        gates.governed_drop_under_5pct,
         "governed drop fraction must stay under 5%: {:.2}%",
         governed.drop_pct
     );
-    assert!(governed.backoffs >= 1, "pressure must trigger a backoff");
+    assert!(gates.backoff_fired, "pressure must trigger a backoff");
     assert!(
-        governed.final_period > BASE_PERIOD,
+        gates.period_backed_off,
         "the governed period must have backed off from {BASE_PERIOD}: {}",
         governed.final_period
     );
-    assert_eq!(
-        fixed.backoffs, 0,
+    assert!(
+        gates.ungoverned_untouched,
         "the ungoverned run must record no governor activity"
     );
 
-    write_json(
+    write_artifact(
         "BENCH_overload.json",
-        &BenchOutput {
+        SEED,
+        &BenchConfig {
             smoke,
             base_period: BASE_PERIOD,
             ring_capacity: RING,
+            daemon_period: DAEMON_PERIOD,
+        },
+        &BenchMetrics {
             base_cycles: base.cycles,
             fixed,
             governed,
         },
+        &gates,
     );
 }

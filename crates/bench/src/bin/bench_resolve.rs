@@ -26,8 +26,12 @@ use std::time::Instant;
 use viprof::codemap::{map_path, render_map, CodeMapEntry};
 use viprof::resolve::ResolveOptions;
 use viprof::{viprof_report, ReportSpec, ResolutionEngine, ViprofResolver};
-use viprof_bench::{quiet, write_json};
+use viprof_bench::{quiet, write_artifact};
 use viprof_telemetry::Telemetry;
+
+/// Master seed of the deterministic session generator (each scenario
+/// derives its stream as `GENERATOR_SEED ^ samples`).
+const GENERATOR_SEED: u64 = 0x5EED;
 
 /// Deterministic generator (SplitMix64) so every trial and every run
 /// resolves the exact same session.
@@ -120,7 +124,7 @@ fn build_session(s: &Scenario) -> (Kernel, SampleDb) {
         pids.push(pid);
     }
 
-    let mut rng = SplitMix64(0x5EED ^ s.samples);
+    let mut rng = SplitMix64(GENERATOR_SEED ^ s.samples);
     let mut db = SampleDb::new();
     let span = s.methods_per_pid * METHOD_STRIDE;
     for _ in 0..s.samples {
@@ -188,13 +192,24 @@ struct ScenarioResult {
 }
 
 #[derive(Serialize)]
-struct BenchOutput {
+struct BenchConfig {
     smoke: bool,
     trials: u32,
     thread_counts: Vec<usize>,
+}
+
+#[derive(Serialize)]
+struct BenchMetrics {
     scenarios: Vec<ScenarioResult>,
     telemetry_overhead: TelemetryOverhead,
     trace_overhead: TraceOverhead,
+}
+
+#[derive(Serialize)]
+struct BenchGates {
+    reports_bit_identical: bool,
+    telemetry_overhead_under_3pct: bool,
+    trace_overhead_under_3pct: bool,
 }
 
 /// Cost of the always-on telemetry layer on the acceptance scenario:
@@ -450,6 +465,8 @@ fn main() {
         overhead.flat_plain_ms,
         overhead.flat_telemetry_ms,
     );
+    let telemetry_gate = overhead_ok(overhead.legacy_plain_ms, overhead.legacy_telemetry_ms)
+        && overhead_ok(overhead.flat_plain_ms, overhead.flat_telemetry_ms);
     assert!(
         overhead_ok(overhead.legacy_plain_ms, overhead.legacy_telemetry_ms),
         "legacy-path telemetry overhead exceeds 3%: {:.2}%",
@@ -474,21 +491,32 @@ fn main() {
         trace_overhead.plain_ms,
         trace_overhead.traced_ms,
     );
+    let trace_gate = overhead_ok(trace_overhead.plain_ms, trace_overhead.traced_ms);
     assert!(
-        overhead_ok(trace_overhead.plain_ms, trace_overhead.traced_ms),
+        trace_gate,
         "lineage/trace overhead exceeds 3%: {:.2}%",
         trace_overhead.overhead_pct
     );
 
-    write_json(
+    write_artifact(
         "BENCH_resolve.json",
-        &BenchOutput {
+        GENERATOR_SEED,
+        &BenchConfig {
             smoke,
             trials,
             thread_counts,
+        },
+        &BenchMetrics {
             scenarios,
             telemetry_overhead: overhead,
             trace_overhead,
+        },
+        &BenchGates {
+            // run_scenario asserts bit-identity before returning, so
+            // reaching the artifact write means that gate held.
+            reports_bit_identical: true,
+            telemetry_overhead_under_3pct: telemetry_gate,
+            trace_overhead_under_3pct: trace_gate,
         },
     );
 }

@@ -27,7 +27,7 @@ use sim_os::{Machine, MachineConfig};
 use viprof::resolve::{ResolveOptions, ViprofResolver};
 use viprof::xen::{domain_breakdown, domain_jit_profile, DomainTable, Hypervisor, XenScheduler};
 use viprof::{ReportSpec, Viprof};
-use viprof_bench::{write_json, HarnessOpts};
+use viprof_bench::{write_artifact, HarnessOpts};
 use viprof_workloads::runner::vm_config;
 use viprof_workloads::{calibrate, find_benchmark, programs};
 
@@ -173,8 +173,10 @@ fn main() {
     assert!(dom2_top.iter().any(|(s, _)| s.starts_with(p2.package)));
     assert_eq!(unresolved, 0, "all JIT samples resolve across both stacks");
 
-    write_json(
+    write_artifact(
         "ext_multidomain.json",
+        opts.seed,
+        &opts.config_json(),
         &MultiDomainOut {
             breakdown: breakdown
                 .iter()
@@ -185,5 +187,10 @@ fn main() {
             xen_rows,
             unresolved_rows: unresolved,
         },
+        &serde_json::json!({
+            "hypervisor_sampled": true,
+            "both_domains_sampled": true,
+            "all_jit_resolved": unresolved == 0,
+        }),
     );
 }

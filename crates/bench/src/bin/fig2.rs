@@ -8,7 +8,7 @@
 //! cargo run --release -p viprof-bench --bin fig2
 //! ```
 
-use viprof_bench::{figure2_rows, measure_catalog, quiet, write_json, Fig2Config, HarnessOpts};
+use viprof_bench::{figure2_rows, measure_catalog, quiet, write_artifact, Fig2Config, HarnessOpts};
 
 fn main() {
     let opts = HarnessOpts::from_env();
@@ -69,5 +69,13 @@ fn main() {
         rows.len() - 1
     );
 
-    write_json("fig2.json", &rows);
+    write_artifact(
+        "fig2.json",
+        opts.seed,
+        &opts.config_json(),
+        &rows,
+        &serde_json::json!({
+            "benchmarks_below_1_10_at_90k": below_ten,
+        }),
+    );
 }

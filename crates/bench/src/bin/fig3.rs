@@ -6,7 +6,7 @@
 //! ```
 
 use serde::Serialize;
-use viprof_bench::{figure2_rows, measure_catalog, quiet, write_json, Fig2Config, HarnessOpts};
+use viprof_bench::{figure2_rows, measure_catalog, quiet, write_artifact, Fig2Config, HarnessOpts};
 
 #[derive(Serialize)]
 struct Fig3Row {
@@ -68,5 +68,11 @@ fn main() {
     let avg: f64 = out.iter().map(|r| r.measured_seconds).sum::<f64>() / out.len() as f64;
     println!("{:<14}{:>12.2}{:>12}", "Average", avg, "—");
 
-    write_json("fig3.json", &out);
+    write_artifact(
+        "fig3.json",
+        opts.seed,
+        &opts.config_json(),
+        &out,
+        &serde_json::json!({}),
+    );
 }

@@ -32,6 +32,12 @@ pub struct HarnessOpts {
 }
 
 impl HarnessOpts {
+    /// The harness knobs as the `config` block of the shared artifact
+    /// envelope (see [`write_artifact`]).
+    pub fn config_json(&self) -> serde_json::Value {
+        serde_json::json!({ "scale": self.scale, "trials": self.trials })
+    }
+
     pub fn from_env() -> HarnessOpts {
         let get = |k: &str| std::env::var(k).ok();
         HarnessOpts {
@@ -249,6 +255,28 @@ pub fn quiet() -> bool {
 pub fn harness_telemetry() -> &'static Telemetry {
     static REGISTRY: OnceLock<Telemetry> = OnceLock::new();
     REGISTRY.get_or_init(Telemetry::new)
+}
+
+/// Persist a `BENCH_*.json` artifact in the canonical envelope every
+/// bench bin shares: `{name, seed, config, metrics, gates}`.
+/// `viprof-diff` detects this shape and diffs the `metrics`/`gates`
+/// subtrees, so two fixed-seed runs of the same bin can be gated
+/// against each other (or against a committed artifact) uniformly.
+pub fn write_artifact<C: Serialize, M: Serialize, G: Serialize>(
+    file: &str,
+    seed: u64,
+    config: &C,
+    metrics: &M,
+    gates: &G,
+) {
+    let value = serde_json::json!({
+        "name": file.trim_end_matches(".json"),
+        "seed": seed,
+        "config": config,
+        "metrics": metrics,
+        "gates": gates,
+    });
+    write_json(file, &value);
 }
 
 /// Persist a JSON result artifact.

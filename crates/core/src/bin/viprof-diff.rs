@@ -1,0 +1,492 @@
+//! `viprof-diff` — differential observability CLI.
+//!
+//! Loads two exported artifacts of the same kind and emits a
+//! structured per-metric delta report, so a fixed-seed run can be
+//! gated against a committed baseline (`scripts/verify.sh` does
+//! exactly that with the artifacts under `results/`).
+//!
+//! Artifact kinds are detected from JSON shape (no flag needed):
+//!
+//! * runtime telemetry snapshot (`/var/log/viprof/telemetry.json`)
+//! * timeline export (`/var/log/viprof/timeline.json`)
+//! * health report (`viprof-stat --health --json`)
+//! * Chrome trace export, compared by span-duration log2 buckets
+//! * bench envelope (`results/BENCH_*.json`)
+//! * a session directory (compared by resolve quality, lineage totals
+//!   and report shape)
+//! * any other JSON document, compared by its numeric leaves
+//!
+//! ```text
+//! viprof-diff --selftest
+//! viprof-diff --emit-baseline <dir>
+//! viprof-diff <baseline> <candidate> [--json] [--tolerance <pct>]
+//!
+//!   --selftest        check the differ against the deterministic
+//!                     synthetic session (same seed ⇒ zero deltas,
+//!                     perturbed seed ⇒ nonzero, kind mismatch ⇒
+//!                     error); exits non-zero on failure
+//!   --emit-baseline D regenerate baseline_telemetry.json and
+//!                     baseline_timeline.json in D from the synthetic
+//!                     session at the committed seed
+//!   --json            print the delta report as one JSON document on
+//!                     stdout (status stays on stderr)
+//!   --tolerance P     treat relative deltas up to P percent as noise
+//!                     (default 0: any delta is a regression)
+//! ```
+//!
+//! Exit codes: 0 — artifacts agree within tolerance; 1 — at least one
+//! metric regressed; 2 — usage or unreadable/mismatched artifacts.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use viprof::{ReportSpec, Viprof};
+use viprof_telemetry::synthetic::{synthetic_session, BASELINE_SEED};
+use viprof_telemetry::{HealthReport, Timeline, TraceSnapshot};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: viprof-diff --selftest | --emit-baseline <dir> | \
+         <baseline> <candidate> [--json] [--tolerance <pct>]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("viprof-diff: {msg}");
+    std::process::exit(2);
+}
+
+/// One loaded artifact: its detected kind and the flattened numeric
+/// metrics (dotted-path keys, sorted).
+struct Artifact {
+    kind: &'static str,
+    metrics: BTreeMap<String, f64>,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(first) = args.next() else { usage() };
+    match first.as_str() {
+        "--selftest" => {
+            selftest();
+            return;
+        }
+        "--emit-baseline" => {
+            let Some(dir) = args.next() else { usage() };
+            if args.next().is_some() {
+                usage();
+            }
+            emit_baseline(Path::new(&dir));
+            return;
+        }
+        _ => {}
+    }
+
+    let Some(second) = args.next() else { usage() };
+    let mut json = false;
+    let mut tolerance = 0.0f64;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--json" => json = true,
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+
+    let a = load_artifact(Path::new(&first)).unwrap_or_else(|e| fail(&format!("{first}: {e}")));
+    let b = load_artifact(Path::new(&second)).unwrap_or_else(|e| fail(&format!("{second}: {e}")));
+    if a.kind != b.kind {
+        fail(&format!(
+            "kind mismatch: {first} is a {} artifact, {second} is a {} artifact",
+            a.kind, b.kind
+        ));
+    }
+
+    let rows = diff_metrics(&a.metrics, &b.metrics);
+    let regressions = rows
+        .iter()
+        .filter(|r| r.rel_pct > tolerance)
+        .count();
+    if json {
+        println!("{}", render_json(a.kind, tolerance, &rows, regressions));
+    } else {
+        print!(
+            "{}",
+            render_text(a.kind, &first, &second, tolerance, &rows, regressions)
+        );
+    }
+    if regressions > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// One differing metric.
+struct DiffRow {
+    name: String,
+    a: f64,
+    b: f64,
+    /// |b - a| relative to the baseline, in percent (a zero baseline
+    /// makes any movement 100%).
+    rel_pct: f64,
+}
+
+/// Compare two flattened metric maps over the union of their keys; a
+/// key absent on one side reads as 0 there. Equal values produce no
+/// row — two identical artifacts diff to an empty list.
+fn diff_metrics(a: &BTreeMap<String, f64>, b: &BTreeMap<String, f64>) -> Vec<DiffRow> {
+    let mut rows = Vec::new();
+    let keys: std::collections::BTreeSet<&String> = a.keys().chain(b.keys()).collect();
+    for key in keys {
+        let va = a.get(key).copied().unwrap_or(0.0);
+        let vb = b.get(key).copied().unwrap_or(0.0);
+        if va == vb {
+            continue;
+        }
+        let base = va.abs();
+        let rel_pct = if base > 0.0 {
+            100.0 * (vb - va).abs() / base
+        } else {
+            100.0
+        };
+        rows.push(DiffRow {
+            name: key.clone(),
+            a: va,
+            b: vb,
+            rel_pct,
+        });
+    }
+    rows
+}
+
+/// Trim trailing zeros so integers print as integers and the output
+/// stays deterministic.
+fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+fn render_text(
+    kind: &str,
+    a_path: &str,
+    b_path: &str,
+    tolerance: f64,
+    rows: &[DiffRow],
+    regressions: usize,
+) -> String {
+    let mut out = format!("viprof-diff: {kind} — {a_path} vs {b_path}\n");
+    for r in rows {
+        let mark = if r.rel_pct > tolerance { "!" } else { "~" };
+        out.push_str(&format!(
+            "  {mark} {:<48} {} -> {} ({}{:.2}%)\n",
+            r.name,
+            fmt_num(r.a),
+            fmt_num(r.b),
+            if r.b >= r.a { "+" } else { "-" },
+            r.rel_pct
+        ));
+    }
+    out.push_str(&format!(
+        "{} metric(s) changed, {} beyond tolerance ({tolerance}%): {}\n",
+        rows.len(),
+        regressions,
+        if regressions == 0 { "PASS" } else { "FAIL" }
+    ));
+    out
+}
+
+fn render_json(kind: &str, tolerance: f64, rows: &[DiffRow], regressions: usize) -> String {
+    let metrics: serde_json::Map<String, serde_json::Value> = rows
+        .iter()
+        .map(|r| {
+            (
+                r.name.clone(),
+                serde_json::json!({
+                    "baseline": r.a,
+                    "candidate": r.b,
+                    "delta": r.b - r.a,
+                    "rel_pct": r.rel_pct,
+                    "regression": r.rel_pct > tolerance,
+                }),
+            )
+        })
+        .collect();
+    let value = serde_json::json!({
+        "kind": kind,
+        "tolerance_pct": tolerance,
+        "changed": rows.len(),
+        "regressions": regressions,
+        "metrics": metrics,
+    });
+    serde_json::to_string_pretty(&value).expect("diff report serializes")
+}
+
+/// Load one artifact: a session directory, or a JSON file whose kind
+/// is detected from its shape.
+fn load_artifact(path: &Path) -> Result<Artifact, String> {
+    if path.is_dir() {
+        return load_session(path);
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let value: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("not JSON: {e}"))?;
+    let obj = value
+        .as_object()
+        .ok_or_else(|| "top level is not a JSON object".to_string())?;
+
+    if obj.contains_key("traceEvents") {
+        return load_trace(&text);
+    }
+    if obj.contains_key("name") && obj.contains_key("metrics") && obj.contains_key("gates") {
+        let mut metrics = BTreeMap::new();
+        for key in ["seed", "metrics", "gates"] {
+            if let Some(v) = obj.get(key) {
+                flatten(v, key, &mut metrics);
+            }
+        }
+        return Ok(Artifact {
+            kind: "bench",
+            metrics,
+        });
+    }
+    if obj.contains_key("counters") && obj.contains_key("events_dropped") {
+        let mut metrics = BTreeMap::new();
+        for (key, v) in obj {
+            // The flight-recorder tail is a debugging aid, not a
+            // comparable metric surface; everything else is.
+            if key != "events" {
+                flatten(v, key, &mut metrics);
+            }
+        }
+        return Ok(Artifact {
+            kind: "telemetry",
+            metrics,
+        });
+    }
+    if obj.contains_key("windows") && obj.contains_key("origin") {
+        // Re-parse through the canonical importer so a hand-edited
+        // non-telescoping file is rejected, not silently diffed.
+        let timeline = Timeline::from_json(&text)?;
+        let mut metrics = BTreeMap::new();
+        flatten(&value, "timeline", &mut metrics);
+        for (name, total) in timeline.top_movers(usize::MAX) {
+            metrics.insert(format!("total.{name}"), total as f64);
+        }
+        return Ok(Artifact {
+            kind: "timeline",
+            metrics,
+        });
+    }
+    if obj.contains_key("findings") && obj.len() == 1 {
+        let report = HealthReport::from_json(&text)?;
+        let mut metrics = BTreeMap::new();
+        metrics.insert("findings".to_string(), report.findings.len() as f64);
+        for f in &report.findings {
+            for (field, v) in [
+                ("total", f.total),
+                ("windows", f.windows),
+                ("peak", f.peak),
+                ("longest_run", f.longest_run),
+            ] {
+                metrics.insert(format!("{}.{field}", f.rule), v as f64);
+            }
+        }
+        return Ok(Artifact {
+            kind: "health",
+            metrics,
+        });
+    }
+    let mut metrics = BTreeMap::new();
+    flatten(&value, "", &mut metrics);
+    Ok(Artifact {
+        kind: "json",
+        metrics,
+    })
+}
+
+/// A Chrome trace export, compared by span count and the log2
+/// span-duration histogram (per-span begin/end stamps would make every
+/// configuration change a wall of noise; the duration distribution is
+/// the comparable shape).
+fn load_trace(text: &str) -> Result<Artifact, String> {
+    let snap = TraceSnapshot::from_chrome_json(text)?;
+    let mut metrics = BTreeMap::new();
+    metrics.insert("spans".to_string(), snap.spans.len() as f64);
+    metrics.insert("dropped".to_string(), snap.dropped as f64);
+    for (bucket, count) in snap.duration_buckets(None) {
+        metrics.insert(format!("duration_bucket.{bucket:02}"), count as f64);
+    }
+    Ok(Artifact {
+        kind: "trace",
+        metrics,
+    })
+}
+
+/// A session directory: import it, re-resolve, and compare the
+/// resolution surface (quality tally, lineage totals, report shape,
+/// health findings). The resolve pass is deterministic, so two
+/// same-seed sessions diff to zero.
+fn load_session(dir: &Path) -> Result<Artifact, String> {
+    let (kernel, mismatches) = Viprof::import_session_lenient(dir).map_err(|e| e.to_string())?;
+    for m in &mismatches {
+        eprintln!("viprof-diff: WARNING: {}: {m}", dir.display());
+    }
+    let raw = kernel
+        .vfs
+        .read(oprofile::SAMPLES_PATH)
+        .ok_or_else(|| "no sample database in session".to_string())?;
+    let db = oprofile::SampleDb::from_bytes(raw).map_err(|e| format!("corrupt sample database: {e}"))?;
+    let report = Viprof::make_report(&db, &kernel, &ReportSpec::default())
+        .map_err(|e| e.to_string())?;
+    let q = &report.quality;
+    let mut metrics = BTreeMap::new();
+    for (name, v) in [
+        ("lines.rows", report.lines.rows.len() as u64),
+        ("quality.resolved", q.resolved),
+        ("quality.stale_epoch", q.stale_epoch),
+        ("quality.unresolved", q.unresolved),
+        ("quality.dropped", q.dropped),
+        ("quality.evicted", q.evicted),
+        ("quality.quarantined", q.quarantined),
+        ("quality.blocked", q.cross_incarnation_blocked),
+        ("quality.quarantined_lines", q.quarantined_lines),
+        ("quality.skipped_map_files", q.skipped_map_files),
+        ("incarnations", report.incarnations.len() as u64),
+        ("health.findings", report.health.findings.len() as u64),
+    ] {
+        metrics.insert(name.to_string(), v as f64);
+    }
+    for bucket in ["dropped", "evicted", "quarantined", "blocked"] {
+        metrics.insert(
+            format!("lineage.{bucket}"),
+            report.lineage.total(bucket) as f64,
+        );
+    }
+    Ok(Artifact {
+        kind: "session",
+        metrics,
+    })
+}
+
+/// Recursively collect every numeric leaf into dotted-path keys
+/// (array elements indexed). Strings and booleans are not comparable
+/// magnitudes and are skipped.
+fn flatten(value: &serde_json::Value, prefix: &str, out: &mut BTreeMap<String, f64>) {
+    let path = |key: &str| {
+        if prefix.is_empty() {
+            key.to_string()
+        } else {
+            format!("{prefix}.{key}")
+        }
+    };
+    match value {
+        serde_json::Value::Number(n) => {
+            if let Some(v) = n.as_f64() {
+                out.insert(prefix.to_string(), v);
+            }
+        }
+        serde_json::Value::Object(map) => {
+            for (k, v) in map {
+                flatten(v, &path(k), out);
+            }
+        }
+        serde_json::Value::Array(items) => {
+            for (i, v) in items.iter().enumerate() {
+                flatten(v, &path(&i.to_string()), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Regenerate the committed fixed-seed baselines: the synthetic
+/// session at [`BASELINE_SEED`], exported in canonical JSON.
+fn emit_baseline(dir: &Path) {
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", dir.display())));
+    let session = synthetic_session(BASELINE_SEED);
+    for (name, data) in [
+        ("baseline_telemetry.json", session.telemetry.to_json()),
+        ("baseline_timeline.json", session.timeline.to_json()),
+    ] {
+        let path = dir.join(name);
+        std::fs::write(&path, data)
+            .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
+        eprintln!("viprof-diff: wrote {}", path.display());
+    }
+}
+
+/// Differ smoke, run by `scripts/verify.sh`: the synthetic session is
+/// deterministic, so the same seed must diff to zero, a perturbed seed
+/// must not, and mixing kinds must be rejected.
+fn selftest() {
+    let dir = std::env::temp_dir().join(format!("viprof-diff-selftest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create selftest dir");
+    let base = synthetic_session(BASELINE_SEED);
+    let same = synthetic_session(BASELINE_SEED);
+    let perturbed = synthetic_session(BASELINE_SEED + 1);
+
+    let write = |name: &str, data: &str| {
+        let path = dir.join(name);
+        std::fs::write(&path, data).expect("write selftest artifact");
+        path
+    };
+    let t0 = write("telemetry_a.json", &base.telemetry.to_json());
+    let t1 = write("telemetry_b.json", &same.telemetry.to_json());
+    let t2 = write("telemetry_c.json", &perturbed.telemetry.to_json());
+    let l0 = write("timeline_a.json", &base.timeline.to_json());
+    let l1 = write("timeline_b.json", &same.timeline.to_json());
+    let l2 = write("timeline_c.json", &perturbed.timeline.to_json());
+
+    let load = |p: &Path| load_artifact(p).expect("selftest artifact loads");
+    for (a, b, kind) in [(&t0, &t1, "telemetry"), (&l0, &l1, "timeline")] {
+        let (a, b) = (load(a), load(b));
+        assert_eq!(a.kind, kind);
+        assert_eq!(b.kind, kind);
+        assert!(
+            diff_metrics(&a.metrics, &b.metrics).is_empty(),
+            "same seed must diff to zero for {kind}"
+        );
+        assert!(!a.metrics.is_empty(), "{kind} flattens to metrics");
+    }
+    for (a, b, kind) in [(&t0, &t2, "telemetry"), (&l0, &l2, "timeline")] {
+        let rows = diff_metrics(&load(a).metrics, &load(b).metrics);
+        assert!(!rows.is_empty(), "perturbed seed must move {kind} metrics");
+        assert!(rows.iter().any(|r| r.rel_pct > 0.0));
+    }
+    assert_ne!(
+        load(&t0).kind,
+        load(&l0).kind,
+        "telemetry and timeline detect as distinct kinds"
+    );
+
+    // The baseline emitter is the selftest's own generator: what it
+    // writes must load and diff to zero against the in-memory session.
+    emit_baseline(&dir);
+    let emitted = load(&dir.join("baseline_timeline.json"));
+    assert!(diff_metrics(&load(&l0).metrics, &emitted.metrics).is_empty());
+
+    // Health over the synthetic timeline fires the burst findings, and
+    // the health artifact round-trips through the differ too.
+    let health = HealthReport::evaluate(&base.timeline);
+    assert!(!health.is_healthy(), "synthetic burst fires findings");
+    let h0 = write("health_a.json", &health.to_json());
+    let loaded = load(&h0);
+    assert_eq!(loaded.kind, "health");
+    assert!(loaded.metrics["findings"] >= 2.0);
+
+    let telemetry_metrics = load(&t0).metrics.len();
+    let timeline_metrics = load(&l0).metrics.len();
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "viprof-diff: selftest ok ({telemetry_metrics} telemetry metric(s), \
+         {timeline_metrics} timeline metric(s))"
+    );
+}

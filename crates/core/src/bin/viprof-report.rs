@@ -151,6 +151,7 @@ fn main() {
     let mut resolve_telemetry: Option<TelemetrySnapshot> = None;
     let mut incarnations: Vec<viprof::IncarnationSummary> = Vec::new();
     let mut lineage_table: Option<viprof_telemetry::LineageTable> = None;
+    let mut health = viprof_telemetry::HealthReport::default();
     let (report, quality, recovery) = if classic {
         (opreport(&db, &kernel, &options), None, None)
     } else {
@@ -175,6 +176,7 @@ fn main() {
                 resolve_telemetry = Some(sr.telemetry);
                 incarnations = sr.incarnations;
                 lineage_table = Some(sr.lineage);
+                health = sr.health;
                 (sr.lines, Some(sr.quality), recovery)
             }
             Err(e) => {
@@ -236,6 +238,14 @@ fn main() {
                 let emitted = db.total_samples() + db.dropped;
                 let pct = 100.0 * db.dropped as f64 / emitted as f64;
                 println!("WARNING: {} samples dropped ({pct:.1}%)", db.dropped);
+            }
+            // HEALTH footer: rule findings over the session's exported
+            // timeline. Silent on a clean run, like the other footers.
+            if !health.is_healthy() {
+                println!("== health ==");
+                for f in &health.findings {
+                    println!("{}", f.render_line());
+                }
             }
             if lineage {
                 match &lineage_table {

@@ -9,7 +9,7 @@
 //! ```text
 //! viprof-stat --schema
 //! viprof-stat --selftest
-//! viprof-stat <session-dir> [--json] [--recover] [--threads <n>] [--events <n>] [--histograms]
+//! viprof-stat <session-dir> [--json] [--health] [--recover] [--threads <n>] [--events <n>] [--histograms]
 //!
 //!   --schema     print the metric catalog (one `<kind> <name>` line
 //!                per metric) — diffed against scripts/telemetry-schema.txt
@@ -17,7 +17,11 @@
 //!   --selftest   run a synthetic in-memory session end to end and
 //!                check its telemetry export; exits non-zero on failure
 //!   --json       print the session's runtime telemetry snapshot as
-//!                canonical JSON instead of the summary
+//!                canonical JSON instead of the summary (stdout is
+//!                exactly one JSON document; status goes to stderr)
+//!   --health     evaluate the default health rules over the session's
+//!                exported timeline and print the findings (with
+//!                --json: the health report as canonical JSON)
 //!   --recover    tolerate manifest violations when importing
 //!   --threads N  resolve across N shards for the resolve-side metrics
 //!   --events N   show the last N flight-recorder events (default 10)
@@ -28,12 +32,14 @@
 
 use oprofile::{OpConfig, Oprofile, ReportOptions};
 use viprof::{ReportSpec, Viprof};
-use viprof_telemetry::{bucket_hi, bucket_lo, log2_rows, names, TelemetrySnapshot};
+use viprof_telemetry::{
+    bucket_hi, bucket_lo, log2_rows, names, HealthReport, TelemetrySnapshot, Timeline,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage: viprof-stat --schema | --selftest | <session-dir> \
-         [--json] [--recover] [--threads <n>] [--events <n>] [--histograms]"
+         [--json] [--health] [--recover] [--threads <n>] [--events <n>] [--histograms]"
     );
     std::process::exit(2);
 }
@@ -57,6 +63,7 @@ fn main() {
 
     let dir = std::path::PathBuf::from(first);
     let mut json = false;
+    let mut health = false;
     let mut recover = false;
     let mut threads = 1usize;
     let mut tail = 10usize;
@@ -64,6 +71,7 @@ fn main() {
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--json" => json = true,
+            "--health" => health = true,
             "--recover" => recover = true,
             "--histograms" => histograms = true,
             "--threads" => {
@@ -119,6 +127,34 @@ fn main() {
             std::process::exit(1);
         }
     };
+
+    if health {
+        let report = match kernel.vfs.read(oprofile::TIMELINE_PATH) {
+            Some(raw) => match std::str::from_utf8(raw)
+                .map_err(|e| e.to_string())
+                .and_then(Timeline::from_json)
+            {
+                Ok(timeline) => HealthReport::evaluate(&timeline),
+                Err(e) => {
+                    eprintln!("viprof-stat: corrupt timeline export: {e}");
+                    std::process::exit(1);
+                }
+            },
+            None => {
+                eprintln!(
+                    "viprof-stat: no timeline at {} (pre-timeline export?)",
+                    oprofile::TIMELINE_PATH
+                );
+                std::process::exit(1);
+            }
+        };
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            print!("{}", report.render_text());
+        }
+        return;
+    }
 
     if json {
         // Re-serialize: the output is the canonical deterministic form
@@ -369,9 +405,42 @@ fn selftest() {
         "every delivered sample was pushed or counted dropped"
     );
     assert_eq!(snap.events_of(names::EVENT_SESSION_STOP).len(), 1);
+
+    // The timeline export must parse, round-trip byte-identically, and
+    // telescope: its per-window deltas must sum to the cumulative
+    // counters of the telemetry snapshot written at the same stop.
+    let raw = m
+        .kernel
+        .vfs
+        .read(oprofile::TIMELINE_PATH)
+        .expect("session exports a timeline");
+    let text = std::str::from_utf8(raw).expect("timeline is utf-8");
+    let timeline = Timeline::from_json(text).expect("timeline parses");
+    assert_eq!(timeline.to_json(), text, "canonical timeline JSON round-trips");
+    assert!(!timeline.is_empty(), "drains sampled the timeline");
+    for name in [names::CPU_SAMPLES_DELIVERED, names::BUFFER_PUSHED] {
+        let telescoped: u64 = timeline.windows().iter().map(|w| w.delta(name)).sum();
+        assert_eq!(telescoped, snap.counter(name), "{name} telescopes");
+    }
+    // Health is a pure function of the timeline: findings must agree
+    // with the cumulative counters (no false positives, no misses).
+    let report = HealthReport::evaluate(&timeline);
+    assert_eq!(
+        report.finding(names::HEALTH_BUFFER_OVERFLOW).is_some(),
+        snap.counter(names::BUFFER_DROPPED) > 0,
+        "overflow finding tracks the dropped counter"
+    );
+    assert!(report.finding(names::HEALTH_JOURNAL_REPAIR).is_none());
+    assert_eq!(
+        HealthReport::from_json(&report.to_json()),
+        Ok(report),
+        "health report JSON round-trips"
+    );
+
     println!(
-        "viprof-stat: selftest ok ({} samples, {} metrics)",
+        "viprof-stat: selftest ok ({} samples, {} metrics, {} timeline window(s))",
         delivered,
-        snap.counters.len() + snap.gauges.len() + snap.histograms.len() + snap.stages.len()
+        snap.counters.len() + snap.gauges.len() + snap.histograms.len() + snap.stages.len(),
+        timeline.len()
     );
 }

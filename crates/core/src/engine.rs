@@ -28,7 +28,7 @@ use crate::flatindex::FlatIndex;
 use crate::resolve::{IncarnationSummary, ResolutionQuality, ViprofResolver};
 use crate::session::{ReportSpec, SessionReport};
 use oprofile::report::{bucket_label, finish_report, report_events, Report, ReportOptions};
-use oprofile::{SampleBucket, SampleDb, SampleOrigin, SAMPLE_JOURNAL_PATH};
+use oprofile::{SampleBucket, SampleDb, SampleOrigin, SAMPLE_JOURNAL_PATH, TIMELINE_PATH};
 use sim_cpu::{HwEvent, Pid, ProcKey};
 use sim_jvm::bootimage::{BOOT_IMAGE_NAME, RVM_MAP_IMAGE_LABEL};
 use sim_os::journal::{self, split_traced_payload, KIND_SAMPLE_BATCH_TRACED};
@@ -38,8 +38,8 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use viprof_telemetry::{
-    names, Counter, Gauge, Histogram, LineageTable, SpanStore, Stage, Telemetry, TraceCtx,
-    TraceLayer, TraceSnapshot, DEFAULT_SPAN_CAPACITY,
+    names, Counter, Gauge, HealthReport, Histogram, LineageTable, SpanStore, Stage, Telemetry,
+    Timeline, TraceCtx, TraceLayer, TraceSnapshot, DEFAULT_SPAN_CAPACITY,
 };
 
 /// How a bucket classified, mirroring the [`ResolutionQuality`]
@@ -547,7 +547,23 @@ impl ResolutionEngine {
             telemetry,
             lineage,
             trace,
+            health: Self::evaluate_health(kernel),
         }
+    }
+
+    /// Evaluate the default health rules over the timeline the session
+    /// exported at stop. Health is a pure function of that artifact —
+    /// not of resolve-time state — so batch reports, sealed-live
+    /// snapshots and every thread count agree by construction. Sessions
+    /// that exported no timeline (or an unreadable one) report healthy.
+    fn evaluate_health(kernel: &Kernel) -> HealthReport {
+        kernel
+            .vfs
+            .read(TIMELINE_PATH)
+            .and_then(|raw| std::str::from_utf8(raw).ok())
+            .and_then(|json| Timeline::from_json(json).ok())
+            .map(|timeline| HealthReport::evaluate(&timeline))
+            .unwrap_or_default()
     }
 
     /// Decompose every [`ResolutionQuality`] loss bucket by causal

@@ -22,7 +22,9 @@ use sim_cpu::CostModel;
 use sim_os::{crc32, Kernel, Machine, Vfs};
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use viprof_telemetry::{names, LineageTable, Telemetry, TelemetrySnapshot, TraceSnapshot};
+use viprof_telemetry::{
+    names, HealthReport, LineageTable, Telemetry, TelemetrySnapshot, TraceSnapshot,
+};
 
 /// Builder for a VIProf session — the single way to express every
 /// start-time combination that used to be spread over
@@ -236,6 +238,12 @@ pub struct SessionReport {
     /// is byte-identical across thread counts and batch-vs-live).
     /// Empty when [`ReportSpec::trace`] is off.
     pub trace: TraceSnapshot,
+    /// Declarative health findings evaluated over the session's
+    /// exported timeline (`/var/log/viprof/timeline.json`). A pure
+    /// function of the timeline artifact, so batch and sealed-live
+    /// reports always agree; empty when the session exported no
+    /// timeline (e.g. plain OProfile runs).
+    pub health: HealthReport,
 }
 
 /// A running VIProf session: OProfile with the runtime-profiler

@@ -365,6 +365,9 @@ impl Daemon {
             if let Some(span) = drain_span {
                 t.end_drain_span(span, now + cycles, &batch, dead);
             }
+            // A catch-up drain closes its own timeline window so restart
+            // recovery is visible as a distinct sample on the timeline.
+            t.registry.sample_timeline_at(now + cycles);
         }
         if cycles > 0 {
             ctx.exec(&BlockExec {
@@ -680,6 +683,13 @@ impl MachineService for Daemon {
                     }
                 }
             }
+        }
+
+        // One timeline window per drain, stamped at the drain's end and
+        // taken *after* the governor acted so a reprogrammed period
+        // lands in the window that caused it.
+        if let Some(t) = &self.telemetry {
+            t.registry.sample_timeline_at(now + cycles);
         }
 
         if cycles > 0 {

@@ -42,5 +42,7 @@ pub use faults::{DaemonFaultStats, DaemonFaults, DriverFaultStats, DriverFaults,
 pub use governor::{DeadlineVerdict, Governor, GovernorConfig, GovernorDecision};
 pub use report::{opreport, Report, ReportOptions, ReportRow};
 pub use samples::{SampleBucket, SampleDb, SampleOrigin};
-pub use session::{Oprofile, SAMPLES_PATH, SAMPLE_JOURNAL_PATH, TELEMETRY_PATH, TRACE_PATH};
+pub use session::{
+    Oprofile, SAMPLES_PATH, SAMPLE_JOURNAL_PATH, TELEMETRY_PATH, TIMELINE_PATH, TRACE_PATH,
+};
 pub use supervisor::{Supervisor, SupervisorConfig, SupervisorCounters, SupervisorStats};

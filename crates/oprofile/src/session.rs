@@ -30,6 +30,11 @@ pub const TELEMETRY_PATH: &str = "/var/log/viprof/telemetry.json";
 /// trace-event JSON (`viprof-trace` reads it back).
 pub const TRACE_PATH: &str = "/var/log/viprof/trace.json";
 
+/// VFS path where `stop` persists the session's sampled timeline
+/// (per-drain-window telemetry deltas; the resolver evaluates health
+/// rules over it and `viprof-diff` compares two of them).
+pub const TIMELINE_PATH: &str = "/var/log/viprof/timeline.json";
+
 /// A running profiling session.
 pub struct Oprofile {
     pub driver: Arc<Mutex<Driver>>,
@@ -315,6 +320,9 @@ impl Oprofile {
                 &[("samples", db.total_samples()), ("dropped", db.dropped)],
             );
         }
+        // Close the final timeline window (the stop flush) before the
+        // timeline is frozen to the VFS next to the other artifacts.
+        self.telemetry.sample_timeline();
         machine
             .kernel
             .vfs
@@ -322,6 +330,10 @@ impl Oprofile {
         machine.kernel.vfs.write(
             TRACE_PATH,
             self.telemetry.trace_snapshot().to_chrome_json().into_bytes(),
+        );
+        machine.kernel.vfs.write(
+            TIMELINE_PATH,
+            self.telemetry.timeline_snapshot().to_json().into_bytes(),
         );
         db
     }

@@ -27,14 +27,21 @@
 //! runs — the determinism contract `tests/telemetry.rs` pins.
 
 pub mod export;
+pub mod health;
 pub mod metrics;
 pub mod names;
 pub mod recorder;
+pub mod synthetic;
+pub mod timeline;
 pub mod trace;
 
 pub use export::{log2_rows, HistogramSnapshot, StageSnapshot, TelemetrySnapshot};
+pub use health::{
+    HealthFinding, HealthReport, HealthRule, Severity, DEFAULT_HEALTH_RULES,
+};
 pub use metrics::{bucket_hi, bucket_lo, bucket_of, Counter, Gauge, Histogram, Span, Stage, BUCKETS};
 pub use recorder::{Event, FlightRecorder, DEFAULT_EVENT_CAPACITY};
+pub use timeline::{Timeline, TimelineWindow, DEFAULT_TIMELINE_CAPACITY};
 pub use trace::{
     LineageEntry, LineageTable, SpanRecord, SpanStore, StagedSpan, TraceCtx, TraceLayer,
     TraceSnapshot, DEFAULT_SPAN_CAPACITY,
@@ -53,6 +60,7 @@ struct Registry {
     stages: Mutex<BTreeMap<&'static str, Stage>>,
     recorder: Mutex<FlightRecorder>,
     tracer: Mutex<SpanStore>,
+    timeline: Mutex<Timeline>,
     /// Virtual "now": clocked layers publish the sim clock here so
     /// clock-less layers (journal, agent, bench harness) can stamp
     /// flight-recorder events with a deterministic timestamp.
@@ -235,6 +243,53 @@ impl Telemetry {
         self.inner.tracer.lock().unwrap().snapshot()
     }
 
+    /// Sample the timeline at the current virtual time: read the
+    /// tracked series ([`names::TIMELINE_COUNTERS`] /
+    /// [`names::TIMELINE_GAUGES`]) and append one window of deltas.
+    /// The daemon calls this after every drain window; `stop()` takes
+    /// a final sample before exporting. Like flight-recorder events,
+    /// only call from deterministic contexts.
+    pub fn sample_timeline(&self) {
+        self.sample_timeline_at(self.now());
+    }
+
+    /// [`Self::sample_timeline`] with an explicit virtual timestamp.
+    /// Reads the registry without registering anything, so sampling
+    /// never changes which metrics a snapshot contains.
+    pub fn sample_timeline_at(&self, cycles: u64) {
+        let counters: Vec<(&'static str, u64)> = {
+            let map = self.inner.counters.lock().unwrap();
+            names::TIMELINE_COUNTERS
+                .iter()
+                .map(|name| (*name, map.get(*name).map(|c| c.get()).unwrap_or(0)))
+                .collect()
+        };
+        let gauges: Vec<(&'static str, u64)> = {
+            let map = self.inner.gauges.lock().unwrap();
+            names::TIMELINE_GAUGES
+                .iter()
+                .map(|name| (*name, map.get(*name).map(|g| g.get()).unwrap_or(0)))
+                .collect()
+        };
+        let coalesced = {
+            let mut timeline = self.inner.timeline.lock().unwrap();
+            let before = timeline.coalesced();
+            timeline.record(cycles, &counters, &gauges);
+            timeline.coalesced() - before
+        };
+        // Self-accounting (after the record, so the timeline never
+        // tracks its own counters).
+        self.counter(names::TIMELINE_SAMPLES).inc();
+        if coalesced > 0 {
+            self.counter(names::TIMELINE_WINDOWS_COALESCED).add(coalesced);
+        }
+    }
+
+    /// Materialize the timeline ring into ordered plain data.
+    pub fn timeline_snapshot(&self) -> Timeline {
+        self.inner.timeline.lock().unwrap().clone()
+    }
+
     /// Materialize everything into ordered plain data.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let counters = self
@@ -366,6 +421,33 @@ mod tests {
             (st.entries, st.cycles),
             (1, 60),
             "staged guard lands the span duration on the stage"
+        );
+    }
+
+    #[test]
+    fn timeline_sampling_tracks_allowlisted_series_without_registering() {
+        let t = Telemetry::new();
+        t.counter(names::BUFFER_DROPPED).add(2);
+        t.set_now(1_000);
+        t.sample_timeline();
+        t.counter(names::BUFFER_DROPPED).add(3);
+        t.counter(names::REPORT_ROWS).add(9); // untracked by the timeline
+        t.set_now(2_000);
+        t.sample_timeline();
+
+        let tl = t.timeline_snapshot();
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl.series(names::BUFFER_DROPPED), vec![(1_000, 2), (2_000, 3)]);
+        assert_eq!(tl.total(names::BUFFER_DROPPED), 5);
+        assert_eq!(tl.total(names::REPORT_ROWS), 0, "untracked series ignored");
+
+        let snap = t.snapshot();
+        assert_eq!(snap.counter(names::TIMELINE_SAMPLES), 2);
+        // Reading the allowlist registers nothing: tracked-but-silent
+        // series stay out of the snapshot entirely.
+        assert!(
+            snap.counters.iter().all(|(n, _)| n != names::GOVERNOR_BACKOFFS),
+            "sampling must not register silent series"
         );
     }
 

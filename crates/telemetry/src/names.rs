@@ -56,6 +56,8 @@ pub const RESOLVE_MISSING_EPOCHS: &str = "resolve.missing_epochs";
 pub const REPORT_ROWS: &str = "report.rows";
 pub const SESSION_INSTALLS: &str = "session.installs";
 pub const SESSION_STOPS: &str = "session.stops";
+pub const TIMELINE_SAMPLES: &str = "timeline.samples";
+pub const TIMELINE_WINDOWS_COALESCED: &str = "timeline.windows_coalesced";
 pub const TRACE_SPANS_DROPPED: &str = "trace.spans_dropped";
 pub const TRACE_SPANS_RECORDED: &str = "trace.spans_recorded";
 pub const BENCH_ARTIFACTS_WRITTEN: &str = "bench.artifacts_written";
@@ -79,12 +81,53 @@ pub const SATURATION_COUNTERS: &[&str] = &[
     TRACE_SPANS_DROPPED,
 ];
 
+/// Counter series the [`crate::timeline::Timeline`] tracks per drain
+/// window, sorted. Deliberately a session-side allowlist: `resolve.*`,
+/// `live.*`, `report.*` and `bench.*` series are excluded so the
+/// exported timeline is a pure function of the *session* — invariant
+/// to how (threads) and when (batch vs sealed live) the profile is
+/// later resolved.
+pub const TIMELINE_COUNTERS: &[&str] = &[
+    AGENT_MAPS_WRITTEN,
+    BUFFER_DROPPED,
+    BUFFER_PUSHED,
+    CPU_SAMPLES_DELIVERED,
+    CPU_SAMPLES_SUPPRESSED,
+    DAEMON_BATCHES_JOURNALED,
+    DAEMON_DEAD_GEN_DROPPED,
+    DAEMON_DEADLINE_MISSES,
+    DAEMON_DRAINS,
+    DAEMON_STALLS,
+    DAEMON_WAKEUPS,
+    DB_EVICTED_SAMPLES,
+    GOVERNOR_BACKOFFS,
+    GOVERNOR_ESCALATIONS,
+    GOVERNOR_RECOVERIES,
+    JOURNAL_APPENDS,
+    JOURNAL_COMMITS,
+    JOURNAL_REPAIRS,
+    SUPERVISOR_MISSED,
+    SUPERVISOR_REDRAINED_SAMPLES,
+    SUPERVISOR_RESTARTS,
+    TRACE_SPANS_DROPPED,
+    VM_GC_COLLECTIONS,
+];
+
 // ---- gauges ----
 pub const BUFFER_OCCUPANCY: &str = "buffer.occupancy";
 pub const BUFFER_CAPACITY: &str = "buffer.capacity";
 pub const GOVERNOR_PERIOD: &str = "governor.period";
 pub const SUPERVISOR_LAST_BACKOFF: &str = "supervisor.last_backoff";
 pub const RESOLVE_SHARDS: &str = "resolve.shards";
+
+/// Gauge tracks the timeline records per window (absolute values, not
+/// deltas), sorted. Same session-side rule as [`TIMELINE_COUNTERS`].
+pub const TIMELINE_GAUGES: &[&str] = &[
+    BUFFER_CAPACITY,
+    BUFFER_OCCUPANCY,
+    GOVERNOR_PERIOD,
+    SUPERVISOR_LAST_BACKOFF,
+];
 
 // ---- histograms ----
 pub const DAEMON_BATCH_SAMPLES: &str = "daemon.batch_samples";
@@ -124,6 +167,17 @@ pub const LINEAGE_BLOCKED: &str = "lineage.blocked";
 pub const LINEAGE_DROPPED: &str = "lineage.dropped";
 pub const LINEAGE_EVICTED: &str = "lineage.evicted";
 pub const LINEAGE_QUARANTINED: &str = "lineage.quarantined";
+
+// ---- health rule ids (`SessionReport.health` findings) ----
+pub const HEALTH_BUFFER_OVERFLOW: &str = "health.buffer_overflow";
+pub const HEALTH_DB_EVICTION: &str = "health.db_eviction";
+pub const HEALTH_DEAD_GENERATION: &str = "health.dead_generation";
+pub const HEALTH_DEADLINE_MISS: &str = "health.deadline_miss";
+pub const HEALTH_GOVERNOR_BACKOFF: &str = "health.governor_backoff";
+pub const HEALTH_GOVERNOR_ESCALATION: &str = "health.governor_escalation";
+pub const HEALTH_JOURNAL_REPAIR: &str = "health.journal_repair";
+pub const HEALTH_SPANS_DROPPED: &str = "health.spans_dropped";
+pub const HEALTH_SUPERVISOR_RESTART: &str = "health.supervisor_restart";
 
 // ---- flight-recorder event kinds ----
 pub const EVENT_BUFFER_OVERFLOW: &str = "buffer.overflow";
@@ -199,6 +253,8 @@ pub const ALL_METRICS: &[(&str, &str)] = &[
     ("counter", SUPERVISOR_MISSED),
     ("counter", SUPERVISOR_REDRAINED_SAMPLES),
     ("counter", SUPERVISOR_RESTARTS),
+    ("counter", TIMELINE_SAMPLES),
+    ("counter", TIMELINE_WINDOWS_COALESCED),
     ("counter", TRACE_SPANS_DROPPED),
     ("counter", TRACE_SPANS_RECORDED),
     ("counter", VM_GC_COLLECTIONS),
@@ -238,6 +294,15 @@ pub const ALL_METRICS: &[(&str, &str)] = &[
     ("lineage", LINEAGE_DROPPED),
     ("lineage", LINEAGE_EVICTED),
     ("lineage", LINEAGE_QUARANTINED),
+    ("health", HEALTH_BUFFER_OVERFLOW),
+    ("health", HEALTH_DB_EVICTION),
+    ("health", HEALTH_DEAD_GENERATION),
+    ("health", HEALTH_DEADLINE_MISS),
+    ("health", HEALTH_GOVERNOR_BACKOFF),
+    ("health", HEALTH_GOVERNOR_ESCALATION),
+    ("health", HEALTH_JOURNAL_REPAIR),
+    ("health", HEALTH_SPANS_DROPPED),
+    ("health", HEALTH_SUPERVISOR_RESTART),
     ("event", EVENT_AGENT_GC_EPOCH),
     ("event", EVENT_AGENT_MAP_WRITE),
     ("event", EVENT_BENCH_ARTIFACT),
@@ -274,13 +339,14 @@ pub fn schema_lines() -> Vec<String> {
 mod tests {
     use super::*;
 
-    const KINDS: [&str; 7] = [
+    const KINDS: [&str; 8] = [
         "counter",
         "gauge",
         "histogram",
         "stage",
         "span",
         "lineage",
+        "health",
         "event",
     ];
 
@@ -339,5 +405,49 @@ mod tests {
         let mut sorted = SATURATION_COUNTERS.to_vec();
         sorted.sort_unstable();
         assert_eq!(SATURATION_COUNTERS, sorted, "audit list out of order");
+    }
+
+    /// The timeline allowlists: sorted, cataloged under the right
+    /// kind, and free of resolve-time series (which would break the
+    /// timeline's invariance to how the profile is later resolved).
+    #[test]
+    fn timeline_allowlists_are_sorted_cataloged_session_side_series() {
+        let of_kind = |kind: &str| -> Vec<&str> {
+            ALL_METRICS
+                .iter()
+                .filter(|(k, _)| *k == kind)
+                .map(|(_, n)| *n)
+                .collect()
+        };
+        let counters = of_kind("counter");
+        let gauges = of_kind("gauge");
+        for (list, catalog) in [
+            (TIMELINE_COUNTERS, &counters),
+            (TIMELINE_GAUGES, &gauges),
+        ] {
+            let mut sorted = list.to_vec();
+            sorted.sort_unstable();
+            assert_eq!(list, sorted, "allowlist out of order");
+            for name in list {
+                assert!(catalog.contains(name), "{name} not cataloged");
+                for banned in ["resolve.", "live.", "report.", "bench.", "timeline."] {
+                    assert!(
+                        !name.starts_with(banned),
+                        "{name} is resolve-time or self-referential"
+                    );
+                }
+            }
+        }
+        // Every cataloged saturation counter the session side can tick
+        // is visible to the timeline (resolve-side ones excluded).
+        for name in SATURATION_COUNTERS {
+            if name.starts_with("resolve.") {
+                continue;
+            }
+            assert!(
+                TIMELINE_COUNTERS.contains(name),
+                "saturation counter {name} invisible to the timeline"
+            );
+        }
     }
 }

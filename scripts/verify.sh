@@ -103,6 +103,35 @@ if [[ "${1:-}" != "--fast" ]]; then
     run_offline_tolerant "churn isolation proptests" \
         cargo test -q --test prop_churn
 
+    # Differ self-check: the deterministic synthetic session must diff
+    # to zero against itself, a perturbed seed must not, kind mixing
+    # must be rejected, and the emitted baselines must match in-memory.
+    echo "==> viprof-diff --selftest"
+    cargo run --release -p viprof --bin viprof-diff -- --selftest
+
+    # Baseline gate: regenerating the committed fixed-seed baselines
+    # must produce artifacts that diff to zero against results/ — any
+    # timeline/telemetry determinism drift, schema drift, or synthetic-
+    # session change fails here until the baselines are regenerated in
+    # the same change (viprof-diff --emit-baseline results/).
+    echo "==> baseline drift check"
+    BASELINE_TMP="$(mktemp -d)"
+    cargo run --release -p viprof --bin viprof-diff -- --emit-baseline "$BASELINE_TMP"
+    for b in baseline_telemetry.json baseline_timeline.json; do
+        cargo run --release -p viprof --bin viprof-diff -- "results/$b" "$BASELINE_TMP/$b" \
+            || { echo "==> $b drifted from results/ (regenerate with viprof-diff --emit-baseline results/)"; exit 1; }
+    done
+    rm -rf "$BASELINE_TMP"
+
+    # Timeline/health smoke: the telescoping/monotonicity/fixed-point
+    # proptests plus the health-rule unit suite, and the governed-burst
+    # timeline scenario in the fault matrix. Named so temporal-layer
+    # regressions fail loudly even when someone filters the main run.
+    run_offline_tolerant "timeline proptests" \
+        cargo test -q --test prop_timeline
+    run_offline_tolerant "governed-burst timeline smoke" \
+        cargo test -q --test fault_matrix timeline
+
     # Telemetry-schema drift gate: the metric catalog must match the
     # reviewed golden list, so additions/removals fail until the golden
     # file is updated in the same change.

@@ -14,8 +14,9 @@
 //! samples than the degraded baseline, and strictly more where the
 //! journal holds what the disk lost.
 
+use viprof_repro::oprofile::session::TIMELINE_PATH;
 use viprof_repro::oprofile::{GovernorConfig, OpConfig, ReportOptions, SampleOrigin};
-use viprof_repro::telemetry::names;
+use viprof_repro::telemetry::{names, HealthReport, Timeline};
 use viprof_repro::viprof::codemap::JIT_MAP_DIR;
 use viprof_repro::viprof::resolve::ResolveOptions;
 use viprof_repro::viprof::{
@@ -709,6 +710,107 @@ fn governed_burst_sheds_strictly_fewer_samples() {
             "live vs batch trace export ({threads} threads)"
         );
     }
+}
+
+#[test]
+fn governed_burst_timeline_shows_the_ramp_and_health_flags_it() {
+    // The temporal view of the same overload story (ISSUE 10): give
+    // the governor a recovery step and a live drain deadline, and the
+    // exported timeline must show the whole control trajectory — the
+    // period gauge ramping up under pressure and stepping back down
+    // once the ring calms — while the health rules flag exactly the
+    // injected conditions and nothing else.
+    const BASE_PERIOD: u64 = 15_000;
+    let (built, plan) = small_workload();
+    let config = OpConfig {
+        buffer_capacity: 8,
+        daemon_period_cycles: 300_000,
+        ..OpConfig::time_at(BASE_PERIOD)
+    }
+    .with_governor(GovernorConfig {
+        high_watermark_pct: 50,
+        low_watermark_pct: 20,
+        dwell_windows: 1,
+        backoff_factor: 4,
+        recovery_step: 1,
+        max_scale: 64,
+        // Every drain is over this budget, so the miss streak crosses
+        // the threshold and the governor escalates — deliberately.
+        deadline_cycles: 1,
+        deadline_miss_threshold: 2,
+    });
+    let out = run_benchmark(&built, &plan, ProfilerKind::Viprof(config), 3, false);
+    let snap = out.telemetry.as_ref().unwrap();
+    assert!(snap.counter(names::GOVERNOR_BACKOFFS) >= 1, "scenario injects backoff");
+    assert!(snap.counter(names::GOVERNOR_ESCALATIONS) >= 1, "scenario injects escalation");
+    assert!(snap.counter(names::BUFFER_DROPPED) >= 1, "scenario injects overflow");
+
+    let timeline = Timeline::from_json(
+        std::str::from_utf8(out.machine.kernel.vfs.read(TIMELINE_PATH).unwrap()).unwrap(),
+    )
+    .unwrap();
+
+    // The backoff ramp: the per-window period gauge starts at the base
+    // rate, rises above it under pressure, and recovers (some later
+    // window runs at a lower period than the peak).
+    let series = timeline.gauge_series(names::GOVERNOR_PERIOD);
+    assert!(series.len() >= 3, "enough windows to see a trajectory");
+    let (peak_at, peak) = series
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, (_, v))| *v)
+        .map(|(i, (_, v))| (i, *v))
+        .unwrap();
+    assert!(peak > BASE_PERIOD, "the period ramped up under pressure");
+    assert!(
+        series[peak_at + 1..].iter().any(|(_, v)| *v < peak),
+        "the period stepped back down after the peak: {series:?}"
+    );
+
+    // Health flags exactly the injected conditions. The deadline
+    // misses ride along with the escalation they cause; nothing else
+    // may fire.
+    let report = HealthReport::evaluate(&timeline);
+    let fired: Vec<&str> = report.findings.iter().map(|f| f.rule.as_str()).collect();
+    for expected in [
+        names::HEALTH_BUFFER_OVERFLOW,
+        names::HEALTH_GOVERNOR_BACKOFF,
+        names::HEALTH_GOVERNOR_ESCALATION,
+        names::HEALTH_DEADLINE_MISS,
+    ] {
+        assert!(fired.contains(&expected), "{expected} must fire, got {fired:?}");
+    }
+    for finding in &report.findings {
+        assert!(
+            [
+                names::HEALTH_BUFFER_OVERFLOW,
+                names::HEALTH_GOVERNOR_BACKOFF,
+                names::HEALTH_GOVERNOR_ESCALATION,
+                names::HEALTH_DEADLINE_MISS,
+            ]
+            .contains(&finding.rule.as_str()),
+            "uninjected condition flagged: {}",
+            finding.render_line()
+        );
+    }
+
+    // And the clean control run — same workload, room to breathe, no
+    // governor — raises no findings at all.
+    let clean_config = OpConfig {
+        buffer_capacity: 4096,
+        ..OpConfig::time_at(50_000)
+    };
+    let clean = run_benchmark(&built, &plan, ProfilerKind::Viprof(clean_config), 3, false);
+    let clean_timeline = Timeline::from_json(
+        std::str::from_utf8(clean.machine.kernel.vfs.read(TIMELINE_PATH).unwrap()).unwrap(),
+    )
+    .unwrap();
+    let clean_report = HealthReport::evaluate(&clean_timeline);
+    assert!(
+        clean_report.is_healthy(),
+        "clean run must raise nothing, got:\n{}",
+        clean_report.render_text()
+    );
 }
 
 // ---- process churn: restarts, pid reuse, generation isolation -------
